@@ -1,0 +1,109 @@
+// C2 — message size and processing overhead of securing the
+// authorisation protocol (paper §3.2, citing Juric et al. [40]: secured
+// Web-Service messages are "significantly bigger").
+//
+// Series reported:
+//   * bytes on the wire: plain vs signed vs signed+encrypted, across
+//     payload sizes (an XACML request, a policy document, a bulk blob)
+//   * protect/unprotect CPU cost for each mode
+//   * the XML encoding overhead itself (binary payload vs its envelope)
+//
+// Expected shape: signing adds a near-constant overhead (digest +
+// base64); encryption adds ~33% (base64 expansion) plus a per-byte
+// keystream cost; both are dwarfed by XML verbosity for small payloads —
+// the paper's observation that the *encoding* is the real tax.
+#include <benchmark/benchmark.h>
+
+#include "core/serialization.hpp"
+#include "net/secure_channel.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using namespace mdac;
+
+struct Channel {
+  crypto::KeyPair key = crypto::KeyPair::generate("sender");
+  crypto::TrustStore trust;
+  net::SecureChannel channel{key, trust, common::to_bytes("content-key")};
+
+  Channel() { trust.add_trusted_key(key); }
+};
+
+std::string payload_of_size(std::size_t n) { return std::string(n, 'x'); }
+
+void run_protect(benchmark::State& state, net::ChannelSecurity mode) {
+  const std::size_t payload_size = static_cast<std::size_t>(state.range(0));
+  Channel c;
+  const std::string payload = payload_of_size(payload_size);
+  std::size_t wire_size = 0;
+  for (auto _ : state) {
+    const std::string wire = c.channel.protect(payload, mode);
+    wire_size = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.counters["payload_bytes"] = static_cast<double>(payload_size);
+  state.counters["wire_bytes"] = static_cast<double>(wire_size);
+  state.counters["overhead_ratio"] =
+      static_cast<double>(wire_size) / static_cast<double>(payload_size);
+}
+
+void BM_ProtectPlain(benchmark::State& state) {
+  run_protect(state, {false, false});
+}
+BENCHMARK(BM_ProtectPlain)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_ProtectSigned(benchmark::State& state) {
+  run_protect(state, {true, false});
+}
+BENCHMARK(BM_ProtectSigned)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_ProtectSignedEncrypted(benchmark::State& state) {
+  run_protect(state, {true, true});
+}
+BENCHMARK(BM_ProtectSignedEncrypted)->Arg(128)->Arg(1024)->Arg(16384);
+
+void BM_UnprotectSignedEncrypted(benchmark::State& state) {
+  Channel c;
+  const std::string wire =
+      c.channel.protect(payload_of_size(1024), {true, true});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.channel.unprotect(wire));
+  }
+}
+BENCHMARK(BM_UnprotectSignedEncrypted);
+
+void BM_XacmlRequestOnTheWire(benchmark::State& state) {
+  // A realistic authorisation decision query, all three protection modes.
+  common::Rng rng(3);
+  const auto request = bench::random_request(rng, 100, 3);
+  const std::string xml = core::request_to_string(request);
+  Channel c;
+  const std::size_t plain = c.channel.protect(xml, {false, false}).size();
+  const std::size_t signed_only = c.channel.protect(xml, {true, false}).size();
+  const std::size_t full = c.channel.protect(xml, {true, true}).size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.channel.protect(xml, {true, true}));
+  }
+  state.counters["request_xml_bytes"] = static_cast<double>(xml.size());
+  state.counters["plain_bytes"] = static_cast<double>(plain);
+  state.counters["signed_bytes"] = static_cast<double>(signed_only);
+  state.counters["signed_encrypted_bytes"] = static_cast<double>(full);
+}
+BENCHMARK(BM_XacmlRequestOnTheWire);
+
+void BM_PolicyDocumentOnTheWire(benchmark::State& state) {
+  // Policies are the largest artefacts the PAP ships (syndication, C5).
+  const core::Policy p = bench::resource_policy(0, 10);
+  const std::string xml = core::node_to_string(p);
+  Channel c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.channel.protect(xml, {true, true}));
+  }
+  state.counters["policy_xml_bytes"] = static_cast<double>(xml.size());
+  state.counters["protected_bytes"] =
+      static_cast<double>(c.channel.protect(xml, {true, true}).size());
+}
+BENCHMARK(BM_PolicyDocumentOnTheWire);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// C3 — static policy-conflict analysis (paper §3.1): detecting modality
+// conflicts before deployment.
+//
+// Series reported:
+//   * analysis runtime vs number of policies (pairwise, so ~quadratic)
+//   * conflicts found under a controlled conflict-injection rate
+//   * SoD meta-policy checking cost
+//
+// Expected shape: runtime grows quadratically in the atom count but with
+// a small constant (set intersections over tiny maps); conflicts found
+// grows linearly with the injected conflict rate, and every injected
+// conflict is detected (completeness, see the oracle property test).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "conflict/analysis.hpp"
+
+namespace {
+
+using namespace mdac;
+
+/// Policies over a domain of subjects/resources/actions; a fraction of
+/// deny policies exactly mirror a permit policy (injected conflicts).
+std::vector<core::Policy> make_corpus(int n, double conflict_rate,
+                                      common::Rng& rng) {
+  std::vector<core::Policy> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core::Policy p;
+    p.policy_id = "p-" + std::to_string(i);
+    const bool inject_conflict = i > 0 && rng.chance(conflict_rate);
+    const int subject = inject_conflict ? (i - 1) % 20
+                                        : static_cast<int>(rng.uniform_int(0, 19));
+    const int resource = inject_conflict ? (i - 1) % 50
+                                         : static_cast<int>(rng.uniform_int(0, 49));
+    p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                          core::AttributeValue("res-" + std::to_string(resource)));
+    core::Rule r;
+    r.id = "r";
+    r.effect = inject_conflict
+                   ? core::Effect::kDeny
+                   : (rng.chance(0.5) ? core::Effect::kPermit : core::Effect::kDeny);
+    core::Target t;
+    t.require(core::Category::kSubject, core::attrs::kSubjectId,
+              core::AttributeValue("user-" + std::to_string(subject)));
+    r.target = std::move(t);
+    p.rules.push_back(std::move(r));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void BM_AnalysisVsPolicyCount(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(11);
+  const auto corpus = make_corpus(n, 0.1, rng);
+  std::vector<const core::Policy*> pointers;
+  for (const auto& p : corpus) pointers.push_back(&p);
+
+  std::size_t conflicts = 0;
+  for (auto _ : state) {
+    const conflict::AnalysisResult result = conflict::analyse(pointers);
+    conflicts = result.conflicts.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["policies"] = n;
+  state.counters["conflicts_found"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_AnalysisVsPolicyCount)->Arg(50)->Arg(200)->Arg(800)->Arg(2000);
+
+void BM_ConflictsVsInjectionRate(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  common::Rng rng(11);
+  const auto corpus = make_corpus(400, rate, rng);
+  std::vector<const core::Policy*> pointers;
+  for (const auto& p : corpus) pointers.push_back(&p);
+
+  std::size_t conflicts = 0;
+  for (auto _ : state) {
+    conflicts = conflict::analyse(pointers).conflicts.size();
+  }
+  state.counters["injection_pct"] = static_cast<double>(state.range(0));
+  state.counters["conflicts_found"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_ConflictsVsInjectionRate)->Arg(0)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_SodMetaPolicyCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(11);
+  const auto corpus = make_corpus(n, 0.0, rng);
+  std::vector<const core::Policy*> pointers;
+  for (const auto& p : corpus) pointers.push_back(&p);
+  const conflict::AnalysisResult base = conflict::analyse(pointers);
+
+  std::vector<conflict::SodMetaPolicy> metas;
+  for (int i = 0; i < 10; ++i) {
+    metas.push_back({"sod-" + std::to_string(i), "res-" + std::to_string(i), "read",
+                     "res-" + std::to_string(i + 10), "read"});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conflict::check_sod(base.atoms, metas));
+  }
+  state.counters["policies"] = n;
+}
+BENCHMARK(BM_SodMetaPolicyCheck)->Arg(100)->Arg(400)->Arg(1600);
+
+}  // namespace

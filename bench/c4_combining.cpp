@@ -1,0 +1,95 @@
+// C4 — combining-algorithm throughput (paper §2.3/§3.1: combining
+// algorithms are the conflict-resolution workhorse on every decision).
+//
+// Series reported:
+//   * decisions/second for each of the 8 standard algorithms over a
+//     fixed 16-rule policy, across child-decision mixes
+//   * the short-circuit benefit of first-applicable vs the overrides
+//     family (which must visit every child to collect obligations)
+//
+// Expected shape: first-applicable wins when an early rule decides;
+// the *-unless-* algorithms are the cheapest uniform scanners (no
+// indeterminate bookkeeping); deny/permit-overrides pay for extended-
+// indeterminate tracking.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/functions.hpp"
+#include "core/pdp.hpp"
+
+namespace {
+
+using namespace mdac;
+
+/// A policy with `n` rules; `deciding_rule` is the first applicable one
+/// (-1: none applicable -> NotApplicable overall for most algorithms).
+core::Policy rules_policy(const std::string& combining, int n, int deciding_rule) {
+  core::Policy p;
+  p.policy_id = "bench";
+  p.rule_combining = combining;
+  for (int i = 0; i < n; ++i) {
+    core::Rule r;
+    r.id = "rule-" + std::to_string(i);
+    r.effect = i % 2 == 0 ? core::Effect::kPermit : core::Effect::kDeny;
+    if (i != deciding_rule) {
+      core::Target t;
+      t.require(core::Category::kSubject, "never-present",
+                core::AttributeValue("never"));
+      r.target = std::move(t);
+    }
+    p.rules.push_back(std::move(r));
+  }
+  return p;
+}
+
+void run_algorithm(benchmark::State& state, const std::string& algorithm,
+                   int deciding_rule) {
+  const core::Policy p = rules_policy(algorithm, 16, deciding_rule);
+  const auto request = core::RequestContext::make("alice", "res", "read");
+  for (auto _ : state) {
+    core::EvaluationContext ctx(request, core::FunctionRegistry::standard());
+    benchmark::DoNotOptimize(p.evaluate(ctx));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define MDAC_COMBINING_BENCH(name, algorithm)                          \
+  void BM_##name##_EarlyDecision(benchmark::State& state) {            \
+    run_algorithm(state, algorithm, 0);                                \
+  }                                                                    \
+  BENCHMARK(BM_##name##_EarlyDecision);                                \
+  void BM_##name##_LateDecision(benchmark::State& state) {             \
+    run_algorithm(state, algorithm, 15);                               \
+  }                                                                    \
+  BENCHMARK(BM_##name##_LateDecision);                                 \
+  void BM_##name##_NoneApplicable(benchmark::State& state) {           \
+    run_algorithm(state, algorithm, -1);                               \
+  }                                                                    \
+  BENCHMARK(BM_##name##_NoneApplicable)
+
+MDAC_COMBINING_BENCH(DenyOverrides, "deny-overrides");
+MDAC_COMBINING_BENCH(PermitOverrides, "permit-overrides");
+MDAC_COMBINING_BENCH(OrderedDenyOverrides, "ordered-deny-overrides");
+MDAC_COMBINING_BENCH(OrderedPermitOverrides, "ordered-permit-overrides");
+MDAC_COMBINING_BENCH(FirstApplicable, "first-applicable");
+MDAC_COMBINING_BENCH(OnlyOneApplicable, "only-one-applicable");
+MDAC_COMBINING_BENCH(DenyUnlessPermit, "deny-unless-permit");
+MDAC_COMBINING_BENCH(PermitUnlessDeny, "permit-unless-deny");
+
+#undef MDAC_COMBINING_BENCH
+
+void BM_RuleCountScaling(benchmark::State& state) {
+  // deny-overrides over growing rule counts: linear, no surprises wanted.
+  const int n = static_cast<int>(state.range(0));
+  const core::Policy p = rules_policy("deny-overrides", n, n / 2);
+  const auto request = core::RequestContext::make("alice", "res", "read");
+  for (auto _ : state) {
+    core::EvaluationContext ctx(request, core::FunctionRegistry::standard());
+    benchmark::DoNotOptimize(p.evaluate(ctx));
+  }
+  state.counters["rules"] = n;
+}
+BENCHMARK(BM_RuleCountScaling)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace

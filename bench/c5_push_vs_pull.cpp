@@ -1,0 +1,164 @@
+// C5 — push (capability, Fig 2) vs pull (policy-issuing, Fig 3) across
+// request rates: where does the crossover fall?
+//
+// The workload: one client makes K requests against one provider over
+// the simulated network. Pull pays a PEP->PDP round trip per request.
+// Push pays one capability-issuance round trip up front, then presents
+// the token with each request (validated locally at the gate).
+//
+// Series reported (per K):
+//   * total simulated latency and messages for both models
+//   * the crossover point where push's up-front cost amortises
+//
+// Expected shape: pull is cheaper for K=1 (one round trip vs the push
+// model's issue+use), push wins from K≈2 and asymptotically costs one
+// message per request vs pull's two.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "capability/capability.hpp"
+#include "net/rpc.hpp"
+#include "pep/remote.hpp"
+#include "tokens/assertion.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using namespace mdac;
+
+std::shared_ptr<core::Pdp> shared_policy_pdp() {
+  return std::make_shared<core::Pdp>(bench::make_policy_store(10));
+}
+
+core::RequestContext client_request() {
+  core::RequestContext req = core::RequestContext::make("alice", "res-3", "read");
+  req.add(core::Category::kSubject, core::attrs::kRole,
+          core::AttributeValue("role-1"));
+  return req;
+}
+
+void BM_PullModel(benchmark::State& state) {
+  // Topology: client -> provider (PEP) -> remote PDP -> provider -> client.
+  // Four messages and two round trips per request.
+  const int k = static_cast<int>(state.range(0));
+  double sim_ms = 0;
+  std::size_t messages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Simulator sim;
+    net::Network network(sim);
+    network.set_default_link({10, 0, 0.0});
+    pep::PdpService pdp_service(network, "pdp", shared_policy_pdp());
+    pep::RemotePdpClient pep_side(network, "provider-pep", "pdp", 10'000);
+
+    net::RpcNode provider(network, "provider");
+    provider.set_async_request_handler(
+        [&pep_side](const std::string&, const std::string&, const std::string&,
+                    net::RpcNode::Responder respond) {
+          pep_side.evaluate(client_request(), [respond](core::Decision d) {
+            respond(d.is_permit() ? "ok" : "no");
+          });
+        });
+    net::RpcNode client(network, "client");
+    state.ResumeTiming();
+
+    double latency_sum = 0;
+    for (int i = 0; i < k; ++i) {
+      // Per-request latency: pending timeout no-ops drain between
+      // requests and advance the clock, so measure each round trip.
+      const common::TimePoint t0 = sim.now();
+      client.call("provider", "access", "", 10'000,
+                  [&](std::optional<std::string> r) {
+                    latency_sum += static_cast<double>(sim.now() - t0);
+                    benchmark::DoNotOptimize(r);
+                  });
+      sim.run();
+    }
+    sim_ms = latency_sum;
+    messages = network.stats().messages_sent;
+  }
+  state.counters["requests"] = k;
+  state.counters["sim_ms_total"] = sim_ms;
+  state.counters["messages_total"] = static_cast<double>(messages);
+  state.counters["msgs_per_request"] =
+      static_cast<double>(messages) / static_cast<double>(k);
+}
+BENCHMARK(BM_PullModel)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PushModel(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  double sim_ms = 0;
+  std::size_t messages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Simulator sim;
+    net::Network network(sim);
+    network.set_default_link({10, 0, 0.0});
+
+    const crypto::KeyPair cas_key = crypto::KeyPair::generate("cas");
+    crypto::TrustStore provider_trust;
+    provider_trust.add_trusted_key(cas_key);
+    capability::CapabilityService cas("cas", cas_key, shared_policy_pdp(),
+                                      sim.clock(), 1'000'000);
+    capability::CapabilityGate gate("provider", provider_trust, sim.clock(),
+                                    shared_policy_pdp());
+
+    // Capability service as a network node.
+    net::RpcNode cas_node(network, "cas");
+    cas_node.set_request_handler(
+        [&cas](const std::string&, const std::string&, const std::string&) {
+          capability::CapabilityRequest r;
+          r.subject = "alice";
+          r.subject_attributes[core::attrs::kRole] =
+              core::Bag(core::AttributeValue("role-1"));
+          r.resource = "res-3";
+          r.action = "read";
+          r.audience = "provider";
+          return cas.issue(r).token->to_wire();
+        });
+    // Provider as a network node validating attached tokens.
+    net::RpcNode provider_node(network, "provider");
+    provider_node.set_request_handler(
+        [&gate](const std::string&, const std::string& payload, const std::string&) {
+          const auto token = tokens::SignedAssertion::from_wire(payload);
+          return std::string(gate.admit(token, "res-3", "read").allowed ? "ok"
+                                                                        : "no");
+        });
+    net::RpcNode client(network, "client");
+    state.ResumeTiming();
+
+    double latency_sum = 0;
+    // Step 1: obtain the capability (one round trip).
+    std::string token_wire;
+    {
+      const common::TimePoint t0 = sim.now();
+      client.call("cas", "issue", "", 10'000, [&](std::optional<std::string> r) {
+        token_wire = r.value_or("");
+        latency_sum += static_cast<double>(sim.now() - t0);
+      });
+      sim.run();
+    }
+    // Step 2: K requests carrying the token (one round trip each, but no
+    // PDP in the loop — gate validates locally).
+    for (int i = 0; i < k; ++i) {
+      const common::TimePoint t0 = sim.now();
+      client.call("provider", "access", token_wire, 10'000,
+                  [&](std::optional<std::string> r) {
+                    latency_sum += static_cast<double>(sim.now() - t0);
+                    benchmark::DoNotOptimize(r);
+                  });
+      sim.run();
+    }
+    sim_ms = latency_sum;
+    messages = network.stats().messages_sent;
+  }
+  state.counters["requests"] = k;
+  state.counters["sim_ms_total"] = sim_ms;
+  state.counters["messages_total"] = static_cast<double>(messages);
+  state.counters["msgs_per_request"] =
+      static_cast<double>(messages) / static_cast<double>(k);
+}
+BENCHMARK(BM_PushModel)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

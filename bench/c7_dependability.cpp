@@ -1,0 +1,168 @@
+// C7 — dependability of the authorisation fabric itself (the paper's
+// title claim, §3.2): PDP replication under failure injection.
+//
+// Series reported (per replica count and per-replica failure probability):
+//   * availability — the fraction of requests that obtained a definitive
+//     decision — for failover and quorum dispatch
+//   * mean simulated decision latency (timeouts make failures slow, not
+//     just unavailable)
+//
+// Expected shape: a single PDP's availability tracks (1 - p) directly;
+// failover with n replicas approaches 1 - p^n at the cost of one timeout
+// per dead replica tried; quorum keeps latency flat while any majority
+// is alive but collapses faster than failover as p grows (needs ⌈n/2⌉+1
+// live replicas, not just one).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dependability/replicated_pdp.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using namespace mdac;
+
+void run_dependability(benchmark::State& state,
+                       dependability::DispatchStrategy strategy) {
+  const int n_replicas = static_cast<int>(state.range(0));
+  const double failure_probability = static_cast<double>(state.range(1)) / 100.0;
+  constexpr int kRequests = 400;
+
+  double availability = 0;
+  double mean_latency = 0;
+  for (auto _ : state) {
+    net::Simulator sim;
+    net::Network network(sim);
+    network.set_default_link({5, 0, 0.0});
+
+    std::vector<std::unique_ptr<dependability::PdpReplica>> replicas;
+    std::vector<std::string> ids;
+    for (int i = 0; i < n_replicas; ++i) {
+      ids.push_back("pdp/" + std::to_string(i));
+      replicas.push_back(std::make_unique<dependability::PdpReplica>(
+          network, ids.back(), std::make_shared<core::Pdp>(bench::make_policy_store(20))));
+    }
+    dependability::ReplicatedPdpClient client(network, "pep", ids, strategy,
+                                              /*per_try_timeout=*/50);
+    common::Rng rng(1234);
+    std::size_t decided = 0;
+    double latency_sum = 0;
+
+    for (int r = 0; r < kRequests; ++r) {
+      // Crash/recover injection: each replica is independently down with
+      // probability p for this request.
+      for (auto& replica : replicas) {
+        replica->set_up(!rng.chance(failure_probability));
+      }
+      const auto request = bench::random_request(rng, 20, 3);
+      const common::TimePoint start = sim.now();
+      common::TimePoint done = start;
+      core::Decision decision;
+      client.evaluate(request, [&](core::Decision d) {
+        decision = std::move(d);
+        done = sim.now();
+      });
+      sim.run();
+      if (decision.is_permit() || decision.is_deny()) {
+        ++decided;
+        latency_sum += static_cast<double>(done - start);
+      }
+    }
+    availability = static_cast<double>(decided) / kRequests;
+    mean_latency = decided > 0 ? latency_sum / static_cast<double>(decided) : 0;
+  }
+  state.counters["replicas"] = n_replicas;
+  state.counters["failure_pct"] = static_cast<double>(state.range(1));
+  state.counters["availability"] = availability;
+  state.counters["mean_sim_ms"] = mean_latency;
+}
+
+void BM_FailoverAvailability(benchmark::State& state) {
+  run_dependability(state, dependability::DispatchStrategy::kFailover);
+}
+BENCHMARK(BM_FailoverAvailability)
+    ->Args({1, 10})
+    ->Args({2, 10})
+    ->Args({3, 10})
+    ->Args({5, 10})
+    ->Args({3, 0})
+    ->Args({3, 30})
+    ->Args({3, 50});
+
+void BM_QuorumAvailability(benchmark::State& state) {
+  run_dependability(state, dependability::DispatchStrategy::kQuorum);
+}
+BENCHMARK(BM_QuorumAvailability)
+    ->Args({1, 10})
+    ->Args({3, 10})
+    ->Args({5, 10})
+    ->Args({3, 0})
+    ->Args({3, 30})
+    ->Args({3, 50});
+
+// Ablation: the PEP's fail-safe bias (deny vs permit) when the single PDP
+// is unreachable. Bias=permit buys availability (every request answered
+// "yes" during the outage) at the price of unsafe grants — requests an
+// always-on oracle PDP would have denied. Bias=deny never grants
+// unsafely but turns every outage into lost service. This is the
+// dependability/safety trade-off behind the PEP's §2.2 "conforms to
+// decisions" role.
+void BM_PepBiasAblation(benchmark::State& state) {
+  const bool permit_bias = state.range(0) == 1;
+  const double failure_probability = static_cast<double>(state.range(1)) / 100.0;
+  constexpr int kRequests = 400;
+
+  double served = 0, unsafe = 0, lost = 0;
+  for (auto _ : state) {
+    net::Simulator sim;
+    net::Network network(sim);
+    network.set_default_link({5, 0, 0.0});
+    auto pdp = std::make_shared<core::Pdp>(bench::make_policy_store(20));
+    dependability::PdpReplica replica(network, "pdp", pdp);
+    dependability::ReplicatedPdpClient client(
+        network, "pep", {"pdp"}, dependability::DispatchStrategy::kFailover, 50);
+    core::Pdp oracle(bench::make_policy_store(20));  // always-on ground truth
+    common::Rng rng(99);
+
+    std::size_t served_n = 0, unsafe_n = 0, lost_n = 0;
+    for (int r = 0; r < kRequests; ++r) {
+      replica.set_up(!rng.chance(failure_probability));
+      const auto request = bench::random_request(rng, 20, 3);
+      core::Decision decision;
+      client.evaluate(request, [&](core::Decision d) { decision = std::move(d); });
+      sim.run();
+
+      bool allowed;
+      if (decision.is_permit()) {
+        allowed = true;
+      } else if (decision.is_deny()) {
+        allowed = false;
+      } else {
+        allowed = permit_bias;  // the ablated knob
+      }
+      const core::Decision truth = oracle.evaluate(request);
+      if (allowed) {
+        ++served_n;
+        if (!truth.is_permit()) ++unsafe_n;
+      } else if (truth.is_permit()) {
+        ++lost_n;  // service the oracle would have granted
+      }
+    }
+    served = static_cast<double>(served_n) / kRequests;
+    unsafe = static_cast<double>(unsafe_n) / kRequests;
+    lost = static_cast<double>(lost_n) / kRequests;
+  }
+  state.counters["permit_bias"] = permit_bias ? 1 : 0;
+  state.counters["failure_pct"] = static_cast<double>(state.range(1));
+  state.counters["served_ratio"] = served;
+  state.counters["unsafe_grant_ratio"] = unsafe;
+  state.counters["lost_service_ratio"] = lost;
+}
+BENCHMARK(BM_PepBiasAblation)
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({0, 30})
+    ->Args({1, 30});
+
+}  // namespace

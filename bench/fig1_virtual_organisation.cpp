@@ -1,0 +1,122 @@
+// FIG1 — the Virtual Organisation of Fig. 1: N autonomous domains with
+// pairwise IdP trust and a shared VO policy. The workload is the full
+// cross-domain flow: home IdP issues an identity assertion, the target
+// domain validates it and decides under VO + local policy.
+//
+// Series reported:
+//   * end-to-end cross-domain authorisation cost vs VO size (domains)
+//   * the same flow split into its parts (issue / validate+decide)
+//
+// Expected shape: per-request cost is flat in VO size (each request
+// touches exactly two domains — the paper's architecture scales by NOT
+// centralising decisions); setup cost (trust mesh) is what grows
+// quadratically.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/clock.hpp"
+#include "domain/domain.hpp"
+
+namespace {
+
+using namespace mdac;
+
+core::Policy vo_policy() {
+  core::Policy p;
+  p.policy_id = "vo-shared";
+  p.rule_combining = "first-applicable";
+  core::Rule permit;
+  permit.id = "analysts-read-dataset";
+  permit.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kSubject, core::attrs::kRole,
+            core::AttributeValue("analyst"));
+  t.require(core::Category::kResource, core::attrs::kResourceId,
+            core::AttributeValue("vo-dataset"));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  core::Rule deny;
+  deny.id = "deny-rest";
+  deny.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(deny));
+  return p;
+}
+
+struct Vo {
+  common::ManualClock clock{1'000'000};
+  std::vector<std::unique_ptr<domain::Domain>> domains;
+  domain::VirtualOrganisation vo{"bench-vo"};
+
+  explicit Vo(int n) {
+    for (int i = 0; i < n; ++i) {
+      domains.push_back(
+          std::make_unique<domain::Domain>("domain-" + std::to_string(i), clock));
+      domains.back()->register_user(
+          "user-" + std::to_string(i),
+          {{core::attrs::kRole, core::Bag(core::AttributeValue("analyst"))}});
+      vo.add_member(domains.back().get());
+    }
+    vo.establish_pairwise_trust();
+    vo.distribute_policy(vo_policy());
+  }
+};
+
+void BM_CrossDomainRequest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Vo vo(n);
+  int i = 0;
+  std::size_t allowed = 0;
+  for (auto _ : state) {
+    domain::Domain& home = *vo.domains[static_cast<std::size_t>(i) % vo.domains.size()];
+    domain::Domain& target =
+        *vo.domains[static_cast<std::size_t>(i + 1) % vo.domains.size()];
+    const auto token = home.issue_identity_assertion(
+        "user-" + std::to_string(i % n), target.name(), 60'000);
+    const auto result =
+        target.handle_cross_domain_request(token, "vo-dataset", "read");
+    allowed += result.allowed ? 1 : 0;
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+  state.counters["domains"] = n;
+  state.counters["grant_ratio"] =
+      benchmark::Counter(static_cast<double>(allowed) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CrossDomainRequest)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_AssertionIssueOnly(benchmark::State& state) {
+  Vo vo(2);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vo.domains[0]->issue_identity_assertion(
+        "user-0", "domain-1", 60'000));
+    ++i;
+  }
+}
+BENCHMARK(BM_AssertionIssueOnly);
+
+void BM_ValidateAndDecideOnly(benchmark::State& state) {
+  Vo vo(2);
+  const auto token =
+      vo.domains[0]->issue_identity_assertion("user-0", "domain-1", 60'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vo.domains[1]->handle_cross_domain_request(token, "vo-dataset", "read"));
+  }
+}
+BENCHMARK(BM_ValidateAndDecideOnly);
+
+void BM_VoSetupCost(benchmark::State& state) {
+  // Trust-mesh establishment + policy distribution; quadratic in members.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Vo vo(n);
+    benchmark::DoNotOptimize(vo.domains.size());
+  }
+  state.counters["domains"] = n;
+}
+BENCHMARK(BM_VoSetupCost)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,139 @@
+// FIG2 — the capability-issuing (push) architecture of Fig. 2.
+//
+// Series reported:
+//   * capability issuance cost (pre-screen + build + sign)
+//   * gate-side validation cost, with and without the provider's local
+//     final-say PDP
+//   * amortised per-request cost when one token covers K requests
+//
+// Expected shape: issuance is the expensive step (policy evaluation +
+// signature); validation is cheaper; amortised cost falls as 1/K towards
+// the pure-validation floor — this is the push model's advantage that
+// the C5 crossover bench builds on.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "capability/capability.hpp"
+
+namespace {
+
+using namespace mdac;
+
+std::shared_ptr<core::Pdp> community_pdp() {
+  auto store = std::make_shared<core::PolicyStore>();
+  core::Policy p;
+  p.policy_id = "community";
+  p.rule_combining = "first-applicable";
+  core::Rule permit;
+  permit.id = "members-read";
+  permit.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kSubject, "community", core::AttributeValue("vo"));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  core::Rule deny;
+  deny.id = "deny";
+  deny.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(deny));
+  store->add(std::move(p));
+  return std::make_shared<core::Pdp>(store);
+}
+
+std::shared_ptr<core::Pdp> provider_pdp() {
+  auto store = std::make_shared<core::PolicyStore>();
+  core::Policy p;
+  p.policy_id = "provider";
+  core::Rule permit;
+  permit.id = "permit-vo";
+  permit.effect = core::Effect::kPermit;
+  permit.condition = core::make_apply(
+      "any-of", core::function_ref("string-equal"), core::lit("vo"),
+      core::designator(core::Category::kSubject, "community",
+                       core::DataType::kString));
+  p.rules.push_back(std::move(permit));
+  store->add(std::move(p));
+  return std::make_shared<core::Pdp>(store);
+}
+
+capability::CapabilityRequest member_request() {
+  capability::CapabilityRequest r;
+  r.subject = "alice";
+  r.subject_attributes["community"] = core::Bag(core::AttributeValue("vo"));
+  r.resource = "dataset";
+  r.action = "read";
+  r.audience = "provider";
+  return r;
+}
+
+struct Fixture {
+  crypto::KeyPair key = crypto::KeyPair::generate("cas-bench");
+  common::ManualClock clock{1000};
+  capability::CapabilityService service{"cas", key, community_pdp(), clock, 60'000};
+  crypto::TrustStore trust;
+
+  Fixture() { trust.add_trusted_key(key); }
+};
+
+void BM_CapabilityIssue(benchmark::State& state) {
+  Fixture f;
+  const auto request = member_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service.issue(request));
+  }
+}
+BENCHMARK(BM_CapabilityIssue);
+
+void BM_GateValidateOnly(benchmark::State& state) {
+  Fixture f;
+  const auto token = *f.service.issue(member_request()).token;
+  capability::CapabilityGate gate("provider", f.trust, f.clock, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gate.admit(token, "dataset", "read"));
+  }
+}
+BENCHMARK(BM_GateValidateOnly);
+
+void BM_GateValidateWithLocalPdp(benchmark::State& state) {
+  Fixture f;
+  const auto token = *f.service.issue(member_request()).token;
+  capability::CapabilityGate gate("provider", f.trust, f.clock, provider_pdp());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gate.admit(token, "dataset", "read"));
+  }
+}
+BENCHMARK(BM_GateValidateWithLocalPdp);
+
+void BM_AmortisedPerRequest(benchmark::State& state) {
+  // One issuance covering K requests: the push model's economy.
+  const int k = static_cast<int>(state.range(0));
+  Fixture f;
+  capability::CapabilityGate gate("provider", f.trust, f.clock, provider_pdp());
+  const auto request = member_request();
+  for (auto _ : state) {
+    const auto token = *f.service.issue(request).token;
+    for (int i = 0; i < k; ++i) {
+      benchmark::DoNotOptimize(gate.admit(token, "dataset", "read"));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+  state.counters["requests_per_token"] = k;
+}
+BENCHMARK(BM_AmortisedPerRequest)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TokenWireSize(benchmark::State& state) {
+  // The size of the capability riding in every SOAP header (paper §3.2:
+  // secured messages are "significantly bigger").
+  Fixture f;
+  const auto token = *f.service.issue(member_request()).token;
+  std::size_t wire_size = 0;
+  for (auto _ : state) {
+    const std::string wire = token.to_wire();
+    wire_size = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.counters["token_bytes"] = static_cast<double>(wire_size);
+}
+BENCHMARK(BM_TokenWireSize);
+
+}  // namespace

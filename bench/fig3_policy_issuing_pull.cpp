@@ -1,0 +1,105 @@
+// FIG3 — the policy-issuing (pull) architecture of Fig. 3: every access
+// triggers a PEP -> PDP decision query over the (simulated) network.
+//
+// Series reported:
+//   * wall-clock cost of one pull decision (serialise, two envelope
+//     codecs, PDP evaluation, deserialise)
+//   * simulated end-to-end latency and message/byte counts per decision
+//     as link latency grows
+//
+// Expected shape: the pull model pays 2 messages and 2x link latency on
+// EVERY request — the "communication performance" burden of §3.2 that
+// caching (C1) and the push model (C5) attack.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/serialization.hpp"
+#include "pep/pep.hpp"
+#include "pep/remote.hpp"
+#include "workload.hpp"
+
+namespace {
+
+using namespace mdac;
+
+void BM_PullDecisionWallClock(benchmark::State& state) {
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({0, 0, 0.0});  // isolate processing cost
+  auto pdp = std::make_shared<core::Pdp>(bench::make_policy_store(100));
+  pep::PdpService service(network, "pdp", pdp);
+  pep::RemotePdpClient client(network, "pep", "pdp");
+
+  common::Rng rng(7);
+  for (auto _ : state) {
+    const auto request = bench::random_request(rng, 100, 3);
+    core::Decision decision;
+    client.evaluate(request, [&](core::Decision d) { decision = std::move(d); });
+    sim.run();
+    benchmark::DoNotOptimize(decision);
+  }
+}
+BENCHMARK(BM_PullDecisionWallClock);
+
+void BM_PullDecisionSimLatency(benchmark::State& state) {
+  // Reports simulated milliseconds + messages + bytes per decision for a
+  // given one-way link latency.
+  const common::Duration link_ms = state.range(0);
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({link_ms, 0, 0.0});
+  auto pdp = std::make_shared<core::Pdp>(bench::make_policy_store(100));
+  pep::PdpService service(network, "pdp", pdp);
+  pep::RemotePdpClient client(network, "pep", "pdp", /*timeout=*/10'000);
+
+  common::Rng rng(7);
+  double total_sim_ms = 0;
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    const auto request = bench::random_request(rng, 100, 3);
+    const common::TimePoint start = sim.now();
+    common::TimePoint decided_at = start;
+    client.evaluate(request, [&](core::Decision) { decided_at = sim.now(); });
+    sim.run();
+    total_sim_ms += static_cast<double>(decided_at - start);
+    ++decisions;
+  }
+  state.counters["link_ms"] = static_cast<double>(link_ms);
+  state.counters["sim_ms_per_decision"] = total_sim_ms / static_cast<double>(decisions);
+  state.counters["msgs_per_decision"] =
+      static_cast<double>(network.stats().messages_sent) /
+      static_cast<double>(decisions);
+  state.counters["bytes_per_decision"] =
+      static_cast<double>(network.stats().bytes_sent) /
+      static_cast<double>(decisions);
+}
+BENCHMARK(BM_PullDecisionSimLatency)->Arg(1)->Arg(5)->Arg(20)->Arg(80);
+
+void BM_AgentModelColocated(benchmark::State& state) {
+  // The agent model (paper §2.2): PEP and PDP colocated, no network.
+  // The floor the pull model's overhead is measured against.
+  auto pdp = std::make_shared<core::Pdp>(bench::make_policy_store(100));
+  pep::EnforcementPoint pep(
+      [&](const core::RequestContext& request) { return pdp->evaluate(request); });
+  common::Rng rng(7);
+  for (auto _ : state) {
+    const auto request = bench::random_request(rng, 100, 3);
+    benchmark::DoNotOptimize(pep.enforce(request));
+  }
+}
+BENCHMARK(BM_AgentModelColocated);
+
+void BM_RequestSerialisationShare(benchmark::State& state) {
+  // How much of the pull path is XML encode/decode (the paper's XACML
+  // verbosity concern).
+  common::Rng rng(7);
+  for (auto _ : state) {
+    const auto request = bench::random_request(rng, 100, 3);
+    const std::string wire = core::request_to_string(request);
+    benchmark::DoNotOptimize(core::request_from_string(wire));
+  }
+}
+BENCHMARK(BM_RequestSerialisationShare);
+
+}  // namespace

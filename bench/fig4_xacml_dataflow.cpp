@@ -1,0 +1,143 @@
+// FIG4 — XACML data-flow (paper Fig. 4): cost of one authorisation
+// decision query inside the PDP as the policy base grows.
+//
+// Series reported:
+//   * decision latency vs number of policies, target index ON vs OFF
+//   * decision latency vs rules per policy
+//   * decision latency vs attributes pulled from the PIP resolver
+//
+// Expected shape: without the index, latency grows linearly in the policy
+// count (every target is scanned); with the index it stays near-constant.
+// Rules-per-policy grows linearly in both configurations (the applicable
+// policy must still be combined). PIP pulls add a constant per-attribute
+// cost and are memoised within one evaluation.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/pdp.hpp"
+#include "core/policy.hpp"
+#include "core/request.hpp"
+
+namespace {
+
+using namespace mdac;
+
+/// Builds `n_policies` policies, each targeting its own resource id
+/// "res-<i>" with `rules_per_policy` role-gated rules.
+std::shared_ptr<core::PolicyStore> make_store(int n_policies, int rules_per_policy) {
+  auto store = std::make_shared<core::PolicyStore>();
+  for (int i = 0; i < n_policies; ++i) {
+    core::Policy p;
+    p.policy_id = "policy-" + std::to_string(i);
+    p.rule_combining = "first-applicable";
+    p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                          core::AttributeValue("res-" + std::to_string(i)));
+    for (int r = 0; r < rules_per_policy; ++r) {
+      core::Rule rule;
+      rule.id = "rule-" + std::to_string(r);
+      rule.effect =
+          r + 1 == rules_per_policy ? core::Effect::kPermit : core::Effect::kDeny;
+      rule.condition = core::make_apply(
+          "any-of", core::function_ref("string-equal"),
+          core::lit("role-" + std::to_string(r)),
+          core::designator(core::Category::kSubject, core::attrs::kRole,
+                           core::DataType::kString));
+      p.rules.push_back(std::move(rule));
+    }
+    store->add(std::move(p));
+  }
+  return store;
+}
+
+core::RequestContext middle_request(int n_policies, int rules_per_policy) {
+  core::RequestContext req = core::RequestContext::make(
+      "alice", "res-" + std::to_string(n_policies / 2), "read");
+  req.add(core::Category::kSubject, core::attrs::kRole,
+          core::AttributeValue("role-" + std::to_string(rules_per_policy - 1)));
+  return req;
+}
+
+void BM_DecisionVsPolicyCount_Indexed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto store = make_store(n, 2);
+  core::Pdp pdp(store, core::PdpConfig{"deny-overrides", /*use_target_index=*/true});
+  const auto req = middle_request(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdp.evaluate(req));
+  }
+  state.counters["policies"] = n;
+}
+BENCHMARK(BM_DecisionVsPolicyCount_Indexed)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DecisionVsPolicyCount_Scan(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto store = make_store(n, 2);
+  core::Pdp pdp(store, core::PdpConfig{"deny-overrides", /*use_target_index=*/false});
+  const auto req = middle_request(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdp.evaluate(req));
+  }
+  state.counters["policies"] = n;
+}
+BENCHMARK(BM_DecisionVsPolicyCount_Scan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DecisionVsRulesPerPolicy(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  auto store = make_store(100, rules);
+  core::Pdp pdp(store);
+  const auto req = middle_request(100, rules);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdp.evaluate(req));
+  }
+  state.counters["rules_per_policy"] = rules;
+}
+BENCHMARK(BM_DecisionVsRulesPerPolicy)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Resolver that answers any subject attribute after simulating a lookup.
+class CountingResolver final : public core::AttributeResolver {
+ public:
+  std::optional<core::Bag> resolve(core::Category, const std::string& id,
+                                   const core::RequestContext&) override {
+    ++calls;
+    return core::Bag(core::AttributeValue("value-of-" + id));
+  }
+  int calls = 0;
+};
+
+void BM_DecisionVsPipAttributes(benchmark::State& state) {
+  const int n_attrs = static_cast<int>(state.range(0));
+  auto store = std::make_shared<core::PolicyStore>();
+  core::Policy p;
+  p.policy_id = "attribute-heavy";
+  core::Rule rule;
+  rule.id = "needs-attrs";
+  rule.effect = core::Effect::kPermit;
+  // AND over n PIP-resolved attribute comparisons.
+  std::vector<core::ExprPtr> conjuncts;
+  for (int i = 0; i < n_attrs; ++i) {
+    const std::string id = "pip-attr-" + std::to_string(i);
+    conjuncts.push_back(core::make_apply(
+        "string-equal",
+        core::make_apply("one-and-only",
+                    core::designator(core::Category::kSubject, id,
+                                     core::DataType::kString, true)),
+        core::lit("value-of-" + id)));
+  }
+  rule.condition = core::make_apply_vec("and", std::move(conjuncts));
+  p.rules.push_back(std::move(rule));
+  store->add(std::move(p));
+
+  CountingResolver resolver;
+  core::Pdp pdp(store);
+  pdp.set_resolver(&resolver);
+  const auto req = core::RequestContext::make("alice", "res", "read");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdp.evaluate(req));
+  }
+  state.counters["pip_attributes"] = n_attrs;
+}
+BENCHMARK(BM_DecisionVsPipAttributes)->Arg(0)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,147 @@
+// FIG5 — the PAP / policy-syndication-server hierarchy of Fig. 5.
+//
+// Series reported:
+//   * simulated propagation completion time vs tree depth (fanout 2)
+//   * completion time vs fanout (depth 2)
+//   * messages and bytes per publication
+//   * rejection behaviour when scoped domains filter the feed
+//
+// Expected shape: completion time grows linearly with depth (each level
+// adds one request/response round trip) but only logarithmically-ish in
+// total node count at fixed depth (children are contacted in parallel);
+// messages are 2*(nodes-1) per publication.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/serialization.hpp"
+#include "pap/syndication.hpp"
+
+namespace {
+
+using namespace mdac;
+
+std::string vo_policy_doc() {
+  core::Policy p;
+  p.policy_id = "vo-policy";
+  p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                        core::AttributeValue("shared/data"));
+  core::Rule r;
+  r.id = "permit";
+  r.effect = core::Effect::kPermit;
+  p.rules.push_back(std::move(r));
+  return core::node_to_string(p);
+}
+
+/// Builds a complete tree of syndication servers; returns the root index.
+struct Tree {
+  net::Simulator sim;
+  net::Network network{sim};
+  common::ManualClock repo_clock;
+  std::vector<std::unique_ptr<pap::PolicyRepository>> repos;
+  std::vector<std::unique_ptr<pap::SyndicationServer>> servers;
+
+  Tree(int depth, int fanout, common::Duration link_ms = 5) {
+    network.set_default_link({link_ms, 0, 0.0});
+    build_level(0, depth, fanout, "pap/0");
+  }
+
+  std::string build_level(int level, int depth, int fanout, const std::string& id) {
+    repos.push_back(std::make_unique<pap::PolicyRepository>(repo_clock));
+    servers.push_back(std::make_unique<pap::SyndicationServer>(
+        network, id, *repos.back(), pap::SyndicationConstraint{}));
+    pap::SyndicationServer* me = servers.back().get();
+    if (level < depth) {
+      for (int c = 0; c < fanout; ++c) {
+        const std::string child_id = id + "." + std::to_string(c);
+        build_level(level + 1, depth, fanout, child_id);
+        me->add_child(child_id);
+      }
+    }
+    return id;
+  }
+};
+
+void run_publication(benchmark::State& state, int depth, int fanout) {
+  const std::string doc = vo_policy_doc();
+  double total_sim_ms = 0;
+  std::size_t publications = 0;
+  std::size_t nodes = 0;
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // tree construction is setup, not the experiment
+    Tree tree(depth, fanout);
+    state.ResumeTiming();
+
+    const common::TimePoint start = tree.sim.now();
+    common::TimePoint done_at = start;
+    pap::SyndicationReport report;
+    tree.servers[0]->publish(doc, [&](pap::SyndicationReport r) {
+      report = r;
+      done_at = tree.sim.now();
+    });
+    tree.sim.run();
+    total_sim_ms += static_cast<double>(done_at - start);
+    nodes = report.nodes_reached;
+    messages = tree.network.stats().messages_sent;
+    bytes = tree.network.stats().bytes_sent;
+    ++publications;
+  }
+  state.counters["depth"] = depth;
+  state.counters["fanout"] = fanout;
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["sim_ms_to_complete"] =
+      total_sim_ms / static_cast<double>(publications);
+  state.counters["msgs_per_publication"] = static_cast<double>(messages);
+  state.counters["bytes_per_publication"] = static_cast<double>(bytes);
+}
+
+void BM_PropagationVsDepth(benchmark::State& state) {
+  run_publication(state, static_cast<int>(state.range(0)), 2);
+}
+BENCHMARK(BM_PropagationVsDepth)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_PropagationVsFanout(benchmark::State& state) {
+  run_publication(state, 2, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_PropagationVsFanout)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ScopedRejection(benchmark::State& state) {
+  // Half the leaves are scoped to a different domain and reject the feed.
+  const std::string doc = vo_policy_doc();
+  std::size_t accepted = 0, rejected = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    net::Simulator sim;
+    net::Network network(sim);
+    network.set_default_link({5, 0, 0.0});
+    common::ManualClock clock;
+    std::vector<std::unique_ptr<pap::PolicyRepository>> repos;
+    std::vector<std::unique_ptr<pap::SyndicationServer>> servers;
+    repos.push_back(std::make_unique<pap::PolicyRepository>(clock));
+    servers.push_back(std::make_unique<pap::SyndicationServer>(
+        network, "root", *repos.back(), pap::SyndicationConstraint{}));
+    for (int i = 0; i < 8; ++i) {
+      repos.push_back(std::make_unique<pap::PolicyRepository>(clock));
+      pap::SyndicationConstraint constraint;
+      if (i % 2 == 0) constraint.resource_scope = "other-domain/*";
+      servers.push_back(std::make_unique<pap::SyndicationServer>(
+          network, "leaf-" + std::to_string(i), *repos.back(), constraint));
+      servers[0]->add_child("leaf-" + std::to_string(i));
+    }
+    state.ResumeTiming();
+
+    pap::SyndicationReport report;
+    servers[0]->publish(doc, [&](pap::SyndicationReport r) { report = r; });
+    sim.run();
+    accepted = report.accepted;
+    rejected = report.rejected;
+  }
+  state.counters["accepted"] = static_cast<double>(accepted);
+  state.counters["rejected"] = static_cast<double>(rejected);
+}
+BENCHMARK(BM_ScopedRejection);
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Quickstart: build a policy in code, evaluate requests, honour
+// obligations. This is the smallest end-to-end use of the mdac public API
+// — a single-domain slice of the architecture in the paper's Fig. 4.
+#include <iostream>
+#include <memory>
+
+#include "core/pdp.hpp"
+#include "core/policy.hpp"
+#include "core/request.hpp"
+#include "core/serialization.hpp"
+
+using namespace mdac;
+
+int main() {
+  // Policy: doctors may read medical records, but every permit carries an
+  // audit obligation; everyone else is denied.
+  core::Policy policy;
+  policy.policy_id = "medical-records";
+  policy.description = "Doctors may read records; audited.";
+  policy.rule_combining = "first-applicable";
+  policy.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                             core::AttributeValue("medical-record"));
+
+  core::Rule permit_doctors;
+  permit_doctors.id = "permit-doctors-read";
+  permit_doctors.effect = core::Effect::kPermit;
+  permit_doctors.condition = core::make_apply(
+      "and",
+      core::make_apply("any-of", core::function_ref("string-equal"),
+                  core::lit("doctor"),
+                  core::designator(core::Category::kSubject, core::attrs::kRole,
+                                   core::DataType::kString)),
+      core::make_apply("any-of", core::function_ref("string-equal"), core::lit("read"),
+                  core::designator(core::Category::kAction, core::attrs::kActionId,
+                                   core::DataType::kString)));
+
+  core::ObligationExpr audit;
+  audit.id = "audit-log";
+  audit.fulfill_on = core::Effect::kPermit;
+  core::AttributeAssignmentExpr message;
+  message.attribute_id = "message";
+  message.expr = core::make_apply(
+      "string-concatenate", core::lit("record access by "),
+      core::make_apply("one-and-only",
+                  core::designator(core::Category::kSubject,
+                                   core::attrs::kSubjectId,
+                                   core::DataType::kString)));
+  audit.assignments.push_back(std::move(message));
+  permit_doctors.obligations.push_back(std::move(audit));
+  policy.rules.push_back(std::move(permit_doctors));
+
+  core::Rule deny_rest;
+  deny_rest.id = "deny-everyone-else";
+  deny_rest.effect = core::Effect::kDeny;
+  policy.rules.push_back(std::move(deny_rest));
+
+  // Stand the PDP up.
+  auto store = std::make_shared<core::PolicyStore>();
+  store->add(std::move(policy));
+  core::Pdp pdp(store);
+
+  // Show the policy as it would travel between domains.
+  std::cout << "=== Policy (wire form) ===\n"
+            << core::node_to_string(*store->find("medical-records"), true)
+            << "\n\n";
+
+  const auto evaluate_and_print = [&](const std::string& who,
+                                      const std::string& role,
+                                      const std::string& action) {
+    core::RequestContext request = core::RequestBuilder()
+                                       .subject(who)
+                                       .subject_attr(core::attrs::kRole,
+                                                     core::AttributeValue(role))
+                                       .resource("medical-record")
+                                       .action(action)
+                                       .build();
+    const core::Decision d = pdp.evaluate(request);
+    std::cout << who << " (" << role << ") " << action << " -> " << d.describe()
+              << "\n";
+    for (const auto& ob : d.obligations) {
+      std::cout << "  obligation " << ob.id;
+      for (const auto& [key, value] : ob.assignments) {
+        std::cout << " " << key << "=\"" << value.to_text() << "\"";
+      }
+      std::cout << "\n";
+    }
+  };
+
+  std::cout << "=== Decisions ===\n";
+  evaluate_and_print("alice", "doctor", "read");
+  evaluate_and_print("bob", "janitor", "read");
+  evaluate_and_print("alice", "doctor", "delete");
+
+  // A request for an unrelated resource falls outside the policy's target.
+  core::RequestContext other = core::RequestContext::make("alice", "canteen-menu", "read");
+  std::cout << "alice read canteen-menu -> " << pdp.evaluate(other).describe()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Automated trust negotiation (paper §3.1): two strangers — a freelance
+// researcher and a genomics data provider — establish enough mutual
+// trust for a data grant, credential by credential, without any shared
+// identity provider. Shows both strategies and a failure case.
+#include <iostream>
+
+#include "trust/negotiation.hpp"
+
+using namespace mdac::trust;
+
+namespace {
+
+void report(const std::string& label, const NegotiationResult& r) {
+  std::cout << label << "\n"
+            << "  outcome:   " << (r.success ? "TRUST ESTABLISHED" : "FAILED") << "\n"
+            << "  rounds:    " << r.rounds << ", messages: " << r.messages << "\n";
+  std::cout << "  requester disclosed: ";
+  for (const auto& c : r.disclosed_by_requester) std::cout << c << " ";
+  std::cout << "\n  provider disclosed:  ";
+  for (const auto& c : r.disclosed_by_provider) std::cout << c << " ";
+  if (!r.success) std::cout << "\n  reason: " << r.failure_reason;
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  // The researcher holds an institutional affiliation, an ethics-board
+  // approval, and (irrelevantly) a frequent-flyer card. The affiliation
+  // is public; the ethics approval is only shown to certified providers.
+  Party researcher;
+  researcher.name = "researcher";
+  researcher.credentials = {"affiliation", "ethics-approval", "frequent-flyer"};
+  researcher.release_policies["ethics-approval"] =
+      DisclosurePolicy::credential("data-steward-cert");
+
+  // The provider's steward certificate is only revealed to affiliated
+  // researchers; the dataset needs affiliation AND ethics approval.
+  Party provider;
+  provider.name = "genomics-provider";
+  provider.credentials = {"data-steward-cert"};
+  provider.release_policies["data-steward-cert"] =
+      DisclosurePolicy::credential("affiliation");
+  provider.resource_policies["genome-dataset"] =
+      DisclosurePolicy::all_of({DisclosurePolicy::credential("affiliation"),
+                                DisclosurePolicy::credential("ethics-approval")});
+
+  std::cout << "=== Eager strategy ===\n";
+  report("researcher requests genome-dataset",
+         negotiate(researcher, provider, "genome-dataset", Strategy::kEager));
+
+  std::cout << "=== Parsimonious strategy (need-to-know disclosure) ===\n";
+  report("researcher requests genome-dataset",
+         negotiate(researcher, provider, "genome-dataset", Strategy::kParsimonious));
+
+  std::cout << "=== Without the ethics approval the negotiation dead-ends ===\n";
+  Party unapproved = researcher;
+  unapproved.credentials.erase("ethics-approval");
+  report("unapproved researcher requests genome-dataset",
+         negotiate(unapproved, provider, "genome-dataset", Strategy::kEager));
+
+  std::cout << "=== Mutual stand-off: neither side will go first ===\n";
+  Party cagey_provider = provider;
+  cagey_provider.release_policies["data-steward-cert"] =
+      DisclosurePolicy::credential("ethics-approval");  // circular demand
+  report("researcher vs cagey provider",
+         negotiate(researcher, cagey_provider, "genome-dataset", Strategy::kEager));
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "cache/decision_cache.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mdac::cache {
+
+std::string canonical_request_key(const core::RequestContext& request) {
+  std::ostringstream os;
+  for (const auto& [key, bag] : request.attributes()) {
+    const auto& [category, id] = key;
+    os << core::to_string(category) << '|' << id << '=';
+    // Bags are canonicalised by sorting the lexical forms.
+    std::vector<std::string> values;
+    values.reserve(bag.size());
+    for (const core::AttributeValue& v : bag.values()) {
+      values.push_back(std::string(core::to_string(v.type())) + ":" + v.to_text());
+    }
+    std::sort(values.begin(), values.end());
+    for (const std::string& v : values) os << v << ',';
+    os << ';';
+  }
+  return os.str();
+}
+
+void StalenessProbe::observe(const core::Decision& cached,
+                             const core::Decision& fresh) {
+  if (cached.type == fresh.type) {
+    ++agreements;
+    return;
+  }
+  if (cached.is_permit()) {
+    ++false_permits;
+  } else if (cached.is_deny() && fresh.is_permit()) {
+    ++false_denies;
+  } else {
+    // Disagreement not involving an unsafe grant (e.g. NA vs deny).
+    ++agreements;
+  }
+}
+
+}  // namespace mdac::cache

@@ -1,0 +1,87 @@
+// Decision caching at the enforcement point (paper §3.2, "Communication
+// Performance", citing Woo & Lam's caching proposal [61]).
+//
+// The cache key is the canonicalised request; the value is the full
+// decision including obligations. The paper's warning — stale entries
+// cause false permits / false denies — is exactly what experiment C1
+// quantifies, using `StalenessProbe` to compare cached answers against a
+// fresh oracle.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cache/ttl_cache.hpp"
+#include "core/decision.hpp"
+#include "core/request.hpp"
+
+namespace mdac::cache {
+
+/// Canonical string form of a request (deterministic: attributes are
+/// stored sorted). Two semantically equal requests produce equal keys.
+std::string canonical_request_key(const core::RequestContext& request);
+
+class DecisionCache {
+ public:
+  DecisionCache(const common::Clock& clock, common::Duration ttl,
+                std::size_t capacity = 4096)
+      : cache_(clock, ttl, capacity) {}
+
+  std::optional<core::Decision> lookup(const core::RequestContext& request) {
+    return cache_.lookup(canonical_request_key(request));
+  }
+
+  void insert(const core::RequestContext& request, const core::Decision& decision) {
+    cache_.insert(canonical_request_key(request), decision);
+  }
+
+  /// Policy-change notification: drop everything.
+  void invalidate_all() { cache_.invalidate_all(); }
+
+  /// Targeted invalidation (e.g. a revoked subject).
+  bool invalidate(const core::RequestContext& request) {
+    return cache_.invalidate(canonical_request_key(request));
+  }
+
+  const CacheStats& stats() const { return cache_.stats(); }
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  TtlLruCache<std::string, core::Decision> cache_;
+};
+
+/// Wraps an evaluation function with the cache: the shape a PEP uses.
+class CachingEvaluator {
+ public:
+  using Evaluate = std::function<core::Decision(const core::RequestContext&)>;
+
+  CachingEvaluator(DecisionCache& cache, Evaluate evaluate)
+      : cache_(cache), evaluate_(std::move(evaluate)) {}
+
+  core::Decision operator()(const core::RequestContext& request) {
+    if (auto hit = cache_.lookup(request)) return *hit;
+    core::Decision d = evaluate_(request);
+    // Only definitive decisions are cacheable; Indeterminate may be a
+    // transient infrastructure failure and NotApplicable may flip when
+    // new policies arrive (conservative choice).
+    if (d.is_permit() || d.is_deny()) cache_.insert(request, d);
+    return d;
+  }
+
+ private:
+  DecisionCache& cache_;
+  Evaluate evaluate_;
+};
+
+/// Compares cached decisions against a fresh oracle, counting the
+/// paper's two failure modes of caching.
+struct StalenessProbe {
+  std::size_t false_permits = 0;  // cache said permit, oracle says deny/NA
+  std::size_t false_denies = 0;   // cache said deny, oracle says permit
+  std::size_t agreements = 0;
+
+  void observe(const core::Decision& cached, const core::Decision& fresh);
+};
+
+}  // namespace mdac::cache

@@ -1,0 +1,105 @@
+// Generic TTL + LRU cache used for decisions (PEP side) and policy
+// documents (PDP side) — the paper's §3.2 answer to communication cost,
+// with the staleness risk it warns about made measurable via explicit
+// expiry and invalidation.
+#pragma once
+
+#include <list>
+#include <map>
+#include <optional>
+
+#include "common/clock.hpp"
+
+namespace mdac::cache {
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t expirations = 0;  // lookups that found only a stale entry
+  std::size_t evictions = 0;    // capacity-driven removals
+  std::size_t invalidations = 0;
+
+  double hit_ratio() const {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+template <typename Key, typename Value>
+class TtlLruCache {
+ public:
+  /// `ttl` in milliseconds; `capacity` in entries.
+  TtlLruCache(const common::Clock& clock, common::Duration ttl, std::size_t capacity)
+      : clock_(clock), ttl_(ttl), capacity_(capacity) {}
+
+  std::optional<Value> lookup(const Key& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    if (clock_.now() >= it->second.expires_at) {
+      ++stats_.expirations;
+      ++stats_.misses;
+      lru_.erase(it->second.lru_position);
+      entries_.erase(it);
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return it->second.value;
+  }
+
+  void insert(const Key& key, Value value) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.value = std::move(value);
+      it->second.expires_at = clock_.now() + ttl_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+      return;
+    }
+    if (entries_.size() >= capacity_ && !lru_.empty()) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(value), clock_.now() + ttl_, lru_.begin()});
+  }
+
+  /// Drops one entry (e.g. a revoked principal's decisions).
+  bool invalidate(const Key& key) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    lru_.erase(it->second.lru_position);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    return true;
+  }
+
+  /// Drops everything (e.g. after a policy update notification).
+  void invalidate_all() {
+    stats_.invalidations += entries_.size();
+    entries_.clear();
+    lru_.clear();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Value value;
+    common::TimePoint expires_at;
+    typename std::list<Key>::iterator lru_position;
+  };
+
+  const common::Clock& clock_;
+  common::Duration ttl_;
+  std::size_t capacity_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;
+  CacheStats stats_;
+};
+
+}  // namespace mdac::cache

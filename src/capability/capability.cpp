@@ -1,0 +1,98 @@
+#include "capability/capability.hpp"
+
+namespace mdac::capability {
+
+CapabilityService::CapabilityService(std::string name, const crypto::KeyPair& key,
+                                     std::shared_ptr<core::Pdp> issuing_pdp,
+                                     const common::Clock& clock,
+                                     common::Duration validity_ms)
+    : name_(std::move(name)),
+      key_(key),
+      issuing_pdp_(std::move(issuing_pdp)),
+      clock_(clock),
+      validity_ms_(validity_ms) {}
+
+IssueResult CapabilityService::issue(const CapabilityRequest& request) {
+  IssueResult result;
+
+  // Pre-screening: evaluate the would-be access against the community
+  // policy, with the claimed attributes in the subject category.
+  core::RequestContext screening =
+      core::RequestContext::make(request.subject, request.resource, request.action);
+  for (const auto& [id, bag] : request.subject_attributes) {
+    screening.set(core::Category::kSubject, id, bag);
+  }
+  result.screening_decision = issuing_pdp_->evaluate(screening);
+  if (!result.screening_decision.is_permit()) {
+    ++refused_;
+    return result;
+  }
+
+  tokens::Assertion assertion;
+  assertion.assertion_id = name_ + ":" + std::to_string(next_id_++);
+  assertion.issuer = name_;
+  assertion.subject = request.subject;
+  assertion.issue_instant = clock_.now();
+  assertion.conditions.not_before = clock_.now();
+  assertion.conditions.not_on_or_after = clock_.now() + validity_ms_;
+  assertion.conditions.audience = request.audience;
+  assertion.attributes = request.subject_attributes;
+  assertion.authz = tokens::AuthzDecisionStatement{
+      request.resource, request.action, core::DecisionType::kPermit};
+
+  result.token = tokens::sign_assertion(std::move(assertion), key_);
+  ++issued_;
+  return result;
+}
+
+CapabilityGate::CapabilityGate(std::string audience, const crypto::TrustStore& trust,
+                               const common::Clock& clock,
+                               std::shared_ptr<core::Pdp> local_pdp)
+    : audience_(std::move(audience)),
+      trust_(trust),
+      clock_(clock),
+      local_pdp_(std::move(local_pdp)) {}
+
+GateResult CapabilityGate::admit(const tokens::SignedAssertion& token,
+                                 const std::string& resource,
+                                 const std::string& action) {
+  GateResult result;
+  result.token_status = tokens::validate(token, trust_, clock_.now(), audience_);
+  if (result.token_status != tokens::TokenValidity::kValid) {
+    result.reason = std::string("capability rejected: ") +
+                    tokens::to_string(result.token_status);
+    return result;
+  }
+
+  // Scope check: the capability must cover this (resource, action).
+  if (!token.assertion.authz.has_value() ||
+      token.assertion.authz->decision != core::DecisionType::kPermit ||
+      token.assertion.authz->resource != resource ||
+      token.assertion.authz->action != action) {
+    result.reason = "capability does not cover this resource/action";
+    return result;
+  }
+
+  if (!local_pdp_) {
+    result.allowed = true;
+    return result;
+  }
+
+  // The provider's own policy gets the final say, seeing the *token's*
+  // attributes (not self-claimed ones).
+  core::RequestContext request =
+      core::RequestContext::make(token.assertion.subject, resource, action);
+  for (const auto& [id, bag] : token.assertion.attributes) {
+    request.set(core::Category::kSubject, id, bag);
+  }
+  request.add(core::Category::kSubject, "capability-issuer",
+              core::AttributeValue(token.assertion.issuer));
+  result.local_decision = local_pdp_->evaluate(request);
+  result.allowed = result.local_decision.is_permit();
+  if (!result.allowed) {
+    result.reason = "provider policy: " + result.local_decision.describe();
+  }
+  return result;
+}
+
+}  // namespace mdac::capability

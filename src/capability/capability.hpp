@@ -1,0 +1,91 @@
+// The capability-issuing (push) architecture — paper Fig. 2, modelled on
+// CAS/VOMS (§2.2).
+//
+// Flow: (I) the client asks the trusted CapabilityService for a
+// capability; the service *pre-screens* the request against its own
+// issuing PDP and, on permit, (II) returns a signed SAML-shaped assertion
+// carrying the client's vetted attributes and an authz-decision
+// statement scoped to (resource, action) with a validity window and
+// audience. (III) The client attaches the token to its service call.
+// (IV) The resource provider's CapabilityGate validates the token and
+// STILL makes the final local decision — the paper is explicit that the
+// provider "may impose their own restrictions".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "core/pdp.hpp"
+#include "crypto/keys.hpp"
+#include "tokens/assertion.hpp"
+
+namespace mdac::capability {
+
+struct CapabilityRequest {
+  std::string subject;
+  std::map<std::string, core::Bag> subject_attributes;  // claimed / vetted
+  std::string resource;
+  std::string action;
+  std::string audience;  // target domain / service
+};
+
+struct IssueResult {
+  std::optional<tokens::SignedAssertion> token;
+  core::Decision screening_decision;  // why issuance failed, if it did
+};
+
+class CapabilityService {
+ public:
+  /// `issuing_pdp` holds the community policy (CAS-style): who may be
+  /// granted capabilities for what.
+  CapabilityService(std::string name, const crypto::KeyPair& key,
+                    std::shared_ptr<core::Pdp> issuing_pdp,
+                    const common::Clock& clock, common::Duration validity_ms);
+
+  IssueResult issue(const CapabilityRequest& request);
+
+  const std::string& name() const { return name_; }
+  const crypto::PublicKey& public_key() const { return key_.public_key(); }
+  std::size_t issued_count() const { return issued_; }
+  std::size_t refused_count() const { return refused_; }
+
+ private:
+  std::string name_;
+  const crypto::KeyPair& key_;
+  std::shared_ptr<core::Pdp> issuing_pdp_;
+  const common::Clock& clock_;
+  common::Duration validity_ms_;
+  std::uint64_t next_id_ = 1;
+  std::size_t issued_ = 0;
+  std::size_t refused_ = 0;
+};
+
+/// Resource-provider side: token checks + the provider's own final say.
+struct GateResult {
+  bool allowed = false;
+  tokens::TokenValidity token_status = tokens::TokenValidity::kValid;
+  core::Decision local_decision;
+  std::string reason;
+};
+
+class CapabilityGate {
+ public:
+  /// `local_pdp` may be null: then a valid token alone grants access
+  /// (pure capability semantics). With a PDP set, the provider's local
+  /// policy gets the final decision, fed with the token's attributes.
+  CapabilityGate(std::string audience, const crypto::TrustStore& trust,
+                 const common::Clock& clock, std::shared_ptr<core::Pdp> local_pdp);
+
+  GateResult admit(const tokens::SignedAssertion& token, const std::string& resource,
+                   const std::string& action);
+
+ private:
+  std::string audience_;
+  const crypto::TrustStore& trust_;
+  const common::Clock& clock_;
+  std::shared_ptr<core::Pdp> local_pdp_;
+};
+
+}  // namespace mdac::capability

@@ -1,0 +1,123 @@
+#include "common/bytes.hpp"
+
+#include <array>
+
+namespace mdac::common {
+
+Bytes to_bytes(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string to_string(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(const Bytes& b) {
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t byte : b) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_decode(std::string_view s) {
+  if (s.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    const int hi = hex_value(s[i]);
+    const int lo = hex_value(s[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(const Bytes& b) {
+  std::string out;
+  out.reserve(((b.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  while (i + 3 <= b.size()) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(b[i]) << 16) |
+                            (static_cast<std::uint32_t>(b[i + 1]) << 8) |
+                            static_cast<std::uint32_t>(b[i + 2]);
+    out.push_back(kB64Alphabet[(n >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 6) & 0x3f]);
+    out.push_back(kB64Alphabet[n & 0x3f]);
+    i += 3;
+  }
+  const std::size_t rem = b.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(b[i]) << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(b[i]) << 16) |
+                            (static_cast<std::uint32_t>(b[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view s) {
+  if (s.size() % 4 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve((s.size() / 4) * 3);
+  for (std::size_t i = 0; i < s.size(); i += 4) {
+    int vals[4];
+    int pads = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = s[i + j];
+      if (c == '=') {
+        // Padding may only appear in the last group, trailing positions.
+        if (i + 4 != s.size() || j < 2) return std::nullopt;
+        vals[j] = 0;
+        ++pads;
+      } else {
+        if (pads > 0) return std::nullopt;  // data after padding
+        vals[j] = b64_value(c);
+        if (vals[j] < 0) return std::nullopt;
+      }
+    }
+    const std::uint32_t n =
+        (static_cast<std::uint32_t>(vals[0]) << 18) |
+        (static_cast<std::uint32_t>(vals[1]) << 12) |
+        (static_cast<std::uint32_t>(vals[2]) << 6) |
+        static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+    if (pads < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+    if (pads < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  }
+  return out;
+}
+
+}  // namespace mdac::common

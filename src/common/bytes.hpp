@@ -1,0 +1,39 @@
+// Byte-buffer helpers shared across the library: conversions between
+// strings and byte vectors, hex and base64 codecs.
+//
+// Base64 is load-bearing: signed tokens and encrypted envelopes embed
+// binary digests in XML documents, and the size overhead of doing so is
+// one of the quantities the paper's communication-performance challenge
+// asks about (experiment C2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdac::common {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Copies the characters of `s` into a byte vector (no re-encoding).
+Bytes to_bytes(std::string_view s);
+
+/// Copies a byte vector into a std::string (bytes may be non-printable).
+std::string to_string(const Bytes& b);
+
+/// Lower-case hex encoding, two characters per byte.
+std::string hex_encode(const Bytes& b);
+
+/// Decodes lower- or upper-case hex. Returns nullopt on odd length or
+/// non-hex characters.
+std::optional<Bytes> hex_decode(std::string_view s);
+
+/// Standard RFC 4648 base64 with padding.
+std::string base64_encode(const Bytes& b);
+
+/// Decodes base64 (padding required). Returns nullopt on malformed input.
+std::optional<Bytes> base64_decode(std::string_view s);
+
+}  // namespace mdac::common

@@ -1,0 +1,13 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace mdac::common {
+
+TimePoint WallClock::now() const {
+  using namespace std::chrono;
+  return duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mdac::common

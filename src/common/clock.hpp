@@ -1,0 +1,41 @@
+// Time abstraction.
+//
+// Every component that needs "now" (token validity windows, cache TTLs,
+// heartbeats, the network simulator) takes a `Clock&` so that tests and
+// benches can drive logical time deterministically with `ManualClock`,
+// while examples may use `WallClock`. Timestamps are milliseconds since
+// an arbitrary epoch.
+#pragma once
+
+#include <cstdint>
+
+namespace mdac::common {
+
+using TimePoint = std::int64_t;  // milliseconds
+using Duration = std::int64_t;   // milliseconds
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+/// Real time (std::chrono::system_clock), for interactive examples.
+class WallClock final : public Clock {
+ public:
+  TimePoint now() const override;
+};
+
+/// Deterministic, manually advanced logical clock for tests and simulation.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0) : now_(start) {}
+  TimePoint now() const override { return now_; }
+  void advance(Duration d) { now_ += d; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace mdac::common

@@ -1,0 +1,52 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace mdac::common {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_log_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel log_level() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_level;
+}
+
+void log(LogLevel level, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    std::cerr << "[mdac " << level_name(level) << "] " << message << '\n';
+  }
+}
+
+}  // namespace mdac::common

@@ -1,0 +1,27 @@
+// Minimal levelled logger. Intentionally tiny: the library is meant to be
+// embedded, so logging is opt-in and writes to a caller-supplied sink.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace mdac::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Sets the global sink (default: stderr) and minimum level (default: warn).
+void set_log_sink(LogSink sink);
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+}  // namespace mdac::common

@@ -1,0 +1,25 @@
+// Small string helpers used throughout the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdac::common {
+
+/// Splits on a single-character separator; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator string.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+/// Simple glob-free prefix wildcard matching used by scope rules:
+/// pattern "a/*" matches "a/b"; "*" matches anything; otherwise exact.
+bool wildcard_match(std::string_view pattern, std::string_view value);
+
+}  // namespace mdac::common

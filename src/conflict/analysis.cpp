@@ -1,0 +1,235 @@
+#include "conflict/analysis.hpp"
+
+namespace mdac::conflict {
+
+namespace {
+
+/// Constraint map plus a flag for structure outside the equality fragment.
+struct ExtractedTarget {
+  std::map<AttributeKey, std::set<std::string>> constraints;
+  bool approximate = false;
+};
+
+/// Projects a target onto the equality fragment. Each AnyOf whose AllOfs
+/// are single string-equality matches over one attribute becomes a
+/// constraint (attribute -> value set). Anything else sets `approximate`.
+ExtractedTarget project_target(const core::Target& target) {
+  ExtractedTarget out;
+  for (const core::AnyOf& any : target.any_ofs) {
+    bool viable = !any.all_ofs.empty();
+    std::optional<AttributeKey> key;
+    std::set<std::string> values;
+    for (const core::AllOf& all : any.all_ofs) {
+      if (all.matches.size() != 1) {
+        viable = false;
+        break;
+      }
+      const core::Match& m = all.matches[0];
+      if (m.function_id != "string-equal" || !m.literal.is_string()) {
+        viable = false;
+        break;
+      }
+      const AttributeKey k{m.category, m.attribute_id};
+      if (!key.has_value()) {
+        key = k;
+      } else if (*key != k) {
+        viable = false;
+        break;
+      }
+      values.insert(m.literal.as_string());
+    }
+    if (!viable || !key.has_value()) {
+      out.approximate = true;
+      continue;
+    }
+    // Conjunction with an existing constraint on the same key intersects.
+    auto [it, inserted] = out.constraints.emplace(*key, values);
+    if (!inserted) {
+      std::set<std::string> intersection;
+      for (const std::string& v : values) {
+        if (it->second.count(v) > 0) intersection.insert(v);
+      }
+      it->second = std::move(intersection);
+    }
+  }
+  return out;
+}
+
+/// Merges (conjoins) b into a.
+void intersect_into(std::map<AttributeKey, std::set<std::string>>* a,
+                    const std::map<AttributeKey, std::set<std::string>>& b) {
+  for (const auto& [key, values] : b) {
+    auto [it, inserted] = a->emplace(key, values);
+    if (!inserted) {
+      std::set<std::string> intersection;
+      for (const std::string& v : values) {
+        if (it->second.count(v) > 0) intersection.insert(v);
+      }
+      it->second = std::move(intersection);
+    }
+  }
+}
+
+/// True if some constraint admits no value at all (the atom can never
+/// apply and is dropped from analysis).
+bool unsatisfiable(const std::map<AttributeKey, std::set<std::string>>& c) {
+  for (const auto& [key, values] : c) {
+    if (values.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Atom> extract_atoms(const core::Policy& policy) {
+  std::vector<Atom> out;
+  const ExtractedTarget policy_target = project_target(policy.target_spec);
+
+  for (const core::Rule& rule : policy.rules) {
+    Atom atom;
+    atom.policy_id = policy.policy_id;
+    atom.rule_id = rule.id;
+    atom.effect = rule.effect;
+    atom.constraints = policy_target.constraints;
+    atom.approximate = policy_target.approximate;
+
+    if (rule.target.has_value()) {
+      const ExtractedTarget rule_target = project_target(*rule.target);
+      intersect_into(&atom.constraints, rule_target.constraints);
+      atom.approximate = atom.approximate || rule_target.approximate;
+    }
+    if (rule.condition) {
+      // Conditions are outside the equality fragment entirely.
+      atom.approximate = true;
+    }
+    if (unsatisfiable(atom.constraints)) continue;
+    out.push_back(std::move(atom));
+  }
+  return out;
+}
+
+std::vector<Conflict> find_modality_conflicts(const std::vector<Atom>& atoms) {
+  std::vector<Conflict> out;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      const Atom& a = atoms[i];
+      const Atom& b = atoms[j];
+      if (a.effect == b.effect) continue;
+
+      // Overlap test: every attribute constrained by BOTH atoms must
+      // share at least one admitted value. Attributes constrained by one
+      // side only always overlap (the other admits anything).
+      bool overlaps = true;
+      std::map<AttributeKey, std::string> witness;
+      for (const auto& [key, a_values] : a.constraints) {
+        const auto b_it = b.constraints.find(key);
+        if (b_it == b.constraints.end()) {
+          if (!a_values.empty()) witness.emplace(key, *a_values.begin());
+          continue;
+        }
+        bool found = false;
+        for (const std::string& v : a_values) {
+          if (b_it->second.count(v) > 0) {
+            witness.emplace(key, v);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          overlaps = false;
+          break;
+        }
+      }
+      if (!overlaps) continue;
+      for (const auto& [key, b_values] : b.constraints) {
+        if (a.constraints.count(key) == 0 && !b_values.empty()) {
+          witness.emplace(key, *b_values.begin());
+        }
+      }
+
+      Conflict conflict;
+      conflict.permit_index = a.effect == core::Effect::kPermit ? i : j;
+      conflict.deny_index = a.effect == core::Effect::kPermit ? j : i;
+      conflict.witness = std::move(witness);
+      conflict.approximate = a.approximate || b.approximate;
+      out.push_back(std::move(conflict));
+    }
+  }
+  return out;
+}
+
+AnalysisResult analyse(const std::vector<const core::Policy*>& policies) {
+  AnalysisResult result;
+  for (const core::Policy* p : policies) {
+    std::vector<Atom> extracted = extract_atoms(*p);
+    result.atoms.insert(result.atoms.end(),
+                        std::make_move_iterator(extracted.begin()),
+                        std::make_move_iterator(extracted.end()));
+  }
+  result.conflicts = find_modality_conflicts(result.atoms);
+  return result;
+}
+
+namespace {
+
+const std::set<std::string>* constraint_of(const Atom& atom, const AttributeKey& key) {
+  const auto it = atom.constraints.find(key);
+  if (it == atom.constraints.end()) return nullptr;
+  return &it->second;
+}
+
+/// Does the atom permit (resource, action)?
+bool permits(const Atom& atom, const std::string& resource,
+             const std::string& action) {
+  if (atom.effect != core::Effect::kPermit) return false;
+  const AttributeKey res_key{core::Category::kResource, core::attrs::kResourceId};
+  const AttributeKey act_key{core::Category::kAction, core::attrs::kActionId};
+  const auto* res = constraint_of(atom, res_key);
+  const auto* act = constraint_of(atom, act_key);
+  if (res != nullptr && res->count(resource) == 0) return false;
+  if (act != nullptr && act->count(action) == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<SodViolation> check_sod(const std::vector<Atom>& atoms,
+                                    const std::vector<SodMetaPolicy>& metas) {
+  std::vector<SodViolation> out;
+  const AttributeKey subj_key{core::Category::kSubject, core::attrs::kSubjectId};
+  for (std::size_t m = 0; m < metas.size(); ++m) {
+    const SodMetaPolicy& meta = metas[m];
+    for (std::size_t ia = 0; ia < atoms.size(); ++ia) {
+      const Atom& a = atoms[ia];
+      if (!permits(a, meta.resource_a, meta.action_a)) continue;
+      for (std::size_t ib = 0; ib < atoms.size(); ++ib) {
+        const Atom& b = atoms[ib];
+        if (!permits(b, meta.resource_b, meta.action_b)) continue;
+        // Subject overlap: unconstrained on either side = everyone.
+        const auto* sa = constraint_of(a, subj_key);
+        const auto* sb = constraint_of(b, subj_key);
+        std::set<std::string> overlap;
+        bool overlapping = false;
+        if (sa == nullptr && sb == nullptr) {
+          overlapping = true;
+        } else if (sa == nullptr) {
+          overlapping = !sb->empty();
+          overlap = *sb;
+        } else if (sb == nullptr) {
+          overlapping = !sa->empty();
+          overlap = *sa;
+        } else {
+          for (const std::string& s : *sa) {
+            if (sb->count(s) > 0) overlap.insert(s);
+          }
+          overlapping = !overlap.empty();
+        }
+        if (!overlapping) continue;
+        out.push_back(SodViolation{m, ia, ib, std::move(overlap)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mdac::conflict

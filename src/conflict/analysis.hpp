@@ -1,0 +1,93 @@
+// Static policy-conflict analysis (paper §3.1, "Policy Conflict
+// Resolution", following Lupu & Sloman [51]).
+//
+// The analysis projects each rule to an *atom*: its effect plus, per
+// (category, attribute), the set of string-equality values its combined
+// policy+rule target admits. Two atoms with opposite effects whose
+// constraint sets overlap on every shared attribute form a potential
+// modality conflict; the overlap is reported with a witness assignment.
+// Rules whose targets/conditions fall outside the equality fragment are
+// flagged `approximate` — they *may* conflict (the analysis stays sound
+// by over-approximating, never silently missing a pair).
+//
+// Meta-policies (§3.1): separation-of-duty pairs that must never both be
+// permitted to one subject — checked statically against permit atoms.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace mdac::conflict {
+
+using AttributeKey = std::pair<core::Category, std::string>;
+
+struct Atom {
+  std::string policy_id;
+  std::string rule_id;
+  core::Effect effect = core::Effect::kPermit;
+  /// Admitted values per attribute; an absent key admits *any* value.
+  std::map<AttributeKey, std::set<std::string>> constraints;
+  /// True if the rule has structure the equality fragment cannot capture
+  /// (conditions, non-equality matches): treat its missing constraints
+  /// conservatively.
+  bool approximate = false;
+};
+
+/// Extracts analysis atoms from a policy. The policy-level target is
+/// intersected into every rule's constraints.
+std::vector<Atom> extract_atoms(const core::Policy& policy);
+
+struct Conflict {
+  /// Indices into the atom vector the analysis ran over.
+  std::size_t permit_index = 0;
+  std::size_t deny_index = 0;
+  /// A concrete witness (one value per constrained attribute) on which
+  /// both atoms apply.
+  std::map<AttributeKey, std::string> witness;
+  bool approximate = false;  // involves an approximate atom
+};
+
+/// All pairwise modality conflicts among `atoms`.
+std::vector<Conflict> find_modality_conflicts(const std::vector<Atom>& atoms);
+
+struct AnalysisResult {
+  std::vector<Atom> atoms;
+  std::vector<Conflict> conflicts;  // indices refer into `atoms`
+};
+
+/// Convenience: extract + analyse a set of policies.
+AnalysisResult analyse(const std::vector<const core::Policy*>& policies);
+
+// ---------------------------------------------------------------------
+// Meta-policies
+// ---------------------------------------------------------------------
+
+/// "No subject may be permitted both A and B" — the paper's SoD example.
+struct SodMetaPolicy {
+  std::string name;
+  std::string resource_a;
+  std::string action_a;
+  std::string resource_b;
+  std::string action_b;
+};
+
+struct SodViolation {
+  std::size_t meta_index = 0;      // into the metas vector
+  std::size_t permit_a_index = 0;  // into the atoms vector
+  std::size_t permit_b_index = 0;
+  /// Subject constraint overlap enabling both permissions; empty set
+  /// means "any subject".
+  std::set<std::string> overlapping_subjects;
+};
+
+/// Finds permit-atom pairs granting both halves of a SoD constraint to an
+/// overlapping subject population.
+std::vector<SodViolation> check_sod(const std::vector<Atom>& atoms,
+                                    const std::vector<SodMetaPolicy>& metas);
+
+}  // namespace mdac::conflict

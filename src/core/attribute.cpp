@@ -1,0 +1,125 @@
+#include "core/attribute.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace mdac::core {
+
+const char* to_string(DataType t) {
+  switch (t) {
+    case DataType::kString: return "string";
+    case DataType::kBoolean: return "boolean";
+    case DataType::kInteger: return "integer";
+    case DataType::kDouble: return "double";
+    case DataType::kTime: return "time";
+  }
+  return "?";
+}
+
+std::optional<DataType> data_type_from_string(std::string_view s) {
+  if (s == "string") return DataType::kString;
+  if (s == "boolean") return DataType::kBoolean;
+  if (s == "integer") return DataType::kInteger;
+  if (s == "double") return DataType::kDouble;
+  if (s == "time") return DataType::kTime;
+  return std::nullopt;
+}
+
+DataType AttributeValue::type() const {
+  switch (value_.index()) {
+    case 0: return DataType::kString;
+    case 1: return DataType::kBoolean;
+    case 2: return DataType::kInteger;
+    case 3: return DataType::kDouble;
+    default: return DataType::kTime;
+  }
+}
+
+std::string AttributeValue::to_text() const {
+  switch (type()) {
+    case DataType::kString:
+      return as_string();
+    case DataType::kBoolean:
+      return as_boolean() ? "true" : "false";
+    case DataType::kInteger:
+      return std::to_string(as_integer());
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os.precision(17);
+      os << as_double();
+      return os.str();
+    }
+    case DataType::kTime:
+      return std::to_string(as_time().millis);
+  }
+  return {};
+}
+
+std::optional<AttributeValue> AttributeValue::from_text(DataType type,
+                                                        std::string_view text) {
+  switch (type) {
+    case DataType::kString:
+      return AttributeValue(std::string(text));
+    case DataType::kBoolean:
+      if (text == "true" || text == "1") return AttributeValue(true);
+      if (text == "false" || text == "0") return AttributeValue(false);
+      return std::nullopt;
+    case DataType::kInteger: {
+      std::int64_t v = 0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) return std::nullopt;
+      return AttributeValue(v);
+    }
+    case DataType::kDouble: {
+      // std::from_chars for double is available in libstdc++ 11+.
+      double v = 0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) return std::nullopt;
+      return AttributeValue(v);
+    }
+    case DataType::kTime: {
+      std::int64_t v = 0;
+      const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec != std::errc() || ptr != text.data() + text.size()) return std::nullopt;
+      return AttributeValue(TimeValue{v});
+    }
+  }
+  return std::nullopt;
+}
+
+bool Bag::contains(const AttributeValue& v) const {
+  return std::find(values_.begin(), values_.end(), v) != values_.end();
+}
+
+bool Bag::set_equals(const Bag& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  std::vector<AttributeValue> a = values_;
+  std::vector<AttributeValue> b = other.values_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kSubject: return "subject";
+    case Category::kResource: return "resource";
+    case Category::kAction: return "action";
+    case Category::kEnvironment: return "environment";
+    case Category::kDelegate: return "delegate";
+  }
+  return "?";
+}
+
+std::optional<Category> category_from_string(std::string_view s) {
+  if (s == "subject") return Category::kSubject;
+  if (s == "resource") return Category::kResource;
+  if (s == "action") return Category::kAction;
+  if (s == "environment") return Category::kEnvironment;
+  if (s == "delegate") return Category::kDelegate;
+  return std::nullopt;
+}
+
+}  // namespace mdac::core

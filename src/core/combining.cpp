@@ -1,0 +1,268 @@
+#include "core/combining.hpp"
+
+namespace mdac::core {
+
+Combinable Combinable::of_rule(const Rule& rule) {
+  return Combinable{
+      rule.id,
+      [&rule](EvaluationContext& ctx) { return rule.match(ctx); },
+      [&rule](EvaluationContext& ctx) { return rule.evaluate(ctx); }};
+}
+
+Combinable Combinable::of_node(const PolicyTreeNode& node) {
+  return Combinable{
+      node.id(),
+      [&node](EvaluationContext& ctx) { return node.match(ctx); },
+      [&node](EvaluationContext& ctx) { return node.evaluate(ctx); }};
+}
+
+namespace {
+
+/// Merges the child's obligations/advice into the accumulator.
+void merge_obligations(const Decision& from, Decision* into) {
+  into->obligations.insert(into->obligations.end(), from.obligations.begin(),
+                           from.obligations.end());
+  into->advice.insert(into->advice.end(), from.advice.begin(), from.advice.end());
+}
+
+// ---------------------------------------------------------------------
+// deny-overrides / permit-overrides (XACML 3.0 §C.2 / §C.3 semantics).
+//
+// The two are mirror images; `deny_wins` selects the orientation.
+// ---------------------------------------------------------------------
+class OverridesAlgorithm final : public CombiningAlgorithm {
+ public:
+  OverridesAlgorithm(std::string name, bool deny_wins)
+      : name_(std::move(name)), deny_wins_(deny_wins) {}
+
+  const std::string& name() const override { return name_; }
+
+  Decision combine(const std::vector<Combinable>& children,
+                   EvaluationContext& ctx) const override {
+    bool at_least_one_winner = false;   // saw the overriding effect
+    bool at_least_one_loser = false;    // saw the other effect
+    bool ind_winner = false;            // Indeterminate{winner-effect}
+    bool ind_loser = false;             // Indeterminate{loser-effect}
+    bool ind_dp = false;
+    Status first_error;
+    Decision winner_acc;  // accumulates obligations of winner-effect children
+    Decision loser_acc;
+
+    for (const Combinable& child : children) {
+      const Decision d = child.evaluate(ctx);
+      switch (d.type) {
+        case DecisionType::kDeny:
+          if (deny_wins_) {
+            // Overriding effect: we could short-circuit, except that other
+            // children's obligations of the same effect must still be
+            // collected per the spec, so keep going.
+            at_least_one_winner = true;
+            merge_obligations(d, &winner_acc);
+          } else {
+            at_least_one_loser = true;
+            merge_obligations(d, &loser_acc);
+          }
+          break;
+        case DecisionType::kPermit:
+          if (!deny_wins_) {
+            at_least_one_winner = true;
+            merge_obligations(d, &winner_acc);
+          } else {
+            at_least_one_loser = true;
+            merge_obligations(d, &loser_acc);
+          }
+          break;
+        case DecisionType::kNotApplicable:
+          break;
+        case DecisionType::kIndeterminate:
+          if (first_error.ok()) first_error = d.status;
+          switch (d.extent) {
+            case IndeterminateExtent::kDP:
+              ind_dp = true;
+              break;
+            case IndeterminateExtent::kD:
+              (deny_wins_ ? ind_winner : ind_loser) = true;
+              break;
+            case IndeterminateExtent::kP:
+              (deny_wins_ ? ind_loser : ind_winner) = true;
+              break;
+            case IndeterminateExtent::kNone:
+              ind_dp = true;  // conservative
+              break;
+          }
+          break;
+      }
+    }
+
+    const IndeterminateExtent winner_extent =
+        deny_wins_ ? IndeterminateExtent::kD : IndeterminateExtent::kP;
+    const IndeterminateExtent loser_extent =
+        deny_wins_ ? IndeterminateExtent::kP : IndeterminateExtent::kD;
+
+    if (at_least_one_winner) {
+      Decision out = deny_wins_ ? Decision::deny() : Decision::permit();
+      out.obligations = std::move(winner_acc.obligations);
+      out.advice = std::move(winner_acc.advice);
+      return out;
+    }
+    if (ind_dp || (ind_winner && (ind_loser || at_least_one_loser))) {
+      return Decision::indeterminate(IndeterminateExtent::kDP, first_error);
+    }
+    if (ind_winner) {
+      return Decision::indeterminate(winner_extent, first_error);
+    }
+    if (at_least_one_loser) {
+      Decision out = deny_wins_ ? Decision::permit() : Decision::deny();
+      out.obligations = std::move(loser_acc.obligations);
+      out.advice = std::move(loser_acc.advice);
+      return out;
+    }
+    if (ind_loser) {
+      return Decision::indeterminate(loser_extent, first_error);
+    }
+    return Decision::not_applicable();
+  }
+
+ private:
+  std::string name_;
+  bool deny_wins_;
+};
+
+// ---------------------------------------------------------------------
+// first-applicable: document order, first Permit/Deny/Indeterminate wins.
+// ---------------------------------------------------------------------
+class FirstApplicableAlgorithm final : public CombiningAlgorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "first-applicable";
+    return n;
+  }
+
+  Decision combine(const std::vector<Combinable>& children,
+                   EvaluationContext& ctx) const override {
+    for (const Combinable& child : children) {
+      Decision d = child.evaluate(ctx);
+      if (d.type == DecisionType::kNotApplicable) continue;
+      if (d.type == DecisionType::kIndeterminate) {
+        // Conservatively propagate as {DP}: we cannot know what later
+        // children would have said without evaluating them.
+        return Decision::indeterminate(IndeterminateExtent::kDP, d.status);
+      }
+      return d;
+    }
+    return Decision::not_applicable();
+  }
+};
+
+// ---------------------------------------------------------------------
+// only-one-applicable: at most one child's target may match.
+// ---------------------------------------------------------------------
+class OnlyOneApplicableAlgorithm final : public CombiningAlgorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "only-one-applicable";
+    return n;
+  }
+
+  Decision combine(const std::vector<Combinable>& children,
+                   EvaluationContext& ctx) const override {
+    const Combinable* applicable = nullptr;
+    for (const Combinable& child : children) {
+      const MatchResult m = child.match(ctx);
+      if (m == MatchResult::kIndeterminate) {
+        return Decision::indeterminate(
+            IndeterminateExtent::kDP,
+            Status::processing_error("only-one-applicable: target error in '" +
+                                     child.id + "'"));
+      }
+      if (m == MatchResult::kMatch) {
+        if (applicable != nullptr) {
+          return Decision::indeterminate(
+              IndeterminateExtent::kDP,
+              Status::processing_error("only-one-applicable: both '" +
+                                       applicable->id + "' and '" + child.id +
+                                       "' apply"));
+        }
+        applicable = &child;
+      }
+    }
+    if (applicable == nullptr) return Decision::not_applicable();
+    return applicable->evaluate(ctx);
+  }
+};
+
+// ---------------------------------------------------------------------
+// deny-unless-permit / permit-unless-deny: never NA, never Indeterminate.
+// ---------------------------------------------------------------------
+class UnlessAlgorithm final : public CombiningAlgorithm {
+ public:
+  UnlessAlgorithm(std::string name, Effect sought)
+      : name_(std::move(name)), sought_(sought) {}
+
+  const std::string& name() const override { return name_; }
+
+  Decision combine(const std::vector<Combinable>& children,
+                   EvaluationContext& ctx) const override {
+    Decision fallback =
+        sought_ == Effect::kPermit ? Decision::deny() : Decision::permit();
+    const DecisionType sought_type = sought_ == Effect::kPermit
+                                         ? DecisionType::kPermit
+                                         : DecisionType::kDeny;
+    const DecisionType fallback_type = sought_ == Effect::kPermit
+                                           ? DecisionType::kDeny
+                                           : DecisionType::kPermit;
+    for (const Combinable& child : children) {
+      Decision d = child.evaluate(ctx);
+      if (d.type == sought_type) {
+        return d;  // carries its own obligations
+      }
+      if (d.type == fallback_type) {
+        merge_obligations(d, &fallback);
+      }
+    }
+    return fallback;
+  }
+
+ private:
+  std::string name_;
+  Effect sought_;
+};
+
+}  // namespace
+
+const CombiningRegistry& CombiningRegistry::standard() {
+  static const CombiningRegistry* reg = [] {
+    auto* r = new CombiningRegistry();
+    auto put = [r](std::unique_ptr<CombiningAlgorithm> alg) {
+      const std::string n = alg->name();
+      r->algorithms_.emplace(n, std::move(alg));
+    };
+    put(std::make_unique<OverridesAlgorithm>("deny-overrides", true));
+    put(std::make_unique<OverridesAlgorithm>("permit-overrides", false));
+    // Document order is preserved throughout, so the ordered variants are
+    // behaviourally identical; registered for interface completeness.
+    put(std::make_unique<OverridesAlgorithm>("ordered-deny-overrides", true));
+    put(std::make_unique<OverridesAlgorithm>("ordered-permit-overrides", false));
+    put(std::make_unique<FirstApplicableAlgorithm>());
+    put(std::make_unique<OnlyOneApplicableAlgorithm>());
+    put(std::make_unique<UnlessAlgorithm>("deny-unless-permit", Effect::kPermit));
+    put(std::make_unique<UnlessAlgorithm>("permit-unless-deny", Effect::kDeny));
+    return r;
+  }();
+  return *reg;
+}
+
+const CombiningAlgorithm* CombiningRegistry::find(std::string_view name) const {
+  const auto it = algorithms_.find(name);
+  if (it == algorithms_.end()) return nullptr;
+  return it->second.get();
+}
+
+std::vector<std::string> CombiningRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(algorithms_.size());
+  for (const auto& [name, _] : algorithms_) out.push_back(name);
+  return out;
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,55 @@
+// Rule- and policy-combining algorithms (paper §2.3).
+//
+// All six standard algorithms plus the two "unless" variants, with XACML
+// 3.0 extended-indeterminate semantics. The paper singles combining out
+// as *the* conflict-resolution mechanism when rules from multiple
+// administrative authorities apply to one request (§3.1), so these
+// semantics are implemented exactly and property-tested.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/policy.hpp"
+
+namespace mdac::core {
+
+/// A child as seen by a combining algorithm: lazily matchable and
+/// evaluable. Laziness lets first-applicable and the override algorithms
+/// short-circuit, which the C4 bench quantifies.
+struct Combinable {
+  std::string id;
+  std::function<MatchResult(EvaluationContext&)> match;
+  std::function<Decision(EvaluationContext&)> evaluate;
+
+  static Combinable of_rule(const Rule& rule);
+  static Combinable of_node(const PolicyTreeNode& node);
+};
+
+class CombiningAlgorithm {
+ public:
+  virtual ~CombiningAlgorithm() = default;
+  virtual const std::string& name() const = 0;
+  virtual Decision combine(const std::vector<Combinable>& children,
+                           EvaluationContext& ctx) const = 0;
+};
+
+/// Registry of combining algorithms by id:
+///   deny-overrides, permit-overrides, ordered-deny-overrides,
+///   ordered-permit-overrides, first-applicable, only-one-applicable,
+///   deny-unless-permit, permit-unless-deny.
+class CombiningRegistry {
+ public:
+  static const CombiningRegistry& standard();
+
+  const CombiningAlgorithm* find(std::string_view name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<CombiningAlgorithm>, std::less<>> algorithms_;
+};
+
+}  // namespace mdac::core

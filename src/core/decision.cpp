@@ -1,0 +1,24 @@
+#include "core/decision.hpp"
+
+namespace mdac::core {
+
+std::string Decision::describe() const {
+  std::string out = to_string(type);
+  if (type == DecisionType::kIndeterminate && extent != IndeterminateExtent::kNone) {
+    out += "{";
+    out += to_string(extent);
+    out += "}";
+  }
+  if (!status.ok()) {
+    out += ": ";
+    out += to_string(status.code);
+    if (!status.message.empty()) {
+      out += " (";
+      out += status.message;
+      out += ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,89 @@
+// Authorisation decisions, obligations and advice.
+//
+// Decisions use XACML 3.0 semantics including the *extended
+// indeterminate* values Indeterminate{D}, Indeterminate{P} and
+// Indeterminate{DP}: when part of the policy tree fails to evaluate, the
+// combiner must know which effects the failed subtree *could* have
+// produced. Getting this right is what makes combined decisions
+// predictable under partial failure — the paper's dependability concern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/status.hpp"
+
+namespace mdac::core {
+
+enum class Effect { kPermit, kDeny };
+
+inline const char* to_string(Effect e) {
+  return e == Effect::kPermit ? "permit" : "deny";
+}
+
+enum class DecisionType { kPermit, kDeny, kNotApplicable, kIndeterminate };
+
+inline const char* to_string(DecisionType d) {
+  switch (d) {
+    case DecisionType::kPermit: return "permit";
+    case DecisionType::kDeny: return "deny";
+    case DecisionType::kNotApplicable: return "not-applicable";
+    case DecisionType::kIndeterminate: return "indeterminate";
+  }
+  return "?";
+}
+
+/// Which decisions an indeterminate subtree could have produced.
+enum class IndeterminateExtent { kNone, kD, kP, kDP };
+
+inline const char* to_string(IndeterminateExtent e) {
+  switch (e) {
+    case IndeterminateExtent::kNone: return "";
+    case IndeterminateExtent::kD: return "D";
+    case IndeterminateExtent::kP: return "P";
+    case IndeterminateExtent::kDP: return "DP";
+  }
+  return "?";
+}
+
+/// An obligation (or advice) instance attached to a decision: the PEP must
+/// (respectively, may) carry out the named action with the evaluated
+/// attribute assignments before honouring the decision.
+struct ObligationInstance {
+  std::string id;
+  std::vector<std::pair<std::string, AttributeValue>> assignments;
+
+  bool operator==(const ObligationInstance&) const = default;
+};
+
+struct Decision {
+  DecisionType type = DecisionType::kNotApplicable;
+  IndeterminateExtent extent = IndeterminateExtent::kNone;
+  Status status;
+  std::vector<ObligationInstance> obligations;
+  std::vector<ObligationInstance> advice;
+
+  bool is_permit() const { return type == DecisionType::kPermit; }
+  bool is_deny() const { return type == DecisionType::kDeny; }
+  bool is_not_applicable() const { return type == DecisionType::kNotApplicable; }
+  bool is_indeterminate() const { return type == DecisionType::kIndeterminate; }
+
+  static Decision permit() { return {DecisionType::kPermit, IndeterminateExtent::kNone, Status::okay(), {}, {}}; }
+  static Decision deny() { return {DecisionType::kDeny, IndeterminateExtent::kNone, Status::okay(), {}, {}}; }
+  static Decision not_applicable() { return {}; }
+  static Decision indeterminate(IndeterminateExtent extent, Status status) {
+    Decision d;
+    d.type = DecisionType::kIndeterminate;
+    d.extent = extent;
+    d.status = std::move(status);
+    return d;
+  }
+
+  /// Human-readable form, e.g. "indeterminate{DP}: missing-attribute".
+  std::string describe() const;
+
+  bool operator==(const Decision&) const = default;
+};
+
+}  // namespace mdac::core

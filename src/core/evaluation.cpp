@@ -1,0 +1,63 @@
+#include "core/evaluation.hpp"
+
+namespace mdac::core {
+
+EvaluationContext::EvaluationContext(const RequestContext& request,
+                                     const FunctionRegistry& functions,
+                                     AttributeResolver* resolver,
+                                     const PolicyStore* store)
+    : request_(request), functions_(functions), resolver_(resolver), store_(store) {}
+
+namespace {
+
+Bag filter_by_type(const Bag& in, DataType expected) {
+  Bag out;
+  for (const AttributeValue& v : in.values()) {
+    if (v.type() == expected) out.add(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+ExprResult EvaluationContext::attribute(Category category, const std::string& id,
+                                        DataType expected, bool must_be_present) {
+  ++metrics_.attribute_lookups;
+
+  Bag found;
+  if (const Bag* bag = request_.get(category, id)) {
+    found = filter_by_type(*bag, expected);
+  }
+
+  if (found.empty() && resolver_ != nullptr) {
+    const auto key = std::make_pair(category, id);
+    const auto cached = resolver_cache_.find(key);
+    if (cached != resolver_cache_.end()) {
+      found = filter_by_type(cached->second, expected);
+    } else {
+      ++metrics_.resolver_calls;
+      if (auto resolved = resolver_->resolve(category, id, request_)) {
+        resolver_cache_[key] = *resolved;
+        found = filter_by_type(*resolved, expected);
+      } else {
+        resolver_cache_[key] = Bag();
+      }
+    }
+  }
+
+  if (found.empty() && must_be_present) {
+    return ExprResult::error(Status::missing_attribute(
+        std::string(to_string(category)) + ":" + id));
+  }
+  return ExprResult::value(std::move(found));
+}
+
+bool EvaluationContext::enter_reference(const std::string& id) {
+  return reference_path_.insert(id).second;
+}
+
+void EvaluationContext::leave_reference(const std::string& id) {
+  reference_path_.erase(id);
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,99 @@
+// Evaluation context shared by every node in the policy tree during one
+// decision, plus the AttributeResolver seam through which PIPs (paper
+// §2.2, component 4) are consulted for attributes the PEP did not supply.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/attribute.hpp"
+#include "core/request.hpp"
+#include "core/status.hpp"
+
+namespace mdac::core {
+
+class FunctionRegistry;
+class PolicyStore;
+
+/// Result of evaluating an expression: a bag, or an error status.
+struct ExprResult {
+  Bag bag;
+  Status status;
+
+  bool ok() const { return status.ok(); }
+
+  static ExprResult value(Bag b) { return {std::move(b), Status::okay()}; }
+  static ExprResult single(AttributeValue v) { return {Bag(std::move(v)), Status::okay()}; }
+  static ExprResult boolean(bool b) { return single(AttributeValue(b)); }
+  static ExprResult error(Status s) { return {Bag(), std::move(s)}; }
+};
+
+/// Supplies attributes not present in the request (the PIP seam).
+/// Implementations live in `mdac::pip`; the interface lives here so the
+/// core has no dependency on any particular information source.
+class AttributeResolver {
+ public:
+  virtual ~AttributeResolver() = default;
+
+  /// Returns the bag for (category, id), or nullopt if this resolver has
+  /// no knowledge of the attribute.
+  virtual std::optional<Bag> resolve(Category category, const std::string& id,
+                                     const RequestContext& request) = 0;
+};
+
+/// Counters exposed on every evaluation; the figure-4 bench reads these to
+/// decompose decision cost.
+struct EvaluationMetrics {
+  std::size_t rules_evaluated = 0;
+  std::size_t policies_evaluated = 0;
+  std::size_t attribute_lookups = 0;
+  std::size_t resolver_calls = 0;
+  std::size_t functions_invoked = 0;
+  std::size_t targets_checked = 0;
+};
+
+class EvaluationContext {
+ public:
+  /// `resolver` and `store` may be null (no PIP; no policy references).
+  EvaluationContext(const RequestContext& request, const FunctionRegistry& functions,
+                    AttributeResolver* resolver = nullptr,
+                    const PolicyStore* store = nullptr);
+
+  /// The context only *references* the request; binding a temporary would
+  /// dangle by the first attribute lookup. Deleted to fail at compile
+  /// time instead (found by the fuzz suite, kept impossible ever since).
+  EvaluationContext(RequestContext&&, const FunctionRegistry&,
+                    AttributeResolver* = nullptr, const PolicyStore* = nullptr) = delete;
+
+  const RequestContext& request() const { return request_; }
+  const FunctionRegistry& functions() const { return functions_; }
+  const PolicyStore* store() const { return store_; }
+
+  /// Designator lookup: request first, then the resolver (memoised).
+  /// The returned bag contains only values of `expected` type. An empty
+  /// bag with `must_be_present` yields a missing-attribute error status.
+  ExprResult attribute(Category category, const std::string& id, DataType expected,
+                       bool must_be_present);
+
+  EvaluationMetrics& metrics() { return metrics_; }
+  const EvaluationMetrics& metrics() const { return metrics_; }
+
+  /// Cycle detection for policy-set references. Returns false if `id` is
+  /// already on the evaluation path.
+  bool enter_reference(const std::string& id);
+  void leave_reference(const std::string& id);
+
+ private:
+  const RequestContext& request_;
+  const FunctionRegistry& functions_;
+  AttributeResolver* resolver_;
+  const PolicyStore* store_;
+  std::map<std::pair<Category, std::string>, Bag> resolver_cache_;
+  std::set<std::string> reference_path_;
+  EvaluationMetrics metrics_;
+};
+
+}  // namespace mdac::core

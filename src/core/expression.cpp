@@ -1,0 +1,139 @@
+#include "core/expression.hpp"
+
+#include "core/functions.hpp"
+
+namespace mdac::core {
+
+ExprPtr ApplyExpr::clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args_.size());
+  for (const ExprPtr& a : args_) cloned.push_back(a->clone());
+  return std::make_unique<ApplyExpr>(function_id_, std::move(cloned));
+}
+
+ExprResult ApplyExpr::evaluate(EvaluationContext& ctx) const {
+  const FunctionDef* fn = ctx.functions().find(function_id_);
+  if (fn == nullptr) {
+    return ExprResult::error(
+        Status::processing_error("unknown function '" + function_id_ + "'"));
+  }
+  ++ctx.metrics().functions_invoked;
+
+  if (fn->higher_order) return evaluate_higher_order(ctx);
+
+  if (fn->arity >= 0 && static_cast<int>(args_.size()) != fn->arity) {
+    return ExprResult::error(Status::processing_error(
+        function_id_ + ": expected " + std::to_string(fn->arity) + " arguments, got " +
+        std::to_string(args_.size())));
+  }
+
+  std::vector<Bag> arg_bags;
+  arg_bags.reserve(args_.size());
+  for (const ExprPtr& arg : args_) {
+    ExprResult r = arg->evaluate(ctx);
+    if (!r.ok()) return r;  // first error wins
+    arg_bags.push_back(std::move(r.bag));
+  }
+  return fn->invoke(ctx, arg_bags);
+}
+
+ExprResult ApplyExpr::evaluate_higher_order(EvaluationContext& ctx) const {
+  // First argument must be a function reference to a non-higher-order fn.
+  if (args_.empty() || args_[0]->kind() != ExprKind::kFunctionRef) {
+    return ExprResult::error(Status::processing_error(
+        function_id_ + ": first argument must be a function reference"));
+  }
+  const auto& ref = static_cast<const FunctionRefExpr&>(*args_[0]);
+  const FunctionDef* inner = ctx.functions().find(ref.function_id());
+  if (inner == nullptr || inner->higher_order) {
+    return ExprResult::error(Status::processing_error(
+        function_id_ + ": bad inner function '" + ref.function_id() + "'"));
+  }
+
+  std::vector<Bag> rest;
+  rest.reserve(args_.size() - 1);
+  for (std::size_t i = 1; i < args_.size(); ++i) {
+    ExprResult r = args_[i]->evaluate(ctx);
+    if (!r.ok()) return r;
+    rest.push_back(std::move(r.bag));
+  }
+
+  const auto call_inner = [&](const std::vector<Bag>& inner_args) -> ExprResult {
+    ++ctx.metrics().functions_invoked;
+    return inner->invoke(ctx, inner_args);
+  };
+
+  const auto as_boolean = [&](const ExprResult& r, bool* out) -> bool {
+    if (!r.ok()) return false;
+    if (r.bag.size() != 1 || !r.bag.at(0).is_boolean()) return false;
+    *out = r.bag.at(0).as_boolean();
+    return true;
+  };
+
+  if (function_id_ == "any-of" || function_id_ == "all-of") {
+    // (f, v1..vk, bag): apply f(v1..vk, b) for each b in the final bag.
+    if (rest.empty()) {
+      return ExprResult::error(
+          Status::processing_error(function_id_ + ": needs a bag argument"));
+    }
+    const Bag& bag = rest.back();
+    const bool is_any = function_id_ == "any-of";
+    for (const AttributeValue& candidate : bag.values()) {
+      std::vector<Bag> inner_args(rest.begin(), rest.end() - 1);
+      inner_args.push_back(Bag(candidate));
+      const ExprResult r = call_inner(inner_args);
+      bool b = false;
+      if (!as_boolean(r, &b)) {
+        return r.ok() ? ExprResult::error(Status::processing_error(
+                            function_id_ + ": inner function must return boolean"))
+                      : r;
+      }
+      if (is_any && b) return ExprResult::boolean(true);
+      if (!is_any && !b) return ExprResult::boolean(false);
+    }
+    return ExprResult::boolean(!is_any);
+  }
+
+  if (function_id_ == "any-of-any") {
+    if (rest.size() != 2) {
+      return ExprResult::error(
+          Status::processing_error("any-of-any: expected two bag arguments"));
+    }
+    for (const AttributeValue& a : rest[0].values()) {
+      for (const AttributeValue& b : rest[1].values()) {
+        const ExprResult r = call_inner({Bag(a), Bag(b)});
+        bool res = false;
+        if (!as_boolean(r, &res)) {
+          return r.ok() ? ExprResult::error(Status::processing_error(
+                              "any-of-any: inner function must return boolean"))
+                        : r;
+        }
+        if (res) return ExprResult::boolean(true);
+      }
+    }
+    return ExprResult::boolean(false);
+  }
+
+  if (function_id_ == "map") {
+    if (rest.size() != 1) {
+      return ExprResult::error(
+          Status::processing_error("map: expected one bag argument"));
+    }
+    Bag out;
+    for (const AttributeValue& a : rest[0].values()) {
+      const ExprResult r = call_inner({Bag(a)});
+      if (!r.ok()) return r;
+      if (r.bag.size() != 1) {
+        return ExprResult::error(Status::processing_error(
+            "map: inner function must return a single value"));
+      }
+      out.add(r.bag.at(0));
+    }
+    return ExprResult::value(std::move(out));
+  }
+
+  return ExprResult::error(Status::processing_error(
+      "unimplemented higher-order function '" + function_id_ + "'"));
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,155 @@
+// Expression AST for policy conditions and obligation assignments.
+//
+// Four node kinds, mirroring XACML: literals, attribute designators,
+// function applications, and function references (the first argument of a
+// higher-order apply). Expressions are immutable after construction and
+// clonable so policies can be copied across repositories (syndication).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attribute.hpp"
+#include "core/evaluation.hpp"
+
+namespace mdac::core {
+
+enum class ExprKind { kLiteral, kDesignator, kApply, kFunctionRef };
+
+class Expression;
+using ExprPtr = std::unique_ptr<Expression>;
+
+class Expression {
+ public:
+  virtual ~Expression() = default;
+  virtual ExprKind kind() const = 0;
+  virtual ExprResult evaluate(EvaluationContext& ctx) const = 0;
+  virtual ExprPtr clone() const = 0;
+};
+
+/// A constant bag of values.
+class LiteralExpr final : public Expression {
+ public:
+  explicit LiteralExpr(Bag bag) : bag_(std::move(bag)) {}
+  explicit LiteralExpr(AttributeValue v) : bag_(Bag(std::move(v))) {}
+
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  ExprResult evaluate(EvaluationContext&) const override {
+    return ExprResult::value(bag_);
+  }
+  ExprPtr clone() const override { return std::make_unique<LiteralExpr>(bag_); }
+
+  const Bag& bag() const { return bag_; }
+
+ private:
+  Bag bag_;
+};
+
+/// Looks an attribute up in the request context / PIP resolver.
+class DesignatorExpr final : public Expression {
+ public:
+  DesignatorExpr(Category category, std::string id, DataType data_type,
+                 bool must_be_present = false)
+      : category_(category),
+        id_(std::move(id)),
+        data_type_(data_type),
+        must_be_present_(must_be_present) {}
+
+  ExprKind kind() const override { return ExprKind::kDesignator; }
+  ExprResult evaluate(EvaluationContext& ctx) const override {
+    return ctx.attribute(category_, id_, data_type_, must_be_present_);
+  }
+  ExprPtr clone() const override {
+    return std::make_unique<DesignatorExpr>(category_, id_, data_type_,
+                                            must_be_present_);
+  }
+
+  Category category() const { return category_; }
+  const std::string& id() const { return id_; }
+  DataType data_type() const { return data_type_; }
+  bool must_be_present() const { return must_be_present_; }
+
+ private:
+  Category category_;
+  std::string id_;
+  DataType data_type_;
+  bool must_be_present_;
+};
+
+/// Names a function, as the first argument of a higher-order apply.
+class FunctionRefExpr final : public Expression {
+ public:
+  explicit FunctionRefExpr(std::string function_id)
+      : function_id_(std::move(function_id)) {}
+
+  ExprKind kind() const override { return ExprKind::kFunctionRef; }
+  ExprResult evaluate(EvaluationContext&) const override {
+    return ExprResult::error(Status::processing_error(
+        "function reference '" + function_id_ + "' evaluated outside a higher-order apply"));
+  }
+  ExprPtr clone() const override {
+    return std::make_unique<FunctionRefExpr>(function_id_);
+  }
+
+  const std::string& function_id() const { return function_id_; }
+
+ private:
+  std::string function_id_;
+};
+
+/// Applies a registered function to argument expressions.
+class ApplyExpr final : public Expression {
+ public:
+  ApplyExpr(std::string function_id, std::vector<ExprPtr> args)
+      : function_id_(std::move(function_id)), args_(std::move(args)) {}
+
+  ExprKind kind() const override { return ExprKind::kApply; }
+  ExprResult evaluate(EvaluationContext& ctx) const override;
+  ExprPtr clone() const override;
+
+  const std::string& function_id() const { return function_id_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+
+ private:
+  ExprResult evaluate_higher_order(EvaluationContext& ctx) const;
+
+  std::string function_id_;
+  std::vector<ExprPtr> args_;
+};
+
+// ----------------------------------------------------------------------
+// Construction helpers (make policy-building code read declaratively).
+// ----------------------------------------------------------------------
+
+inline ExprPtr lit(AttributeValue v) { return std::make_unique<LiteralExpr>(std::move(v)); }
+inline ExprPtr lit(const char* s) { return lit(AttributeValue(s)); }
+inline ExprPtr lit(std::string s) { return lit(AttributeValue(std::move(s))); }
+inline ExprPtr lit(std::int64_t i) { return lit(AttributeValue(i)); }
+inline ExprPtr lit(bool b) { return lit(AttributeValue(b)); }
+inline ExprPtr lit_bag(Bag b) { return std::make_unique<LiteralExpr>(std::move(b)); }
+
+inline ExprPtr designator(Category c, std::string id, DataType t,
+                          bool must_be_present = false) {
+  return std::make_unique<DesignatorExpr>(c, std::move(id), t, must_be_present);
+}
+
+inline ExprPtr function_ref(std::string id) {
+  return std::make_unique<FunctionRefExpr>(std::move(id));
+}
+
+// Named `make_apply` (not `apply`) deliberately: an unqualified `apply`
+// would be ambiguous with std::apply through ADL, because ExprPtr is a
+// std::unique_ptr.
+template <typename... Ts>
+ExprPtr make_apply(std::string function_id, Ts... args) {
+  std::vector<ExprPtr> v;
+  (v.push_back(std::move(args)), ...);
+  return std::make_unique<ApplyExpr>(std::move(function_id), std::move(v));
+}
+
+inline ExprPtr make_apply_vec(std::string function_id, std::vector<ExprPtr> args) {
+  return std::make_unique<ApplyExpr>(std::move(function_id), std::move(args));
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,487 @@
+#include "core/functions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <regex>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace mdac::core {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+ExprResult type_error(const std::string& fn, const std::string& detail) {
+  return ExprResult::error(
+      Status::processing_error(fn + ": " + detail));
+}
+
+/// Extracts the single value of a bag, checking the expected type.
+/// Returns nullopt and fills `err` on failure.
+std::optional<AttributeValue> singleton_of(const std::string& fn, const Bag& bag,
+                                           DataType expected, ExprResult* err) {
+  if (bag.size() != 1) {
+    *err = type_error(fn, "expected singleton bag, got " + std::to_string(bag.size()) +
+                              " values");
+    return std::nullopt;
+  }
+  const AttributeValue& v = bag.at(0);
+  if (v.type() != expected) {
+    *err = type_error(fn, std::string("expected ") + to_string(expected) + ", got " +
+                              to_string(v.type()));
+    return std::nullopt;
+  }
+  return v;
+}
+
+using Args = std::vector<Bag>;
+
+/// Registers a binary function over two singleton values of fixed types.
+template <typename F>
+FunctionDef binary(std::string name, DataType lhs_type, DataType rhs_type, F body) {
+  FunctionDef def;
+  def.name = name;
+  def.arity = 2;
+  def.invoke = [name, lhs_type, rhs_type, body](EvaluationContext&,
+                                                const Args& args) -> ExprResult {
+    ExprResult err = ExprResult::boolean(false);
+    const auto a = singleton_of(name, args[0], lhs_type, &err);
+    if (!a) return err;
+    const auto b = singleton_of(name, args[1], rhs_type, &err);
+    if (!b) return err;
+    return body(*a, *b);
+  };
+  return def;
+}
+
+/// Registers a unary function over one singleton value.
+template <typename F>
+FunctionDef unary(std::string name, DataType in_type, F body) {
+  FunctionDef def;
+  def.name = name;
+  def.arity = 1;
+  def.invoke = [name, in_type, body](EvaluationContext&, const Args& args) -> ExprResult {
+    ExprResult err = ExprResult::boolean(false);
+    const auto a = singleton_of(name, args[0], in_type, &err);
+    if (!a) return err;
+    return body(*a);
+  };
+  return def;
+}
+
+/// Variadic fold over singleton values of one type.
+template <typename F>
+FunctionDef fold(std::string name, DataType in_type, int min_args, F body) {
+  FunctionDef def;
+  def.name = name;
+  def.arity = -1;
+  def.invoke = [name, in_type, min_args, body](EvaluationContext&,
+                                               const Args& args) -> ExprResult {
+    if (static_cast<int>(args.size()) < min_args) {
+      return type_error(name, "needs at least " + std::to_string(min_args) + " arguments");
+    }
+    std::vector<AttributeValue> vals;
+    vals.reserve(args.size());
+    ExprResult err = ExprResult::boolean(false);
+    for (const Bag& b : args) {
+      const auto v = singleton_of(name, b, in_type, &err);
+      if (!v) return err;
+      vals.push_back(*v);
+    }
+    return body(vals);
+  };
+  return def;
+}
+
+// Comparison family for a type with operator< on the projected value.
+template <typename Proj>
+void add_ordering(FunctionRegistry& reg, const std::string& prefix, DataType type,
+                  Proj proj) {
+  reg.add(binary(prefix + "-less-than", type, type,
+                 [proj](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(proj(a) < proj(b));
+                 }));
+  reg.add(binary(prefix + "-less-than-or-equal", type, type,
+                 [proj](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(!(proj(b) < proj(a)));
+                 }));
+  reg.add(binary(prefix + "-greater-than", type, type,
+                 [proj](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(proj(b) < proj(a));
+                 }));
+  reg.add(binary(prefix + "-greater-than-or-equal", type, type,
+                 [proj](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(!(proj(a) < proj(b)));
+                 }));
+}
+
+void add_equality(FunctionRegistry& reg, const std::string& prefix, DataType type) {
+  reg.add(binary(prefix + "-equal", type, type,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(a == b);
+                 }));
+}
+
+FunctionRegistry build_standard() {
+  FunctionRegistry reg;
+
+  // --- Equality -----------------------------------------------------
+  add_equality(reg, "string", DataType::kString);
+  add_equality(reg, "boolean", DataType::kBoolean);
+  add_equality(reg, "integer", DataType::kInteger);
+  add_equality(reg, "double", DataType::kDouble);
+  add_equality(reg, "time", DataType::kTime);
+
+  // --- Ordering -----------------------------------------------------
+  add_ordering(reg, "integer", DataType::kInteger,
+               [](const AttributeValue& v) { return v.as_integer(); });
+  add_ordering(reg, "double", DataType::kDouble,
+               [](const AttributeValue& v) { return v.as_double(); });
+  add_ordering(reg, "string", DataType::kString,
+               [](const AttributeValue& v) { return v.as_string(); });
+  add_ordering(reg, "time", DataType::kTime,
+               [](const AttributeValue& v) { return v.as_time().millis; });
+
+  {
+    FunctionDef def;
+    def.name = "time-in-range";
+    def.arity = 3;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      ExprResult err = ExprResult::boolean(false);
+      const auto t = singleton_of("time-in-range", args[0], DataType::kTime, &err);
+      if (!t) return err;
+      const auto lo = singleton_of("time-in-range", args[1], DataType::kTime, &err);
+      if (!lo) return err;
+      const auto hi = singleton_of("time-in-range", args[2], DataType::kTime, &err);
+      if (!hi) return err;
+      const auto v = t->as_time().millis;
+      return ExprResult::boolean(lo->as_time().millis <= v && v <= hi->as_time().millis);
+    };
+    reg.add(std::move(def));
+  }
+
+  // --- Integer arithmetic --------------------------------------------
+  reg.add(fold("integer-add", DataType::kInteger, 2,
+               [](const std::vector<AttributeValue>& vs) {
+                 std::int64_t acc = 0;
+                 for (const auto& v : vs) acc += v.as_integer();
+                 return ExprResult::single(AttributeValue(acc));
+               }));
+  reg.add(fold("integer-multiply", DataType::kInteger, 2,
+               [](const std::vector<AttributeValue>& vs) {
+                 std::int64_t acc = 1;
+                 for (const auto& v : vs) acc *= v.as_integer();
+                 return ExprResult::single(AttributeValue(acc));
+               }));
+  reg.add(binary("integer-subtract", DataType::kInteger, DataType::kInteger,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::single(AttributeValue(a.as_integer() - b.as_integer()));
+                 }));
+  reg.add(binary("integer-divide", DataType::kInteger, DataType::kInteger,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   if (b.as_integer() == 0) {
+                     return type_error("integer-divide", "division by zero");
+                   }
+                   return ExprResult::single(AttributeValue(a.as_integer() / b.as_integer()));
+                 }));
+  reg.add(binary("integer-mod", DataType::kInteger, DataType::kInteger,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   if (b.as_integer() == 0) {
+                     return type_error("integer-mod", "division by zero");
+                   }
+                   return ExprResult::single(AttributeValue(a.as_integer() % b.as_integer()));
+                 }));
+  reg.add(unary("integer-abs", DataType::kInteger, [](const AttributeValue& a) {
+    const std::int64_t v = a.as_integer();
+    return ExprResult::single(AttributeValue(v < 0 ? -v : v));
+  }));
+
+  // --- Double arithmetic ---------------------------------------------
+  reg.add(fold("double-add", DataType::kDouble, 2,
+               [](const std::vector<AttributeValue>& vs) {
+                 double acc = 0;
+                 for (const auto& v : vs) acc += v.as_double();
+                 return ExprResult::single(AttributeValue(acc));
+               }));
+  reg.add(fold("double-multiply", DataType::kDouble, 2,
+               [](const std::vector<AttributeValue>& vs) {
+                 double acc = 1;
+                 for (const auto& v : vs) acc *= v.as_double();
+                 return ExprResult::single(AttributeValue(acc));
+               }));
+  reg.add(binary("double-subtract", DataType::kDouble, DataType::kDouble,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::single(AttributeValue(a.as_double() - b.as_double()));
+                 }));
+  reg.add(binary("double-divide", DataType::kDouble, DataType::kDouble,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   if (b.as_double() == 0.0) {
+                     return type_error("double-divide", "division by zero");
+                   }
+                   return ExprResult::single(AttributeValue(a.as_double() / b.as_double()));
+                 }));
+  reg.add(unary("double-abs", DataType::kDouble, [](const AttributeValue& a) {
+    return ExprResult::single(AttributeValue(std::fabs(a.as_double())));
+  }));
+  reg.add(unary("round", DataType::kDouble, [](const AttributeValue& a) {
+    return ExprResult::single(AttributeValue(std::round(a.as_double())));
+  }));
+  reg.add(unary("floor", DataType::kDouble, [](const AttributeValue& a) {
+    return ExprResult::single(AttributeValue(std::floor(a.as_double())));
+  }));
+
+  // --- Conversions ----------------------------------------------------
+  reg.add(unary("integer-to-double", DataType::kInteger, [](const AttributeValue& a) {
+    return ExprResult::single(AttributeValue(static_cast<double>(a.as_integer())));
+  }));
+  reg.add(unary("double-to-integer", DataType::kDouble, [](const AttributeValue& a) {
+    return ExprResult::single(
+        AttributeValue(static_cast<std::int64_t>(a.as_double())));
+  }));
+  reg.add(unary("string-to-integer", DataType::kString, [](const AttributeValue& a) {
+    const auto parsed = AttributeValue::from_text(DataType::kInteger, a.as_string());
+    if (!parsed) return type_error("string-to-integer", "'" + a.as_string() + "'");
+    return ExprResult::single(*parsed);
+  }));
+  reg.add(unary("integer-to-string", DataType::kInteger, [](const AttributeValue& a) {
+    return ExprResult::single(AttributeValue(std::to_string(a.as_integer())));
+  }));
+
+  // --- Logic ----------------------------------------------------------
+  reg.add(fold("and", DataType::kBoolean, 0, [](const std::vector<AttributeValue>& vs) {
+    for (const auto& v : vs) {
+      if (!v.as_boolean()) return ExprResult::boolean(false);
+    }
+    return ExprResult::boolean(true);
+  }));
+  reg.add(fold("or", DataType::kBoolean, 0, [](const std::vector<AttributeValue>& vs) {
+    for (const auto& v : vs) {
+      if (v.as_boolean()) return ExprResult::boolean(true);
+    }
+    return ExprResult::boolean(false);
+  }));
+  reg.add(unary("not", DataType::kBoolean, [](const AttributeValue& a) {
+    return ExprResult::boolean(!a.as_boolean());
+  }));
+  {
+    FunctionDef def;
+    def.name = "n-of";
+    def.arity = -1;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      if (args.empty()) return type_error("n-of", "needs a threshold argument");
+      ExprResult err = ExprResult::boolean(false);
+      const auto n = singleton_of("n-of", args[0], DataType::kInteger, &err);
+      if (!n) return err;
+      std::int64_t count = 0;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        const auto b = singleton_of("n-of", args[i], DataType::kBoolean, &err);
+        if (!b) return err;
+        if (b->as_boolean()) ++count;
+      }
+      return ExprResult::boolean(count >= n->as_integer());
+    };
+    reg.add(std::move(def));
+  }
+
+  // --- Strings ----------------------------------------------------------
+  reg.add(fold("string-concatenate", DataType::kString, 2,
+               [](const std::vector<AttributeValue>& vs) {
+                 std::string out;
+                 for (const auto& v : vs) out += v.as_string();
+                 return ExprResult::single(AttributeValue(out));
+               }));
+  // True iff the first string contains the second.
+  reg.add(binary("string-contains", DataType::kString, DataType::kString,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(a.as_string().find(b.as_string()) !=
+                                              std::string::npos);
+                 }));
+  reg.add(binary("string-starts-with", DataType::kString, DataType::kString,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(
+                       std::string_view(a.as_string()).starts_with(b.as_string()));
+                 }));
+  reg.add(binary("string-ends-with", DataType::kString, DataType::kString,
+                 [](const AttributeValue& a, const AttributeValue& b) {
+                   return ExprResult::boolean(
+                       std::string_view(a.as_string()).ends_with(b.as_string()));
+                 }));
+  reg.add(unary("string-normalize-space", DataType::kString, [](const AttributeValue& a) {
+    return ExprResult::single(
+        AttributeValue(std::string(common::trim(a.as_string()))));
+  }));
+  reg.add(unary("string-to-lower", DataType::kString, [](const AttributeValue& a) {
+    return ExprResult::single(AttributeValue(common::to_lower(a.as_string())));
+  }));
+  reg.add(unary("string-length", DataType::kString, [](const AttributeValue& a) {
+    return ExprResult::single(
+        AttributeValue(static_cast<std::int64_t>(a.as_string().size())));
+  }));
+  // regexp-match(pattern, string) with ECMAScript syntax, full match.
+  reg.add(binary("regexp-match", DataType::kString, DataType::kString,
+                 [](const AttributeValue& a, const AttributeValue& b) -> ExprResult {
+                   try {
+                     const std::regex re(a.as_string());
+                     return ExprResult::boolean(std::regex_search(b.as_string(), re));
+                   } catch (const std::regex_error& e) {
+                     return type_error("regexp-match", e.what());
+                   }
+                 }));
+
+  // --- Bags --------------------------------------------------------------
+  {
+    FunctionDef def;
+    def.name = "one-and-only";
+    def.arity = 1;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      if (args[0].size() != 1) {
+        return type_error("one-and-only",
+                          "bag has " + std::to_string(args[0].size()) + " values");
+      }
+      return ExprResult::single(args[0].at(0));
+    };
+    reg.add(std::move(def));
+  }
+  {
+    FunctionDef def;
+    def.name = "bag-size";
+    def.arity = 1;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      return ExprResult::single(
+          AttributeValue(static_cast<std::int64_t>(args[0].size())));
+    };
+    reg.add(std::move(def));
+  }
+  {
+    // is-in(value, bag)
+    FunctionDef def;
+    def.name = "is-in";
+    def.arity = 2;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      if (args[0].size() != 1) {
+        return type_error("is-in", "first argument must be a single value");
+      }
+      return ExprResult::boolean(args[1].contains(args[0].at(0)));
+    };
+    reg.add(std::move(def));
+  }
+  {
+    // bag(v1, ..., vn) -> bag of the argument values
+    FunctionDef def;
+    def.name = "bag";
+    def.arity = -1;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      Bag out;
+      for (const Bag& b : args) {
+        for (const AttributeValue& v : b.values()) out.add(v);
+      }
+      return ExprResult::value(std::move(out));
+    };
+    reg.add(std::move(def));
+  }
+  {
+    FunctionDef def;
+    def.name = "union";
+    def.arity = -1;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      Bag out;
+      for (const Bag& b : args) {
+        for (const AttributeValue& v : b.values()) {
+          if (!out.contains(v)) out.add(v);
+        }
+      }
+      return ExprResult::value(std::move(out));
+    };
+    reg.add(std::move(def));
+  }
+  {
+    FunctionDef def;
+    def.name = "intersection";
+    def.arity = 2;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      Bag out;
+      for (const AttributeValue& v : args[0].values()) {
+        if (args[1].contains(v) && !out.contains(v)) out.add(v);
+      }
+      return ExprResult::value(std::move(out));
+    };
+    reg.add(std::move(def));
+  }
+  {
+    // subset(a, b): every member of a is in b
+    FunctionDef def;
+    def.name = "subset";
+    def.arity = 2;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      for (const AttributeValue& v : args[0].values()) {
+        if (!args[1].contains(v)) return ExprResult::boolean(false);
+      }
+      return ExprResult::boolean(true);
+    };
+    reg.add(std::move(def));
+  }
+  {
+    FunctionDef def;
+    def.name = "set-equals";
+    def.arity = 2;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      // Set semantics (duplicates ignored), per XACML.
+      for (const AttributeValue& v : args[0].values()) {
+        if (!args[1].contains(v)) return ExprResult::boolean(false);
+      }
+      for (const AttributeValue& v : args[1].values()) {
+        if (!args[0].contains(v)) return ExprResult::boolean(false);
+      }
+      return ExprResult::boolean(true);
+    };
+    reg.add(std::move(def));
+  }
+  {
+    FunctionDef def;
+    def.name = "at-least-one-member-of";
+    def.arity = 2;
+    def.invoke = [](EvaluationContext&, const Args& args) -> ExprResult {
+      for (const AttributeValue& v : args[0].values()) {
+        if (args[1].contains(v)) return ExprResult::boolean(true);
+      }
+      return ExprResult::boolean(false);
+    };
+    reg.add(std::move(def));
+  }
+
+  // --- Higher-order (bodies live in ApplyExpr::evaluate) -----------------
+  for (const char* name : {"any-of", "all-of", "any-of-any", "map"}) {
+    FunctionDef def;
+    def.name = name;
+    def.arity = -1;
+    def.higher_order = true;
+    reg.add(std::move(def));
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const FunctionRegistry& FunctionRegistry::standard() {
+  static const FunctionRegistry reg = build_standard();
+  return reg;
+}
+
+FunctionRegistry FunctionRegistry::standard_copy() { return build_standard(); }
+
+void FunctionRegistry::add(FunctionDef def) {
+  functions_[def.name] = std::move(def);
+}
+
+const FunctionDef* FunctionRegistry::find(std::string_view name) const {
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace mdac::core

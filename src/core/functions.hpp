@@ -1,0 +1,51 @@
+// The function registry: the vocabulary available to policy conditions.
+//
+// A trimmed-but-faithful rendition of the XACML function library
+// (equality, ordering, arithmetic, logic, strings, bags, higher-order
+// functions). Names drop the URN prefix ("string-equal" instead of
+// "urn:oasis:...:function:string-equal"). The registry is extensible so a
+// domain can add its own functions — one of the paper's extensibility
+// requirements (§3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/evaluation.hpp"
+
+namespace mdac::core {
+
+struct FunctionDef {
+  std::string name;
+  /// Exact argument count, or -1 for variadic (minimum 1, unless stated).
+  int arity = -1;
+  /// Higher-order functions (any-of, all-of, any-of-any, map) are
+  /// special-cased by ApplyExpr; their `invoke` is unused.
+  bool higher_order = false;
+  std::function<ExprResult(EvaluationContext&, const std::vector<Bag>&)> invoke;
+};
+
+class FunctionRegistry {
+ public:
+  /// The standard library of ~55 functions. Thread-safe, built once.
+  static const FunctionRegistry& standard();
+
+  /// A copy of the standard registry, for callers that want to extend it.
+  static FunctionRegistry standard_copy();
+
+  /// Registers (or replaces) a function.
+  void add(FunctionDef def);
+
+  /// Returns nullptr if unknown.
+  const FunctionDef* find(std::string_view name) const;
+
+  std::size_t size() const { return functions_.size(); }
+
+ private:
+  std::map<std::string, FunctionDef, std::less<>> functions_;
+};
+
+}  // namespace mdac::core

@@ -1,0 +1,163 @@
+#include "core/pdp.hpp"
+
+#include <algorithm>
+
+#include "core/functions.hpp"
+
+namespace mdac::core {
+
+Pdp::Pdp(std::shared_ptr<PolicyStore> store, PdpConfig config)
+    : store_(std::move(store)),
+      config_(std::move(config)),
+      functions_(&FunctionRegistry::standard()) {}
+
+namespace {
+
+/// If the target has a conjunct that is a pure disjunction of
+/// string-equality matches on one attribute, returns that attribute and
+/// the admitted values. Such a conjunct is a *necessary* condition for
+/// the target to match, so indexing on it is sound.
+struct SimpleConstraint {
+  Category category;
+  std::string attribute_id;
+  std::vector<std::string> values;
+};
+
+std::optional<SimpleConstraint> extract_constraint(const Target* target) {
+  if (target == nullptr || target->empty()) return std::nullopt;
+  for (const AnyOf& any : target->any_ofs) {
+    if (any.all_ofs.empty()) continue;
+    SimpleConstraint c;
+    bool first = true;
+    bool viable = true;
+    for (const AllOf& all : any.all_ofs) {
+      if (all.matches.size() != 1) {
+        viable = false;
+        break;
+      }
+      const Match& m = all.matches[0];
+      if (m.function_id != "string-equal" || m.must_be_present ||
+          m.data_type != DataType::kString || !m.literal.is_string()) {
+        viable = false;
+        break;
+      }
+      if (first) {
+        c.category = m.category;
+        c.attribute_id = m.attribute_id;
+        first = false;
+      } else if (c.category != m.category || c.attribute_id != m.attribute_id) {
+        viable = false;
+        break;
+      }
+      c.values.push_back(m.literal.as_string());
+    }
+    if (viable && !c.values.empty()) return c;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void Pdp::rebuild_index_if_stale() {
+  if (indexed_revision_ == store_->revision()) return;
+
+  ordered_nodes_ = store_->top_level();
+  index_entries_.clear();
+  residual_.clear();
+
+  if (!config_.use_target_index) {
+    for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) residual_.push_back(i);
+    indexed_revision_ = store_->revision();
+    return;
+  }
+
+  // One IndexEntry per distinct (category, attribute) seen.
+  std::map<std::pair<Category, std::string>, std::size_t> entry_of;
+  for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
+    const auto constraint = extract_constraint(ordered_nodes_[i]->target());
+    if (!constraint) {
+      residual_.push_back(i);
+      continue;
+    }
+    const auto key = std::make_pair(constraint->category, constraint->attribute_id);
+    auto it = entry_of.find(key);
+    if (it == entry_of.end()) {
+      index_entries_.push_back(IndexEntry{constraint->category,
+                                          constraint->attribute_id,
+                                          {}});
+      it = entry_of.emplace(key, index_entries_.size() - 1).first;
+    }
+    IndexEntry& entry = index_entries_[it->second];
+    for (const std::string& v : constraint->values) {
+      entry.by_value[v].push_back(i);
+    }
+  }
+  indexed_revision_ = store_->revision();
+}
+
+std::vector<const PolicyTreeNode*> Pdp::select_candidates(
+    const RequestContext& request, std::size_t* skipped) const {
+  std::vector<bool> selected(ordered_nodes_.size(), false);
+  for (const std::size_t i : residual_) selected[i] = true;
+
+  for (const IndexEntry& entry : index_entries_) {
+    const Bag* bag = request.get(entry.category, entry.attribute_id);
+    if (bag == nullptr) continue;
+    for (const AttributeValue& v : bag->values()) {
+      if (!v.is_string()) continue;
+      const auto it = entry.by_value.find(v.as_string());
+      if (it == entry.by_value.end()) continue;
+      for (const std::size_t i : it->second) selected[i] = true;
+    }
+  }
+
+  std::vector<const PolicyTreeNode*> out;
+  out.reserve(ordered_nodes_.size());
+  std::size_t skip_count = 0;
+  for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
+    if (selected[i]) {
+      out.push_back(ordered_nodes_[i]);
+    } else {
+      ++skip_count;
+    }
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return out;
+}
+
+Decision Pdp::evaluate(const RequestContext& request) {
+  return evaluate_with_metrics(request).decision;
+}
+
+PdpResult Pdp::evaluate_with_metrics(const RequestContext& request) {
+  ++evaluation_count_;
+  rebuild_index_if_stale();
+
+  PdpResult result;
+  EvaluationContext ctx(request, *functions_, resolver_, store_.get());
+
+  const CombiningAlgorithm* alg =
+      CombiningRegistry::standard().find(config_.root_combining);
+  if (alg == nullptr) {
+    result.decision = Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::syntax_error("unknown root combining algorithm '" +
+                             config_.root_combining + "'"));
+    return result;
+  }
+
+  const std::vector<const PolicyTreeNode*> candidates =
+      select_candidates(request, &result.candidates_skipped);
+
+  std::vector<Combinable> children;
+  children.reserve(candidates.size());
+  for (const PolicyTreeNode* node : candidates) {
+    children.push_back(Combinable::of_node(*node));
+  }
+
+  result.decision = alg->combine(children, ctx);
+  result.metrics = ctx.metrics();
+  return result;
+}
+
+}  // namespace mdac::core

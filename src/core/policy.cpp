@@ -1,0 +1,444 @@
+#include "core/policy.hpp"
+
+#include "core/combining.hpp"
+#include "core/functions.hpp"
+
+namespace mdac::core {
+
+// ---------------------------------------------------------------------
+// Target matching
+// ---------------------------------------------------------------------
+
+MatchResult Match::evaluate(EvaluationContext& ctx) const {
+  const FunctionDef* fn = ctx.functions().find(function_id);
+  if (fn == nullptr || fn->higher_order) return MatchResult::kIndeterminate;
+
+  const ExprResult looked_up = ctx.attribute(category, attribute_id, data_type,
+                                             must_be_present);
+  if (!looked_up.ok()) return MatchResult::kIndeterminate;
+
+  bool saw_error = false;
+  for (const AttributeValue& candidate : looked_up.bag.values()) {
+    const ExprResult r = fn->invoke(ctx, {Bag(literal), Bag(candidate)});
+    if (!r.ok() || r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
+      saw_error = true;
+      continue;
+    }
+    if (r.bag.at(0).as_boolean()) return MatchResult::kMatch;
+  }
+  return saw_error ? MatchResult::kIndeterminate : MatchResult::kNoMatch;
+}
+
+MatchResult AllOf::evaluate(EvaluationContext& ctx) const {
+  bool saw_indeterminate = false;
+  for (const Match& m : matches) {
+    switch (m.evaluate(ctx)) {
+      case MatchResult::kNoMatch:
+        return MatchResult::kNoMatch;
+      case MatchResult::kIndeterminate:
+        saw_indeterminate = true;
+        break;
+      case MatchResult::kMatch:
+        break;
+    }
+  }
+  return saw_indeterminate ? MatchResult::kIndeterminate : MatchResult::kMatch;
+}
+
+MatchResult AnyOf::evaluate(EvaluationContext& ctx) const {
+  bool saw_indeterminate = false;
+  for (const AllOf& group : all_ofs) {
+    switch (group.evaluate(ctx)) {
+      case MatchResult::kMatch:
+        return MatchResult::kMatch;
+      case MatchResult::kIndeterminate:
+        saw_indeterminate = true;
+        break;
+      case MatchResult::kNoMatch:
+        break;
+    }
+  }
+  return saw_indeterminate ? MatchResult::kIndeterminate : MatchResult::kNoMatch;
+}
+
+MatchResult Target::evaluate(EvaluationContext& ctx) const {
+  ++ctx.metrics().targets_checked;
+  bool saw_indeterminate = false;
+  for (const AnyOf& group : any_ofs) {
+    switch (group.evaluate(ctx)) {
+      case MatchResult::kNoMatch:
+        return MatchResult::kNoMatch;
+      case MatchResult::kIndeterminate:
+        saw_indeterminate = true;
+        break;
+      case MatchResult::kMatch:
+        break;
+    }
+  }
+  return saw_indeterminate ? MatchResult::kIndeterminate : MatchResult::kMatch;
+}
+
+Target& Target::require(Category c, const std::string& attribute_id,
+                        AttributeValue value, const std::string& function_id) {
+  return require_any(c, attribute_id, {std::move(value)}, function_id);
+}
+
+Target& Target::require_any(Category c, const std::string& attribute_id,
+                            const std::vector<AttributeValue>& values,
+                            const std::string& function_id) {
+  AnyOf any;
+  for (const AttributeValue& v : values) {
+    Match m;
+    m.function_id = function_id;
+    m.literal = v;
+    m.category = c;
+    m.attribute_id = attribute_id;
+    m.data_type = v.type();
+    AllOf all;
+    all.matches.push_back(std::move(m));
+    any.all_ofs.push_back(std::move(all));
+  }
+  any_ofs.push_back(std::move(any));
+  return *this;
+}
+
+// ---------------------------------------------------------------------
+// Obligations
+// ---------------------------------------------------------------------
+
+AttributeAssignmentExpr AttributeAssignmentExpr::clone() const {
+  return AttributeAssignmentExpr{attribute_id, expr ? expr->clone() : nullptr};
+}
+
+ObligationExpr ObligationExpr::clone() const {
+  ObligationExpr out;
+  out.id = id;
+  out.fulfill_on = fulfill_on;
+  out.advice = advice;
+  out.assignments.reserve(assignments.size());
+  for (const AttributeAssignmentExpr& a : assignments) {
+    out.assignments.push_back(a.clone());
+  }
+  return out;
+}
+
+Status ObligationExpr::instantiate(EvaluationContext& ctx,
+                                   ObligationInstance* out) const {
+  out->id = id;
+  out->assignments.clear();
+  for (const AttributeAssignmentExpr& a : assignments) {
+    if (!a.expr) {
+      return Status::processing_error("obligation '" + id + "': null assignment");
+    }
+    const ExprResult r = a.expr->evaluate(ctx);
+    if (!r.ok()) return r.status;
+    if (r.bag.size() != 1) {
+      return Status::processing_error("obligation '" + id +
+                                      "': assignment must yield one value");
+    }
+    out->assignments.emplace_back(a.attribute_id, r.bag.at(0));
+  }
+  return Status::okay();
+}
+
+void attach_obligations(const std::vector<ObligationExpr>& obligations,
+                        EvaluationContext& ctx, Decision* decision) {
+  if (decision->type != DecisionType::kPermit &&
+      decision->type != DecisionType::kDeny) {
+    return;
+  }
+  const Effect decided = decision->type == DecisionType::kPermit
+                             ? Effect::kPermit
+                             : Effect::kDeny;
+  for (const ObligationExpr& ob : obligations) {
+    if (ob.fulfill_on != decided) continue;
+    ObligationInstance instance;
+    const Status s = ob.instantiate(ctx, &instance);
+    if (!s.ok()) {
+      const IndeterminateExtent extent = decided == Effect::kPermit
+                                             ? IndeterminateExtent::kP
+                                             : IndeterminateExtent::kD;
+      *decision = Decision::indeterminate(extent, s);
+      return;
+    }
+    if (ob.advice) {
+      decision->advice.push_back(std::move(instance));
+    } else {
+      decision->obligations.push_back(std::move(instance));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rule
+// ---------------------------------------------------------------------
+
+MatchResult Rule::match(EvaluationContext& ctx) const {
+  if (!target.has_value() || target->empty()) return MatchResult::kMatch;
+  return target->evaluate(ctx);
+}
+
+Decision Rule::evaluate(EvaluationContext& ctx) const {
+  ++ctx.metrics().rules_evaluated;
+  const IndeterminateExtent my_extent = effect == Effect::kPermit
+                                            ? IndeterminateExtent::kP
+                                            : IndeterminateExtent::kD;
+
+  switch (match(ctx)) {
+    case MatchResult::kNoMatch:
+      return Decision::not_applicable();
+    case MatchResult::kIndeterminate:
+      return Decision::indeterminate(
+          my_extent, Status::processing_error("rule '" + id + "': target error"));
+    case MatchResult::kMatch:
+      break;
+  }
+
+  if (condition) {
+    const ExprResult r = condition->evaluate(ctx);
+    if (!r.ok()) return Decision::indeterminate(my_extent, r.status);
+    if (r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
+      return Decision::indeterminate(
+          my_extent,
+          Status::processing_error("rule '" + id + "': condition not boolean"));
+    }
+    if (!r.bag.at(0).as_boolean()) return Decision::not_applicable();
+  }
+
+  Decision d = effect == Effect::kPermit ? Decision::permit() : Decision::deny();
+  attach_obligations(obligations, ctx, &d);
+  return d;
+}
+
+Rule Rule::clone() const {
+  Rule out;
+  out.id = id;
+  out.description = description;
+  out.effect = effect;
+  out.target = target;
+  out.condition = condition ? condition->clone() : nullptr;
+  out.obligations.reserve(obligations.size());
+  for (const ObligationExpr& ob : obligations) out.obligations.push_back(ob.clone());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Applies the XACML 3.0 "target Indeterminate" table: the policy's value
+/// becomes Indeterminate whose extent reflects what the children would
+/// have produced.
+Decision mask_by_indeterminate_target(Decision combined, const std::string& id) {
+  const Status status =
+      Status::processing_error("'" + id + "': target indeterminate");
+  switch (combined.type) {
+    case DecisionType::kPermit:
+      return Decision::indeterminate(IndeterminateExtent::kP, status);
+    case DecisionType::kDeny:
+      return Decision::indeterminate(IndeterminateExtent::kD, status);
+    case DecisionType::kIndeterminate:
+      return Decision::indeterminate(combined.extent, combined.status);
+    case DecisionType::kNotApplicable:
+      return Decision::not_applicable();
+  }
+  return combined;
+}
+
+const CombiningAlgorithm* lookup_algorithm(const std::string& name) {
+  return CombiningRegistry::standard().find(name);
+}
+
+}  // namespace
+
+MatchResult Policy::match(EvaluationContext& ctx) const {
+  if (target_spec.empty()) return MatchResult::kMatch;
+  return target_spec.evaluate(ctx);
+}
+
+Decision Policy::evaluate(EvaluationContext& ctx) const {
+  ++ctx.metrics().policies_evaluated;
+
+  const MatchResult m = match(ctx);
+  if (m == MatchResult::kNoMatch) return Decision::not_applicable();
+
+  const CombiningAlgorithm* alg = lookup_algorithm(rule_combining);
+  if (alg == nullptr) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::syntax_error("policy '" + policy_id +
+                             "': unknown rule-combining algorithm '" +
+                             rule_combining + "'"));
+  }
+
+  std::vector<Combinable> children;
+  children.reserve(rules.size());
+  for (const Rule& r : rules) children.push_back(Combinable::of_rule(r));
+
+  Decision combined = alg->combine(children, ctx);
+
+  if (m == MatchResult::kIndeterminate) {
+    return mask_by_indeterminate_target(std::move(combined), policy_id);
+  }
+  attach_obligations(obligations, ctx, &combined);
+  return combined;
+}
+
+PolicyNodePtr Policy::clone_node() const {
+  return std::make_unique<Policy>(clone());
+}
+
+Policy Policy::clone() const {
+  Policy out;
+  out.policy_id = policy_id;
+  out.version = version;
+  out.description = description;
+  out.issuer = issuer;
+  out.target_spec = target_spec;
+  out.rule_combining = rule_combining;
+  out.rules.reserve(rules.size());
+  for (const Rule& r : rules) out.rules.push_back(r.clone());
+  out.obligations.reserve(obligations.size());
+  for (const ObligationExpr& ob : obligations) out.obligations.push_back(ob.clone());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// PolicyReference
+// ---------------------------------------------------------------------
+
+const PolicyTreeNode* PolicyReference::resolve(EvaluationContext& ctx) const {
+  if (ctx.store() == nullptr) return nullptr;
+  return ctx.store()->find(ref_id_);
+}
+
+MatchResult PolicyReference::match(EvaluationContext& ctx) const {
+  const PolicyTreeNode* node = resolve(ctx);
+  if (node == nullptr) return MatchResult::kIndeterminate;
+  if (!ctx.enter_reference(ref_id_)) return MatchResult::kIndeterminate;
+  const MatchResult m = node->match(ctx);
+  ctx.leave_reference(ref_id_);
+  return m;
+}
+
+Decision PolicyReference::evaluate(EvaluationContext& ctx) const {
+  const PolicyTreeNode* node = resolve(ctx);
+  if (node == nullptr) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::processing_error("unresolved policy reference '" + ref_id_ + "'"));
+  }
+  if (!ctx.enter_reference(ref_id_)) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::processing_error("policy reference cycle at '" + ref_id_ + "'"));
+  }
+  Decision d = node->evaluate(ctx);
+  ctx.leave_reference(ref_id_);
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// PolicySet
+// ---------------------------------------------------------------------
+
+MatchResult PolicySet::match(EvaluationContext& ctx) const {
+  if (target_spec.empty()) return MatchResult::kMatch;
+  return target_spec.evaluate(ctx);
+}
+
+Decision PolicySet::evaluate(EvaluationContext& ctx) const {
+  ++ctx.metrics().policies_evaluated;
+
+  const MatchResult m = match(ctx);
+  if (m == MatchResult::kNoMatch) return Decision::not_applicable();
+
+  const CombiningAlgorithm* alg = lookup_algorithm(policy_combining);
+  if (alg == nullptr) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::syntax_error("policy set '" + policy_set_id +
+                             "': unknown policy-combining algorithm '" +
+                             policy_combining + "'"));
+  }
+
+  std::vector<Combinable> combinables;
+  combinables.reserve(children_.size());
+  for (const PolicyNodePtr& child : children_) {
+    combinables.push_back(Combinable::of_node(*child));
+  }
+
+  Decision combined = alg->combine(combinables, ctx);
+
+  if (m == MatchResult::kIndeterminate) {
+    return mask_by_indeterminate_target(std::move(combined), policy_set_id);
+  }
+  attach_obligations(obligations, ctx, &combined);
+  return combined;
+}
+
+PolicyNodePtr PolicySet::clone_node() const {
+  return std::make_unique<PolicySet>(clone());
+}
+
+PolicySet PolicySet::clone() const {
+  PolicySet out;
+  out.policy_set_id = policy_set_id;
+  out.version = version;
+  out.description = description;
+  out.issuer = issuer;
+  out.target_spec = target_spec;
+  out.policy_combining = policy_combining;
+  out.obligations.reserve(obligations.size());
+  for (const ObligationExpr& ob : obligations) out.obligations.push_back(ob.clone());
+  out.children_.reserve(children_.size());
+  for (const PolicyNodePtr& c : children_) out.children_.push_back(c->clone_node());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// PolicyStore
+// ---------------------------------------------------------------------
+
+void PolicyStore::add(PolicyNodePtr node) {
+  const std::string node_id = node->id();
+  if (by_id_.find(node_id) == by_id_.end()) {
+    order_.push_back(node_id);
+  }
+  by_id_[node_id] = std::move(node);
+  ++revision_;
+}
+
+bool PolicyStore::remove(const std::string& id) {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  by_id_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  ++revision_;
+  return true;
+}
+
+const PolicyTreeNode* PolicyStore::find(const std::string& id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  return it->second.get();
+}
+
+std::vector<const PolicyTreeNode*> PolicyStore::top_level() const {
+  std::vector<const PolicyTreeNode*> out;
+  out.reserve(order_.size());
+  for (const std::string& id : order_) {
+    out.push_back(by_id_.at(id).get());
+  }
+  return out;
+}
+
+void PolicyStore::clear() {
+  order_.clear();
+  by_id_.clear();
+  ++revision_;
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,222 @@
+// The policy tree: targets, rules, policies, policy sets and references.
+//
+// Follows the XACML 3.0 structure the paper presents in §2.3: a PolicySet
+// combines Policies (and nested PolicySets) under a policy-combining
+// algorithm; a Policy combines Rules under a rule-combining algorithm;
+// Targets gate applicability; Conditions refine rules; Obligations ride
+// along with decisions. Policies carry an `issuer` so the delegation
+// module can run chain reduction over non-root-issued policy.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/expression.hpp"
+
+namespace mdac::core {
+
+enum class MatchResult { kMatch, kNoMatch, kIndeterminate };
+
+/// One Match: applies `function_id(literal, candidate)` over the request's
+/// candidate values for (category, attribute_id).
+struct Match {
+  std::string function_id = "string-equal";
+  AttributeValue literal;
+  Category category = Category::kSubject;
+  std::string attribute_id;
+  DataType data_type = DataType::kString;
+  bool must_be_present = false;
+
+  MatchResult evaluate(EvaluationContext& ctx) const;
+};
+
+/// Conjunction of matches.
+struct AllOf {
+  std::vector<Match> matches;
+  MatchResult evaluate(EvaluationContext& ctx) const;
+};
+
+/// Disjunction of AllOf groups.
+struct AnyOf {
+  std::vector<AllOf> all_ofs;
+  MatchResult evaluate(EvaluationContext& ctx) const;
+};
+
+/// Conjunction of AnyOf groups; an empty target matches every request.
+struct Target {
+  std::vector<AnyOf> any_ofs;
+
+  bool empty() const { return any_ofs.empty(); }
+  MatchResult evaluate(EvaluationContext& ctx) const;
+
+  // -- builder helpers -------------------------------------------------
+  /// Adds a single-match conjunct: target AND (attr == value).
+  Target& require(Category c, const std::string& attribute_id, AttributeValue value,
+                  const std::string& function_id = "string-equal");
+  /// Adds a disjunctive conjunct: target AND (attr == v1 OR attr == v2 ...).
+  Target& require_any(Category c, const std::string& attribute_id,
+                      const std::vector<AttributeValue>& values,
+                      const std::string& function_id = "string-equal");
+};
+
+/// An obligation (or advice) template inside a rule/policy/policy set.
+struct AttributeAssignmentExpr {
+  std::string attribute_id;
+  ExprPtr expr;
+
+  AttributeAssignmentExpr clone() const;
+};
+
+struct ObligationExpr {
+  std::string id;
+  Effect fulfill_on = Effect::kPermit;
+  bool advice = false;  // advice = non-binding obligation
+  std::vector<AttributeAssignmentExpr> assignments;
+
+  ObligationExpr clone() const;
+
+  /// Evaluates assignments; returns error status if any assignment fails.
+  Status instantiate(EvaluationContext& ctx, ObligationInstance* out) const;
+};
+
+/// Appends instances of all obligation expressions matching `decision`'s
+/// effect. On evaluation failure, converts the decision to Indeterminate
+/// (per XACML: a decision whose obligations cannot be computed must not
+/// be enforced).
+void attach_obligations(const std::vector<ObligationExpr>& obligations,
+                        EvaluationContext& ctx, Decision* decision);
+
+class Rule {
+ public:
+  std::string id;
+  std::string description;
+  Effect effect = Effect::kPermit;
+  std::optional<Target> target;  // absent = always applicable
+  ExprPtr condition;             // null = always true
+  std::vector<ObligationExpr> obligations;
+
+  Decision evaluate(EvaluationContext& ctx) const;
+  MatchResult match(EvaluationContext& ctx) const;
+  Rule clone() const;
+};
+
+/// Base of the policy hierarchy: Policy, PolicySet, PolicyReference.
+class PolicyTreeNode {
+ public:
+  virtual ~PolicyTreeNode() = default;
+  virtual const std::string& id() const = 0;
+  virtual MatchResult match(EvaluationContext& ctx) const = 0;
+  virtual Decision evaluate(EvaluationContext& ctx) const = 0;
+  virtual std::unique_ptr<PolicyTreeNode> clone_node() const = 0;
+  /// The target, for static analysis (conflict detection, indexing).
+  virtual const Target* target() const = 0;
+};
+
+using PolicyNodePtr = std::unique_ptr<PolicyTreeNode>;
+
+class Policy final : public PolicyTreeNode {
+ public:
+  std::string policy_id;
+  std::string version = "1";
+  std::string description;
+  std::string issuer;  // empty = trusted root issuer
+  Target target_spec;
+  std::string rule_combining = "deny-overrides";
+  std::vector<Rule> rules;
+  std::vector<ObligationExpr> obligations;
+
+  const std::string& id() const override { return policy_id; }
+  MatchResult match(EvaluationContext& ctx) const override;
+  Decision evaluate(EvaluationContext& ctx) const override;
+  PolicyNodePtr clone_node() const override;
+  const Target* target() const override { return &target_spec; }
+
+  Policy clone() const;
+};
+
+/// Reference to a policy (set) stored in the evaluation context's store.
+class PolicyReference final : public PolicyTreeNode {
+ public:
+  explicit PolicyReference(std::string ref_id) : ref_id_(std::move(ref_id)) {}
+
+  const std::string& id() const override { return ref_id_; }
+  MatchResult match(EvaluationContext& ctx) const override;
+  Decision evaluate(EvaluationContext& ctx) const override;
+  PolicyNodePtr clone_node() const override {
+    return std::make_unique<PolicyReference>(ref_id_);
+  }
+  const Target* target() const override { return nullptr; }
+
+ private:
+  const PolicyTreeNode* resolve(EvaluationContext& ctx) const;
+  std::string ref_id_;
+};
+
+class PolicySet final : public PolicyTreeNode {
+ public:
+  std::string policy_set_id;
+  std::string version = "1";
+  std::string description;
+  std::string issuer;
+  Target target_spec;
+  std::string policy_combining = "deny-overrides";
+  std::vector<ObligationExpr> obligations;
+
+  PolicySet() = default;
+  PolicySet(PolicySet&&) = default;
+  PolicySet& operator=(PolicySet&&) = default;
+
+  void add(Policy p) { children_.push_back(std::make_unique<Policy>(std::move(p))); }
+  void add(PolicySet ps) {
+    children_.push_back(std::make_unique<PolicySet>(std::move(ps)));
+  }
+  void add_reference(std::string ref_id) {
+    children_.push_back(std::make_unique<PolicyReference>(std::move(ref_id)));
+  }
+  void add_node(PolicyNodePtr node) { children_.push_back(std::move(node)); }
+
+  const std::vector<PolicyNodePtr>& children() const { return children_; }
+
+  const std::string& id() const override { return policy_set_id; }
+  MatchResult match(EvaluationContext& ctx) const override;
+  Decision evaluate(EvaluationContext& ctx) const override;
+  PolicyNodePtr clone_node() const override;
+  const Target* target() const override { return &target_spec; }
+
+  PolicySet clone() const;
+
+ private:
+  std::vector<PolicyNodePtr> children_;
+};
+
+/// Id-indexed store of policy trees — the PDP's working set, fed by the
+/// PAP (retrieval seam for policy references, §2.2).
+class PolicyStore {
+ public:
+  /// Adds a top-level node; replaces any previous node with the same id.
+  void add(PolicyNodePtr node);
+  void add(Policy p) { add(std::make_unique<Policy>(std::move(p))); }
+  void add(PolicySet ps) { add(std::make_unique<PolicySet>(std::move(ps))); }
+
+  bool remove(const std::string& id);
+  const PolicyTreeNode* find(const std::string& id) const;
+
+  /// Top-level nodes in insertion order (the PDP's root children).
+  std::vector<const PolicyTreeNode*> top_level() const;
+
+  std::size_t size() const { return order_.size(); }
+  void clear();
+
+  /// Monotonic counter bumped on every mutation; caches key off it.
+  std::uint64_t revision() const { return revision_; }
+
+ private:
+  std::vector<std::string> order_;
+  std::map<std::string, PolicyNodePtr> by_id_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace mdac::core

@@ -1,0 +1,69 @@
+#include "core/request.hpp"
+
+namespace mdac::core {
+
+void RequestContext::add(Category category, const std::string& id,
+                         AttributeValue value) {
+  attributes_[{category, id}].add(std::move(value));
+}
+
+void RequestContext::set(Category category, const std::string& id, Bag bag) {
+  attributes_[{category, id}] = std::move(bag);
+}
+
+const Bag* RequestContext::get(Category category, const std::string& id) const {
+  const auto it = attributes_.find({category, id});
+  if (it == attributes_.end()) return nullptr;
+  return &it->second;
+}
+
+RequestContext RequestContext::make(const std::string& subject_id,
+                                    const std::string& resource_id,
+                                    const std::string& action_id) {
+  RequestContext ctx;
+  ctx.add(Category::kSubject, attrs::kSubjectId, AttributeValue(subject_id));
+  ctx.add(Category::kResource, attrs::kResourceId, AttributeValue(resource_id));
+  ctx.add(Category::kAction, attrs::kActionId, AttributeValue(action_id));
+  return ctx;
+}
+
+RequestBuilder& RequestBuilder::subject(const std::string& id) {
+  ctx_.add(Category::kSubject, attrs::kSubjectId, AttributeValue(id));
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::subject_attr(const std::string& attr_id,
+                                             AttributeValue v) {
+  ctx_.add(Category::kSubject, attr_id, std::move(v));
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::resource(const std::string& id) {
+  ctx_.add(Category::kResource, attrs::kResourceId, AttributeValue(id));
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::resource_attr(const std::string& attr_id,
+                                              AttributeValue v) {
+  ctx_.add(Category::kResource, attr_id, std::move(v));
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::action(const std::string& id) {
+  ctx_.add(Category::kAction, attrs::kActionId, AttributeValue(id));
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::action_attr(const std::string& attr_id,
+                                            AttributeValue v) {
+  ctx_.add(Category::kAction, attr_id, std::move(v));
+  return *this;
+}
+
+RequestBuilder& RequestBuilder::environment_attr(const std::string& attr_id,
+                                                 AttributeValue v) {
+  ctx_.add(Category::kEnvironment, attr_id, std::move(v));
+  return *this;
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,67 @@
+// The request context: the authorisation decision query a PEP sends to a
+// PDP (paper Fig. 3/4, step II). Holds every attribute the PEP chose to
+// disclose; anything else the PDP needs is pulled from PIPs at decision
+// time through an AttributeResolver.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/attribute.hpp"
+
+namespace mdac::core {
+
+class RequestContext {
+ public:
+  /// Adds a value to the (category, id) bag, creating the bag if needed.
+  void add(Category category, const std::string& id, AttributeValue value);
+
+  /// Replaces the whole bag.
+  void set(Category category, const std::string& id, Bag bag);
+
+  /// Returns the bag, or nullptr if the attribute was not provided.
+  const Bag* get(Category category, const std::string& id) const;
+
+  bool has(Category category, const std::string& id) const {
+    return get(category, id) != nullptr;
+  }
+
+  /// Flat view of all attributes, for serialisation and auditing.
+  const std::map<std::pair<Category, std::string>, Bag>& attributes() const {
+    return attributes_;
+  }
+
+  std::size_t size() const { return attributes_.size(); }
+
+  bool operator==(const RequestContext&) const = default;
+
+  // --- Convenience constructors -------------------------------------
+
+  /// The canonical subject/resource/action triple request.
+  static RequestContext make(const std::string& subject_id,
+                             const std::string& resource_id,
+                             const std::string& action_id);
+
+ private:
+  std::map<std::pair<Category, std::string>, Bag> attributes_;
+};
+
+/// Fluent builder for more involved requests.
+class RequestBuilder {
+ public:
+  RequestBuilder& subject(const std::string& id);
+  RequestBuilder& subject_attr(const std::string& attr_id, AttributeValue v);
+  RequestBuilder& resource(const std::string& id);
+  RequestBuilder& resource_attr(const std::string& attr_id, AttributeValue v);
+  RequestBuilder& action(const std::string& id);
+  RequestBuilder& action_attr(const std::string& attr_id, AttributeValue v);
+  RequestBuilder& environment_attr(const std::string& attr_id, AttributeValue v);
+
+  RequestContext build() const { return ctx_; }
+
+ private:
+  RequestContext ctx_;
+};
+
+}  // namespace mdac::core

@@ -1,0 +1,49 @@
+// Evaluation status. Mirrors XACML's status codes: evaluation failures are
+// data, not exceptions — a PDP must keep answering under partial failure
+// (missing attributes, broken policies), which is the "dependable" part
+// of the paper's title at the decision-engine level.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace mdac::core {
+
+enum class StatusCode {
+  kOk,
+  kMissingAttribute,
+  kSyntaxError,
+  kProcessingError,
+};
+
+inline const char* to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kMissingAttribute: return "missing-attribute";
+    case StatusCode::kSyntaxError: return "syntax-error";
+    case StatusCode::kProcessingError: return "processing-error";
+  }
+  return "?";
+}
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+
+  static Status okay() { return {}; }
+  static Status missing_attribute(std::string m) {
+    return {StatusCode::kMissingAttribute, std::move(m)};
+  }
+  static Status syntax_error(std::string m) {
+    return {StatusCode::kSyntaxError, std::move(m)};
+  }
+  static Status processing_error(std::string m) {
+    return {StatusCode::kProcessingError, std::move(m)};
+  }
+
+  bool operator==(const Status&) const = default;
+};
+
+}  // namespace mdac::core

@@ -1,0 +1,217 @@
+#include "core/validate.hpp"
+
+#include <set>
+
+#include "core/combining.hpp"
+#include "core/functions.hpp"
+
+namespace mdac::core {
+
+std::size_t ValidationReport::error_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.severity == FindingSeverity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t ValidationReport::warning_count() const {
+  return findings.size() - error_count();
+}
+
+namespace {
+
+class Validator {
+ public:
+  explicit Validator(const PolicyStore* store) : store_(store) {}
+
+  ValidationReport take_report() { return std::move(report_); }
+
+  void check_node(const PolicyTreeNode& node, const std::string& path) {
+    if (const auto* p = dynamic_cast<const Policy*>(&node)) {
+      check_policy(*p, path);
+    } else if (const auto* ps = dynamic_cast<const PolicySet*>(&node)) {
+      check_policy_set(*ps, path);
+    } else {
+      check_reference(node, path);
+    }
+  }
+
+ private:
+  void add(FindingSeverity severity, const std::string& path, std::string message) {
+    report_.findings.push_back({severity, path, std::move(message)});
+  }
+  void error(const std::string& path, std::string message) {
+    add(FindingSeverity::kError, path, std::move(message));
+  }
+  void warn(const std::string& path, std::string message) {
+    add(FindingSeverity::kWarning, path, std::move(message));
+  }
+
+  void check_combining(const std::string& algorithm, const std::string& path) {
+    if (CombiningRegistry::standard().find(algorithm) == nullptr) {
+      error(path, "unknown combining algorithm '" + algorithm + "'");
+    }
+  }
+
+  void check_target(const Target& target, const std::string& path) {
+    for (std::size_t i = 0; i < target.any_ofs.size(); ++i) {
+      const AnyOf& any = target.any_ofs[i];
+      if (any.all_ofs.empty()) {
+        warn(path, "AnyOf group " + std::to_string(i) +
+                       " has no AllOf children (never matches)");
+      }
+      for (const AllOf& all : any.all_ofs) {
+        for (const Match& m : all.matches) {
+          const FunctionDef* fn = FunctionRegistry::standard().find(m.function_id);
+          if (fn == nullptr) {
+            error(path, "Match uses unknown function '" + m.function_id + "'");
+          } else if (fn->higher_order) {
+            error(path, "Match may not use higher-order function '" +
+                            m.function_id + "'");
+          } else if (fn->arity >= 0 && fn->arity != 2) {
+            error(path, "Match function '" + m.function_id + "' is not binary");
+          }
+          if (m.literal.type() != m.data_type) {
+            warn(path, "Match literal type (" +
+                           std::string(to_string(m.literal.type())) +
+                           ") differs from designator type (" +
+                           std::string(to_string(m.data_type)) +
+                           "); it can never match");
+          }
+        }
+      }
+    }
+  }
+
+  void check_expression(const Expression& expr, const std::string& path) {
+    switch (expr.kind()) {
+      case ExprKind::kLiteral:
+      case ExprKind::kDesignator:
+        return;
+      case ExprKind::kFunctionRef: {
+        const auto& ref = static_cast<const FunctionRefExpr&>(expr);
+        if (FunctionRegistry::standard().find(ref.function_id()) == nullptr) {
+          error(path, "reference to unknown function '" + ref.function_id() + "'");
+        }
+        return;
+      }
+      case ExprKind::kApply: {
+        const auto& app = static_cast<const ApplyExpr&>(expr);
+        const FunctionDef* fn =
+            FunctionRegistry::standard().find(app.function_id());
+        if (fn == nullptr) {
+          error(path, "unknown function '" + app.function_id() + "'");
+        } else if (!fn->higher_order && fn->arity >= 0 &&
+                   static_cast<int>(app.args().size()) != fn->arity) {
+          error(path, "'" + app.function_id() + "' expects " +
+                          std::to_string(fn->arity) + " arguments, got " +
+                          std::to_string(app.args().size()));
+        } else if (fn->higher_order) {
+          if (app.args().empty() ||
+              app.args()[0]->kind() != ExprKind::kFunctionRef) {
+            error(path, "higher-order '" + app.function_id() +
+                            "' needs a function reference as first argument");
+          }
+        }
+        for (const ExprPtr& arg : app.args()) {
+          check_expression(*arg, path);
+        }
+        return;
+      }
+    }
+  }
+
+  void check_obligations(const std::vector<ObligationExpr>& obligations,
+                         const std::string& path) {
+    std::set<std::string> seen;
+    for (const ObligationExpr& ob : obligations) {
+      const std::string ob_path = path + "/obligation:" + ob.id;
+      if (ob.id.empty()) error(path, "obligation with empty id");
+      for (const AttributeAssignmentExpr& a : ob.assignments) {
+        if (!a.expr) {
+          error(ob_path, "assignment '" + a.attribute_id + "' has no expression");
+          continue;
+        }
+        check_expression(*a.expr, ob_path);
+      }
+    }
+  }
+
+  void check_rule(const Rule& rule, const std::string& path) {
+    if (rule.id.empty()) error(path, "rule with empty id");
+    if (rule.target.has_value()) check_target(*rule.target, path + "/target");
+    if (rule.condition) check_expression(*rule.condition, path + "/condition");
+    check_obligations(rule.obligations, path);
+  }
+
+  void check_policy(const Policy& policy, const std::string& prefix) {
+    const std::string path = prefix.empty() ? policy.policy_id
+                                            : prefix + "/" + policy.policy_id;
+    if (policy.policy_id.empty()) error(path, "policy with empty id");
+    check_combining(policy.rule_combining, path);
+    check_target(policy.target_spec, path + "/target");
+    if (policy.rules.empty()) {
+      warn(path, "policy has no rules (always NotApplicable)");
+    }
+    std::set<std::string> rule_ids;
+    for (const Rule& rule : policy.rules) {
+      if (!rule_ids.insert(rule.id).second) {
+        error(path, "duplicate rule id '" + rule.id + "'");
+      }
+      check_rule(rule, path + "/" + rule.id);
+    }
+    check_obligations(policy.obligations, path);
+  }
+
+  void check_policy_set(const PolicySet& ps, const std::string& prefix) {
+    const std::string path =
+        prefix.empty() ? ps.policy_set_id : prefix + "/" + ps.policy_set_id;
+    if (ps.policy_set_id.empty()) error(path, "policy set with empty id");
+    check_combining(ps.policy_combining, path);
+    check_target(ps.target_spec, path + "/target");
+    if (ps.children().empty()) {
+      warn(path, "policy set has no children (always NotApplicable)");
+    }
+    std::set<std::string> child_ids;
+    for (const PolicyNodePtr& child : ps.children()) {
+      if (!child_ids.insert(child->id()).second) {
+        error(path, "duplicate child id '" + child->id() + "'");
+      }
+      check_node(*child, path);
+    }
+    check_obligations(ps.obligations, path);
+  }
+
+  void check_reference(const PolicyTreeNode& ref, const std::string& prefix) {
+    const std::string path = prefix + "/ref:" + ref.id();
+    if (store_ == nullptr) {
+      warn(path, "policy reference cannot be checked without a store");
+      return;
+    }
+    if (store_->find(ref.id()) == nullptr) {
+      error(path, "unresolvable policy reference '" + ref.id() + "'");
+    }
+  }
+
+  const PolicyStore* store_;
+  ValidationReport report_;
+};
+
+}  // namespace
+
+ValidationReport validate(const PolicyTreeNode& node, const PolicyStore* store) {
+  Validator v(store);
+  v.check_node(node, "");
+  return v.take_report();
+}
+
+ValidationReport validate_store(const PolicyStore& store) {
+  Validator v(&store);
+  for (const PolicyTreeNode* node : store.top_level()) {
+    v.check_node(*node, "");
+  }
+  return v.take_report();
+}
+
+}  // namespace mdac::core

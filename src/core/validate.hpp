@@ -1,0 +1,49 @@
+// Static policy validation ("lint"): the correctness / governance /
+// compliance checks the paper says externalised policies enable (§2.2:
+// "This facilitates audits and checks of security policies for the
+// purposes of correctness, governance and compliance").
+//
+// Catches, before deployment: unknown combining algorithms, unknown or
+// mis-aried functions, non-boolean top-level conditions that can be
+// detected structurally, duplicate rule/child ids, empty policies,
+// unresolvable policy references, and suspicious constructs (a Match
+// whose literal type disagrees with its designator type can never match).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace mdac::core {
+
+enum class FindingSeverity { kError, kWarning };
+
+struct ValidationFinding {
+  FindingSeverity severity = FindingSeverity::kError;
+  std::string path;     // e.g. "policy-1/rule-3/condition"
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationFinding> findings;
+
+  bool ok() const {
+    for (const ValidationFinding& f : findings) {
+      if (f.severity == FindingSeverity::kError) return false;
+    }
+    return true;
+  }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+};
+
+/// Validates one node. `store` (optional) resolves policy references.
+ValidationReport validate(const PolicyTreeNode& node,
+                          const PolicyStore* store = nullptr);
+
+/// Validates every top-level node of a store (references resolved
+/// against the same store).
+ValidationReport validate_store(const PolicyStore& store);
+
+}  // namespace mdac::core

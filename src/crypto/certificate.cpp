@@ -1,0 +1,105 @@
+#include "crypto/certificate.hpp"
+
+#include <sstream>
+
+namespace mdac::crypto {
+
+std::string Certificate::to_signed_payload() const {
+  std::ostringstream os;
+  os << "cert|" << subject << '|' << issuer << '|' << subject_key_id << '|'
+     << issuer_key_id << '|' << not_before << '|' << not_after << '|' << serial;
+  return os.str();
+}
+
+const char* to_string(ChainStatus s) {
+  switch (s) {
+    case ChainStatus::kValid: return "valid";
+    case ChainStatus::kExpired: return "expired";
+    case ChainStatus::kNotYetValid: return "not-yet-valid";
+    case ChainStatus::kRevoked: return "revoked";
+    case ChainStatus::kBadSignature: return "bad-signature";
+    case ChainStatus::kUntrustedAnchor: return "untrusted-anchor";
+    case ChainStatus::kBrokenChain: return "broken-chain";
+  }
+  return "?";
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, std::string_view key_seed)
+    : name_(std::move(name)), key_(KeyPair::generate(key_seed)) {}
+
+Certificate CertificateAuthority::root_certificate(common::TimePoint not_before,
+                                                   common::TimePoint not_after) const {
+  Certificate cert;
+  cert.subject = name_;
+  cert.issuer = name_;
+  cert.subject_key_id = key_.public_key().key_id;
+  cert.issuer_key_id = key_.public_key().key_id;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.serial = 0;
+  cert.signature = sign(key_, cert.to_signed_payload());
+  return cert;
+}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const PublicKey& subject_key,
+                                        common::TimePoint not_before,
+                                        common::TimePoint not_after) {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.subject_key_id = subject_key.key_id;
+  cert.issuer_key_id = key_.public_key().key_id;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.serial = next_serial_++;
+  cert.signature = sign(key_, cert.to_signed_payload());
+  return cert;
+}
+
+Certificate CertificateAuthority::issue_ca(const CertificateAuthority& child,
+                                           common::TimePoint not_before,
+                                           common::TimePoint not_after) {
+  return issue(child.name(), child.key().public_key(), not_before, not_after);
+}
+
+ChainStatus validate_chain(const std::vector<Certificate>& chain,
+                           const TrustStore& anchors,
+                           const std::set<std::uint64_t>& revoked,
+                           common::TimePoint now) {
+  if (chain.empty()) return ChainStatus::kBrokenChain;
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (now < cert.not_before) return ChainStatus::kNotYetValid;
+    if (now > cert.not_after) return ChainStatus::kExpired;
+    if (cert.serial != 0 && revoked.count(cert.serial) > 0) {
+      return ChainStatus::kRevoked;
+    }
+    // Structural linkage: each certificate must name the next one as its
+    // issuer, and the final certificate must be self-issued (a root).
+    if (i + 1 < chain.size()) {
+      const Certificate& parent = chain[i + 1];
+      if (cert.issuer_key_id != parent.subject_key_id ||
+          cert.issuer != parent.subject) {
+        return ChainStatus::kBrokenChain;
+      }
+    } else if (cert.issuer_key_id != cert.subject_key_id) {
+      return ChainStatus::kBrokenChain;
+    }
+    // Cryptographic validity of every link ("the math").
+    if (!verify_signature(cert.to_signed_payload(), cert.signature)) {
+      return ChainStatus::kBadSignature;
+    }
+    if (cert.signature.key_id != cert.issuer_key_id) {
+      return ChainStatus::kBadSignature;
+    }
+  }
+  // Trust decision: the root's key must be one of our anchors.
+  if (!anchors.is_trusted(chain.back().subject_key_id)) {
+    return ChainStatus::kUntrustedAnchor;
+  }
+  return ChainStatus::kValid;
+}
+
+}  // namespace mdac::crypto

@@ -1,0 +1,86 @@
+// X.509-flavoured certificates and chains.
+//
+// The paper's trust model (§3.1, "Heterogeneity and Distribution of
+// Subjects") rests on PKI: identity providers and capability services are
+// trusted because their certificates chain to a trust anchor. This module
+// provides subject certificates, CA issuance, chain building and
+// validation (expiry, revocation, signature, anchor membership).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "crypto/keys.hpp"
+
+namespace mdac::crypto {
+
+struct Certificate {
+  std::string subject;          // distinguished name, e.g. "cn=idp,o=hospital"
+  std::string issuer;           // issuer DN
+  std::string subject_key_id;   // fingerprint of the subject's public key
+  std::string issuer_key_id;    // fingerprint of the key that signed this
+  common::TimePoint not_before = 0;
+  common::TimePoint not_after = 0;
+  std::uint64_t serial = 0;
+  Signature signature;  // over to_signed_payload()
+
+  /// Canonical byte string covered by the signature.
+  std::string to_signed_payload() const;
+};
+
+/// Result of validating a chain.
+enum class ChainStatus {
+  kValid,
+  kExpired,
+  kNotYetValid,
+  kRevoked,
+  kBadSignature,
+  kUntrustedAnchor,
+  kBrokenChain,
+};
+
+const char* to_string(ChainStatus s);
+
+/// A certificate authority: holds a signing key and issues certificates.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, std::string_view key_seed);
+
+  const std::string& name() const { return name_; }
+  const KeyPair& key() const { return key_; }
+
+  /// Self-signed root certificate for this CA.
+  Certificate root_certificate(common::TimePoint not_before,
+                               common::TimePoint not_after) const;
+
+  /// Issues a certificate binding `subject` to `subject_key`.
+  Certificate issue(const std::string& subject, const PublicKey& subject_key,
+                    common::TimePoint not_before, common::TimePoint not_after);
+
+  /// Issues an intermediate-CA certificate to another CA.
+  Certificate issue_ca(const CertificateAuthority& child,
+                       common::TimePoint not_before, common::TimePoint not_after);
+
+  void revoke(std::uint64_t serial) { revoked_.insert(serial); }
+  bool is_revoked(std::uint64_t serial) const { return revoked_.count(serial) > 0; }
+
+ private:
+  std::string name_;
+  KeyPair key_;
+  std::uint64_t next_serial_ = 1;
+  std::set<std::uint64_t> revoked_;
+};
+
+/// Validates `chain` (leaf first, root last) at time `now`.
+///
+/// `anchors` holds the key material of trusted roots; `revocation` is the
+/// union of revoked serials published by the involved CAs (a CRL stand-in).
+ChainStatus validate_chain(const std::vector<Certificate>& chain,
+                           const TrustStore& anchors,
+                           const std::set<std::uint64_t>& revoked,
+                           common::TimePoint now);
+
+}  // namespace mdac::crypto

@@ -1,0 +1,50 @@
+#include "crypto/cipher.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mdac::crypto {
+
+namespace {
+
+// Produces the i-th 32-byte keystream block.
+Digest keystream_block(const common::Bytes& key, const common::Bytes& nonce,
+                       std::uint64_t counter) {
+  Sha256 h;
+  h.update(key);
+  h.update(nonce);
+  std::uint8_t ctr_be[8];
+  for (int i = 0; i < 8; ++i) {
+    ctr_be[i] = static_cast<std::uint8_t>((counter >> (56 - i * 8)) & 0xff);
+  }
+  h.update(ctr_be, 8);
+  return h.finish();
+}
+
+common::Bytes xor_keystream(const common::Bytes& key, const common::Bytes& nonce,
+                            const common::Bytes& input) {
+  common::Bytes out(input.size());
+  std::uint64_t counter = 0;
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    const Digest block = keystream_block(key, nonce, counter++);
+    const std::size_t take = std::min(block.size(), input.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[offset + i] = static_cast<std::uint8_t>(input[offset + i] ^ block[i]);
+    }
+    offset += take;
+  }
+  return out;
+}
+
+}  // namespace
+
+EncryptedPayload ctr_encrypt(const common::Bytes& key, const common::Bytes& nonce,
+                             const common::Bytes& plaintext) {
+  return EncryptedPayload{nonce, xor_keystream(key, nonce, plaintext)};
+}
+
+common::Bytes ctr_decrypt(const common::Bytes& key, const EncryptedPayload& payload) {
+  return xor_keystream(key, payload.nonce, payload.ciphertext);
+}
+
+}  // namespace mdac::crypto

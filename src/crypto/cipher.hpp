@@ -1,0 +1,29 @@
+// Symmetric encryption for message confidentiality (the XML-Encryption
+// stand-in, see DESIGN.md substitutions).
+//
+// CTR-mode keystream built from SHA-256: block_i = SHA256(key || nonce || i).
+// Real cipher structure with real avalanche behaviour; not intended to be
+// a vetted primitive, but it exercises exactly the code paths (key
+// distribution, nonce handling, size overhead) the paper's security
+// challenge discusses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace mdac::crypto {
+
+struct EncryptedPayload {
+  common::Bytes nonce;       // 16 bytes
+  common::Bytes ciphertext;  // same length as plaintext
+};
+
+/// Encrypts with a fresh caller-supplied nonce (16 bytes recommended).
+EncryptedPayload ctr_encrypt(const common::Bytes& key, const common::Bytes& nonce,
+                             const common::Bytes& plaintext);
+
+/// Decrypts; CTR is symmetric so this is encryption with the same keystream.
+common::Bytes ctr_decrypt(const common::Bytes& key, const EncryptedPayload& payload);
+
+}  // namespace mdac::crypto

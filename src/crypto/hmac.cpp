@@ -1,0 +1,36 @@
+#include "crypto/hmac.hpp"
+
+namespace mdac::crypto {
+
+Digest hmac_sha256(const common::Bytes& key, const common::Bytes& message) {
+  constexpr std::size_t kBlockSize = 64;
+
+  common::Bytes k = key;
+  if (k.size() > kBlockSize) {
+    const Digest d = Sha256::hash(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlockSize, 0);
+
+  common::Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+Digest hmac_sha256(std::string_view key, std::string_view message) {
+  return hmac_sha256(common::to_bytes(key), common::to_bytes(message));
+}
+
+}  // namespace mdac::crypto

@@ -1,0 +1,15 @@
+// HMAC-SHA-256 (RFC 2104). The primitive behind SimSigner signatures and
+// derived keys for the CTR cipher.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mdac::crypto {
+
+Digest hmac_sha256(const common::Bytes& key, const common::Bytes& message);
+Digest hmac_sha256(std::string_view key, std::string_view message);
+
+}  // namespace mdac::crypto

@@ -1,0 +1,71 @@
+#include "crypto/keys.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace mdac::crypto {
+
+namespace {
+
+// Process-wide verification-material registry (simulates public-key math;
+// see the header comment). Guarded for thread safety.
+class KeyDirectory {
+ public:
+  static KeyDirectory& instance() {
+    static KeyDirectory dir;
+    return dir;
+  }
+
+  void register_key(const std::string& key_id, const common::Bytes& secret) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    material_[key_id] = secret;
+  }
+
+  bool verify(std::string_view message, const Signature& sig) const {
+    common::Bytes secret;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = material_.find(sig.key_id);
+      if (it == material_.end()) return false;
+      secret = it->second;
+    }
+    const Digest expected = hmac_sha256(secret, common::to_bytes(message));
+    if (sig.tag.size() != expected.size()) return false;
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      diff |= static_cast<std::uint8_t>(sig.tag[i] ^ expected[i]);
+    }
+    return diff == 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, common::Bytes> material_;
+};
+
+}  // namespace
+
+KeyPair KeyPair::generate(std::string_view seed) {
+  // Secret = SHA256("mdac-key" || seed); fingerprint = SHA256(secret).
+  Sha256 h;
+  h.update(std::string_view("mdac-key:"));
+  h.update(seed);
+  const Digest secret_digest = h.finish();
+  common::Bytes secret(secret_digest.begin(), secret_digest.end());
+
+  const Digest fp = Sha256::hash(secret);
+  PublicKey pub{digest_hex(fp).substr(0, 32)};
+  KeyDirectory::instance().register_key(pub.key_id, secret);
+  return KeyPair(std::move(pub), std::move(secret));
+}
+
+Signature sign(const KeyPair& key, std::string_view message) {
+  const Digest tag = hmac_sha256(key.secret(), common::to_bytes(message));
+  return Signature{key.public_key().key_id,
+                   common::Bytes(tag.begin(), tag.end())};
+}
+
+bool verify_signature(std::string_view message, const Signature& sig) {
+  return KeyDirectory::instance().verify(message, sig);
+}
+
+}  // namespace mdac::crypto

@@ -1,0 +1,89 @@
+// Key pairs, digital signatures and the trust store.
+//
+// SUBSTITUTION (see DESIGN.md): we do not ship a bignum RSA/ECDSA.
+// A KeyPair holds an opaque 32-byte secret; signing is HMAC-SHA-256 over
+// the message with that secret. In a real PKI *anyone* can verify any
+// signature given the public key — that mathematical fact is simulated by
+// a process-wide KeyDirectory which records verification material when a
+// key pair is generated. Verification through the directory is therefore
+// "the math"; it confers no trust.
+//
+// Trust is policy and lives in TrustStore: a set of key ids a component
+// has chosen to trust (its anchors). The failure modes are preserved
+// exactly: tampered message -> verify fails; unknown key -> verify fails;
+// valid signature by an untrusted key -> TrustStore rejects it.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mdac::crypto {
+
+/// Public half of a key pair: an identifier derived from the secret.
+struct PublicKey {
+  std::string key_id;  // hex fingerprint
+
+  bool operator==(const PublicKey&) const = default;
+  auto operator<=>(const PublicKey&) const = default;
+};
+
+/// Full key pair. Treat `secret` as private key material.
+class KeyPair {
+ public:
+  /// Deterministically derives a key pair from a seed string (useful for
+  /// reproducible experiments); the fingerprint is SHA256(secret).
+  /// Registers the verification material in the process KeyDirectory.
+  static KeyPair generate(std::string_view seed);
+
+  const PublicKey& public_key() const { return public_key_; }
+  const common::Bytes& secret() const { return secret_; }
+
+ private:
+  KeyPair(PublicKey pub, common::Bytes secret)
+      : public_key_(std::move(pub)), secret_(std::move(secret)) {}
+
+  PublicKey public_key_;
+  common::Bytes secret_;
+};
+
+/// A detached signature: the signer's key id plus the tag bytes.
+struct Signature {
+  std::string key_id;
+  common::Bytes tag;
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// Signs a message with a private key.
+Signature sign(const KeyPair& key, std::string_view message);
+
+/// "The math": true iff `sig` is a valid signature over `message` by the
+/// key it names. Confers no trust in the signer.
+bool verify_signature(std::string_view message, const Signature& sig);
+
+/// Policy layer: the set of public keys a component trusts.
+class TrustStore {
+ public:
+  void add_trusted_key(const PublicKey& key) { trusted_.insert(key.key_id); }
+  void add_trusted_key(const KeyPair& key) { trusted_.insert(key.public_key().key_id); }
+  void remove_trusted_key(const std::string& key_id) { trusted_.erase(key_id); }
+  bool is_trusted(const std::string& key_id) const { return trusted_.count(key_id) > 0; }
+
+  /// True iff the signature is cryptographically valid AND by a trusted key.
+  bool verify(std::string_view message, const Signature& sig) const {
+    return is_trusted(sig.key_id) && verify_signature(message, sig);
+  }
+
+  std::size_t size() const { return trusted_.size(); }
+
+ private:
+  std::set<std::string> trusted_;
+};
+
+}  // namespace mdac::crypto

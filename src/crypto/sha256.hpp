@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for message digests in signatures, the CTR keystream cipher, and
+// content fingerprints in the policy repository's audit log.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace mdac::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const common::Bytes& data);
+  void update(std::string_view data);
+
+  /// Finalises and returns the digest. The hasher must not be reused after.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(const common::Bytes& data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+common::Bytes digest_to_bytes(const Digest& d);
+std::string digest_hex(const Digest& d);
+
+}  // namespace mdac::crypto

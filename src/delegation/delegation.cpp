@@ -1,0 +1,179 @@
+#include "delegation/delegation.hpp"
+
+#include "common/strings.hpp"
+
+namespace mdac::delegation {
+
+namespace {
+
+/// Does every resource matching `inner` also match `outer`?
+/// Patterns are the library's prefix wildcards ("x/*", "*", or exact).
+bool pattern_covers(const std::string& outer, const std::string& inner) {
+  if (outer == "*") return true;
+  const bool outer_wild = !outer.empty() && outer.back() == '*';
+  const bool inner_wild = !inner.empty() && inner.back() == '*';
+  if (outer_wild) {
+    const std::string_view prefix(outer.data(), outer.size() - 1);
+    if (inner_wild) {
+      return std::string_view(inner.data(), inner.size() - 1).substr(0, prefix.size()) ==
+             prefix;
+    }
+    return common::wildcard_match(outer, inner);
+  }
+  // Exact outer only covers the identical exact inner.
+  return !inner_wild && inner == outer;
+}
+
+}  // namespace
+
+void DelegationRegistry::add_root(const std::string& authority) {
+  roots_.insert(authority);
+}
+
+DelegationOutcome DelegationRegistry::grant(const AdminGrant& grant) {
+  if (grant.grantor == grant.grantee) {
+    return DelegationOutcome::failure("self-delegation is meaningless");
+  }
+  if (is_root(grant.grantor)) {
+    grants_.push_back(grant);
+    return DelegationOutcome::success();
+  }
+  // Non-root grantors must hold a covering, re-delegable grant with
+  // enough remaining depth for this new hop. (Insertion check is
+  // one-level; authorized() re-runs full reduction at decision time, so
+  // later revocations upstream are still caught.)
+  for (const AdminGrant& held : grants_) {
+    if (held.grantee != grant.grantor) continue;
+    if (!pattern_covers(held.scope_pattern, grant.scope_pattern)) continue;
+    if (!held.allow_redelegation) continue;
+    if (held.max_further_depth < grant.max_further_depth + 1) continue;
+    grants_.push_back(grant);
+    return DelegationOutcome::success();
+  }
+  return DelegationOutcome::failure(
+      grant.grantor + " holds no re-delegable authority covering '" +
+      grant.scope_pattern + "'");
+}
+
+void DelegationRegistry::revoke_grantee(const std::string& grantee) {
+  std::erase_if(grants_, [&](const AdminGrant& g) { return g.grantee == grantee; });
+}
+
+bool DelegationRegistry::find_chain(const std::string& issuer,
+                                    const std::string& resource,
+                                    std::set<std::string>* visiting,
+                                    std::vector<std::string>* chain) const {
+  if (is_root(issuer)) {
+    chain->push_back(issuer);
+    return true;
+  }
+  if (!visiting->insert(issuer).second) return false;  // cycle guard
+
+  for (const AdminGrant& g : grants_) {
+    if (g.grantee != issuer) continue;
+    if (!common::wildcard_match(g.scope_pattern, resource)) continue;
+    std::vector<std::string> upper;
+    if (find_chain(g.grantor, resource, visiting, &upper)) {
+      // Depth/redelegation discipline: hops below this grant must be
+      // covered by its budget. The hops below = chain built so far by
+      // callers; validate at the end in reduction_chain.
+      chain->insert(chain->end(), upper.begin(), upper.end());
+      chain->push_back(issuer);
+      visiting->erase(issuer);
+      return true;
+    }
+  }
+  visiting->erase(issuer);
+  return false;
+}
+
+std::optional<std::vector<std::string>> DelegationRegistry::reduction_chain(
+    const std::string& issuer, const std::string& resource) const {
+  std::set<std::string> visiting;
+  std::vector<std::string> chain;
+  if (!find_chain(issuer, resource, &visiting, &chain)) return std::nullopt;
+
+  // Validate redelegation flags and depth budgets along the found chain:
+  // chain = [root, a1, ..., issuer]; the grant feeding a_k must allow
+  // the (len-2-k) further hops below it.
+  for (std::size_t k = 1; k < chain.size(); ++k) {
+    const std::size_t further_hops = chain.size() - 1 - k;
+    bool covered = false;
+    for (const AdminGrant& g : grants_) {
+      if (g.grantor != chain[k - 1] || g.grantee != chain[k]) continue;
+      if (!common::wildcard_match(g.scope_pattern, resource)) continue;
+      if (further_hops > 0 && !g.allow_redelegation) continue;
+      if (static_cast<std::size_t>(g.max_further_depth) < further_hops) continue;
+      covered = true;
+      break;
+    }
+    if (!covered) return std::nullopt;
+  }
+  return chain;
+}
+
+bool DelegationRegistry::authorized(const std::string& issuer,
+                                    const std::string& resource) const {
+  return reduction_chain(issuer, resource).has_value();
+}
+
+namespace {
+
+/// String literals compared to resource-id with string-equal in a target.
+std::vector<std::string> target_resource_values(const core::Target* target) {
+  std::vector<std::string> out;
+  if (target == nullptr) return out;
+  for (const core::AnyOf& any : target->any_ofs) {
+    for (const core::AllOf& all : any.all_ofs) {
+      for (const core::Match& m : all.matches) {
+        if (m.category == core::Category::kResource &&
+            m.attribute_id == core::attrs::kResourceId &&
+            m.function_id == "string-equal" && m.literal.is_string()) {
+          out.push_back(m.literal.as_string());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+const std::string* node_issuer(const core::PolicyTreeNode& node) {
+  if (const auto* p = dynamic_cast<const core::Policy*>(&node)) return &p->issuer;
+  if (const auto* ps = dynamic_cast<const core::PolicySet*>(&node)) return &ps->issuer;
+  return nullptr;  // references carry no issuer of their own
+}
+
+}  // namespace
+
+ReductionFilter filter_by_reduction(const core::PolicyStore& store,
+                                    const DelegationRegistry& registry) {
+  ReductionFilter out;
+  for (const core::PolicyTreeNode* node : store.top_level()) {
+    const std::string* issuer = node_issuer(*node);
+    if (issuer == nullptr || issuer->empty()) {
+      out.accepted.push_back(node);  // locally authored: trusted root
+      continue;
+    }
+    const std::vector<std::string> resources = target_resource_values(node->target());
+    if (resources.empty()) {
+      // An issued policy with unbounded scope cannot pass reduction.
+      out.rejected_ids.push_back(node->id());
+      continue;
+    }
+    bool all_covered = true;
+    for (const std::string& r : resources) {
+      if (!registry.authorized(*issuer, r)) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (all_covered) {
+      out.accepted.push_back(node);
+    } else {
+      out.rejected_ids.push_back(node->id());
+    }
+  }
+  return out;
+}
+
+}  // namespace mdac::delegation

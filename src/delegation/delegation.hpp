@@ -1,0 +1,87 @@
+// Administrative delegation (paper §3.2 "Access Control Delegation" and
+// the XACML Administration & Delegation profile [13]).
+//
+// A DelegationRegistry records *administrative policies*: who may issue
+// access-control policy over which resource scope, granted by whom, with
+// optional re-delegation and a depth limit. Validating a policy issued by
+// a non-root issuer is *reduction*: finding a grant chain from a trusted
+// root to the issuer whose every link covers the policy's scope and is
+// not revoked. This is how "domains delegate some of the rights for
+// resources that they own to other domains" while staying auditable.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace mdac::delegation {
+
+struct AdminGrant {
+  std::string grantor;        // issuing authority
+  std::string grantee;        // who gains issuing power
+  std::string scope_pattern;  // wildcard over resource ids, e.g. "domain-a/*"
+  bool allow_redelegation = false;
+  int max_further_depth = 0;  // additional hops the grantee may create
+};
+
+struct DelegationOutcome {
+  bool ok = true;
+  std::string reason;
+
+  static DelegationOutcome success() { return {}; }
+  static DelegationOutcome failure(std::string why) {
+    return {false, std::move(why)};
+  }
+  explicit operator bool() const { return ok; }
+};
+
+class DelegationRegistry {
+ public:
+  /// Roots are authoritative for everything (typically the domain owner).
+  void add_root(const std::string& authority);
+  bool is_root(const std::string& authority) const { return roots_.count(authority) > 0; }
+
+  /// Registers a grant. The grantor must be a root or hold a covering
+  /// grant that allows re-delegation with remaining depth.
+  DelegationOutcome grant(const AdminGrant& grant);
+
+  /// Revokes every grant to `grantee` (the paper's revocation problem:
+  /// chains *through* the grantee die with it).
+  void revoke_grantee(const std::string& grantee);
+
+  /// Can `issuer` issue policy governing `resource`?
+  bool authorized(const std::string& issuer, const std::string& resource) const;
+
+  /// The reduction evidence: the chain of authorities from a root to the
+  /// issuer, or nullopt if none exists.
+  std::optional<std::vector<std::string>> reduction_chain(
+      const std::string& issuer, const std::string& resource) const;
+
+  std::size_t grant_count() const { return grants_.size(); }
+
+ private:
+  /// DFS for a covering chain; returns the chain root-first.
+  bool find_chain(const std::string& issuer, const std::string& resource,
+                  std::set<std::string>* visiting,
+                  std::vector<std::string>* chain) const;
+
+  std::set<std::string> roots_;
+  std::vector<AdminGrant> grants_;
+};
+
+/// Splits a store's policies into those whose issuer passes reduction
+/// (kept) and those that fail (quarantined ids) — the validation step a
+/// PDP runs before trusting third-party-issued policy.
+struct ReductionFilter {
+  std::vector<const core::PolicyTreeNode*> accepted;
+  std::vector<std::string> rejected_ids;
+};
+
+ReductionFilter filter_by_reduction(const core::PolicyStore& store,
+                                    const DelegationRegistry& registry);
+
+}  // namespace mdac::delegation

@@ -1,0 +1,67 @@
+#include "dependability/heartbeat.hpp"
+
+namespace mdac::dependability {
+
+HeartbeatMonitor::HeartbeatMonitor(net::Network& network, std::string node_id,
+                                   std::vector<std::string> targets,
+                                   common::Duration period,
+                                   common::Duration probe_timeout)
+    : network_(network),
+      node_(network, std::move(node_id)),
+      targets_(std::move(targets)),
+      period_(period),
+      probe_timeout_(probe_timeout) {}
+
+HeartbeatMonitor::~HeartbeatMonitor() { running_ = false; }
+
+void HeartbeatMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  probe_all();
+  schedule_next();
+}
+
+void HeartbeatMonitor::stop() { running_ = false; }
+
+void HeartbeatMonitor::probe_all() {
+  for (const std::string& target : targets_) {
+    ++probes_sent_;
+    node_.call(target, "ping", "", probe_timeout_,
+               [this, target, alive = std::weak_ptr<char>(alive_)](
+                   std::optional<std::string> response) {
+                 if (alive.expired()) return;
+                 if (response.has_value()) {
+                   last_seen_[target] = network_.simulator().now();
+                 }
+               });
+  }
+}
+
+void HeartbeatMonitor::schedule_next() {
+  network_.simulator().schedule(
+      period_, [this, alive = std::weak_ptr<char>(alive_)]() {
+        if (alive.expired() || !running_) return;
+        probe_all();
+        schedule_next();
+      });
+}
+
+bool HeartbeatMonitor::is_alive(const std::string& target) const {
+  const auto it = last_seen_.find(target);
+  if (it == last_seen_.end()) return false;
+  // Fresh = answered within the last two periods.
+  return network_.simulator().now() - it->second <= 2 * period_;
+}
+
+std::vector<std::string> HeartbeatMonitor::preferred_order() const {
+  std::vector<std::string> out;
+  for (const std::string& t : targets_) {
+    if (is_alive(t)) out.push_back(t);
+  }
+  for (const std::string& t : targets_) {
+    if (!is_alive(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace mdac::dependability

@@ -1,0 +1,51 @@
+// Heartbeat-based health monitoring for PDP replicas: the discovery
+// mechanism §3.2 calls for when "a static binding between enforcement
+// and decision points may not be feasible". The monitor pings targets on
+// a fixed period; a target is alive while its last reply is fresh. A
+// failover client can consult `preferred_order()` to try live replicas
+// first.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/rpc.hpp"
+
+namespace mdac::dependability {
+
+class HeartbeatMonitor {
+ public:
+  HeartbeatMonitor(net::Network& network, std::string node_id,
+                   std::vector<std::string> targets, common::Duration period = 100,
+                   common::Duration probe_timeout = 50);
+  ~HeartbeatMonitor();
+
+  /// Begins the periodic probing loop on the simulator.
+  void start();
+  void stop();
+
+  bool is_alive(const std::string& target) const;
+
+  /// All targets, live ones first (stable within each group).
+  std::vector<std::string> preferred_order() const;
+
+  std::size_t probes_sent() const { return probes_sent_; }
+
+ private:
+  void probe_all();
+  void schedule_next();
+
+  net::Network& network_;
+  net::RpcNode node_;
+  std::vector<std::string> targets_;
+  common::Duration period_;
+  common::Duration probe_timeout_;
+  std::map<std::string, common::TimePoint> last_seen_;
+  bool running_ = false;
+  std::size_t probes_sent_ = 0;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace mdac::dependability

@@ -1,0 +1,137 @@
+#include "dependability/replicated_pdp.hpp"
+
+#include "core/serialization.hpp"
+
+namespace mdac::dependability {
+
+ReplicatedPdpClient::ReplicatedPdpClient(net::Network& network, std::string node_id,
+                                         std::vector<std::string> replica_ids,
+                                         DispatchStrategy strategy,
+                                         common::Duration per_try_timeout)
+    : node_(network, std::move(node_id)),
+      replicas_(std::move(replica_ids)),
+      strategy_(strategy),
+      per_try_timeout_(per_try_timeout) {}
+
+void ReplicatedPdpClient::evaluate(const core::RequestContext& request,
+                                   DecisionCallback callback) {
+  ++stats_.requests;
+  const std::string request_xml = core::request_to_string(request);
+  if (replicas_.empty()) {
+    callback(core::Decision::indeterminate(
+        core::IndeterminateExtent::kDP,
+        core::Status::processing_error("no PDP replicas configured")));
+    return;
+  }
+  if (strategy_ == DispatchStrategy::kFailover) {
+    evaluate_failover(std::make_shared<const std::string>(request_xml), 0,
+                      std::move(callback));
+  } else {
+    evaluate_quorum(request_xml, std::move(callback));
+  }
+}
+
+void ReplicatedPdpClient::evaluate_failover(
+    std::shared_ptr<const std::string> request_xml, std::size_t index,
+    DecisionCallback callback) {
+  if (index >= replicas_.size()) {
+    ++stats_.exhausted;
+    callback(core::Decision::indeterminate(
+        core::IndeterminateExtent::kDP,
+        core::Status::processing_error("all PDP replicas unreachable")));
+    return;
+  }
+  if (index > 0) ++stats_.failovers;
+
+  node_.call(replicas_[index], pep::kAuthzRequestType, *request_xml,
+             per_try_timeout_,
+             [this, request_xml, index, callback](std::optional<std::string> response) {
+               if (!response.has_value()) {
+                 evaluate_failover(request_xml, index + 1, callback);
+                 return;
+               }
+               core::Decision decision;
+               try {
+                 decision = core::decision_from_string(*response);
+               } catch (const std::exception&) {
+                 evaluate_failover(request_xml, index + 1, callback);
+                 return;
+               }
+               if (decision.is_permit() || decision.is_deny()) ++stats_.decided;
+               callback(std::move(decision));
+             });
+}
+
+void ReplicatedPdpClient::evaluate_quorum(const std::string& request_xml,
+                                          DecisionCallback callback) {
+  struct Pending {
+    std::size_t remaining;
+    std::size_t permits = 0;
+    std::size_t denies = 0;
+    std::size_t total;
+    bool resolved = false;
+    DecisionCallback callback;
+    // First decision of each kind, kept whole so obligations survive.
+    core::Decision first_permit;
+    core::Decision first_deny;
+    DispatchStats* stats;
+
+    void maybe_finish() {
+      if (resolved) return;
+      const std::size_t majority = total / 2 + 1;
+      if (permits >= majority) {
+        resolved = true;
+        ++stats->decided;
+        callback(first_permit);
+        return;
+      }
+      if (denies >= majority) {
+        resolved = true;
+        ++stats->decided;
+        callback(first_deny);
+        return;
+      }
+      // Not decidable yet; if nothing is outstanding, give up.
+      if (remaining == 0) {
+        resolved = true;
+        ++stats->quorum_indecisive;
+        callback(core::Decision::indeterminate(
+            core::IndeterminateExtent::kDP,
+            core::Status::processing_error(
+                "no majority among PDP replicas (permits=" +
+                std::to_string(permits) + ", denies=" + std::to_string(denies) +
+                ")")));
+      }
+    }
+  };
+
+  auto pending = std::make_shared<Pending>();
+  pending->remaining = replicas_.size();
+  pending->total = replicas_.size();
+  pending->callback = std::move(callback);
+  pending->stats = &stats_;
+
+  for (const std::string& replica : replicas_) {
+    node_.call(replica, pep::kAuthzRequestType, request_xml, per_try_timeout_,
+               [pending](std::optional<std::string> response) {
+                 --pending->remaining;
+                 if (response.has_value()) {
+                   try {
+                     core::Decision d = core::decision_from_string(*response);
+                     if (d.is_permit()) {
+                       if (pending->permits == 0) pending->first_permit = d;
+                       ++pending->permits;
+                     } else if (d.is_deny()) {
+                       if (pending->denies == 0) pending->first_deny = d;
+                       ++pending->denies;
+                     }
+                   } catch (const std::exception&) {
+                     // Undecodable replica answer counts as no vote.
+                   }
+                 }
+                 pending->maybe_finish();
+               });
+  }
+}
+
+}  // namespace mdac::dependability

@@ -1,0 +1,131 @@
+#include "domain/domain.hpp"
+
+#include <stdexcept>
+
+namespace mdac::domain {
+
+Domain::Domain(std::string name, const common::Clock& clock)
+    : name_(std::move(name)),
+      clock_(clock),
+      idp_key_(crypto::KeyPair::generate("idp:" + name_)),
+      history_provider_(history_),
+      environment_(clock),
+      repository_(clock),
+      store_(std::make_shared<core::PolicyStore>()),
+      pdp_(std::make_shared<core::Pdp>(store_)),
+      pep_([this](const core::RequestContext& request) {
+        return pdp_->evaluate(request);
+      }) {
+  resolver_.add(&directory_);
+  resolver_.add(&history_provider_);
+  resolver_.add(&environment_);
+  pdp_->set_resolver(&resolver_);
+}
+
+void Domain::register_user(const std::string& user,
+                           const std::map<std::string, core::Bag>& attributes) {
+  users_[user] = attributes;
+  for (const auto& [id, bag] : attributes) {
+    for (const core::AttributeValue& v : bag.values()) {
+      directory_.add_subject_attribute(user, id, v);
+    }
+  }
+  directory_.add_subject_attribute(user, core::attrs::kSubjectDomain,
+                                   core::AttributeValue(name_));
+}
+
+tokens::SignedAssertion Domain::issue_identity_assertion(
+    const std::string& user, const std::string& audience,
+    common::Duration validity_ms) {
+  const auto it = users_.find(user);
+  if (it == users_.end()) {
+    throw std::invalid_argument("domain " + name_ + " has no user '" + user + "'");
+  }
+  tokens::Assertion assertion;
+  assertion.assertion_id = name_ + ":assertion:" + std::to_string(next_assertion_++);
+  assertion.issuer = name_;
+  assertion.subject = user;
+  assertion.issue_instant = clock_.now();
+  assertion.conditions.not_before = clock_.now();
+  assertion.conditions.not_on_or_after = clock_.now() + validity_ms;
+  assertion.conditions.audience = audience;
+  assertion.attributes = it->second;
+  assertion.attributes[core::attrs::kSubjectDomain] =
+      core::Bag(core::AttributeValue(name_));
+  return tokens::sign_assertion(std::move(assertion), idp_key_);
+}
+
+void Domain::add_policy(core::Policy policy) { store_->add(std::move(policy)); }
+
+void Domain::add_policy_set(core::PolicySet policy_set) {
+  store_->add(std::move(policy_set));
+}
+
+std::size_t Domain::adopt_issued_policies() {
+  return repository_.load_into(store_.get());
+}
+
+pep::Enforcement Domain::enforce(const core::RequestContext& request) {
+  pep::Enforcement result = pep_.enforce(request);
+  if (result.allowed) {
+    // Feed the access history (Chinese-Wall / SoD substrate).
+    const core::Bag* subject =
+        request.get(core::Category::kSubject, core::attrs::kSubjectId);
+    const core::Bag* resource =
+        request.get(core::Category::kResource, core::attrs::kResourceId);
+    const core::Bag* action =
+        request.get(core::Category::kAction, core::attrs::kActionId);
+    if (subject != nullptr && !subject->empty() && resource != nullptr &&
+        !resource->empty() && action != nullptr && !action->empty()) {
+      history_.record(subject->at(0).to_text(), resource->at(0).to_text(),
+                      action->at(0).to_text(), clock_.now());
+    }
+  }
+  return result;
+}
+
+Domain::CrossDomainResult Domain::handle_cross_domain_request(
+    const tokens::SignedAssertion& token, const std::string& resource,
+    const std::string& action) {
+  CrossDomainResult result;
+  result.token_status = tokens::validate(token, trust_, clock_.now(), name_);
+  if (result.token_status != tokens::TokenValidity::kValid) {
+    result.reason = std::string("identity assertion rejected: ") +
+                    tokens::to_string(result.token_status);
+    return result;
+  }
+
+  core::RequestContext request =
+      core::RequestContext::make(token.assertion.subject, resource, action);
+  for (const auto& [id, bag] : token.assertion.attributes) {
+    request.set(core::Category::kSubject, id, bag);
+  }
+  request.add(core::Category::kSubject, "asserting-idp",
+              core::AttributeValue(token.assertion.issuer));
+
+  result.decision = pdp_->evaluate(request);
+  result.allowed = result.decision.is_permit();
+  if (!result.allowed) {
+    result.reason = "local policy: " + result.decision.describe();
+  } else {
+    history_.record(token.assertion.subject, resource, action, clock_.now());
+  }
+  return result;
+}
+
+void VirtualOrganisation::establish_pairwise_trust() {
+  for (Domain* a : members_) {
+    for (Domain* b : members_) {
+      if (a != b) a->trust_domain(*b);
+    }
+  }
+}
+
+std::size_t VirtualOrganisation::distribute_policy(const core::Policy& policy) {
+  for (Domain* member : members_) {
+    member->add_policy(policy.clone());
+  }
+  return members_.size();
+}
+
+}  // namespace mdac::domain

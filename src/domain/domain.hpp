@@ -1,0 +1,135 @@
+// An administrative domain and the Virtual Organisation that federates
+// them — the composition in the paper's Fig. 1.
+//
+// Each Domain owns the full local stack: an identity provider (key +
+// user directory), a PAP repository, a PDP over the issued policies, a
+// PIP resolver chain and a PEP guarding its services. Domains are
+// autonomous: cross-domain access only works once a domain has chosen to
+// trust the peer's identity provider, and even then the local PDP has
+// the final say (§3.2, "Autonomy of Administration Domains").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/pdp.hpp"
+#include "crypto/keys.hpp"
+#include "pap/repository.hpp"
+#include "pep/pep.hpp"
+#include "pip/history.hpp"
+#include "pip/providers.hpp"
+#include "tokens/assertion.hpp"
+
+namespace mdac::domain {
+
+class Domain {
+ public:
+  Domain(std::string name, const common::Clock& clock);
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // --- identity provider ---------------------------------------------
+  /// Registers a local user with their directory attributes.
+  void register_user(const std::string& user,
+                     const std::map<std::string, core::Bag>& attributes);
+  bool has_user(const std::string& user) const { return users_.count(user) > 0; }
+
+  /// Issues a signed identity/attribute assertion for a local user,
+  /// audience-restricted to the target domain. Throws for unknown users.
+  tokens::SignedAssertion issue_identity_assertion(const std::string& user,
+                                                   const std::string& audience,
+                                                   common::Duration validity_ms);
+
+  const crypto::KeyPair& idp_key() const { return idp_key_; }
+
+  // --- policy & decision ------------------------------------------------
+  pap::PolicyRepository& repository() { return repository_; }
+
+  /// Adds a policy directly to the live PDP store (tests / VO setup).
+  void add_policy(core::Policy policy);
+  void add_policy_set(core::PolicySet policy_set);
+
+  /// (Re)loads every issued repository policy into the PDP store.
+  std::size_t adopt_issued_policies();
+
+  std::shared_ptr<core::Pdp> pdp() { return pdp_; }
+  pep::EnforcementPoint& pep() { return pep_; }
+  pip::AccessHistory& history() { return history_; }
+
+  /// Local decision, resolved through the domain's PIP chain.
+  core::Decision decide(const core::RequestContext& request) {
+    return pdp_->evaluate(request);
+  }
+
+  /// Full local enforcement (decision + obligations + fail-safe bias).
+  pep::Enforcement enforce(const core::RequestContext& request);
+
+  // --- cross-domain trust ----------------------------------------------
+  crypto::TrustStore& trust_store() { return trust_; }
+
+  /// Accept identity assertions from the other domain's IdP.
+  void trust_domain(const Domain& other) { trust_.add_trusted_key(other.idp_key()); }
+
+  struct CrossDomainResult {
+    bool allowed = false;
+    tokens::TokenValidity token_status = tokens::TokenValidity::kValid;
+    core::Decision decision;
+    std::string reason;
+  };
+
+  /// The paper's federated flow: a foreign subject presents an identity
+  /// assertion from their home IdP; the local PDP evaluates the token's
+  /// vetted attributes under local policy.
+  CrossDomainResult handle_cross_domain_request(const tokens::SignedAssertion& token,
+                                                const std::string& resource,
+                                                const std::string& action);
+
+ private:
+  std::string name_;
+  const common::Clock& clock_;
+  crypto::KeyPair idp_key_;
+  std::map<std::string, std::map<std::string, core::Bag>> users_;
+  std::uint64_t next_assertion_ = 1;
+
+  pip::DirectoryProvider directory_;
+  pip::AccessHistory history_;
+  pip::HistoryProvider history_provider_;
+  pip::EnvironmentProvider environment_;
+  pip::CompositeResolver resolver_;
+
+  pap::PolicyRepository repository_;
+  std::shared_ptr<core::PolicyStore> store_;
+  std::shared_ptr<core::Pdp> pdp_;
+  crypto::TrustStore trust_;
+  pep::EnforcementPoint pep_;
+};
+
+/// The federation: shared VO-level policy plus pairwise IdP trust.
+class VirtualOrganisation {
+ public:
+  explicit VirtualOrganisation(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_member(Domain* member) { members_.push_back(member); }
+  const std::vector<Domain*>& members() const { return members_; }
+
+  /// Every member trusts every other member's IdP.
+  void establish_pairwise_trust();
+
+  /// Clones a VO-wide policy into every member's PDP store; returns the
+  /// number of domains that received it.
+  std::size_t distribute_policy(const core::Policy& policy);
+
+ private:
+  std::string name_;
+  std::vector<Domain*> members_;
+};
+
+}  // namespace mdac::domain

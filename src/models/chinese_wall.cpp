@@ -1,0 +1,57 @@
+#include "models/chinese_wall.hpp"
+
+namespace mdac::models {
+
+void ChineseWall::add_company(const std::string& company,
+                              const std::string& conflict_class) {
+  company_class_[company] = conflict_class;
+}
+
+void ChineseWall::assign_object(const std::string& object,
+                                const std::string& company) {
+  object_company_[object] = company;
+}
+
+bool ChineseWall::can_access(const std::string& subject,
+                             const std::string& object) const {
+  const auto company_it = object_company_.find(object);
+  if (company_it == object_company_.end()) return true;  // outside all walls
+  const std::string& company = company_it->second;
+
+  const auto class_it = company_class_.find(company);
+  if (class_it == company_class_.end()) return true;  // no conflict class
+  const std::string& conflict_class = class_it->second;
+
+  const auto subject_it = chosen_.find(subject);
+  if (subject_it == chosen_.end()) return true;  // clean slate
+  const auto chosen = subject_it->second.find(conflict_class);
+  if (chosen == subject_it->second.end()) return true;  // class untouched
+  return chosen->second == company;  // may only continue with the same side
+}
+
+void ChineseWall::record_access(const std::string& subject,
+                                const std::string& object) {
+  const auto company_it = object_company_.find(object);
+  if (company_it == object_company_.end()) return;
+  const auto class_it = company_class_.find(company_it->second);
+  if (class_it == company_class_.end()) return;
+  chosen_[subject].emplace(class_it->second, company_it->second);
+}
+
+std::set<std::string> ChineseWall::accessible_companies(
+    const std::string& subject, const std::string& conflict_class) const {
+  std::set<std::string> out;
+  const auto subject_it = chosen_.find(subject);
+  const std::string* committed = nullptr;
+  if (subject_it != chosen_.end()) {
+    const auto chosen = subject_it->second.find(conflict_class);
+    if (chosen != subject_it->second.end()) committed = &chosen->second;
+  }
+  for (const auto& [company, cls] : company_class_) {
+    if (cls != conflict_class) continue;
+    if (committed == nullptr || *committed == company) out.insert(company);
+  }
+  return out;
+}
+
+}  // namespace mdac::models

@@ -1,0 +1,42 @@
+// Brewer–Nash "Chinese Wall" (paper §3.1, [22]): conflict-of-interest
+// classes across a multi-domain environment. Once a subject touches one
+// company's data, every other company in the same conflict class becomes
+// off-limits to that subject — the meta-policy the paper proposes for
+// VO-wide conflict containment.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace mdac::models {
+
+class ChineseWall {
+ public:
+  /// Places a company's dataset inside a conflict-of-interest class.
+  void add_company(const std::string& company, const std::string& conflict_class);
+
+  /// Binds an object to a company's dataset.
+  void assign_object(const std::string& object, const std::string& company);
+
+  /// Brewer–Nash simple security: access is allowed iff the object's
+  /// company is one the subject has already accessed, OR the subject has
+  /// accessed no company in that conflict class yet. Unassigned objects
+  /// are outside every wall and freely accessible.
+  bool can_access(const std::string& subject, const std::string& object) const;
+
+  /// Records a (permitted) access, updating the subject's wall state.
+  void record_access(const std::string& subject, const std::string& object);
+
+  /// Companies in `conflict_class` this subject is still allowed to touch.
+  std::set<std::string> accessible_companies(const std::string& subject,
+                                             const std::string& conflict_class) const;
+
+ private:
+  std::map<std::string, std::string> company_class_;  // company -> class
+  std::map<std::string, std::string> object_company_; // object -> company
+  // subject -> conflict class -> company chosen
+  std::map<std::string, std::map<std::string, std::string>> chosen_;
+};
+
+}  // namespace mdac::models

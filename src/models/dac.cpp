@@ -1,0 +1,114 @@
+#include "models/dac.hpp"
+
+#include <algorithm>
+
+namespace mdac::models {
+
+const char* to_string(Right r) {
+  switch (r) {
+    case Right::kRead: return "read";
+    case Right::kWrite: return "write";
+    case Right::kExecute: return "execute";
+  }
+  return "?";
+}
+
+DacOutcome DacMatrix::create_object(const std::string& object,
+                                    const std::string& owner) {
+  if (owners_.count(object) > 0) {
+    return DacOutcome::failure("object '" + object + "' already exists");
+  }
+  owners_[object] = owner;
+  return DacOutcome::success();
+}
+
+bool DacMatrix::holds(const std::string& subject, const std::string& object,
+                      Right right, bool needs_grant_option) const {
+  const auto owner = owners_.find(object);
+  if (owner != owners_.end() && owner->second == subject) return true;
+  for (const Grant& g : grants_) {
+    if (g.grantee == subject && g.object == object && g.right == right &&
+        (!needs_grant_option || g.grant_option)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+DacOutcome DacMatrix::grant(const std::string& grantor, const std::string& grantee,
+                            const std::string& object, Right right,
+                            bool with_grant_option) {
+  if (owners_.count(object) == 0) {
+    return DacOutcome::failure("unknown object '" + object + "'");
+  }
+  if (!holds(grantor, object, right, /*needs_grant_option=*/true)) {
+    return DacOutcome::failure(grantor + " lacks grantable " +
+                               std::string(to_string(right)) + " on " + object);
+  }
+  if (grantee == owners_.at(object)) {
+    return DacOutcome::failure("owner already holds every right");
+  }
+  grants_.push_back(Grant{grantor, grantee, object, right, with_grant_option});
+  return DacOutcome::success();
+}
+
+void DacMatrix::cascade_revoke(const std::string& grantee, const std::string& object,
+                               Right right) {
+  // If the grantee no longer holds the right with grant option, every
+  // grant they made of that right on that object collapses.
+  if (holds(grantee, object, right, /*needs_grant_option=*/true)) return;
+
+  std::vector<std::string> orphaned;
+  grants_.erase(std::remove_if(grants_.begin(), grants_.end(),
+                               [&](const Grant& g) {
+                                 if (g.grantor == grantee && g.object == object &&
+                                     g.right == right) {
+                                   orphaned.push_back(g.grantee);
+                                   return true;
+                                 }
+                                 return false;
+                               }),
+                grants_.end());
+  for (const std::string& next : orphaned) {
+    cascade_revoke(next, object, right);
+  }
+}
+
+DacOutcome DacMatrix::revoke(const std::string& revoker, const std::string& grantee,
+                             const std::string& object, Right right) {
+  const auto owner = owners_.find(object);
+  if (owner == owners_.end()) {
+    return DacOutcome::failure("unknown object '" + object + "'");
+  }
+  const bool is_owner = owner->second == revoker;
+  const auto matches = [&](const Grant& g) {
+    return g.grantee == grantee && g.object == object && g.right == right &&
+           (is_owner || g.grantor == revoker);
+  };
+  const auto it = std::find_if(grants_.begin(), grants_.end(), matches);
+  if (it == grants_.end()) {
+    return DacOutcome::failure("no matching grant to revoke");
+  }
+  grants_.erase(std::remove_if(grants_.begin(), grants_.end(), matches),
+                grants_.end());
+  cascade_revoke(grantee, object, right);
+  return DacOutcome::success();
+}
+
+bool DacMatrix::check(const std::string& subject, const std::string& object,
+                      Right right) const {
+  return holds(subject, object, right, /*needs_grant_option=*/false);
+}
+
+bool DacMatrix::has_grant_option(const std::string& subject,
+                                 const std::string& object, Right right) const {
+  return holds(subject, object, right, /*needs_grant_option=*/true);
+}
+
+const std::string* DacMatrix::owner_of(const std::string& object) const {
+  const auto it = owners_.find(object);
+  if (it == owners_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace mdac::models

@@ -1,0 +1,73 @@
+// Discretionary Access Control (paper §2.2): an access matrix with
+// ownership, grant-option delegation and cascading revocation — the
+// classic Griffiths–Wade semantics. Subjects grant rights they hold with
+// grant option; revoking a right recursively revokes every grant that
+// depended on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mdac::models {
+
+enum class Right { kRead, kWrite, kExecute };
+
+const char* to_string(Right r);
+
+struct DacOutcome {
+  bool ok = true;
+  std::string reason;
+
+  static DacOutcome success() { return {}; }
+  static DacOutcome failure(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+class DacMatrix {
+ public:
+  /// Registers an object with its owner. The owner implicitly holds every
+  /// right with grant option and cannot be revoked.
+  DacOutcome create_object(const std::string& object, const std::string& owner);
+
+  /// `grantor` gives `grantee` the right. Requires the grantor to hold the
+  /// right *with grant option* on that object.
+  DacOutcome grant(const std::string& grantor, const std::string& grantee,
+                   const std::string& object, Right right, bool with_grant_option);
+
+  /// `revoker` withdraws a grant they made (or the owner withdraws any).
+  /// Grants the grantee made on the strength of this right cascade away.
+  DacOutcome revoke(const std::string& revoker, const std::string& grantee,
+                    const std::string& object, Right right);
+
+  bool check(const std::string& subject, const std::string& object,
+             Right right) const;
+  bool has_grant_option(const std::string& subject, const std::string& object,
+                        Right right) const;
+
+  const std::string* owner_of(const std::string& object) const;
+
+  /// Number of live (non-owner) grant edges — used by tests and benches.
+  std::size_t grant_count() const { return grants_.size(); }
+
+ private:
+  struct Grant {
+    std::string grantor;
+    std::string grantee;
+    std::string object;
+    Right right;
+    bool grant_option;
+  };
+
+  bool holds(const std::string& subject, const std::string& object, Right right,
+             bool needs_grant_option) const;
+  void cascade_revoke(const std::string& grantee, const std::string& object,
+                      Right right);
+
+  std::map<std::string, std::string> owners_;  // object -> owner
+  std::vector<Grant> grants_;
+};
+
+}  // namespace mdac::models

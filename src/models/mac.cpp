@@ -1,0 +1,45 @@
+#include "models/mac.hpp"
+
+#include <algorithm>
+
+namespace mdac::models {
+
+bool dominates(const Label& a, const Label& b) {
+  if (a.level < b.level) return false;
+  return std::includes(a.compartments.begin(), a.compartments.end(),
+                       b.compartments.begin(), b.compartments.end());
+}
+
+void BlpModel::set_clearance(const std::string& subject, Label label) {
+  clearances_[subject] = std::move(label);
+}
+
+void BlpModel::set_classification(const std::string& object, Label label) {
+  classifications_[object] = std::move(label);
+}
+
+const Label* BlpModel::clearance(const std::string& subject) const {
+  const auto it = clearances_.find(subject);
+  return it == clearances_.end() ? nullptr : &it->second;
+}
+
+const Label* BlpModel::classification(const std::string& object) const {
+  const auto it = classifications_.find(object);
+  return it == classifications_.end() ? nullptr : &it->second;
+}
+
+bool BlpModel::can_read(const std::string& subject, const std::string& object) const {
+  const Label* s = clearance(subject);
+  const Label* o = classification(object);
+  if (s == nullptr || o == nullptr) return false;
+  return dominates(*s, *o);
+}
+
+bool BlpModel::can_write(const std::string& subject, const std::string& object) const {
+  const Label* s = clearance(subject);
+  const Label* o = classification(object);
+  if (s == nullptr || o == nullptr) return false;
+  return dominates(*o, *s);
+}
+
+}  // namespace mdac::models

@@ -1,0 +1,45 @@
+// Mandatory Access Control (paper §2.2): Bell–LaPadula over a label
+// lattice. A label is a hierarchical level plus a set of compartments;
+// `dominates` is the lattice order. Reads follow the simple security
+// property (no read up); writes follow the star property (no write down).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace mdac::models {
+
+struct Label {
+  int level = 0;                         // e.g. 0=public .. 3=top-secret
+  std::set<std::string> compartments;    // need-to-know categories
+
+  bool operator==(const Label&) const = default;
+};
+
+/// True iff a.level >= b.level and a's compartments include b's.
+bool dominates(const Label& a, const Label& b);
+
+class BlpModel {
+ public:
+  void set_clearance(const std::string& subject, Label label);
+  void set_classification(const std::string& object, Label label);
+
+  const Label* clearance(const std::string& subject) const;
+  const Label* classification(const std::string& object) const;
+
+  /// Simple security property: subject may read iff clearance dominates
+  /// the object's classification. Unknown subject/object -> false
+  /// (fail-safe default).
+  bool can_read(const std::string& subject, const std::string& object) const;
+
+  /// Star property: subject may write iff the object's classification
+  /// dominates the clearance (no leaking downward).
+  bool can_write(const std::string& subject, const std::string& object) const;
+
+ private:
+  std::map<std::string, Label> clearances_;
+  std::map<std::string, Label> classifications_;
+};
+
+}  // namespace mdac::models

@@ -1,0 +1,101 @@
+#include "net/discovery.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace mdac::net {
+
+DiscoveryService::DiscoveryService(Network& network, std::string node_id)
+    : network_(network), node_(network, std::move(node_id)) {
+  node_.set_request_handler([this](const std::string& type,
+                                   const std::string& payload,
+                                   const std::string& from) -> std::string {
+    if (type == "register") {
+      const auto parts = common::split(payload, '|');
+      if (parts.size() != 3) return "bad-request";
+      const std::string& kind = parts[0];
+      const std::string& provider = parts[1];
+      common::Duration ttl = 0;
+      try {
+        ttl = std::stoll(parts[2]);
+      } catch (const std::exception&) {
+        return "bad-request";
+      }
+      ++registrations_;
+      auto& leases = leases_[kind];
+      const common::TimePoint expires = network_.simulator().now() + ttl;
+      const auto it = std::find_if(
+          leases.begin(), leases.end(),
+          [&](const Lease& l) { return l.provider == provider; });
+      if (it != leases.end()) {
+        it->expires_at = expires;
+      } else {
+        leases.push_back(Lease{provider, expires});
+      }
+      return "ok";
+    }
+    if (type == "lookup") {
+      ++lookups_;
+      return common::join(providers_of(payload), ",");
+    }
+    (void)from;
+    return "unknown-request";
+  });
+}
+
+std::vector<std::string> DiscoveryService::providers_of(
+    const std::string& kind) const {
+  std::vector<std::string> out;
+  const auto it = leases_.find(kind);
+  if (it == leases_.end()) return out;
+  const common::TimePoint now = network_.simulator().now();
+  for (const Lease& lease : it->second) {
+    if (lease.expires_at > now) out.push_back(lease.provider);
+  }
+  return out;
+}
+
+DiscoveryRegistrant::DiscoveryRegistrant(RpcNode& node, std::string registry_id,
+                                         std::string kind, common::Duration lease_ms)
+    : node_(node),
+      registry_id_(std::move(registry_id)),
+      kind_(std::move(kind)),
+      lease_ms_(lease_ms) {}
+
+void DiscoveryRegistrant::register_once() {
+  node_.call(registry_id_, "register",
+             kind_ + "|" + node_.id() + "|" + std::to_string(lease_ms_),
+             /*timeout=*/lease_ms_, [](std::optional<std::string>) {});
+}
+
+void DiscoveryRegistrant::start_renewal() {
+  if (running_) return;
+  running_ = true;
+  register_once();
+  schedule_renewal();
+}
+
+void DiscoveryRegistrant::schedule_renewal() {
+  // Renew at half the lease so a single lost renewal does not expire us.
+  node_.network().simulator().schedule(
+      lease_ms_ / 2, [this, weak = std::weak_ptr<char>(alive_)]() {
+        if (weak.expired() || !running_) return;
+        register_once();
+        schedule_renewal();
+      });
+}
+
+void DiscoveryClient::lookup(const std::string& kind, common::Duration timeout,
+                             LookupCallback callback) {
+  node_.call(registry_id_, "lookup", kind, timeout,
+             [callback](std::optional<std::string> response) {
+               std::vector<std::string> out;
+               if (response.has_value() && !response->empty()) {
+                 out = common::split(*response, ',');
+               }
+               callback(std::move(out));
+             });
+}
+
+}  // namespace mdac::net

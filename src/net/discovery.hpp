@@ -1,0 +1,84 @@
+// Service discovery (paper §3.2, "Location of Policy Decision Points"):
+// "in case of large and dynamically changing distributed systems, a
+// static binding between enforcement and decision points may not be
+// feasible. In such cases a discovery mechanism needs to be employed."
+//
+// A DiscoveryService node keeps a registry of (service kind, provider
+// node, expiry) leases; providers re-register periodically, so crashed
+// providers age out. Clients query by kind and get the live providers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/rpc.hpp"
+
+namespace mdac::net {
+
+/// Registry node. Wire protocol (all via RPC):
+///   register: payload "kind|provider-id|ttl-ms"  -> "ok"
+///   lookup:   payload "kind"                     -> "id1,id2,..." (may be "")
+class DiscoveryService {
+ public:
+  DiscoveryService(Network& network, std::string node_id);
+
+  std::size_t registrations() const { return registrations_; }
+  std::size_t lookups() const { return lookups_; }
+
+  /// Direct (in-process) view, for tests and local composition.
+  std::vector<std::string> providers_of(const std::string& kind) const;
+
+ private:
+  struct Lease {
+    std::string provider;
+    common::TimePoint expires_at;
+  };
+
+  Network& network_;
+  RpcNode node_;
+  std::map<std::string, std::vector<Lease>> leases_;  // kind -> leases
+  std::size_t registrations_ = 0;
+  std::size_t lookups_ = 0;
+};
+
+/// Provider-side helper: registers and keeps the lease fresh.
+class DiscoveryRegistrant {
+ public:
+  /// `node` is the provider's own RPC node (shared with its service).
+  DiscoveryRegistrant(RpcNode& node, std::string registry_id, std::string kind,
+                      common::Duration lease_ms);
+
+  /// Registers once; call start_renewal() for periodic re-registration.
+  void register_once();
+  void start_renewal();
+  void stop() { running_ = false; }
+
+ private:
+  void schedule_renewal();
+
+  RpcNode& node_;
+  std::string registry_id_;
+  std::string kind_;
+  common::Duration lease_ms_;
+  bool running_ = false;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+/// Client-side helper: resolves a kind to provider ids.
+class DiscoveryClient {
+ public:
+  DiscoveryClient(RpcNode& node, std::string registry_id)
+      : node_(node), registry_id_(std::move(registry_id)) {}
+
+  using LookupCallback = std::function<void(std::vector<std::string>)>;
+  void lookup(const std::string& kind, common::Duration timeout,
+              LookupCallback callback);
+
+ private:
+  RpcNode& node_;
+  std::string registry_id_;
+};
+
+}  // namespace mdac::net

@@ -1,0 +1,49 @@
+#include "net/message.hpp"
+
+#include "xml/xml.hpp"
+
+namespace mdac::net {
+
+std::string Message::to_envelope() const {
+  xml::Element env("Envelope");
+  xml::Element& header = env.add_child("Header");
+  header.add_child("From").text = from;
+  header.add_child("To").text = to;
+  header.add_child("Type").text = type;
+  if (correlation != 0) {
+    xml::Element& c = header.add_child("Correlation");
+    c.text = std::to_string(correlation);
+    c.set_attr("Response", is_response ? "true" : "false");
+  }
+  env.add_child("Body").text = payload;
+  return xml::to_string(env);
+}
+
+std::optional<Message> Message::from_envelope(const std::string& wire) {
+  std::string error;
+  const auto doc = xml::try_parse(wire, &error);
+  if (!doc || doc->name != "Envelope") return std::nullopt;
+  const xml::Element* header = doc->child("Header");
+  const xml::Element* body = doc->child("Body");
+  if (header == nullptr || body == nullptr) return std::nullopt;
+
+  Message m;
+  if (const xml::Element* e = header->child("From")) m.from = e->text;
+  if (const xml::Element* e = header->child("To")) m.to = e->text;
+  if (const xml::Element* e = header->child("Type")) m.type = e->text;
+  if (m.to.empty() || m.type.empty()) return std::nullopt;  // unroutable
+  if (const xml::Element* e = header->child("Correlation")) {
+    try {
+      m.correlation = std::stoull(e->text);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    m.is_response = e->attr_or("Response", "false") == "true";
+  }
+  m.payload = body->text;
+  return m;
+}
+
+std::size_t Message::size_bytes() const { return to_envelope().size(); }
+
+}  // namespace mdac::net

@@ -1,0 +1,69 @@
+#include "net/network.hpp"
+
+namespace mdac::net {
+
+void Network::set_link(const std::string& from, const std::string& to,
+                       LinkConfig config) {
+  links_[{from, to}] = config;
+}
+
+void Network::register_node(const std::string& id, MessageHandler handler) {
+  handlers_[id] = std::move(handler);
+  up_[id] = true;
+}
+
+void Network::unregister_node(const std::string& id) {
+  handlers_.erase(id);
+  up_.erase(id);
+}
+
+void Network::set_node_up(const std::string& id, bool up) {
+  const auto it = up_.find(id);
+  if (it != up_.end()) it->second = up;
+}
+
+bool Network::is_up(const std::string& id) const {
+  const auto it = up_.find(id);
+  return it != up_.end() && it->second;
+}
+
+const LinkConfig& Network::link_for(const std::string& from,
+                                    const std::string& to) const {
+  const auto it = links_.find({from, to});
+  if (it != links_.end()) return it->second;
+  return default_link_;
+}
+
+void Network::send(Message message) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += message.size_bytes();
+
+  const LinkConfig& link = link_for(message.from, message.to);
+  if (sim_.rng().chance(link.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  common::Duration latency = link.base_latency;
+  if (link.jitter > 0) latency += sim_.rng().uniform_int(0, link.jitter);
+
+  // Deliver through the envelope codec so byte accounting and the parse
+  // path are always exercised, exactly like a real stack would.
+  const std::string wire = message.to_envelope();
+  sim_.schedule(latency, [this, wire]() {
+    const auto decoded = Message::from_envelope(wire);
+    if (!decoded) {
+      ++stats_.messages_undeliverable;
+      return;
+    }
+    const auto handler = handlers_.find(decoded->to);
+    if (handler == handlers_.end() || !is_up(decoded->to)) {
+      ++stats_.messages_undeliverable;
+      return;
+    }
+    ++stats_.messages_delivered;
+    handler->second(*decoded);
+  });
+}
+
+}  // namespace mdac::net

@@ -1,0 +1,67 @@
+// The simulated multi-domain network: named nodes, configurable links
+// (latency, jitter, loss), node up/down failure injection, and full
+// message/byte accounting.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/message.hpp"
+#include "net/sim.hpp"
+
+namespace mdac::net {
+
+struct LinkConfig {
+  common::Duration base_latency = 5;  // ms
+  common::Duration jitter = 0;        // uniform extra in [0, jitter]
+  double drop_probability = 0.0;
+};
+
+struct NetworkStats {
+  std::size_t messages_sent = 0;
+  std::size_t messages_delivered = 0;
+  std::size_t messages_dropped = 0;     // link loss or partition
+  std::size_t messages_undeliverable = 0;  // unknown or down node
+  std::size_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  using MessageHandler = std::function<void(const Message&)>;
+
+  explicit Network(Simulator& sim) : sim_(sim) {}
+
+  void set_default_link(LinkConfig config) { default_link_ = config; }
+
+  /// Directed per-pair override (from -> to).
+  void set_link(const std::string& from, const std::string& to, LinkConfig config);
+
+  void register_node(const std::string& id, MessageHandler handler);
+  void unregister_node(const std::string& id);
+  bool has_node(const std::string& id) const { return handlers_.count(id) > 0; }
+
+  /// Failure injection: a down node silently loses incoming messages
+  /// (the caller only notices through timeouts — as in real systems).
+  void set_node_up(const std::string& id, bool up);
+  bool is_up(const std::string& id) const;
+
+  /// Sends asynchronously; delivery is scheduled on the simulator with
+  /// the link's latency. Messages to unknown/down nodes are dropped.
+  void send(Message message);
+
+  const NetworkStats& stats() const { return stats_; }
+  Simulator& simulator() { return sim_; }
+
+ private:
+  const LinkConfig& link_for(const std::string& from, const std::string& to) const;
+
+  Simulator& sim_;
+  LinkConfig default_link_;
+  std::map<std::pair<std::string, std::string>, LinkConfig> links_;
+  std::map<std::string, MessageHandler> handlers_;
+  std::map<std::string, bool> up_;
+  NetworkStats stats_;
+};
+
+}  // namespace mdac::net

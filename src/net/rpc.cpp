@@ -1,0 +1,83 @@
+#include "net/rpc.hpp"
+
+namespace mdac::net {
+
+RpcNode::RpcNode(Network& network, std::string id)
+    : network_(network), id_(std::move(id)) {
+  network_.register_node(id_, [this](const Message& m) { on_message(m); });
+}
+
+RpcNode::~RpcNode() { network_.unregister_node(id_); }
+
+void RpcNode::call(const std::string& to, const std::string& type,
+                   std::string payload, common::Duration timeout,
+                   ResponseCallback callback) {
+  const std::uint64_t correlation = next_correlation_++;
+  pending_[correlation] = std::move(callback);
+  ++calls_sent_;
+
+  Message m;
+  m.from = id_;
+  m.to = to;
+  m.type = type;
+  m.payload = std::move(payload);
+  m.correlation = correlation;
+  network_.send(std::move(m));
+
+  network_.simulator().schedule(
+      timeout, [this, correlation, alive = std::weak_ptr<char>(alive_)]() {
+        if (alive.expired()) return;  // node destroyed before timeout fired
+        const auto it = pending_.find(correlation);
+        if (it == pending_.end()) return;  // already answered
+        ResponseCallback cb = std::move(it->second);
+        pending_.erase(it);
+        ++timeouts_;
+        cb(std::nullopt);
+      });
+}
+
+void RpcNode::notify(const std::string& to, const std::string& type,
+                     std::string payload) {
+  Message m;
+  m.from = id_;
+  m.to = to;
+  m.type = type;
+  m.payload = std::move(payload);
+  network_.send(std::move(m));
+}
+
+void RpcNode::on_message(const Message& message) {
+  if (message.correlation != 0 && message.is_response) {
+    const auto it = pending_.find(message.correlation);
+    if (it == pending_.end()) return;  // late response after timeout
+    ResponseCallback cb = std::move(it->second);
+    pending_.erase(it);
+    cb(message.payload);
+    return;
+  }
+  if (message.correlation != 0) {
+    const auto respond = [this, to = message.from, type = message.type,
+                          correlation = message.correlation](std::string payload) {
+      Message reply;
+      reply.from = id_;
+      reply.to = to;
+      reply.type = type;
+      reply.payload = std::move(payload);
+      reply.correlation = correlation;
+      reply.is_response = true;
+      network_.send(std::move(reply));
+    };
+    if (async_request_handler_) {
+      async_request_handler_(message.type, message.payload, message.from, respond);
+    } else if (request_handler_) {
+      respond(request_handler_(message.type, message.payload, message.from));
+    }
+    // No handler registered: drop; the caller times out.
+    return;
+  }
+  if (notify_handler_) {
+    notify_handler_(message.type, message.payload, message.from);
+  }
+}
+
+}  // namespace mdac::net

@@ -1,0 +1,89 @@
+// Request/response RPC over the message network, with correlation ids and
+// timeouts. The shape of every PEP->PDP decision query, PAP retrieval and
+// capability issuance in the distributed experiments.
+//
+// Everything is callback-based because the simulator is single-threaded:
+// a call completes when the response event fires (or the timeout event
+// wins the race — late responses are ignored, as in real RPC stacks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace mdac::net {
+
+class RpcNode {
+ public:
+  /// Handles an incoming request; returns the response payload.
+  using RequestHandler = std::function<std::string(
+      const std::string& type, const std::string& payload, const std::string& from)>;
+  /// Async variant: the handler must eventually invoke `respond` exactly
+  /// once (possibly from a later simulator event) with the response
+  /// payload. Needed by services that fan out to other nodes before they
+  /// can answer (e.g. syndication servers).
+  using Responder = std::function<void(std::string response_payload)>;
+  using AsyncRequestHandler =
+      std::function<void(const std::string& type, const std::string& payload,
+                         const std::string& from, Responder respond)>;
+  /// Receives the response payload, or nullopt on timeout.
+  using ResponseCallback = std::function<void(std::optional<std::string>)>;
+  /// Handles one-way (non-RPC) messages.
+  using NotifyHandler =
+      std::function<void(const std::string& type, const std::string& payload,
+                         const std::string& from)>;
+
+  RpcNode(Network& network, std::string id);
+  ~RpcNode();
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  const std::string& id() const { return id_; }
+  Network& network() { return network_; }
+
+  void set_request_handler(RequestHandler handler) {
+    request_handler_ = std::move(handler);
+    async_request_handler_ = nullptr;
+  }
+  void set_async_request_handler(AsyncRequestHandler handler) {
+    async_request_handler_ = std::move(handler);
+    request_handler_ = nullptr;
+  }
+  void set_notify_handler(NotifyHandler handler) {
+    notify_handler_ = std::move(handler);
+  }
+
+  /// Issues a request; `callback` fires exactly once.
+  void call(const std::string& to, const std::string& type, std::string payload,
+            common::Duration timeout, ResponseCallback callback);
+
+  /// Fire-and-forget message.
+  void notify(const std::string& to, const std::string& type, std::string payload);
+
+  std::size_t calls_sent() const { return calls_sent_; }
+  std::size_t timeouts() const { return timeouts_; }
+
+ private:
+  void on_message(const Message& message);
+
+  Network& network_;
+  std::string id_;
+  RequestHandler request_handler_;
+  AsyncRequestHandler async_request_handler_;
+  NotifyHandler notify_handler_;
+  std::uint64_t next_correlation_ = 1;
+  std::map<std::uint64_t, ResponseCallback> pending_;
+  std::size_t calls_sent_ = 0;
+  std::size_t timeouts_ = 0;
+  // Liveness token: simulator events capture a weak_ptr to this so a
+  // timeout firing after the node's destruction is a no-op, not a crash.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace mdac::net

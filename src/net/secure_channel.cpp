@@ -1,0 +1,79 @@
+#include "net/secure_channel.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace mdac::net {
+
+namespace {
+constexpr const char* kMagicPrefix = "mdac:";  // framing check after decrypt
+}
+
+std::string SecureChannel::protect(const std::string& payload, ChannelSecurity mode) {
+  xml::Element e("Protected");
+  std::string body = payload;
+
+  if (mode.encrypt) {
+    // Fresh nonce per message: counter mixed with the key fingerprint.
+    crypto::Sha256 h;
+    h.update(signing_key_.public_key().key_id);
+    h.update(std::to_string(nonce_counter_++));
+    const crypto::Digest d = h.finish();
+    common::Bytes nonce(d.begin(), d.begin() + 16);
+
+    const crypto::EncryptedPayload enc = crypto::ctr_encrypt(
+        content_key_, nonce, common::to_bytes(kMagicPrefix + body));
+    xml::Element& enc_el = e.add_child("EncryptedData");
+    enc_el.set_attr("Nonce", common::base64_encode(enc.nonce));
+    enc_el.text = common::base64_encode(enc.ciphertext);
+    body = xml::to_string(enc_el);  // signature covers the ciphertext
+  } else {
+    e.add_child("Data").text = body;
+  }
+
+  if (mode.sign) {
+    const std::string to_sign = mode.encrypt ? body : payload;
+    const crypto::Signature sig = crypto::sign(signing_key_, to_sign);
+    xml::Element& sig_el = e.add_child("Signature");
+    sig_el.set_attr("KeyId", sig.key_id);
+    sig_el.text = common::base64_encode(sig.tag);
+  }
+  return xml::to_string(e);
+}
+
+std::optional<std::string> SecureChannel::unprotect(const std::string& wire) const {
+  const auto doc = xml::try_parse(wire);
+  if (!doc || doc->name != "Protected") return std::nullopt;
+
+  const xml::Element* encrypted = doc->child("EncryptedData");
+  const xml::Element* plain = doc->child("Data");
+  const xml::Element* sig_el = doc->child("Signature");
+
+  // Verify the signature first (over ciphertext if encrypted).
+  if (sig_el != nullptr) {
+    crypto::Signature sig;
+    sig.key_id = sig_el->attr_or("KeyId", "");
+    const auto tag = common::base64_decode(sig_el->text);
+    if (!tag) return std::nullopt;
+    sig.tag = *tag;
+    const std::string covered =
+        encrypted != nullptr ? xml::to_string(*encrypted)
+        : plain != nullptr   ? plain->text
+                             : std::string();
+    if (!trust_.verify(covered, sig)) return std::nullopt;
+  }
+
+  if (encrypted != nullptr) {
+    const auto nonce = common::base64_decode(encrypted->attr_or("Nonce", ""));
+    const auto ciphertext = common::base64_decode(encrypted->text);
+    if (!nonce || !ciphertext) return std::nullopt;
+    const common::Bytes decrypted =
+        crypto::ctr_decrypt(content_key_, crypto::EncryptedPayload{*nonce, *ciphertext});
+    const std::string text = common::to_string(decrypted);
+    if (text.rfind(kMagicPrefix, 0) != 0) return std::nullopt;  // wrong key
+    return text.substr(std::string(kMagicPrefix).size());
+  }
+  if (plain != nullptr) return plain->text;
+  return std::nullopt;
+}
+
+}  // namespace mdac::net

@@ -1,0 +1,33 @@
+#include "net/sim.hpp"
+
+#include <stdexcept>
+
+namespace mdac::net {
+
+void Simulator::schedule(common::Duration delay, Handler fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Copy out before popping: the handler may schedule new events.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.at;
+  ++processed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+}
+
+void Simulator::run_until(common::TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace mdac::net

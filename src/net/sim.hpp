@@ -1,0 +1,78 @@
+// Discrete-event simulator: the substrate standing in for real WANs
+// between administrative domains (see DESIGN.md substitutions).
+//
+// Single-threaded and deterministic: events fire in (time, insertion)
+// order, all randomness comes from the owned seeded Rng, and components
+// read time through the Clock interface so the same code runs against
+// wall-clock time in examples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace mdac::net {
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  explicit Simulator(std::uint64_t seed = 42) : rng_(seed) {}
+
+  common::TimePoint now() const { return now_; }
+  common::Rng& rng() { return rng_; }
+
+  /// Clock view of simulated time, for injection into components.
+  const common::Clock& clock() const { return clock_; }
+
+  /// Schedules `fn` to run `delay` milliseconds from now (>= 0).
+  void schedule(common::Duration delay, Handler fn);
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains (or `max_events` fire).
+  void run(std::size_t max_events = 1'000'000);
+
+  /// Runs events with timestamps <= deadline; leaves later events queued
+  /// and advances the clock to the deadline.
+  void run_until(common::TimePoint deadline);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    common::TimePoint at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  class SimClock final : public common::Clock {
+   public:
+    explicit SimClock(const Simulator& sim) : sim_(sim) {}
+    common::TimePoint now() const override { return sim_.now_; }
+
+   private:
+    const Simulator& sim_;
+  };
+
+  common::TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  common::Rng rng_;
+  SimClock clock_{*this};
+};
+
+}  // namespace mdac::net

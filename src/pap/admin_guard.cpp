@@ -1,0 +1,53 @@
+#include "pap/admin_guard.hpp"
+
+#include "core/serialization.hpp"
+
+namespace mdac::pap {
+
+core::RequestContext GuardedRepository::admin_request(const std::string& actor,
+                                                      const std::string& operation,
+                                                      const std::string& policy_id) {
+  core::RequestContext req =
+      core::RequestContext::make(actor, "policy:" + policy_id, operation);
+  req.add(core::Category::kResource, "resource-kind",
+          core::AttributeValue("access-control-policy"));
+  return req;
+}
+
+RepoOutcome GuardedRepository::authorize(const std::string& actor,
+                                         const std::string& operation,
+                                         const std::string& policy_id) {
+  const core::Decision d =
+      admin_pdp_->evaluate(admin_request(actor, operation, policy_id));
+  if (d.is_permit()) return RepoOutcome::success();
+  // Fail-safe: anything but an explicit permit blocks administration.
+  return RepoOutcome::failure("admin authorisation denied for " + actor + " " +
+                              operation + " " + policy_id + " (" + d.describe() +
+                              ")");
+}
+
+RepoOutcome GuardedRepository::submit(const std::string& document,
+                                      const std::string& actor) {
+  std::string policy_id;
+  try {
+    policy_id = core::node_from_string(document)->id();
+  } catch (const std::exception& e) {
+    return RepoOutcome::failure(std::string("invalid policy document: ") + e.what());
+  }
+  if (const RepoOutcome o = authorize(actor, "submit", policy_id); !o) return o;
+  return repository_.submit(document, actor);
+}
+
+RepoOutcome GuardedRepository::issue(const std::string& policy_id,
+                                     const std::string& actor) {
+  if (const RepoOutcome o = authorize(actor, "issue", policy_id); !o) return o;
+  return repository_.issue(policy_id, actor);
+}
+
+RepoOutcome GuardedRepository::withdraw(const std::string& policy_id,
+                                        const std::string& actor) {
+  if (const RepoOutcome o = authorize(actor, "withdraw", policy_id); !o) return o;
+  return repository_.withdraw(policy_id, actor);
+}
+
+}  // namespace mdac::pap

@@ -1,0 +1,43 @@
+// "Securing the authorisation system with its own security policies"
+// (paper §3.2 / [44]): every administrative operation on the repository
+// is itself an access request — subject = administrator, resource =
+// "policy:<id>" (in the admin domain), action = submit/issue/withdraw —
+// decided by an *admin PDP* whose policies live in the very same policy
+// language. One language, one engine, checks and audits included.
+#pragma once
+
+#include <memory>
+
+#include "core/pdp.hpp"
+#include "pap/repository.hpp"
+
+namespace mdac::pap {
+
+class GuardedRepository {
+ public:
+  GuardedRepository(PolicyRepository& repository, std::shared_ptr<core::Pdp> admin_pdp)
+      : repository_(repository), admin_pdp_(std::move(admin_pdp)) {}
+
+  /// Each operation first consults the admin PDP; a non-permit decision
+  /// fails the operation with the decision attached to the reason.
+  RepoOutcome submit(const std::string& document, const std::string& actor);
+  RepoOutcome issue(const std::string& policy_id, const std::string& actor);
+  RepoOutcome withdraw(const std::string& policy_id, const std::string& actor);
+
+  const PolicyRepository& repository() const { return repository_; }
+
+  /// Builds the administrative request for (actor, operation, policy id);
+  /// exposed so admin policies can be authored and tested against it.
+  static core::RequestContext admin_request(const std::string& actor,
+                                            const std::string& operation,
+                                            const std::string& policy_id);
+
+ private:
+  RepoOutcome authorize(const std::string& actor, const std::string& operation,
+                        const std::string& policy_id);
+
+  PolicyRepository& repository_;
+  std::shared_ptr<core::Pdp> admin_pdp_;
+};
+
+}  // namespace mdac::pap

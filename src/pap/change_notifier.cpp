@@ -1,0 +1,20 @@
+#include "pap/change_notifier.hpp"
+
+namespace mdac::pap {
+
+bool ChangeNotifier::notify_if_changed() {
+  const std::uint64_t current = repository_.revision();
+  if (current == last_revision_) return false;
+  last_revision_ = current;
+  broadcast("revision " + std::to_string(current));
+  return true;
+}
+
+void ChangeNotifier::broadcast(const std::string& reason) {
+  for (const std::string& subscriber : subscribers_) {
+    node_.notify(subscriber, "policy-changed", reason);
+    ++notifications_sent_;
+  }
+}
+
+}  // namespace mdac::pap

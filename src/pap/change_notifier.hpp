@@ -1,0 +1,76 @@
+// Policy-change notification: the missing half of the paper's caching
+// story (§3.2). Caches make the pull model affordable, but stale entries
+// produce false permits/denies; the notifier closes the loop by
+// broadcasting "policy-changed" events from the PAP to every subscribed
+// PEP cache, which invalidates wholesale.
+//
+// Delivery is best-effort (one-way notify over the lossy network), so
+// TTLs remain the backstop — exactly the layered defence the paper's
+// challenge text implies.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/decision_cache.hpp"
+#include "net/rpc.hpp"
+#include "pap/repository.hpp"
+
+namespace mdac::pap {
+
+/// PAP-side: watches a repository revision and broadcasts changes.
+class ChangeNotifier {
+ public:
+  ChangeNotifier(net::Network& network, std::string node_id,
+                 const PolicyRepository& repository)
+      : node_(network, std::move(node_id)), repository_(repository) {}
+
+  void add_subscriber(const std::string& node_id) {
+    subscribers_.push_back(node_id);
+  }
+
+  /// Broadcasts if the repository changed since the last call. Returns
+  /// true if a notification went out. Callers typically invoke this
+  /// after administrative operations (or on a simulator timer).
+  bool notify_if_changed();
+
+  /// Unconditional broadcast (e.g. out-of-band revocation).
+  void broadcast(const std::string& reason);
+
+  std::size_t notifications_sent() const { return notifications_sent_; }
+
+ private:
+  net::RpcNode node_;
+  const PolicyRepository& repository_;
+  std::vector<std::string> subscribers_;
+  std::uint64_t last_revision_ = 0;
+  std::size_t notifications_sent_ = 0;
+};
+
+/// PEP-side: a network node that flushes a decision cache on
+/// "policy-changed" notifications.
+class CacheInvalidationListener {
+ public:
+  CacheInvalidationListener(net::Network& network, std::string node_id,
+                            cache::DecisionCache& cache)
+      : node_(network, std::move(node_id)), cache_(cache) {
+    node_.set_notify_handler([this](const std::string& type, const std::string&,
+                                    const std::string&) {
+      if (type == "policy-changed") {
+        cache_.invalidate_all();
+        ++invalidations_;
+      }
+    });
+  }
+
+  const std::string& node_id() const { return node_.id(); }
+  std::size_t invalidations() const { return invalidations_; }
+
+ private:
+  net::RpcNode node_;
+  cache::DecisionCache& cache_;
+  std::size_t invalidations_ = 0;
+};
+
+}  // namespace mdac::pap

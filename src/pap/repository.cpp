@@ -1,0 +1,135 @@
+#include "pap/repository.hpp"
+
+#include "core/serialization.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mdac::pap {
+
+const char* to_string(Lifecycle s) {
+  switch (s) {
+    case Lifecycle::kDraft: return "draft";
+    case Lifecycle::kIssued: return "issued";
+    case Lifecycle::kWithdrawn: return "withdrawn";
+  }
+  return "?";
+}
+
+void PolicyRepository::record_audit(const std::string& actor,
+                                    const std::string& operation,
+                                    const std::string& policy_id, int version,
+                                    const std::string& document) {
+  AuditEntry entry;
+  entry.at = clock_.now();
+  entry.actor = actor;
+  entry.operation = operation;
+  entry.policy_id = policy_id;
+  entry.version = version;
+  entry.content_hash = crypto::digest_hex(crypto::Sha256::hash(document));
+  audit_.push_back(std::move(entry));
+  ++revision_;
+}
+
+RepoOutcome PolicyRepository::submit(const std::string& document,
+                                     const std::string& author) {
+  std::string policy_id;
+  try {
+    const auto node = core::node_from_string(document);
+    policy_id = node->id();
+  } catch (const std::exception& e) {
+    return RepoOutcome::failure(std::string("invalid policy document: ") + e.what());
+  }
+
+  auto& versions = records_[policy_id];
+  PolicyRecord record;
+  record.policy_id = policy_id;
+  record.version = versions.empty() ? 1 : versions.back().version + 1;
+  record.status = Lifecycle::kDraft;
+  record.document = document;
+  record.author = author;
+  record.updated_at = clock_.now();
+  versions.push_back(std::move(record));
+
+  record_audit(author, "submit", policy_id, versions.back().version, document);
+  return RepoOutcome::success();
+}
+
+RepoOutcome PolicyRepository::issue(const std::string& policy_id,
+                                    const std::string& actor) {
+  const auto it = records_.find(policy_id);
+  if (it == records_.end()) return RepoOutcome::failure("unknown policy " + policy_id);
+  auto& versions = it->second;
+  if (versions.back().status != Lifecycle::kDraft) {
+    return RepoOutcome::failure("latest version of " + policy_id + " is not a draft");
+  }
+  for (PolicyRecord& r : versions) {
+    if (r.status == Lifecycle::kIssued) r.status = Lifecycle::kWithdrawn;
+  }
+  versions.back().status = Lifecycle::kIssued;
+  versions.back().updated_at = clock_.now();
+  record_audit(actor, "issue", policy_id, versions.back().version,
+               versions.back().document);
+  return RepoOutcome::success();
+}
+
+RepoOutcome PolicyRepository::withdraw(const std::string& policy_id,
+                                       const std::string& actor) {
+  const auto it = records_.find(policy_id);
+  if (it == records_.end()) return RepoOutcome::failure("unknown policy " + policy_id);
+  for (PolicyRecord& r : it->second) {
+    if (r.status == Lifecycle::kIssued) {
+      r.status = Lifecycle::kWithdrawn;
+      r.updated_at = clock_.now();
+      record_audit(actor, "withdraw", policy_id, r.version, r.document);
+      return RepoOutcome::success();
+    }
+  }
+  return RepoOutcome::failure(policy_id + " has no issued version");
+}
+
+const PolicyRecord* PolicyRepository::latest(const std::string& policy_id) const {
+  const auto it = records_.find(policy_id);
+  if (it == records_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+const PolicyRecord* PolicyRepository::issued(const std::string& policy_id) const {
+  const auto it = records_.find(policy_id);
+  if (it == records_.end()) return nullptr;
+  for (const PolicyRecord& r : it->second) {
+    if (r.status == Lifecycle::kIssued) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<const PolicyRecord*> PolicyRepository::all_issued() const {
+  std::vector<const PolicyRecord*> out;
+  for (const auto& [id, versions] : records_) {
+    for (const PolicyRecord& r : versions) {
+      if (r.status == Lifecycle::kIssued) out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> PolicyRepository::policy_ids() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (const auto& [id, _] : records_) out.push_back(id);
+  return out;
+}
+
+std::size_t PolicyRepository::load_into(core::PolicyStore* store) const {
+  std::size_t loaded = 0;
+  for (const PolicyRecord* r : all_issued()) {
+    try {
+      store->add(core::node_from_string(r->document));
+      ++loaded;
+    } catch (const std::exception&) {
+      // An unparseable issued record cannot happen through submit(), but
+      // guard anyway: a broken policy must not take the PDP down.
+    }
+  }
+  return loaded;
+}
+
+}  // namespace mdac::pap

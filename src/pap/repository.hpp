@@ -1,0 +1,95 @@
+// Policy Administration Point (paper §2.2, component 3).
+//
+// A versioned repository with the lifecycle the paper's management
+// challenge enumerates (§3.2: writing, reviewing, issuing, modifying,
+// withdrawing, retrieving) and an append-only audit log carrying content
+// hashes — the substrate for the compliance/audit story (ISO 27k, DPA).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/policy.hpp"
+
+namespace mdac::pap {
+
+enum class Lifecycle { kDraft, kIssued, kWithdrawn };
+
+const char* to_string(Lifecycle s);
+
+struct PolicyRecord {
+  std::string policy_id;
+  int version = 1;
+  Lifecycle status = Lifecycle::kDraft;
+  std::string document;      // wire (XML) form
+  std::string author;
+  common::TimePoint updated_at = 0;
+};
+
+struct AuditEntry {
+  common::TimePoint at = 0;
+  std::string actor;
+  std::string operation;   // submit / issue / withdraw / replace
+  std::string policy_id;
+  int version = 0;
+  std::string content_hash;  // SHA-256 of the document, hex
+};
+
+struct RepoOutcome {
+  bool ok = true;
+  std::string reason;
+
+  static RepoOutcome success() { return {}; }
+  static RepoOutcome failure(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+class PolicyRepository {
+ public:
+  explicit PolicyRepository(const common::Clock& clock) : clock_(clock) {}
+
+  /// Parses and stores `document` as a draft. A document for an existing
+  /// id becomes a new draft version. Malformed documents are rejected.
+  RepoOutcome submit(const std::string& document, const std::string& author);
+
+  /// Promotes the latest draft to issued (withdrawing any prior issued
+  /// version of the same id).
+  RepoOutcome issue(const std::string& policy_id, const std::string& actor);
+
+  /// Withdraws the issued version.
+  RepoOutcome withdraw(const std::string& policy_id, const std::string& actor);
+
+  /// Latest record (any status) / the issued record for an id.
+  const PolicyRecord* latest(const std::string& policy_id) const;
+  const PolicyRecord* issued(const std::string& policy_id) const;
+
+  std::vector<const PolicyRecord*> all_issued() const;
+  std::vector<std::string> policy_ids() const;
+
+  /// Materialises every issued policy into a PDP's store (the PAP→PDP
+  /// retrieval edge of Fig. 4). Returns how many were loaded.
+  std::size_t load_into(core::PolicyStore* store) const;
+
+  const std::vector<AuditEntry>& audit_log() const { return audit_; }
+
+  /// Bumped on every successful mutation — remote caches key off this.
+  std::uint64_t revision() const { return revision_; }
+
+ private:
+  void record_audit(const std::string& actor, const std::string& operation,
+                    const std::string& policy_id, int version,
+                    const std::string& document);
+
+  const common::Clock& clock_;
+  // id -> all versions, ascending.
+  std::map<std::string, std::vector<PolicyRecord>> records_;
+  std::vector<AuditEntry> audit_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace mdac::pap

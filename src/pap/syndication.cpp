@@ -1,0 +1,168 @@
+#include "pap/syndication.hpp"
+
+#include <memory>
+
+#include "core/serialization.hpp"
+#include "xml/xml.hpp"
+
+namespace mdac::pap {
+
+namespace {
+
+/// Collects every string literal compared against resource-id with
+/// string-equal in the node's own target.
+std::vector<std::string> target_resource_values(const core::PolicyTreeNode& node) {
+  std::vector<std::string> out;
+  const core::Target* target = node.target();
+  if (target == nullptr) return out;
+  for (const core::AnyOf& any : target->any_ofs) {
+    for (const core::AllOf& all : any.all_ofs) {
+      for (const core::Match& m : all.matches) {
+        if (m.category == core::Category::kResource &&
+            m.attribute_id == core::attrs::kResourceId &&
+            m.function_id == "string-equal" && m.literal.is_string()) {
+          out.push_back(m.literal.as_string());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t count_rules(const core::PolicyTreeNode& node) {
+  if (const auto* p = dynamic_cast<const core::Policy*>(&node)) {
+    return p->rules.size();
+  }
+  if (const auto* ps = dynamic_cast<const core::PolicySet*>(&node)) {
+    std::size_t total = 0;
+    for (const core::PolicyNodePtr& child : ps->children()) {
+      total += count_rules(*child);
+    }
+    return total;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool SyndicationConstraint::accepts(const core::PolicyTreeNode& node) const {
+  if (resource_scope.has_value()) {
+    const std::vector<std::string> resources = target_resource_values(node);
+    if (resources.empty()) return false;  // unscoped policy vs scoped domain
+    for (const std::string& r : resources) {
+      if (!common::wildcard_match(*resource_scope, r)) return false;
+    }
+  }
+  if (count_rules(node) > max_rules) return false;
+  if (custom && !custom(node)) return false;
+  return true;
+}
+
+std::string report_to_payload(const SyndicationReport& report) {
+  xml::Element e("Report");
+  e.set_attr("Accepted", std::to_string(report.accepted));
+  e.set_attr("Rejected", std::to_string(report.rejected));
+  e.set_attr("Nodes", std::to_string(report.nodes_reached));
+  return xml::to_string(e);
+}
+
+std::optional<SyndicationReport> report_from_payload(const std::string& payload) {
+  const auto doc = xml::try_parse(payload);
+  if (!doc || doc->name != "Report") return std::nullopt;
+  try {
+    SyndicationReport r;
+    r.accepted = std::stoull(doc->attr_or("Accepted", "0"));
+    r.rejected = std::stoull(doc->attr_or("Rejected", "0"));
+    r.nodes_reached = std::stoull(doc->attr_or("Nodes", "0"));
+    return r;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+SyndicationServer::SyndicationServer(net::Network& network, std::string node_id,
+                                     PolicyRepository& repository,
+                                     SyndicationConstraint constraint)
+    : node_(network, std::move(node_id)),
+      repository_(repository),
+      constraint_(std::move(constraint)) {
+  node_.set_async_request_handler(
+      [this](const std::string& type, const std::string& payload,
+             const std::string& /*from*/, net::RpcNode::Responder respond) {
+        if (type != "syndicate") {
+          respond(report_to_payload(SyndicationReport{}));
+          return;
+        }
+        handle_syndicate(payload,
+                         [respond](SyndicationReport report) {
+                           respond(report_to_payload(report));
+                         },
+                         /*per_hop_timeout=*/1000);
+      });
+}
+
+void SyndicationServer::add_child(const std::string& child_node_id) {
+  children_.push_back(child_node_id);
+}
+
+void SyndicationServer::publish(const std::string& document,
+                                std::function<void(SyndicationReport)> on_complete,
+                                common::Duration per_hop_timeout) {
+  handle_syndicate(document, std::move(on_complete), per_hop_timeout);
+}
+
+void SyndicationServer::handle_syndicate(
+    const std::string& document, std::function<void(SyndicationReport)> done,
+    common::Duration per_hop_timeout) {
+  SyndicationReport local;
+  local.nodes_reached = 1;
+
+  bool acceptable = false;
+  try {
+    const core::PolicyNodePtr node = core::node_from_string(document);
+    acceptable = constraint_.accepts(*node);
+  } catch (const std::exception&) {
+    acceptable = false;
+  }
+  if (acceptable && repository_.submit(document, "syndication:" + node_.id())) {
+    // Syndicated policies go live immediately in the local PAP.
+    const std::string id = core::node_from_string(document)->id();
+    repository_.issue(id, "syndication:" + node_.id());
+    local.accepted = 1;
+  } else {
+    local.rejected = 1;
+  }
+
+  if (children_.empty()) {
+    done(local);
+    return;
+  }
+
+  struct Pending {
+    SyndicationReport aggregate;
+    std::size_t remaining;
+    std::function<void(SyndicationReport)> done;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->aggregate = local;
+  pending->remaining = children_.size();
+  pending->done = std::move(done);
+
+  for (const std::string& child : children_) {
+    node_.call(child, "syndicate", document, per_hop_timeout,
+               [pending](std::optional<std::string> response) {
+                 if (response.has_value()) {
+                   if (const auto report = report_from_payload(*response)) {
+                     pending->aggregate.accepted += report->accepted;
+                     pending->aggregate.rejected += report->rejected;
+                     pending->aggregate.nodes_reached += report->nodes_reached;
+                   }
+                 }
+                 if (--pending->remaining == 0) {
+                   pending->done(pending->aggregate);
+                 }
+               });
+  }
+}
+
+}  // namespace mdac::pap

@@ -1,0 +1,79 @@
+// Policy syndication (paper Fig. 5 and §3.2 "Communication Performance"):
+// a global PAP pushes policies down a hierarchy of syndication servers;
+// each local PAP applies its own constraint filter — accepting only
+// policies within its scope — and reports acceptance back up.
+//
+// Runs over the simulated network so the Fig-5 bench can measure
+// propagation latency and message counts against depth and fanout.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/policy.hpp"
+#include "net/rpc.hpp"
+#include "pap/repository.hpp"
+
+namespace mdac::pap {
+
+/// Local autonomy: which syndicated policies a domain will take.
+struct SyndicationConstraint {
+  /// If set, every resource-id equality value in the policy's target must
+  /// match this wildcard pattern (e.g. "domain-a/*"). Policies without a
+  /// resource-id constraint are rejected when a scope is set.
+  std::optional<std::string> resource_scope;
+  /// Upper bound on total rule count (syndication payload control).
+  std::size_t max_rules = static_cast<std::size_t>(-1);
+  /// Extra domain-specific veto.
+  std::function<bool(const core::PolicyTreeNode&)> custom;
+
+  bool accepts(const core::PolicyTreeNode& node) const;
+};
+
+/// Aggregate result reported back up the hierarchy.
+struct SyndicationReport {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t nodes_reached = 0;
+};
+
+/// One server in the Fig-5 tree. The root calls publish(); interior nodes
+/// relay to children over the network; every node files accepted policies
+/// into its local repository.
+class SyndicationServer {
+ public:
+  SyndicationServer(net::Network& network, std::string node_id,
+                    PolicyRepository& repository, SyndicationConstraint constraint);
+
+  void add_child(const std::string& child_node_id);
+
+  /// Root entry point: pushes `document` into the subtree. `on_complete`
+  /// fires when every reachable node has reported (or timed out).
+  void publish(const std::string& document,
+               std::function<void(SyndicationReport)> on_complete,
+               common::Duration per_hop_timeout = 1000);
+
+  const std::string& node_id() const { return node_.id(); }
+  const std::vector<std::string>& children() const { return children_; }
+
+ private:
+  /// Handles a syndicate request; returns the serialized subtree report.
+  void handle_syndicate(const std::string& document,
+                        std::function<void(SyndicationReport)> done,
+                        common::Duration per_hop_timeout);
+
+  net::RpcNode node_;
+  PolicyRepository& repository_;
+  SyndicationConstraint constraint_;
+  std::vector<std::string> children_;
+};
+
+/// Wire form helpers for reports (exposed for tests).
+std::string report_to_payload(const SyndicationReport& report);
+std::optional<SyndicationReport> report_from_payload(const std::string& payload);
+
+}  // namespace mdac::pap

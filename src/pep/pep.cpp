@@ -1,0 +1,108 @@
+#include "pep/pep.hpp"
+
+namespace mdac::pep {
+
+void EnforcementPoint::register_obligation_handler(const std::string& obligation_id,
+                                                   ObligationHandler handler) {
+  handlers_[obligation_id] = std::move(handler);
+}
+
+bool EnforcementPoint::fulfil(
+    const std::vector<core::ObligationInstance>& obligations,
+    std::vector<std::string>* fulfilled, std::string* failure) {
+  for (const core::ObligationInstance& ob : obligations) {
+    const auto it = handlers_.find(ob.id);
+    if (it == handlers_.end()) {
+      *failure = "no handler for obligation '" + ob.id + "'";
+      return false;
+    }
+    if (!it->second(ob)) {
+      *failure = "obligation '" + ob.id + "' failed";
+      return false;
+    }
+    fulfilled->push_back(ob.id);
+  }
+  return true;
+}
+
+Enforcement EnforcementPoint::enforce(const core::RequestContext& request) {
+  ++enforcements_;
+  Enforcement result;
+
+  if (cache_ != nullptr) {
+    if (auto hit = cache_->lookup(request)) {
+      result.decision = *hit;
+    } else {
+      result.decision = source_(request);
+      if (result.decision.is_permit() || result.decision.is_deny()) {
+        cache_->insert(request, result.decision);
+      }
+    }
+  } else {
+    result.decision = source_(request);
+  }
+
+  switch (result.decision.type) {
+    case core::DecisionType::kPermit: {
+      std::string failure;
+      if (!fulfil(result.decision.obligations, &result.obligations_fulfilled,
+                  &failure)) {
+        // A permit whose obligations cannot be discharged must not be
+        // enforced as permit.
+        ++denials_by_obligation_;
+        result.allowed = false;
+        result.reason = failure;
+        return result;
+      }
+      result.allowed = true;
+      return result;
+    }
+    case core::DecisionType::kDeny: {
+      // Deny obligations (e.g. notify security) are best-effort; their
+      // failure cannot make the outcome *more* permissive.
+      std::string ignored;
+      fulfil(result.decision.obligations, &result.obligations_fulfilled, &ignored);
+      result.allowed = false;
+      result.reason = "denied by policy";
+      return result;
+    }
+    case core::DecisionType::kNotApplicable:
+    case core::DecisionType::kIndeterminate: {
+      result.allowed = config_.bias == Bias::kPermit;
+      if (!result.allowed) {
+        ++denials_by_bias_;
+        result.reason = std::string("fail-safe deny (") +
+                        core::to_string(result.decision.type) + ")";
+      }
+      return result;
+    }
+  }
+  result.allowed = false;
+  result.reason = "unreachable";
+  return result;
+}
+
+namespace obligations {
+
+ObligationHandler audit_to(std::vector<std::string>* sink) {
+  return [sink](const core::ObligationInstance& ob) {
+    std::string line = ob.id;
+    for (const auto& [key, value] : ob.assignments) {
+      line += " " + key + "=" + value.to_text();
+    }
+    sink->push_back(std::move(line));
+    return true;
+  };
+}
+
+ObligationHandler no_op() {
+  return [](const core::ObligationInstance&) { return true; };
+}
+
+ObligationHandler always_fail() {
+  return [](const core::ObligationInstance&) { return false; };
+}
+
+}  // namespace obligations
+
+}  // namespace mdac::pep

@@ -1,0 +1,94 @@
+// Policy Enforcement Point (paper §2.2, component 1).
+//
+// The PEP "creates a barrier around the resource it protects and mediates
+// all accesses"; it *conforms* to PDP decisions and fulfils their
+// obligations. Key dependability property implemented here: fail-safe
+// bias — NotApplicable, Indeterminate, unreachable PDP, or an obligation
+// the PEP cannot discharge all collapse to deny (configurable).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/decision_cache.hpp"
+#include "core/decision.hpp"
+#include "core/request.hpp"
+
+namespace mdac::pep {
+
+/// Discharges one obligation instance; returns false if it cannot.
+using ObligationHandler = std::function<bool(const core::ObligationInstance&)>;
+
+enum class Bias { kDeny, kPermit };
+
+struct PepConfig {
+  /// Applied to NotApplicable / Indeterminate decisions.
+  Bias bias = Bias::kDeny;
+};
+
+/// Result of one enforcement: the gate outcome plus its provenance.
+struct Enforcement {
+  bool allowed = false;
+  core::Decision decision;
+  std::vector<std::string> obligations_fulfilled;
+  std::string reason;  // set when allowed == false
+};
+
+class EnforcementPoint {
+ public:
+  /// The decision source: a local PDP call, a remote RPC, or a cached
+  /// evaluator — the PEP does not care (paper's modularity requirement).
+  using DecisionSource = std::function<core::Decision(const core::RequestContext&)>;
+
+  EnforcementPoint(DecisionSource source, PepConfig config = {})
+      : source_(std::move(source)), config_(config) {}
+
+  /// Registers a handler for an obligation id. Unhandled obligations on a
+  /// permit make the PEP deny (an obligation it cannot understand must
+  /// not be silently skipped — XACML semantics, paper §2.3).
+  void register_obligation_handler(const std::string& obligation_id,
+                                   ObligationHandler handler);
+
+  /// Optional decision cache (paper §3.2); not owned.
+  void set_cache(cache::DecisionCache* cache) { cache_ = cache; }
+
+  Enforcement enforce(const core::RequestContext& request);
+
+  // Counters for the benches.
+  std::size_t enforcements() const { return enforcements_; }
+  std::size_t denials_by_bias() const { return denials_by_bias_; }
+  std::size_t denials_by_obligation() const { return denials_by_obligation_; }
+
+ private:
+  /// Runs handlers for all obligations; returns false if any obligation
+  /// is unhandled or its handler fails.
+  bool fulfil(const std::vector<core::ObligationInstance>& obligations,
+              std::vector<std::string>* fulfilled, std::string* failure);
+
+  DecisionSource source_;
+  PepConfig config_;
+  std::map<std::string, ObligationHandler> handlers_;
+  cache::DecisionCache* cache_ = nullptr;
+  std::size_t enforcements_ = 0;
+  std::size_t denials_by_bias_ = 0;
+  std::size_t denials_by_obligation_ = 0;
+};
+
+/// Standard obligation handlers used across examples and benches.
+namespace obligations {
+
+/// Appends a line per obligation to `sink` ("audit-log" style).
+ObligationHandler audit_to(std::vector<std::string>* sink);
+
+/// Always succeeds, does nothing (for advice-like obligations).
+ObligationHandler no_op();
+
+/// Always fails (for failure-injection tests).
+ObligationHandler always_fail();
+
+}  // namespace obligations
+
+}  // namespace mdac::pep

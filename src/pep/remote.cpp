@@ -1,0 +1,60 @@
+#include "pep/remote.hpp"
+
+#include "core/serialization.hpp"
+
+namespace mdac::pep {
+
+PdpService::PdpService(net::Network& network, std::string node_id,
+                       std::shared_ptr<core::Pdp> pdp)
+    : node_(network, std::move(node_id)), pdp_(std::move(pdp)) {
+  node_.set_request_handler([this](const std::string& type,
+                                   const std::string& payload,
+                                   const std::string& /*from*/) {
+    ++requests_served_;
+    if (type == "ping") return std::string("pong");  // heartbeat probe
+    if (type != kAuthzRequestType) {
+      return core::decision_to_string(core::Decision::indeterminate(
+          core::IndeterminateExtent::kDP,
+          core::Status::processing_error("unknown request type '" + type + "'")));
+    }
+    core::Decision decision;
+    try {
+      const core::RequestContext request = core::request_from_string(payload);
+      decision = pdp_->evaluate(request);
+    } catch (const std::exception& e) {
+      decision = core::Decision::indeterminate(
+          core::IndeterminateExtent::kDP,
+          core::Status::syntax_error(std::string("bad request context: ") + e.what()));
+    }
+    return core::decision_to_string(decision);
+  });
+}
+
+RemotePdpClient::RemotePdpClient(net::Network& network, std::string node_id,
+                                 std::string pdp_node_id, common::Duration timeout)
+    : node_(network, std::move(node_id)),
+      pdp_node_(std::move(pdp_node_id)),
+      timeout_(timeout) {}
+
+void RemotePdpClient::evaluate(const core::RequestContext& request,
+                               DecisionCallback callback) {
+  node_.call(pdp_node_, kAuthzRequestType, core::request_to_string(request),
+             timeout_, [callback](std::optional<std::string> response) {
+               if (!response.has_value()) {
+                 callback(core::Decision::indeterminate(
+                     core::IndeterminateExtent::kDP,
+                     core::Status::processing_error("decision query timed out")));
+                 return;
+               }
+               try {
+                 callback(core::decision_from_string(*response));
+               } catch (const std::exception& e) {
+                 callback(core::Decision::indeterminate(
+                     core::IndeterminateExtent::kDP,
+                     core::Status::syntax_error(
+                         std::string("undecodable decision: ") + e.what())));
+               }
+             });
+}
+
+}  // namespace mdac::pep

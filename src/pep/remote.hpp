@@ -1,0 +1,64 @@
+// The pull model over the network (paper Fig. 3): the PEP describes the
+// intercepted access as an XACML request context, sends it to a remote
+// PDP service, and conforms to the response. A PdpService exposes a
+// core::Pdp as a network node answering "authz-request".
+//
+// The agent model (paper §2.2) is the degenerate case: a PEP whose
+// DecisionSource calls a colocated Pdp directly — no network required,
+// which is exactly the architectural trade-off the C5 bench measures.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/pdp.hpp"
+#include "net/rpc.hpp"
+
+namespace mdac::pep {
+
+inline constexpr const char* kAuthzRequestType = "authz-request";
+
+/// Network-facing PDP: decodes request contexts, evaluates, encodes
+/// decisions. Malformed requests yield Indeterminate{DP} — a broken
+/// caller must not crash the decision service.
+class PdpService {
+ public:
+  PdpService(net::Network& network, std::string node_id,
+             std::shared_ptr<core::Pdp> pdp);
+
+  const std::string& node_id() const { return node_.id(); }
+  core::Pdp& pdp() { return *pdp_; }
+  std::size_t requests_served() const { return requests_served_; }
+
+ private:
+  net::RpcNode node_;
+  std::shared_ptr<core::Pdp> pdp_;
+  std::size_t requests_served_ = 0;
+};
+
+/// PEP-side client for a remote PDP. Asynchronous (simulator-driven):
+/// the callback receives the decision, or fail-safe Indeterminate on
+/// timeout / undecodable response.
+class RemotePdpClient {
+ public:
+  using DecisionCallback = std::function<void(core::Decision)>;
+
+  RemotePdpClient(net::Network& network, std::string node_id,
+                  std::string pdp_node_id, common::Duration timeout = 500);
+
+  void evaluate(const core::RequestContext& request, DecisionCallback callback);
+
+  /// Re-points the client at a different PDP node (used by failover).
+  void set_pdp_node(std::string pdp_node_id) { pdp_node_ = std::move(pdp_node_id); }
+  const std::string& pdp_node() const { return pdp_node_; }
+
+  std::size_t timeouts() const { return node_.timeouts(); }
+  net::RpcNode& node() { return node_; }
+
+ private:
+  net::RpcNode node_;
+  std::string pdp_node_;
+  common::Duration timeout_;
+};
+
+}  // namespace mdac::pep

@@ -1,0 +1,62 @@
+#include "pip/history.hpp"
+
+#include <algorithm>
+
+#include "pip/providers.hpp"
+
+namespace mdac::pip {
+
+void AccessHistory::record(const std::string& subject, const std::string& resource,
+                           const std::string& action, common::TimePoint at) {
+  by_subject_[subject].push_back(records_.size());
+  records_.push_back(AccessRecord{subject, resource, action, at});
+}
+
+std::vector<AccessRecord> AccessHistory::for_subject(const std::string& subject) const {
+  std::vector<AccessRecord> out;
+  const auto it = by_subject_.find(subject);
+  if (it == by_subject_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::size_t i : it->second) out.push_back(records_[i]);
+  return out;
+}
+
+std::vector<std::string> AccessHistory::resources_touched(
+    const std::string& subject) const {
+  std::vector<std::string> out;
+  for (const AccessRecord& r : for_subject(subject)) {
+    if (std::find(out.begin(), out.end(), r.resource) == out.end()) {
+      out.push_back(r.resource);
+    }
+  }
+  return out;
+}
+
+void AccessHistory::clear() {
+  records_.clear();
+  by_subject_.clear();
+}
+
+std::optional<core::Bag> HistoryProvider::resolve(
+    core::Category category, const std::string& id,
+    const core::RequestContext& request) {
+  if (category != core::Category::kSubject) return std::nullopt;
+  const auto subject = request_entity_id(request, core::Category::kSubject,
+                                         core::attrs::kSubjectId);
+  if (!subject) return std::nullopt;
+
+  if (id == kAccessedResources) {
+    core::Bag bag;
+    for (const std::string& res : history_.resources_touched(*subject)) {
+      bag.add(core::AttributeValue(res));
+    }
+    return bag;
+  }
+  if (id == kAccessCount) {
+    return core::Bag(core::AttributeValue(
+        static_cast<std::int64_t>(history_.for_subject(*subject).size())));
+  }
+  return std::nullopt;
+}
+
+}  // namespace mdac::pip

@@ -1,0 +1,64 @@
+// Access-history tracking, exposed to policies as attributes.
+//
+// The paper (§2.2, [29]) notes PDPs may consult "a possible history of
+// previous access requests" — this is the substrate for dynamic
+// separation-of-duty and Chinese-Wall meta-policies (§3.1): a policy can
+// reference the `accessed-resources` / `accessed-companies` bags of the
+// requesting subject.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/evaluation.hpp"
+
+namespace mdac::pip {
+
+struct AccessRecord {
+  std::string subject;
+  std::string resource;
+  std::string action;
+  common::TimePoint at = 0;
+};
+
+/// Append-only access log with per-subject projections.
+class AccessHistory {
+ public:
+  void record(const std::string& subject, const std::string& resource,
+              const std::string& action, common::TimePoint at);
+
+  const std::vector<AccessRecord>& all() const { return records_; }
+  std::vector<AccessRecord> for_subject(const std::string& subject) const;
+
+  /// Distinct resources this subject has touched.
+  std::vector<std::string> resources_touched(const std::string& subject) const;
+
+  std::size_t size() const { return records_.size(); }
+  void clear();
+
+ private:
+  std::vector<AccessRecord> records_;
+  std::map<std::string, std::vector<std::size_t>> by_subject_;
+};
+
+/// Exposes history as subject attributes:
+///   accessed-resources : bag of resource ids the subject touched
+///   access-count       : integer
+class HistoryProvider final : public core::AttributeResolver {
+ public:
+  explicit HistoryProvider(const AccessHistory& history) : history_(history) {}
+
+  std::optional<core::Bag> resolve(core::Category category, const std::string& id,
+                                   const core::RequestContext& request) override;
+
+  static constexpr const char* kAccessedResources = "accessed-resources";
+  static constexpr const char* kAccessCount = "access-count";
+
+ private:
+  const AccessHistory& history_;
+};
+
+}  // namespace mdac::pip

@@ -1,0 +1,92 @@
+#include "pip/providers.hpp"
+
+#include "core/attribute.hpp"
+
+namespace mdac::pip {
+
+std::optional<std::string> request_entity_id(const core::RequestContext& request,
+                                             core::Category category,
+                                             const std::string& id) {
+  const core::Bag* bag = request.get(category, id);
+  if (bag == nullptr) return std::nullopt;
+  for (const core::AttributeValue& v : bag->values()) {
+    if (v.is_string()) return v.as_string();
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// DirectoryProvider
+// ---------------------------------------------------------------------
+
+void DirectoryProvider::add_subject_attribute(const std::string& subject_id,
+                                              const std::string& attribute_id,
+                                              core::AttributeValue value) {
+  subjects_[subject_id][attribute_id].add(std::move(value));
+}
+
+void DirectoryProvider::add_resource_attribute(const std::string& resource_id,
+                                               const std::string& attribute_id,
+                                               core::AttributeValue value) {
+  resources_[resource_id][attribute_id].add(std::move(value));
+}
+
+std::optional<core::Bag> DirectoryProvider::resolve(
+    core::Category category, const std::string& id,
+    const core::RequestContext& request) {
+  ++lookups_;
+  const std::map<std::string, std::map<std::string, core::Bag>>* table = nullptr;
+  std::optional<std::string> entity;
+  if (category == core::Category::kSubject) {
+    table = &subjects_;
+    entity = request_entity_id(request, core::Category::kSubject,
+                               core::attrs::kSubjectId);
+  } else if (category == core::Category::kResource) {
+    table = &resources_;
+    entity = request_entity_id(request, core::Category::kResource,
+                               core::attrs::kResourceId);
+  } else {
+    return std::nullopt;
+  }
+  if (!entity) return std::nullopt;
+  const auto entry = table->find(*entity);
+  if (entry == table->end()) return std::nullopt;
+  const auto attr = entry->second.find(id);
+  if (attr == entry->second.end()) return std::nullopt;
+  return attr->second;
+}
+
+// ---------------------------------------------------------------------
+// EnvironmentProvider
+// ---------------------------------------------------------------------
+
+void EnvironmentProvider::set_fact(const std::string& attribute_id,
+                                   core::AttributeValue value) {
+  facts_[attribute_id] = core::Bag(std::move(value));
+}
+
+std::optional<core::Bag> EnvironmentProvider::resolve(
+    core::Category category, const std::string& id, const core::RequestContext&) {
+  if (category != core::Category::kEnvironment) return std::nullopt;
+  if (id == core::attrs::kCurrentTime) {
+    return core::Bag(core::AttributeValue(core::TimeValue{clock_.now()}));
+  }
+  const auto it = facts_.find(id);
+  if (it == facts_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------
+// CompositeResolver
+// ---------------------------------------------------------------------
+
+std::optional<core::Bag> CompositeResolver::resolve(
+    core::Category category, const std::string& id,
+    const core::RequestContext& request) {
+  for (core::AttributeResolver* provider : providers_) {
+    if (auto bag = provider->resolve(category, id, request)) return bag;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mdac::pip

@@ -1,0 +1,82 @@
+// Policy Information Point (paper §2.2, component 4).
+//
+// Attribute providers supply what the PEP did not put in the request:
+// subject profiles from a directory (the LDAP/IdP stand-in), resource
+// metadata, environment facts such as the current time, and access
+// history. A CompositeResolver chains providers; the PDP sees one
+// AttributeResolver.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "core/evaluation.hpp"
+
+namespace mdac::pip {
+
+/// Directory of subject and resource attributes, keyed by the request's
+/// subject-id / resource-id. The in-memory stand-in for an LDAP or IdP
+/// profile store.
+class DirectoryProvider final : public core::AttributeResolver {
+ public:
+  void add_subject_attribute(const std::string& subject_id,
+                             const std::string& attribute_id,
+                             core::AttributeValue value);
+  void add_resource_attribute(const std::string& resource_id,
+                              const std::string& attribute_id,
+                              core::AttributeValue value);
+
+  std::optional<core::Bag> resolve(core::Category category, const std::string& id,
+                                   const core::RequestContext& request) override;
+
+  std::size_t lookup_count() const { return lookups_; }
+
+ private:
+  // entity id -> attribute id -> bag
+  std::map<std::string, std::map<std::string, core::Bag>> subjects_;
+  std::map<std::string, std::map<std::string, core::Bag>> resources_;
+  std::size_t lookups_ = 0;
+};
+
+/// Supplies environment attributes: `current-time` from the injected clock
+/// plus any fixed facts registered by the deployment.
+class EnvironmentProvider final : public core::AttributeResolver {
+ public:
+  explicit EnvironmentProvider(const common::Clock& clock) : clock_(clock) {}
+
+  void set_fact(const std::string& attribute_id, core::AttributeValue value);
+
+  std::optional<core::Bag> resolve(core::Category category, const std::string& id,
+                                   const core::RequestContext& request) override;
+
+ private:
+  const common::Clock& clock_;
+  std::map<std::string, core::Bag> facts_;
+};
+
+/// Chains providers; the first one that knows the attribute wins.
+class CompositeResolver final : public core::AttributeResolver {
+ public:
+  /// Providers are not owned; they must outlive the resolver.
+  void add(core::AttributeResolver* provider) { providers_.push_back(provider); }
+
+  std::optional<core::Bag> resolve(core::Category category, const std::string& id,
+                                   const core::RequestContext& request) override;
+
+  std::size_t provider_count() const { return providers_.size(); }
+
+ private:
+  std::vector<core::AttributeResolver*> providers_;
+};
+
+/// Extracts the first string value of (category, id) from a request —
+/// shared helper for providers that key off subject-id / resource-id.
+std::optional<std::string> request_entity_id(const core::RequestContext& request,
+                                             core::Category category,
+                                             const std::string& id);
+
+}  // namespace mdac::pip

@@ -1,0 +1,63 @@
+#include "rbac/adapter.hpp"
+
+namespace mdac::rbac {
+
+std::optional<core::Bag> RbacAttributeProvider::resolve(
+    core::Category category, const std::string& id,
+    const core::RequestContext& request) {
+  if (category != core::Category::kSubject || id != core::attrs::kRole) {
+    return std::nullopt;
+  }
+  const core::Bag* subject_bag =
+      request.get(core::Category::kSubject, core::attrs::kSubjectId);
+  if (subject_bag == nullptr || subject_bag->empty() ||
+      !subject_bag->at(0).is_string()) {
+    return std::nullopt;
+  }
+  const std::string user = subject_bag->at(0).as_string();
+  if (!model_.has_user(user)) return std::nullopt;
+
+  core::Bag roles;
+  for (const std::string& role : model_.authorized_roles(user)) {
+    roles.add(core::AttributeValue(role));
+  }
+  return roles;
+}
+
+core::PolicySet compile_to_policy_set(const RbacModel& model,
+                                      const std::string& policy_set_id) {
+  core::PolicySet out;
+  out.policy_set_id = policy_set_id;
+  out.policy_combining = "permit-overrides";
+  out.description = "compiled from RBAC model";
+
+  for (const std::string& role : model.all_roles()) {
+    core::Policy p;
+    p.policy_id = policy_set_id + ":role:" + role;
+    p.description = "permissions of role " + role;
+    p.rule_combining = "permit-overrides";
+    p.target_spec.require(core::Category::kSubject, core::attrs::kRole,
+                          core::AttributeValue(role));
+
+    std::size_t i = 0;
+    // role_permissions includes inherited (junior) permissions, so each
+    // role's policy is self-contained; decisions do not depend on whether
+    // the attribute provider reports juniors as separate roles.
+    for (const Permission& perm : model.role_permissions(role)) {
+      core::Rule r;
+      r.id = p.policy_id + ":permit:" + std::to_string(i++);
+      r.effect = core::Effect::kPermit;
+      core::Target t;
+      t.require(core::Category::kResource, core::attrs::kResourceId,
+                core::AttributeValue(perm.resource));
+      t.require(core::Category::kAction, core::attrs::kActionId,
+                core::AttributeValue(perm.action));
+      r.target = std::move(t);
+      p.rules.push_back(std::move(r));
+    }
+    out.add(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace mdac::rbac

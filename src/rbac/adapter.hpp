@@ -1,0 +1,41 @@
+// Bridges between the RBAC model and the policy machinery:
+//
+//  * RbacAttributeProvider — a PIP-style resolver exposing a subject's
+//    authorised roles as the `role` attribute, so ordinary attribute
+//    policies can be written against RBAC state (the paper's point that
+//    roles are just one kind of subject attribute, §3.1).
+//
+//  * compile_to_policy_set — lowers the whole RBAC state into an
+//    XACML-shaped PolicySet (one policy per role, one permit rule per
+//    permission). This is the "models bridge the gap between high-level
+//    policies and low-level mechanisms" move of §2.2, made executable.
+#pragma once
+
+#include "core/evaluation.hpp"
+#include "core/policy.hpp"
+#include "rbac/rbac.hpp"
+
+namespace mdac::rbac {
+
+class RbacAttributeProvider final : public core::AttributeResolver {
+ public:
+  explicit RbacAttributeProvider(const RbacModel& model) : model_(model) {}
+
+  /// Supplies (subject, "role") from the model's authorised-role review.
+  std::optional<core::Bag> resolve(core::Category category, const std::string& id,
+                                   const core::RequestContext& request) override;
+
+ private:
+  const RbacModel& model_;
+};
+
+/// Compiles RBAC state into a policy set:
+///   PolicySet(permit-overrides)
+///     Policy per role R, target [subject.role == R]
+///       Rule per permission (resource, action) -> Permit
+/// A PDP evaluating the result together with RbacAttributeProvider decides
+/// exactly like RbacModel::user_has_permission.
+core::PolicySet compile_to_policy_set(const RbacModel& model,
+                                      const std::string& policy_set_id);
+
+}  // namespace mdac::rbac

@@ -1,0 +1,237 @@
+#include "rbac/rbac.hpp"
+
+#include <deque>
+
+namespace mdac::rbac {
+
+void RbacModel::add_user(const std::string& user) { users_.insert(user); }
+
+void RbacModel::add_role(const std::string& role) { roles_.insert(role); }
+
+bool RbacModel::reachable(const std::string& from, const std::string& to) const {
+  // BFS downward through the juniors relation.
+  std::deque<std::string> frontier{from};
+  std::set<std::string> seen{from};
+  while (!frontier.empty()) {
+    const std::string cur = frontier.front();
+    frontier.pop_front();
+    if (cur == to) return true;
+    const auto it = juniors_.find(cur);
+    if (it == juniors_.end()) continue;
+    for (const std::string& next : it->second) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+Outcome RbacModel::add_inheritance(const std::string& senior,
+                                   const std::string& junior) {
+  if (roles_.count(senior) == 0) return Outcome::failure("unknown role " + senior);
+  if (roles_.count(junior) == 0) return Outcome::failure("unknown role " + junior);
+  if (senior == junior) return Outcome::failure("role cannot inherit itself");
+  // Adding senior->junior creates a cycle iff junior already reaches senior.
+  if (reachable(junior, senior)) {
+    return Outcome::failure("inheritance " + senior + "->" + junior +
+                            " would create a cycle");
+  }
+  juniors_[senior].insert(junior);
+  return Outcome::success();
+}
+
+std::set<std::string> RbacModel::downward_closure(const std::string& role) const {
+  std::set<std::string> out;
+  std::deque<std::string> frontier{role};
+  while (!frontier.empty()) {
+    const std::string cur = frontier.front();
+    frontier.pop_front();
+    if (!out.insert(cur).second) continue;
+    const auto it = juniors_.find(cur);
+    if (it == juniors_.end()) continue;
+    for (const std::string& next : it->second) frontier.push_back(next);
+  }
+  return out;
+}
+
+Outcome RbacModel::check_sod(const std::set<std::string>& roles,
+                             const std::vector<SodConstraint>& constraints) const {
+  for (const SodConstraint& c : constraints) {
+    std::size_t held = 0;
+    for (const std::string& r : c.roles) {
+      if (roles.count(r) > 0) ++held;
+    }
+    if (held >= c.cardinality) {
+      return Outcome::failure("separation-of-duty constraint '" + c.name +
+                              "' violated (" + std::to_string(held) + " of " +
+                              std::to_string(c.cardinality) + " conflicting roles)");
+    }
+  }
+  return Outcome::success();
+}
+
+Outcome RbacModel::assign_user(const std::string& user, const std::string& role) {
+  if (users_.count(user) == 0) return Outcome::failure("unknown user " + user);
+  if (roles_.count(role) == 0) return Outcome::failure("unknown role " + role);
+
+  // Tentatively add, then check SSD over the authorised (inherited) set.
+  std::set<std::string> authorized;
+  for (const std::string& r : ua_[user]) {
+    const auto closure = downward_closure(r);
+    authorized.insert(closure.begin(), closure.end());
+  }
+  const auto closure = downward_closure(role);
+  authorized.insert(closure.begin(), closure.end());
+
+  if (const Outcome o = check_sod(authorized, ssd_); !o) return o;
+  ua_[user].insert(role);
+  return Outcome::success();
+}
+
+Outcome RbacModel::deassign_user(const std::string& user, const std::string& role) {
+  const auto it = ua_.find(user);
+  if (it == ua_.end() || it->second.erase(role) == 0) {
+    return Outcome::failure(user + " is not assigned " + role);
+  }
+  // ANSI semantics: a session's active roles must stay a subset of the
+  // user's authorised set. Dropping an assignment can also strip roles
+  // that were only reachable through it via inheritance.
+  const std::set<std::string> still_authorized = authorized_roles(user);
+  for (auto& [id, session] : sessions_) {
+    if (session.user != user) continue;
+    std::erase_if(session.active, [&](const std::string& active) {
+      return still_authorized.count(active) == 0;
+    });
+  }
+  return Outcome::success();
+}
+
+Outcome RbacModel::grant_permission(const std::string& role, Permission permission) {
+  if (roles_.count(role) == 0) return Outcome::failure("unknown role " + role);
+  pa_[role].insert(std::move(permission));
+  return Outcome::success();
+}
+
+Outcome RbacModel::revoke_permission(const std::string& role,
+                                     const Permission& permission) {
+  const auto it = pa_.find(role);
+  if (it == pa_.end() || it->second.erase(permission) == 0) {
+    return Outcome::failure("permission not granted to " + role);
+  }
+  return Outcome::success();
+}
+
+Outcome RbacModel::add_ssd_constraint(SodConstraint constraint) {
+  if (constraint.cardinality < 2) {
+    return Outcome::failure("SSD cardinality must be at least 2");
+  }
+  // Reject if an existing assignment already violates it.
+  for (const std::string& user : users_) {
+    std::size_t held = 0;
+    const auto authorized = authorized_roles(user);
+    for (const std::string& r : constraint.roles) {
+      if (authorized.count(r) > 0) ++held;
+    }
+    if (held >= constraint.cardinality) {
+      return Outcome::failure("existing assignment of " + user +
+                              " already violates '" + constraint.name + "'");
+    }
+  }
+  ssd_.push_back(std::move(constraint));
+  return Outcome::success();
+}
+
+Outcome RbacModel::add_dsd_constraint(SodConstraint constraint) {
+  if (constraint.cardinality < 2) {
+    return Outcome::failure("DSD cardinality must be at least 2");
+  }
+  dsd_.push_back(std::move(constraint));
+  return Outcome::success();
+}
+
+std::set<std::string> RbacModel::assigned_roles(const std::string& user) const {
+  const auto it = ua_.find(user);
+  if (it == ua_.end()) return {};
+  return it->second;
+}
+
+std::set<std::string> RbacModel::authorized_roles(const std::string& user) const {
+  std::set<std::string> out;
+  for (const std::string& r : assigned_roles(user)) {
+    const auto closure = downward_closure(r);
+    out.insert(closure.begin(), closure.end());
+  }
+  return out;
+}
+
+std::set<Permission> RbacModel::role_permissions(const std::string& role) const {
+  std::set<Permission> out;
+  for (const std::string& r : downward_closure(role)) {
+    const auto it = pa_.find(r);
+    if (it == pa_.end()) continue;
+    out.insert(it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+bool RbacModel::user_has_permission(const std::string& user,
+                                    const Permission& p) const {
+  for (const std::string& r : assigned_roles(user)) {
+    if (role_permissions(r).count(p) > 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> RbacModel::all_roles() const {
+  return {roles_.begin(), roles_.end()};
+}
+
+std::vector<std::string> RbacModel::all_users() const {
+  return {users_.begin(), users_.end()};
+}
+
+SessionId RbacModel::create_session(const std::string& user) {
+  const SessionId id = next_session_++;
+  sessions_[id] = Session{user, {}};
+  return id;
+}
+
+void RbacModel::end_session(SessionId session) { sessions_.erase(session); }
+
+Outcome RbacModel::activate_role(SessionId session, const std::string& role) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Outcome::failure("unknown session");
+  if (authorized_roles(it->second.user).count(role) == 0) {
+    return Outcome::failure(it->second.user + " is not authorised for " + role);
+  }
+  std::set<std::string> tentative = it->second.active;
+  tentative.insert(role);
+  if (const Outcome o = check_sod(tentative, dsd_); !o) return o;
+  it->second.active.insert(role);
+  return Outcome::success();
+}
+
+Outcome RbacModel::deactivate_role(SessionId session, const std::string& role) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Outcome::failure("unknown session");
+  if (it->second.active.erase(role) == 0) {
+    return Outcome::failure(role + " is not active in this session");
+  }
+  return Outcome::success();
+}
+
+std::set<std::string> RbacModel::active_roles(SessionId session) const {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return {};
+  return it->second.active;
+}
+
+bool RbacModel::check_access(SessionId session, const Permission& p) const {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return false;
+  for (const std::string& r : it->second.active) {
+    if (role_permissions(r).count(p) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace mdac::rbac

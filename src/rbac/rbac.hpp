@@ -1,0 +1,132 @@
+// Role-Based Access Control (RBAC96 / ANSI INCITS 359), the access-control
+// model the paper singles out as "well suited for distributed
+// environments that need to address protection requirements for a large
+// base of subjects and objects" (§2.2).
+//
+// Implements: users, roles, permissions, user-role and permission-role
+// assignment, a role hierarchy (seniors inherit juniors' permissions),
+// sessions with role activation, and both static and dynamic
+// separation-of-duty constraints.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mdac::rbac {
+
+struct Permission {
+  std::string resource;
+  std::string action;
+
+  bool operator==(const Permission&) const = default;
+  auto operator<=>(const Permission&) const = default;
+};
+
+/// Outcome of an RBAC administrative or session operation. Constraint
+/// violations are expected runtime outcomes (not exceptions): callers
+/// branch on them, audits record the reason.
+struct Outcome {
+  bool ok = true;
+  std::string reason;
+
+  static Outcome success() { return {}; }
+  static Outcome failure(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// A separation-of-duty constraint: a user (SSD) or session (DSD) may hold
+/// at most `cardinality - 1` roles from `roles`.
+struct SodConstraint {
+  std::string name;
+  std::set<std::string> roles;
+  std::size_t cardinality = 2;
+};
+
+using SessionId = std::uint64_t;
+
+class RbacModel {
+ public:
+  // --- administration ---------------------------------------------------
+  void add_user(const std::string& user);
+  void add_role(const std::string& role);
+
+  /// Declares that `senior` inherits all permissions of `junior`.
+  /// Fails if either role is unknown or the edge would create a cycle.
+  Outcome add_inheritance(const std::string& senior, const std::string& junior);
+
+  /// UA relation; enforces SSD constraints over the user's *authorised*
+  /// role set (assigned plus inherited), per the ANSI standard.
+  Outcome assign_user(const std::string& user, const std::string& role);
+  Outcome deassign_user(const std::string& user, const std::string& role);
+
+  /// PA relation.
+  Outcome grant_permission(const std::string& role, Permission permission);
+  Outcome revoke_permission(const std::string& role, const Permission& permission);
+
+  Outcome add_ssd_constraint(SodConstraint constraint);
+  Outcome add_dsd_constraint(SodConstraint constraint);
+
+  // --- review functions ---------------------------------------------------
+  bool has_user(const std::string& user) const { return users_.count(user) > 0; }
+  bool has_role(const std::string& role) const { return roles_.count(role) > 0; }
+
+  std::set<std::string> assigned_roles(const std::string& user) const;
+
+  /// Assigned roles plus everything reachable downward through the
+  /// hierarchy (a senior is authorised for its juniors' roles).
+  std::set<std::string> authorized_roles(const std::string& user) const;
+
+  /// Direct permissions of a role plus inherited ones.
+  std::set<Permission> role_permissions(const std::string& role) const;
+
+  /// True iff some authorised role carries the permission.
+  bool user_has_permission(const std::string& user, const Permission& p) const;
+
+  std::vector<std::string> all_roles() const;
+  std::vector<std::string> all_users() const;
+
+  // --- sessions -----------------------------------------------------------
+  /// Creates a session with no active roles. Unknown user -> Outcome
+  /// failure is not expressible here, so unknown users get a session that
+  /// can activate nothing.
+  SessionId create_session(const std::string& user);
+  void end_session(SessionId session);
+
+  /// Activates a role: it must be in the user's authorised set and must
+  /// not violate any DSD constraint against the already-active roles.
+  Outcome activate_role(SessionId session, const std::string& role);
+  Outcome deactivate_role(SessionId session, const std::string& role);
+
+  std::set<std::string> active_roles(SessionId session) const;
+
+  /// Access check against the session's *active* roles (least privilege:
+  /// an authorised-but-inactive role grants nothing).
+  bool check_access(SessionId session, const Permission& p) const;
+
+ private:
+  /// Roles reachable downward (junior-wards) from `role`, inclusive.
+  std::set<std::string> downward_closure(const std::string& role) const;
+  bool reachable(const std::string& from, const std::string& to) const;
+  Outcome check_sod(const std::set<std::string>& roles,
+                    const std::vector<SodConstraint>& constraints) const;
+
+  std::set<std::string> users_;
+  std::set<std::string> roles_;
+  std::map<std::string, std::set<std::string>> juniors_;  // senior -> juniors
+  std::map<std::string, std::set<std::string>> ua_;       // user -> roles
+  std::map<std::string, std::set<Permission>> pa_;        // role -> permissions
+  std::vector<SodConstraint> ssd_;
+  std::vector<SodConstraint> dsd_;
+
+  struct Session {
+    std::string user;
+    std::set<std::string> active;
+  };
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+};
+
+}  // namespace mdac::rbac

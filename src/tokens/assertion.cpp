@@ -1,0 +1,183 @@
+#include "tokens/assertion.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace mdac::tokens {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("assertion error: " + message);
+}
+
+std::string require_attr(const xml::Element& e, const std::string& key) {
+  if (auto v = e.attr(key)) return *v;
+  fail("<" + e.name + "> missing '" + key + "'");
+}
+
+std::int64_t parse_int(const std::string& s) {
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    fail("bad integer '" + s + "'");
+  }
+}
+
+const char* decision_name(core::DecisionType d) { return core::to_string(d); }
+
+core::DecisionType parse_decision(const std::string& s) {
+  if (s == "permit") return core::DecisionType::kPermit;
+  if (s == "deny") return core::DecisionType::kDeny;
+  if (s == "not-applicable") return core::DecisionType::kNotApplicable;
+  if (s == "indeterminate") return core::DecisionType::kIndeterminate;
+  fail("bad decision '" + s + "'");
+}
+
+}  // namespace
+
+xml::Element Assertion::to_xml() const {
+  xml::Element e("Assertion");
+  e.set_attr("AssertionId", assertion_id);
+  e.set_attr("Issuer", issuer);
+  e.set_attr("Subject", subject);
+  e.set_attr("IssueInstant", std::to_string(issue_instant));
+
+  xml::Element& cond = e.add_child("Conditions");
+  cond.set_attr("NotBefore", std::to_string(conditions.not_before));
+  cond.set_attr("NotOnOrAfter", std::to_string(conditions.not_on_or_after));
+  if (!conditions.audience.empty()) cond.set_attr("Audience", conditions.audience);
+
+  if (!attributes.empty()) {
+    xml::Element& stmt = e.add_child("AttributeStatement");
+    for (const auto& [id, bag] : attributes) {
+      xml::Element attr("Attribute");
+      attr.set_attr("AttributeId", id);
+      for (const core::AttributeValue& v : bag.values()) {
+        xml::Element value("Value");
+        value.set_attr("DataType", core::to_string(v.type()));
+        value.text = v.to_text();
+        attr.add_child(std::move(value));
+      }
+      stmt.add_child(std::move(attr));
+    }
+  }
+
+  if (authz.has_value()) {
+    xml::Element& stmt = e.add_child("AuthzDecisionStatement");
+    stmt.set_attr("Resource", authz->resource);
+    stmt.set_attr("Action", authz->action);
+    stmt.set_attr("Decision", decision_name(authz->decision));
+  }
+  return e;
+}
+
+Assertion Assertion::from_xml(const xml::Element& element) {
+  if (element.name != "Assertion") fail("expected <Assertion>");
+  Assertion a;
+  a.assertion_id = require_attr(element, "AssertionId");
+  a.issuer = require_attr(element, "Issuer");
+  a.subject = require_attr(element, "Subject");
+  a.issue_instant = parse_int(require_attr(element, "IssueInstant"));
+
+  if (const xml::Element* cond = element.child("Conditions")) {
+    a.conditions.not_before = parse_int(cond->attr_or("NotBefore", "0"));
+    a.conditions.not_on_or_after = parse_int(cond->attr_or("NotOnOrAfter", "0"));
+    a.conditions.audience = cond->attr_or("Audience", "");
+  }
+
+  if (const xml::Element* stmt = element.child("AttributeStatement")) {
+    for (const xml::Element* attr : stmt->children_named("Attribute")) {
+      const std::string id = require_attr(*attr, "AttributeId");
+      core::Bag bag;
+      for (const xml::Element* value : attr->children_named("Value")) {
+        const auto type =
+            core::data_type_from_string(value->attr_or("DataType", "string"));
+        if (!type) fail("bad data type in attribute '" + id + "'");
+        const auto v = core::AttributeValue::from_text(*type, value->text);
+        if (!v) fail("bad value in attribute '" + id + "'");
+        bag.add(*v);
+      }
+      a.attributes[id] = std::move(bag);
+    }
+  }
+
+  if (const xml::Element* stmt = element.child("AuthzDecisionStatement")) {
+    AuthzDecisionStatement s;
+    s.resource = require_attr(*stmt, "Resource");
+    s.action = require_attr(*stmt, "Action");
+    s.decision = parse_decision(require_attr(*stmt, "Decision"));
+    a.authz = std::move(s);
+  }
+  return a;
+}
+
+std::string Assertion::canonical_form() const { return xml::to_string(to_xml()); }
+
+std::string SignedAssertion::to_wire() const {
+  xml::Element e("SignedAssertion");
+  e.add_child(assertion.to_xml());
+  xml::Element& sig = e.add_child("Signature");
+  sig.set_attr("KeyId", signature.key_id);
+  sig.text = common::base64_encode(signature.tag);
+  return xml::to_string(e);
+}
+
+SignedAssertion SignedAssertion::from_wire(const std::string& wire) {
+  const xml::Element e = xml::parse(wire);
+  if (e.name != "SignedAssertion") fail("expected <SignedAssertion>");
+  const xml::Element* assertion_el = e.child("Assertion");
+  const xml::Element* sig_el = e.child("Signature");
+  if (assertion_el == nullptr || sig_el == nullptr) {
+    fail("missing <Assertion> or <Signature>");
+  }
+  SignedAssertion out;
+  out.assertion = Assertion::from_xml(*assertion_el);
+  out.signature.key_id = require_attr(*sig_el, "KeyId");
+  const auto tag = common::base64_decode(sig_el->text);
+  if (!tag) fail("bad signature encoding");
+  out.signature.tag = *tag;
+  return out;
+}
+
+SignedAssertion sign_assertion(Assertion assertion, const crypto::KeyPair& issuer_key) {
+  SignedAssertion out;
+  out.signature = crypto::sign(issuer_key, assertion.canonical_form());
+  out.assertion = std::move(assertion);
+  return out;
+}
+
+const char* to_string(TokenValidity v) {
+  switch (v) {
+    case TokenValidity::kValid: return "valid";
+    case TokenValidity::kExpired: return "expired";
+    case TokenValidity::kNotYetValid: return "not-yet-valid";
+    case TokenValidity::kWrongAudience: return "wrong-audience";
+    case TokenValidity::kBadSignature: return "bad-signature";
+    case TokenValidity::kUntrustedIssuer: return "untrusted-issuer";
+  }
+  return "?";
+}
+
+TokenValidity validate(const SignedAssertion& token, const crypto::TrustStore& trust,
+                       common::TimePoint now, const std::string& expected_audience) {
+  // Signature first: nothing in an unauthenticated token can be trusted.
+  if (!crypto::verify_signature(token.assertion.canonical_form(), token.signature)) {
+    return TokenValidity::kBadSignature;
+  }
+  if (!trust.is_trusted(token.signature.key_id)) {
+    return TokenValidity::kUntrustedIssuer;
+  }
+  const Conditions& c = token.assertion.conditions;
+  if (now < c.not_before) return TokenValidity::kNotYetValid;
+  if (c.not_on_or_after != 0 && now >= c.not_on_or_after) {
+    return TokenValidity::kExpired;
+  }
+  if (!c.audience.empty() && c.audience != expected_audience) {
+    return TokenValidity::kWrongAudience;
+  }
+  return TokenValidity::kValid;
+}
+
+}  // namespace mdac::tokens

@@ -1,0 +1,87 @@
+// SAML-shaped security assertions (paper §2.3: "capabilities are usually
+// encoded as SAML assertions" in Web-Service environments).
+//
+// An Assertion binds a subject to attribute statements and/or an
+// authorisation-decision statement, under conditions (validity window,
+// audience restriction), vouched for by an issuer's signature over the
+// canonical XML form. Validation reproduces the failure modes the paper's
+// capability architecture depends on: expiry, audience mismatch,
+// tampering, untrusted issuer.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/clock.hpp"
+#include "core/attribute.hpp"
+#include "core/decision.hpp"
+#include "crypto/keys.hpp"
+#include "xml/xml.hpp"
+
+namespace mdac::tokens {
+
+struct Conditions {
+  common::TimePoint not_before = 0;
+  common::TimePoint not_on_or_after = 0;
+  std::string audience;  // empty = unrestricted
+
+  bool operator==(const Conditions&) const = default;
+};
+
+/// SAML AuthzDecisionStatement equivalent.
+struct AuthzDecisionStatement {
+  std::string resource;
+  std::string action;
+  core::DecisionType decision = core::DecisionType::kPermit;
+
+  bool operator==(const AuthzDecisionStatement&) const = default;
+};
+
+struct Assertion {
+  std::string assertion_id;
+  std::string issuer;
+  std::string subject;
+  common::TimePoint issue_instant = 0;
+  Conditions conditions;
+  /// AttributeStatement: attribute id -> values.
+  std::map<std::string, core::Bag> attributes;
+  std::optional<AuthzDecisionStatement> authz;
+
+  xml::Element to_xml() const;
+  static Assertion from_xml(const xml::Element& element);  // throws
+
+  /// Canonical byte string covered by the signature.
+  std::string canonical_form() const;
+
+  bool operator==(const Assertion&) const = default;
+};
+
+struct SignedAssertion {
+  Assertion assertion;
+  crypto::Signature signature;
+
+  /// Wire form: <SignedAssertion><Assertion .../><Signature .../></...>.
+  std::string to_wire() const;
+  static SignedAssertion from_wire(const std::string& wire);  // throws
+};
+
+SignedAssertion sign_assertion(Assertion assertion, const crypto::KeyPair& issuer_key);
+
+enum class TokenValidity {
+  kValid,
+  kExpired,
+  kNotYetValid,
+  kWrongAudience,
+  kBadSignature,
+  kUntrustedIssuer,
+};
+
+const char* to_string(TokenValidity v);
+
+/// Validates against the verifier's trust store, clock and own audience
+/// identifier (empty `expected_audience` accepts unrestricted tokens only).
+TokenValidity validate(const SignedAssertion& token, const crypto::TrustStore& trust,
+                       common::TimePoint now, const std::string& expected_audience);
+
+}  // namespace mdac::tokens

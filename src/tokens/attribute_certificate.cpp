@@ -1,0 +1,111 @@
+#include "tokens/attribute_certificate.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace mdac::tokens {
+
+std::string Fqan::to_text() const {
+  if (role.empty()) return group;
+  return group + "/Role=" + role;
+}
+
+Fqan Fqan::parse(const std::string& text) {
+  const std::size_t marker = text.find("/Role=");
+  if (marker == std::string::npos) return Fqan{text, ""};
+  return Fqan{text.substr(0, marker), text.substr(marker + 6)};
+}
+
+std::string AttributeCertificate::canonical_form() const {
+  std::string out = "ac|" + holder + '|' + issuer + '|' + std::to_string(serial) +
+                    '|' + std::to_string(not_before) + '|' + std::to_string(not_after);
+  for (const Fqan& f : fqans) {
+    out += '|';
+    out += f.to_text();
+  }
+  return out;
+}
+
+std::string AttributeCertificate::to_wire() const {
+  xml::Element e("AttributeCertificate");
+  e.set_attr("Holder", holder);
+  e.set_attr("Issuer", issuer);
+  e.set_attr("Serial", std::to_string(serial));
+  e.set_attr("NotBefore", std::to_string(not_before));
+  e.set_attr("NotAfter", std::to_string(not_after));
+  for (const Fqan& f : fqans) {
+    e.add_child("Fqan").text = f.to_text();
+  }
+  xml::Element& sig = e.add_child("Signature");
+  sig.set_attr("KeyId", signature.key_id);
+  sig.text = common::base64_encode(signature.tag);
+  return xml::to_string(e);
+}
+
+AttributeCertificate AttributeCertificate::from_wire(const std::string& wire) {
+  const xml::Element e = xml::parse(wire);
+  if (e.name != "AttributeCertificate") {
+    throw std::runtime_error("expected <AttributeCertificate>");
+  }
+  AttributeCertificate ac;
+  const auto req = [&](const char* key) {
+    const auto v = e.attr(key);
+    if (!v) throw std::runtime_error(std::string("missing '") + key + "'");
+    return *v;
+  };
+  ac.holder = req("Holder");
+  ac.issuer = req("Issuer");
+  ac.serial = std::stoull(req("Serial"));
+  ac.not_before = std::stoll(req("NotBefore"));
+  ac.not_after = std::stoll(req("NotAfter"));
+  for (const xml::Element* f : e.children_named("Fqan")) {
+    ac.fqans.push_back(Fqan::parse(f->text));
+  }
+  const xml::Element* sig = e.child("Signature");
+  if (sig == nullptr) throw std::runtime_error("missing <Signature>");
+  ac.signature.key_id = sig->attr_or("KeyId", "");
+  const auto tag = common::base64_decode(sig->text);
+  if (!tag) throw std::runtime_error("bad signature encoding");
+  ac.signature.tag = *tag;
+  return ac;
+}
+
+AttributeCertificate issue_attribute_certificate(
+    const std::string& holder, const std::string& issuer, std::uint64_t serial,
+    common::TimePoint not_before, common::TimePoint not_after,
+    std::vector<Fqan> fqans, const crypto::KeyPair& issuer_key) {
+  AttributeCertificate ac;
+  ac.holder = holder;
+  ac.issuer = issuer;
+  ac.serial = serial;
+  ac.not_before = not_before;
+  ac.not_after = not_after;
+  ac.fqans = std::move(fqans);
+  ac.signature = crypto::sign(issuer_key, ac.canonical_form());
+  return ac;
+}
+
+const char* to_string(AcValidity v) {
+  switch (v) {
+    case AcValidity::kValid: return "valid";
+    case AcValidity::kExpired: return "expired";
+    case AcValidity::kNotYetValid: return "not-yet-valid";
+    case AcValidity::kBadSignature: return "bad-signature";
+    case AcValidity::kUntrustedIssuer: return "untrusted-issuer";
+  }
+  return "?";
+}
+
+AcValidity validate(const AttributeCertificate& ac, const crypto::TrustStore& trust,
+                    common::TimePoint now) {
+  if (!crypto::verify_signature(ac.canonical_form(), ac.signature)) {
+    return AcValidity::kBadSignature;
+  }
+  if (!trust.is_trusted(ac.signature.key_id)) return AcValidity::kUntrustedIssuer;
+  if (now < ac.not_before) return AcValidity::kNotYetValid;
+  if (now > ac.not_after) return AcValidity::kExpired;
+  return AcValidity::kValid;
+}
+
+}  // namespace mdac::tokens

@@ -1,0 +1,54 @@
+// VOMS-style attribute certificates (paper §2.2: VOMS "uses extended
+// X.509 certificates" to push membership attributes with the request).
+//
+// An AttributeCertificate binds a holder to a set of FQANs — fully
+// qualified attribute names like "/vo-physics/analysis/Role=submitter" —
+// for a validity window, signed by the VO membership service.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "crypto/keys.hpp"
+#include "xml/xml.hpp"
+
+namespace mdac::tokens {
+
+struct Fqan {
+  std::string group;  // e.g. "/vo-physics/analysis"
+  std::string role;   // e.g. "submitter"; empty = member
+
+  std::string to_text() const;
+  static Fqan parse(const std::string& text);
+
+  bool operator==(const Fqan&) const = default;
+};
+
+struct AttributeCertificate {
+  std::string holder;     // subject DN
+  std::string issuer;     // VOMS server DN
+  std::uint64_t serial = 0;
+  common::TimePoint not_before = 0;
+  common::TimePoint not_after = 0;
+  std::vector<Fqan> fqans;
+  crypto::Signature signature;
+
+  std::string canonical_form() const;
+  std::string to_wire() const;
+  static AttributeCertificate from_wire(const std::string& wire);  // throws
+};
+
+AttributeCertificate issue_attribute_certificate(
+    const std::string& holder, const std::string& issuer, std::uint64_t serial,
+    common::TimePoint not_before, common::TimePoint not_after,
+    std::vector<Fqan> fqans, const crypto::KeyPair& issuer_key);
+
+enum class AcValidity { kValid, kExpired, kNotYetValid, kBadSignature, kUntrustedIssuer };
+
+const char* to_string(AcValidity v);
+
+AcValidity validate(const AttributeCertificate& ac, const crypto::TrustStore& trust,
+                    common::TimePoint now);
+
+}  // namespace mdac::tokens

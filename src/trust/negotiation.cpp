@@ -1,0 +1,183 @@
+#include "trust/negotiation.hpp"
+
+namespace mdac::trust {
+
+// ---------------------------------------------------------------------
+// DisclosurePolicy
+// ---------------------------------------------------------------------
+
+DisclosurePolicy DisclosurePolicy::always() { return DisclosurePolicy(); }
+
+DisclosurePolicy DisclosurePolicy::credential(std::string type) {
+  DisclosurePolicy p;
+  p.kind_ = Kind::kCredential;
+  p.credential_ = std::move(type);
+  return p;
+}
+
+DisclosurePolicy DisclosurePolicy::all_of(std::vector<DisclosurePolicy> children) {
+  DisclosurePolicy p;
+  p.kind_ = Kind::kAnd;
+  p.children_ = std::move(children);
+  return p;
+}
+
+DisclosurePolicy DisclosurePolicy::any_of(std::vector<DisclosurePolicy> children) {
+  DisclosurePolicy p;
+  p.kind_ = Kind::kOr;
+  p.children_ = std::move(children);
+  return p;
+}
+
+bool DisclosurePolicy::satisfied_by(const std::set<std::string>& disclosed) const {
+  switch (kind_) {
+    case Kind::kAlways:
+      return true;
+    case Kind::kCredential:
+      return disclosed.count(credential_) > 0;
+    case Kind::kAnd:
+      for (const DisclosurePolicy& c : children_) {
+        if (!c.satisfied_by(disclosed)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const DisclosurePolicy& c : children_) {
+        if (c.satisfied_by(disclosed)) return true;
+      }
+      return children_.empty();
+  }
+  return false;
+}
+
+std::set<std::string> DisclosurePolicy::mentioned_credentials() const {
+  std::set<std::string> out;
+  if (kind_ == Kind::kCredential) {
+    out.insert(credential_);
+    return out;
+  }
+  for (const DisclosurePolicy& c : children_) {
+    const auto sub = c.mentioned_credentials();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+const DisclosurePolicy& Party::policy_for(const std::string& credential) const {
+  static const DisclosurePolicy kAlways = DisclosurePolicy::always();
+  const auto it = release_policies.find(credential);
+  if (it == release_policies.end()) return kAlways;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------
+// Negotiation
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Backward-chains the "relevant" credential sets for the parsimonious
+/// strategy: starting from the resource policy, which of my credentials
+/// might the other side demand, and what do their guards mention in turn.
+void compute_need_sets(const Party& requester, const Party& provider,
+                       const DisclosurePolicy& resource_policy,
+                       std::set<std::string>* needed_from_requester,
+                       std::set<std::string>* needed_from_provider) {
+  // Seed with what the resource policy mentions.
+  *needed_from_requester = resource_policy.mentioned_credentials();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::string& c : *needed_from_requester) {
+      if (requester.credentials.count(c) == 0) continue;
+      for (const std::string& dep : requester.policy_for(c).mentioned_credentials()) {
+        if (needed_from_provider->insert(dep).second) changed = true;
+      }
+    }
+    for (const std::string& c : *needed_from_provider) {
+      if (provider.credentials.count(c) == 0) continue;
+      for (const std::string& dep : provider.policy_for(c).mentioned_credentials()) {
+        if (needed_from_requester->insert(dep).second) changed = true;
+      }
+    }
+  }
+}
+
+/// Discloses every unlocked, not-yet-disclosed credential of `owner`
+/// (restricted to `relevant` unless it is null). Returns how many were
+/// newly disclosed.
+std::size_t disclose_unlocked(const Party& owner,
+                              const std::set<std::string>& other_side_disclosed,
+                              const std::set<std::string>* relevant,
+                              std::set<std::string>* own_disclosed) {
+  std::size_t newly = 0;
+  for (const std::string& c : owner.credentials) {
+    if (own_disclosed->count(c) > 0) continue;
+    if (relevant != nullptr && relevant->count(c) == 0) continue;
+    if (!owner.policy_for(c).satisfied_by(other_side_disclosed)) continue;
+    own_disclosed->insert(c);
+    ++newly;
+  }
+  return newly;
+}
+
+}  // namespace
+
+NegotiationResult negotiate(const Party& requester, const Party& provider,
+                            const std::string& resource, Strategy strategy,
+                            std::size_t max_rounds) {
+  NegotiationResult result;
+  result.messages = 1;  // the initial resource request
+
+  const auto policy_it = provider.resource_policies.find(resource);
+  if (policy_it == provider.resource_policies.end()) {
+    result.failure_reason = "provider has no policy for resource '" + resource +
+                            "' (fail-safe: no access)";
+    return result;
+  }
+  const DisclosurePolicy& resource_policy = policy_it->second;
+  result.messages += 1;  // provider sends back the (relevant) policy
+
+  std::set<std::string> needed_from_requester;
+  std::set<std::string> needed_from_provider;
+  const std::set<std::string>* relevant_requester = nullptr;
+  const std::set<std::string>* relevant_provider = nullptr;
+  if (strategy == Strategy::kParsimonious) {
+    compute_need_sets(requester, provider, resource_policy, &needed_from_requester,
+                      &needed_from_provider);
+    relevant_requester = &needed_from_requester;
+    relevant_provider = &needed_from_provider;
+  }
+
+  while (result.rounds < max_rounds) {
+    if (resource_policy.satisfied_by(result.disclosed_by_requester)) {
+      result.success = true;
+      result.messages += 1;  // the final grant
+      return result;
+    }
+    ++result.rounds;
+
+    const std::size_t from_requester =
+        disclose_unlocked(requester, result.disclosed_by_provider, relevant_requester,
+                          &result.disclosed_by_requester);
+    if (from_requester > 0) result.messages += 1;
+
+    if (resource_policy.satisfied_by(result.disclosed_by_requester)) continue;
+
+    const std::size_t from_provider =
+        disclose_unlocked(provider, result.disclosed_by_requester, relevant_provider,
+                          &result.disclosed_by_provider);
+    if (from_provider > 0) result.messages += 1;
+
+    if (from_requester == 0 && from_provider == 0) {
+      result.failure_reason = "negotiation reached a fixpoint without satisfying "
+                              "the resource policy";
+      result.messages += 1;  // the final refusal
+      return result;
+    }
+  }
+  result.failure_reason = "round limit exceeded";
+  return result;
+}
+
+}  // namespace mdac::trust

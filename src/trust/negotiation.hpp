@@ -1,0 +1,76 @@
+// Automated trust negotiation (paper §3.1, citing Winsborough et al. [60]
+// and the Traust service [46]): two strangers "conduct a bilateral and
+// iterative exchange of policies and credentials to incrementally
+// establish trust".
+//
+// Credentials are typed tokens; each party guards its credentials and
+// resources with disclosure policies — AND/OR trees over the *other*
+// party's disclosed credentials. Two classic strategies:
+//   * eager        — disclose everything currently unlocked, every round
+//   * parsimonious — disclose only credentials that are (transitively)
+//                    relevant to the outstanding request
+// The negotiation succeeds when the resource's policy is satisfied, and
+// fails at a fixpoint. Rounds and messages are counted for experiment C6.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mdac::trust {
+
+/// AND/OR tree over credential type names.
+class DisclosurePolicy {
+ public:
+  static DisclosurePolicy always();  // no requirement
+  static DisclosurePolicy credential(std::string type);
+  static DisclosurePolicy all_of(std::vector<DisclosurePolicy> children);
+  static DisclosurePolicy any_of(std::vector<DisclosurePolicy> children);
+
+  bool satisfied_by(const std::set<std::string>& disclosed) const;
+
+  /// Credential types appearing anywhere in the tree (the "relevant set"
+  /// the parsimonious strategy chases).
+  std::set<std::string> mentioned_credentials() const;
+
+  bool is_trivial() const { return kind_ == Kind::kAlways; }
+
+ private:
+  enum class Kind { kAlways, kCredential, kAnd, kOr };
+
+  Kind kind_ = Kind::kAlways;
+  std::string credential_;
+  std::vector<DisclosurePolicy> children_;
+};
+
+/// One negotiating party: what it holds, and what it demands before
+/// releasing each credential / resource.
+struct Party {
+  std::string name;
+  std::set<std::string> credentials;  // credential types it can produce
+  std::map<std::string, DisclosurePolicy> release_policies;  // per credential
+  std::map<std::string, DisclosurePolicy> resource_policies;  // per resource
+
+  /// Policy guarding `credential`; defaults to freely releasable.
+  const DisclosurePolicy& policy_for(const std::string& credential) const;
+};
+
+enum class Strategy { kEager, kParsimonious };
+
+struct NegotiationResult {
+  bool success = false;
+  std::size_t rounds = 0;
+  std::size_t messages = 0;  // credential disclosures + policy requests
+  std::set<std::string> disclosed_by_requester;
+  std::set<std::string> disclosed_by_provider;
+  std::string failure_reason;
+};
+
+/// Runs the negotiation for `resource` held by `provider`.
+NegotiationResult negotiate(const Party& requester, const Party& provider,
+                            const std::string& resource, Strategy strategy,
+                            std::size_t max_rounds = 64);
+
+}  // namespace mdac::trust

@@ -1,0 +1,381 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace mdac::xml {
+
+std::optional<std::string> Element::attr(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Element::attr_or(std::string_view key, std::string_view fallback) const {
+  if (auto v = attr(key)) return *v;
+  return std::string(fallback);
+}
+
+Element& Element::set_attr(std::string key, std::string value) {
+  for (auto& [k, v] : attributes) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  attributes.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const Element& c : children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const Element& c : children) {
+    if (c.name == name) out.push_back(&c);
+  }
+  return out;
+}
+
+Element& Element::add_child(Element e) {
+  children.push_back(std::move(e));
+  return children.back();
+}
+
+Element& Element::add_child(std::string name) {
+  return add_child(Element(std::move(name)));
+}
+
+std::size_t Element::subtree_size() const {
+  std::size_t n = 1;
+  for (const Element& c : children) n += c.subtree_size();
+  return n;
+}
+
+ParseError::ParseError(const std::string& message, std::size_t line, std::size_t column)
+    : std::runtime_error("xml parse error at " + std::to_string(line) + ":" +
+                         std::to_string(column) + ": " + message),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Element parse_document() {
+    skip_prolog();
+    Element root = parse_element();
+    skip_misc();
+    if (pos_ != input_.size()) fail("trailing content after document element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+      if (input_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError(message, line, col);
+  }
+
+  bool eof() const { return pos_ >= input_.size(); }
+  char peek() const { return input_[pos_]; }
+  char get() { return input_[pos_++]; }
+
+  bool starts_with(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  void skip_comment() {
+    // assumes starts_with("<!--")
+    pos_ += 4;
+    const std::size_t end = input_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (starts_with("<?xml")) {
+      const std::size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_misc();
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool is_name_char(char c) {
+    return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (eof() || !is_name_start(peek())) fail("expected name");
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  void append_entity(std::string& out) {
+    // assumes peek() == '&'
+    const std::size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 12) {
+      fail("unterminated entity reference");
+    }
+    const std::string_view ent = input_.substr(pos_ + 1, semi - pos_ - 1);
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      int base = 10;
+      std::string_view digits = ent.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      if (digits.empty()) fail("empty character reference");
+      unsigned long code = 0;
+      for (char c : digits) {
+        int v;
+        if (c >= '0' && c <= '9') {
+          v = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          v = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          v = c - 'A' + 10;
+        } else {
+          fail("bad character reference");
+        }
+        code = code * static_cast<unsigned long>(base) + static_cast<unsigned long>(v);
+        if (code > 0x10ffff) fail("character reference out of range");
+      }
+      // UTF-8 encode.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else {
+        out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      }
+    } else {
+      fail("unknown entity '" + std::string(ent) + "'");
+    }
+    pos_ = semi + 1;
+  }
+
+  std::string parse_attr_value() {
+    if (eof() || (peek() != '"' && peek() != '\'')) fail("expected quoted attribute value");
+    const char quote = get();
+    std::string out;
+    while (!eof() && peek() != quote) {
+      if (peek() == '&') {
+        append_entity(out);
+      } else if (peek() == '<') {
+        fail("'<' in attribute value");
+      } else {
+        out.push_back(get());
+      }
+    }
+    if (eof()) fail("unterminated attribute value");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Element parse_element() {
+    expect('<');
+    Element e;
+    e.name = parse_name();
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) fail("unterminated start tag");
+      if (peek() == '/' || peek() == '>') break;
+      std::string key = parse_name();
+      skip_ws();
+      expect('=');
+      skip_ws();
+      std::string value = parse_attr_value();
+      if (e.attr(key)) fail("duplicate attribute '" + key + "'");
+      e.attributes.emplace_back(std::move(key), std::move(value));
+    }
+    if (peek() == '/') {
+      ++pos_;
+      expect('>');
+      return e;  // empty element
+    }
+    expect('>');
+
+    // Content.
+    while (true) {
+      if (eof()) fail("unterminated element '" + e.name + "'");
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<![CDATA[")) {
+        const std::size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) fail("unterminated CDATA section");
+        e.text.append(input_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+      } else if (starts_with("</")) {
+        pos_ += 2;
+        const std::string name = parse_name();
+        if (name != e.name) {
+          fail("mismatched end tag </" + name + "> for <" + e.name + ">");
+        }
+        skip_ws();
+        expect('>');
+        return e;
+      } else if (peek() == '<') {
+        e.children.push_back(parse_element());
+      } else if (peek() == '&') {
+        append_entity(e.text);
+      } else {
+        e.text.push_back(get());
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+void write_element(const Element& e, std::ostringstream& os, bool pretty, int depth) {
+  const std::string indent = pretty ? std::string(static_cast<std::size_t>(depth) * 2, ' ') : "";
+  os << indent << '<' << e.name;
+  for (const auto& [k, v] : e.attributes) {
+    os << ' ' << k << "=\"" << escape_attr(v) << '"';
+  }
+  const bool has_text = !e.text.empty();
+  if (e.children.empty() && !has_text) {
+    os << "/>";
+    if (pretty) os << '\n';
+    return;
+  }
+  os << '>';
+  if (has_text) os << escape_text(e.text);
+  if (!e.children.empty()) {
+    if (pretty) os << '\n';
+    for (const Element& c : e.children) {
+      write_element(c, os, pretty, depth + 1);
+    }
+    if (pretty) os << indent;
+  }
+  os << "</" << e.name << '>';
+  if (pretty) os << '\n';
+}
+
+}  // namespace
+
+Element parse(std::string_view input) { return Parser(input).parse_document(); }
+
+std::optional<Element> try_parse(std::string_view input, std::string* error) {
+  try {
+    return parse(input);
+  } catch (const ParseError& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+std::string to_string(const Element& root, bool pretty) {
+  std::ostringstream os;
+  write_element(root, os, pretty, 0);
+  std::string s = os.str();
+  if (pretty && !s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+std::string escape_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attr(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const Element* find_path(const Element& root, std::string_view path) {
+  const Element* cur = &root;
+  for (const std::string& step : common::split(path, '/')) {
+    if (step.empty()) continue;
+    cur = cur->child(step);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+}  // namespace mdac::xml

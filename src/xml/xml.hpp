@@ -1,0 +1,90 @@
+// A small XML document model, parser and writer, built from scratch.
+//
+// Scope: the XACML-shaped policy dialect, request/response contexts,
+// SAML-shaped assertions and SOAP-shaped envelopes used throughout the
+// library. Supported: elements, attributes, character data, comments,
+// CDATA, XML declarations, the five predefined entities and numeric
+// character references. Not supported (not needed by the dialect):
+// DTDs, processing instructions other than the XML declaration, and
+// namespace *processing* (prefixed names are kept as literal strings,
+// exactly how many real-world XACML tools treat them).
+//
+// Mixed content: character data inside an element is accumulated into
+// Element::text; the dialect never interleaves text and child elements.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdac::xml {
+
+struct Element {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<Element> children;
+  std::string text;
+
+  Element() = default;
+  explicit Element(std::string n) : name(std::move(n)) {}
+
+  /// Returns the attribute value, or nullopt if absent.
+  std::optional<std::string> attr(std::string_view key) const;
+
+  /// Returns the attribute value, or `fallback` if absent.
+  std::string attr_or(std::string_view key, std::string_view fallback) const;
+
+  /// Sets (or replaces) an attribute. Returns *this for chaining.
+  Element& set_attr(std::string key, std::string value);
+
+  /// First child element with the given name, or nullptr.
+  const Element* child(std::string_view name) const;
+
+  /// All child elements with the given name.
+  std::vector<const Element*> children_named(std::string_view name) const;
+
+  /// Appends a child element and returns a reference to it.
+  Element& add_child(Element e);
+  Element& add_child(std::string name);
+
+  /// Number of elements in the whole subtree (self included).
+  std::size_t subtree_size() const;
+
+  bool operator==(const Element&) const = default;
+};
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line, std::size_t column);
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Parses a complete XML document and returns its root element.
+/// Throws ParseError on malformed input.
+Element parse(std::string_view input);
+
+/// Non-throwing variant for trust-boundary code (wire decoding).
+std::optional<Element> try_parse(std::string_view input, std::string* error = nullptr);
+
+/// Serialises. `pretty` inserts newlines and two-space indentation.
+std::string to_string(const Element& root, bool pretty = false);
+
+/// Escapes character data (&, <, >) for embedding in XML text.
+std::string escape_text(std::string_view s);
+
+/// Escapes attribute values (adds quotes escaping to escape_text).
+std::string escape_attr(std::string_view s);
+
+/// Walks a '/'-separated path of child element names from `root`.
+/// Returns nullptr if any step is missing. The path does not include the
+/// root's own name.
+const Element* find_path(const Element& root, std::string_view path);
+
+}  // namespace mdac::xml

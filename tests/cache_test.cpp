@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "cache/decision_cache.hpp"
+#include "cache/ttl_cache.hpp"
+
+namespace mdac::cache {
+namespace {
+
+using core::AttributeValue;
+using core::Category;
+using core::Decision;
+
+// ---------------------------------------------------------------------
+// Generic TTL+LRU cache
+// ---------------------------------------------------------------------
+
+TEST(TtlLruCacheTest, HitWithinTtl) {
+  common::ManualClock clock;
+  TtlLruCache<std::string, int> cache(clock, 100, 10);
+  cache.insert("k", 42);
+  EXPECT_EQ(cache.lookup("k"), 42);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(TtlLruCacheTest, ExpiresAfterTtl) {
+  common::ManualClock clock;
+  TtlLruCache<std::string, int> cache(clock, 100, 10);
+  cache.insert("k", 42);
+  clock.advance(99);
+  EXPECT_TRUE(cache.lookup("k").has_value());
+  clock.advance(1);  // now exactly at expiry
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TtlLruCacheTest, LruEvictionAtCapacity) {
+  common::ManualClock clock;
+  TtlLruCache<std::string, int> cache(clock, 1000, 2);
+  cache.insert("a", 1);
+  cache.insert("b", 2);
+  EXPECT_TRUE(cache.lookup("a").has_value());  // a is now most-recent
+  cache.insert("c", 3);                        // evicts b
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(TtlLruCacheTest, InsertRefreshesExistingEntry) {
+  common::ManualClock clock;
+  TtlLruCache<std::string, int> cache(clock, 100, 10);
+  cache.insert("k", 1);
+  clock.advance(90);
+  cache.insert("k", 2);  // refresh TTL and value
+  clock.advance(50);
+  EXPECT_EQ(cache.lookup("k"), 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TtlLruCacheTest, InvalidateSingleAndAll) {
+  common::ManualClock clock;
+  TtlLruCache<std::string, int> cache(clock, 100, 10);
+  cache.insert("a", 1);
+  cache.insert("b", 2);
+  EXPECT_TRUE(cache.invalidate("a"));
+  EXPECT_FALSE(cache.invalidate("a"));
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TtlLruCacheTest, HitRatioComputed) {
+  common::ManualClock clock;
+  TtlLruCache<std::string, int> cache(clock, 100, 10);
+  cache.insert("k", 1);
+  (void)cache.lookup("k");
+  (void)cache.lookup("k");
+  (void)cache.lookup("missing");
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 2.0 / 3.0);
+}
+
+// ---------------------------------------------------------------------
+// Canonical request keys
+// ---------------------------------------------------------------------
+
+TEST(CanonicalKeyTest, EqualRequestsSameKey) {
+  auto a = core::RequestContext::make("alice", "doc", "read");
+  auto b = core::RequestContext::make("alice", "doc", "read");
+  EXPECT_EQ(canonical_request_key(a), canonical_request_key(b));
+}
+
+TEST(CanonicalKeyTest, BagOrderDoesNotMatter) {
+  core::RequestContext a;
+  a.add(Category::kSubject, "role", AttributeValue("x"));
+  a.add(Category::kSubject, "role", AttributeValue("y"));
+  core::RequestContext b;
+  b.add(Category::kSubject, "role", AttributeValue("y"));
+  b.add(Category::kSubject, "role", AttributeValue("x"));
+  EXPECT_EQ(canonical_request_key(a), canonical_request_key(b));
+}
+
+TEST(CanonicalKeyTest, DifferentRequestsDifferentKeys) {
+  const auto a = core::RequestContext::make("alice", "doc", "read");
+  const auto b = core::RequestContext::make("alice", "doc", "write");
+  const auto c = core::RequestContext::make("bob", "doc", "read");
+  EXPECT_NE(canonical_request_key(a), canonical_request_key(b));
+  EXPECT_NE(canonical_request_key(a), canonical_request_key(c));
+}
+
+TEST(CanonicalKeyTest, TypeIsPartOfKey) {
+  core::RequestContext a;
+  a.add(Category::kSubject, "x", AttributeValue("1"));
+  core::RequestContext b;
+  b.add(Category::kSubject, "x", AttributeValue(std::int64_t{1}));
+  EXPECT_NE(canonical_request_key(a), canonical_request_key(b));
+}
+
+// ---------------------------------------------------------------------
+// DecisionCache + CachingEvaluator
+// ---------------------------------------------------------------------
+
+TEST(DecisionCacheTest, RoundTripWithObligations) {
+  common::ManualClock clock;
+  DecisionCache cache(clock, 1000);
+  const auto req = core::RequestContext::make("alice", "doc", "read");
+  Decision d = Decision::permit();
+  d.obligations.push_back(core::ObligationInstance{"audit", {}});
+  cache.insert(req, d);
+  const auto hit = cache.lookup(req);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, d);
+}
+
+TEST(CachingEvaluatorTest, SecondCallServedFromCache) {
+  common::ManualClock clock;
+  DecisionCache cache(clock, 1000);
+  int backend_calls = 0;
+  CachingEvaluator evaluate(cache, [&](const core::RequestContext&) {
+    ++backend_calls;
+    return Decision::permit();
+  });
+
+  const auto req = core::RequestContext::make("alice", "doc", "read");
+  EXPECT_TRUE(evaluate(req).is_permit());
+  EXPECT_TRUE(evaluate(req).is_permit());
+  EXPECT_EQ(backend_calls, 1);
+}
+
+TEST(CachingEvaluatorTest, IndeterminateAndNaNotCached) {
+  common::ManualClock clock;
+  DecisionCache cache(clock, 1000);
+  int backend_calls = 0;
+  CachingEvaluator evaluate(cache, [&](const core::RequestContext&) {
+    ++backend_calls;
+    return backend_calls < 3 ? Decision::not_applicable() : Decision::permit();
+  });
+
+  const auto req = core::RequestContext::make("alice", "doc", "read");
+  EXPECT_TRUE(evaluate(req).is_not_applicable());
+  EXPECT_TRUE(evaluate(req).is_not_applicable());
+  EXPECT_EQ(backend_calls, 2);  // NA decisions were not cached
+  EXPECT_TRUE(evaluate(req).is_permit());
+  EXPECT_TRUE(evaluate(req).is_permit());
+  EXPECT_EQ(backend_calls, 3);  // permit was cached
+}
+
+TEST(CachingEvaluatorTest, PolicyChangeInvalidationRestoresFreshness) {
+  common::ManualClock clock;
+  DecisionCache cache(clock, 10000);
+  Decision current = Decision::permit();
+  CachingEvaluator evaluate(cache,
+                            [&](const core::RequestContext&) { return current; });
+
+  const auto req = core::RequestContext::make("alice", "doc", "read");
+  EXPECT_TRUE(evaluate(req).is_permit());
+  current = Decision::deny();  // policy changed behind the cache's back
+  EXPECT_TRUE(evaluate(req).is_permit());  // stale!
+  cache.invalidate_all();                  // change notification arrives
+  EXPECT_TRUE(evaluate(req).is_deny());
+}
+
+TEST(StalenessProbeTest, CountsFalsePermitsAndDenies) {
+  StalenessProbe probe;
+  probe.observe(Decision::permit(), Decision::permit());
+  probe.observe(Decision::permit(), Decision::deny());  // false permit
+  probe.observe(Decision::deny(), Decision::permit());  // false deny
+  probe.observe(Decision::deny(), Decision::not_applicable());
+  EXPECT_EQ(probe.agreements, 2u);
+  EXPECT_EQ(probe.false_permits, 1u);
+  EXPECT_EQ(probe.false_denies, 1u);
+}
+
+}  // namespace
+}  // namespace mdac::cache

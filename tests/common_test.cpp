@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace mdac::common {
+namespace {
+
+// ---------------------------------------------------------------------
+// bytes: hex
+// ---------------------------------------------------------------------
+
+TEST(HexTest, EncodesKnownBytes) {
+  EXPECT_EQ(hex_encode({0x00, 0xff, 0x10, 0xab}), "00ff10ab");
+  EXPECT_EQ(hex_encode({}), "");
+}
+
+TEST(HexTest, DecodesUpperAndLowerCase) {
+  const auto lower = hex_decode("00ff10ab");
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_EQ(*lower, (Bytes{0x00, 0xff, 0x10, 0xab}));
+  const auto upper = hex_decode("00FF10AB");
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(*upper, *lower);
+}
+
+TEST(HexTest, RejectsMalformedInput) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // non-hex
+  EXPECT_FALSE(hex_decode("0g").has_value());
+}
+
+// ---------------------------------------------------------------------
+// bytes: base64
+// ---------------------------------------------------------------------
+
+TEST(Base64Test, RfcTestVectors) {
+  // RFC 4648 §10.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodesRfcTestVectors) {
+  EXPECT_EQ(to_string(*base64_decode("Zm9vYmFy")), "foobar");
+  EXPECT_EQ(to_string(*base64_decode("Zg==")), "f");
+  EXPECT_EQ(to_string(*base64_decode("")), "");
+}
+
+TEST(Base64Test, RejectsMalformedInput) {
+  EXPECT_FALSE(base64_decode("Zg=").has_value());     // bad length
+  EXPECT_FALSE(base64_decode("Z===").has_value());    // over-padded
+  EXPECT_FALSE(base64_decode("Zg=a").has_value());    // data after padding
+  EXPECT_FALSE(base64_decode("Zm!v").has_value());    // bad character
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, EncodeDecodeIsIdentity) {
+  Bytes data;
+  for (std::size_t i = 0; i < GetParam(); ++i) {
+    data.push_back(static_cast<std::uint8_t>((i * 131 + 17) & 0xff));
+  }
+  const auto decoded = base64_decode(base64_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Base64RoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 63, 64, 65, 255, 256,
+                                           1000));
+
+// ---------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, JoinInverseOfSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "/"), "x/y/z");
+  EXPECT_EQ(split(join(parts, "/"), '/'), parts);
+  EXPECT_EQ(join({}, "/"), "");
+}
+
+TEST(StringsTest, TrimStripsWhitespace) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+TEST(StringsTest, WildcardMatching) {
+  EXPECT_TRUE(wildcard_match("*", "anything"));
+  EXPECT_TRUE(wildcard_match("a/*", "a/b"));
+  EXPECT_TRUE(wildcard_match("a/*", "a/"));
+  EXPECT_FALSE(wildcard_match("a/*", "b/a"));
+  EXPECT_TRUE(wildcard_match("exact", "exact"));
+  EXPECT_FALSE(wildcard_match("exact", "exact2"));
+}
+
+// ---------------------------------------------------------------------
+// clock
+// ---------------------------------------------------------------------
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150);
+  clock.set(42);
+  EXPECT_EQ(clock.now(), 42);
+}
+
+TEST(ClockTest, WallClockIsMonotonicEnough) {
+  WallClock clock;
+  const TimePoint a = clock.now();
+  const TimePoint b = clock.now();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 0);
+}
+
+// ---------------------------------------------------------------------
+// rng
+// ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+}
+
+TEST(RngTest, PickThrowsOnEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+  std::vector<int> one{42};
+  EXPECT_EQ(rng.pick(one), 42);
+}
+
+}  // namespace
+}  // namespace mdac::common

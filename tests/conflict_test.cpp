@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "conflict/analysis.hpp"
+#include "core/functions.hpp"
+
+namespace mdac::conflict {
+namespace {
+
+core::Policy make_policy(const std::string& id, core::Effect effect,
+                         const std::string& subject, const std::string& resource,
+                         const std::string& action) {
+  core::Policy p;
+  p.policy_id = id;
+  if (!resource.empty()) {
+    p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                          core::AttributeValue(resource));
+  }
+  core::Rule r;
+  r.id = id + "-rule";
+  r.effect = effect;
+  core::Target t;
+  if (!subject.empty()) {
+    t.require(core::Category::kSubject, core::attrs::kSubjectId,
+              core::AttributeValue(subject));
+  }
+  if (!action.empty()) {
+    t.require(core::Category::kAction, core::attrs::kActionId,
+              core::AttributeValue(action));
+  }
+  if (!t.empty()) r.target = std::move(t);
+  p.rules.push_back(std::move(r));
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Atom extraction
+// ---------------------------------------------------------------------
+
+TEST(AtomExtractionTest, PolicyTargetIntersectedIntoRules) {
+  const core::Policy p = make_policy("p", core::Effect::kPermit, "alice", "doc", "read");
+  const auto atoms = extract_atoms(p);
+  ASSERT_EQ(atoms.size(), 1u);
+  const Atom& a = atoms[0];
+  EXPECT_FALSE(a.approximate);
+  const AttributeKey res{core::Category::kResource, core::attrs::kResourceId};
+  const AttributeKey subj{core::Category::kSubject, core::attrs::kSubjectId};
+  ASSERT_TRUE(a.constraints.count(res));
+  EXPECT_TRUE(a.constraints.at(res).count("doc"));
+  EXPECT_TRUE(a.constraints.at(subj).count("alice"));
+}
+
+TEST(AtomExtractionTest, ConditionMakesAtomApproximate) {
+  core::Policy p = make_policy("p", core::Effect::kPermit, "", "doc", "");
+  p.rules[0].condition = core::lit(true);
+  const auto atoms = extract_atoms(p);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_TRUE(atoms[0].approximate);
+}
+
+TEST(AtomExtractionTest, NonEqualityMatchMakesAtomApproximate) {
+  core::Policy p;
+  p.policy_id = "p";
+  core::AnyOf any;
+  core::AllOf all;
+  core::Match m;
+  m.function_id = "string-starts-with";
+  m.literal = core::AttributeValue("adm");
+  m.category = core::Category::kSubject;
+  m.attribute_id = core::attrs::kSubjectId;
+  all.matches.push_back(std::move(m));
+  any.all_ofs.push_back(std::move(all));
+  p.target_spec.any_ofs.push_back(std::move(any));
+  core::Rule r;
+  r.id = "r";
+  r.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(r));
+
+  const auto atoms = extract_atoms(p);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_TRUE(atoms[0].approximate);
+}
+
+TEST(AtomExtractionTest, ContradictoryTargetDropsAtom) {
+  // Policy target requires resource=a AND rule target requires resource=b:
+  // the rule can never apply, so no atom is produced.
+  core::Policy p = make_policy("p", core::Effect::kPermit, "", "a", "");
+  core::Target rule_target;
+  rule_target.require(core::Category::kResource, core::attrs::kResourceId,
+                      core::AttributeValue("b"));
+  p.rules[0].target = std::move(rule_target);
+  EXPECT_TRUE(extract_atoms(p).empty());
+}
+
+// ---------------------------------------------------------------------
+// Modality conflicts
+// ---------------------------------------------------------------------
+
+TEST(ModalityConflictTest, OppositeEffectsSameTupleConflict) {
+  const core::Policy permit = make_policy("permit", core::Effect::kPermit,
+                                          "alice", "doc", "read");
+  const core::Policy deny = make_policy("deny", core::Effect::kDeny,
+                                        "alice", "doc", "read");
+  const AnalysisResult result = analyse({&permit, &deny});
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  const Conflict& c = result.conflicts[0];
+  EXPECT_EQ(result.atoms[c.permit_index].policy_id, "permit");
+  EXPECT_EQ(result.atoms[c.deny_index].policy_id, "deny");
+  EXPECT_FALSE(c.approximate);
+  // Witness includes a concrete value for every constrained attribute.
+  const AttributeKey subj{core::Category::kSubject, core::attrs::kSubjectId};
+  EXPECT_EQ(c.witness.at(subj), "alice");
+}
+
+TEST(ModalityConflictTest, DisjointSubjectsDoNotConflict) {
+  const core::Policy permit = make_policy("permit", core::Effect::kPermit,
+                                          "alice", "doc", "read");
+  const core::Policy deny = make_policy("deny", core::Effect::kDeny,
+                                        "bob", "doc", "read");
+  EXPECT_TRUE(analyse({&permit, &deny}).conflicts.empty());
+}
+
+TEST(ModalityConflictTest, DisjointResourcesDoNotConflict) {
+  const core::Policy permit = make_policy("permit", core::Effect::kPermit,
+                                          "alice", "doc-1", "read");
+  const core::Policy deny = make_policy("deny", core::Effect::kDeny,
+                                        "alice", "doc-2", "read");
+  EXPECT_TRUE(analyse({&permit, &deny}).conflicts.empty());
+}
+
+TEST(ModalityConflictTest, UnconstrainedAttributeOverlapsEverything) {
+  // Deny for everyone on doc vs permit for alice on doc: conflict.
+  const core::Policy permit = make_policy("permit", core::Effect::kPermit,
+                                          "alice", "doc", "");
+  const core::Policy deny = make_policy("deny", core::Effect::kDeny, "", "doc", "");
+  const AnalysisResult result = analyse({&permit, &deny});
+  EXPECT_EQ(result.conflicts.size(), 1u);
+}
+
+TEST(ModalityConflictTest, SameEffectNeverConflicts) {
+  const core::Policy a = make_policy("a", core::Effect::kPermit, "alice", "doc", "read");
+  const core::Policy b = make_policy("b", core::Effect::kPermit, "alice", "doc", "read");
+  EXPECT_TRUE(analyse({&a, &b}).conflicts.empty());
+}
+
+TEST(ModalityConflictTest, ApproximateAtomsFlaggedInConflicts) {
+  core::Policy permit = make_policy("permit", core::Effect::kPermit, "", "doc", "");
+  permit.rules[0].condition = core::lit(true);
+  const core::Policy deny = make_policy("deny", core::Effect::kDeny, "", "doc", "");
+  const AnalysisResult result = analyse({&permit, &deny});
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_TRUE(result.conflicts[0].approximate);
+}
+
+// ---------------------------------------------------------------------
+// Property test: the analysis agrees with a brute-force PDP oracle on
+// the equality fragment.
+// ---------------------------------------------------------------------
+
+class ConflictOracleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConflictOracleSweep, AnalysisMatchesBruteForceOracle) {
+  // Generate a random set of single-rule policies over small domains and
+  // cross-check: a (permit, deny) atom pair conflicts iff some concrete
+  // (subject, resource, action) triple makes both rules applicable.
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  const std::vector<std::string> subjects{"s1", "s2", ""};
+  const std::vector<std::string> resources{"r1", "r2", ""};
+  const std::vector<std::string> actions{"read", "write", ""};
+
+  std::vector<core::Policy> policies;
+  for (int i = 0; i < 6; ++i) {
+    policies.push_back(make_policy(
+        "p" + std::to_string(i),
+        rng() % 2 == 0 ? core::Effect::kPermit : core::Effect::kDeny,
+        subjects[rng() % subjects.size()], resources[rng() % resources.size()],
+        actions[rng() % actions.size()]));
+  }
+  std::vector<const core::Policy*> pointers;
+  for (const auto& p : policies) pointers.push_back(&p);
+  const AnalysisResult result = analyse(pointers);
+
+  // Oracle: evaluate every policy against every concrete triple.
+  const std::vector<std::string> concrete_subjects{"s1", "s2", "other"};
+  const std::vector<std::string> concrete_resources{"r1", "r2", "other"};
+  const std::vector<std::string> concrete_actions{"read", "write", "other"};
+  std::set<std::pair<std::string, std::string>> oracle_conflicts;
+  for (const auto& s : concrete_subjects) {
+    for (const auto& r : concrete_resources) {
+      for (const auto& a : concrete_actions) {
+        const auto req = core::RequestContext::make(s, r, a);
+        std::vector<const core::Policy*> permits, denies;
+        for (const auto& p : policies) {
+          core::EvaluationContext ctx(req, core::FunctionRegistry::standard());
+          const core::Decision d = p.evaluate(ctx);
+          if (d.is_permit()) permits.push_back(&p);
+          if (d.is_deny()) denies.push_back(&p);
+        }
+        for (const auto* p : permits) {
+          for (const auto* d : denies) {
+            oracle_conflicts.insert({p->policy_id, d->policy_id});
+          }
+        }
+      }
+    }
+  }
+
+  std::set<std::pair<std::string, std::string>> analysis_conflicts;
+  for (const Conflict& c : result.conflicts) {
+    analysis_conflicts.insert({result.atoms[c.permit_index].policy_id,
+                               result.atoms[c.deny_index].policy_id});
+  }
+  EXPECT_EQ(analysis_conflicts, oracle_conflicts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictOracleSweep, ::testing::Range(0, 30));
+
+// ---------------------------------------------------------------------
+// SoD meta-policies
+// ---------------------------------------------------------------------
+
+TEST(SodTest, DetectsSubjectGrantedBothHalves) {
+  const core::Policy submit = make_policy("submit", core::Effect::kPermit,
+                                          "alice", "purchase-order", "submit");
+  const core::Policy approve = make_policy("approve", core::Effect::kPermit,
+                                           "alice", "purchase-order", "approve");
+  const AnalysisResult result = analyse({&submit, &approve});
+
+  const std::vector<SodMetaPolicy> metas{
+      {"submit-vs-approve", "purchase-order", "submit", "purchase-order", "approve"}};
+  const auto violations = check_sod(result.atoms, metas);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_TRUE(violations[0].overlapping_subjects.count("alice"));
+}
+
+TEST(SodTest, DifferentSubjectsAreFine) {
+  const core::Policy submit = make_policy("submit", core::Effect::kPermit,
+                                          "alice", "purchase-order", "submit");
+  const core::Policy approve = make_policy("approve", core::Effect::kPermit,
+                                           "bob", "purchase-order", "approve");
+  const AnalysisResult result = analyse({&submit, &approve});
+  const std::vector<SodMetaPolicy> metas{
+      {"sod", "purchase-order", "submit", "purchase-order", "approve"}};
+  EXPECT_TRUE(check_sod(result.atoms, metas).empty());
+}
+
+TEST(SodTest, UnconstrainedSubjectViolates) {
+  // A permit-to-everyone on both halves violates for any subject.
+  const core::Policy submit = make_policy("submit", core::Effect::kPermit, "",
+                                          "purchase-order", "submit");
+  const core::Policy approve = make_policy("approve", core::Effect::kPermit, "",
+                                           "purchase-order", "approve");
+  const AnalysisResult result = analyse({&submit, &approve});
+  const std::vector<SodMetaPolicy> metas{
+      {"sod", "purchase-order", "submit", "purchase-order", "approve"}};
+  const auto violations = check_sod(result.atoms, metas);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_TRUE(violations[0].overlapping_subjects.empty());  // "any subject"
+}
+
+TEST(SodTest, DenyAtomsDoNotTriggerSod) {
+  const core::Policy submit = make_policy("submit", core::Effect::kDeny,
+                                          "alice", "purchase-order", "submit");
+  const core::Policy approve = make_policy("approve", core::Effect::kPermit,
+                                           "alice", "purchase-order", "approve");
+  const AnalysisResult result = analyse({&submit, &approve});
+  const std::vector<SodMetaPolicy> metas{
+      {"sod", "purchase-order", "submit", "purchase-order", "approve"}};
+  EXPECT_TRUE(check_sod(result.atoms, metas).empty());
+}
+
+}  // namespace
+}  // namespace mdac::conflict

@@ -1,0 +1,153 @@
+// Content-based access control via obligations (paper §3.1, "Context and
+// Content-Based Access to Resources"): "when a resource is requested then
+// access ... may be granted with the obligation to check content of the
+// resource" — the PDP cannot see dynamic content, so it delegates the
+// content check to the PEP as an obligation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/pdp.hpp"
+#include "pep/pep.hpp"
+
+namespace mdac {
+namespace {
+
+/// A tiny document store standing in for the Web Service's resources.
+class DocumentStore {
+ public:
+  void put(const std::string& id, std::string content) {
+    documents_[id] = std::move(content);
+  }
+  const std::string* get(const std::string& id) const {
+    const auto it = documents_.find(id);
+    return it == documents_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> documents_;
+};
+
+class ContentAccessTest : public ::testing::Test {
+ protected:
+  ContentAccessTest() {
+    documents_.put("report-1", "quarterly results, nothing sensitive");
+    documents_.put("report-2", "contains PATIENT-DATA records, handle with care");
+
+    // Policy: reports are readable, with the obligation to scan content
+    // for the marker the policy names; the marker is a policy-side
+    // parameter, so compliance can change it without touching the PEP.
+    auto store = std::make_shared<core::PolicyStore>();
+    core::Policy p;
+    p.policy_id = "reports";
+    core::Rule permit;
+    permit.id = "permit-reports-with-scan";
+    permit.effect = core::Effect::kPermit;
+    core::Target t;
+    t.require_any(core::Category::kResource, core::attrs::kResourceId,
+                  {core::AttributeValue("report-1"), core::AttributeValue("report-2")});
+    permit.target = std::move(t);
+
+    core::ObligationExpr scan;
+    scan.id = "content-check";
+    scan.fulfill_on = core::Effect::kPermit;
+    core::AttributeAssignmentExpr marker;
+    marker.attribute_id = "forbidden-marker";
+    marker.expr = core::lit("PATIENT-DATA");
+    scan.assignments.push_back(std::move(marker));
+    core::AttributeAssignmentExpr which;
+    which.attribute_id = "resource";
+    which.expr = core::make_apply(
+        "one-and-only", core::designator(core::Category::kResource,
+                                         core::attrs::kResourceId,
+                                         core::DataType::kString));
+    scan.assignments.push_back(std::move(which));
+    permit.obligations.push_back(std::move(scan));
+    p.rules.push_back(std::move(permit));
+    store->add(std::move(p));
+    pdp_ = std::make_shared<core::Pdp>(store);
+
+    pep_ = std::make_unique<pep::EnforcementPoint>(
+        [this](const core::RequestContext& request) {
+          return pdp_->evaluate(request);
+        });
+    pep_->register_obligation_handler(
+        "content-check", [this](const core::ObligationInstance& ob) {
+          std::string marker, resource;
+          for (const auto& [key, value] : ob.assignments) {
+            if (key == "forbidden-marker") marker = value.to_text();
+            if (key == "resource") resource = value.to_text();
+          }
+          const std::string* content = documents_.get(resource);
+          if (content == nullptr) return false;  // nothing to check: refuse
+          ++scans_;
+          return content->find(marker) == std::string::npos;
+        });
+  }
+
+  DocumentStore documents_;
+  std::shared_ptr<core::Pdp> pdp_;
+  std::unique_ptr<pep::EnforcementPoint> pep_;
+  int scans_ = 0;
+};
+
+TEST_F(ContentAccessTest, CleanContentReleased) {
+  const auto result =
+      pep_->enforce(core::RequestContext::make("alice", "report-1", "read"));
+  EXPECT_TRUE(result.allowed);
+  EXPECT_EQ(scans_, 1);
+}
+
+TEST_F(ContentAccessTest, SensitiveContentBlockedDespitePermit) {
+  // The PDP said permit — only the content check stops the release.
+  const auto result =
+      pep_->enforce(core::RequestContext::make("alice", "report-2", "read"));
+  EXPECT_FALSE(result.allowed);
+  EXPECT_TRUE(result.decision.is_permit());
+  EXPECT_NE(result.reason.find("content-check"), std::string::npos);
+}
+
+TEST_F(ContentAccessTest, ContentChangesFlipTheOutcome) {
+  documents_.put("report-1", "now with PATIENT-DATA inside");
+  EXPECT_FALSE(
+      pep_->enforce(core::RequestContext::make("alice", "report-1", "read")).allowed);
+  documents_.put("report-2", "redacted, all clear");
+  EXPECT_TRUE(
+      pep_->enforce(core::RequestContext::make("alice", "report-2", "read")).allowed);
+}
+
+TEST_F(ContentAccessTest, MissingDocumentFailsSafe) {
+  // Target admits only report-1/2, so use a doctored request carrying a
+  // second resource-id value the target matches; the handler then cannot
+  // find a single document -> refuse.
+  documents_.put("report-1", "");
+  auto request = core::RequestContext::make("alice", "report-1", "read");
+  EXPECT_TRUE(pep_->enforce(request).allowed);  // empty content is clean
+
+  // Remove the document entirely (simulate a race with deletion).
+  DocumentStore empty;
+  documents_ = empty;
+  EXPECT_FALSE(pep_->enforce(request).allowed);
+}
+
+TEST_F(ContentAccessTest, PolicySideMarkerIsAuthoritative) {
+  // The obligation's parameters came from the policy, not the PEP:
+  // verify they arrive intact through evaluation.
+  const core::Decision d =
+      pdp_->evaluate(core::RequestContext::make("alice", "report-2", "read"));
+  ASSERT_TRUE(d.is_permit());
+  ASSERT_EQ(d.obligations.size(), 1u);
+  EXPECT_EQ(d.obligations[0].id, "content-check");
+  bool saw_marker = false;
+  for (const auto& [key, value] : d.obligations[0].assignments) {
+    if (key == "forbidden-marker") {
+      EXPECT_EQ(value.to_text(), "PATIENT-DATA");
+      saw_marker = true;
+    }
+  }
+  EXPECT_TRUE(saw_marker);
+}
+
+}  // namespace
+}  // namespace mdac

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/attribute.hpp"
+#include "core/request.hpp"
+
+namespace mdac::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// AttributeValue
+// ---------------------------------------------------------------------
+
+TEST(AttributeValueTest, TypesAreDiscriminated) {
+  EXPECT_EQ(AttributeValue("x").type(), DataType::kString);
+  EXPECT_EQ(AttributeValue(true).type(), DataType::kBoolean);
+  EXPECT_EQ(AttributeValue(std::int64_t{5}).type(), DataType::kInteger);
+  EXPECT_EQ(AttributeValue(2.5).type(), DataType::kDouble);
+  EXPECT_EQ(AttributeValue(TimeValue{99}).type(), DataType::kTime);
+}
+
+TEST(AttributeValueTest, IntegerAndTimeAreDistinct) {
+  // A time value and an integer with the same numeric payload must not
+  // compare equal — the type is part of the value.
+  EXPECT_NE(AttributeValue(std::int64_t{7}), AttributeValue(TimeValue{7}));
+}
+
+TEST(AttributeValueTest, EqualityWithinType) {
+  EXPECT_EQ(AttributeValue("a"), AttributeValue("a"));
+  EXPECT_NE(AttributeValue("a"), AttributeValue("b"));
+  EXPECT_NE(AttributeValue("1"), AttributeValue(std::int64_t{1}));
+}
+
+struct TextCase {
+  DataType type;
+  std::string text;
+};
+
+class TextRoundTrip : public ::testing::TestWithParam<TextCase> {};
+
+TEST_P(TextRoundTrip, FromTextToTextIsIdentity) {
+  const auto& param = GetParam();
+  const auto v = AttributeValue::from_text(param.type, param.text);
+  ASSERT_TRUE(v.has_value()) << param.text;
+  EXPECT_EQ(v->type(), param.type);
+  const auto again = AttributeValue::from_text(param.type, v->to_text());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, TextRoundTrip,
+    ::testing::Values(TextCase{DataType::kString, "hello world"},
+                      TextCase{DataType::kString, ""},
+                      TextCase{DataType::kString, "with <xml> & entities"},
+                      TextCase{DataType::kBoolean, "true"},
+                      TextCase{DataType::kBoolean, "false"},
+                      TextCase{DataType::kInteger, "0"},
+                      TextCase{DataType::kInteger, "-42"},
+                      TextCase{DataType::kInteger, "9223372036854775807"},
+                      TextCase{DataType::kDouble, "2.5"},
+                      TextCase{DataType::kDouble, "-0.125"},
+                      TextCase{DataType::kTime, "1700000000000"}));
+
+TEST(AttributeValueTest, FromTextRejectsGarbage) {
+  EXPECT_FALSE(AttributeValue::from_text(DataType::kInteger, "12x").has_value());
+  EXPECT_FALSE(AttributeValue::from_text(DataType::kInteger, "").has_value());
+  EXPECT_FALSE(AttributeValue::from_text(DataType::kBoolean, "yes").has_value());
+  EXPECT_FALSE(AttributeValue::from_text(DataType::kDouble, "1.2.3").has_value());
+  EXPECT_FALSE(AttributeValue::from_text(DataType::kTime, "noon").has_value());
+}
+
+TEST(AttributeValueTest, BooleanAcceptsNumericForms) {
+  EXPECT_EQ(AttributeValue::from_text(DataType::kBoolean, "1"), AttributeValue(true));
+  EXPECT_EQ(AttributeValue::from_text(DataType::kBoolean, "0"), AttributeValue(false));
+}
+
+// ---------------------------------------------------------------------
+// Bag
+// ---------------------------------------------------------------------
+
+TEST(BagTest, BasicOperations) {
+  Bag bag;
+  EXPECT_TRUE(bag.empty());
+  bag.add(AttributeValue("a"));
+  bag.add(AttributeValue("b"));
+  EXPECT_EQ(bag.size(), 2u);
+  EXPECT_TRUE(bag.contains(AttributeValue("a")));
+  EXPECT_FALSE(bag.contains(AttributeValue("c")));
+  EXPECT_FALSE(bag.singleton());
+  EXPECT_TRUE(Bag(AttributeValue("x")).singleton());
+}
+
+TEST(BagTest, SetEqualsIsOrderInsensitive) {
+  const Bag a = Bag::of({AttributeValue("x"), AttributeValue("y")});
+  const Bag b = Bag::of({AttributeValue("y"), AttributeValue("x")});
+  EXPECT_TRUE(a.set_equals(b));
+  EXPECT_FALSE(a == b);  // plain equality is order-sensitive
+}
+
+TEST(BagTest, SetEqualsIsMultisetSensitive) {
+  const Bag a = Bag::of({AttributeValue("x"), AttributeValue("x")});
+  const Bag b = Bag::of({AttributeValue("x")});
+  EXPECT_FALSE(a.set_equals(b));
+}
+
+// ---------------------------------------------------------------------
+// Enum conversions
+// ---------------------------------------------------------------------
+
+TEST(EnumsTest, CategoryRoundTrip) {
+  for (const Category c : {Category::kSubject, Category::kResource, Category::kAction,
+                           Category::kEnvironment, Category::kDelegate}) {
+    EXPECT_EQ(category_from_string(to_string(c)), c);
+  }
+  EXPECT_FALSE(category_from_string("nonsense").has_value());
+}
+
+TEST(EnumsTest, DataTypeRoundTrip) {
+  for (const DataType t : {DataType::kString, DataType::kBoolean, DataType::kInteger,
+                           DataType::kDouble, DataType::kTime}) {
+    EXPECT_EQ(data_type_from_string(to_string(t)), t);
+  }
+  EXPECT_FALSE(data_type_from_string("float").has_value());
+}
+
+// ---------------------------------------------------------------------
+// RequestContext
+// ---------------------------------------------------------------------
+
+TEST(RequestContextTest, AddAccumulatesIntoBags) {
+  RequestContext ctx;
+  ctx.add(Category::kSubject, "role", AttributeValue("doctor"));
+  ctx.add(Category::kSubject, "role", AttributeValue("researcher"));
+  const Bag* bag = ctx.get(Category::kSubject, "role");
+  ASSERT_NE(bag, nullptr);
+  EXPECT_EQ(bag->size(), 2u);
+}
+
+TEST(RequestContextTest, GetDistinguishesCategories) {
+  RequestContext ctx;
+  ctx.add(Category::kSubject, "id", AttributeValue("alice"));
+  EXPECT_NE(ctx.get(Category::kSubject, "id"), nullptr);
+  EXPECT_EQ(ctx.get(Category::kResource, "id"), nullptr);
+}
+
+TEST(RequestContextTest, SetReplacesBag) {
+  RequestContext ctx;
+  ctx.add(Category::kAction, "x", AttributeValue("1"));
+  ctx.set(Category::kAction, "x", Bag(AttributeValue("2")));
+  EXPECT_EQ(ctx.get(Category::kAction, "x")->size(), 1u);
+  EXPECT_TRUE(ctx.get(Category::kAction, "x")->contains(AttributeValue("2")));
+}
+
+TEST(RequestContextTest, MakeBuildsCanonicalTriple) {
+  const RequestContext ctx = RequestContext::make("alice", "doc", "read");
+  EXPECT_TRUE(ctx.get(Category::kSubject, attrs::kSubjectId)
+                  ->contains(AttributeValue("alice")));
+  EXPECT_TRUE(ctx.get(Category::kResource, attrs::kResourceId)
+                  ->contains(AttributeValue("doc")));
+  EXPECT_TRUE(ctx.get(Category::kAction, attrs::kActionId)
+                  ->contains(AttributeValue("read")));
+}
+
+TEST(RequestContextTest, BuilderCoversAllCategories) {
+  const RequestContext ctx = RequestBuilder()
+                                 .subject("alice")
+                                 .subject_attr("role", AttributeValue("doctor"))
+                                 .resource("doc")
+                                 .resource_attr("owner", AttributeValue("bob"))
+                                 .action("write")
+                                 .action_attr("mode", AttributeValue("append"))
+                                 .environment_attr("tod", AttributeValue(std::int64_t{9}))
+                                 .build();
+  EXPECT_EQ(ctx.size(), 7u);
+  EXPECT_TRUE(ctx.has(Category::kEnvironment, "tod"));
+  EXPECT_TRUE(ctx.has(Category::kAction, "mode"));
+}
+
+}  // namespace
+}  // namespace mdac::core

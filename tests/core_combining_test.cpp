@@ -1,0 +1,330 @@
+// Truth-table and property tests for the combining algorithms — the
+// paper's §3.1 conflict-resolution mechanism. Every algorithm is swept
+// over child-decision vectors, and the XACML 3.0 extended-indeterminate
+// semantics are pinned down case by case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/combining.hpp"
+#include "core/functions.hpp"
+
+namespace mdac::core {
+namespace {
+
+/// Shorthand decision constructors used by the tables.
+Decision P() { return Decision::permit(); }
+Decision D() { return Decision::deny(); }
+Decision NA() { return Decision::not_applicable(); }
+Decision IndD() {
+  return Decision::indeterminate(IndeterminateExtent::kD,
+                                 Status::processing_error("child error"));
+}
+Decision IndP() {
+  return Decision::indeterminate(IndeterminateExtent::kP,
+                                 Status::processing_error("child error"));
+}
+Decision IndDP() {
+  return Decision::indeterminate(IndeterminateExtent::kDP,
+                                 Status::processing_error("child error"));
+}
+
+/// Wraps fixed decisions as Combinables (target always matches).
+std::vector<Combinable> fixed(std::vector<Decision> decisions) {
+  std::vector<Combinable> out;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    Decision d = decisions[i];
+    out.push_back(Combinable{
+        "child-" + std::to_string(i),
+        [](EvaluationContext&) { return MatchResult::kMatch; },
+        [d](EvaluationContext&) { return d; }});
+  }
+  return out;
+}
+
+Decision combine(const std::string& algorithm, std::vector<Decision> decisions) {
+  const CombiningAlgorithm* alg = CombiningRegistry::standard().find(algorithm);
+  EXPECT_NE(alg, nullptr) << algorithm;
+  RequestContext req;
+  EvaluationContext ctx(req, FunctionRegistry::standard());
+  return alg->combine(fixed(std::move(decisions)), ctx);
+}
+
+// ---------------------------------------------------------------------
+// Table-driven sweep across all algorithms
+// ---------------------------------------------------------------------
+
+struct CombineCase {
+  std::string algorithm;
+  std::vector<Decision> children;
+  DecisionType expected;
+  IndeterminateExtent expected_extent = IndeterminateExtent::kNone;
+};
+
+class CombiningSweep : public ::testing::TestWithParam<CombineCase> {};
+
+TEST_P(CombiningSweep, ProducesExpectedDecision) {
+  const auto& c = GetParam();
+  const Decision d = combine(c.algorithm, c.children);
+  EXPECT_EQ(d.type, c.expected) << d.describe();
+  if (c.expected == DecisionType::kIndeterminate) {
+    EXPECT_EQ(d.extent, c.expected_extent) << d.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DenyOverrides, CombiningSweep,
+    ::testing::Values(
+        CombineCase{"deny-overrides", {P(), D(), P()}, DecisionType::kDeny},
+        CombineCase{"deny-overrides", {P(), P()}, DecisionType::kPermit},
+        CombineCase{"deny-overrides", {NA(), NA()}, DecisionType::kNotApplicable},
+        CombineCase{"deny-overrides", {}, DecisionType::kNotApplicable},
+        CombineCase{"deny-overrides", {NA(), P()}, DecisionType::kPermit},
+        // Extended indeterminates:
+        CombineCase{"deny-overrides", {IndD(), P()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kDP},
+        CombineCase{"deny-overrides", {IndD(), NA()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kD},
+        CombineCase{"deny-overrides", {IndP(), NA()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kP},
+        CombineCase{"deny-overrides", {IndP(), P()}, DecisionType::kPermit},
+        CombineCase{"deny-overrides", {IndDP()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kDP},
+        CombineCase{"deny-overrides", {IndD(), D()}, DecisionType::kDeny},
+        CombineCase{"deny-overrides", {IndD(), IndP()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kDP}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PermitOverrides, CombiningSweep,
+    ::testing::Values(
+        CombineCase{"permit-overrides", {D(), P(), D()}, DecisionType::kPermit},
+        CombineCase{"permit-overrides", {D(), D()}, DecisionType::kDeny},
+        CombineCase{"permit-overrides", {NA()}, DecisionType::kNotApplicable},
+        CombineCase{"permit-overrides", {IndP(), D()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kDP},
+        CombineCase{"permit-overrides", {IndP(), NA()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kP},
+        CombineCase{"permit-overrides", {IndD(), D()}, DecisionType::kDeny},
+        CombineCase{"permit-overrides", {IndD(), NA()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kD}));
+
+INSTANTIATE_TEST_SUITE_P(
+    FirstApplicable, CombiningSweep,
+    ::testing::Values(
+        CombineCase{"first-applicable", {NA(), D(), P()}, DecisionType::kDeny},
+        CombineCase{"first-applicable", {NA(), P(), D()}, DecisionType::kPermit},
+        CombineCase{"first-applicable", {NA(), NA()}, DecisionType::kNotApplicable},
+        CombineCase{"first-applicable", {IndD(), P()}, DecisionType::kIndeterminate,
+                    IndeterminateExtent::kDP},
+        CombineCase{"first-applicable", {P(), IndD()}, DecisionType::kPermit}));
+
+INSTANTIATE_TEST_SUITE_P(
+    UnlessVariants, CombiningSweep,
+    ::testing::Values(
+        CombineCase{"deny-unless-permit", {NA()}, DecisionType::kDeny},
+        CombineCase{"deny-unless-permit", {}, DecisionType::kDeny},
+        CombineCase{"deny-unless-permit", {IndDP()}, DecisionType::kDeny},
+        CombineCase{"deny-unless-permit", {D(), P()}, DecisionType::kPermit},
+        CombineCase{"permit-unless-deny", {NA()}, DecisionType::kPermit},
+        CombineCase{"permit-unless-deny", {IndDP()}, DecisionType::kPermit},
+        CombineCase{"permit-unless-deny", {P(), D()}, DecisionType::kDeny}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderedVariantsMatchBase, CombiningSweep,
+    ::testing::Values(
+        CombineCase{"ordered-deny-overrides", {P(), D()}, DecisionType::kDeny},
+        CombineCase{"ordered-permit-overrides", {D(), P()}, DecisionType::kPermit}));
+
+// ---------------------------------------------------------------------
+// only-one-applicable needs target control, not just decisions
+// ---------------------------------------------------------------------
+
+Combinable with_match(const std::string& id, MatchResult m, Decision d) {
+  return Combinable{id, [m](EvaluationContext&) { return m; },
+                    [d](EvaluationContext&) { return d; }};
+}
+
+Decision combine_ooa(std::vector<Combinable> children) {
+  const CombiningAlgorithm* alg =
+      CombiningRegistry::standard().find("only-one-applicable");
+  RequestContext req;
+  EvaluationContext ctx(req, FunctionRegistry::standard());
+  return alg->combine(children, ctx);
+}
+
+TEST(OnlyOneApplicableTest, SingleApplicableChildWins) {
+  const Decision d = combine_ooa({with_match("a", MatchResult::kNoMatch, P()),
+                                  with_match("b", MatchResult::kMatch, D())});
+  EXPECT_TRUE(d.is_deny());
+}
+
+TEST(OnlyOneApplicableTest, TwoApplicableChildrenIsError) {
+  const Decision d = combine_ooa({with_match("a", MatchResult::kMatch, P()),
+                                  with_match("b", MatchResult::kMatch, P())});
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(d.extent, IndeterminateExtent::kDP);
+}
+
+TEST(OnlyOneApplicableTest, NoApplicableChildIsNotApplicable) {
+  const Decision d = combine_ooa({with_match("a", MatchResult::kNoMatch, P())});
+  EXPECT_TRUE(d.is_not_applicable());
+}
+
+TEST(OnlyOneApplicableTest, TargetErrorIsIndeterminate) {
+  const Decision d = combine_ooa({with_match("a", MatchResult::kIndeterminate, P())});
+  EXPECT_TRUE(d.is_indeterminate());
+}
+
+// ---------------------------------------------------------------------
+// Obligation flow through combiners
+// ---------------------------------------------------------------------
+
+Decision with_obligation(Decision d, const std::string& id) {
+  d.obligations.push_back(ObligationInstance{id, {}});
+  return d;
+}
+
+TEST(ObligationFlowTest, WinnerEffectObligationsMerged) {
+  const Decision d = combine(
+      "deny-overrides",
+      {with_obligation(D(), "ob-1"), with_obligation(D(), "ob-2"),
+       with_obligation(P(), "ob-permit")});
+  ASSERT_TRUE(d.is_deny());
+  ASSERT_EQ(d.obligations.size(), 2u);
+  EXPECT_EQ(d.obligations[0].id, "ob-1");
+  EXPECT_EQ(d.obligations[1].id, "ob-2");
+}
+
+TEST(ObligationFlowTest, LoserObligationsDroppedOnOverride) {
+  const Decision d = combine("permit-overrides",
+                             {with_obligation(P(), "keep"), with_obligation(D(), "drop")});
+  ASSERT_TRUE(d.is_permit());
+  ASSERT_EQ(d.obligations.size(), 1u);
+  EXPECT_EQ(d.obligations[0].id, "keep");
+}
+
+TEST(ObligationFlowTest, UnlessVariantKeepsFallbackObligations) {
+  const Decision d =
+      combine("permit-unless-deny", {with_obligation(P(), "p1"), NA()});
+  ASSERT_TRUE(d.is_permit());
+  ASSERT_EQ(d.obligations.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Property tests over random decision vectors
+// ---------------------------------------------------------------------
+
+class CombiningProperties : public ::testing::TestWithParam<int> {};
+
+std::vector<Decision> random_children(int seed) {
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  const int n = static_cast<int>(rng() % 6);
+  std::vector<Decision> out;
+  for (int i = 0; i < n; ++i) {
+    switch (rng() % 6) {
+      case 0: out.push_back(P()); break;
+      case 1: out.push_back(D()); break;
+      case 2: out.push_back(NA()); break;
+      case 3: out.push_back(IndD()); break;
+      case 4: out.push_back(IndP()); break;
+      default: out.push_back(IndDP()); break;
+    }
+  }
+  return out;
+}
+
+TEST_P(CombiningProperties, DenyOverridesNeverPermitsWhenAnyChildDenies) {
+  const auto children = random_children(GetParam());
+  const bool any_deny = std::any_of(children.begin(), children.end(),
+                                    [](const Decision& d) { return d.is_deny(); });
+  const Decision d = combine("deny-overrides", children);
+  if (any_deny) {
+    EXPECT_TRUE(d.is_deny());
+  } else {
+    EXPECT_FALSE(d.is_deny());
+  }
+}
+
+TEST_P(CombiningProperties, OverridesAlgorithmsAreDuals) {
+  // Swapping Permit<->Deny (and {P}<->{D}) in inputs and algorithm mirrors
+  // the output.
+  const auto children = random_children(GetParam());
+  std::vector<Decision> mirrored;
+  for (Decision d : children) {
+    if (d.is_permit()) {
+      d = D();
+    } else if (d.is_deny()) {
+      d = P();
+    } else if (d.is_indeterminate()) {
+      if (d.extent == IndeterminateExtent::kD) {
+        d.extent = IndeterminateExtent::kP;
+      } else if (d.extent == IndeterminateExtent::kP) {
+        d.extent = IndeterminateExtent::kD;
+      }
+    }
+    mirrored.push_back(d);
+  }
+  const Decision a = combine("deny-overrides", children);
+  const Decision b = combine("permit-overrides", mirrored);
+  // Mirror the result of b back.
+  DecisionType mirrored_type = b.type;
+  if (b.is_permit()) mirrored_type = DecisionType::kDeny;
+  if (b.is_deny()) mirrored_type = DecisionType::kPermit;
+  EXPECT_EQ(a.type == DecisionType::kDeny ? DecisionType::kPermit
+            : a.type == DecisionType::kPermit ? DecisionType::kDeny
+                                              : a.type,
+            mirrored_type == DecisionType::kDeny ? DecisionType::kPermit
+            : mirrored_type == DecisionType::kPermit ? DecisionType::kDeny
+                                                     : mirrored_type);
+  if (a.is_indeterminate() && b.is_indeterminate()) {
+    IndeterminateExtent flipped = b.extent;
+    if (flipped == IndeterminateExtent::kD) {
+      flipped = IndeterminateExtent::kP;
+    } else if (flipped == IndeterminateExtent::kP) {
+      flipped = IndeterminateExtent::kD;
+    }
+    EXPECT_EQ(a.extent, flipped);
+  }
+}
+
+TEST_P(CombiningProperties, UnlessAlgorithmsAlwaysDefinitive) {
+  const auto children = random_children(GetParam());
+  for (const char* alg : {"deny-unless-permit", "permit-unless-deny"}) {
+    const Decision d = combine(alg, children);
+    EXPECT_TRUE(d.is_permit() || d.is_deny()) << alg << ": " << d.describe();
+  }
+}
+
+TEST_P(CombiningProperties, FirstApplicableIsPrefixStable) {
+  // Appending children after the first applicable one never changes the
+  // outcome.
+  auto children = random_children(GetParam());
+  const Decision base = combine("first-applicable", children);
+  if (base.type == DecisionType::kPermit || base.type == DecisionType::kDeny) {
+    auto extended = children;
+    extended.push_back(base.is_permit() ? D() : P());
+    EXPECT_EQ(combine("first-applicable", extended).type, base.type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombiningProperties, ::testing::Range(0, 50));
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+TEST(CombiningRegistryTest, AllStandardAlgorithmsPresent) {
+  const auto& reg = CombiningRegistry::standard();
+  for (const char* name :
+       {"deny-overrides", "permit-overrides", "ordered-deny-overrides",
+        "ordered-permit-overrides", "first-applicable", "only-one-applicable",
+        "deny-unless-permit", "permit-unless-deny"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.find("bogus"), nullptr);
+  EXPECT_EQ(reg.names().size(), 8u);
+}
+
+}  // namespace
+}  // namespace mdac::core

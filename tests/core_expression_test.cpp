@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include "core/expression.hpp"
+#include "core/functions.hpp"
+
+namespace mdac::core {
+namespace {
+
+/// Evaluates an expression against an optionally pre-populated request.
+ExprResult eval(const ExprPtr& expr, const RequestContext& request = {}) {
+  EvaluationContext ctx(request, FunctionRegistry::standard());
+  return expr->evaluate(ctx);
+}
+
+AttributeValue single(const ExprResult& r) {
+  EXPECT_TRUE(r.ok()) << r.status.message;
+  EXPECT_EQ(r.bag.size(), 1u);
+  return r.bag.at(0);
+}
+
+// ---------------------------------------------------------------------
+// Literals & designators
+// ---------------------------------------------------------------------
+
+TEST(ExpressionTest, LiteralEvaluatesToItself) {
+  EXPECT_EQ(single(eval(lit("hello"))), AttributeValue("hello"));
+  EXPECT_EQ(single(eval(lit(std::int64_t{42}))), AttributeValue(std::int64_t{42}));
+}
+
+TEST(ExpressionTest, DesignatorFindsRequestAttribute) {
+  RequestContext req;
+  req.add(Category::kSubject, "role", AttributeValue("doctor"));
+  const auto expr = designator(Category::kSubject, "role", DataType::kString);
+  const ExprResult r = eval(expr, req);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.bag.contains(AttributeValue("doctor")));
+}
+
+TEST(ExpressionTest, DesignatorFiltersByType) {
+  RequestContext req;
+  req.add(Category::kSubject, "level", AttributeValue(std::int64_t{3}));
+  req.add(Category::kSubject, "level", AttributeValue("three"));
+  const auto expr = designator(Category::kSubject, "level", DataType::kInteger);
+  const ExprResult r = eval(expr, req);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.bag.size(), 1u);
+  EXPECT_TRUE(r.bag.at(0).is_integer());
+}
+
+TEST(ExpressionTest, MissingOptionalAttributeYieldsEmptyBag) {
+  const auto expr = designator(Category::kSubject, "absent", DataType::kString);
+  const ExprResult r = eval(expr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.bag.empty());
+}
+
+TEST(ExpressionTest, MissingMandatoryAttributeIsError) {
+  const auto expr = designator(Category::kSubject, "absent", DataType::kString,
+                               /*must_be_present=*/true);
+  const ExprResult r = eval(expr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code, StatusCode::kMissingAttribute);
+}
+
+// ---------------------------------------------------------------------
+// Function application basics
+// ---------------------------------------------------------------------
+
+TEST(ExpressionTest, UnknownFunctionIsError) {
+  const auto expr = make_apply("no-such-function", lit("x"));
+  const ExprResult r = eval(expr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code, StatusCode::kProcessingError);
+}
+
+TEST(ExpressionTest, ArityMismatchIsError) {
+  const auto expr = make_apply("string-equal", lit("only-one"));
+  EXPECT_FALSE(eval(expr).ok());
+}
+
+TEST(ExpressionTest, TypeMismatchIsError) {
+  const auto expr = make_apply("integer-add", lit(std::int64_t{1}), lit("two"));
+  const ExprResult r = eval(expr);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExpressionTest, ErrorsPropagateThroughNesting) {
+  // inner designator fails (mandatory, absent) -> whole tree fails
+  const auto expr = make_apply(
+      "and", lit(true),
+      make_apply("string-equal", lit("x"),
+            make_apply("one-and-only", designator(Category::kSubject, "absent",
+                                             DataType::kString, true))));
+  const ExprResult r = eval(expr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code, StatusCode::kMissingAttribute);
+}
+
+TEST(ExpressionTest, CloneProducesEqualBehaviour) {
+  RequestContext req;
+  req.add(Category::kSubject, "n", AttributeValue(std::int64_t{21}));
+  const auto expr = make_apply(
+      "integer-add",
+      make_apply("one-and-only", designator(Category::kSubject, "n", DataType::kInteger)),
+      lit(std::int64_t{21}));
+  const auto cloned = expr->clone();
+  EXPECT_EQ(single(eval(expr, req)), single(eval(cloned, req)));
+}
+
+// ---------------------------------------------------------------------
+// Function library sweep: each (function, args, expected) row is one case.
+// ---------------------------------------------------------------------
+
+struct FnCase {
+  std::string name;          // for diagnostics
+  ExprPtr (*build)();        // builds the expression
+  AttributeValue expected;
+};
+
+ExprPtr b_string_equal_true() { return make_apply("string-equal", lit("a"), lit("a")); }
+ExprPtr b_string_equal_false() { return make_apply("string-equal", lit("a"), lit("b")); }
+ExprPtr b_bool_equal() { return make_apply("boolean-equal", lit(true), lit(true)); }
+ExprPtr b_int_equal() {
+  return make_apply("integer-equal", lit(std::int64_t{3}), lit(std::int64_t{3}));
+}
+ExprPtr b_int_lt() {
+  return make_apply("integer-less-than", lit(std::int64_t{2}), lit(std::int64_t{3}));
+}
+ExprPtr b_int_le_eq() {
+  return make_apply("integer-less-than-or-equal", lit(std::int64_t{3}), lit(std::int64_t{3}));
+}
+ExprPtr b_int_gt_false() {
+  return make_apply("integer-greater-than", lit(std::int64_t{2}), lit(std::int64_t{3}));
+}
+ExprPtr b_int_ge() {
+  return make_apply("integer-greater-than-or-equal", lit(std::int64_t{4}), lit(std::int64_t{3}));
+}
+ExprPtr b_double_lt() {
+  return make_apply("double-less-than", lit(AttributeValue(1.5)), lit(AttributeValue(2.5)));
+}
+ExprPtr b_string_lt() { return make_apply("string-less-than", lit("abc"), lit("abd")); }
+ExprPtr b_time_lt() {
+  return make_apply("time-less-than", lit(AttributeValue(TimeValue{100})),
+               lit(AttributeValue(TimeValue{200})));
+}
+ExprPtr b_time_in_range() {
+  return make_apply("time-in-range", lit(AttributeValue(TimeValue{150})),
+               lit(AttributeValue(TimeValue{100})), lit(AttributeValue(TimeValue{200})));
+}
+ExprPtr b_time_in_range_edge() {
+  return make_apply("time-in-range", lit(AttributeValue(TimeValue{200})),
+               lit(AttributeValue(TimeValue{100})), lit(AttributeValue(TimeValue{200})));
+}
+ExprPtr b_int_add() {
+  return make_apply("integer-add", lit(std::int64_t{1}), lit(std::int64_t{2}),
+               lit(std::int64_t{3}));
+}
+ExprPtr b_int_sub() {
+  return make_apply("integer-subtract", lit(std::int64_t{5}), lit(std::int64_t{3}));
+}
+ExprPtr b_int_mul() {
+  return make_apply("integer-multiply", lit(std::int64_t{4}), lit(std::int64_t{5}));
+}
+ExprPtr b_int_div() {
+  return make_apply("integer-divide", lit(std::int64_t{7}), lit(std::int64_t{2}));
+}
+ExprPtr b_int_mod() {
+  return make_apply("integer-mod", lit(std::int64_t{7}), lit(std::int64_t{3}));
+}
+ExprPtr b_int_abs() { return make_apply("integer-abs", lit(std::int64_t{-9})); }
+ExprPtr b_double_add() {
+  return make_apply("double-add", lit(AttributeValue(0.5)), lit(AttributeValue(0.25)));
+}
+ExprPtr b_round() { return make_apply("round", lit(AttributeValue(2.6))); }
+ExprPtr b_floor() { return make_apply("floor", lit(AttributeValue(2.6))); }
+ExprPtr b_int_to_double() { return make_apply("integer-to-double", lit(std::int64_t{2})); }
+ExprPtr b_double_to_int() { return make_apply("double-to-integer", lit(AttributeValue(2.9))); }
+ExprPtr b_string_to_int() { return make_apply("string-to-integer", lit("-17")); }
+ExprPtr b_int_to_string() { return make_apply("integer-to-string", lit(std::int64_t{17})); }
+ExprPtr b_and_true() { return make_apply("and", lit(true), lit(true)); }
+ExprPtr b_and_false() { return make_apply("and", lit(true), lit(false)); }
+ExprPtr b_and_empty() { return make_apply_vec("and", {}); }
+ExprPtr b_or_true() { return make_apply("or", lit(false), lit(true)); }
+ExprPtr b_or_empty() { return make_apply_vec("or", {}); }
+ExprPtr b_not() { return make_apply("not", lit(false)); }
+ExprPtr b_n_of() {
+  return make_apply("n-of", lit(std::int64_t{2}), lit(true), lit(false), lit(true));
+}
+ExprPtr b_n_of_fail() {
+  return make_apply("n-of", lit(std::int64_t{3}), lit(true), lit(false), lit(true));
+}
+ExprPtr b_concat() { return make_apply("string-concatenate", lit("foo"), lit("bar")); }
+ExprPtr b_contains() { return make_apply("string-contains", lit("foobar"), lit("oba")); }
+ExprPtr b_starts() { return make_apply("string-starts-with", lit("foobar"), lit("foo")); }
+ExprPtr b_ends() { return make_apply("string-ends-with", lit("foobar"), lit("bar")); }
+ExprPtr b_normalize() { return make_apply("string-normalize-space", lit("  x  ")); }
+ExprPtr b_lower() { return make_apply("string-to-lower", lit("AbC")); }
+ExprPtr b_length() { return make_apply("string-length", lit("hello")); }
+ExprPtr b_regex() { return make_apply("regexp-match", lit("^d.*r$"), lit("doctor")); }
+ExprPtr b_one_and_only() {
+  return make_apply("one-and-only", lit_bag(Bag(AttributeValue("only"))));
+}
+ExprPtr b_bag_size() {
+  return make_apply("bag-size",
+               lit_bag(Bag::of({AttributeValue("a"), AttributeValue("b")})));
+}
+ExprPtr b_is_in() {
+  return make_apply("is-in", lit("b"),
+               lit_bag(Bag::of({AttributeValue("a"), AttributeValue("b")})));
+}
+ExprPtr b_subset() {
+  return make_apply("subset", lit_bag(Bag::of({AttributeValue("a")})),
+               lit_bag(Bag::of({AttributeValue("a"), AttributeValue("b")})));
+}
+ExprPtr b_set_equals() {
+  return make_apply("set-equals",
+               lit_bag(Bag::of({AttributeValue("a"), AttributeValue("b")})),
+               lit_bag(Bag::of({AttributeValue("b"), AttributeValue("a")})));
+}
+ExprPtr b_at_least_one() {
+  return make_apply("at-least-one-member-of",
+               lit_bag(Bag::of({AttributeValue("x"), AttributeValue("b")})),
+               lit_bag(Bag::of({AttributeValue("b")})));
+}
+
+class FunctionSweep : public ::testing::TestWithParam<FnCase> {};
+
+TEST_P(FunctionSweep, EvaluatesToExpected) {
+  const FnCase& c = GetParam();
+  EXPECT_EQ(single(eval(c.build())), c.expected) << c.name;
+}
+
+const AttributeValue T(true);
+const AttributeValue F(false);
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, FunctionSweep,
+    ::testing::Values(
+        FnCase{"string-equal-true", b_string_equal_true, T},
+        FnCase{"string-equal-false", b_string_equal_false, F},
+        FnCase{"boolean-equal", b_bool_equal, T},
+        FnCase{"integer-equal", b_int_equal, T},
+        FnCase{"integer-less-than", b_int_lt, T},
+        FnCase{"integer-le-equal", b_int_le_eq, T},
+        FnCase{"integer-gt-false", b_int_gt_false, F},
+        FnCase{"integer-ge", b_int_ge, T},
+        FnCase{"double-less-than", b_double_lt, T},
+        FnCase{"string-less-than", b_string_lt, T},
+        FnCase{"time-less-than", b_time_lt, T},
+        FnCase{"time-in-range", b_time_in_range, T},
+        FnCase{"time-in-range-edge", b_time_in_range_edge, T},
+        FnCase{"integer-add", b_int_add, AttributeValue(std::int64_t{6})},
+        FnCase{"integer-subtract", b_int_sub, AttributeValue(std::int64_t{2})},
+        FnCase{"integer-multiply", b_int_mul, AttributeValue(std::int64_t{20})},
+        FnCase{"integer-divide", b_int_div, AttributeValue(std::int64_t{3})},
+        FnCase{"integer-mod", b_int_mod, AttributeValue(std::int64_t{1})},
+        FnCase{"integer-abs", b_int_abs, AttributeValue(std::int64_t{9})},
+        FnCase{"double-add", b_double_add, AttributeValue(0.75)},
+        FnCase{"round", b_round, AttributeValue(3.0)},
+        FnCase{"floor", b_floor, AttributeValue(2.0)},
+        FnCase{"integer-to-double", b_int_to_double, AttributeValue(2.0)},
+        FnCase{"double-to-integer", b_double_to_int, AttributeValue(std::int64_t{2})},
+        FnCase{"string-to-integer", b_string_to_int, AttributeValue(std::int64_t{-17})},
+        FnCase{"integer-to-string", b_int_to_string, AttributeValue("17")},
+        FnCase{"and-true", b_and_true, T}, FnCase{"and-false", b_and_false, F},
+        FnCase{"and-empty", b_and_empty, T}, FnCase{"or-true", b_or_true, T},
+        FnCase{"or-empty", b_or_empty, F}, FnCase{"not", b_not, T},
+        FnCase{"n-of", b_n_of, T}, FnCase{"n-of-fail", b_n_of_fail, F},
+        FnCase{"concat", b_concat, AttributeValue("foobar")},
+        FnCase{"contains", b_contains, T}, FnCase{"starts-with", b_starts, T},
+        FnCase{"ends-with", b_ends, T},
+        FnCase{"normalize-space", b_normalize, AttributeValue("x")},
+        FnCase{"to-lower", b_lower, AttributeValue("abc")},
+        FnCase{"length", b_length, AttributeValue(std::int64_t{5})},
+        FnCase{"regexp", b_regex, T},
+        FnCase{"one-and-only", b_one_and_only, AttributeValue("only")},
+        FnCase{"bag-size", b_bag_size, AttributeValue(std::int64_t{2})},
+        FnCase{"is-in", b_is_in, T}, FnCase{"subset", b_subset, T},
+        FnCase{"set-equals", b_set_equals, T},
+        FnCase{"at-least-one", b_at_least_one, T}),
+    [](const ::testing::TestParamInfo<FnCase>& info) {
+      std::string n = info.param.name;
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+// ---------------------------------------------------------------------
+// Division / numeric edge cases
+// ---------------------------------------------------------------------
+
+TEST(ExpressionTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(
+      eval(make_apply("integer-divide", lit(std::int64_t{1}), lit(std::int64_t{0}))).ok());
+  EXPECT_FALSE(
+      eval(make_apply("integer-mod", lit(std::int64_t{1}), lit(std::int64_t{0}))).ok());
+  EXPECT_FALSE(
+      eval(make_apply("double-divide", lit(AttributeValue(1.0)), lit(AttributeValue(0.0))))
+          .ok());
+}
+
+TEST(ExpressionTest, BadRegexIsErrorNotCrash) {
+  EXPECT_FALSE(eval(make_apply("regexp-match", lit("[unclosed"), lit("x"))).ok());
+}
+
+TEST(ExpressionTest, OneAndOnlyOnNonSingletonFails) {
+  EXPECT_FALSE(eval(make_apply("one-and-only",
+                          lit_bag(Bag::of({AttributeValue("a"), AttributeValue("b")}))))
+                   .ok());
+  EXPECT_FALSE(eval(make_apply("one-and-only", lit_bag(Bag()))).ok());
+}
+
+// ---------------------------------------------------------------------
+// Higher-order functions
+// ---------------------------------------------------------------------
+
+TEST(HigherOrderTest, AnyOfFindsMatchInBag) {
+  RequestContext req;
+  req.add(Category::kSubject, "role", AttributeValue("nurse"));
+  req.add(Category::kSubject, "role", AttributeValue("doctor"));
+  const auto expr =
+      make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+            designator(Category::kSubject, "role", DataType::kString));
+  EXPECT_EQ(single(eval(expr, req)), AttributeValue(true));
+}
+
+TEST(HigherOrderTest, AnyOfEmptyBagIsFalse) {
+  const auto expr = make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+                          lit_bag(Bag()));
+  EXPECT_EQ(single(eval(expr)), AttributeValue(false));
+}
+
+TEST(HigherOrderTest, AllOfRequiresEveryElement) {
+  const auto all_match =
+      make_apply("all-of", function_ref("string-starts-with"),
+            lit_bag(Bag::of({AttributeValue("ab"), AttributeValue("ax")})));
+  // all-of(f, bag) with unary-style usage is not the XACML shape; use the
+  // canonical (f, value, bag) form instead:
+  const auto expr = make_apply(
+      "all-of", function_ref("integer-greater-than"), lit(std::int64_t{10}),
+      lit_bag(Bag::of({AttributeValue(std::int64_t{1}), AttributeValue(std::int64_t{5})})));
+  EXPECT_EQ(single(eval(expr)), AttributeValue(true));
+  (void)all_match;
+}
+
+TEST(HigherOrderTest, AllOfEmptyBagIsTrue) {
+  const auto expr = make_apply("all-of", function_ref("string-equal"), lit("x"),
+                          lit_bag(Bag()));
+  EXPECT_EQ(single(eval(expr)), AttributeValue(true));
+}
+
+TEST(HigherOrderTest, AnyOfAnyCrossProduct) {
+  const auto expr = make_apply(
+      "any-of-any", function_ref("string-equal"),
+      lit_bag(Bag::of({AttributeValue("a"), AttributeValue("b")})),
+      lit_bag(Bag::of({AttributeValue("c"), AttributeValue("b")})));
+  EXPECT_EQ(single(eval(expr)), AttributeValue(true));
+}
+
+TEST(HigherOrderTest, MapTransformsBag) {
+  const auto expr = make_apply(
+      "map", function_ref("string-to-lower"),
+      lit_bag(Bag::of({AttributeValue("A"), AttributeValue("B")})));
+  const ExprResult r = eval(expr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.bag.set_equals(Bag::of({AttributeValue("a"), AttributeValue("b")})));
+}
+
+TEST(HigherOrderTest, FirstArgumentMustBeFunctionRef) {
+  const auto expr = make_apply("any-of", lit("not-a-function"), lit("x"), lit_bag(Bag()));
+  EXPECT_FALSE(eval(expr).ok());
+}
+
+TEST(HigherOrderTest, InnerFunctionMayNotBeHigherOrder) {
+  const auto expr = make_apply("any-of", function_ref("any-of"), lit("x"), lit_bag(Bag()));
+  EXPECT_FALSE(eval(expr).ok());
+}
+
+TEST(HigherOrderTest, FunctionRefOutsideApplyIsError) {
+  const auto expr = function_ref("string-equal");
+  EXPECT_FALSE(eval(expr).ok());
+}
+
+// ---------------------------------------------------------------------
+// Registry extensibility
+// ---------------------------------------------------------------------
+
+TEST(RegistryTest, CustomFunctionCanBeRegistered) {
+  FunctionRegistry reg = FunctionRegistry::standard_copy();
+  FunctionDef def;
+  def.name = "always-42";
+  def.arity = 0;
+  def.invoke = [](EvaluationContext&, const std::vector<Bag>&) {
+    return ExprResult::single(AttributeValue(std::int64_t{42}));
+  };
+  reg.add(std::move(def));
+
+  RequestContext req;
+  EvaluationContext ctx(req, reg);
+  const auto expr = make_apply_vec("always-42", {});
+  const ExprResult r = expr->evaluate(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.bag.at(0).as_integer(), 42);
+}
+
+TEST(RegistryTest, StandardHasExpectedSize) {
+  // Guards against accidentally dropping registrations.
+  EXPECT_GE(FunctionRegistry::standard().size(), 50u);
+}
+
+TEST(RegistryTest, MetricsCountFunctionInvocations) {
+  RequestContext req;
+  EvaluationContext ctx(req, FunctionRegistry::standard());
+  const auto expr = make_apply("and", lit(true), make_apply("not", lit(false)));
+  (void)expr->evaluate(ctx);
+  EXPECT_EQ(ctx.metrics().functions_invoked, 2u);
+}
+
+}  // namespace
+}  // namespace mdac::core

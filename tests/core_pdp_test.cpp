@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pdp.hpp"
+#include "core/serialization.hpp"
+
+namespace mdac::core {
+namespace {
+
+Policy resource_policy(const std::string& resource, Effect effect,
+                       const std::string& id) {
+  Policy p;
+  p.policy_id = id;
+  p.target_spec.require(Category::kResource, attrs::kResourceId,
+                        AttributeValue(resource));
+  Rule r;
+  r.id = id + "-rule";
+  r.effect = effect;
+  p.rules.push_back(std::move(r));
+  return p;
+}
+
+TEST(PdpTest, EvaluatesAgainstStore) {
+  auto store = std::make_shared<PolicyStore>();
+  store->add(resource_policy("doc", Effect::kPermit, "permit-doc"));
+  store->add(resource_policy("vault", Effect::kDeny, "deny-vault"));
+  Pdp pdp(store);
+
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("a", "doc", "read")).is_permit());
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("a", "vault", "read")).is_deny());
+  EXPECT_TRUE(
+      pdp.evaluate(RequestContext::make("a", "other", "read")).is_not_applicable());
+}
+
+TEST(PdpTest, RootCombiningRespected) {
+  auto store = std::make_shared<PolicyStore>();
+  store->add(resource_policy("doc", Effect::kPermit, "p1"));
+  store->add(resource_policy("doc", Effect::kDeny, "p2"));
+
+  Pdp deny_wins(store, PdpConfig{"deny-overrides", true});
+  Pdp permit_wins(store, PdpConfig{"permit-overrides", true});
+  const auto req = RequestContext::make("a", "doc", "read");
+  EXPECT_TRUE(deny_wins.evaluate(req).is_deny());
+  EXPECT_TRUE(permit_wins.evaluate(req).is_permit());
+}
+
+TEST(PdpTest, UnknownRootCombiningIsIndeterminate) {
+  auto store = std::make_shared<PolicyStore>();
+  Pdp pdp(store, PdpConfig{"nonsense", true});
+  const Decision d = pdp.evaluate(RequestContext::make("a", "r", "read"));
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(d.status.code, StatusCode::kSyntaxError);
+}
+
+TEST(PdpTest, EmptyStoreIsNotApplicable) {
+  Pdp pdp(std::make_shared<PolicyStore>());
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("a", "r", "read")).is_not_applicable());
+}
+
+// ---------------------------------------------------------------------
+// Target index
+// ---------------------------------------------------------------------
+
+TEST(PdpIndexTest, IndexSkipsNonCandidatePolicies) {
+  auto store = std::make_shared<PolicyStore>();
+  for (int i = 0; i < 100; ++i) {
+    store->add(resource_policy("res-" + std::to_string(i), Effect::kPermit,
+                               "p-" + std::to_string(i)));
+  }
+  Pdp pdp(store, PdpConfig{"deny-overrides", /*use_target_index=*/true});
+  const PdpResult result =
+      pdp.evaluate_with_metrics(RequestContext::make("a", "res-50", "read"));
+  EXPECT_TRUE(result.decision.is_permit());
+  EXPECT_EQ(result.candidates_skipped, 99u);
+  // Only the candidate policy's rules were touched.
+  EXPECT_EQ(result.metrics.rules_evaluated, 1u);
+}
+
+TEST(PdpIndexTest, IndexAndScanAgreeOnDecisions) {
+  // Property: enabling the index never changes any decision.
+  auto store = std::make_shared<PolicyStore>();
+  for (int i = 0; i < 30; ++i) {
+    store->add(resource_policy("res-" + std::to_string(i % 10),
+                               i % 3 == 0 ? Effect::kDeny : Effect::kPermit,
+                               "p-" + std::to_string(i)));
+  }
+  // One unindexable policy (non-equality target shape): matches "admin".
+  Policy odd;
+  odd.policy_id = "regex-policy";
+  AnyOf any;
+  AllOf all;
+  Match m;
+  m.function_id = "string-starts-with";
+  m.literal = AttributeValue("adm");
+  m.category = Category::kSubject;
+  m.attribute_id = attrs::kSubjectId;
+  all.matches.push_back(std::move(m));
+  any.all_ofs.push_back(std::move(all));
+  odd.target_spec.any_ofs.push_back(std::move(any));
+  Rule r;
+  r.id = "deny-admins";
+  r.effect = Effect::kDeny;
+  odd.rules.push_back(std::move(r));
+  store->add(std::move(odd));
+
+  Pdp indexed(store, PdpConfig{"deny-overrides", true});
+  Pdp scanning(store, PdpConfig{"deny-overrides", false});
+
+  for (const std::string subject : {"alice", "admin-bob"}) {
+    for (int i = 0; i < 12; ++i) {
+      const auto req =
+          RequestContext::make(subject, "res-" + std::to_string(i), "read");
+      const Decision a = indexed.evaluate(req);
+      const Decision b = scanning.evaluate(req);
+      EXPECT_EQ(a.type, b.type)
+          << subject << " res-" << i << ": " << a.describe() << " vs " << b.describe();
+    }
+  }
+}
+
+TEST(PdpIndexTest, IndexRebuildsAfterStoreMutation) {
+  auto store = std::make_shared<PolicyStore>();
+  store->add(resource_policy("doc", Effect::kPermit, "p1"));
+  Pdp pdp(store);
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("a", "doc", "read")).is_permit());
+
+  // Mutate through the same store; the PDP must notice.
+  store->add(resource_policy("doc", Effect::kDeny, "p2"));
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("a", "doc", "read")).is_deny());
+
+  store->remove("p2");
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("a", "doc", "read")).is_permit());
+}
+
+TEST(PdpIndexTest, DisjunctiveEqualityTargetsAreIndexed) {
+  auto store = std::make_shared<PolicyStore>();
+  Policy p;
+  p.policy_id = "multi";
+  p.target_spec.require_any(
+      Category::kResource, attrs::kResourceId,
+      {AttributeValue("a"), AttributeValue("b"), AttributeValue("c")});
+  Rule r;
+  r.id = "permit";
+  r.effect = Effect::kPermit;
+  p.rules.push_back(std::move(r));
+  store->add(std::move(p));
+  // Distractor policies to give the index something to skip.
+  for (int i = 0; i < 20; ++i) {
+    store->add(resource_policy("other-" + std::to_string(i), Effect::kDeny,
+                               "d-" + std::to_string(i)));
+  }
+
+  Pdp pdp(store);
+  for (const char* res : {"a", "b", "c"}) {
+    const PdpResult result =
+        pdp.evaluate_with_metrics(RequestContext::make("s", res, "read"));
+    EXPECT_TRUE(result.decision.is_permit()) << res;
+    EXPECT_EQ(result.candidates_skipped, 20u);
+  }
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("s", "z", "read")).is_not_applicable());
+}
+
+// ---------------------------------------------------------------------
+// Resolver integration & metrics
+// ---------------------------------------------------------------------
+
+class MapResolver final : public AttributeResolver {
+ public:
+  std::map<std::string, Bag> attributes;
+  int calls = 0;
+
+  std::optional<Bag> resolve(Category, const std::string& id,
+                             const RequestContext&) override {
+    ++calls;
+    const auto it = attributes.find(id);
+    if (it == attributes.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+TEST(PdpResolverTest, ResolverSuppliesMissingAttributes) {
+  auto store = std::make_shared<PolicyStore>();
+  Policy p;
+  p.policy_id = "role-gate";
+  Rule r;
+  r.id = "permit-doctors";
+  r.effect = Effect::kPermit;
+  r.condition = make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+                      designator(Category::kSubject, attrs::kRole, DataType::kString));
+  p.rules.push_back(std::move(r));
+  store->add(std::move(p));
+
+  MapResolver resolver;
+  resolver.attributes[attrs::kRole] = Bag(AttributeValue("doctor"));
+
+  Pdp pdp(store);
+  pdp.set_resolver(&resolver);
+  // Request carries no role; the PIP supplies it.
+  EXPECT_TRUE(pdp.evaluate(RequestContext::make("alice", "r", "read")).is_permit());
+  EXPECT_GT(resolver.calls, 0);
+}
+
+TEST(PdpResolverTest, ResolverMemoisedWithinOneEvaluation) {
+  auto store = std::make_shared<PolicyStore>();
+  Policy p;
+  p.policy_id = "double-lookup";
+  Rule r;
+  r.id = "uses-role-twice";
+  r.effect = Effect::kPermit;
+  r.condition = make_apply(
+      "and",
+      make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+            designator(Category::kSubject, attrs::kRole, DataType::kString)),
+      make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+            designator(Category::kSubject, attrs::kRole, DataType::kString)));
+  p.rules.push_back(std::move(r));
+  store->add(std::move(p));
+
+  MapResolver resolver;
+  resolver.attributes[attrs::kRole] = Bag(AttributeValue("doctor"));
+  Pdp pdp(store);
+  pdp.set_resolver(&resolver);
+  (void)pdp.evaluate(RequestContext::make("alice", "r", "read"));
+  EXPECT_EQ(resolver.calls, 1);  // second designator hit the memo
+}
+
+TEST(PdpResolverTest, RequestAttributesShadowResolver) {
+  auto store = std::make_shared<PolicyStore>();
+  Policy p;
+  p.policy_id = "gate";
+  Rule r;
+  r.id = "permit-doctors";
+  r.effect = Effect::kPermit;
+  r.condition = make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+                      designator(Category::kSubject, attrs::kRole, DataType::kString));
+  p.rules.push_back(std::move(r));
+  store->add(std::move(p));
+
+  MapResolver resolver;
+  resolver.attributes[attrs::kRole] = Bag(AttributeValue("doctor"));
+  Pdp pdp(store);
+  pdp.set_resolver(&resolver);
+
+  auto req = RequestContext::make("alice", "r", "read");
+  req.add(Category::kSubject, attrs::kRole, AttributeValue("janitor"));
+  EXPECT_TRUE(pdp.evaluate(req).is_not_applicable());
+  EXPECT_EQ(resolver.calls, 0);  // never consulted
+}
+
+TEST(PdpMetricsTest, CountersPopulated) {
+  auto store = std::make_shared<PolicyStore>();
+  store->add(resource_policy("doc", Effect::kPermit, "p"));
+  Pdp pdp(store);
+  const PdpResult result =
+      pdp.evaluate_with_metrics(RequestContext::make("a", "doc", "read"));
+  EXPECT_EQ(result.metrics.policies_evaluated, 1u);
+  EXPECT_EQ(result.metrics.rules_evaluated, 1u);
+  EXPECT_GT(result.metrics.attribute_lookups, 0u);
+  EXPECT_EQ(pdp.evaluation_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mdac::core

@@ -1,0 +1,519 @@
+#include <gtest/gtest.h>
+
+#include "core/functions.hpp"
+#include "core/pdp.hpp"
+#include "core/policy.hpp"
+
+namespace mdac::core {
+namespace {
+
+EvaluationContext make_ctx(const RequestContext& req,
+                           const PolicyStore* store = nullptr) {
+  return EvaluationContext(req, FunctionRegistry::standard(), nullptr, store);
+}
+
+Rule make_rule(const std::string& id, Effect effect) {
+  Rule r;
+  r.id = id;
+  r.effect = effect;
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Match / Target semantics
+// ---------------------------------------------------------------------
+
+TEST(MatchTest, MatchesWhenAnyBagValueSatisfiesFunction) {
+  Match m;
+  m.literal = AttributeValue("doctor");
+  m.category = Category::kSubject;
+  m.attribute_id = "role";
+
+  RequestContext req;
+  req.add(Category::kSubject, "role", AttributeValue("nurse"));
+  req.add(Category::kSubject, "role", AttributeValue("doctor"));
+  auto ctx = make_ctx(req);
+  EXPECT_EQ(m.evaluate(ctx), MatchResult::kMatch);
+}
+
+TEST(MatchTest, NoMatchOnAbsentOptionalAttribute) {
+  Match m;
+  m.literal = AttributeValue("doctor");
+  m.category = Category::kSubject;
+  m.attribute_id = "role";
+
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  EXPECT_EQ(m.evaluate(ctx), MatchResult::kNoMatch);
+}
+
+TEST(MatchTest, IndeterminateOnAbsentMandatoryAttribute) {
+  Match m;
+  m.literal = AttributeValue("doctor");
+  m.category = Category::kSubject;
+  m.attribute_id = "role";
+  m.must_be_present = true;
+
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  EXPECT_EQ(m.evaluate(ctx), MatchResult::kIndeterminate);
+}
+
+TEST(MatchTest, IndeterminateOnUnknownFunction) {
+  Match m;
+  m.function_id = "no-such-fn";
+  m.literal = AttributeValue("x");
+  m.category = Category::kSubject;
+  m.attribute_id = "role";
+
+  RequestContext req;
+  req.add(Category::kSubject, "role", AttributeValue("x"));
+  auto ctx = make_ctx(req);
+  EXPECT_EQ(m.evaluate(ctx), MatchResult::kIndeterminate);
+}
+
+TEST(TargetTest, EmptyTargetMatchesEverything) {
+  Target t;
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  EXPECT_EQ(t.evaluate(ctx), MatchResult::kMatch);
+}
+
+TEST(TargetTest, ConjunctionAcrossAnyOfs) {
+  Target t;
+  t.require(Category::kResource, "resource-id", AttributeValue("doc"));
+  t.require(Category::kAction, "action-id", AttributeValue("read"));
+
+  RequestContext both = RequestContext::make("alice", "doc", "read");
+  auto ctx1 = make_ctx(both);
+  EXPECT_EQ(t.evaluate(ctx1), MatchResult::kMatch);
+
+  RequestContext wrong_action = RequestContext::make("alice", "doc", "write");
+  auto ctx2 = make_ctx(wrong_action);
+  EXPECT_EQ(t.evaluate(ctx2), MatchResult::kNoMatch);
+}
+
+TEST(TargetTest, DisjunctionWithinAnyOf) {
+  Target t;
+  t.require_any(Category::kAction, "action-id",
+                {AttributeValue("read"), AttributeValue("list")});
+
+  RequestContext read = RequestContext::make("a", "r", "read");
+  RequestContext list = RequestContext::make("a", "r", "list");
+  RequestContext write = RequestContext::make("a", "r", "write");
+  auto c1 = make_ctx(read);
+  auto c2 = make_ctx(list);
+  auto c3 = make_ctx(write);
+  EXPECT_EQ(t.evaluate(c1), MatchResult::kMatch);
+  EXPECT_EQ(t.evaluate(c2), MatchResult::kMatch);
+  EXPECT_EQ(t.evaluate(c3), MatchResult::kNoMatch);
+}
+
+TEST(TargetTest, NoMatchBeatsIndeterminate) {
+  // An AllOf with one definitive NoMatch stays NoMatch even if another
+  // match in the same group errors — XACML truth table.
+  Target t;
+  AllOf all;
+  Match broken;
+  broken.literal = AttributeValue("x");
+  broken.category = Category::kSubject;
+  broken.attribute_id = "missing";
+  broken.must_be_present = true;
+  Match failing;
+  failing.literal = AttributeValue("nope");
+  failing.category = Category::kAction;
+  failing.attribute_id = "action-id";
+  all.matches.push_back(std::move(broken));
+  all.matches.push_back(std::move(failing));
+  AnyOf any;
+  any.all_ofs.push_back(std::move(all));
+  t.any_ofs.push_back(std::move(any));
+
+  RequestContext req = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(req);
+  EXPECT_EQ(t.evaluate(ctx), MatchResult::kNoMatch);
+}
+
+// ---------------------------------------------------------------------
+// Rule evaluation
+// ---------------------------------------------------------------------
+
+TEST(RuleTest, EffectReturnedWhenApplicable) {
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  EXPECT_TRUE(make_rule("r", Effect::kPermit).evaluate(ctx).is_permit());
+  EXPECT_TRUE(make_rule("r", Effect::kDeny).evaluate(ctx).is_deny());
+}
+
+TEST(RuleTest, FalseConditionMeansNotApplicable) {
+  Rule r = make_rule("r", Effect::kPermit);
+  r.condition = lit(false);
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  EXPECT_TRUE(r.evaluate(ctx).is_not_applicable());
+}
+
+TEST(RuleTest, ConditionErrorIsIndeterminateWithEffectExtent) {
+  Rule permit = make_rule("p", Effect::kPermit);
+  permit.condition = make_apply("one-and-only", lit_bag(Bag()));
+  Rule deny = make_rule("d", Effect::kDeny);
+  deny.condition = make_apply("one-and-only", lit_bag(Bag()));
+
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  const Decision dp = permit.evaluate(ctx);
+  EXPECT_TRUE(dp.is_indeterminate());
+  EXPECT_EQ(dp.extent, IndeterminateExtent::kP);
+  const Decision dd = deny.evaluate(ctx);
+  EXPECT_TRUE(dd.is_indeterminate());
+  EXPECT_EQ(dd.extent, IndeterminateExtent::kD);
+}
+
+TEST(RuleTest, NonBooleanConditionIsIndeterminate) {
+  Rule r = make_rule("r", Effect::kPermit);
+  r.condition = lit("not-a-boolean");
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  EXPECT_TRUE(r.evaluate(ctx).is_indeterminate());
+}
+
+TEST(RuleTest, TargetGatesEvaluation) {
+  Rule r = make_rule("r", Effect::kPermit);
+  Target t;
+  t.require(Category::kAction, "action-id", AttributeValue("read"));
+  r.target = t;
+
+  RequestContext read = RequestContext::make("a", "r", "read");
+  RequestContext write = RequestContext::make("a", "r", "write");
+  auto c1 = make_ctx(read);
+  auto c2 = make_ctx(write);
+  EXPECT_TRUE(r.evaluate(c1).is_permit());
+  EXPECT_TRUE(r.evaluate(c2).is_not_applicable());
+}
+
+TEST(RuleTest, ObligationAttachedOnMatchingEffect) {
+  Rule r = make_rule("r", Effect::kPermit);
+  ObligationExpr ob;
+  ob.id = "log";
+  ob.fulfill_on = Effect::kPermit;
+  AttributeAssignmentExpr a;
+  a.attribute_id = "msg";
+  a.expr = lit("granted");
+  ob.assignments.push_back(std::move(a));
+  r.obligations.push_back(std::move(ob));
+
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  const Decision d = r.evaluate(ctx);
+  ASSERT_TRUE(d.is_permit());
+  ASSERT_EQ(d.obligations.size(), 1u);
+  EXPECT_EQ(d.obligations[0].id, "log");
+  EXPECT_EQ(d.obligations[0].assignments[0].second, AttributeValue("granted"));
+}
+
+TEST(RuleTest, ObligationOnOppositeEffectNotAttached) {
+  Rule r = make_rule("r", Effect::kPermit);
+  ObligationExpr ob;
+  ob.id = "only-on-deny";
+  ob.fulfill_on = Effect::kDeny;
+  r.obligations.push_back(std::move(ob));
+
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  EXPECT_TRUE(r.evaluate(ctx).obligations.empty());
+}
+
+TEST(RuleTest, FailingObligationPoisonsDecision) {
+  // XACML: a decision whose obligations cannot be computed must not be
+  // enforced as Permit; it becomes Indeterminate.
+  Rule r = make_rule("r", Effect::kPermit);
+  ObligationExpr ob;
+  ob.id = "broken";
+  ob.fulfill_on = Effect::kPermit;
+  AttributeAssignmentExpr a;
+  a.attribute_id = "x";
+  a.expr = make_apply("one-and-only", lit_bag(Bag()));  // always fails
+  ob.assignments.push_back(std::move(a));
+  r.obligations.push_back(std::move(ob));
+
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  const Decision d = r.evaluate(ctx);
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(d.extent, IndeterminateExtent::kP);
+}
+
+TEST(RuleTest, AdviceGoesToAdviceList) {
+  Rule r = make_rule("r", Effect::kPermit);
+  ObligationExpr ob;
+  ob.id = "hint";
+  ob.fulfill_on = Effect::kPermit;
+  ob.advice = true;
+  r.obligations.push_back(std::move(ob));
+
+  RequestContext req;
+  auto ctx = make_ctx(req);
+  const Decision d = r.evaluate(ctx);
+  EXPECT_TRUE(d.obligations.empty());
+  ASSERT_EQ(d.advice.size(), 1u);
+  EXPECT_EQ(d.advice[0].id, "hint");
+}
+
+// ---------------------------------------------------------------------
+// Policy evaluation
+// ---------------------------------------------------------------------
+
+Policy two_rule_policy(const std::string& combining) {
+  Policy p;
+  p.policy_id = "p";
+  p.rule_combining = combining;
+  Rule deny = make_rule("deny-writes", Effect::kDeny);
+  Target t;
+  t.require(Category::kAction, "action-id", AttributeValue("write"));
+  deny.target = t;
+  p.rules.push_back(std::move(deny));
+  p.rules.push_back(make_rule("permit-all", Effect::kPermit));
+  return p;
+}
+
+TEST(PolicyTest, RuleCombiningApplies) {
+  Policy p = two_rule_policy("deny-overrides");
+  RequestContext write = RequestContext::make("a", "r", "write");
+  RequestContext read = RequestContext::make("a", "r", "read");
+  auto c1 = make_ctx(write);
+  auto c2 = make_ctx(read);
+  EXPECT_TRUE(p.evaluate(c1).is_deny());
+  EXPECT_TRUE(p.evaluate(c2).is_permit());
+}
+
+TEST(PolicyTest, TargetNoMatchShadowsRules) {
+  Policy p = two_rule_policy("deny-overrides");
+  p.target_spec.require(Category::kResource, "resource-id", AttributeValue("vault"));
+  RequestContext other = RequestContext::make("a", "not-vault", "read");
+  auto ctx = make_ctx(other);
+  EXPECT_TRUE(p.evaluate(ctx).is_not_applicable());
+}
+
+TEST(PolicyTest, UnknownCombiningAlgorithmIsIndeterminate) {
+  Policy p = two_rule_policy("no-such-algorithm");
+  RequestContext req = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(req);
+  const Decision d = p.evaluate(ctx);
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(d.status.code, StatusCode::kSyntaxError);
+}
+
+TEST(PolicyTest, IndeterminateTargetMasksDecision) {
+  Policy p = two_rule_policy("deny-overrides");
+  // A target whose match errors (mandatory missing attribute).
+  AnyOf any;
+  AllOf all;
+  Match m;
+  m.literal = AttributeValue("x");
+  m.category = Category::kSubject;
+  m.attribute_id = "missing";
+  m.must_be_present = true;
+  all.matches.push_back(std::move(m));
+  any.all_ofs.push_back(std::move(all));
+  p.target_spec.any_ofs.push_back(std::move(any));
+
+  RequestContext req = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(req);
+  const Decision d = p.evaluate(ctx);
+  // Rules would have said Permit, so the mask gives Indeterminate{P}.
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(d.extent, IndeterminateExtent::kP);
+}
+
+TEST(PolicyTest, PolicyLevelObligationsAppended) {
+  Policy p = two_rule_policy("deny-overrides");
+  ObligationExpr ob;
+  ob.id = "policy-level";
+  ob.fulfill_on = Effect::kPermit;
+  p.obligations.push_back(std::move(ob));
+
+  RequestContext read = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(read);
+  const Decision d = p.evaluate(ctx);
+  ASSERT_TRUE(d.is_permit());
+  ASSERT_EQ(d.obligations.size(), 1u);
+  EXPECT_EQ(d.obligations[0].id, "policy-level");
+}
+
+TEST(PolicyTest, CloneIsDeepAndEquivalent) {
+  Policy p = two_rule_policy("deny-overrides");
+  const Policy copy = p.clone();
+  RequestContext write = RequestContext::make("a", "r", "write");
+  auto c1 = make_ctx(write);
+  auto c2 = make_ctx(write);
+  EXPECT_EQ(p.evaluate(c1).type, copy.evaluate(c2).type);
+  EXPECT_EQ(copy.policy_id, p.policy_id);
+}
+
+// ---------------------------------------------------------------------
+// PolicySet nesting and references
+// ---------------------------------------------------------------------
+
+TEST(PolicySetTest, NestedEvaluation) {
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.policy_combining = "first-applicable";
+
+  Policy inner = two_rule_policy("deny-overrides");
+  inner.policy_id = "inner";
+  root.add(std::move(inner));
+
+  RequestContext read = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(read);
+  EXPECT_TRUE(root.evaluate(ctx).is_permit());
+}
+
+TEST(PolicySetTest, DeeplyNestedSets) {
+  PolicySet level2;
+  level2.policy_set_id = "level2";
+  level2.add(two_rule_policy("deny-overrides"));
+  PolicySet level1;
+  level1.policy_set_id = "level1";
+  level1.add(std::move(level2));
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.add(std::move(level1));
+
+  RequestContext write = RequestContext::make("a", "r", "write");
+  auto ctx = make_ctx(write);
+  EXPECT_TRUE(root.evaluate(ctx).is_deny());
+}
+
+TEST(PolicySetTest, ReferenceResolvesThroughStore) {
+  PolicyStore store;
+  Policy target = two_rule_policy("deny-overrides");
+  target.policy_id = "referenced";
+  store.add(std::move(target));
+
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.add_reference("referenced");
+  RequestContext read = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(read, &store);
+  EXPECT_TRUE(root.evaluate(ctx).is_permit());
+}
+
+TEST(PolicySetTest, UnresolvedReferenceIsIndeterminate) {
+  PolicyStore store;
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.add_reference("ghost");
+  RequestContext read = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(read, &store);
+  const Decision d = root.evaluate(ctx);
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(d.extent, IndeterminateExtent::kDP);
+}
+
+TEST(PolicySetTest, ReferenceCycleDetected) {
+  // a references b references a: evaluation must terminate with an error
+  // decision, not hang or crash.
+  PolicyStore store;
+  PolicySet a;
+  a.policy_set_id = "a";
+  a.add_reference("b");
+  PolicySet b;
+  b.policy_set_id = "b";
+  b.add_reference("a");
+  store.add(std::move(a));
+  store.add(std::move(b));
+
+  RequestContext req = RequestContext::make("s", "r", "read");
+  auto ctx = make_ctx(req, &store);
+  const Decision d = store.find("a")->evaluate(ctx);
+  EXPECT_TRUE(d.is_indeterminate());
+}
+
+TEST(PolicySetTest, SelfReferenceDetected) {
+  PolicyStore store;
+  PolicySet a;
+  a.policy_set_id = "self";
+  a.add_reference("self");
+  store.add(std::move(a));
+
+  RequestContext req = RequestContext::make("s", "r", "read");
+  auto ctx = make_ctx(req, &store);
+  EXPECT_TRUE(store.find("self")->evaluate(ctx).is_indeterminate());
+}
+
+TEST(PolicySetTest, DiamondReferenceIsAllowed) {
+  // Two children referencing the same policy is NOT a cycle.
+  PolicyStore store;
+  Policy shared = two_rule_policy("deny-overrides");
+  shared.policy_id = "shared";
+  store.add(std::move(shared));
+
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.policy_combining = "permit-overrides";
+  root.add_reference("shared");
+  root.add_reference("shared");
+
+  RequestContext read = RequestContext::make("a", "r", "read");
+  auto ctx = make_ctx(read, &store);
+  EXPECT_TRUE(root.evaluate(ctx).is_permit());
+}
+
+// ---------------------------------------------------------------------
+// PolicyStore
+// ---------------------------------------------------------------------
+
+TEST(PolicyStoreTest, AddFindRemove) {
+  PolicyStore store;
+  Policy p = two_rule_policy("deny-overrides");
+  p.policy_id = "p1";
+  store.add(std::move(p));
+  EXPECT_NE(store.find("p1"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.remove("p1"));
+  EXPECT_EQ(store.find("p1"), nullptr);
+  EXPECT_FALSE(store.remove("p1"));
+}
+
+TEST(PolicyStoreTest, AddSameIdReplaces) {
+  PolicyStore store;
+  Policy a = two_rule_policy("deny-overrides");
+  a.policy_id = "p";
+  a.version = "1";
+  store.add(std::move(a));
+  Policy b = two_rule_policy("deny-overrides");
+  b.policy_id = "p";
+  b.version = "2";
+  store.add(std::move(b));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(static_cast<const Policy*>(store.find("p"))->version, "2");
+}
+
+TEST(PolicyStoreTest, RevisionBumpsOnMutation) {
+  PolicyStore store;
+  const auto r0 = store.revision();
+  Policy p = two_rule_policy("deny-overrides");
+  p.policy_id = "p";
+  store.add(std::move(p));
+  const auto r1 = store.revision();
+  EXPECT_NE(r0, r1);
+  store.remove("p");
+  EXPECT_NE(store.revision(), r1);
+}
+
+TEST(PolicyStoreTest, TopLevelPreservesInsertionOrder) {
+  PolicyStore store;
+  for (const char* id : {"z", "a", "m"}) {
+    Policy p;
+    p.policy_id = id;
+    store.add(std::move(p));
+  }
+  const auto nodes = store.top_level();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0]->id(), "z");
+  EXPECT_EQ(nodes[1]->id(), "a");
+  EXPECT_EQ(nodes[2]->id(), "m");
+}
+
+}  // namespace
+}  // namespace mdac::core

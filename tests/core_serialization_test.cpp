@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "core/functions.hpp"
+#include "core/serialization.hpp"
+
+namespace mdac::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Expression round-trips
+// ---------------------------------------------------------------------
+
+ExprResult eval_expr(const ExprPtr& e, const RequestContext& req = {}) {
+  EvaluationContext ctx(req, FunctionRegistry::standard());
+  return e->evaluate(ctx);
+}
+
+TEST(ExprSerializationTest, LiteralRoundTrip) {
+  const auto original = lit(AttributeValue(std::int64_t{42}));
+  const auto back = expr_from_xml(expr_to_xml(*original));
+  EXPECT_EQ(eval_expr(back).bag, eval_expr(original).bag);
+}
+
+TEST(ExprSerializationTest, BagLiteralRoundTrip) {
+  const auto original =
+      lit_bag(Bag::of({AttributeValue("a"), AttributeValue("b")}));
+  const auto back = expr_from_xml(expr_to_xml(*original));
+  EXPECT_EQ(eval_expr(back).bag, eval_expr(original).bag);
+}
+
+TEST(ExprSerializationTest, NestedApplyRoundTrip) {
+  RequestContext req;
+  req.add(Category::kSubject, "role", AttributeValue("doctor"));
+  const auto original = make_apply(
+      "and",
+      make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+            designator(Category::kSubject, "role", DataType::kString)),
+      make_apply("not", lit(false)));
+  const auto back = expr_from_xml(expr_to_xml(*original));
+  EXPECT_EQ(eval_expr(back, req).bag, eval_expr(original, req).bag);
+}
+
+TEST(ExprSerializationTest, DesignatorAttributesPreserved) {
+  const auto original =
+      designator(Category::kEnvironment, "tod", DataType::kTime, true);
+  const xml::Element e = expr_to_xml(*original);
+  EXPECT_EQ(e.attr("Category"), "environment");
+  EXPECT_EQ(e.attr("DataType"), "time");
+  EXPECT_EQ(e.attr("MustBePresent"), "true");
+  const auto back = expr_from_xml(e);
+  const auto& d = static_cast<const DesignatorExpr&>(*back);
+  EXPECT_TRUE(d.must_be_present());
+  EXPECT_EQ(d.data_type(), DataType::kTime);
+}
+
+TEST(ExprSerializationTest, UnknownElementThrows) {
+  EXPECT_THROW(expr_from_xml(xml::parse("<Wat/>")), SerializationError);
+}
+
+// ---------------------------------------------------------------------
+// Policy round-trips
+// ---------------------------------------------------------------------
+
+Policy sample_policy() {
+  Policy p;
+  p.policy_id = "sample";
+  p.version = "3";
+  p.description = "demo policy";
+  p.issuer = "cn=admin,o=domain-a";
+  p.rule_combining = "first-applicable";
+  p.target_spec.require(Category::kResource, attrs::kResourceId,
+                        AttributeValue("record"));
+  p.target_spec.require_any(Category::kAction, attrs::kActionId,
+                            {AttributeValue("read"), AttributeValue("list")});
+
+  Rule r1;
+  r1.id = "permit-doctors";
+  r1.description = "doctors allowed";
+  r1.effect = Effect::kPermit;
+  r1.condition = make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+                       designator(Category::kSubject, attrs::kRole, DataType::kString));
+  ObligationExpr ob;
+  ob.id = "audit";
+  ob.fulfill_on = Effect::kPermit;
+  AttributeAssignmentExpr assign;
+  assign.attribute_id = "msg";
+  assign.expr = lit("granted");
+  ob.assignments.push_back(std::move(assign));
+  r1.obligations.push_back(std::move(ob));
+  p.rules.push_back(std::move(r1));
+
+  Rule r2;
+  r2.id = "deny-rest";
+  r2.effect = Effect::kDeny;
+  Target rt;
+  rt.require(Category::kSubject, "banned", AttributeValue("true"));
+  r2.target = rt;
+  p.rules.push_back(std::move(r2));
+
+  ObligationExpr advice;
+  advice.id = "notify";
+  advice.fulfill_on = Effect::kDeny;
+  advice.advice = true;
+  p.obligations.push_back(std::move(advice));
+  return p;
+}
+
+TEST(PolicySerializationTest, StructuralFieldsSurvive) {
+  const Policy original = sample_policy();
+  const Policy back = policy_from_xml(policy_to_xml(original));
+  EXPECT_EQ(back.policy_id, original.policy_id);
+  EXPECT_EQ(back.version, original.version);
+  EXPECT_EQ(back.description, original.description);
+  EXPECT_EQ(back.issuer, original.issuer);
+  EXPECT_EQ(back.rule_combining, original.rule_combining);
+  ASSERT_EQ(back.rules.size(), 2u);
+  EXPECT_EQ(back.rules[0].id, "permit-doctors");
+  EXPECT_EQ(back.rules[0].obligations.size(), 1u);
+  EXPECT_EQ(back.rules[1].effect, Effect::kDeny);
+  ASSERT_TRUE(back.rules[1].target.has_value());
+  EXPECT_EQ(back.obligations.size(), 1u);
+  EXPECT_TRUE(back.obligations[0].advice);
+}
+
+TEST(PolicySerializationTest, BehaviourPreservedThroughRoundTrip) {
+  const Policy original = sample_policy();
+  const Policy back = policy_from_xml(policy_to_xml(original));
+
+  const auto decide = [](const Policy& p, const RequestContext& req) {
+    EvaluationContext ctx(req, FunctionRegistry::standard());
+    return p.evaluate(ctx);
+  };
+
+  auto doctor_read = RequestContext::make("alice", "record", "read");
+  doctor_read.add(Category::kSubject, attrs::kRole, AttributeValue("doctor"));
+  auto janitor_read = RequestContext::make("bob", "record", "read");
+  auto unrelated = RequestContext::make("alice", "other", "read");
+
+  for (const auto* req : {&doctor_read, &janitor_read, &unrelated}) {
+    const Decision a = decide(original, *req);
+    const Decision b = decide(back, *req);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.obligations.size(), b.obligations.size());
+  }
+}
+
+TEST(PolicySerializationTest, DoubleRoundTripIsStable) {
+  const Policy original = sample_policy();
+  const std::string once = xml::to_string(policy_to_xml(original));
+  const Policy back = policy_from_xml(xml::parse(once));
+  const std::string twice = xml::to_string(policy_to_xml(back));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(PolicySetSerializationTest, NestedSetsAndReferences) {
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.policy_combining = "first-applicable";
+  root.add(sample_policy());
+  root.add_reference("external-policy");
+  PolicySet inner;
+  inner.policy_set_id = "inner";
+  inner.add(sample_policy());
+  root.add(std::move(inner));
+
+  const PolicySet back = policy_set_from_xml(policy_set_to_xml(root));
+  EXPECT_EQ(back.policy_set_id, "root");
+  ASSERT_EQ(back.children().size(), 3u);
+  EXPECT_EQ(back.children()[0]->id(), "sample");
+  EXPECT_EQ(back.children()[1]->id(), "external-policy");
+  EXPECT_EQ(back.children()[2]->id(), "inner");
+}
+
+TEST(PolicySetSerializationTest, NodeDispatchWorks) {
+  const auto ref = std::make_unique<PolicyReference>("elsewhere");
+  const auto back = node_from_string(node_to_string(*ref));
+  EXPECT_EQ(back->id(), "elsewhere");
+}
+
+TEST(PolicySerializationTest, MalformedDocumentsThrow) {
+  EXPECT_THROW(policy_from_xml(xml::parse("<Policy/>")), SerializationError);
+  EXPECT_THROW(policy_from_xml(xml::parse("<NotAPolicy PolicyId=\"x\"/>")),
+               SerializationError);
+  EXPECT_THROW(node_from_string("<PolicyReference/>"), SerializationError);
+  EXPECT_THROW(
+      policy_from_xml(xml::parse("<Policy PolicyId=\"p\"><Rule RuleId=\"r\" "
+                                 "Effect=\"sideways\"/></Policy>")),
+      SerializationError);
+}
+
+// ---------------------------------------------------------------------
+// Request / decision round-trips
+// ---------------------------------------------------------------------
+
+TEST(RequestSerializationTest, RoundTripPreservesAllAttributes) {
+  RequestContext req = RequestBuilder()
+                           .subject("alice")
+                           .subject_attr(attrs::kRole, AttributeValue("doctor"))
+                           .subject_attr(attrs::kRole, AttributeValue("surgeon"))
+                           .resource("record-7")
+                           .action("read")
+                           .environment_attr("tod", AttributeValue(TimeValue{9000}))
+                           .build();
+  const RequestContext back = request_from_string(request_to_string(req));
+  EXPECT_EQ(back, req);
+}
+
+TEST(RequestSerializationTest, TypedValuesKeepTypes) {
+  RequestContext req;
+  req.add(Category::kEnvironment, "count", AttributeValue(std::int64_t{5}));
+  req.add(Category::kEnvironment, "ratio", AttributeValue(0.5));
+  req.add(Category::kEnvironment, "flag", AttributeValue(true));
+  const RequestContext back = request_from_string(request_to_string(req));
+  EXPECT_TRUE(back.get(Category::kEnvironment, "count")->at(0).is_integer());
+  EXPECT_TRUE(back.get(Category::kEnvironment, "ratio")->at(0).is_double());
+  EXPECT_TRUE(back.get(Category::kEnvironment, "flag")->at(0).is_boolean());
+}
+
+TEST(DecisionSerializationTest, PermitWithObligations) {
+  Decision d = Decision::permit();
+  d.obligations.push_back(
+      ObligationInstance{"audit", {{"msg", AttributeValue("hello")}}});
+  d.advice.push_back(ObligationInstance{"hint", {}});
+  const Decision back = decision_from_string(decision_to_string(d));
+  EXPECT_EQ(back, d);
+}
+
+TEST(DecisionSerializationTest, IndeterminateWithStatus) {
+  const Decision d = Decision::indeterminate(
+      IndeterminateExtent::kDP, Status::missing_attribute("subject:role"));
+  const Decision back = decision_from_string(decision_to_string(d));
+  EXPECT_EQ(back, d);
+}
+
+TEST(DecisionSerializationTest, AllDecisionTypesRoundTrip) {
+  for (const Decision& d :
+       {Decision::permit(), Decision::deny(), Decision::not_applicable(),
+        Decision::indeterminate(IndeterminateExtent::kP,
+                                Status::processing_error("x"))}) {
+    EXPECT_EQ(decision_from_string(decision_to_string(d)), d);
+  }
+}
+
+TEST(DecisionSerializationTest, MalformedResponseThrows) {
+  EXPECT_THROW(decision_from_string("<Response/>"), SerializationError);
+  EXPECT_THROW(decision_from_string("<Response><Result Decision=\"maybe\"/></Response>"),
+               SerializationError);
+}
+
+// Wire-size sanity: the verbosity the paper worries about is real.
+TEST(WireSizeTest, PolicyXmlIsVerboseButBounded) {
+  const Policy p = sample_policy();
+  const std::string wire = node_to_string(p);
+  EXPECT_GT(wire.size(), 500u);    // XML encoding overhead exists...
+  EXPECT_LT(wire.size(), 20000u);  // ...but is not absurd for one policy
+}
+
+}  // namespace
+}  // namespace mdac::core

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+
+namespace mdac::core {
+namespace {
+
+Policy good_policy() {
+  Policy p;
+  p.policy_id = "good";
+  p.rule_combining = "first-applicable";
+  p.target_spec.require(Category::kResource, attrs::kResourceId,
+                        AttributeValue("doc"));
+  Rule r;
+  r.id = "permit";
+  r.effect = Effect::kPermit;
+  r.condition = make_apply("any-of", function_ref("string-equal"), lit("doctor"),
+                           designator(Category::kSubject, attrs::kRole,
+                                      DataType::kString));
+  p.rules.push_back(std::move(r));
+  return p;
+}
+
+bool has_finding(const ValidationReport& report, const std::string& fragment,
+                 FindingSeverity severity) {
+  for (const auto& f : report.findings) {
+    if (f.severity == severity && f.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ValidateTest, CleanPolicyPasses) {
+  const ValidationReport report = validate(good_policy());
+  EXPECT_TRUE(report.ok())
+      << (report.findings.empty() ? std::string() : report.findings[0].message);
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(ValidateTest, UnknownCombiningAlgorithm) {
+  Policy p = good_policy();
+  p.rule_combining = "majority-vote";
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "majority-vote", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, UnknownFunctionInCondition) {
+  Policy p = good_policy();
+  p.rules[0].condition = make_apply("frobnicate", lit("x"));
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "frobnicate", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, ArityMismatchInNestedExpression) {
+  Policy p = good_policy();
+  p.rules[0].condition =
+      make_apply("and", lit(true), make_apply("string-equal", lit("only-one")));
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "expects 2 arguments", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, HigherOrderNeedsFunctionRef) {
+  Policy p = good_policy();
+  p.rules[0].condition = make_apply("any-of", lit("not-a-ref"), lit_bag(Bag()));
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "function reference", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, UnknownFunctionRefInsideHigherOrder) {
+  Policy p = good_policy();
+  p.rules[0].condition =
+      make_apply("any-of", function_ref("no-such-fn"), lit("x"), lit_bag(Bag()));
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "no-such-fn", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, DuplicateRuleIds) {
+  Policy p = good_policy();
+  Rule dup;
+  dup.id = "permit";  // same as the existing rule
+  dup.effect = Effect::kDeny;
+  p.rules.push_back(std::move(dup));
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "duplicate rule id", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, EmptyPolicyWarns) {
+  Policy p;
+  p.policy_id = "empty";
+  const ValidationReport report = validate(p);
+  EXPECT_TRUE(report.ok());  // warning, not error
+  EXPECT_TRUE(has_finding(report, "no rules", FindingSeverity::kWarning));
+}
+
+TEST(ValidateTest, TypeMismatchedMatchWarns) {
+  Policy p = good_policy();
+  Match m;
+  m.function_id = "string-equal";
+  m.literal = AttributeValue(std::int64_t{5});  // integer literal...
+  m.category = Category::kSubject;
+  m.attribute_id = "level";
+  m.data_type = DataType::kString;  // ...string designator
+  AllOf all;
+  all.matches.push_back(std::move(m));
+  AnyOf any;
+  any.all_ofs.push_back(std::move(all));
+  p.target_spec.any_ofs.push_back(std::move(any));
+  const ValidationReport report = validate(p);
+  EXPECT_TRUE(has_finding(report, "can never match", FindingSeverity::kWarning));
+}
+
+TEST(ValidateTest, MatchWithHigherOrderFunctionIsError) {
+  Policy p = good_policy();
+  Match m;
+  m.function_id = "any-of";
+  m.literal = AttributeValue("x");
+  m.category = Category::kSubject;
+  m.attribute_id = "a";
+  AllOf all;
+  all.matches.push_back(std::move(m));
+  AnyOf any;
+  any.all_ofs.push_back(std::move(all));
+  p.target_spec.any_ofs.push_back(std::move(any));
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "higher-order", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, BrokenObligationAssignment) {
+  Policy p = good_policy();
+  ObligationExpr ob;
+  ob.id = "audit";
+  AttributeAssignmentExpr a;
+  a.attribute_id = "msg";
+  a.expr = nullptr;  // forgot the expression
+  ob.assignments.push_back(std::move(a));
+  p.rules[0].obligations.push_back(std::move(ob));
+  const ValidationReport report = validate(p);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "no expression", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, PolicySetChecksRecursively) {
+  PolicySet root;
+  root.policy_set_id = "root";
+  Policy bad = good_policy();
+  bad.rule_combining = "nonsense";
+  root.add(std::move(bad));
+  const ValidationReport report = validate(root);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "nonsense", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, DuplicateChildIdsInPolicySet) {
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.add(good_policy());
+  root.add(good_policy());  // same id twice
+  const ValidationReport report = validate(root);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_finding(report, "duplicate child id", FindingSeverity::kError));
+}
+
+TEST(ValidateTest, ReferenceResolutionAgainstStore) {
+  PolicySet root;
+  root.policy_set_id = "root";
+  root.add_reference("exists");
+  root.add_reference("ghost");
+
+  PolicyStore store;
+  Policy target = good_policy();
+  target.policy_id = "exists";
+  store.add(std::move(target));
+
+  const ValidationReport with_store = validate(root, &store);
+  EXPECT_FALSE(with_store.ok());
+  EXPECT_TRUE(has_finding(with_store, "ghost", FindingSeverity::kError));
+  EXPECT_FALSE(has_finding(with_store, "exists", FindingSeverity::kError));
+
+  // Without a store, references produce warnings, not errors.
+  const ValidationReport without_store = validate(root);
+  EXPECT_TRUE(without_store.ok());
+  EXPECT_EQ(without_store.warning_count(), 2u);
+}
+
+TEST(ValidateTest, ValidateStoreCoversEverything) {
+  PolicyStore store;
+  Policy good = good_policy();
+  store.add(std::move(good));
+  Policy bad = good_policy();
+  bad.policy_id = "bad";
+  bad.rule_combining = "wat";
+  store.add(std::move(bad));
+  const ValidationReport report = validate_store(store);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), 1u);
+}
+
+TEST(ValidateTest, EmptyAnyOfGroupWarns) {
+  Policy p = good_policy();
+  p.target_spec.any_ofs.push_back(AnyOf{});
+  const ValidationReport report = validate(p);
+  EXPECT_TRUE(has_finding(report, "never matches", FindingSeverity::kWarning));
+}
+
+}  // namespace
+}  // namespace mdac::core

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/cipher.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mdac::crypto {
+namespace {
+
+using common::Bytes;
+using common::to_bytes;
+
+// ---------------------------------------------------------------------
+// SHA-256 against FIPS / NIST vectors
+// ---------------------------------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, OneMillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t cut = 0; cut <= msg.size(); ++cut) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, cut));
+    h.update(std::string_view(msg).substr(cut));
+    EXPECT_EQ(digest_hex(h.finish()), digest_hex(Sha256::hash(msg)));
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes hit all padding branches.
+  for (const std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(n, 'x');
+    Sha256 incremental;
+    for (char c : msg) incremental.update(std::string_view(&c, 1));
+    EXPECT_EQ(digest_hex(incremental.finish()), digest_hex(Sha256::hash(msg)))
+        << "length " << n;
+  }
+}
+
+TEST(Sha256Test, ReuseAfterFinishThrows) {
+  Sha256 h;
+  h.update(std::string_view("x"));
+  (void)h.finish();
+  EXPECT_THROW(h.update(std::string_view("y")), std::logic_error);
+  EXPECT_THROW(h.finish(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// HMAC-SHA-256 against RFC 4231 vectors
+// ---------------------------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Digest d = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(common::hex_encode(common::Bytes(d.begin(), d.end())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  const Digest d = hmac_sha256("Jefe", "what do ya want for nothing?");
+  EXPECT_EQ(common::hex_encode(common::Bytes(d.begin(), d.end())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  const Digest d = hmac_sha256(key, to_bytes("Test Using Larger Than Block-Size "
+                                             "Key - Hash Key First"));
+  EXPECT_EQ(common::hex_encode(common::Bytes(d.begin(), d.end())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysGiveDifferentTags) {
+  EXPECT_NE(hmac_sha256("key1", "message"), hmac_sha256("key2", "message"));
+  EXPECT_NE(hmac_sha256("key", "message1"), hmac_sha256("key", "message2"));
+}
+
+// ---------------------------------------------------------------------
+// CTR cipher
+// ---------------------------------------------------------------------
+
+TEST(CipherTest, RoundTrip) {
+  const Bytes key = to_bytes("secret-key");
+  const Bytes nonce = to_bytes("0123456789abcdef");
+  const Bytes plaintext = to_bytes("attack at dawn, bring the policy files");
+  const EncryptedPayload enc = ctr_encrypt(key, nonce, plaintext);
+  EXPECT_NE(enc.ciphertext, plaintext);
+  EXPECT_EQ(ctr_decrypt(key, enc), plaintext);
+}
+
+TEST(CipherTest, WrongKeyFailsToDecrypt) {
+  const Bytes nonce = to_bytes("0123456789abcdef");
+  const Bytes plaintext = to_bytes("hello world");
+  const EncryptedPayload enc = ctr_encrypt(to_bytes("key-a"), nonce, plaintext);
+  EXPECT_NE(ctr_decrypt(to_bytes("key-b"), enc), plaintext);
+}
+
+TEST(CipherTest, DistinctNoncesGiveDistinctCiphertexts) {
+  const Bytes key = to_bytes("key");
+  const Bytes plaintext = to_bytes("same plaintext, twice");
+  const auto a = ctr_encrypt(key, to_bytes("nonce-a-000000"), plaintext);
+  const auto b = ctr_encrypt(key, to_bytes("nonce-b-000000"), plaintext);
+  EXPECT_NE(a.ciphertext, b.ciphertext);
+}
+
+TEST(CipherTest, MultiBlockPlaintext) {
+  const Bytes key = to_bytes("key");
+  const Bytes nonce = to_bytes("n");
+  Bytes plaintext;
+  for (int i = 0; i < 1000; ++i) plaintext.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(ctr_decrypt(key, ctr_encrypt(key, nonce, plaintext)), plaintext);
+}
+
+TEST(CipherTest, EmptyPlaintext) {
+  const Bytes key = to_bytes("key");
+  const auto enc = ctr_encrypt(key, to_bytes("nonce"), {});
+  EXPECT_TRUE(enc.ciphertext.empty());
+  EXPECT_TRUE(ctr_decrypt(key, enc).empty());
+}
+
+// ---------------------------------------------------------------------
+// Key pairs, signatures, trust store
+// ---------------------------------------------------------------------
+
+TEST(KeysTest, DeterministicGeneration) {
+  const KeyPair a = KeyPair::generate("seed-1");
+  const KeyPair b = KeyPair::generate("seed-1");
+  const KeyPair c = KeyPair::generate("seed-2");
+  EXPECT_EQ(a.public_key(), b.public_key());
+  EXPECT_NE(a.public_key(), c.public_key());
+}
+
+TEST(KeysTest, SignatureVerifies) {
+  const KeyPair key = KeyPair::generate("signer");
+  const Signature sig = sign(key, "the message");
+  EXPECT_TRUE(verify_signature("the message", sig));
+}
+
+TEST(KeysTest, TamperedMessageFails) {
+  const KeyPair key = KeyPair::generate("signer");
+  const Signature sig = sign(key, "the message");
+  EXPECT_FALSE(verify_signature("the message!", sig));
+}
+
+TEST(KeysTest, TamperedTagFails) {
+  const KeyPair key = KeyPair::generate("signer");
+  Signature sig = sign(key, "the message");
+  sig.tag[0] ^= 0x01;
+  EXPECT_FALSE(verify_signature("the message", sig));
+}
+
+TEST(KeysTest, UnknownKeyIdFails) {
+  const KeyPair key = KeyPair::generate("signer");
+  Signature sig = sign(key, "m");
+  sig.key_id = "not-a-registered-key";
+  EXPECT_FALSE(verify_signature("m", sig));
+}
+
+TEST(TrustStoreTest, RejectsValidSignatureFromUntrustedKey) {
+  const KeyPair trusted = KeyPair::generate("trusted");
+  const KeyPair stranger = KeyPair::generate("stranger");
+  TrustStore store;
+  store.add_trusted_key(trusted);
+
+  EXPECT_TRUE(store.verify("msg", sign(trusted, "msg")));
+  // The stranger's signature is cryptographically valid...
+  EXPECT_TRUE(verify_signature("msg", sign(stranger, "msg")));
+  // ...but policy says no.
+  EXPECT_FALSE(store.verify("msg", sign(stranger, "msg")));
+}
+
+TEST(TrustStoreTest, RemoveTrustedKey) {
+  const KeyPair key = KeyPair::generate("k");
+  TrustStore store;
+  store.add_trusted_key(key);
+  EXPECT_TRUE(store.verify("m", sign(key, "m")));
+  store.remove_trusted_key(key.public_key().key_id);
+  EXPECT_FALSE(store.verify("m", sign(key, "m")));
+}
+
+// ---------------------------------------------------------------------
+// Certificates and chains
+// ---------------------------------------------------------------------
+
+class ChainTest : public ::testing::Test {
+ protected:
+  ChainTest()
+      : root_("cn=root-ca", "root-seed"),
+        intermediate_("cn=intermediate-ca", "intermediate-seed"),
+        subject_key_(KeyPair::generate("subject-key")) {
+    anchors_.add_trusted_key(root_.key());
+  }
+
+  /// Chain: leaf <- intermediate <- root.
+  std::vector<Certificate> make_chain(common::TimePoint nb, common::TimePoint na) {
+    const Certificate leaf = intermediate_.issue("cn=service", subject_key_.public_key(), nb, na);
+    const Certificate mid = root_.issue_ca(intermediate_, nb, na);
+    const Certificate top = root_.root_certificate(nb, na);
+    return {leaf, mid, top};
+  }
+
+  CertificateAuthority root_;
+  CertificateAuthority intermediate_;
+  KeyPair subject_key_;
+  TrustStore anchors_;
+};
+
+TEST_F(ChainTest, ValidChain) {
+  const auto chain = make_chain(0, 1000);
+  EXPECT_EQ(validate_chain(chain, anchors_, {}, 500), ChainStatus::kValid);
+}
+
+TEST_F(ChainTest, ExpiredCertificate) {
+  const auto chain = make_chain(0, 1000);
+  EXPECT_EQ(validate_chain(chain, anchors_, {}, 1500), ChainStatus::kExpired);
+}
+
+TEST_F(ChainTest, NotYetValidCertificate) {
+  const auto chain = make_chain(100, 1000);
+  EXPECT_EQ(validate_chain(chain, anchors_, {}, 50), ChainStatus::kNotYetValid);
+}
+
+TEST_F(ChainTest, RevokedCertificate) {
+  const auto chain = make_chain(0, 1000);
+  EXPECT_EQ(validate_chain(chain, anchors_, {chain[0].serial}, 500),
+            ChainStatus::kRevoked);
+}
+
+TEST_F(ChainTest, TamperedCertificateFails) {
+  auto chain = make_chain(0, 1000);
+  chain[0].subject = "cn=attacker";
+  EXPECT_EQ(validate_chain(chain, anchors_, {}, 500), ChainStatus::kBadSignature);
+}
+
+TEST_F(ChainTest, UntrustedRootFails) {
+  const auto chain = make_chain(0, 1000);
+  TrustStore empty_anchors;
+  EXPECT_EQ(validate_chain(chain, empty_anchors, {}, 500),
+            ChainStatus::kUntrustedAnchor);
+}
+
+TEST_F(ChainTest, BrokenLinkageFails) {
+  auto chain = make_chain(0, 1000);
+  // Remove the intermediate: leaf's issuer no longer matches the root.
+  chain.erase(chain.begin() + 1);
+  EXPECT_EQ(validate_chain(chain, anchors_, {}, 500), ChainStatus::kBrokenChain);
+}
+
+TEST_F(ChainTest, EmptyChainIsBroken) {
+  EXPECT_EQ(validate_chain({}, anchors_, {}, 0), ChainStatus::kBrokenChain);
+}
+
+TEST_F(ChainTest, SelfSignedLeafTrustedDirectly) {
+  // A root certificate alone is a valid chain if anchored.
+  const Certificate top = root_.root_certificate(0, 1000);
+  EXPECT_EQ(validate_chain({top}, anchors_, {}, 500), ChainStatus::kValid);
+}
+
+}  // namespace
+}  // namespace mdac::crypto

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "delegation/delegation.hpp"
+
+namespace mdac::delegation {
+namespace {
+
+// ---------------------------------------------------------------------
+// Grants and reduction
+// ---------------------------------------------------------------------
+
+TEST(DelegationTest, RootIsAuthorizedEverywhere) {
+  DelegationRegistry reg;
+  reg.add_root("domain-admin");
+  EXPECT_TRUE(reg.authorized("domain-admin", "anything/at/all"));
+  EXPECT_FALSE(reg.authorized("random-user", "anything"));
+}
+
+TEST(DelegationTest, DirectGrantWithinScope) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "team-lead", "projects/*", false, 0}));
+  EXPECT_TRUE(reg.authorized("team-lead", "projects/alpha"));
+  EXPECT_FALSE(reg.authorized("team-lead", "finance/ledger"));
+}
+
+TEST(DelegationTest, ReductionChainIsReported) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "lead", "projects/*", true, 1}));
+  ASSERT_TRUE(reg.grant({"lead", "dev", "projects/alpha", false, 0}));
+
+  const auto chain = reg.reduction_chain("dev", "projects/alpha");
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(*chain, (std::vector<std::string>{"admin", "lead", "dev"}));
+}
+
+TEST(DelegationTest, NonRedelegableGrantStopsChain) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "lead", "projects/*", /*redelegate=*/false, 0}));
+  // The lead cannot pass authority on.
+  EXPECT_FALSE(reg.grant({"lead", "dev", "projects/alpha", false, 0}));
+  EXPECT_FALSE(reg.authorized("dev", "projects/alpha"));
+}
+
+TEST(DelegationTest, DepthLimitEnforced) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  // One further hop allowed.
+  ASSERT_TRUE(reg.grant({"admin", "a", "x/*", true, 1}));
+  ASSERT_TRUE(reg.grant({"a", "b", "x/*", false, 0}));
+  EXPECT_TRUE(reg.authorized("b", "x/1"));
+  // b cannot extend the chain: a's grant to b had no redelegation budget.
+  EXPECT_FALSE(reg.grant({"b", "c", "x/*", false, 0}));
+}
+
+TEST(DelegationTest, DeeperChainsNeedBudget) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "a", "x/*", true, 2}));
+  ASSERT_TRUE(reg.grant({"a", "b", "x/*", true, 1}));
+  ASSERT_TRUE(reg.grant({"b", "c", "x/*", false, 0}));
+  EXPECT_TRUE(reg.authorized("c", "x/deep"));
+  const auto chain = reg.reduction_chain("c", "x/deep");
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->size(), 4u);
+}
+
+TEST(DelegationTest, ScopeNarrowsDownChain) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "a", "projects/*", true, 1}));
+  // A delegate can only pass on a scope within what it holds.
+  EXPECT_TRUE(reg.grant({"a", "b", "projects/alpha", false, 0}));
+  EXPECT_FALSE(reg.grant({"a", "b", "finance/*", false, 0}));
+  EXPECT_FALSE(reg.grant({"a", "b", "*", false, 0}));
+}
+
+TEST(DelegationTest, SelfDelegationRejected) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  EXPECT_FALSE(reg.grant({"admin", "admin", "*", true, 5}));
+}
+
+TEST(DelegationTest, RevocationKillsDownstreamChains) {
+  // The paper: "revocation of access control rights is also complex" in
+  // decentralised administration — reduction re-checks the whole chain,
+  // so revoking the middle authority kills everything below it.
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "a", "x/*", true, 2}));
+  ASSERT_TRUE(reg.grant({"a", "b", "x/*", true, 1}));
+  ASSERT_TRUE(reg.grant({"b", "c", "x/*", false, 0}));
+  ASSERT_TRUE(reg.authorized("c", "x/1"));
+
+  reg.revoke_grantee("a");
+  EXPECT_FALSE(reg.authorized("a", "x/1"));
+  EXPECT_FALSE(reg.authorized("b", "x/1"));
+  EXPECT_FALSE(reg.authorized("c", "x/1"));
+}
+
+TEST(DelegationTest, IndependentChainSurvivesRevocation) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "a", "x/*", true, 1}));
+  ASSERT_TRUE(reg.grant({"admin", "b", "x/*", false, 0}));
+  ASSERT_TRUE(reg.grant({"a", "c", "x/*", false, 0}));
+  reg.revoke_grantee("a");
+  EXPECT_FALSE(reg.authorized("c", "x/1"));
+  EXPECT_TRUE(reg.authorized("b", "x/1"));  // unrelated chain intact
+}
+
+TEST(DelegationTest, CyclicGrantsTerminate) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "a", "x/*", true, 3}));
+  ASSERT_TRUE(reg.grant({"a", "b", "x/*", true, 2}));
+  ASSERT_TRUE(reg.grant({"b", "a", "x/*", true, 1}));  // cycle a<->b
+  // Reduction must terminate and still find the legitimate chains.
+  EXPECT_TRUE(reg.authorized("a", "x/1"));
+  EXPECT_TRUE(reg.authorized("b", "x/1"));
+  EXPECT_FALSE(reg.authorized("c", "x/1"));
+}
+
+// ---------------------------------------------------------------------
+// Reduction filtering of policy stores
+// ---------------------------------------------------------------------
+
+core::Policy issued_policy(const std::string& id, const std::string& issuer,
+                           const std::string& resource) {
+  core::Policy p;
+  p.policy_id = id;
+  p.issuer = issuer;
+  if (!resource.empty()) {
+    p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                          core::AttributeValue(resource));
+  }
+  core::Rule r;
+  r.id = id + "-rule";
+  r.effect = core::Effect::kPermit;
+  p.rules.push_back(std::move(r));
+  return p;
+}
+
+TEST(ReductionFilterTest, SplitsAcceptedAndRejected) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "partner", "shared/*", false, 0}));
+
+  core::PolicyStore store;
+  store.add(issued_policy("local", "", "anything"));               // root-authored
+  store.add(issued_policy("ok", "partner", "shared/data"));        // in scope
+  store.add(issued_policy("overreach", "partner", "private/hr"));  // out of scope
+  store.add(issued_policy("unscoped", "partner", ""));             // unbounded
+  store.add(issued_policy("stranger", "mallory", "shared/data"));  // no grant
+
+  const ReductionFilter f = filter_by_reduction(store, reg);
+  std::vector<std::string> accepted_ids;
+  for (const auto* node : f.accepted) accepted_ids.push_back(node->id());
+  EXPECT_EQ(accepted_ids, (std::vector<std::string>{"local", "ok"}));
+  EXPECT_EQ(f.rejected_ids,
+            (std::vector<std::string>{"overreach", "unscoped", "stranger"}));
+}
+
+TEST(ReductionFilterTest, RevocationFlipsAcceptance) {
+  DelegationRegistry reg;
+  reg.add_root("admin");
+  ASSERT_TRUE(reg.grant({"admin", "partner", "shared/*", false, 0}));
+  core::PolicyStore store;
+  store.add(issued_policy("p", "partner", "shared/data"));
+  EXPECT_EQ(filter_by_reduction(store, reg).accepted.size(), 1u);
+
+  reg.revoke_grantee("partner");
+  EXPECT_EQ(filter_by_reduction(store, reg).accepted.size(), 0u);
+  EXPECT_EQ(filter_by_reduction(store, reg).rejected_ids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mdac::delegation

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dependability/heartbeat.hpp"
+#include "dependability/replicated_pdp.hpp"
+
+namespace mdac::dependability {
+namespace {
+
+std::shared_ptr<core::Pdp> permit_reads_pdp() {
+  auto store = std::make_shared<core::PolicyStore>();
+  core::Policy p;
+  p.policy_id = "permit-reads";
+  p.rule_combining = "first-applicable";
+  core::Rule permit;
+  permit.id = "permit-read";
+  permit.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kAction, core::attrs::kActionId,
+            core::AttributeValue("read"));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  core::Rule deny;
+  deny.id = "deny-rest";
+  deny.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(deny));
+  store->add(std::move(p));
+  return std::make_shared<core::Pdp>(store);
+}
+
+std::shared_ptr<core::Pdp> deny_all_pdp() {
+  auto store = std::make_shared<core::PolicyStore>();
+  core::Policy p;
+  p.policy_id = "deny-all";
+  core::Rule deny;
+  deny.id = "deny";
+  deny.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(deny));
+  store->add(std::move(p));
+  return std::make_shared<core::Pdp>(store);
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() : network_(sim_) {
+    network_.set_default_link({10, 0, 0.0});
+    for (int i = 0; i < 3; ++i) {
+      replicas_.push_back(std::make_unique<PdpReplica>(
+          network_, "pdp/" + std::to_string(i), permit_reads_pdp()));
+    }
+  }
+
+  std::vector<std::string> replica_ids() const {
+    return {"pdp/0", "pdp/1", "pdp/2"};
+  }
+
+  core::Decision evaluate(ReplicatedPdpClient& client, const std::string& action) {
+    std::optional<core::Decision> got;
+    client.evaluate(core::RequestContext::make("alice", "doc", action),
+                    [&](core::Decision d) { got = d; });
+    sim_.run();
+    return got.value();
+  }
+
+  net::Simulator sim_;
+  net::Network network_;
+  std::vector<std::unique_ptr<PdpReplica>> replicas_;
+};
+
+// ---------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------
+
+TEST_F(ReplicationTest, FailoverHealthyPrimary) {
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(client.stats().failovers, 0u);
+  EXPECT_EQ(replicas_[0]->requests_served(), 1u);
+  EXPECT_EQ(replicas_[1]->requests_served(), 0u);
+}
+
+TEST_F(ReplicationTest, FailoverSkipsDeadPrimary) {
+  replicas_[0]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(client.stats().failovers, 1u);
+  EXPECT_EQ(replicas_[1]->requests_served(), 1u);
+}
+
+TEST_F(ReplicationTest, FailoverSurvivesTwoFailures) {
+  replicas_[0]->set_up(false);
+  replicas_[1]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(client.stats().failovers, 2u);
+}
+
+TEST_F(ReplicationTest, AllReplicasDownIsIndeterminate) {
+  for (auto& r : replicas_) r->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  const core::Decision d = evaluate(client, "read");
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(client.stats().exhausted, 1u);
+}
+
+TEST_F(ReplicationTest, RecoveryRestoresPrimary) {
+  replicas_[0]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  (void)evaluate(client, "read");
+  replicas_[0]->set_up(true);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(replicas_[0]->requests_served(), 1u);
+  EXPECT_EQ(client.stats().failovers, 1u);  // no new failover after recovery
+}
+
+TEST_F(ReplicationTest, NoReplicasConfigured) {
+  ReplicatedPdpClient client(network_, "pep", {}, DispatchStrategy::kFailover);
+  const core::Decision d = evaluate(client, "read");
+  EXPECT_TRUE(d.is_indeterminate());
+}
+
+// ---------------------------------------------------------------------
+// Quorum
+// ---------------------------------------------------------------------
+
+TEST_F(ReplicationTest, QuorumAgreesWhenHealthy) {
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kQuorum);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_TRUE(evaluate(client, "write").is_deny());
+  // Every replica saw both requests.
+  for (const auto& r : replicas_) {
+    EXPECT_EQ(r->requests_served(), 2u);
+  }
+}
+
+TEST_F(ReplicationTest, QuorumToleratesMinorityCrash) {
+  replicas_[2]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kQuorum);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+}
+
+TEST_F(ReplicationTest, QuorumMasksCorruptMinority) {
+  // Replace replica 2 with a corrupted one answering deny to everything.
+  replicas_[2] = nullptr;  // unregister node id first
+  PdpReplica corrupt(network_, "pdp/2", deny_all_pdp());
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kQuorum);
+  // Majority (2 honest) says permit; the corrupt deny is outvoted.
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+}
+
+TEST_F(ReplicationTest, QuorumFailsWithoutMajority) {
+  replicas_[1]->set_up(false);
+  replicas_[2]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kQuorum);
+  const core::Decision d = evaluate(client, "read");
+  EXPECT_TRUE(d.is_indeterminate());
+  EXPECT_EQ(client.stats().quorum_indecisive, 1u);
+}
+
+TEST_F(ReplicationTest, QuorumSplitVoteIsIndecisive) {
+  // Two replicas permit reads, one denies everything, and one is down:
+  // 4 replicas, majority = 3, votes 2/1 -> indeterminate.
+  PdpReplica corrupt(network_, "pdp/3", deny_all_pdp());
+  replicas_[2]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep",
+                             {"pdp/0", "pdp/1", "pdp/2", "pdp/3"},
+                             DispatchStrategy::kQuorum);
+  const core::Decision d = evaluate(client, "read");
+  EXPECT_TRUE(d.is_indeterminate());
+}
+
+// ---------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------
+
+TEST_F(ReplicationTest, HeartbeatTracksLiveness) {
+  HeartbeatMonitor monitor(network_, "monitor", replica_ids(), /*period=*/100,
+                           /*probe_timeout=*/50);
+  monitor.start();
+  sim_.run_until(250);
+  EXPECT_TRUE(monitor.is_alive("pdp/0"));
+  EXPECT_TRUE(monitor.is_alive("pdp/1"));
+
+  replicas_[0]->set_up(false);
+  sim_.run_until(600);
+  EXPECT_FALSE(monitor.is_alive("pdp/0"));
+  EXPECT_TRUE(monitor.is_alive("pdp/1"));
+
+  replicas_[0]->set_up(true);
+  sim_.run_until(900);
+  EXPECT_TRUE(monitor.is_alive("pdp/0"));
+  monitor.stop();
+}
+
+TEST_F(ReplicationTest, PreferredOrderPutsLiveFirst) {
+  HeartbeatMonitor monitor(network_, "monitor", replica_ids(), 100, 50);
+  monitor.start();
+  replicas_[0]->set_up(false);
+  sim_.run_until(500);
+  const auto order = monitor.preferred_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), "pdp/0");  // the dead one sinks to the end
+  monitor.stop();
+
+  // Wire into a failover client: first try goes to a live replica.
+  ReplicatedPdpClient client(network_, "pep", order, DispatchStrategy::kFailover);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(client.stats().failovers, 0u);
+}
+
+}  // namespace
+}  // namespace mdac::dependability

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/serialization.hpp"
+#include "net/discovery.hpp"
+#include "pap/change_notifier.hpp"
+
+namespace mdac {
+namespace {
+
+// ---------------------------------------------------------------------
+// Discovery service (§3.2 PDP location)
+// ---------------------------------------------------------------------
+
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  DiscoveryTest() : network_(sim_), registry_(network_, "registry") {
+    network_.set_default_link({5, 0, 0.0});
+  }
+
+  net::Simulator sim_;
+  net::Network network_;
+  net::DiscoveryService registry_;
+};
+
+TEST_F(DiscoveryTest, RegisterAndLookup) {
+  net::RpcNode pdp(network_, "domain/pdp");
+  net::DiscoveryRegistrant registrant(pdp, "registry", "pdp", 1000);
+  registrant.register_once();
+  // run_until: a plain run() would also drain the RPC-timeout no-op and
+  // fast-forward the clock to the lease boundary.
+  sim_.run_until(50);
+
+  net::RpcNode client(network_, "client");
+  net::DiscoveryClient lookup(client, "registry");
+  std::vector<std::string> found;
+  lookup.lookup("pdp", 1000, [&](std::vector<std::string> r) { found = r; });
+  sim_.run_until(100);
+  EXPECT_EQ(found, (std::vector<std::string>{"domain/pdp"}));
+  EXPECT_EQ(registry_.registrations(), 1u);
+  EXPECT_EQ(registry_.lookups(), 1u);
+}
+
+TEST_F(DiscoveryTest, UnknownKindIsEmpty) {
+  net::RpcNode client(network_, "client");
+  net::DiscoveryClient lookup(client, "registry");
+  std::vector<std::string> found{"sentinel"};
+  lookup.lookup("nothing-here", 1000,
+                [&](std::vector<std::string> r) { found = r; });
+  sim_.run();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(DiscoveryTest, LeaseExpiresWithoutRenewal) {
+  net::RpcNode pdp(network_, "domain/pdp");
+  net::DiscoveryRegistrant registrant(pdp, "registry", "pdp", /*lease=*/100);
+  registrant.register_once();
+  sim_.run();
+  EXPECT_EQ(registry_.providers_of("pdp").size(), 1u);
+
+  sim_.schedule(200, [] {});  // let the lease lapse
+  sim_.run();
+  EXPECT_TRUE(registry_.providers_of("pdp").empty());
+}
+
+TEST_F(DiscoveryTest, RenewalKeepsLeaseAlive) {
+  net::RpcNode pdp(network_, "domain/pdp");
+  net::DiscoveryRegistrant registrant(pdp, "registry", "pdp", /*lease=*/100);
+  registrant.start_renewal();
+  sim_.run_until(450);
+  EXPECT_EQ(registry_.providers_of("pdp").size(), 1u);
+
+  registrant.stop();
+  sim_.run_until(1000);
+  EXPECT_TRUE(registry_.providers_of("pdp").empty());
+}
+
+TEST_F(DiscoveryTest, MultipleProvidersOfAKind) {
+  net::RpcNode a(network_, "pdp/a"), b(network_, "pdp/b");
+  net::DiscoveryRegistrant ra(a, "registry", "pdp", 1000);
+  net::DiscoveryRegistrant rb(b, "registry", "pdp", 1000);
+  ra.register_once();
+  rb.register_once();
+  sim_.run();
+  const auto providers = registry_.providers_of("pdp");
+  EXPECT_EQ(providers.size(), 2u);
+}
+
+TEST_F(DiscoveryTest, ReRegistrationRefreshesNotDuplicates) {
+  net::RpcNode pdp(network_, "domain/pdp");
+  net::DiscoveryRegistrant registrant(pdp, "registry", "pdp", 1000);
+  registrant.register_once();
+  sim_.run();
+  registrant.register_once();
+  sim_.run();
+  EXPECT_EQ(registry_.providers_of("pdp").size(), 1u);
+  EXPECT_EQ(registry_.registrations(), 2u);
+}
+
+TEST_F(DiscoveryTest, MalformedRegistrationRejected) {
+  net::RpcNode raw(network_, "raw");
+  std::optional<std::string> response;
+  raw.call("registry", "register", "too|few", 1000,
+           [&](std::optional<std::string> r) { response = r; });
+  sim_.run();
+  EXPECT_EQ(response, "bad-request");
+  raw.call("registry", "register", "kind|node|not-a-number", 1000,
+           [&](std::optional<std::string> r) { response = r; });
+  sim_.run();
+  EXPECT_EQ(response, "bad-request");
+}
+
+// ---------------------------------------------------------------------
+// Change notification -> cache invalidation
+// ---------------------------------------------------------------------
+
+TEST(ChangeNotifierTest, PolicyChangeFlushesRemoteCaches) {
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({5, 0, 0.0});
+  common::ManualClock repo_clock;
+
+  pap::PolicyRepository repo(repo_clock);
+  pap::ChangeNotifier notifier(network, "pap/notifier", repo);
+
+  common::ManualClock cache_clock;
+  cache::DecisionCache cache_a(cache_clock, 1'000'000);
+  cache::DecisionCache cache_b(cache_clock, 1'000'000);
+  pap::CacheInvalidationListener pep_a(network, "pep/a", cache_a);
+  pap::CacheInvalidationListener pep_b(network, "pep/b", cache_b);
+  notifier.add_subscriber("pep/a");
+  notifier.add_subscriber("pep/b");
+
+  // Warm the caches.
+  const auto req = core::RequestContext::make("alice", "doc", "read");
+  cache_a.insert(req, core::Decision::permit());
+  cache_b.insert(req, core::Decision::permit());
+
+  // No repository change: no broadcast.
+  EXPECT_FALSE(notifier.notify_if_changed());
+  sim.run();
+  EXPECT_TRUE(cache_a.lookup(req).has_value());
+
+  // A policy lands in the repository; notify flushes both caches.
+  core::Policy p;
+  p.policy_id = "new-policy";
+  core::Rule r;
+  r.id = "deny";
+  r.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(r));
+  ASSERT_TRUE(repo.submit(core::node_to_string(p), "admin"));
+  EXPECT_TRUE(notifier.notify_if_changed());
+  sim.run();
+
+  EXPECT_FALSE(cache_a.lookup(req).has_value());
+  EXPECT_FALSE(cache_b.lookup(req).has_value());
+  EXPECT_EQ(pep_a.invalidations(), 1u);
+  EXPECT_EQ(notifier.notifications_sent(), 2u);
+}
+
+TEST(ChangeNotifierTest, SecondCallWithoutChangeIsSilent) {
+  net::Simulator sim;
+  net::Network network(sim);
+  common::ManualClock clock;
+  pap::PolicyRepository repo(clock);
+  pap::ChangeNotifier notifier(network, "pap/n", repo);
+
+  core::Policy p;
+  p.policy_id = "p";
+  core::Rule r;
+  r.id = "r";
+  r.effect = core::Effect::kPermit;
+  p.rules.push_back(std::move(r));
+  ASSERT_TRUE(repo.submit(core::node_to_string(p), "admin"));
+  EXPECT_TRUE(notifier.notify_if_changed());
+  EXPECT_FALSE(notifier.notify_if_changed());
+}
+
+TEST(ChangeNotifierTest, LostNotificationLeavesTtlBackstop) {
+  // The notifier is best-effort: with the link down, the cache keeps the
+  // stale entry until its TTL expires — the layered defence.
+  net::Simulator sim;
+  net::Network network(sim);
+  common::ManualClock repo_clock;
+  pap::PolicyRepository repo(repo_clock);
+  pap::ChangeNotifier notifier(network, "pap/n", repo);
+
+  common::ManualClock cache_clock;
+  cache::DecisionCache cache(cache_clock, /*ttl=*/500);
+  pap::CacheInvalidationListener pep(network, "pep", cache);
+  notifier.add_subscriber("pep");
+  network.set_node_up("pep", false);  // partition
+
+  const auto req = core::RequestContext::make("alice", "doc", "read");
+  cache.insert(req, core::Decision::permit());
+  notifier.broadcast("revocation!");
+  sim.run();
+  EXPECT_TRUE(cache.lookup(req).has_value());  // notification lost
+
+  cache_clock.advance(500);  // TTL backstop
+  EXPECT_FALSE(cache.lookup(req).has_value());
+}
+
+}  // namespace
+}  // namespace mdac

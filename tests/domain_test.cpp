@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "core/serialization.hpp"
+#include "domain/domain.hpp"
+
+namespace mdac::domain {
+namespace {
+
+core::Policy role_policy(const std::string& id, const std::string& role,
+                         const std::string& resource, const std::string& action) {
+  core::Policy p;
+  p.policy_id = id;
+  p.rule_combining = "first-applicable";
+  core::Rule permit;
+  permit.id = id + "-permit";
+  permit.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kSubject, core::attrs::kRole, core::AttributeValue(role));
+  t.require(core::Category::kResource, core::attrs::kResourceId,
+            core::AttributeValue(resource));
+  t.require(core::Category::kAction, core::attrs::kActionId,
+            core::AttributeValue(action));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  core::Rule deny;
+  deny.id = id + "-deny";
+  deny.effect = core::Effect::kDeny;
+  core::Target dt;
+  dt.require(core::Category::kResource, core::attrs::kResourceId,
+             core::AttributeValue(resource));
+  deny.target = std::move(dt);
+  p.rules.push_back(std::move(deny));
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Local domain behaviour
+// ---------------------------------------------------------------------
+
+TEST(DomainTest, LocalDecisionUsesDirectoryAttributes) {
+  common::ManualClock clock(1000);
+  Domain hospital("hospital", clock);
+  hospital.register_user("alice",
+                         {{core::attrs::kRole, core::Bag(core::AttributeValue("doctor"))}});
+  hospital.add_policy(role_policy("records", "doctor", "record-1", "read"));
+
+  // The request only names the subject; the role comes from the domain's
+  // own directory via the PIP chain.
+  EXPECT_TRUE(hospital.decide(core::RequestContext::make("alice", "record-1", "read"))
+                  .is_permit());
+  EXPECT_TRUE(hospital.decide(core::RequestContext::make("mallory", "record-1", "read"))
+                  .is_deny());
+}
+
+TEST(DomainTest, EnforceRecordsHistoryOnPermitOnly) {
+  common::ManualClock clock;
+  Domain d("d", clock);
+  d.register_user("alice",
+                  {{core::attrs::kRole, core::Bag(core::AttributeValue("doctor"))}});
+  d.add_policy(role_policy("records", "doctor", "record-1", "read"));
+
+  ASSERT_TRUE(d.enforce(core::RequestContext::make("alice", "record-1", "read")).allowed);
+  ASSERT_FALSE(d.enforce(core::RequestContext::make("bob", "record-1", "read")).allowed);
+  EXPECT_EQ(d.history().size(), 1u);
+  EXPECT_EQ(d.history().for_subject("alice").size(), 1u);
+  EXPECT_TRUE(d.history().for_subject("bob").empty());
+}
+
+TEST(DomainTest, RepositoryAdoptionFeedsPdp) {
+  common::ManualClock clock;
+  Domain d("d", clock);
+  d.register_user("alice",
+                  {{core::attrs::kRole, core::Bag(core::AttributeValue("doctor"))}});
+  const std::string doc =
+      core::node_to_string(role_policy("records", "doctor", "r", "read"));
+  ASSERT_TRUE(d.repository().submit(doc, "admin"));
+  ASSERT_TRUE(d.repository().issue("records", "admin"));
+  EXPECT_EQ(d.adopt_issued_policies(), 1u);
+  EXPECT_TRUE(d.decide(core::RequestContext::make("alice", "r", "read")).is_permit());
+}
+
+TEST(DomainTest, IdentityAssertionForUnknownUserThrows) {
+  common::ManualClock clock;
+  Domain d("d", clock);
+  EXPECT_THROW(d.issue_identity_assertion("ghost", "elsewhere", 100),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Cross-domain federation (Fig 1)
+// ---------------------------------------------------------------------
+
+class FederationTest : public ::testing::Test {
+ protected:
+  FederationTest()
+      : clock_(10'000), hospital_("hospital", clock_), lab_("lab", clock_) {
+    hospital_.register_user(
+        "dr-jones",
+        {{core::attrs::kRole, core::Bag(core::AttributeValue("doctor"))}});
+    lab_.add_policy(role_policy("lab-results", "doctor", "sample-42", "read"));
+  }
+
+  common::ManualClock clock_;
+  Domain hospital_;
+  Domain lab_;
+};
+
+TEST_F(FederationTest, TrustedForeignDoctorAdmitted) {
+  lab_.trust_domain(hospital_);
+  const auto token = hospital_.issue_identity_assertion("dr-jones", "lab", 1000);
+  const auto result = lab_.handle_cross_domain_request(token, "sample-42", "read");
+  EXPECT_TRUE(result.allowed);
+  EXPECT_EQ(result.token_status, tokens::TokenValidity::kValid);
+  // The access lands in the lab's history.
+  EXPECT_EQ(lab_.history().for_subject("dr-jones").size(), 1u);
+}
+
+TEST_F(FederationTest, NoTrustNoEntry) {
+  // The lab never chose to trust the hospital's IdP: autonomy preserved.
+  const auto token = hospital_.issue_identity_assertion("dr-jones", "lab", 1000);
+  const auto result = lab_.handle_cross_domain_request(token, "sample-42", "read");
+  EXPECT_FALSE(result.allowed);
+  EXPECT_EQ(result.token_status, tokens::TokenValidity::kUntrustedIssuer);
+}
+
+TEST_F(FederationTest, ExpiredAssertionRejected) {
+  lab_.trust_domain(hospital_);
+  const auto token = hospital_.issue_identity_assertion("dr-jones", "lab", 1000);
+  clock_.advance(1000);
+  const auto result = lab_.handle_cross_domain_request(token, "sample-42", "read");
+  EXPECT_FALSE(result.allowed);
+  EXPECT_EQ(result.token_status, tokens::TokenValidity::kExpired);
+}
+
+TEST_F(FederationTest, AudienceMismatchRejected) {
+  lab_.trust_domain(hospital_);
+  const auto token =
+      hospital_.issue_identity_assertion("dr-jones", "someone-else", 1000);
+  const auto result = lab_.handle_cross_domain_request(token, "sample-42", "read");
+  EXPECT_FALSE(result.allowed);
+  EXPECT_EQ(result.token_status, tokens::TokenValidity::kWrongAudience);
+}
+
+TEST_F(FederationTest, LocalPolicyStillGoverns) {
+  lab_.trust_domain(hospital_);
+  // A valid token for a nurse: the lab's policy only admits doctors.
+  hospital_.register_user(
+      "nurse-smith", {{core::attrs::kRole, core::Bag(core::AttributeValue("nurse"))}});
+  const auto token = hospital_.issue_identity_assertion("nurse-smith", "lab", 1000);
+  const auto result = lab_.handle_cross_domain_request(token, "sample-42", "read");
+  EXPECT_FALSE(result.allowed);
+  EXPECT_EQ(result.token_status, tokens::TokenValidity::kValid);
+  EXPECT_TRUE(result.decision.is_deny());
+}
+
+// ---------------------------------------------------------------------
+// Virtual Organisation composition
+// ---------------------------------------------------------------------
+
+TEST(VirtualOrganisationTest, PairwiseTrustAndSharedPolicy) {
+  common::ManualClock clock(5000);
+  Domain a("domain-a", clock), b("domain-b", clock), c("domain-c", clock);
+  a.register_user("alice",
+                  {{core::attrs::kRole, core::Bag(core::AttributeValue("analyst"))}});
+
+  VirtualOrganisation vo("science-vo");
+  vo.add_member(&a);
+  vo.add_member(&b);
+  vo.add_member(&c);
+  vo.establish_pairwise_trust();
+  EXPECT_EQ(vo.distribute_policy(
+                role_policy("vo-shared", "analyst", "vo-dataset", "read")),
+            3u);
+
+  // Alice (from a) can reach the shared dataset in both b and c.
+  for (Domain* target : {&b, &c}) {
+    const auto token = a.issue_identity_assertion("alice", target->name(), 1000);
+    const auto result = target->handle_cross_domain_request(token, "vo-dataset", "read");
+    EXPECT_TRUE(result.allowed) << target->name();
+  }
+}
+
+TEST(VirtualOrganisationTest, MemberAutonomyOverridesVoPolicy) {
+  // Domain b adds its own deny on top of the VO policy — deny-overrides
+  // at the PDP root preserves member autonomy.
+  common::ManualClock clock(5000);
+  Domain a("domain-a", clock), b("domain-b", clock);
+  a.register_user("alice",
+                  {{core::attrs::kRole, core::Bag(core::AttributeValue("analyst"))}});
+  VirtualOrganisation vo("vo");
+  vo.add_member(&a);
+  vo.add_member(&b);
+  vo.establish_pairwise_trust();
+  vo.distribute_policy(role_policy("vo-shared", "analyst", "vo-dataset", "read"));
+
+  core::Policy local_ban;
+  local_ban.policy_id = "b-local-ban";
+  core::Rule deny;
+  deny.id = "ban-alice";
+  deny.effect = core::Effect::kDeny;
+  core::Target t;
+  t.require(core::Category::kSubject, core::attrs::kSubjectId,
+            core::AttributeValue("alice"));
+  deny.target = std::move(t);
+  local_ban.rules.push_back(std::move(deny));
+  b.add_policy(std::move(local_ban));
+
+  const auto token = a.issue_identity_assertion("alice", "domain-b", 1000);
+  const auto result = b.handle_cross_domain_request(token, "vo-dataset", "read");
+  EXPECT_FALSE(result.allowed);
+  EXPECT_TRUE(result.decision.is_deny());
+}
+
+}  // namespace
+}  // namespace mdac::domain

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "models/chinese_wall.hpp"
+#include "models/dac.hpp"
+#include "models/mac.hpp"
+
+namespace mdac::models {
+namespace {
+
+// ---------------------------------------------------------------------
+// DAC
+// ---------------------------------------------------------------------
+
+TEST(DacTest, OwnerHoldsAllRights) {
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "owner"));
+  EXPECT_TRUE(dac.check("owner", "file", Right::kRead));
+  EXPECT_TRUE(dac.check("owner", "file", Right::kWrite));
+  EXPECT_TRUE(dac.has_grant_option("owner", "file", Right::kExecute));
+  EXPECT_FALSE(dac.check("stranger", "file", Right::kRead));
+}
+
+TEST(DacTest, DuplicateObjectRejected) {
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "a"));
+  EXPECT_FALSE(dac.create_object("file", "b"));
+  ASSERT_NE(dac.owner_of("file"), nullptr);
+  EXPECT_EQ(*dac.owner_of("file"), "a");
+  EXPECT_EQ(dac.owner_of("ghost"), nullptr);
+}
+
+TEST(DacTest, GrantRequiresGrantOption) {
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "owner"));
+  // Plain grant (no grant option) lets bob read but not re-grant.
+  ASSERT_TRUE(dac.grant("owner", "bob", "file", Right::kRead, false));
+  EXPECT_TRUE(dac.check("bob", "file", Right::kRead));
+  EXPECT_FALSE(dac.grant("bob", "carol", "file", Right::kRead, false));
+  EXPECT_FALSE(dac.check("carol", "file", Right::kRead));
+}
+
+TEST(DacTest, GrantOptionEnablesDelegationChain) {
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "owner"));
+  ASSERT_TRUE(dac.grant("owner", "bob", "file", Right::kRead, true));
+  ASSERT_TRUE(dac.grant("bob", "carol", "file", Right::kRead, true));
+  ASSERT_TRUE(dac.grant("carol", "dave", "file", Right::kRead, false));
+  EXPECT_TRUE(dac.check("dave", "file", Right::kRead));
+}
+
+TEST(DacTest, RightsAreIndependent) {
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "owner"));
+  ASSERT_TRUE(dac.grant("owner", "bob", "file", Right::kRead, false));
+  EXPECT_FALSE(dac.check("bob", "file", Right::kWrite));
+  EXPECT_FALSE(dac.grant("bob", "carol", "file", Right::kWrite, false));
+}
+
+TEST(DacTest, CascadingRevocation) {
+  // owner -> bob -> carol -> dave; revoking bob collapses the whole chain.
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "owner"));
+  ASSERT_TRUE(dac.grant("owner", "bob", "file", Right::kRead, true));
+  ASSERT_TRUE(dac.grant("bob", "carol", "file", Right::kRead, true));
+  ASSERT_TRUE(dac.grant("carol", "dave", "file", Right::kRead, false));
+
+  ASSERT_TRUE(dac.revoke("owner", "bob", "file", Right::kRead));
+  EXPECT_FALSE(dac.check("bob", "file", Right::kRead));
+  EXPECT_FALSE(dac.check("carol", "file", Right::kRead));
+  EXPECT_FALSE(dac.check("dave", "file", Right::kRead));
+  EXPECT_EQ(dac.grant_count(), 0u);
+}
+
+TEST(DacTest, IndependentGrantSurvivesCascade) {
+  // carol holds read from bob AND directly from the owner; revoking the
+  // bob path must not take away the owner-granted right.
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "owner"));
+  ASSERT_TRUE(dac.grant("owner", "bob", "file", Right::kRead, true));
+  ASSERT_TRUE(dac.grant("bob", "carol", "file", Right::kRead, false));
+  ASSERT_TRUE(dac.grant("owner", "carol", "file", Right::kRead, false));
+
+  ASSERT_TRUE(dac.revoke("owner", "bob", "file", Right::kRead));
+  EXPECT_FALSE(dac.check("bob", "file", Right::kRead));
+  EXPECT_TRUE(dac.check("carol", "file", Right::kRead));
+}
+
+TEST(DacTest, NonOwnerCanOnlyRevokeOwnGrants) {
+  DacMatrix dac;
+  ASSERT_TRUE(dac.create_object("file", "owner"));
+  ASSERT_TRUE(dac.grant("owner", "bob", "file", Right::kRead, true));
+  ASSERT_TRUE(dac.grant("owner", "carol", "file", Right::kRead, false));
+  // bob didn't grant carol's right, so bob cannot revoke it.
+  EXPECT_FALSE(dac.revoke("bob", "carol", "file", Right::kRead));
+  // The owner can revoke anything.
+  EXPECT_TRUE(dac.revoke("owner", "carol", "file", Right::kRead));
+}
+
+// ---------------------------------------------------------------------
+// MAC / Bell–LaPadula
+// ---------------------------------------------------------------------
+
+TEST(MacTest, DominatesIsLatticeOrder) {
+  const Label secret_ab{2, {"a", "b"}};
+  const Label secret_a{2, {"a"}};
+  const Label public_none{0, {}};
+  EXPECT_TRUE(dominates(secret_ab, secret_a));
+  EXPECT_FALSE(dominates(secret_a, secret_ab));
+  EXPECT_TRUE(dominates(secret_a, public_none));
+  EXPECT_TRUE(dominates(secret_ab, secret_ab));  // reflexive
+  // Incomparable labels: neither dominates.
+  const Label secret_b{2, {"b"}};
+  EXPECT_FALSE(dominates(secret_a, secret_b));
+  EXPECT_FALSE(dominates(secret_b, secret_a));
+}
+
+TEST(MacTest, NoReadUp) {
+  BlpModel blp;
+  blp.set_clearance("analyst", {1, {"crypto"}});
+  blp.set_classification("top-secret-doc", {3, {"crypto"}});
+  blp.set_classification("public-doc", {0, {}});
+  EXPECT_FALSE(blp.can_read("analyst", "top-secret-doc"));
+  EXPECT_TRUE(blp.can_read("analyst", "public-doc"));
+}
+
+TEST(MacTest, NoWriteDown) {
+  BlpModel blp;
+  blp.set_clearance("analyst", {2, {"crypto"}});
+  blp.set_classification("public-doc", {0, {}});
+  blp.set_classification("archive", {3, {"crypto"}});
+  EXPECT_FALSE(blp.can_write("analyst", "public-doc"));  // would leak down
+  EXPECT_TRUE(blp.can_write("analyst", "archive"));      // write up is fine
+}
+
+TEST(MacTest, CompartmentsRestrictAccess) {
+  BlpModel blp;
+  blp.set_clearance("analyst", {3, {"nuclear"}});
+  blp.set_classification("crypto-doc", {1, {"crypto"}});
+  // High level but wrong compartment: no read.
+  EXPECT_FALSE(blp.can_read("analyst", "crypto-doc"));
+}
+
+TEST(MacTest, UnknownEntitiesFailSafe) {
+  BlpModel blp;
+  blp.set_classification("doc", {0, {}});
+  EXPECT_FALSE(blp.can_read("ghost", "doc"));
+  blp.set_clearance("subject", {3, {}});
+  EXPECT_FALSE(blp.can_read("subject", "ghost-doc"));
+  EXPECT_FALSE(blp.can_write("ghost", "ghost-doc"));
+}
+
+TEST(MacTest, ReadEqualLevelAllowed) {
+  BlpModel blp;
+  blp.set_clearance("s", {2, {"a"}});
+  blp.set_classification("o", {2, {"a"}});
+  EXPECT_TRUE(blp.can_read("s", "o"));
+  EXPECT_TRUE(blp.can_write("s", "o"));  // equal labels satisfy both
+}
+
+// ---------------------------------------------------------------------
+// Chinese Wall
+// ---------------------------------------------------------------------
+
+class ChineseWallTest : public ::testing::Test {
+ protected:
+  ChineseWallTest() {
+    wall_.add_company("bank-a", "banking");
+    wall_.add_company("bank-b", "banking");
+    wall_.add_company("oil-x", "energy");
+    wall_.assign_object("bank-a:ledger", "bank-a");
+    wall_.assign_object("bank-b:ledger", "bank-b");
+    wall_.assign_object("oil-x:survey", "oil-x");
+  }
+  ChineseWall wall_;
+};
+
+TEST_F(ChineseWallTest, CleanSlateAccessesAnything) {
+  EXPECT_TRUE(wall_.can_access("analyst", "bank-a:ledger"));
+  EXPECT_TRUE(wall_.can_access("analyst", "bank-b:ledger"));
+}
+
+TEST_F(ChineseWallTest, AccessRaisesWallWithinConflictClass) {
+  wall_.record_access("analyst", "bank-a:ledger");
+  EXPECT_TRUE(wall_.can_access("analyst", "bank-a:ledger"));   // same side
+  EXPECT_FALSE(wall_.can_access("analyst", "bank-b:ledger"));  // across wall
+  EXPECT_TRUE(wall_.can_access("analyst", "oil-x:survey"));    // other class
+}
+
+TEST_F(ChineseWallTest, WallsArePerSubject) {
+  wall_.record_access("analyst", "bank-a:ledger");
+  EXPECT_TRUE(wall_.can_access("other-analyst", "bank-b:ledger"));
+}
+
+TEST_F(ChineseWallTest, UnassignedObjectsAreOutsideWalls) {
+  wall_.record_access("analyst", "bank-a:ledger");
+  EXPECT_TRUE(wall_.can_access("analyst", "public-report"));
+}
+
+TEST_F(ChineseWallTest, AccessibleCompaniesShrinkAfterCommitment) {
+  EXPECT_EQ(wall_.accessible_companies("analyst", "banking").size(), 2u);
+  wall_.record_access("analyst", "bank-b:ledger");
+  const auto remaining = wall_.accessible_companies("analyst", "banking");
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_TRUE(remaining.count("bank-b"));
+  // Energy class untouched.
+  EXPECT_EQ(wall_.accessible_companies("analyst", "energy").size(), 1u);
+}
+
+TEST_F(ChineseWallTest, FirstCommitmentWinsEvenAfterRepeatAccesses) {
+  wall_.record_access("analyst", "bank-a:ledger");
+  wall_.record_access("analyst", "bank-a:ledger");
+  EXPECT_FALSE(wall_.can_access("analyst", "bank-b:ledger"));
+}
+
+}  // namespace
+}  // namespace mdac::models

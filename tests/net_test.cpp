@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include "net/message.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "net/secure_channel.hpp"
+#include "net/sim.hpp"
+
+namespace mdac::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(10, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, HandlersMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) sim.schedule(10, chain);
+  };
+  sim.schedule(0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, ClockViewTracksSimTime) {
+  Simulator sim;
+  const common::Clock& clock = sim.clock();
+  EXPECT_EQ(clock.now(), 0);
+  sim.schedule(42, [] {});
+  sim.run();
+  EXPECT_EQ(clock.now(), 42);
+}
+
+// ---------------------------------------------------------------------
+// Message envelopes
+// ---------------------------------------------------------------------
+
+TEST(MessageTest, EnvelopeRoundTrip) {
+  Message m;
+  m.from = "domain-a/pep";
+  m.to = "domain-b/pdp";
+  m.type = "authz-request";
+  m.payload = "<Request><Attributes Category=\"subject\"/></Request>";
+  m.correlation = 77;
+  m.is_response = false;
+  const auto back = Message::from_envelope(m.to_envelope());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(MessageTest, ResponseFlagSurvives) {
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  m.type = "t";
+  m.correlation = 5;
+  m.is_response = true;
+  const auto back = Message::from_envelope(m.to_envelope());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->is_response);
+}
+
+TEST(MessageTest, MalformedEnvelopeRejected) {
+  EXPECT_FALSE(Message::from_envelope("not xml").has_value());
+  EXPECT_FALSE(Message::from_envelope("<Envelope/>").has_value());
+  // Missing routing information makes the envelope undeliverable.
+  EXPECT_FALSE(
+      Message::from_envelope("<Envelope><Header/><Body/></Envelope>").has_value());
+  // Correlation garbage is rejected too.
+  EXPECT_FALSE(Message::from_envelope("<Envelope><Header><To>b</To><Type>t</Type>"
+                                      "<Correlation>x</Correlation></Header>"
+                                      "<Body/></Envelope>")
+                   .has_value());
+}
+
+TEST(MessageTest, SizeAccountsForEnvelopeOverhead) {
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  m.type = "t";
+  m.payload = "xx";
+  EXPECT_GT(m.size_bytes(), m.payload.size());
+}
+
+// ---------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------
+
+struct Inbox {
+  std::vector<Message> received;
+  Network::MessageHandler handler() {
+    return [this](const Message& m) { received.push_back(m); };
+  }
+};
+
+TEST(NetworkTest, DeliversWithLinkLatency) {
+  Simulator sim;
+  Network net(sim);
+  net.set_default_link({/*base_latency=*/25, 0, 0.0});
+  Inbox inbox;
+  net.register_node("b", inbox.handler());
+
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  m.type = "hello";
+  net.send(m);
+  EXPECT_TRUE(inbox.received.empty());
+  sim.run();
+  ASSERT_EQ(inbox.received.size(), 1u);
+  EXPECT_EQ(sim.now(), 25);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+  EXPECT_GT(net.stats().bytes_sent, 0u);
+}
+
+TEST(NetworkTest, PerLinkOverrides) {
+  Simulator sim;
+  Network net(sim);
+  net.set_default_link({10, 0, 0.0});
+  net.set_link("a", "c", {100, 0, 0.0});
+  Inbox b, c;
+  net.register_node("b", b.handler());
+  net.register_node("c", c.handler());
+
+  Message to_b{"a", "b", "t", "", 0, false};
+  Message to_c{"a", "c", "t", "", 0, false};
+  net.send(to_b);
+  net.send(to_c);
+  sim.run_until(50);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+  sim.run();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(NetworkTest, LossyLinkDropsSomeMessages) {
+  Simulator sim;
+  Network net(sim);
+  net.set_default_link({1, 0, /*drop=*/0.5});
+  Inbox inbox;
+  net.register_node("b", inbox.handler());
+  for (int i = 0; i < 200; ++i) {
+    net.send(Message{"a", "b", "t", "", 0, false});
+  }
+  sim.run();
+  EXPECT_GT(net.stats().messages_dropped, 50u);
+  EXPECT_GT(net.stats().messages_delivered, 50u);
+  EXPECT_EQ(net.stats().messages_dropped + net.stats().messages_delivered, 200u);
+}
+
+TEST(NetworkTest, DownNodeLosesTraffic) {
+  Simulator sim;
+  Network net(sim);
+  Inbox inbox;
+  net.register_node("b", inbox.handler());
+  net.set_node_up("b", false);
+  net.send(Message{"a", "b", "t", "", 0, false});
+  sim.run();
+  EXPECT_TRUE(inbox.received.empty());
+  EXPECT_EQ(net.stats().messages_undeliverable, 1u);
+
+  net.set_node_up("b", true);
+  net.send(Message{"a", "b", "t", "", 0, false});
+  sim.run();
+  EXPECT_EQ(inbox.received.size(), 1u);
+}
+
+TEST(NetworkTest, UnknownNodeIsUndeliverable) {
+  Simulator sim;
+  Network net(sim);
+  net.send(Message{"a", "ghost", "t", "", 0, false});
+  sim.run();
+  EXPECT_EQ(net.stats().messages_undeliverable, 1u);
+}
+
+// ---------------------------------------------------------------------
+// RPC
+// ---------------------------------------------------------------------
+
+TEST(RpcTest, RequestResponseRoundTrip) {
+  Simulator sim;
+  Network net(sim);
+  net.set_default_link({5, 0, 0.0});
+
+  RpcNode server(net, "server");
+  server.set_request_handler([](const std::string& type, const std::string& payload,
+                                const std::string& from) {
+    return type + ":" + payload + ":" + from;
+  });
+  RpcNode client(net, "client");
+
+  std::optional<std::string> got;
+  client.call("server", "echo", "hello", 1000,
+              [&](std::optional<std::string> r) { got = r; });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "echo:hello:client");
+  EXPECT_EQ(client.timeouts(), 0u);
+}
+
+TEST(RpcTest, TimeoutWhenServerDown) {
+  Simulator sim;
+  Network net(sim);
+  RpcNode server(net, "server");
+  server.set_request_handler([](auto&&...) { return "never"; });
+  net.set_node_up("server", false);
+  RpcNode client(net, "client");
+
+  bool called = false;
+  std::optional<std::string> got = std::string("sentinel");
+  client.call("server", "echo", "x", 100, [&](std::optional<std::string> r) {
+    called = true;
+    got = r;
+  });
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(client.timeouts(), 1u);
+}
+
+TEST(RpcTest, LateResponseIgnoredAfterTimeout) {
+  Simulator sim;
+  Network net(sim);
+  // Response path is slow: server->client link 500ms, request path 5ms.
+  net.set_default_link({5, 0, 0.0});
+  net.set_link("server", "client", {500, 0, 0.0});
+
+  RpcNode server(net, "server");
+  server.set_request_handler([](auto&&...) { return "slow"; });
+  RpcNode client(net, "client");
+
+  int calls = 0;
+  client.call("server", "t", "", 100, [&](std::optional<std::string> r) {
+    ++calls;
+    EXPECT_FALSE(r.has_value());  // timeout wins
+  });
+  sim.run();
+  EXPECT_EQ(calls, 1);  // callback fired exactly once
+}
+
+TEST(RpcTest, ConcurrentCallsCorrelatedCorrectly) {
+  Simulator sim;
+  Network net(sim);
+  net.set_default_link({5, 3, 0.0});  // jitter shuffles arrival order
+  RpcNode server(net, "server");
+  server.set_request_handler(
+      [](const std::string&, const std::string& payload, const std::string&) {
+        return "re:" + payload;
+      });
+  RpcNode client(net, "client");
+
+  std::map<int, std::string> results;
+  for (int i = 0; i < 20; ++i) {
+    client.call("server", "t", std::to_string(i), 1000,
+                [&results, i](std::optional<std::string> r) {
+                  ASSERT_TRUE(r.has_value());
+                  results[i] = *r;
+                });
+  }
+  sim.run();
+  ASSERT_EQ(results.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(results[i], "re:" + std::to_string(i));
+  }
+}
+
+TEST(RpcTest, AsyncHandlerCanDeferResponse) {
+  Simulator sim;
+  Network net(sim);
+  net.set_default_link({5, 0, 0.0});
+  RpcNode server(net, "server");
+  server.set_async_request_handler(
+      [&sim](const std::string&, const std::string& payload, const std::string&,
+             RpcNode::Responder respond) {
+        sim.schedule(50, [respond, payload]() { respond("deferred:" + payload); });
+      });
+  RpcNode client(net, "client");
+
+  std::optional<std::string> got;
+  client.call("server", "t", "x", 1000,
+              [&](std::optional<std::string> r) { got = r; });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "deferred:x");
+  EXPECT_GE(sim.now(), 60);
+}
+
+TEST(RpcTest, NotifyIsOneWay) {
+  Simulator sim;
+  Network net(sim);
+  RpcNode server(net, "server");
+  std::vector<std::string> notifications;
+  server.set_notify_handler(
+      [&](const std::string& type, const std::string& payload, const std::string&) {
+        notifications.push_back(type + ":" + payload);
+      });
+  RpcNode client(net, "client");
+  client.notify("server", "event", "data");
+  sim.run();
+  EXPECT_EQ(notifications, (std::vector<std::string>{"event:data"}));
+}
+
+// ---------------------------------------------------------------------
+// Secure channel
+// ---------------------------------------------------------------------
+
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  SecureChannelTest()
+      : key_a_(crypto::KeyPair::generate("node-a")),
+        key_b_(crypto::KeyPair::generate("node-b")),
+        content_key_(common::to_bytes("shared-content-key")) {
+    trust_a_.add_trusted_key(key_b_);
+    trust_b_.add_trusted_key(key_a_);
+  }
+
+  crypto::KeyPair key_a_;
+  crypto::KeyPair key_b_;
+  crypto::TrustStore trust_a_;  // what a trusts (b's key)
+  crypto::TrustStore trust_b_;
+  common::Bytes content_key_;
+};
+
+TEST_F(SecureChannelTest, PlainRoundTrip) {
+  SecureChannel a(key_a_, trust_a_, content_key_);
+  SecureChannel b(key_b_, trust_b_, content_key_);
+  const std::string wire = a.protect("hello", {false, false});
+  EXPECT_EQ(b.unprotect(wire), "hello");
+}
+
+TEST_F(SecureChannelTest, SignedRoundTripAndTamperDetection) {
+  SecureChannel a(key_a_, trust_a_, content_key_);
+  SecureChannel b(key_b_, trust_b_, content_key_);
+  const std::string wire = a.protect("payload", {true, false});
+  EXPECT_EQ(b.unprotect(wire), "payload");
+
+  // Flip a byte inside the payload.
+  std::string tampered = wire;
+  const auto pos = tampered.find("payload");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[pos] = 'P';
+  EXPECT_FALSE(b.unprotect(tampered).has_value());
+}
+
+TEST_F(SecureChannelTest, SignedEncryptedRoundTrip) {
+  SecureChannel a(key_a_, trust_a_, content_key_);
+  SecureChannel b(key_b_, trust_b_, content_key_);
+  const std::string secret = "<Request>secret attributes</Request>";
+  const std::string wire = a.protect(secret, {true, true});
+  EXPECT_EQ(wire.find("secret attributes"), std::string::npos);  // confidential
+  EXPECT_EQ(b.unprotect(wire), secret);
+}
+
+TEST_F(SecureChannelTest, UntrustedSignerRejected) {
+  const auto rogue_key = crypto::KeyPair::generate("rogue");
+  crypto::TrustStore empty;
+  SecureChannel rogue(rogue_key, empty, content_key_);
+  SecureChannel b(key_b_, trust_b_, content_key_);
+  const std::string wire = rogue.protect("evil", {true, false});
+  EXPECT_FALSE(b.unprotect(wire).has_value());
+}
+
+TEST_F(SecureChannelTest, WrongContentKeyFails) {
+  SecureChannel a(key_a_, trust_a_, content_key_);
+  SecureChannel wrong(key_b_, trust_b_, common::to_bytes("different-key"));
+  const std::string wire = a.protect("data", {false, true});
+  EXPECT_FALSE(wrong.unprotect(wire).has_value());
+}
+
+TEST_F(SecureChannelTest, SecurityAddsMeasurableOverhead) {
+  SecureChannel a(key_a_, trust_a_, content_key_);
+  const std::string payload(200, 'x');
+  const std::size_t plain = a.protect(payload, {false, false}).size();
+  const std::size_t signed_only = a.protect(payload, {true, false}).size();
+  const std::size_t both = a.protect(payload, {true, true}).size();
+  EXPECT_GT(signed_only, plain);
+  EXPECT_GT(both, signed_only);
+}
+
+TEST_F(SecureChannelTest, DistinctNoncesPerMessage) {
+  SecureChannel a(key_a_, trust_a_, content_key_);
+  const std::string w1 = a.protect("same", {false, true});
+  const std::string w2 = a.protect("same", {false, true});
+  EXPECT_NE(w1, w2);  // fresh nonce -> different ciphertext
+}
+
+}  // namespace
+}  // namespace mdac::net

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/serialization.hpp"
+#include "pap/admin_guard.hpp"
+#include "pap/repository.hpp"
+#include "pap/syndication.hpp"
+
+namespace mdac::pap {
+namespace {
+
+std::string simple_policy_doc(const std::string& id, const std::string& resource,
+                              core::Effect effect = core::Effect::kPermit) {
+  core::Policy p;
+  p.policy_id = id;
+  p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                        core::AttributeValue(resource));
+  core::Rule r;
+  r.id = id + "-rule";
+  r.effect = effect;
+  p.rules.push_back(std::move(r));
+  return core::node_to_string(p);
+}
+
+// ---------------------------------------------------------------------
+// Repository lifecycle
+// ---------------------------------------------------------------------
+
+TEST(RepositoryTest, SubmitIssueWithdrawLifecycle) {
+  common::ManualClock clock(100);
+  PolicyRepository repo(clock);
+
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "alice"));
+  EXPECT_EQ(repo.latest("p1")->status, Lifecycle::kDraft);
+  EXPECT_EQ(repo.issued("p1"), nullptr);
+
+  ASSERT_TRUE(repo.issue("p1", "bob"));
+  EXPECT_EQ(repo.issued("p1")->version, 1);
+
+  ASSERT_TRUE(repo.withdraw("p1", "carol"));
+  EXPECT_EQ(repo.issued("p1"), nullptr);
+  EXPECT_EQ(repo.latest("p1")->status, Lifecycle::kWithdrawn);
+}
+
+TEST(RepositoryTest, RejectsMalformedDocuments) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  EXPECT_FALSE(repo.submit("not xml at all", "alice"));
+  EXPECT_FALSE(repo.submit("<NotAPolicy/>", "alice"));
+  EXPECT_EQ(repo.policy_ids().size(), 0u);
+}
+
+TEST(RepositoryTest, NewVersionSupersedesIssued) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "alice"));
+  ASSERT_TRUE(repo.issue("p1", "alice"));
+  // v2 as draft, then issued: v1 must be auto-withdrawn.
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc2"), "alice"));
+  EXPECT_EQ(repo.latest("p1")->version, 2);
+  EXPECT_EQ(repo.issued("p1")->version, 1);  // still v1 until issue
+  ASSERT_TRUE(repo.issue("p1", "alice"));
+  EXPECT_EQ(repo.issued("p1")->version, 2);
+  EXPECT_EQ(repo.all_issued().size(), 1u);
+}
+
+TEST(RepositoryTest, CannotIssueNonDraftOrUnknown) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  EXPECT_FALSE(repo.issue("ghost", "alice"));
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "alice"));
+  ASSERT_TRUE(repo.issue("p1", "alice"));
+  EXPECT_FALSE(repo.issue("p1", "alice"));  // latest is issued, not draft
+  EXPECT_FALSE(repo.withdraw("ghost", "alice"));
+}
+
+TEST(RepositoryTest, AuditLogRecordsEverything) {
+  common::ManualClock clock(1000);
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "alice"));
+  clock.advance(10);
+  ASSERT_TRUE(repo.issue("p1", "bob"));
+  clock.advance(10);
+  ASSERT_TRUE(repo.withdraw("p1", "carol"));
+
+  const auto& log = repo.audit_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].operation, "submit");
+  EXPECT_EQ(log[0].actor, "alice");
+  EXPECT_EQ(log[0].at, 1000);
+  EXPECT_EQ(log[1].operation, "issue");
+  EXPECT_EQ(log[2].operation, "withdraw");
+  EXPECT_EQ(log[2].at, 1020);
+  // Content hashes are stable for identical documents.
+  EXPECT_EQ(log[0].content_hash, log[1].content_hash);
+  EXPECT_FALSE(log[0].content_hash.empty());
+}
+
+TEST(RepositoryTest, LoadIntoPdpStore) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "a"));
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p2", "doc2"), "a"));
+  ASSERT_TRUE(repo.issue("p1", "a"));
+  // p2 stays a draft: it must not reach the PDP.
+
+  core::PolicyStore store;
+  EXPECT_EQ(repo.load_into(&store), 1u);
+  EXPECT_NE(store.find("p1"), nullptr);
+  EXPECT_EQ(store.find("p2"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Admin guard (policies protecting policies)
+// ---------------------------------------------------------------------
+
+class AdminGuardTest : public ::testing::Test {
+ protected:
+  AdminGuardTest() : repo_(clock_) {
+    // Admin policy: only "chief-admin" may administer policies; issue is
+    // further restricted to the compliance officer for vault policies.
+    auto store = std::make_shared<core::PolicyStore>();
+    core::Policy admin;
+    admin.policy_id = "admin-policy";
+    admin.rule_combining = "first-applicable";
+
+    core::Rule chief;
+    chief.id = "chief-can-anything";
+    chief.effect = core::Effect::kPermit;
+    core::Target chief_target;
+    chief_target.require(core::Category::kSubject, core::attrs::kSubjectId,
+                         core::AttributeValue("chief-admin"));
+    chief.target = std::move(chief_target);
+    admin.rules.push_back(std::move(chief));
+
+    core::Rule compliance;
+    compliance.id = "compliance-can-issue";
+    compliance.effect = core::Effect::kPermit;
+    core::Target t;
+    t.require(core::Category::kSubject, core::attrs::kSubjectId,
+              core::AttributeValue("compliance-officer"));
+    t.require(core::Category::kAction, core::attrs::kActionId,
+              core::AttributeValue("issue"));
+    compliance.target = std::move(t);
+    admin.rules.push_back(std::move(compliance));
+
+    store->add(std::move(admin));
+    guard_ = std::make_unique<GuardedRepository>(
+        repo_, std::make_shared<core::Pdp>(store));
+  }
+
+  common::ManualClock clock_;
+  PolicyRepository repo_;
+  std::unique_ptr<GuardedRepository> guard_;
+};
+
+TEST_F(AdminGuardTest, AuthorizedAdminSucceeds) {
+  EXPECT_TRUE(guard_->submit(simple_policy_doc("p1", "doc"), "chief-admin"));
+  EXPECT_TRUE(guard_->issue("p1", "chief-admin"));
+  EXPECT_TRUE(guard_->withdraw("p1", "chief-admin"));
+}
+
+TEST_F(AdminGuardTest, UnauthorizedActorDenied) {
+  const RepoOutcome o = guard_->submit(simple_policy_doc("p1", "doc"), "mallory");
+  EXPECT_FALSE(o);
+  EXPECT_NE(o.reason.find("denied"), std::string::npos);
+  EXPECT_EQ(repo_.policy_ids().size(), 0u);  // nothing stored
+}
+
+TEST_F(AdminGuardTest, PartialRightsEnforced) {
+  ASSERT_TRUE(guard_->submit(simple_policy_doc("p1", "doc"), "chief-admin"));
+  // Compliance officer may issue but not submit or withdraw.
+  EXPECT_FALSE(guard_->submit(simple_policy_doc("p2", "doc"), "compliance-officer"));
+  EXPECT_TRUE(guard_->issue("p1", "compliance-officer"));
+  EXPECT_FALSE(guard_->withdraw("p1", "compliance-officer"));
+}
+
+TEST_F(AdminGuardTest, AdminRequestShapeIsStable) {
+  const core::RequestContext req =
+      GuardedRepository::admin_request("alice", "issue", "p9");
+  EXPECT_TRUE(req.get(core::Category::kResource, core::attrs::kResourceId)
+                  ->contains(core::AttributeValue("policy:p9")));
+  EXPECT_TRUE(req.get(core::Category::kAction, core::attrs::kActionId)
+                  ->contains(core::AttributeValue("issue")));
+}
+
+// ---------------------------------------------------------------------
+// Syndication constraints
+// ---------------------------------------------------------------------
+
+TEST(SyndicationConstraintTest, ScopeFiltering) {
+  SyndicationConstraint scoped;
+  scoped.resource_scope = "domain-a/*";
+
+  const auto in_scope = core::node_from_string(
+      simple_policy_doc("p1", "domain-a/records"));
+  const auto out_of_scope = core::node_from_string(
+      simple_policy_doc("p2", "domain-b/records"));
+  EXPECT_TRUE(scoped.accepts(*in_scope));
+  EXPECT_FALSE(scoped.accepts(*out_of_scope));
+
+  // An unscoped policy is rejected by a scoped domain.
+  core::Policy unscoped;
+  unscoped.policy_id = "p3";
+  core::Rule r;
+  r.id = "r";
+  r.effect = core::Effect::kPermit;
+  unscoped.rules.push_back(std::move(r));
+  EXPECT_FALSE(scoped.accepts(unscoped));
+
+  SyndicationConstraint open;
+  EXPECT_TRUE(open.accepts(unscoped));
+}
+
+TEST(SyndicationConstraintTest, MaxRulesFiltering) {
+  SyndicationConstraint small;
+  small.max_rules = 1;
+  core::Policy big;
+  big.policy_id = "big";
+  for (int i = 0; i < 3; ++i) {
+    core::Rule r;
+    r.id = "r" + std::to_string(i);
+    r.effect = core::Effect::kPermit;
+    big.rules.push_back(std::move(r));
+  }
+  EXPECT_FALSE(small.accepts(big));
+  small.max_rules = 3;
+  EXPECT_TRUE(small.accepts(big));
+}
+
+TEST(SyndicationReportTest, PayloadRoundTrip) {
+  const SyndicationReport r{3, 2, 5};
+  const auto back = report_from_payload(report_to_payload(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->accepted, 3u);
+  EXPECT_EQ(back->rejected, 2u);
+  EXPECT_EQ(back->nodes_reached, 5u);
+  EXPECT_FALSE(report_from_payload("junk").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Syndication over the network (Fig 5)
+// ---------------------------------------------------------------------
+
+TEST(SyndicationTest, PropagatesThroughHierarchy) {
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({5, 0, 0.0});
+  common::ManualClock repo_clock;
+
+  // Root with two children; one child has a grandchild.
+  PolicyRepository root_repo(repo_clock), child_a_repo(repo_clock),
+      child_b_repo(repo_clock), grand_repo(repo_clock);
+  SyndicationServer root(network, "pap/root", root_repo, {});
+  SyndicationServer child_a(network, "pap/a", child_a_repo, {});
+  SyndicationServer child_b(network, "pap/b", child_b_repo, {});
+  SyndicationServer grand(network, "pap/a/1", grand_repo, {});
+  root.add_child("pap/a");
+  root.add_child("pap/b");
+  child_a.add_child("pap/a/1");
+
+  std::optional<SyndicationReport> report;
+  root.publish(simple_policy_doc("vo-policy", "shared/data"),
+               [&](SyndicationReport r) { report = r; });
+  sim.run();
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->nodes_reached, 4u);
+  EXPECT_EQ(report->accepted, 4u);
+  EXPECT_EQ(report->rejected, 0u);
+  // Every repository now has the policy issued.
+  for (const PolicyRepository* repo :
+       {&root_repo, &child_a_repo, &child_b_repo, &grand_repo}) {
+    EXPECT_NE(repo->issued("vo-policy"), nullptr);
+  }
+}
+
+TEST(SyndicationTest, LocalConstraintsRejectWithoutBlockingPropagation) {
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({5, 0, 0.0});
+  common::ManualClock repo_clock;
+
+  PolicyRepository root_repo(repo_clock), scoped_repo(repo_clock),
+      grand_repo(repo_clock);
+  SyndicationServer root(network, "pap/root", root_repo, {});
+  SyndicationConstraint scope_b;
+  scope_b.resource_scope = "domain-b/*";
+  SyndicationServer scoped(network, "pap/scoped", scoped_repo, scope_b);
+  SyndicationServer grand(network, "pap/grand", grand_repo, {});
+  root.add_child("pap/scoped");
+  scoped.add_child("pap/grand");
+
+  std::optional<SyndicationReport> report;
+  root.publish(simple_policy_doc("p", "domain-a/data"),
+               [&](SyndicationReport r) { report = r; });
+  sim.run();
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->nodes_reached, 3u);
+  EXPECT_EQ(report->accepted, 2u);  // root + grand
+  EXPECT_EQ(report->rejected, 1u);  // the scoped middle node
+  EXPECT_EQ(scoped_repo.issued("p"), nullptr);
+  EXPECT_NE(grand_repo.issued("p"), nullptr);  // still propagated past it
+}
+
+TEST(SyndicationTest, DeadChildTimesOutGracefully) {
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({5, 0, 0.0});
+  common::ManualClock repo_clock;
+
+  PolicyRepository root_repo(repo_clock), live_repo(repo_clock),
+      dead_repo(repo_clock);
+  SyndicationServer root(network, "pap/root", root_repo, {});
+  SyndicationServer live(network, "pap/live", live_repo, {});
+  SyndicationServer dead(network, "pap/dead", dead_repo, {});
+  root.add_child("pap/live");
+  root.add_child("pap/dead");
+  network.set_node_up("pap/dead", false);
+
+  std::optional<SyndicationReport> report;
+  root.publish(simple_policy_doc("p", "x"),
+               [&](SyndicationReport r) { report = r; }, /*per_hop_timeout=*/200);
+  sim.run();
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->nodes_reached, 2u);  // root + live only
+  EXPECT_EQ(report->accepted, 2u);
+  EXPECT_EQ(dead_repo.issued("p"), nullptr);
+}
+
+}  // namespace
+}  // namespace mdac::pap

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/functions.hpp"
+#include "core/policy.hpp"
+#include "pip/history.hpp"
+#include "pip/providers.hpp"
+
+namespace mdac::pip {
+namespace {
+
+using core::AttributeValue;
+using core::Bag;
+using core::Category;
+
+TEST(DirectoryProviderTest, ResolvesSubjectAttributesByRequestSubjectId) {
+  DirectoryProvider dir;
+  dir.add_subject_attribute("alice", "role", AttributeValue("doctor"));
+  dir.add_subject_attribute("alice", "role", AttributeValue("researcher"));
+  dir.add_subject_attribute("bob", "role", AttributeValue("janitor"));
+
+  const auto req = core::RequestContext::make("alice", "r", "read");
+  const auto bag = dir.resolve(Category::kSubject, "role", req);
+  ASSERT_TRUE(bag.has_value());
+  EXPECT_EQ(bag->size(), 2u);
+  EXPECT_TRUE(bag->contains(AttributeValue("doctor")));
+}
+
+TEST(DirectoryProviderTest, ResolvesResourceAttributes) {
+  DirectoryProvider dir;
+  dir.add_resource_attribute("doc-1", "owner", AttributeValue("carol"));
+  const auto req = core::RequestContext::make("alice", "doc-1", "read");
+  const auto bag = dir.resolve(Category::kResource, "owner", req);
+  ASSERT_TRUE(bag.has_value());
+  EXPECT_TRUE(bag->contains(AttributeValue("carol")));
+}
+
+TEST(DirectoryProviderTest, UnknownEntityOrAttributeIsNullopt) {
+  DirectoryProvider dir;
+  dir.add_subject_attribute("alice", "role", AttributeValue("doctor"));
+  const auto unknown_subject = core::RequestContext::make("mallory", "r", "read");
+  EXPECT_FALSE(dir.resolve(Category::kSubject, "role", unknown_subject).has_value());
+  const auto known = core::RequestContext::make("alice", "r", "read");
+  EXPECT_FALSE(dir.resolve(Category::kSubject, "shoe-size", known).has_value());
+  EXPECT_FALSE(dir.resolve(Category::kEnvironment, "role", known).has_value());
+}
+
+TEST(DirectoryProviderTest, RequestWithoutSubjectIdIsNullopt) {
+  DirectoryProvider dir;
+  dir.add_subject_attribute("alice", "role", AttributeValue("doctor"));
+  core::RequestContext req;  // no subject-id at all
+  EXPECT_FALSE(dir.resolve(Category::kSubject, "role", req).has_value());
+}
+
+TEST(EnvironmentProviderTest, SuppliesCurrentTimeFromClock) {
+  common::ManualClock clock(12345);
+  EnvironmentProvider env(clock);
+  core::RequestContext req;
+  const auto bag = env.resolve(Category::kEnvironment, core::attrs::kCurrentTime, req);
+  ASSERT_TRUE(bag.has_value());
+  EXPECT_EQ(bag->at(0).as_time().millis, 12345);
+  clock.advance(10);
+  EXPECT_EQ(env.resolve(Category::kEnvironment, core::attrs::kCurrentTime, req)
+                ->at(0)
+                .as_time()
+                .millis,
+            12355);
+}
+
+TEST(EnvironmentProviderTest, SuppliesRegisteredFacts) {
+  common::ManualClock clock;
+  EnvironmentProvider env(clock);
+  env.set_fact("deployment-zone", AttributeValue("eu-west"));
+  core::RequestContext req;
+  const auto bag = env.resolve(Category::kEnvironment, "deployment-zone", req);
+  ASSERT_TRUE(bag.has_value());
+  EXPECT_TRUE(bag->contains(AttributeValue("eu-west")));
+  EXPECT_FALSE(env.resolve(Category::kEnvironment, "unknown", req).has_value());
+  EXPECT_FALSE(env.resolve(Category::kSubject, "deployment-zone", req).has_value());
+}
+
+TEST(CompositeResolverTest, FirstProviderWins) {
+  DirectoryProvider a;
+  a.add_subject_attribute("alice", "role", AttributeValue("from-a"));
+  DirectoryProvider b;
+  b.add_subject_attribute("alice", "role", AttributeValue("from-b"));
+
+  CompositeResolver composite;
+  composite.add(&a);
+  composite.add(&b);
+
+  const auto req = core::RequestContext::make("alice", "r", "read");
+  const auto bag = composite.resolve(Category::kSubject, "role", req);
+  ASSERT_TRUE(bag.has_value());
+  EXPECT_TRUE(bag->contains(AttributeValue("from-a")));
+}
+
+TEST(CompositeResolverTest, FallsThroughToLaterProviders) {
+  DirectoryProvider a;  // knows nothing
+  common::ManualClock clock(7);
+  EnvironmentProvider env(clock);
+  CompositeResolver composite;
+  composite.add(&a);
+  composite.add(&env);
+
+  core::RequestContext req;
+  EXPECT_TRUE(composite.resolve(Category::kEnvironment, core::attrs::kCurrentTime, req)
+                  .has_value());
+  EXPECT_FALSE(composite.resolve(Category::kSubject, "role", req).has_value());
+}
+
+// ---------------------------------------------------------------------
+// History
+// ---------------------------------------------------------------------
+
+TEST(AccessHistoryTest, RecordsAndProjects) {
+  AccessHistory history;
+  history.record("alice", "doc-1", "read", 10);
+  history.record("alice", "doc-2", "read", 20);
+  history.record("alice", "doc-1", "write", 30);
+  history.record("bob", "doc-3", "read", 40);
+
+  EXPECT_EQ(history.size(), 4u);
+  EXPECT_EQ(history.for_subject("alice").size(), 3u);
+  EXPECT_EQ(history.resources_touched("alice"),
+            (std::vector<std::string>{"doc-1", "doc-2"}));
+  EXPECT_TRUE(history.for_subject("mallory").empty());
+}
+
+TEST(HistoryProviderTest, ExposesAccessedResourcesAttribute) {
+  AccessHistory history;
+  history.record("alice", "doc-1", "read", 1);
+  history.record("alice", "doc-2", "read", 2);
+  HistoryProvider provider(history);
+
+  const auto req = core::RequestContext::make("alice", "doc-3", "read");
+  const auto bag =
+      provider.resolve(Category::kSubject, HistoryProvider::kAccessedResources, req);
+  ASSERT_TRUE(bag.has_value());
+  EXPECT_TRUE(bag->contains(AttributeValue("doc-1")));
+  EXPECT_TRUE(bag->contains(AttributeValue("doc-2")));
+
+  const auto count =
+      provider.resolve(Category::kSubject, HistoryProvider::kAccessCount, req);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(count->at(0).as_integer(), 2);
+}
+
+TEST(HistoryProviderTest, UsableInPolicyCondition) {
+  // A policy denying access to more than 1 distinct resource — a simple
+  // history-based constraint evaluated through the normal PDP path.
+  AccessHistory history;
+  history.record("greedy", "doc-1", "read", 1);
+  history.record("greedy", "doc-2", "read", 2);
+  HistoryProvider provider(history);
+
+  core::Policy p;
+  p.policy_id = "rate-limit";
+  core::Rule r;
+  r.id = "deny-over-quota";
+  r.effect = core::Effect::kDeny;
+  r.condition = core::make_apply(
+      "integer-greater-than",
+      core::make_apply("bag-size",
+                       core::designator(Category::kSubject,
+                                        HistoryProvider::kAccessedResources,
+                                        core::DataType::kString)),
+      core::lit(std::int64_t{1}));
+  p.rules.push_back(std::move(r));
+
+  const auto decide = [&](const std::string& subject) {
+    const auto req = core::RequestContext::make(subject, "doc-9", "read");
+    core::EvaluationContext ctx(req, core::FunctionRegistry::standard(), &provider);
+    return p.evaluate(ctx);
+  };
+  EXPECT_TRUE(decide("greedy").is_deny());
+  EXPECT_TRUE(decide("modest").is_not_applicable());
+}
+
+}  // namespace
+}  // namespace mdac::pip

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "tokens/assertion.hpp"
+#include "tokens/attribute_certificate.hpp"
+
+namespace mdac::tokens {
+namespace {
+
+Assertion sample_assertion() {
+  Assertion a;
+  a.assertion_id = "assertion-1";
+  a.issuer = "cn=idp,o=domain-a";
+  a.subject = "alice";
+  a.issue_instant = 1000;
+  a.conditions.not_before = 1000;
+  a.conditions.not_on_or_after = 2000;
+  a.conditions.audience = "domain-b";
+  a.attributes["role"] =
+      core::Bag::of({core::AttributeValue("doctor"), core::AttributeValue("surgeon")});
+  a.attributes["clearance"] = core::Bag(core::AttributeValue(std::int64_t{2}));
+  a.authz = AuthzDecisionStatement{"record-7", "read", core::DecisionType::kPermit};
+  return a;
+}
+
+// ---------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------
+
+TEST(AssertionTest, XmlRoundTrip) {
+  const Assertion a = sample_assertion();
+  const Assertion back = Assertion::from_xml(a.to_xml());
+  EXPECT_EQ(back, a);
+}
+
+TEST(AssertionTest, WireRoundTripWithSignature) {
+  const auto key = crypto::KeyPair::generate("idp-key");
+  const SignedAssertion signed_token = sign_assertion(sample_assertion(), key);
+  const SignedAssertion back = SignedAssertion::from_wire(signed_token.to_wire());
+  EXPECT_EQ(back.assertion, signed_token.assertion);
+  EXPECT_EQ(back.signature, signed_token.signature);
+}
+
+TEST(AssertionTest, CanonicalFormIsStable) {
+  const Assertion a = sample_assertion();
+  EXPECT_EQ(a.canonical_form(), a.canonical_form());
+  Assertion b = a;
+  b.subject = "mallory";
+  EXPECT_NE(a.canonical_form(), b.canonical_form());
+}
+
+TEST(AssertionTest, MalformedWireThrows) {
+  EXPECT_THROW(SignedAssertion::from_wire("<Nope/>"), std::runtime_error);
+  EXPECT_THROW(SignedAssertion::from_wire("<SignedAssertion/>"), std::runtime_error);
+  EXPECT_THROW(Assertion::from_xml(xml::parse("<Assertion/>")), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Validation — every failure mode the capability architecture relies on
+// ---------------------------------------------------------------------
+
+class AssertionValidationTest : public ::testing::Test {
+ protected:
+  AssertionValidationTest() : key_(crypto::KeyPair::generate("issuer")) {
+    trust_.add_trusted_key(key_);
+  }
+  crypto::KeyPair key_;
+  crypto::TrustStore trust_;
+};
+
+TEST_F(AssertionValidationTest, ValidToken) {
+  const auto token = sign_assertion(sample_assertion(), key_);
+  EXPECT_EQ(validate(token, trust_, 1500, "domain-b"), TokenValidity::kValid);
+}
+
+TEST_F(AssertionValidationTest, ExpiredToken) {
+  const auto token = sign_assertion(sample_assertion(), key_);
+  EXPECT_EQ(validate(token, trust_, 2000, "domain-b"), TokenValidity::kExpired);
+  EXPECT_EQ(validate(token, trust_, 99999, "domain-b"), TokenValidity::kExpired);
+}
+
+TEST_F(AssertionValidationTest, NotYetValidToken) {
+  const auto token = sign_assertion(sample_assertion(), key_);
+  EXPECT_EQ(validate(token, trust_, 500, "domain-b"), TokenValidity::kNotYetValid);
+}
+
+TEST_F(AssertionValidationTest, WrongAudience) {
+  const auto token = sign_assertion(sample_assertion(), key_);
+  EXPECT_EQ(validate(token, trust_, 1500, "domain-c"),
+            TokenValidity::kWrongAudience);
+  EXPECT_EQ(validate(token, trust_, 1500, ""), TokenValidity::kWrongAudience);
+}
+
+TEST_F(AssertionValidationTest, UnrestrictedAudienceAcceptedAnywhere) {
+  Assertion a = sample_assertion();
+  a.conditions.audience.clear();
+  const auto token = sign_assertion(std::move(a), key_);
+  EXPECT_EQ(validate(token, trust_, 1500, "any-domain"), TokenValidity::kValid);
+}
+
+TEST_F(AssertionValidationTest, TamperedAttributesDetected) {
+  auto token = sign_assertion(sample_assertion(), key_);
+  token.assertion.attributes["role"] = core::Bag(core::AttributeValue("root"));
+  EXPECT_EQ(validate(token, trust_, 1500, "domain-b"), TokenValidity::kBadSignature);
+}
+
+TEST_F(AssertionValidationTest, TamperedValidityWindowDetected) {
+  auto token = sign_assertion(sample_assertion(), key_);
+  token.assertion.conditions.not_on_or_after = 999999;  // extend lifetime
+  EXPECT_EQ(validate(token, trust_, 5000, "domain-b"), TokenValidity::kBadSignature);
+}
+
+TEST_F(AssertionValidationTest, UntrustedIssuerRejected) {
+  const auto rogue = crypto::KeyPair::generate("rogue");
+  const auto token = sign_assertion(sample_assertion(), rogue);
+  EXPECT_EQ(validate(token, trust_, 1500, "domain-b"),
+            TokenValidity::kUntrustedIssuer);
+}
+
+TEST_F(AssertionValidationTest, SurvivesWireRoundTrip) {
+  const auto token = sign_assertion(sample_assertion(), key_);
+  const auto back = SignedAssertion::from_wire(token.to_wire());
+  EXPECT_EQ(validate(back, trust_, 1500, "domain-b"), TokenValidity::kValid);
+}
+
+// ---------------------------------------------------------------------
+// Attribute certificates (VOMS-style)
+// ---------------------------------------------------------------------
+
+TEST(FqanTest, TextRoundTrip) {
+  const Fqan with_role{"/vo-physics/analysis", "submitter"};
+  EXPECT_EQ(with_role.to_text(), "/vo-physics/analysis/Role=submitter");
+  EXPECT_EQ(Fqan::parse(with_role.to_text()), with_role);
+
+  const Fqan member_only{"/vo-physics", ""};
+  EXPECT_EQ(member_only.to_text(), "/vo-physics");
+  EXPECT_EQ(Fqan::parse("/vo-physics"), member_only);
+}
+
+class AcTest : public ::testing::Test {
+ protected:
+  AcTest() : key_(crypto::KeyPair::generate("voms")) {
+    trust_.add_trusted_key(key_);
+    ac_ = issue_attribute_certificate(
+        "cn=alice", "cn=voms,o=vo-physics", 7, 100, 200,
+        {Fqan{"/vo-physics", ""}, Fqan{"/vo-physics/analysis", "submitter"}}, key_);
+  }
+  crypto::KeyPair key_;
+  crypto::TrustStore trust_;
+  AttributeCertificate ac_;
+};
+
+TEST_F(AcTest, WireRoundTrip) {
+  const AttributeCertificate back = AttributeCertificate::from_wire(ac_.to_wire());
+  EXPECT_EQ(back.holder, ac_.holder);
+  EXPECT_EQ(back.fqans, ac_.fqans);
+  EXPECT_EQ(back.signature, ac_.signature);
+  EXPECT_EQ(validate(back, trust_, 150), AcValidity::kValid);
+}
+
+TEST_F(AcTest, ValidationFailureModes) {
+  EXPECT_EQ(validate(ac_, trust_, 150), AcValidity::kValid);
+  EXPECT_EQ(validate(ac_, trust_, 50), AcValidity::kNotYetValid);
+  EXPECT_EQ(validate(ac_, trust_, 250), AcValidity::kExpired);
+
+  AttributeCertificate tampered = ac_;
+  tampered.fqans.push_back(Fqan{"/vo-physics/admin", "root"});
+  EXPECT_EQ(validate(tampered, trust_, 150), AcValidity::kBadSignature);
+
+  crypto::TrustStore empty;
+  EXPECT_EQ(validate(ac_, empty, 150), AcValidity::kUntrustedIssuer);
+}
+
+}  // namespace
+}  // namespace mdac::tokens

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "trust/negotiation.hpp"
+
+namespace mdac::trust {
+namespace {
+
+// ---------------------------------------------------------------------
+// DisclosurePolicy
+// ---------------------------------------------------------------------
+
+TEST(DisclosurePolicyTest, AlwaysIsSatisfied) {
+  EXPECT_TRUE(DisclosurePolicy::always().satisfied_by({}));
+}
+
+TEST(DisclosurePolicyTest, CredentialRequiresDisclosure) {
+  const auto p = DisclosurePolicy::credential("employee-id");
+  EXPECT_FALSE(p.satisfied_by({}));
+  EXPECT_TRUE(p.satisfied_by({"employee-id"}));
+  EXPECT_FALSE(p.satisfied_by({"other"}));
+}
+
+TEST(DisclosurePolicyTest, AndOrSemantics) {
+  const auto both = DisclosurePolicy::all_of({DisclosurePolicy::credential("a"),
+                                              DisclosurePolicy::credential("b")});
+  EXPECT_FALSE(both.satisfied_by({"a"}));
+  EXPECT_TRUE(both.satisfied_by({"a", "b"}));
+
+  const auto either = DisclosurePolicy::any_of({DisclosurePolicy::credential("a"),
+                                                DisclosurePolicy::credential("b")});
+  EXPECT_TRUE(either.satisfied_by({"b"}));
+  EXPECT_FALSE(either.satisfied_by({"c"}));
+}
+
+TEST(DisclosurePolicyTest, NestedTrees) {
+  // (a AND (b OR c))
+  const auto p = DisclosurePolicy::all_of(
+      {DisclosurePolicy::credential("a"),
+       DisclosurePolicy::any_of({DisclosurePolicy::credential("b"),
+                                 DisclosurePolicy::credential("c")})});
+  EXPECT_TRUE(p.satisfied_by({"a", "c"}));
+  EXPECT_FALSE(p.satisfied_by({"b", "c"}));
+  EXPECT_EQ(p.mentioned_credentials(), (std::set<std::string>{"a", "b", "c"}));
+}
+
+// ---------------------------------------------------------------------
+// Negotiation scenarios
+// ---------------------------------------------------------------------
+
+/// The classic stranger scenario: a student wants a discounted resource;
+/// the provider wants proof of enrolment; the student only reveals the
+/// enrolment credential to parties showing a business license; the
+/// provider's license is freely available.
+std::pair<Party, Party> student_scenario() {
+  Party student;
+  student.name = "student";
+  student.credentials = {"enrolment-cert"};
+  student.release_policies["enrolment-cert"] =
+      DisclosurePolicy::credential("business-license");
+
+  Party shop;
+  shop.name = "shop";
+  shop.credentials = {"business-license"};
+  shop.resource_policies["discount"] = DisclosurePolicy::credential("enrolment-cert");
+  return {student, shop};
+}
+
+TEST(NegotiationTest, IterativeExchangeSucceeds) {
+  const auto [student, shop] = student_scenario();
+  const NegotiationResult r = negotiate(student, shop, "discount", Strategy::kEager);
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(r.rounds, 2u);  // license first, then enrolment
+  EXPECT_TRUE(r.disclosed_by_provider.count("business-license"));
+  EXPECT_TRUE(r.disclosed_by_requester.count("enrolment-cert"));
+}
+
+TEST(NegotiationTest, ParsimoniousMatchesEagerOnMinimalScenario) {
+  const auto [student, shop] = student_scenario();
+  const auto eager = negotiate(student, shop, "discount", Strategy::kEager);
+  const auto pars = negotiate(student, shop, "discount", Strategy::kParsimonious);
+  EXPECT_TRUE(eager.success);
+  EXPECT_TRUE(pars.success);
+}
+
+TEST(NegotiationTest, ParsimoniousDisclosesLessThanEager) {
+  auto [student, shop] = student_scenario();
+  // The student also carries irrelevant freely-releasable credentials.
+  student.credentials.insert("gym-membership");
+  student.credentials.insert("library-card");
+
+  const auto eager = negotiate(student, shop, "discount", Strategy::kEager);
+  const auto pars = negotiate(student, shop, "discount", Strategy::kParsimonious);
+  ASSERT_TRUE(eager.success);
+  ASSERT_TRUE(pars.success);
+  // Eager leaks the irrelevant credentials; parsimonious does not.
+  EXPECT_GT(eager.disclosed_by_requester.size(), pars.disclosed_by_requester.size());
+  EXPECT_FALSE(pars.disclosed_by_requester.count("gym-membership"));
+}
+
+TEST(NegotiationTest, FailsAtFixpointWhenLocked) {
+  // Deadlock: each side demands the other's credential first.
+  Party a;
+  a.name = "a";
+  a.credentials = {"cred-a"};
+  a.release_policies["cred-a"] = DisclosurePolicy::credential("cred-b");
+  Party b;
+  b.name = "b";
+  b.credentials = {"cred-b"};
+  b.release_policies["cred-b"] = DisclosurePolicy::credential("cred-a");
+  b.resource_policies["res"] = DisclosurePolicy::credential("cred-a");
+
+  const NegotiationResult r = negotiate(a, b, "res", Strategy::kEager);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("fixpoint"), std::string::npos);
+}
+
+TEST(NegotiationTest, MissingCredentialFails) {
+  auto [student, shop] = student_scenario();
+  student.credentials.clear();  // cannot prove enrolment
+  const NegotiationResult r = negotiate(student, shop, "discount", Strategy::kEager);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(NegotiationTest, UnknownResourceFailsSafe) {
+  const auto [student, shop] = student_scenario();
+  const NegotiationResult r = negotiate(student, shop, "ghost", Strategy::kEager);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("no policy"), std::string::npos);
+}
+
+TEST(NegotiationTest, OpenResourceNeedsNoDisclosure) {
+  Party requester;
+  requester.name = "anyone";
+  Party provider;
+  provider.name = "provider";
+  provider.resource_policies["public-page"] = DisclosurePolicy::always();
+  const NegotiationResult r =
+      negotiate(requester, provider, "public-page", Strategy::kEager);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_TRUE(r.disclosed_by_requester.empty());
+}
+
+TEST(NegotiationTest, AlternativeBranchSatisfiesOrPolicy) {
+  Party requester;
+  requester.name = "visitor";
+  requester.credentials = {"press-pass"};  // holds only one alternative
+  Party provider;
+  provider.name = "venue";
+  provider.resource_policies["backstage"] =
+      DisclosurePolicy::any_of({DisclosurePolicy::credential("staff-badge"),
+                                DisclosurePolicy::credential("press-pass")});
+  const NegotiationResult r =
+      negotiate(requester, provider, "backstage", Strategy::kParsimonious);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.disclosed_by_requester.count("press-pass"));
+}
+
+class ChainDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainDepthSweep, DeepAlternatingChainsTerminate) {
+  // requester needs to show c0; c0 is guarded by provider's p0; p0 by
+  // requester's c1; ... depth layers of alternating requirements.
+  const int depth = GetParam();
+  Party requester;
+  requester.name = "r";
+  Party provider;
+  provider.name = "p";
+  for (int i = 0; i < depth; ++i) {
+    const std::string c = "c" + std::to_string(i);
+    const std::string p = "p" + std::to_string(i);
+    requester.credentials.insert(c);
+    provider.credentials.insert(p);
+    requester.release_policies[c] = DisclosurePolicy::credential(p);
+    if (i + 1 < depth) {
+      provider.release_policies[p] =
+          DisclosurePolicy::credential("c" + std::to_string(i + 1));
+    }
+  }
+  provider.resource_policies["res"] = DisclosurePolicy::credential("c0");
+
+  for (const Strategy s : {Strategy::kEager, Strategy::kParsimonious}) {
+    const NegotiationResult r = negotiate(requester, provider, "res", s, 1000);
+    EXPECT_TRUE(r.success) << "depth " << depth;
+    EXPECT_GE(r.rounds, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ChainDepthSweep, ::testing::Values(1, 2, 5, 10, 25));
+
+}  // namespace
+}  // namespace mdac::trust

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace mdac::xml {
+namespace {
+
+TEST(XmlParseTest, SimpleElement) {
+  const Element e = parse("<a/>");
+  EXPECT_EQ(e.name, "a");
+  EXPECT_TRUE(e.children.empty());
+  EXPECT_TRUE(e.text.empty());
+}
+
+TEST(XmlParseTest, AttributesAndText) {
+  const Element e = parse(R"(<a x="1" y='two'>hello</a>)");
+  EXPECT_EQ(e.attr("x"), "1");
+  EXPECT_EQ(e.attr("y"), "two");
+  EXPECT_FALSE(e.attr("z").has_value());
+  EXPECT_EQ(e.attr_or("z", "dflt"), "dflt");
+  EXPECT_EQ(e.text, "hello");
+}
+
+TEST(XmlParseTest, NestedChildren) {
+  const Element e = parse("<root><a>1</a><b/><a>2</a></root>");
+  EXPECT_EQ(e.children.size(), 3u);
+  ASSERT_NE(e.child("a"), nullptr);
+  EXPECT_EQ(e.child("a")->text, "1");
+  EXPECT_EQ(e.children_named("a").size(), 2u);
+  EXPECT_EQ(e.children_named("a")[1]->text, "2");
+  EXPECT_EQ(e.child("missing"), nullptr);
+}
+
+TEST(XmlParseTest, XmlDeclarationAndComments) {
+  const Element e = parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- leading comment -->\n"
+      "<root><!-- inner --><a/></root>\n"
+      "<!-- trailing -->");
+  EXPECT_EQ(e.name, "root");
+  EXPECT_EQ(e.children.size(), 1u);
+}
+
+TEST(XmlParseTest, PredefinedEntities) {
+  const Element e = parse("<a attr=\"&lt;&amp;&gt;\">&quot;x&apos; &amp; y</a>");
+  EXPECT_EQ(e.attr("attr"), "<&>");
+  EXPECT_EQ(e.text, "\"x' & y");
+}
+
+TEST(XmlParseTest, NumericCharacterReferences) {
+  const Element e = parse("<a>&#65;&#x42;&#xe9;</a>");
+  EXPECT_EQ(e.text, "AB\xc3\xa9");  // 'A', 'B', e-acute in UTF-8
+}
+
+TEST(XmlParseTest, Cdata) {
+  const Element e = parse("<a><![CDATA[<not-xml> & raw]]></a>");
+  EXPECT_EQ(e.text, "<not-xml> & raw");
+}
+
+TEST(XmlParseTest, WhitespaceInTags) {
+  const Element e = parse("<a  x = \"1\"   ></a >");
+  EXPECT_EQ(e.attr("x"), "1");
+}
+
+TEST(XmlParseTest, NamespacePrefixesKeptLiteral) {
+  const Element e = parse("<ns:a ns:attr=\"v\"><ns:b/></ns:a>");
+  EXPECT_EQ(e.name, "ns:a");
+  EXPECT_EQ(e.attr("ns:attr"), "v");
+  EXPECT_NE(e.child("ns:b"), nullptr);
+}
+
+// --- Malformed input ---------------------------------------------------
+
+TEST(XmlParseTest, MismatchedEndTag) {
+  EXPECT_THROW(parse("<a><b></a></b>"), ParseError);
+}
+
+TEST(XmlParseTest, DuplicateAttribute) {
+  EXPECT_THROW(parse("<a x=\"1\" x=\"2\"/>"), ParseError);
+}
+
+TEST(XmlParseTest, UnterminatedElement) {
+  EXPECT_THROW(parse("<a><b/>"), ParseError);
+}
+
+TEST(XmlParseTest, TrailingContent) {
+  EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(XmlParseTest, BadEntity) {
+  EXPECT_THROW(parse("<a>&nope;</a>"), ParseError);
+  EXPECT_THROW(parse("<a>&#xzz;</a>"), ParseError);
+}
+
+TEST(XmlParseTest, LtInAttribute) {
+  EXPECT_THROW(parse("<a x=\"<\"/>"), ParseError);
+}
+
+TEST(XmlParseTest, ErrorCarriesLineAndColumn) {
+  try {
+    parse("<a>\n  <b>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 3u);
+  }
+}
+
+TEST(XmlParseTest, TryParseReturnsNulloptWithError) {
+  std::string error;
+  EXPECT_FALSE(try_parse("<a", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(try_parse("<a/>").has_value());
+}
+
+// --- Writing -------------------------------------------------------------
+
+TEST(XmlWriteTest, RoundTripCompact) {
+  Element e("Policy");
+  e.set_attr("PolicyId", "p<1>");
+  e.add_child("Description").text = "says \"hi\" & <bye>";
+  Element& target = e.add_child("Target");
+  target.set_attr("x", "1");
+
+  const std::string s = to_string(e);
+  const Element back = parse(s);
+  EXPECT_EQ(back, e);
+}
+
+TEST(XmlWriteTest, PrettyPrintingRoundTrips) {
+  Element e("a");
+  e.add_child("b").set_attr("k", "v");
+  e.add_child("c");
+  const std::string pretty = to_string(e, /*pretty=*/true);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  // Pretty output parses back to the same structure (no stray text nodes,
+  // because elements with children carry no text of their own).
+  const Element back = parse(pretty);
+  EXPECT_EQ(back.name, "a");
+  EXPECT_EQ(back.children.size(), 2u);
+}
+
+TEST(XmlWriteTest, SetAttrReplacesExisting) {
+  Element e("a");
+  e.set_attr("k", "1");
+  e.set_attr("k", "2");
+  EXPECT_EQ(e.attributes.size(), 1u);
+  EXPECT_EQ(e.attr("k"), "2");
+}
+
+TEST(XmlWriteTest, EscapingFunctions) {
+  EXPECT_EQ(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(escape_attr("\"'"), "&quot;&apos;");
+}
+
+// --- Helpers ------------------------------------------------------------
+
+TEST(XmlHelpersTest, FindPath) {
+  const Element e = parse("<a><b><c><d>deep</d></c></b></a>");
+  const Element* d = find_path(e, "b/c/d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->text, "deep");
+  EXPECT_EQ(find_path(e, "b/x"), nullptr);
+  EXPECT_EQ(find_path(e, ""), &e);
+}
+
+TEST(XmlHelpersTest, SubtreeSize) {
+  const Element e = parse("<a><b><c/></b><d/></a>");
+  EXPECT_EQ(e.subtree_size(), 4u);
+}
+
+}  // namespace
+}  // namespace mdac::xml
