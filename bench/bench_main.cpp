@@ -1,0 +1,426 @@
+// The PDP/cache perf harness: runs the request-evaluation and
+// decision-caching hot paths and emits BENCH_pdp.json (schema and
+// comparison workflow documented in PERF.md).
+//
+// Unlike the google-benchmark experiments (c1..c8, fig*), this binary has
+// no external dependencies, runs in seconds, and reports the three things
+// the ROADMAP's perf trajectory needs per benchmark:
+//   * throughput (ops/sec) and latency percentiles (p50/p90/p99 ns/op)
+//   * allocation pressure (allocs/op, bytes/op) via a global
+//     operator-new hook — the zero-allocation fast path is an explicit
+//     acceptance criterion, so it is measured, not asserted
+//
+// Usage: bench_pdp [--smoke] [--out BENCH_pdp.json]
+//   --smoke shrinks every workload so the whole run fits in <2s; the
+//   bench-smoke ctest target uses it to exercise the perf plumbing on
+//   every tier-1 run.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cache/decision_cache.hpp"
+#include "cache/request_key.hpp"
+#include "cache/ttl_cache.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/pdp.hpp"
+#include "report.hpp"
+#include "workload.hpp"
+
+// ---------------------------------------------------------------------
+// Counting allocator hook: every global new/delete in the process is
+// counted. Relaxed atomics keep the probe cheap enough not to distort
+// the measurement (one uncontended RMW per allocation).
+// ---------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mdac::bench {
+
+/// Keeps the optimizer from discarding decision results without the
+/// google-benchmark dependency.
+void benchmark_sink(const core::Decision& d);
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Scale {
+  int policies = 200;
+  int roles = 4;
+  std::uint64_t iterations = 200'000;
+  std::uint64_t cache_iterations = 1'000'000;
+  int threads = 4;
+};
+
+/// Runs `op` `iterations` times in batches of `batch`, timing each batch
+/// to build the latency distribution and reading the allocation hook
+/// around the whole run. `op(i)` receives the global op index.
+template <typename Op>
+BenchResult run_bench(const std::string& name, std::uint64_t iterations,
+                      std::uint64_t batch, Op&& op) {
+  BenchResult r;
+  r.name = name;
+  r.iterations = iterations;
+
+  // Warmup: populate caches/scratch so we measure steady state.
+  const std::uint64_t warmup = std::max<std::uint64_t>(batch, iterations / 100);
+  for (std::uint64_t i = 0; i < warmup; ++i) op(i);
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iterations / batch) + 1);
+
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const std::uint64_t bytes_before = g_alloc_bytes.load();
+  const auto run_start = Clock::now();
+  std::uint64_t done = 0;
+  while (done < iterations) {
+    const std::uint64_t n = std::min(batch, iterations - done);
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < n; ++i) op(done + i);
+    const auto t1 = Clock::now();
+    samples.push_back(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+        static_cast<double>(n));
+    done += n;
+  }
+  const auto run_end = Clock::now();
+  const std::uint64_t allocs_after = g_alloc_count.load();
+  const std::uint64_t bytes_after = g_alloc_bytes.load();
+
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(run_end - run_start).count());
+  r.mean_ns = total_ns / static_cast<double>(iterations);
+  r.ops_per_sec = total_ns > 0 ? 1e9 * static_cast<double>(iterations) / total_ns : 0;
+  r.p50_ns = percentile(samples, 0.50);
+  r.p90_ns = percentile(samples, 0.90);
+  r.p99_ns = percentile(samples, 0.99);
+  r.allocs_per_op =
+      static_cast<double>(allocs_after - allocs_before) / static_cast<double>(iterations);
+  r.bytes_per_op =
+      static_cast<double>(bytes_after - bytes_before) / static_cast<double>(iterations);
+  return r;
+}
+
+/// Pre-generated request pool so request construction stays out of the
+/// measured region. ~half the requests carry an authorised role.
+std::vector<core::RequestContext> make_request_pool(const Scale& s, std::size_t n) {
+  common::Rng rng(1234);
+  std::vector<core::RequestContext> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.push_back(random_request(rng, s.policies, s.roles));
+  }
+  return pool;
+}
+
+// ---------------------------------------------------------------------
+// Benchmarks
+// ---------------------------------------------------------------------
+
+/// Full PDP evaluation with the target index on: candidate selection +
+/// combining over the selected policies.
+BenchResult bench_pdp_evaluate(const Scale& s) {
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store);
+  const auto pool = make_request_pool(s, 512);
+  double skipped = 0;
+  double calls = 0;
+  auto r = run_bench("pdp_evaluate_indexed", s.iterations, 64, [&](std::uint64_t i) {
+    const auto res = pdp.evaluate_with_metrics(pool[i % pool.size()]);
+    skipped += static_cast<double>(res.candidates_skipped);
+    calls += 1;
+  });
+  r.counters["policies"] = s.policies;
+  r.counters["avg_candidates_skipped"] = calls > 0 ? skipped / calls : 0;
+  return r;
+}
+
+/// The amortised batch entry point: one staleness check and one warm
+/// scratch set for the whole span.
+BenchResult bench_pdp_evaluate_batch(const Scale& s) {
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store);
+  const auto pool = make_request_pool(s, 512);
+  constexpr std::uint64_t kBatch = 64;
+  auto r = run_bench("pdp_evaluate_batch", s.iterations / kBatch, 8,
+                     [&](std::uint64_t i) {
+                       const std::size_t start = (i * kBatch) % (pool.size() - kBatch);
+                       const auto results = pdp.evaluate_batch(
+                           std::span<const core::RequestContext>(&pool[start], kBatch));
+                       benchmark_sink(results.back().decision);
+                     });
+  // Rescale: one "op" above is a whole batch of requests.
+  r.iterations *= kBatch;
+  r.ops_per_sec *= static_cast<double>(kBatch);
+  r.mean_ns /= static_cast<double>(kBatch);
+  r.p50_ns /= static_cast<double>(kBatch);
+  r.p90_ns /= static_cast<double>(kBatch);
+  r.p99_ns /= static_cast<double>(kBatch);
+  r.allocs_per_op /= static_cast<double>(kBatch);
+  r.bytes_per_op /= static_cast<double>(kBatch);
+  r.counters["batch"] = kBatch;
+  return r;
+}
+
+/// Same workload with the index off: the linear target scan the paper's
+/// scalability argument says must be avoided.
+BenchResult bench_pdp_evaluate_noindex(const Scale& s) {
+  core::PdpConfig cfg;
+  cfg.use_target_index = false;
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store, cfg);
+  const auto pool = make_request_pool(s, 512);
+  auto r = run_bench("pdp_evaluate_linear_scan", s.iterations / 4, 64,
+                     [&](std::uint64_t i) {
+                       benchmark_sink(pdp.evaluate(pool[i % pool.size()]));
+                     });
+  r.counters["policies"] = s.policies;
+  return r;
+}
+
+/// The cached-decision fast path: 100% hits after warmup. This is the
+/// path the paper's §3.2 argument needs to be near-free.
+BenchResult bench_cached_hit(const Scale& s) {
+  common::ManualClock clock;
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store);
+  cache::DecisionCache cache(clock, /*ttl=*/1'000'000'000, /*capacity=*/8192);
+  cache::CachingEvaluator cached(cache, [&](const core::RequestContext& req) {
+    return pdp.evaluate(req);
+  });
+  const auto pool = make_request_pool(s, 512);
+  auto r = run_bench("cached_decision_hit", s.cache_iterations, 256,
+                     [&](std::uint64_t i) { benchmark_sink(cached(pool[i % pool.size()])); });
+  r.counters["hit_ratio"] = cache.stats().hit_ratio();
+  return r;
+}
+
+/// Mixed hit/miss traffic under TTL churn: the steady-state PEP shape.
+BenchResult bench_cached_churn(const Scale& s) {
+  common::ManualClock clock;
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store);
+  cache::DecisionCache cache(clock, /*ttl=*/5'000, /*capacity=*/4096);
+  cache::CachingEvaluator cached(cache, [&](const core::RequestContext& req) {
+    return pdp.evaluate(req);
+  });
+  const auto pool = make_request_pool(s, 2048);
+  auto r = run_bench("cached_decision_churn", s.cache_iterations / 4, 256,
+                     [&](std::uint64_t i) {
+                       clock.advance(1);
+                       benchmark_sink(cached(pool[i % pool.size()]));
+                     });
+  r.counters["hit_ratio"] = cache.stats().hit_ratio();
+  return r;
+}
+
+/// Raw key derivation cost: what lookup+insert pay per request before
+/// they ever touch the cache structure. Legacy canonical string...
+BenchResult bench_request_key_legacy(const Scale& s) {
+  const auto pool = make_request_pool(s, 512);
+  std::size_t sink = 0;
+  auto r = run_bench("request_key_canonical_string", s.cache_iterations / 2, 256,
+                     [&](std::uint64_t i) {
+                       sink += cache::canonical_request_key(pool[i % pool.size()]).size();
+                     });
+  r.counters["sink"] = static_cast<double>(sink % 7);
+  return r;
+}
+
+/// ...vs the allocation-free 128-bit fingerprint the cache now keys on.
+BenchResult bench_request_key_fingerprint(const Scale& s) {
+  const auto pool = make_request_pool(s, 512);
+  std::uint64_t sink = 0;
+  auto r = run_bench("request_key_fingerprint", s.cache_iterations, 256,
+                     [&](std::uint64_t i) {
+                       sink += cache::fingerprint(pool[i % pool.size()]).lo;
+                     });
+  r.counters["sink"] = static_cast<double>(sink % 7);
+  return r;
+}
+
+/// The seed's cached-decision path, reproduced for in-binary comparison:
+/// single-lock TtlLruCache keyed by the canonical string, and — as the
+/// seed's CachingEvaluator did — the key canonicalised once in lookup
+/// and AGAIN in insert on every miss.
+BenchResult bench_cached_hit_legacy(const Scale& s) {
+  common::ManualClock clock;
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store);
+  cache::TtlLruCache<std::string, core::Decision> cache(clock, 1'000'000'000, 8192);
+  const auto pool = make_request_pool(s, 512);
+  auto evaluate_cached = [&](const core::RequestContext& req) {
+    if (auto hit = cache.lookup(cache::canonical_request_key(req))) return *hit;
+    core::Decision d = pdp.evaluate(req);
+    if (d.is_permit() || d.is_deny()) {
+      cache.insert(cache::canonical_request_key(req), d);
+    }
+    return d;
+  };
+  auto r = run_bench("cached_decision_hit_legacy", s.cache_iterations, 256,
+                     [&](std::uint64_t i) {
+                       benchmark_sink(evaluate_cached(pool[i % pool.size()]));
+                     });
+  r.counters["hit_ratio"] = cache.stats().hit_ratio();
+  return r;
+}
+
+/// Multi-threaded 100%-hit traffic against the DecisionCache;
+/// `shards` = 1 measures the old single-lock behaviour, `shards` = 8 the
+/// striped one. Throughput is aggregated across threads; latency
+/// percentiles come from thread 0's batches.
+BenchResult bench_cache_mt(const Scale& s, const char* name, std::size_t shards) {
+  common::ManualClock clock;
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store);
+  cache::DecisionCache cache(clock, 1'000'000'000, 8192, shards);
+  const auto pool = make_request_pool(s, 512);
+  for (const auto& req : pool) {
+    cache.insert(req, pdp.evaluate(req));
+  }
+
+  const int threads = s.threads;
+  const std::uint64_t per_thread = s.cache_iterations / static_cast<std::uint64_t>(threads);
+  constexpr std::uint64_t kBatch = 256;
+
+  std::vector<double> samples;  // thread 0 only
+  samples.reserve(static_cast<std::size_t>(per_thread / kBatch) + 1);
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const auto t_start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::uint64_t done = 0;
+        while (done < per_thread) {
+          const std::uint64_t n = std::min(kBatch, per_thread - done);
+          const auto b0 = Clock::now();
+          for (std::uint64_t i = 0; i < n; ++i) {
+            const auto& req = pool[(done + i + static_cast<std::uint64_t>(t) * 131) %
+                                   pool.size()];
+            if (auto hit = cache.lookup(req)) benchmark_sink(*hit);
+          }
+          const auto b1 = Clock::now();
+          if (t == 0) {
+            samples.push_back(
+                static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        b1 - b0)
+                                        .count()) /
+                static_cast<double>(n));
+          }
+          done += n;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto t_end = Clock::now();
+  const std::uint64_t allocs_after = g_alloc_count.load();
+
+  const std::uint64_t total_ops = per_thread * static_cast<std::uint64_t>(threads);
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t_start).count());
+  BenchResult r;
+  r.name = name;
+  r.iterations = total_ops;
+  r.ops_per_sec = total_ns > 0 ? 1e9 * static_cast<double>(total_ops) / total_ns : 0;
+  r.mean_ns = total_ns / static_cast<double>(total_ops) * threads;  // per-op CPU-ish
+  r.p50_ns = percentile(samples, 0.50);
+  r.p90_ns = percentile(samples, 0.90);
+  r.p99_ns = percentile(samples, 0.99);
+  r.allocs_per_op =
+      static_cast<double>(allocs_after - allocs_before) / static_cast<double>(total_ops);
+  r.counters["threads"] = threads;
+  r.counters["shards"] = static_cast<double>(cache.shard_count());
+  r.counters["hit_ratio"] = cache.stats().hit_ratio();
+  return r;
+}
+
+void print_row(const BenchResult& r) {
+  std::printf("%-32s %12.0f ops/s  p50 %8.0f ns  p99 %8.0f ns  %7.2f allocs/op\n",
+              r.name.c_str(), r.ops_per_sec, r.p50_ns, r.p99_ns, r.allocs_per_op);
+}
+
+}  // namespace
+
+void benchmark_sink(const core::Decision& d) {
+  static std::atomic<int> sink{0};
+  sink.fetch_add(static_cast<int>(d.type), std::memory_order_relaxed);
+}
+
+int run(int argc, char** argv) {
+  Scale scale;
+  std::string out = "BENCH_pdp.json";
+  std::string workload = "full";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      workload = "smoke";
+      scale.policies = 20;
+      scale.iterations = 2'000;
+      scale.cache_iterations = 10'000;
+      scale.threads = 2;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Report report;
+  for (auto* bench : {&bench_pdp_evaluate, &bench_pdp_evaluate_batch,
+                      &bench_pdp_evaluate_noindex, &bench_cached_hit,
+                      &bench_cached_hit_legacy, &bench_cached_churn,
+                      &bench_request_key_fingerprint, &bench_request_key_legacy}) {
+    BenchResult r = (*bench)(scale);
+    print_row(r);
+    report.add(std::move(r));
+  }
+  for (const auto& [name, shards] :
+       std::initializer_list<std::pair<const char*, std::size_t>>{
+           {"cached_decision_hit_mt_sharded", 8},
+           {"cached_decision_hit_mt_single_shard", 1}}) {
+    BenchResult r = bench_cache_mt(scale, name, shards);
+    print_row(r);
+    report.add(std::move(r));
+  }
+
+  if (!report.write(out, workload)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu benchmarks, workload=%s)\n", out.c_str(),
+              report.results().size(), workload.c_str());
+  return 0;
+}
+
+}  // namespace mdac::bench
+
+int main(int argc, char** argv) { return mdac::bench::run(argc, argv); }

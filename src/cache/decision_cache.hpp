@@ -1,9 +1,11 @@
 // Decision caching at the enforcement point (paper §3.2, "Communication
 // Performance", citing Woo & Lam's caching proposal [61]).
 //
-// The cache key is the canonicalised request; the value is the full
-// decision including obligations. The paper's warning — stale entries
-// cause false permits / false denies — is exactly what experiment C1
+// The cache key is the request's 128-bit fingerprint (request_key.hpp);
+// the value is the full decision including obligations. Storage is an
+// N-way sharded TTL+LRU cache (sharded_cache.hpp) so a multi-threaded
+// PEP scales across cores. The paper's warning — stale entries cause
+// false permits / false denies — is exactly what experiment C1
 // quantifies, using `StalenessProbe` to compare cached answers against a
 // fresh oracle.
 #pragma once
@@ -12,7 +14,8 @@
 #include <optional>
 #include <string>
 
-#include "cache/ttl_cache.hpp"
+#include "cache/request_key.hpp"
+#include "cache/sharded_cache.hpp"
 #include "core/decision.hpp"
 #include "core/request.hpp"
 
@@ -20,20 +23,35 @@ namespace mdac::cache {
 
 /// Canonical string form of a request (deterministic: attributes are
 /// stored sorted). Two semantically equal requests produce equal keys.
+/// Kept for serialisation/diagnostics; the cache itself keys on the
+/// allocation-free `fingerprint()`.
 std::string canonical_request_key(const core::RequestContext& request);
 
 class DecisionCache {
  public:
+  /// `capacity` is the total across all shards (rounded up to a multiple
+  /// of the shard count, see ShardedTtlLruCache); `shards` is rounded up
+  /// to a power of two.
   DecisionCache(const common::Clock& clock, common::Duration ttl,
-                std::size_t capacity = 4096)
-      : cache_(clock, ttl, capacity) {}
+                std::size_t capacity = 4096, std::size_t shards = 8)
+      : cache_(clock, ttl, capacity, shards) {}
 
   std::optional<core::Decision> lookup(const core::RequestContext& request) {
-    return cache_.lookup(canonical_request_key(request));
+    return lookup(fingerprint(request));
   }
 
   void insert(const core::RequestContext& request, const core::Decision& decision) {
-    cache_.insert(canonical_request_key(request), decision);
+    insert(fingerprint(request), decision);
+  }
+
+  /// Key-level overloads so callers probing and then filling (the
+  /// CachingEvaluator / PEP shape) fingerprint the request only once.
+  std::optional<core::Decision> lookup(const RequestKey& key) {
+    return cache_.lookup(key);
+  }
+
+  void insert(const RequestKey& key, const core::Decision& decision) {
+    cache_.insert(key, decision);
   }
 
   /// Policy-change notification: drop everything.
@@ -41,14 +59,16 @@ class DecisionCache {
 
   /// Targeted invalidation (e.g. a revoked subject).
   bool invalidate(const core::RequestContext& request) {
-    return cache_.invalidate(canonical_request_key(request));
+    return cache_.invalidate(fingerprint(request));
   }
 
-  const CacheStats& stats() const { return cache_.stats(); }
+  /// Aggregated over all shards; a snapshot, not a live reference.
+  CacheStats stats() const { return cache_.stats(); }
   std::size_t size() const { return cache_.size(); }
+  std::size_t shard_count() const { return cache_.shard_count(); }
 
  private:
-  TtlLruCache<std::string, core::Decision> cache_;
+  ShardedTtlLruCache<RequestKey, core::Decision> cache_;
 };
 
 /// Wraps an evaluation function with the cache: the shape a PEP uses.
@@ -60,12 +80,13 @@ class CachingEvaluator {
       : cache_(cache), evaluate_(std::move(evaluate)) {}
 
   core::Decision operator()(const core::RequestContext& request) {
-    if (auto hit = cache_.lookup(request)) return *hit;
+    const RequestKey key = fingerprint(request);
+    if (auto hit = cache_.lookup(key)) return *hit;
     core::Decision d = evaluate_(request);
     // Only definitive decisions are cacheable; Indeterminate may be a
     // transient infrastructure failure and NotApplicable may flip when
     // new policies arrive (conservative choice).
-    if (d.is_permit() || d.is_deny()) cache_.insert(request, d);
+    if (d.is_permit() || d.is_deny()) cache_.insert(key, d);
     return d;
   }
 

@@ -1,0 +1,115 @@
+#include "cache/request_key.hpp"
+
+#include <bit>
+#include <random>
+#include <string_view>
+
+namespace mdac::cache {
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over raw bytes (strings are the only variable-length input).
+std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+struct H128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// Hashes one typed value under a secret per-process key. The DataType
+/// tag is folded in so equal lexical forms of different types stay
+/// distinct. Keying each *value* hash (not just the chaining state) is
+/// what makes the commutative bag sums attacker-opaque: with unkeyed
+/// value hashes the sums would be computable offline regardless of any
+/// seed applied later in the chain.
+H128 hash_value(const core::AttributeValue& v, std::uint64_t key) {
+  const auto tag = (static_cast<std::uint64_t>(v.type()) << 56) ^ key;
+  std::uint64_t raw = 0;
+  switch (v.type()) {
+    case core::DataType::kString:
+      raw = hash_bytes(v.as_string(), /*seed=*/tag);
+      break;
+    case core::DataType::kBoolean:
+      raw = v.as_boolean() ? 1 : 2;
+      break;
+    case core::DataType::kInteger:
+      raw = static_cast<std::uint64_t>(v.as_integer());
+      break;
+    case core::DataType::kDouble:
+      raw = std::bit_cast<std::uint64_t>(v.as_double());
+      break;
+    case core::DataType::kTime:
+      raw = static_cast<std::uint64_t>(v.as_time().millis);
+      break;
+  }
+  H128 h;
+  h.lo = mix64(tag ^ raw);
+  h.hi = mix64(h.lo ^ key ^ 0xA5A5A5A55A5A5A5AULL);
+  return h;
+}
+
+/// Per-process random seeds: `a`/`b` key the chaining state and `a` also
+/// keys every per-value hash. The mixers above are not cryptographic:
+/// with fixed constants an adversary controlling multi-valued attributes
+/// could search offline (Wagner k-sum) for colliding value multisets —
+/// the bag combination is a commutative sum — and have one principal
+/// served another's cached decision. Secret keys force any such search
+/// through the live process, which cannot observe fingerprints. Costs
+/// nothing per call; the fingerprint was already documented as
+/// process-local.
+struct Seeds {
+  std::uint64_t a;
+  std::uint64_t b;
+  static const Seeds& get() {
+    static const Seeds s = [] {
+      std::random_device rd;
+      const auto word = [&rd] {
+        return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+      };
+      return Seeds{mix64(word() ^ 0x7D0C45BD10F8E791ULL),
+                   mix64(word() ^ 0x93A4F1B26E05C3DAULL)};
+    }();
+    return s;
+  }
+};
+
+}  // namespace
+
+RequestKey fingerprint(const core::RequestContext& request) {
+  // Entries iterate in canonical (category, symbol) order, so chaining
+  // order-dependently across entries is deterministic; *within* a bag the
+  // per-value hashes are summed, making the bag a commutative multiset.
+  const Seeds& seeds = Seeds::get();
+  RequestKey key{seeds.a, seeds.b};
+  for (const core::RequestContext::Entry& entry : request.attributes()) {
+    std::uint64_t bag_lo = 0;
+    std::uint64_t bag_hi = 0;
+    for (const core::AttributeValue& v : entry.bag.values()) {
+      const H128 hv = hash_value(v, seeds.a);
+      bag_lo += hv.lo;
+      bag_hi += hv.hi;
+    }
+    const std::uint64_t slot =
+        (static_cast<std::uint64_t>(entry.category) << 32) | entry.id;
+    key.lo = mix64(key.lo ^ slot ^ bag_lo);
+    key.hi = mix64(key.hi ^ std::rotl(key.lo, 32) ^ bag_hi ^
+                   (entry.bag.size() * 0xC2B2AE3D27D4EB4FULL));
+  }
+  return key;
+}
+
+}  // namespace mdac::cache

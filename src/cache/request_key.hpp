@@ -1,0 +1,50 @@
+// 128-bit request fingerprints — the decision-cache key.
+//
+// `canonical_request_key` (decision_cache.hpp) materialises a canonical
+// *string* per call: one ostringstream, one vector of lexical forms and a
+// sort, every time a PEP touches the cache. At wire rate that string
+// build dominates the cached-decision fast path (measured by the
+// `request_key_*` rows in BENCH_pdp.json). The fingerprint below replaces
+// it: an incremental 128-bit hash over the request's entries computed
+// with zero heap allocations.
+//
+// Canonicalisation properties (matching the string key's):
+//   * semantically equal requests — attributes and bag values added in
+//     any order — produce equal fingerprints (request storage is sorted
+//     by (category, symbol); bag contents are combined commutatively);
+//   * the value's data type is part of the hash, so "1" != int(1);
+//   * distinct requests collide only with ~2^-128 probability.
+//
+// The fingerprint hashes interner *symbols*, not attribute-name bytes,
+// so it is only stable within one process — exactly the lifetime of the
+// in-memory DecisionCache it keys. Anything persisted or sent on the
+// wire must use the canonical string form instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/request.hpp"
+
+namespace mdac::cache {
+
+struct RequestKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const RequestKey&) const = default;
+};
+
+/// Computes the fingerprint of a request. Allocation-free.
+RequestKey fingerprint(const core::RequestContext& request);
+
+}  // namespace mdac::cache
+
+template <>
+struct std::hash<mdac::cache::RequestKey> {
+  std::size_t operator()(const mdac::cache::RequestKey& k) const noexcept {
+    // lo/hi are already well-mixed; fold them so both halves matter.
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9E3779B97F4A7C15ULL));
+  }
+};

@@ -1,0 +1,122 @@
+// N-way sharded TTL+LRU cache.
+//
+// The single-lock TtlLruCache serialises every PEP thread on one mutex;
+// under the paper's "heavy traffic" assumption the lock, not the lookup,
+// becomes the bottleneck. Sharding stripes the key space over N
+// independent TtlLruCache instances, each behind its own mutex, so
+// concurrent lookups of different keys proceed in parallel and a miss
+// inserting on one shard never blocks hits on the others.
+//
+// Stats are kept per shard (each under its shard lock, so the counters
+// stay exact) and aggregated on demand by `stats()`. `invalidate_all`
+// locks shards one at a time: the cache is a cache — a lookup racing the
+// sweep may still see a not-yet-swept entry on another shard, which is
+// indistinguishable from the lookup having happened just before the
+// sweep began.
+#pragma once
+
+#include <bit>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "cache/ttl_cache.hpp"
+#include "common/clock.hpp"
+
+namespace mdac::cache {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedTtlLruCache {
+ public:
+  /// `shard_count` is rounded up to a power of two (minimum 1).
+  /// `capacity` is the total across shards, rounded *up* to the next
+  /// multiple of the shard count (each shard holds at least one entry),
+  /// so the effective capacity is in [capacity, capacity + shards - 1]
+  /// and never below what the caller asked for.
+  ShardedTtlLruCache(const common::Clock& clock, common::Duration ttl,
+                     std::size_t capacity, std::size_t shard_count)
+      : mask_(std::bit_ceil(shard_count == 0 ? std::size_t{1} : shard_count) - 1) {
+    const std::size_t shards = mask_ + 1;
+    const std::size_t per_shard = std::max<std::size_t>(1, (capacity + shards - 1) / shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(clock, ttl, per_shard));
+    }
+  }
+
+  std::optional<Value> lookup(const Key& key) {
+    Shard& s = shard_of(key);
+    std::lock_guard lock(s.mutex);
+    return s.cache.lookup(key);
+  }
+
+  void insert(const Key& key, Value value) {
+    Shard& s = shard_of(key);
+    std::lock_guard lock(s.mutex);
+    s.cache.insert(key, std::move(value));
+  }
+
+  bool invalidate(const Key& key) {
+    Shard& s = shard_of(key);
+    std::lock_guard lock(s.mutex);
+    return s.cache.invalidate(key);
+  }
+
+  void invalidate_all() {
+    for (auto& s : shards_) {
+      std::lock_guard lock(s->mutex);
+      s->cache.invalidate_all();
+    }
+  }
+
+  /// Aggregated snapshot across shards (hits/misses/… sum exactly).
+  CacheStats stats() const {
+    CacheStats total;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mutex);
+      const CacheStats& c = s->cache.stats();
+      total.hits += c.hits;
+      total.misses += c.misses;
+      total.expirations += c.expirations;
+      total.evictions += c.evictions;
+      total.invalidations += c.invalidations;
+    }
+    return total;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard lock(s->mutex);
+      total += s->cache.size();
+    }
+    return total;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    Shard(const common::Clock& clock, common::Duration ttl, std::size_t capacity)
+        : cache(clock, ttl, capacity) {}
+    mutable std::mutex mutex;
+    TtlLruCache<Key, Value, Hash> cache;
+  };
+
+  Shard& shard_of(const Key& key) const {
+    // Remix the hash before masking so shard choice uses different bits
+    // than the per-shard hash table (keys in one shard would otherwise
+    // share their low hash bits).
+    std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return *shards_[static_cast<std::size_t>(h) & mask_];
+  }
+
+  std::size_t mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mdac::cache

@@ -4,9 +4,10 @@
 // expiry and invalidation.
 #pragma once
 
+#include <functional>
 #include <list>
-#include <map>
 #include <optional>
+#include <unordered_map>
 
 #include "common/clock.hpp"
 
@@ -25,7 +26,7 @@ struct CacheStats {
   }
 };
 
-template <typename Key, typename Value>
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class TtlLruCache {
  public:
   /// `ttl` in milliseconds; `capacity` in entries.
@@ -97,7 +98,7 @@ class TtlLruCache {
   const common::Clock& clock_;
   common::Duration ttl_;
   std::size_t capacity_;
-  std::map<Key, Entry> entries_;
+  std::unordered_map<Key, Entry, Hash> entries_;
   std::list<Key> lru_;
   CacheStats stats_;
 };

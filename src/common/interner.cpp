@@ -1,0 +1,61 @@
+#include "common/interner.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace mdac::common {
+
+Symbol Interner::intern(std::string_view s) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = map_.find(s);
+    if (it != map_.end()) return it->second;
+  }
+  std::unique_lock lock(mutex_);
+  // Re-check: another thread may have interned `s` between the locks.
+  const auto it = map_.find(s);
+  if (it != map_.end()) return it->second;
+  if (strings_.size() >= max_size_ || bytes_ + s.size() > max_bytes_) {
+    throw std::length_error("Interner: symbol table is full");
+  }
+  bytes_ += s.size();
+  strings_.emplace_back(s);
+  const Symbol sym = static_cast<Symbol>(strings_.size() - 1);
+  map_.emplace(std::string_view(strings_.back()), sym);
+  return sym;
+}
+
+std::optional<Symbol> Interner::find(std::string_view s) const {
+  std::shared_lock lock(mutex_);
+  const auto it = map_.find(s);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Interner::name(Symbol s) const {
+  std::shared_lock lock(mutex_);
+  if (s >= strings_.size()) throw std::out_of_range("Interner::name: bad symbol");
+  return strings_[s];
+}
+
+void Interner::set_max_size(std::size_t max_size) {
+  std::unique_lock lock(mutex_);
+  max_size_ = max_size;
+}
+
+void Interner::set_max_bytes(std::size_t max_bytes) {
+  std::unique_lock lock(mutex_);
+  max_bytes_ = max_bytes;
+}
+
+std::size_t Interner::size() const {
+  std::shared_lock lock(mutex_);
+  return strings_.size();
+}
+
+Interner& interner() {
+  static Interner instance;
+  return instance;
+}
+
+}  // namespace mdac::common

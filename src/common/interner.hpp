@@ -1,0 +1,80 @@
+// Interned symbol table for hot-path identifiers.
+//
+// Attribute names (and the policy-literal values the PDP target index
+// keys on) form a small, slowly-growing vocabulary, while requests
+// referencing them arrive at wire rate. Interning turns every repeated
+// string comparison/hash on the decision hot path into an integer
+// operation: `RequestContext` keys its bags by (Category, Symbol) and the
+// PDP candidate index probes by Symbol (see core/request.hpp,
+// core/pdp.hpp).
+//
+// `find()` deliberately never inserts: request-supplied *values* are
+// unbounded (millions of users), so the hot path may only look up, never
+// grow the table. Only policy/index build and attribute-name
+// registration call `intern()`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mdac::common {
+
+/// Dense id of an interned string. Valid symbols are indices into the
+/// owning Interner; equality of symbols (from one interner) is equality
+/// of strings.
+using Symbol = std::uint32_t;
+
+class Interner {
+ public:
+  /// Hard caps on distinct symbols and on total interned bytes.
+  /// Interning is permanent, and request parsing interns
+  /// attacker-supplied attribute *names* (values are never interned), so
+  /// an unbounded table would be a memory-exhaustion vector: a wire peer
+  /// sending requests with always-fresh attribute ids must hit a wall,
+  /// not grow the process forever. The byte cap matters as much as the
+  /// count cap — 2^20 megabyte-long names would be a terabyte. 2^20
+  /// names / 64 MiB are far beyond any real policy vocabulary.
+  static constexpr std::size_t kDefaultMaxSize = 1u << 20;
+  static constexpr std::size_t kDefaultMaxBytes = 64u << 20;
+
+  /// Returns the symbol for `s`, inserting it if new. Throws
+  /// std::length_error once `max_size` distinct strings or `max_bytes`
+  /// total name bytes are interned — callers on the request-parsing path
+  /// treat that as a malformed request (fail-safe deny), not a crash.
+  /// Thread-safe.
+  Symbol intern(std::string_view s);
+
+  /// Adjusts the caps (testing / embedders with known vocabularies).
+  void set_max_size(std::size_t max_size);
+  void set_max_bytes(std::size_t max_bytes);
+
+  /// Returns the symbol for `s` if it was ever interned; never inserts.
+  /// The steady-state (read-mostly) hot-path operation. Thread-safe.
+  std::optional<Symbol> find(std::string_view s) const;
+
+  /// The string a symbol stands for. The reference stays valid for the
+  /// interner's lifetime (strings are never moved or freed). Thread-safe.
+  const std::string& name(Symbol s) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  // Views in `map_` point into `strings_`; std::deque growth never moves
+  // existing elements, so the views (and name() references) stay valid.
+  std::unordered_map<std::string_view, Symbol> map_;
+  std::deque<std::string> strings_;
+  std::size_t max_size_ = kDefaultMaxSize;
+  std::size_t max_bytes_ = kDefaultMaxBytes;
+  std::size_t bytes_ = 0;
+};
+
+/// The process-wide interner used by the core request/PDP types.
+Interner& interner();
+
+}  // namespace mdac::common

@@ -1,6 +1,7 @@
 // Small string helpers used throughout the library.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,5 +22,18 @@ std::string to_lower(std::string_view s);
 /// Simple glob-free prefix wildcard matching used by scope rules:
 /// pattern "a/*" matches "a/b"; "*" matches anything; otherwise exact.
 bool wildcard_match(std::string_view pattern, std::string_view value);
+
+/// Transparent string hash for unordered containers: lets hot paths probe
+/// std::unordered_map<std::string, ...> with a string_view, avoiding the
+/// temporary std::string an untyped probe would allocate.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 }  // namespace mdac::common

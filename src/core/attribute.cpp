@@ -122,4 +122,20 @@ std::optional<Category> category_from_string(std::string_view s) {
   return std::nullopt;
 }
 
+const attrs::Symbols& attrs::Symbols::get() {
+  static const Symbols instance{
+      common::interner().intern(attrs::kSubjectId),
+      common::interner().intern(attrs::kSubjectDomain),
+      common::interner().intern(attrs::kRole),
+      common::interner().intern(attrs::kClearance),
+      common::interner().intern(attrs::kResourceId),
+      common::interner().intern(attrs::kResourceDomain),
+      common::interner().intern(attrs::kResourceOwner),
+      common::interner().intern(attrs::kClassification),
+      common::interner().intern(attrs::kActionId),
+      common::interner().intern(attrs::kCurrentTime),
+  };
+  return instance;
+}
+
 }  // namespace mdac::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/interner.hpp"
 
 namespace mdac::core {
 
@@ -128,6 +129,24 @@ inline constexpr const char* kResourceOwner = "resource-owner";
 inline constexpr const char* kClassification = "classification";
 inline constexpr const char* kActionId = "action-id";
 inline constexpr const char* kCurrentTime = "current-time";
+
+/// The well-known ids pre-interned (common::Interner), for hot paths that
+/// probe requests by Symbol instead of by string. Resolved once, on first
+/// use.
+struct Symbols {
+  common::Symbol subject_id;
+  common::Symbol subject_domain;
+  common::Symbol role;
+  common::Symbol clearance;
+  common::Symbol resource_id;
+  common::Symbol resource_domain;
+  common::Symbol resource_owner;
+  common::Symbol classification;
+  common::Symbol action_id;
+  common::Symbol current_time;
+
+  static const Symbols& get();
+};
 }  // namespace attrs
 
 }  // namespace mdac::core

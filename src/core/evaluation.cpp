@@ -20,6 +20,20 @@ Bag filter_by_type(const Bag& in, DataType expected) {
 
 }  // namespace
 
+const Bag* EvaluationContext::attribute_in_request(Category category,
+                                                   const std::string& id,
+                                                   DataType expected) {
+  const Bag* bag = request_.get(category, id);
+  if (bag == nullptr) return nullptr;
+  for (const AttributeValue& v : bag->values()) {
+    if (v.type() == expected) {
+      ++metrics_.attribute_lookups;
+      return bag;
+    }
+  }
+  return nullptr;
+}
+
 ExprResult EvaluationContext::attribute(Category category, const std::string& id,
                                         DataType expected, bool must_be_present) {
   ++metrics_.attribute_lookups;

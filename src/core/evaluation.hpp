@@ -78,6 +78,16 @@ class EvaluationContext {
   ExprResult attribute(Category category, const std::string& id, DataType expected,
                        bool must_be_present);
 
+  /// Allocation-free designator for target matching: if the *request
+  /// itself* supplies (category, id) with at least one value of
+  /// `expected` type, counts one attribute lookup and returns the
+  /// request's bag in place (unfiltered — callers skip other-typed
+  /// values while iterating). Returns nullptr otherwise; callers then
+  /// fall back to the general attribute() path, which consults the
+  /// resolver and reports missing-attribute errors.
+  const Bag* attribute_in_request(Category category, const std::string& id,
+                                  DataType expected);
+
   EvaluationMetrics& metrics() { return metrics_; }
   const EvaluationMetrics& metrics() const { return metrics_; }
 

@@ -1,6 +1,8 @@
 #include "core/pdp.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
 
 #include "core/functions.hpp"
 
@@ -9,7 +11,8 @@ namespace mdac::core {
 Pdp::Pdp(std::shared_ptr<PolicyStore> store, PdpConfig config)
     : store_(std::move(store)),
       config_(std::move(config)),
-      functions_(&FunctionRegistry::standard()) {}
+      functions_(&FunctionRegistry::standard()),
+      root_algorithm_(CombiningRegistry::standard().find(config_.root_combining)) {}
 
 namespace {
 
@@ -58,71 +61,87 @@ std::optional<SimpleConstraint> extract_constraint(const Target* target) {
 
 }  // namespace
 
-void Pdp::rebuild_index_if_stale() {
-  if (indexed_revision_ == store_->revision()) return;
-
+void Pdp::rebuild_index() {
   ordered_nodes_ = store_->top_level();
+  combinables_.clear();
+  combinables_.reserve(ordered_nodes_.size());
+  for (const PolicyTreeNode* node : ordered_nodes_) {
+    combinables_.push_back(Combinable::of_node(*node));
+  }
   index_entries_.clear();
   residual_.clear();
+  selected_stamp_.assign(ordered_nodes_.size(), 0);
+  select_epoch_ = 0;
 
   if (!config_.use_target_index) {
-    for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) residual_.push_back(i);
+    for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
+      residual_.push_back(static_cast<std::uint32_t>(i));
+    }
     indexed_revision_ = store_->revision();
     return;
   }
 
-  // One IndexEntry per distinct (category, attribute) seen.
-  std::map<std::pair<Category, std::string>, std::size_t> entry_of;
+  // One IndexEntry per distinct (category, attribute); the pair packs
+  // into one integer because attribute names are interned.
+  std::unordered_map<std::uint64_t, std::size_t> entry_of;
   for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
     const auto constraint = extract_constraint(ordered_nodes_[i]->target());
     if (!constraint) {
-      residual_.push_back(i);
+      residual_.push_back(static_cast<std::uint32_t>(i));
       continue;
     }
-    const auto key = std::make_pair(constraint->category, constraint->attribute_id);
+    common::Symbol attribute;
+    try {
+      attribute = common::interner().intern(constraint->attribute_id);
+    } catch (const std::length_error&) {
+      // Symbol table exhausted (wire-driven growth hit the cap). The
+      // policy stays evaluable — it just isn't indexable, so treat it as
+      // always-candidate instead of letting evaluate() throw.
+      residual_.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(constraint->category) << 32) | attribute;
     auto it = entry_of.find(key);
     if (it == entry_of.end()) {
-      index_entries_.push_back(IndexEntry{constraint->category,
-                                          constraint->attribute_id,
-                                          {}});
+      index_entries_.push_back(IndexEntry{constraint->category, attribute, {}});
       it = entry_of.emplace(key, index_entries_.size() - 1).first;
     }
     IndexEntry& entry = index_entries_[it->second];
     for (const std::string& v : constraint->values) {
-      entry.by_value[v].push_back(i);
+      entry.by_value[v].push_back(static_cast<std::uint32_t>(i));
     }
   }
   indexed_revision_ = store_->revision();
 }
 
-std::vector<const PolicyTreeNode*> Pdp::select_candidates(
-    const RequestContext& request, std::size_t* skipped) const {
-  std::vector<bool> selected(ordered_nodes_.size(), false);
-  for (const std::size_t i : residual_) selected[i] = true;
+void Pdp::select_candidates(const RequestContext& request, std::size_t* skipped) {
+  ++select_epoch_;
+  const std::uint64_t epoch = select_epoch_;
+
+  for (const std::uint32_t i : residual_) selected_stamp_[i] = epoch;
 
   for (const IndexEntry& entry : index_entries_) {
     const Bag* bag = request.get(entry.category, entry.attribute_id);
     if (bag == nullptr) continue;
     for (const AttributeValue& v : bag->values()) {
       if (!v.is_string()) continue;
-      const auto it = entry.by_value.find(v.as_string());
+      const auto it = entry.by_value.find(std::string_view(v.as_string()));
       if (it == entry.by_value.end()) continue;
-      for (const std::size_t i : it->second) selected[i] = true;
+      for (const std::uint32_t i : it->second) selected_stamp_[i] = epoch;
     }
   }
 
-  std::vector<const PolicyTreeNode*> out;
-  out.reserve(ordered_nodes_.size());
+  children_.clear();
   std::size_t skip_count = 0;
   for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
-    if (selected[i]) {
-      out.push_back(ordered_nodes_[i]);
+    if (selected_stamp_[i] == epoch) {
+      children_.push_back(combinables_[i]);
     } else {
       ++skip_count;
     }
   }
   if (skipped != nullptr) *skipped = skip_count;
-  return out;
 }
 
 Decision Pdp::evaluate(const RequestContext& request) {
@@ -132,13 +151,25 @@ Decision Pdp::evaluate(const RequestContext& request) {
 PdpResult Pdp::evaluate_with_metrics(const RequestContext& request) {
   ++evaluation_count_;
   rebuild_index_if_stale();
+  return evaluate_prepared(request);
+}
 
+std::vector<PdpResult> Pdp::evaluate_batch(std::span<const RequestContext> requests) {
+  rebuild_index_if_stale();
+  std::vector<PdpResult> results;
+  results.reserve(requests.size());
+  for (const RequestContext& request : requests) {
+    ++evaluation_count_;
+    results.push_back(evaluate_prepared(request));
+  }
+  return results;
+}
+
+PdpResult Pdp::evaluate_prepared(const RequestContext& request) {
   PdpResult result;
   EvaluationContext ctx(request, *functions_, resolver_, store_.get());
 
-  const CombiningAlgorithm* alg =
-      CombiningRegistry::standard().find(config_.root_combining);
-  if (alg == nullptr) {
+  if (root_algorithm_ == nullptr) {
     result.decision = Decision::indeterminate(
         IndeterminateExtent::kDP,
         Status::syntax_error("unknown root combining algorithm '" +
@@ -146,16 +177,26 @@ PdpResult Pdp::evaluate_with_metrics(const RequestContext& request) {
     return result;
   }
 
-  const std::vector<const PolicyTreeNode*> candidates =
-      select_candidates(request, &result.candidates_skipped);
-
-  std::vector<Combinable> children;
-  children.reserve(candidates.size());
-  for (const PolicyTreeNode* node : candidates) {
-    children.push_back(Combinable::of_node(*node));
+  if (in_evaluation_) {
+    // Re-entrant evaluation (an AttributeResolver called back into this
+    // Pdp while the outer combine() is iterating children_): fall back
+    // to a local, unindexed child list. Correct — the index only prunes
+    // provably non-matching targets — just not allocation-free, which is
+    // fine for a path only resolvers can reach.
+    std::vector<Combinable> local(combinables_.begin(), combinables_.end());
+    result.decision = root_algorithm_->combine(local, ctx);
+    result.metrics = ctx.metrics();
+    return result;
   }
 
-  result.decision = alg->combine(children, ctx);
+  select_candidates(request, &result.candidates_skipped);
+
+  struct EvaluationGuard {
+    bool& flag;
+    explicit EvaluationGuard(bool& f) : flag(f) { flag = true; }
+    ~EvaluationGuard() { flag = false; }
+  } guard(in_evaluation_);
+  result.decision = root_algorithm_->combine(children_, ctx);
   result.metrics = ctx.metrics();
   return result;
 }

@@ -9,16 +9,35 @@
 // The optional target index answers the paper's scalability challenge:
 // with thousands of policies a linear target scan dominates decision
 // latency, so top-level policies with simple equality targets are indexed
-// by (category, attribute, value) and only candidates are evaluated.
-// Figure-4's bench measures the difference.
+// by (category, interned attribute symbol) with a hash table from literal
+// value to admitted positions, and only candidates are evaluated.
+// Candidate selection runs against reusable per-PDP scratch buffers
+// (epoch-stamped selection marks, candidate and Combinable vectors), so
+// steady-state evaluation performs no heap allocation of its own; the
+// bench harness (bench/bench_main.cpp) tracks allocs/op per PR.
+//
+// Thread-safety contract: a Pdp instance is NOT thread-safe. The
+// evaluate* methods mutate the target index, the scratch buffers and the
+// evaluation counter without synchronisation. Run one Pdp per thread
+// (mdac::dependability replicates instances for exactly this shape) or
+// serialise access externally. The shared PolicyStore is only read, and
+// its revision is re-checked before every evaluation; mutating the store
+// *during* an evaluation is not supported from any thread — including
+// from an AttributeResolver invoked by that evaluation: replacing a
+// policy destroys the node the in-flight evaluation still references.
+// A resolver may re-enter evaluate() (handled, see in_evaluation_), but
+// must treat the store as read-only.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/interner.hpp"
+#include "common/strings.hpp"
 #include "core/combining.hpp"
 #include "core/decision.hpp"
 #include "core/evaluation.hpp"
@@ -56,31 +75,66 @@ class Pdp {
   Decision evaluate(const RequestContext& request);
   PdpResult evaluate_with_metrics(const RequestContext& request);
 
+  /// Evaluates many requests in order, checking index staleness once and
+  /// reusing the scratch buffers across the whole batch. The store must
+  /// not be mutated while the batch runs.
+  std::vector<PdpResult> evaluate_batch(std::span<const RequestContext> requests);
+
   std::uint64_t evaluation_count() const { return evaluation_count_; }
   const PdpConfig& config() const { return config_; }
 
  private:
   struct IndexEntry {
     Category category;
-    std::string attribute_id;
-    // literal string value -> positions (into store order) it admits
-    std::map<std::string, std::vector<std::size_t>> by_value;
+    common::Symbol attribute_id;
+    // literal string value -> positions (into store order) it admits;
+    // heterogeneous lookup so probing with a request value never copies.
+    std::unordered_map<std::string, std::vector<std::uint32_t>, common::StringHash,
+                       std::equal_to<>>
+        by_value;
   };
 
-  void rebuild_index_if_stale();
-  std::vector<const PolicyTreeNode*> select_candidates(
-      const RequestContext& request, std::size_t* skipped) const;
+  /// Cheap inline staleness probe; the rebuild itself is out of line so
+  /// the common already-fresh case costs two loads and a compare. Never
+  /// rebuilds under an outer evaluation (re-entrant resolver frame): the
+  /// live scratch references the current nodes, so a store change seen
+  /// mid-evaluation takes effect on the next top-level evaluation.
+  void rebuild_index_if_stale() {
+    if (in_evaluation_) return;
+    if (indexed_revision_ != store_->revision()) rebuild_index();
+  }
+  void rebuild_index();
+
+  /// Fills `children_` (scratch) with the Combinables of the nodes whose
+  /// targets might match; everything else is provably non-matching via
+  /// the index.
+  void select_candidates(const RequestContext& request, std::size_t* skipped);
+
+  PdpResult evaluate_prepared(const RequestContext& request);
 
   std::shared_ptr<PolicyStore> store_;
   PdpConfig config_;
   AttributeResolver* resolver_ = nullptr;
   const FunctionRegistry* functions_;
+  const CombiningAlgorithm* root_algorithm_ = nullptr;
 
   // Target index over top-level nodes (see header comment).
   std::vector<IndexEntry> index_entries_;
-  std::vector<std::size_t> residual_;  // positions that are always candidates
+  std::vector<std::uint32_t> residual_;  // positions that are always candidates
   std::uint64_t indexed_revision_ = static_cast<std::uint64_t>(-1);
   std::vector<const PolicyTreeNode*> ordered_nodes_;
+  std::vector<Combinable> combinables_;  // parallel to ordered_nodes_
+
+  // Reusable selection scratch: selected_stamp_[i] == select_epoch_ marks
+  // node i selected for the current request; bumping the epoch clears the
+  // whole bitmap in O(1).
+  std::vector<std::uint64_t> selected_stamp_;
+  std::uint64_t select_epoch_ = 0;
+  std::vector<Combinable> children_;
+  /// True while combine() runs over children_. An AttributeResolver may
+  /// re-enter this Pdp (resolver -> evaluate); the nested frame must not
+  /// clobber the live scratch, so it takes a local-buffer fallback.
+  bool in_evaluation_ = false;
 
   std::uint64_t evaluation_count_ = 0;
 };

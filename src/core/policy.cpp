@@ -13,20 +13,48 @@ MatchResult Match::evaluate(EvaluationContext& ctx) const {
   const FunctionDef* fn = ctx.functions().find(function_id);
   if (fn == nullptr || fn->higher_order) return MatchResult::kIndeterminate;
 
+  // One loop for both paths; `filter` skips values of the wrong type
+  // when iterating an unfiltered in-request bag.
+  const auto match_candidates = [&](const Bag& bag, bool filter) {
+    bool saw_error = false;
+    for (const AttributeValue& candidate : bag.values()) {
+      if (filter && candidate.type() != data_type) continue;
+      const ExprResult r = fn->invoke(ctx, {Bag(literal), Bag(candidate)});
+      if (!r.ok() || r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
+        saw_error = true;
+        continue;
+      }
+      if (r.bag.at(0).as_boolean()) return MatchResult::kMatch;
+    }
+    return saw_error ? MatchResult::kIndeterminate : MatchResult::kNoMatch;
+  };
+
+  // Fast path for the overwhelmingly common target shape: the request
+  // itself supplies the attribute and the match is a string equality.
+  // Compares in place — no bag filtering copy, no per-candidate Bag
+  // wrapping — which is what keeps Pdp::evaluate allocation-free in
+  // steady state.
+  if (const Bag* bag = ctx.attribute_in_request(category, attribute_id, data_type)) {
+    // Inlined only for the *standard* registry: a custom registry may
+    // have redefined "string-equal".
+    if (function_id == "string-equal" && data_type == DataType::kString &&
+        literal.is_string() && &ctx.functions() == &FunctionRegistry::standard()) {
+      for (const AttributeValue& candidate : bag->values()) {
+        if (candidate.is_string() && candidate.as_string() == literal.as_string()) {
+          return MatchResult::kMatch;
+        }
+      }
+      return MatchResult::kNoMatch;
+    }
+    return match_candidates(*bag, /*filter=*/true);
+  }
+
+  // General path: resolver consultation, type filtering and
+  // missing-attribute handling.
   const ExprResult looked_up = ctx.attribute(category, attribute_id, data_type,
                                              must_be_present);
   if (!looked_up.ok()) return MatchResult::kIndeterminate;
-
-  bool saw_error = false;
-  for (const AttributeValue& candidate : looked_up.bag.values()) {
-    const ExprResult r = fn->invoke(ctx, {Bag(literal), Bag(candidate)});
-    if (!r.ok() || r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
-      saw_error = true;
-      continue;
-    }
-    if (r.bag.at(0).as_boolean()) return MatchResult::kMatch;
-  }
-  return saw_error ? MatchResult::kIndeterminate : MatchResult::kNoMatch;
+  return match_candidates(looked_up.bag, /*filter=*/false);
 }
 
 MatchResult AllOf::evaluate(EvaluationContext& ctx) const {

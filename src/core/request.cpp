@@ -1,34 +1,97 @@
 #include "core/request.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace mdac::core {
+
+namespace {
+
+/// Strict weak order over entries: category first, then interned name.
+bool entry_before(const RequestContext::Entry& e, Category category,
+                  common::Symbol id) {
+  if (e.category != category) return e.category < category;
+  return e.id < id;
+}
+
+/// The one binary-search probe shared by lookups and inserts: returns the
+/// position (category, id) occupies or would occupy.
+template <typename Entries>
+auto probe(Entries& entries, Category category, common::Symbol id) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), std::make_pair(category, id),
+      [](const auto& e, const std::pair<Category, common::Symbol>& key) {
+        return entry_before(e, key.first, key.second);
+      });
+}
+
+}  // namespace
+
+RequestContext::Entry& RequestContext::entry_for(Category category,
+                                                 common::Symbol id) {
+  const auto it = probe(entries_, category, id);
+  if (it != entries_.end() && it->category == category && it->id == id) return *it;
+  return *entries_.insert(it, Entry{category, id, Bag()});
+}
 
 void RequestContext::add(Category category, const std::string& id,
                          AttributeValue value) {
-  attributes_[{category, id}].add(std::move(value));
+  entry_for(category, common::interner().intern(id)).bag.add(std::move(value));
+}
+
+void RequestContext::add(Category category, common::Symbol id, AttributeValue value) {
+  entry_for(category, id).bag.add(std::move(value));
 }
 
 void RequestContext::set(Category category, const std::string& id, Bag bag) {
-  attributes_[{category, id}] = std::move(bag);
+  entry_for(category, common::interner().intern(id)).bag = std::move(bag);
+}
+
+const Bag* RequestContext::get(Category category, common::Symbol id) const {
+  const auto it = probe(entries_, category, id);
+  if (it == entries_.end() || it->category != category || it->id != id) return nullptr;
+  return &it->bag;
 }
 
 const Bag* RequestContext::get(Category category, const std::string& id) const {
-  const auto it = attributes_.find({category, id});
-  if (it == attributes_.end()) return nullptr;
-  return &it->second;
+  // find() never inserts: an id nobody interned cannot be in any request.
+  const auto sym = common::interner().find(id);
+  if (!sym) return nullptr;
+  return get(category, *sym);
+}
+
+std::vector<const RequestContext::Entry*> RequestContext::entries_by_name() const {
+  // Resolve each name once (each name() call takes the interner's shared
+  // lock; resolving inside the sort comparator would take it 2*n*log(n)
+  // times). The references stay valid for the interner's lifetime.
+  std::vector<std::pair<const std::string*, const Entry*>> named;
+  named.reserve(entries_.size());
+  for (const Entry& entry : entries_) named.emplace_back(&entry.name(), &entry);
+  std::sort(named.begin(), named.end(), [](const auto& a, const auto& b) {
+    if (a.second->category != b.second->category) {
+      return a.second->category < b.second->category;
+    }
+    return *a.first < *b.first;
+  });
+  std::vector<const Entry*> out;
+  out.reserve(named.size());
+  for (const auto& [name, entry] : named) out.push_back(entry);
+  return out;
 }
 
 RequestContext RequestContext::make(const std::string& subject_id,
                                     const std::string& resource_id,
                                     const std::string& action_id) {
+  const attrs::Symbols& syms = attrs::Symbols::get();
   RequestContext ctx;
-  ctx.add(Category::kSubject, attrs::kSubjectId, AttributeValue(subject_id));
-  ctx.add(Category::kResource, attrs::kResourceId, AttributeValue(resource_id));
-  ctx.add(Category::kAction, attrs::kActionId, AttributeValue(action_id));
+  ctx.add(Category::kSubject, syms.subject_id, AttributeValue(subject_id));
+  ctx.add(Category::kResource, syms.resource_id, AttributeValue(resource_id));
+  ctx.add(Category::kAction, syms.action_id, AttributeValue(action_id));
   return ctx;
 }
 
 RequestBuilder& RequestBuilder::subject(const std::string& id) {
-  ctx_.add(Category::kSubject, attrs::kSubjectId, AttributeValue(id));
+  ctx_.add(Category::kSubject, attrs::Symbols::get().subject_id, AttributeValue(id));
   return *this;
 }
 
@@ -39,7 +102,7 @@ RequestBuilder& RequestBuilder::subject_attr(const std::string& attr_id,
 }
 
 RequestBuilder& RequestBuilder::resource(const std::string& id) {
-  ctx_.add(Category::kResource, attrs::kResourceId, AttributeValue(id));
+  ctx_.add(Category::kResource, attrs::Symbols::get().resource_id, AttributeValue(id));
   return *this;
 }
 
@@ -50,7 +113,7 @@ RequestBuilder& RequestBuilder::resource_attr(const std::string& attr_id,
 }
 
 RequestBuilder& RequestBuilder::action(const std::string& id) {
-  ctx_.add(Category::kAction, attrs::kActionId, AttributeValue(id));
+  ctx_.add(Category::kAction, attrs::Symbols::get().action_id, AttributeValue(id));
   return *this;
 }
 

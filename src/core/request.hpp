@@ -2,20 +2,45 @@
 // PDP (paper Fig. 3/4, step II). Holds every attribute the PEP chose to
 // disclose; anything else the PDP needs is pulled from PIPs at decision
 // time through an AttributeResolver.
+//
+// Storage is a flat vector sorted by (category, interned name): lookups
+// by pre-interned Symbol are a binary search over integers, which is
+// what lets PDP candidate selection and cache-key fingerprinting stay
+// allocation-free (see common/interner.hpp). Within one process,
+// semantically equal requests — however their attributes were added —
+// hold identical entry sequences.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/interner.hpp"
 #include "core/attribute.hpp"
 
 namespace mdac::core {
 
 class RequestContext {
  public:
+  /// One (category, attribute) bag. `id` indexes the global interner.
+  struct Entry {
+    Category category;
+    common::Symbol id;
+    Bag bag;
+
+    /// The attribute's name (resolved through the interner).
+    const std::string& name() const { return common::interner().name(id); }
+
+    bool operator==(const Entry&) const = default;
+  };
+
   /// Adds a value to the (category, id) bag, creating the bag if needed.
   void add(Category category, const std::string& id, AttributeValue value);
+
+  /// As above for callers that pre-interned the name (attrs::Symbols):
+  /// skips the interner probe entirely.
+  void add(Category category, common::Symbol id, AttributeValue value);
 
   /// Replaces the whole bag.
   void set(Category category, const std::string& id, Bag bag);
@@ -23,16 +48,25 @@ class RequestContext {
   /// Returns the bag, or nullptr if the attribute was not provided.
   const Bag* get(Category category, const std::string& id) const;
 
+  /// Hot-path overload for callers that pre-interned the name (the PDP
+  /// target index): two int compares per probe, no string hashing.
+  const Bag* get(Category category, common::Symbol id) const;
+
   bool has(Category category, const std::string& id) const {
     return get(category, id) != nullptr;
   }
 
-  /// Flat view of all attributes, for serialisation and auditing.
-  const std::map<std::pair<Category, std::string>, Bag>& attributes() const {
-    return attributes_;
-  }
+  /// Flat view of all attributes (sorted by category, then interned
+  /// name), for serialisation, auditing and fingerprinting.
+  const std::vector<Entry>& attributes() const { return entries_; }
 
-  std::size_t size() const { return attributes_.size(); }
+  /// Entries re-sorted by (category, attribute *name*): the wire-stable
+  /// order, independent of per-process interning order. Used by every
+  /// serialised/canonical form (request_to_xml, canonical_request_key)
+  /// so they cannot drift apart. Allocates; not for hot paths.
+  std::vector<const Entry*> entries_by_name() const;
+
+  std::size_t size() const { return entries_.size(); }
 
   bool operator==(const RequestContext&) const = default;
 
@@ -44,7 +78,9 @@ class RequestContext {
                              const std::string& action_id);
 
  private:
-  std::map<std::pair<Category, std::string>, Bag> attributes_;
+  Entry& entry_for(Category category, common::Symbol id);
+
+  std::vector<Entry> entries_;
 };
 
 /// Fluent builder for more involved requests.

@@ -1,5 +1,8 @@
 #include "core/serialization.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace mdac::core {
 
 namespace {
@@ -386,11 +389,14 @@ PolicyNodePtr node_from_xml(const xml::Element& element) {
 
 xml::Element request_to_xml(const RequestContext& request) {
   xml::Element e("Request");
-  // Group by category, preserving the map's deterministic order.
+  // Wire-stable (category, attribute-name) order — see entries_by_name().
   Category current{};
   xml::Element* group = nullptr;
-  for (const auto& [key, bag] : request.attributes()) {
-    const auto& [category, id] = key;
+  for (const RequestContext::Entry* entry_ptr : request.entries_by_name()) {
+    const RequestContext::Entry& entry = *entry_ptr;
+    const Category category = entry.category;
+    const std::string& id = entry.name();
+    const Bag& bag = entry.bag;
     if (group == nullptr || category != current) {
       group = &e.add_child("Attributes");
       group->set_attr("Category", to_string(category));

@@ -30,14 +30,11 @@ Enforcement EnforcementPoint::enforce(const core::RequestContext& request) {
   Enforcement result;
 
   if (cache_ != nullptr) {
-    if (auto hit = cache_->lookup(request)) {
-      result.decision = *hit;
-    } else {
-      result.decision = source_(request);
-      if (result.decision.is_permit() || result.decision.is_deny()) {
-        cache_->insert(request, result.decision);
-      }
-    }
+    // Delegate to CachingEvaluator so the caching policy (fingerprint
+    // once, cache only definitive decisions) lives in exactly one place.
+    cache::CachingEvaluator cached(
+        *cache_, [this](const core::RequestContext& r) { return source_(r); });
+    result.decision = cached(request);
   } else {
     result.decision = source_(request);
   }

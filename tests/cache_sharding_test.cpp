@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/decision_cache.hpp"
+#include "cache/sharded_cache.hpp"
+
+namespace mdac::cache {
+namespace {
+
+using core::Decision;
+
+// ---------------------------------------------------------------------
+// ShardedTtlLruCache: structure and stats
+// ---------------------------------------------------------------------
+
+TEST(ShardedCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  common::ManualClock clock;
+  EXPECT_EQ((ShardedTtlLruCache<std::string, int>(clock, 100, 64, 0)).shard_count(), 1u);
+  EXPECT_EQ((ShardedTtlLruCache<std::string, int>(clock, 100, 64, 1)).shard_count(), 1u);
+  EXPECT_EQ((ShardedTtlLruCache<std::string, int>(clock, 100, 64, 3)).shard_count(), 4u);
+  EXPECT_EQ((ShardedTtlLruCache<std::string, int>(clock, 100, 64, 8)).shard_count(), 8u);
+}
+
+TEST(ShardedCacheTest, HitMissAndSizeAcrossShards) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 1000, 1024, 8);
+  for (int i = 0; i < 100; ++i) {
+    cache.insert("key-" + std::to_string(i), i);
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const auto hit = cache.lookup("key-" + std::to_string(i));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, i);
+  }
+  EXPECT_FALSE(cache.lookup("absent").has_value());
+
+  // Stats aggregate exactly across shards.
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 100u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ShardedCacheTest, TtlExpiryAppliesPerEntry) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 100, 1024, 4);
+  cache.insert("a", 1);
+  clock.advance(99);
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  clock.advance(1);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.stats().expirations, 1u);
+}
+
+TEST(ShardedCacheTest, CapacityIsSplitAcrossShardsAndEvicts) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 1'000'000, 64, 4);
+  for (int i = 0; i < 1000; ++i) {
+    cache.insert("key-" + std::to_string(i), i);
+  }
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedCacheTest, InvalidateTargetsOneKey) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 1000, 1024, 8);
+  cache.insert("keep", 1);
+  cache.insert("drop", 2);
+  EXPECT_TRUE(cache.invalidate("drop"));
+  EXPECT_FALSE(cache.invalidate("drop"));  // already gone
+  EXPECT_TRUE(cache.lookup("keep").has_value());
+  EXPECT_FALSE(cache.lookup("drop").has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ShardedCacheTest, InvalidateAllSweepsEveryShard) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 1000, 1024, 8);
+  for (int i = 0; i < 64; ++i) cache.insert("key-" + std::to_string(i), i);
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 64u);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: correctness under parallel hit/miss/invalidate traffic.
+// ---------------------------------------------------------------------
+
+TEST(ShardedCacheTest, ConcurrentLookupsAndInsertsAreConsistent) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 1'000'000, 16384, 8);
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 200;
+  constexpr int kRounds = 50;
+
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong_values{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread owns a disjoint key range: its lookups must only
+      // ever see its own values.
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeysPerThread; ++k) {
+          const int id = t * kKeysPerThread + k;
+          const std::string key = "key-" + std::to_string(id);
+          if (round == 0) {
+            cache.insert(key, id);
+          } else if (const auto hit = cache.lookup(key)) {
+            if (*hit != id) wrong_values.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong_values.load(), 0);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kThreads * kKeysPerThread));
+  const CacheStats stats = cache.stats();
+  // Every operation is accounted for exactly once across shards.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::size_t>(kThreads * kKeysPerThread * (kRounds - 1)));
+}
+
+TEST(ShardedCacheTest, ConcurrentInvalidateAllDoesNotCorrupt) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 1'000'000, 4096, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "key-" + std::to_string((t * kOps + i) % 512);
+        if (i % 100 == 99) {
+          cache.invalidate_all();
+        } else if (i % 2 == 0) {
+          cache.insert(key, i);
+        } else {
+          (void)cache.lookup(key);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// DecisionCache on top of the sharded store
+// ---------------------------------------------------------------------
+
+TEST(ShardedDecisionCacheTest, PublicApiRoundTrip) {
+  common::ManualClock clock;
+  DecisionCache cache(clock, 1000);
+  EXPECT_EQ(cache.shard_count(), 8u);
+
+  const auto req = core::RequestContext::make("alice", "doc", "read");
+  EXPECT_FALSE(cache.lookup(req).has_value());
+  cache.insert(req, Decision::permit());
+  const auto hit = cache.lookup(req);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->is_permit());
+
+  EXPECT_TRUE(cache.invalidate(req));
+  EXPECT_FALSE(cache.lookup(req).has_value());
+}
+
+TEST(ShardedDecisionCacheTest, ConcurrentMixedTrafficServesCorrectDecisions) {
+  common::ManualClock clock;
+  DecisionCache cache(clock, 1'000'000, 16384, 8);
+  constexpr int kThreads = 8;
+  constexpr int kUsers = 64;
+
+  // Decision is derivable from the request (even user => permit), so
+  // every thread can verify any cached answer.
+  auto decision_for = [](int user) {
+    return user % 2 == 0 ? Decision::permit() : Decision::deny();
+  };
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        const int user = (t + i) % kUsers;
+        const auto req = core::RequestContext::make(
+            "user-" + std::to_string(user), "doc", "read");
+        if (const auto hit = cache.lookup(req)) {
+          if (hit->is_permit() != (user % 2 == 0)) wrong.fetch_add(1);
+        } else {
+          cache.insert(req, decision_for(user));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_LE(cache.size(), static_cast<std::size_t>(kUsers));
+  const CacheStats stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GE(stats.misses, static_cast<std::size_t>(kUsers));
+}
+
+}  // namespace
+}  // namespace mdac::cache

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/clock.hpp"
+#include "common/interner.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 
@@ -172,6 +174,49 @@ TEST(RngTest, PickThrowsOnEmpty) {
   EXPECT_THROW(rng.pick(empty), std::invalid_argument);
   std::vector<int> one{42};
   EXPECT_EQ(rng.pick(one), 42);
+}
+
+// ---------------------------------------------------------------------
+// Interner
+// ---------------------------------------------------------------------
+
+TEST(InternerTest, InternIsIdempotentAndFindNeverInserts) {
+  Interner interner;
+  const Symbol a = interner.intern("alpha");
+  EXPECT_EQ(interner.intern("alpha"), a);
+  EXPECT_EQ(interner.name(a), "alpha");
+
+  EXPECT_FALSE(interner.find("beta").has_value());
+  EXPECT_EQ(interner.size(), 1u);  // find() did not grow the table
+  const Symbol b = interner.intern("beta");
+  EXPECT_NE(a, b);
+  ASSERT_TRUE(interner.find("beta").has_value());
+  EXPECT_EQ(*interner.find("beta"), b);
+}
+
+TEST(InternerTest, CapBoundsWireDrivenGrowth) {
+  Interner interner;
+  interner.set_max_size(2);
+  interner.intern("one");
+  interner.intern("two");
+  EXPECT_EQ(interner.intern("one"), interner.intern("one"));  // existing ok
+  EXPECT_THROW(interner.intern("three"), std::length_error);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, ByteCapBoundsTotalInternedMemory) {
+  Interner interner;
+  interner.set_max_bytes(10);
+  interner.intern("12345");                                   // 5 bytes
+  EXPECT_THROW(interner.intern("123456789"), std::length_error);  // would be 14
+  interner.intern("abcde");                                   // exactly 10
+  EXPECT_THROW(interner.intern("x"), std::length_error);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, NameThrowsOnBadSymbol) {
+  Interner interner;
+  EXPECT_THROW(interner.name(123), std::out_of_range);
 }
 
 }  // namespace

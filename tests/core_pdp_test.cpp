@@ -248,6 +248,74 @@ TEST(PdpResolverTest, RequestAttributesShadowResolver) {
   EXPECT_EQ(resolver.calls, 0);  // never consulted
 }
 
+TEST(PdpTest, EvaluateBatchMatchesSingleEvaluation) {
+  auto store = std::make_shared<PolicyStore>();
+  store->add(resource_policy("doc", Effect::kPermit, "permit-doc"));
+  store->add(resource_policy("vault", Effect::kDeny, "deny-vault"));
+  Pdp pdp(store);
+
+  const std::vector<RequestContext> requests = {
+      RequestContext::make("a", "doc", "read"),
+      RequestContext::make("a", "vault", "read"),
+      RequestContext::make("a", "other", "read"),
+  };
+  const auto results = pdp.evaluate_batch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].decision.is_permit());
+  EXPECT_TRUE(results[1].decision.is_deny());
+  EXPECT_TRUE(results[2].decision.is_not_applicable());
+  EXPECT_EQ(pdp.evaluation_count(), 3u);
+}
+
+/// An AttributeResolver that re-enters the same Pdp (decides "role" by
+/// asking whether the subject may read the role registry). The nested
+/// evaluation must not clobber the outer one's candidate scratch.
+class ReentrantResolver final : public AttributeResolver {
+ public:
+  explicit ReentrantResolver(Pdp& pdp) : pdp_(pdp) {}
+
+  std::optional<Bag> resolve(Category category, const std::string& id,
+                             const RequestContext&) override {
+    if (category != Category::kSubject || id != attrs::kRole) return std::nullopt;
+    const Decision nested =
+        pdp_.evaluate(RequestContext::make("resolver", "role-registry", "read"));
+    return Bag(AttributeValue(nested.is_permit() ? "admin" : "guest"));
+  }
+
+ private:
+  Pdp& pdp_;
+};
+
+TEST(PdpTest, ResolverMayReenterThePdp) {
+  auto store = std::make_shared<PolicyStore>();
+  store->add(resource_policy("role-registry", Effect::kPermit, "registry-open"));
+
+  // "secret" is only readable by role=admin, which the resolver supplies
+  // after recursively consulting the same PDP.
+  Policy secret;
+  secret.policy_id = "secret-policy";
+  secret.target_spec.require(Category::kResource, attrs::kResourceId,
+                             AttributeValue("secret"));
+  Rule admin_only;
+  admin_only.id = "admins";
+  admin_only.effect = Effect::kPermit;
+  Target t;
+  t.require(Category::kSubject, attrs::kRole, AttributeValue("admin"));
+  admin_only.target = std::move(t);
+  secret.rules.push_back(std::move(admin_only));
+  store->add(std::move(secret));
+
+  Pdp pdp(store);
+  ReentrantResolver resolver(pdp);
+  pdp.set_resolver(&resolver);
+
+  const Decision d = pdp.evaluate(RequestContext::make("alice", "secret", "read"));
+  EXPECT_TRUE(d.is_permit());
+  // And the outer PDP still works normally afterwards.
+  EXPECT_TRUE(
+      pdp.evaluate(RequestContext::make("a", "role-registry", "read")).is_permit());
+}
+
 TEST(PdpMetricsTest, CountersPopulated) {
   auto store = std::make_shared<PolicyStore>();
   store->add(resource_policy("doc", Effect::kPermit, "p"));
