@@ -162,6 +162,37 @@ BenchResult bench_pdp_evaluate(const Scale& s) {
   return r;
 }
 
+/// The domain-partitioned index: the same per-resource policy mass split
+/// across `n_domains` administrative domains, single-domain request
+/// traffic. With 1 domain every request probes the one partition
+/// (flat-equivalent); with 8 each request touches 1/8 of the index
+/// state — the paper's multi-domain decomposition applied to the PDP.
+BenchResult bench_pdp_evaluate_domains(const Scale& s, int n_domains) {
+  auto store = make_domain_policy_store(n_domains, s.policies, s.roles);
+  core::Pdp pdp(store);
+  common::Rng rng(4321);
+  std::vector<core::RequestContext> pool;
+  pool.reserve(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    pool.push_back(random_domain_request(rng, n_domains, s.policies, s.roles));
+  }
+  double skipped = 0;
+  double calls = 0;
+  auto r = run_bench("pdp_evaluate_domains_" + std::to_string(n_domains),
+                     s.iterations, 64, [&](std::uint64_t i) {
+                       const auto res = pdp.evaluate_with_metrics(pool[i % pool.size()]);
+                       skipped += static_cast<double>(res.candidates_skipped);
+                       calls += 1;
+                     });
+  r.counters["policies"] = s.policies;
+  r.counters["domains"] = n_domains;
+  r.counters["partitions"] = static_cast<double>(pdp.partition_count());
+  r.counters["avg_candidates_skipped"] = calls > 0 ? skipped / calls : 0;
+  r.counters["avg_partitions_probed"] =
+      calls > 0 ? static_cast<double>(pdp.partition_probes()) / calls : 0;
+  return r;
+}
+
 /// The amortised batch entry point: one staleness check and one warm
 /// scratch set for the whole span.
 BenchResult bench_pdp_evaluate_batch(const Scale& s) {
@@ -368,6 +399,80 @@ void print_row(const BenchResult& r) {
               r.name.c_str(), r.ops_per_sec, r.p50_ns, r.p99_ns, r.allocs_per_op);
 }
 
+/// Reads one benchmark's ops_per_sec out of a previously written report
+/// (the fixed mdac-bench-v1 layout report.hpp emits — a full JSON parser
+/// would be overkill for a file we write ourselves). Returns 0 when the
+/// file or the row is missing.
+double baseline_ops_per_sec(const std::string& path, const std::string& bench) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  const std::string needle = "\"name\": \"" + bench + "\",";
+  const auto at = text.find(needle);
+  if (at == std::string::npos) return 0;
+  const std::string field = "\"ops_per_sec\": ";
+  const auto ops = text.find(field, at);
+  if (ops == std::string::npos) return 0;
+  return std::strtod(text.c_str() + ops + field.size(), nullptr);
+}
+
+/// The bench-smoke regression gate (wired up in CMakeLists): fails the
+/// run if the cached-hit path regressed >max_regress against the
+/// committed baseline. Absolute ops/sec depend on how loaded the machine
+/// happens to be, so the gate compares the *ratio* of the gated row to
+/// the in-binary legacy reference row (`cached_decision_hit_legacy`,
+/// the seed implementation running in the same process under the same
+/// load) — a real code regression moves the ratio, scheduler contention
+/// moves both rows together. A below-floor first sample is re-measured
+/// (best of three pairs) before failing.
+int check_regression(const Scale& scale, const Report& report,
+                     const std::string& baseline_path, double max_regress) {
+  const char* kGated = "cached_decision_hit";
+  const char* kReference = "cached_decision_hit_legacy";
+  const double baseline_gated = baseline_ops_per_sec(baseline_path, kGated);
+  const double baseline_ref = baseline_ops_per_sec(baseline_path, kReference);
+  if (baseline_gated <= 0 || baseline_ref <= 0) {
+    std::printf("regression gate: no '%s'/'%s' baseline in %s; skipping\n", kGated,
+                kReference, baseline_path.c_str());
+    return 0;
+  }
+  double gated = 0;
+  double reference = 0;
+  for (const BenchResult& r : report.results()) {
+    if (r.name == kGated) gated = r.ops_per_sec;
+    if (r.name == kReference) reference = r.ops_per_sec;
+  }
+  if (reference <= 0) return 0;
+
+  const double baseline_ratio = baseline_gated / baseline_ref;
+  const double floor = baseline_ratio * (1.0 - max_regress);
+  double ratio = gated / reference;
+  for (int attempt = 0; ratio < floor && attempt < 2; ++attempt) {
+    std::printf("regression gate: ratio %.2f below floor %.2f; re-measuring\n",
+                ratio, floor);
+    const double g = bench_cached_hit(scale).ops_per_sec;
+    const double ref = bench_cached_hit_legacy(scale).ops_per_sec;
+    if (ref > 0) ratio = std::max(ratio, g / ref);
+  }
+  std::printf(
+      "regression gate: %s %.2fx the legacy row vs baseline %.2fx (floor %.2fx; "
+      "absolute %.0f vs baseline %.0f ops/s)\n",
+      kGated, ratio, baseline_ratio, floor, gated, baseline_gated);
+  if (ratio < floor) {
+    std::fprintf(stderr,
+                 "FAIL: %s regressed %.1f%% against %s (max allowed %.0f%%)\n",
+                 kGated, 100.0 * (1.0 - ratio / baseline_ratio),
+                 baseline_path.c_str(), 100.0 * max_regress);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 void benchmark_sink(const core::Decision& d) {
@@ -379,6 +484,8 @@ int run(int argc, char** argv) {
   Scale scale;
   std::string out = "BENCH_pdp.json";
   std::string workload = "full";
+  std::string baseline;
+  double max_regress = 0.20;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       workload = "smoke";
@@ -388,8 +495,15 @@ int run(int argc, char** argv) {
       scale.threads = 2;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-regress") == 0 && i + 1 < argc) {
+      max_regress = std::strtod(argv[++i], nullptr);
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out FILE] [--baseline FILE] "
+                   "[--max-regress FRACTION]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -400,6 +514,11 @@ int run(int argc, char** argv) {
                       &bench_cached_hit_legacy, &bench_cached_churn,
                       &bench_request_key_fingerprint, &bench_request_key_legacy}) {
     BenchResult r = (*bench)(scale);
+    print_row(r);
+    report.add(std::move(r));
+  }
+  for (const int n_domains : {1, 8}) {
+    BenchResult r = bench_pdp_evaluate_domains(scale, n_domains);
     print_row(r);
     report.add(std::move(r));
   }
@@ -418,6 +537,8 @@ int run(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu benchmarks, workload=%s)\n", out.c_str(),
               report.results().size(), workload.c_str());
+
+  if (!baseline.empty()) return check_regression(scale, report, baseline, max_regress);
   return 0;
 }
 

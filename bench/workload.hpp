@@ -62,4 +62,64 @@ inline core::RequestContext random_request(common::Rng& rng, int n_policies,
   return req;
 }
 
+/// A role-gated policy scoped to one administrative domain — the
+/// federation shape (each domain grants its roles over its own
+/// resources): target requires resource-domain == "domain-<d>" AND
+/// role == "role-<r>". The role is the only non-domain conjunct, so the
+/// *flat* index can prune by role alone, while the partitioned index
+/// additionally confines the probe to the named domain — which is the
+/// separation the 1-vs-8-domain benchmark measures.
+inline core::Policy domain_role_policy(int domain, int index, int n_roles) {
+  core::Policy p;
+  p.policy_id = "domain-" + std::to_string(domain) + ":policy-" + std::to_string(index);
+  p.rule_combining = "first-applicable";
+  p.target_spec.require(core::Category::kResource, core::attrs::kResourceDomain,
+                        core::AttributeValue("domain-" + std::to_string(domain)));
+  p.target_spec.require(core::Category::kSubject, core::attrs::kRole,
+                        core::AttributeValue("role-" + std::to_string(index % n_roles)));
+  core::Rule permit;
+  permit.id = p.policy_id + ":permit-read";
+  permit.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kAction, core::attrs::kActionId,
+            core::AttributeValue("read"));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  core::Rule deny;
+  deny.id = p.policy_id + ":deny-rest";
+  deny.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(deny));
+  return p;
+}
+
+/// `n_policies` split evenly across `n_domains` administrative domains.
+/// With 1 domain all policies share one partition (flat-equivalent);
+/// with 8, each domain owns n_policies/8 of them.
+inline std::shared_ptr<core::PolicyStore> make_domain_policy_store(int n_domains,
+                                                                   int n_policies,
+                                                                   int n_roles = 3) {
+  auto store = std::make_shared<core::PolicyStore>();
+  for (int i = 0; i < n_policies; ++i) {
+    store->add(domain_role_policy(i % n_domains, i, n_roles));
+  }
+  return store;
+}
+
+/// A random single-domain request against the domain-partitioned store:
+/// names exactly one resource-domain plus a role.
+inline core::RequestContext random_domain_request(common::Rng& rng, int n_domains,
+                                                  int n_policies, int n_roles) {
+  const int domain = static_cast<int>(rng.uniform_int(0, n_domains - 1));
+  const int resource = static_cast<int>(rng.uniform_int(0, n_policies - 1));
+  const int role = static_cast<int>(rng.uniform_int(0, 2 * n_roles - 1));
+  core::RequestContext req = core::RequestContext::make(
+      "user-" + std::to_string(rng.uniform_int(0, 999)),
+      "res-" + std::to_string(resource), "read");
+  req.add(core::Category::kResource, core::attrs::kResourceDomain,
+          core::AttributeValue("domain-" + std::to_string(domain)));
+  req.add(core::Category::kSubject, core::attrs::kRole,
+          core::AttributeValue("role-" + std::to_string(role)));
+  return req;
+}
+
 }  // namespace mdac::bench

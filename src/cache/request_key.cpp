@@ -15,34 +15,48 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// FNV-1a over raw bytes (strings are the only variable-length input).
-std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) {
-  std::uint64_t h = seed ^ 0xCBF29CE484222325ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 struct H128 {
   std::uint64_t lo = 0;
   std::uint64_t hi = 0;
 };
 
-/// Hashes one typed value under a secret per-process key. The DataType
+/// Two independently keyed/multiplied 64-bit digests in one pass over the
+/// bytes. The halves of a 128-bit value hash must not be functions of one
+/// another, or a single 64-bit collision collapses the whole key.
+H128 hash_bytes2(std::string_view bytes, std::uint64_t seed_lo,
+                 std::uint64_t seed_hi) {
+  std::uint64_t a = seed_lo ^ 0xCBF29CE484222325ULL;
+  std::uint64_t b = seed_hi ^ 0x84222325CBF29CE4ULL;
+  for (const char c : bytes) {
+    const auto byte = static_cast<unsigned char>(c);
+    a = (a ^ byte) * 0x100000001B3ULL;
+    b = (b ^ byte) * 0x9DDFEA08EB382D69ULL;
+  }
+  return {a, b};
+}
+
+/// Hashes one typed value under two secret per-process keys. The DataType
 /// tag is folded in so equal lexical forms of different types stay
 /// distinct. Keying each *value* hash (not just the chaining state) is
 /// what makes the commutative bag sums attacker-opaque: with unkeyed
 /// value hashes the sums would be computable offline regardless of any
-/// seed applied later in the chain.
-H128 hash_value(const core::AttributeValue& v, std::uint64_t key) {
-  const auto tag = (static_cast<std::uint64_t>(v.type()) << 56) ^ key;
+/// seed applied later in the chain. For fixed-width types the raw value
+/// is injective, so deriving hi from lo is safe; strings get two
+/// independent digests so the key keeps ~128-bit collision resistance
+/// for the only input an attacker can vary freely.
+H128 hash_value(const core::AttributeValue& v, std::uint64_t key_lo,
+                std::uint64_t key_hi) {
+  const auto tag = (static_cast<std::uint64_t>(v.type()) << 56) ^ key_lo;
+  if (v.type() == core::DataType::kString) {
+    const H128 raw = hash_bytes2(
+        v.as_string(), /*seed_lo=*/tag,
+        /*seed_hi=*/(static_cast<std::uint64_t>(v.type()) << 56) ^ key_hi);
+    return {mix64(tag ^ raw.lo), mix64(key_hi ^ raw.hi)};
+  }
   std::uint64_t raw = 0;
   switch (v.type()) {
     case core::DataType::kString:
-      raw = hash_bytes(v.as_string(), /*seed=*/tag);
-      break;
+      break;  // handled above
     case core::DataType::kBoolean:
       raw = v.as_boolean() ? 1 : 2;
       break;
@@ -58,7 +72,7 @@ H128 hash_value(const core::AttributeValue& v, std::uint64_t key) {
   }
   H128 h;
   h.lo = mix64(tag ^ raw);
-  h.hi = mix64(h.lo ^ key ^ 0xA5A5A5A55A5A5A5AULL);
+  h.hi = mix64(h.lo ^ key_hi ^ 0xA5A5A5A55A5A5A5AULL);
   return h;
 }
 
@@ -95,19 +109,41 @@ RequestKey fingerprint(const core::RequestContext& request) {
   // per-value hashes are summed, making the bag a commutative multiset.
   const Seeds& seeds = Seeds::get();
   RequestKey key{seeds.a, seeds.b};
-  for (const core::RequestContext::Entry& entry : request.attributes()) {
+  const auto chain = [&](std::uint64_t slot_lo, std::uint64_t slot_hi,
+                         const core::Bag& bag) {
     std::uint64_t bag_lo = 0;
     std::uint64_t bag_hi = 0;
-    for (const core::AttributeValue& v : entry.bag.values()) {
-      const H128 hv = hash_value(v, seeds.a);
+    for (const core::AttributeValue& v : bag.values()) {
+      const H128 hv = hash_value(v, seeds.a, seeds.b);
       bag_lo += hv.lo;
       bag_hi += hv.hi;
     }
-    const std::uint64_t slot =
-        (static_cast<std::uint64_t>(entry.category) << 32) | entry.id;
-    key.lo = mix64(key.lo ^ slot ^ bag_lo);
-    key.hi = mix64(key.hi ^ std::rotl(key.lo, 32) ^ bag_hi ^
-                   (entry.bag.size() * 0xC2B2AE3D27D4EB4FULL));
+    key.lo = mix64(key.lo ^ slot_lo ^ bag_lo);
+    key.hi = mix64(key.hi ^ std::rotl(key.lo, 32) ^ slot_hi ^ bag_hi ^
+                   (bag.size() * 0xC2B2AE3D27D4EB4FULL));
+  };
+  for (const core::RequestContext::Entry& entry : request.attributes()) {
+    // Interned slots are injective (distinct (category, symbol) never
+    // collide), so a hi-half slot contribution is unnecessary.
+    chain((static_cast<std::uint64_t>(entry.category) << 32) | entry.id,
+          /*slot_hi=*/0, entry.bag);
+  }
+  // Un-interned side entries have no symbol; their slot is the keyed hash
+  // of the name bytes — two independent digests, like string values: the
+  // name is attacker-chosen, so a single 64-bit digest feeding both
+  // halves would collapse the key's collision resistance to 64 bits.
+  // Side entries iterate in canonical (category, name) order, and a
+  // request with no side entries — the steady state — pays nothing here.
+  // Two requests that differ only in *where* a name is stored (interned
+  // vs side) hash differently, which costs a cache miss, never a wrong
+  // hit.
+  for (const core::RequestContext::Entry& entry : request.side_attributes()) {
+    const std::uint64_t category_tag = static_cast<std::uint64_t>(entry.category)
+                                       << 32;
+    const H128 name_hash =
+        hash_bytes2(entry.uninterned_name, seeds.b ^ category_tag,
+                    mix64(seeds.a) ^ category_tag);
+    chain(mix64(name_hash.lo), mix64(name_hash.hi), entry.bag);
   }
   return key;
 }

@@ -53,6 +53,11 @@ std::size_t Interner::size() const {
   return strings_.size();
 }
 
+bool Interner::has_capacity(std::size_t count, std::size_t bytes) const {
+  std::shared_lock lock(mutex_);
+  return strings_.size() + count <= max_size_ && bytes_ + bytes <= max_bytes_;
+}
+
 Interner& interner() {
   static Interner instance;
   return instance;

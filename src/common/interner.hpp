@@ -10,8 +10,15 @@
 //
 // `find()` deliberately never inserts: request-supplied *values* are
 // unbounded (millions of users), so the hot path may only look up, never
-// grow the table. Only policy/index build and attribute-name
-// registration call `intern()`.
+// grow the table. Since PR 2, request parsing does not intern *names*
+// either — an unknown attribute name rides the request's own side table
+// (core/request.hpp) — so the only roads into this process-global table
+// are trusted ones: policy/index build and per-domain attribute
+// vocabulary registration (pap::PolicyRepository::register_attribute_names).
+// That is the fairness half of the exhaustion defence: the caps below
+// bound memory, and keeping untrusted input out of the table entirely is
+// what keeps one abusive peer from consuming them for everyone else
+// (tests/interner_flood_test.cpp pins this down).
 #pragma once
 
 #include <cstdint>
@@ -32,21 +39,19 @@ using Symbol = std::uint32_t;
 class Interner {
  public:
   /// Hard caps on distinct symbols and on total interned bytes.
-  /// Interning is permanent, and request parsing interns
-  /// attacker-supplied attribute *names* (values are never interned), so
-  /// an unbounded table would be a memory-exhaustion vector: a wire peer
-  /// sending requests with always-fresh attribute ids must hit a wall,
-  /// not grow the process forever. The byte cap matters as much as the
-  /// count cap — 2^20 megabyte-long names would be a terabyte. 2^20
-  /// names / 64 MiB are far beyond any real policy vocabulary.
+  /// Interning is permanent, so an unbounded table would be a
+  /// memory-exhaustion vector; the caps are the backstop should some
+  /// future caller intern unvetted input. The byte cap matters as much
+  /// as the count cap — 2^20 megabyte-long names would be a terabyte.
+  /// 2^20 names / 64 MiB are far beyond any real policy vocabulary.
   static constexpr std::size_t kDefaultMaxSize = 1u << 20;
   static constexpr std::size_t kDefaultMaxBytes = 64u << 20;
 
   /// Returns the symbol for `s`, inserting it if new. Throws
   /// std::length_error once `max_size` distinct strings or `max_bytes`
-  /// total name bytes are interned — callers on the request-parsing path
-  /// treat that as a malformed request (fail-safe deny), not a crash.
-  /// Thread-safe.
+  /// total name bytes are interned — callers degrade gracefully rather
+  /// than crash (the PDP index falls back to always-candidate, PAP
+  /// vocabulary registration fails whole). Thread-safe.
   Symbol intern(std::string_view s);
 
   /// Adjusts the caps (testing / embedders with known vocabularies).
@@ -56,6 +61,13 @@ class Interner {
   /// Returns the symbol for `s` if it was ever interned; never inserts.
   /// The steady-state (read-mostly) hot-path operation. Thread-safe.
   std::optional<Symbol> find(std::string_view s) const;
+
+  /// Best-effort capacity probe: true if `count` new symbols totalling
+  /// `bytes` name bytes would fit under the caps right now. Callers that
+  /// must not leave a half-interned batch behind (PAP vocabulary
+  /// registration) check this before interning; advisory only under
+  /// concurrent interning, so they still catch std::length_error.
+  bool has_capacity(std::size_t count, std::size_t bytes) const;
 
   /// The string a symbol stands for. The reference stays valid for the
   /// interner's lifetime (strings are never moved or freed). Thread-safe.

@@ -16,6 +16,23 @@ Combinable Combinable::of_node(const PolicyTreeNode& node) {
       [&node](EvaluationContext& ctx) { return node.evaluate(ctx); }};
 }
 
+Decision CombiningAlgorithm::combine(const std::vector<Combinable>& children,
+                                     EvaluationContext& ctx) const {
+  // Stack buffer for the common case (a policy's rule list); policies
+  // with more children pay one allocation, exactly as they did when this
+  // signature took the vector directly.
+  constexpr std::size_t kInlineChildren = 32;
+  if (children.size() <= kInlineChildren) {
+    const Combinable* view[kInlineChildren];
+    for (std::size_t i = 0; i < children.size(); ++i) view[i] = &children[i];
+    return combine(std::span<const Combinable* const>(view, children.size()), ctx);
+  }
+  std::vector<const Combinable*> view;
+  view.reserve(children.size());
+  for (const Combinable& child : children) view.push_back(&child);
+  return combine(std::span<const Combinable* const>(view), ctx);
+}
+
 namespace {
 
 /// Merges the child's obligations/advice into the accumulator.
@@ -37,7 +54,7 @@ class OverridesAlgorithm final : public CombiningAlgorithm {
 
   const std::string& name() const override { return name_; }
 
-  Decision combine(const std::vector<Combinable>& children,
+  Decision combine(std::span<const Combinable* const> children,
                    EvaluationContext& ctx) const override {
     bool at_least_one_winner = false;   // saw the overriding effect
     bool at_least_one_loser = false;    // saw the other effect
@@ -48,8 +65,8 @@ class OverridesAlgorithm final : public CombiningAlgorithm {
     Decision winner_acc;  // accumulates obligations of winner-effect children
     Decision loser_acc;
 
-    for (const Combinable& child : children) {
-      const Decision d = child.evaluate(ctx);
+    for (const Combinable* child : children) {
+      const Decision d = child->evaluate(ctx);
       switch (d.type) {
         case DecisionType::kDeny:
           if (deny_wins_) {
@@ -138,10 +155,10 @@ class FirstApplicableAlgorithm final : public CombiningAlgorithm {
     return n;
   }
 
-  Decision combine(const std::vector<Combinable>& children,
+  Decision combine(std::span<const Combinable* const> children,
                    EvaluationContext& ctx) const override {
-    for (const Combinable& child : children) {
-      Decision d = child.evaluate(ctx);
+    for (const Combinable* child : children) {
+      Decision d = child->evaluate(ctx);
       if (d.type == DecisionType::kNotApplicable) continue;
       if (d.type == DecisionType::kIndeterminate) {
         // Conservatively propagate as {DP}: we cannot know what later
@@ -164,26 +181,26 @@ class OnlyOneApplicableAlgorithm final : public CombiningAlgorithm {
     return n;
   }
 
-  Decision combine(const std::vector<Combinable>& children,
+  Decision combine(std::span<const Combinable* const> children,
                    EvaluationContext& ctx) const override {
     const Combinable* applicable = nullptr;
-    for (const Combinable& child : children) {
-      const MatchResult m = child.match(ctx);
+    for (const Combinable* child : children) {
+      const MatchResult m = child->match(ctx);
       if (m == MatchResult::kIndeterminate) {
         return Decision::indeterminate(
             IndeterminateExtent::kDP,
             Status::processing_error("only-one-applicable: target error in '" +
-                                     child.id + "'"));
+                                     child->id + "'"));
       }
       if (m == MatchResult::kMatch) {
         if (applicable != nullptr) {
           return Decision::indeterminate(
               IndeterminateExtent::kDP,
               Status::processing_error("only-one-applicable: both '" +
-                                       applicable->id + "' and '" + child.id +
+                                       applicable->id + "' and '" + child->id +
                                        "' apply"));
         }
-        applicable = &child;
+        applicable = child;
       }
     }
     if (applicable == nullptr) return Decision::not_applicable();
@@ -201,7 +218,7 @@ class UnlessAlgorithm final : public CombiningAlgorithm {
 
   const std::string& name() const override { return name_; }
 
-  Decision combine(const std::vector<Combinable>& children,
+  Decision combine(std::span<const Combinable* const> children,
                    EvaluationContext& ctx) const override {
     Decision fallback =
         sought_ == Effect::kPermit ? Decision::deny() : Decision::permit();
@@ -211,8 +228,8 @@ class UnlessAlgorithm final : public CombiningAlgorithm {
     const DecisionType fallback_type = sought_ == Effect::kPermit
                                            ? DecisionType::kDeny
                                            : DecisionType::kPermit;
-    for (const Combinable& child : children) {
-      Decision d = child.evaluate(ctx);
+    for (const Combinable* child : children) {
+      Decision d = child->evaluate(ctx);
       if (d.type == sought_type) {
         return d;  // carries its own obligations
       }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,8 +34,19 @@ class CombiningAlgorithm {
  public:
   virtual ~CombiningAlgorithm() = default;
   virtual const std::string& name() const = 0;
-  virtual Decision combine(const std::vector<Combinable>& children,
+
+  /// Combines over *pointers* so callers that already own Combinables
+  /// (the PDP's per-store cache, a policy's rule list) select children
+  /// without copying them — a Combinable carries an id string and two
+  /// std::functions, so a copy is at least one allocation for URN-length
+  /// ids. Pointers must be non-null and outlive the call.
+  virtual Decision combine(std::span<const Combinable* const> children,
                            EvaluationContext& ctx) const = 0;
+
+  /// Convenience for callers holding a materialised vector: builds the
+  /// pointer view and forwards. Not for hot paths (allocates the view).
+  Decision combine(const std::vector<Combinable>& children,
+                   EvaluationContext& ctx) const;
 };
 
 /// Registry of combining algorithms by id:

@@ -24,6 +24,9 @@ const Bag* EvaluationContext::attribute_in_request(Category category,
                                                    const std::string& id,
                                                    DataType expected) {
   const Bag* bag = request_.get(category, id);
+  probe_id_ = &id;
+  probe_category_ = category;
+  probe_bag_ = bag;
   if (bag == nullptr) return nullptr;
   for (const AttributeValue& v : bag->values()) {
     if (v.type() == expected) {
@@ -38,9 +41,21 @@ ExprResult EvaluationContext::attribute(Category category, const std::string& id
                                         DataType expected, bool must_be_present) {
   ++metrics_.attribute_lookups;
 
+  // Reuse the bag probe attribute_in_request() just did for the same
+  // (category, id) — the Match fast-path-miss call pattern — instead of
+  // re-searching the request. Pointer equality settles the common case
+  // (the Match passes the very same string object) without a compare.
+  const Bag* in_request;
+  if (probe_id_ != nullptr && probe_category_ == category &&
+      (probe_id_ == &id || *probe_id_ == id)) {
+    in_request = probe_bag_;
+  } else {
+    in_request = request_.get(category, id);
+  }
+
   Bag found;
-  if (const Bag* bag = request_.get(category, id)) {
-    found = filter_by_type(*bag, expected);
+  if (in_request != nullptr) {
+    found = filter_by_type(*in_request, expected);
   }
 
   if (found.empty() && resolver_ != nullptr) {

@@ -84,7 +84,9 @@ class EvaluationContext {
   /// request's bag in place (unfiltered — callers skip other-typed
   /// values while iterating). Returns nullptr otherwise; callers then
   /// fall back to the general attribute() path, which consults the
-  /// resolver and reports missing-attribute errors.
+  /// resolver and reports missing-attribute errors. The raw probe result
+  /// is memoised so that fall-back does not re-search the request's
+  /// sorted bag vector for the same (category, id).
   const Bag* attribute_in_request(Category category, const std::string& id,
                                   DataType expected);
 
@@ -101,6 +103,15 @@ class EvaluationContext {
   const FunctionRegistry& functions_;
   AttributeResolver* resolver_;
   const PolicyStore* store_;
+
+  // Memo of the last attribute_in_request() bag probe, so the Match
+  // fast-path miss -> attribute() fall-back reuses the search instead of
+  // re-probing. Safe to cache: request_ is immutable for the context's
+  // lifetime. probe_bag_ may be null (attribute genuinely absent).
+  const std::string* probe_id_ = nullptr;
+  Category probe_category_{};
+  const Bag* probe_bag_ = nullptr;
+
   std::map<std::pair<Category, std::string>, Bag> resolver_cache_;
   std::set<std::string> reference_path_;
   EvaluationMetrics metrics_;

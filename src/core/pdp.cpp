@@ -1,12 +1,20 @@
 #include "core/pdp.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <stdexcept>
 
 #include "core/functions.hpp"
 
 namespace mdac::core {
+
+/// If a target conjunct is a pure disjunction of string-equality matches
+/// on one attribute, it is a *necessary* condition for the target to
+/// match, so both partitioning and indexing on it are sound.
+struct TargetConstraint {
+  Category category;
+  std::string attribute_id;
+  std::vector<std::string> values;
+};
 
 Pdp::Pdp(std::shared_ptr<PolicyStore> store, PdpConfig config)
     : store_(std::move(store)),
@@ -16,21 +24,16 @@ Pdp::Pdp(std::shared_ptr<PolicyStore> store, PdpConfig config)
 
 namespace {
 
-/// If the target has a conjunct that is a pure disjunction of
-/// string-equality matches on one attribute, returns that attribute and
-/// the admitted values. Such a conjunct is a *necessary* condition for
-/// the target to match, so indexing on it is sound.
-struct SimpleConstraint {
-  Category category;
-  std::string attribute_id;
-  std::vector<std::string> values;
-};
-
-std::optional<SimpleConstraint> extract_constraint(const Target* target) {
-  if (target == nullptr || target->empty()) return std::nullopt;
+/// Extracts every viable conjunct of the target (each one independently
+/// necessary). The first conjunct on a domain attribute drives
+/// partitioning; the first remaining one drives the per-partition value
+/// index.
+std::vector<TargetConstraint> extract_constraints(const Target* target) {
+  std::vector<TargetConstraint> out;
+  if (target == nullptr || target->empty()) return out;
   for (const AnyOf& any : target->any_ofs) {
     if (any.all_ofs.empty()) continue;
-    SimpleConstraint c;
+    TargetConstraint c;
     bool first = true;
     bool viable = true;
     for (const AllOf& all : any.all_ofs) {
@@ -54,12 +57,51 @@ std::optional<SimpleConstraint> extract_constraint(const Target* target) {
       }
       c.values.push_back(m.literal.as_string());
     }
-    if (viable && !c.values.empty()) return c;
+    if (viable && !c.values.empty()) out.push_back(std::move(c));
   }
-  return std::nullopt;
+  return out;
+}
+
+/// The attributes whose target conjuncts name administrative domains.
+bool is_domain_attribute(const std::string& id) {
+  return id == attrs::kSubjectDomain || id == attrs::kResourceDomain;
 }
 
 }  // namespace
+
+void Pdp::place_in_partition(Partition& partition, std::uint32_t position,
+                             const TargetConstraint* constraint) {
+  if (constraint == nullptr) {
+    partition.residual.push_back(position);
+    return;
+  }
+  common::Symbol attribute;
+  try {
+    attribute = common::interner().intern(constraint->attribute_id);
+  } catch (const std::length_error&) {
+    // Symbol table exhausted (wire-driven growth hit the cap). The
+    // policy stays evaluable — it just isn't indexable, so treat it as
+    // always-candidate instead of letting evaluate() throw.
+    partition.residual.push_back(position);
+    return;
+  }
+  // Partitions hold very few distinct (category, attribute) entries, so a
+  // linear scan beats a map here.
+  IndexEntry* entry = nullptr;
+  for (IndexEntry& e : partition.entries) {
+    if (e.category == constraint->category && e.attribute_id == attribute) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    partition.entries.push_back(IndexEntry{constraint->category, attribute, {}});
+    entry = &partition.entries.back();
+  }
+  for (const std::string& v : constraint->values) {
+    entry->by_value[v].push_back(position);
+  }
+}
 
 void Pdp::rebuild_index() {
   ordered_nodes_ = store_->top_level();
@@ -68,60 +110,63 @@ void Pdp::rebuild_index() {
   for (const PolicyTreeNode* node : ordered_nodes_) {
     combinables_.push_back(Combinable::of_node(*node));
   }
-  index_entries_.clear();
-  residual_.clear();
+  global_ = Partition{};
+  partitions_.clear();
   selected_stamp_.assign(ordered_nodes_.size(), 0);
   select_epoch_ = 0;
 
   if (!config_.use_target_index) {
     for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
-      residual_.push_back(static_cast<std::uint32_t>(i));
+      global_.residual.push_back(static_cast<std::uint32_t>(i));
     }
     indexed_revision_ = store_->revision();
     return;
   }
 
-  // One IndexEntry per distinct (category, attribute); the pair packs
-  // into one integer because attribute names are interned.
-  std::unordered_map<std::uint64_t, std::size_t> entry_of;
   for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
-    const auto constraint = extract_constraint(ordered_nodes_[i]->target());
-    if (!constraint) {
-      residual_.push_back(static_cast<std::uint32_t>(i));
-      continue;
+    const std::uint32_t position = static_cast<std::uint32_t>(i);
+    const auto constraints = extract_constraints(ordered_nodes_[i]->target());
+
+    // Partition on the first domain conjunct; index within the partition
+    // on the first non-domain conjunct (it discriminates better inside a
+    // single domain), falling back to the domain conjunct itself.
+    const TargetConstraint* domain_constraint = nullptr;
+    if (config_.partition_by_domain) {
+      for (const TargetConstraint& c : constraints) {
+        if (is_domain_attribute(c.attribute_id)) {
+          domain_constraint = &c;
+          break;
+        }
+      }
     }
-    common::Symbol attribute;
-    try {
-      attribute = common::interner().intern(constraint->attribute_id);
-    } catch (const std::length_error&) {
-      // Symbol table exhausted (wire-driven growth hit the cap). The
-      // policy stays evaluable — it just isn't indexable, so treat it as
-      // always-candidate instead of letting evaluate() throw.
-      residual_.push_back(static_cast<std::uint32_t>(i));
-      continue;
+    const TargetConstraint* index_constraint = nullptr;
+    for (const TargetConstraint& c : constraints) {
+      if (&c != domain_constraint) {
+        index_constraint = &c;
+        break;
+      }
     }
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(constraint->category) << 32) | attribute;
-    auto it = entry_of.find(key);
-    if (it == entry_of.end()) {
-      index_entries_.push_back(IndexEntry{constraint->category, attribute, {}});
-      it = entry_of.emplace(key, index_entries_.size() - 1).first;
-    }
-    IndexEntry& entry = index_entries_[it->second];
-    for (const std::string& v : constraint->values) {
-      entry.by_value[v].push_back(static_cast<std::uint32_t>(i));
+    if (index_constraint == nullptr) index_constraint = domain_constraint;
+
+    if (domain_constraint == nullptr) {
+      place_in_partition(global_, position, index_constraint);
+    } else {
+      // A disjunctive domain conjunct (domain in {a, b}) places the node
+      // in every admitted domain's partition; the epoch stamps dedup it
+      // if a request names several of them.
+      for (const std::string& domain : domain_constraint->values) {
+        place_in_partition(partitions_[domain], position, index_constraint);
+      }
     }
   }
   indexed_revision_ = store_->revision();
 }
 
-void Pdp::select_candidates(const RequestContext& request, std::size_t* skipped) {
-  ++select_epoch_;
+void Pdp::probe_partition(const Partition& partition, const RequestContext& request) {
   const std::uint64_t epoch = select_epoch_;
+  for (const std::uint32_t i : partition.residual) selected_stamp_[i] = epoch;
 
-  for (const std::uint32_t i : residual_) selected_stamp_[i] = epoch;
-
-  for (const IndexEntry& entry : index_entries_) {
+  for (const IndexEntry& entry : partition.entries) {
     const Bag* bag = request.get(entry.category, entry.attribute_id);
     if (bag == nullptr) continue;
     for (const AttributeValue& v : bag->values()) {
@@ -131,12 +176,51 @@ void Pdp::select_candidates(const RequestContext& request, std::size_t* skipped)
       for (const std::uint32_t i : it->second) selected_stamp_[i] = epoch;
     }
   }
+}
+
+void Pdp::select_candidates(const RequestContext& request, std::size_t* skipped,
+                            std::size_t* partitions_probed) {
+  ++select_epoch_;
+
+  probe_partition(global_, request);
+
+  std::size_t probed = 0;
+  if (!partitions_.empty()) {
+    const attrs::Symbols& syms = attrs::Symbols::get();
+    const auto visit = [&](std::string_view domain) {
+      const auto it = partitions_.find(domain);
+      if (it == partitions_.end()) return;
+      if (it->second.probe_epoch == select_epoch_) return;  // already routed
+      it->second.probe_epoch = select_epoch_;
+      probe_partition(it->second, request);
+      ++probed;
+    };
+    const auto visit_bag = [&](const Bag& bag) {
+      for (const AttributeValue& v : bag.values()) {
+        if (v.is_string()) visit(v.as_string());
+      }
+    };
+    // The domains a request names, wherever it names them: domain
+    // attributes in any category route (selecting a superset is sound;
+    // requests hold a handful of entries, so the scan is trivial).
+    for (const RequestContext::Entry& entry : request.attributes()) {
+      if (entry.id == syms.subject_domain || entry.id == syms.resource_domain) {
+        visit_bag(entry.bag);
+      }
+    }
+    for (const RequestContext::Entry& entry : request.side_attributes()) {
+      if (is_domain_attribute(entry.uninterned_name)) visit_bag(entry.bag);
+    }
+  }
+  partition_probes_ += probed;
+  if (partitions_probed != nullptr) *partitions_probed = probed;
 
   children_.clear();
   std::size_t skip_count = 0;
+  const std::uint64_t epoch = select_epoch_;
   for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
     if (selected_stamp_[i] == epoch) {
-      children_.push_back(combinables_[i]);
+      children_.push_back(&combinables_[i]);
     } else {
       ++skip_count;
     }
@@ -180,16 +264,18 @@ PdpResult Pdp::evaluate_prepared(const RequestContext& request) {
   if (in_evaluation_) {
     // Re-entrant evaluation (an AttributeResolver called back into this
     // Pdp while the outer combine() is iterating children_): fall back
-    // to a local, unindexed child list. Correct — the index only prunes
-    // provably non-matching targets — just not allocation-free, which is
-    // fine for a path only resolvers can reach.
-    std::vector<Combinable> local(combinables_.begin(), combinables_.end());
+    // to a local, unpartitioned child list. Correct — the index only
+    // prunes provably non-matching targets — just not allocation-free,
+    // which is fine for a path only resolvers can reach.
+    std::vector<const Combinable*> local;
+    local.reserve(combinables_.size());
+    for (const Combinable& c : combinables_) local.push_back(&c);
     result.decision = root_algorithm_->combine(local, ctx);
     result.metrics = ctx.metrics();
     return result;
   }
 
-  select_candidates(request, &result.candidates_skipped);
+  select_candidates(request, &result.candidates_skipped, &result.partitions_probed);
 
   struct EvaluationGuard {
     bool& flag;

@@ -16,6 +16,29 @@
 // steady-state evaluation performs no heap allocation of its own; the
 // bench harness (bench/bench_main.cpp) tracks allocs/op per PR.
 //
+// The index is additionally *partitioned by administrative domain* —
+// the paper's multi-domain decomposition applied to the PDP's own state.
+// A top-level policy whose target carries a necessary conjunct on a
+// domain attribute (subject-domain / resource-domain, string equality)
+// belongs to the partitions for the admitted domain values; every other
+// policy sits in the shared/global partition. A request is routed to the
+// global partition plus only the partitions of the domains it names, so
+// in an N-domain federation a single-domain request never touches the
+// other N-1 domains' index state (PdpResult::partitions_probed and the
+// cumulative partition_probes() counter make this observable). Pruning
+// stays sound because the domain conjunct is necessary: a target that
+// requires subject-domain == "a" cannot match a request that never says
+// "a". Candidate sets from multiple named partitions combine through the
+// same epoch-stamped scratch, in store order, so decisions are identical
+// to the flat index — only the probing is domain-local. This is the
+// structural step toward NUMA-sharding and per-domain replication: each
+// partition is already an independent (category, symbol)-keyed index.
+//
+// Index soundness assumes target attributes are request-supplied (the
+// PEP-disclosure model): an AttributeResolver that conjures a target
+// attribute the request omitted could make a pruned policy match. That
+// contract predates partitioning and applies to both layers equally.
+//
 // Thread-safety contract: a Pdp instance is NOT thread-safe. The
 // evaluate* methods mutate the target index, the scratch buffers and the
 // evaluation counter without synchronisation. Run one Pdp per thread
@@ -45,10 +68,17 @@
 
 namespace mdac::core {
 
+/// A necessary simple-equality target conjunct (defined in pdp.cpp).
+struct TargetConstraint;
+
 struct PdpConfig {
   /// Algorithm combining the store's top-level policies.
   std::string root_combining = "deny-overrides";
   bool use_target_index = true;
+  /// Partition the target index by administrative domain (see the header
+  /// comment). Off = one flat global partition, the pre-partitioning
+  /// behaviour; decisions are identical either way.
+  bool partition_by_domain = true;
 };
 
 struct PdpResult {
@@ -56,6 +86,9 @@ struct PdpResult {
   EvaluationMetrics metrics;
   /// Number of top-level policies the index ruled out before evaluation.
   std::size_t candidates_skipped = 0;
+  /// Number of distinct per-domain partitions this request was routed to
+  /// (excludes the always-probed global partition).
+  std::size_t partitions_probed = 0;
 };
 
 class Pdp {
@@ -83,6 +116,13 @@ class Pdp {
   std::uint64_t evaluation_count() const { return evaluation_count_; }
   const PdpConfig& config() const { return config_; }
 
+  /// Number of per-domain index partitions built from the current store
+  /// (0 when partitioning is off or no policy names a domain).
+  std::size_t partition_count() const { return partitions_.size(); }
+  /// Cumulative count of per-domain partition probes across evaluations
+  /// (tests assert requests only touch the partitions they name).
+  std::uint64_t partition_probes() const { return partition_probes_; }
+
  private:
   struct IndexEntry {
     Category category;
@@ -92,6 +132,18 @@ class Pdp {
     std::unordered_map<std::string, std::vector<std::uint32_t>, common::StringHash,
                        std::equal_to<>>
         by_value;
+  };
+
+  /// One administrative domain's slice of the target index (the global
+  /// partition is just the slice for domain-less policies). `residual`
+  /// holds partition members with no further indexable conjunct — they
+  /// are candidates whenever the partition is probed at all.
+  struct Partition {
+    std::vector<IndexEntry> entries;
+    std::vector<std::uint32_t> residual;
+    /// Dedup stamp: a request naming one domain twice (e.g. equal
+    /// subject- and resource-domain) probes its partition once.
+    std::uint64_t probe_epoch = 0;
   };
 
   /// Cheap inline staleness probe; the rebuild itself is out of line so
@@ -105,10 +157,19 @@ class Pdp {
   }
   void rebuild_index();
 
-  /// Fills `children_` (scratch) with the Combinables of the nodes whose
-  /// targets might match; everything else is provably non-matching via
-  /// the index.
-  void select_candidates(const RequestContext& request, std::size_t* skipped);
+  /// Fills `children_` (scratch) with pointers to the Combinables of the
+  /// nodes whose targets might match; everything else is provably
+  /// non-matching via the index (see soundness notes in the header
+  /// comment).
+  void select_candidates(const RequestContext& request, std::size_t* skipped,
+                         std::size_t* partitions_probed);
+  /// Stamps one partition's candidates for the current epoch.
+  void probe_partition(const Partition& partition, const RequestContext& request);
+  /// Places node `position` into a partition, under the given indexable
+  /// conjunct, or as residual when `constraint` is null (or the symbol
+  /// table is exhausted).
+  static void place_in_partition(Partition& partition, std::uint32_t position,
+                                 const TargetConstraint* constraint);
 
   PdpResult evaluate_prepared(const RequestContext& request);
 
@@ -118,25 +179,30 @@ class Pdp {
   const FunctionRegistry* functions_;
   const CombiningAlgorithm* root_algorithm_ = nullptr;
 
-  // Target index over top-level nodes (see header comment).
-  std::vector<IndexEntry> index_entries_;
-  std::vector<std::uint32_t> residual_;  // positions that are always candidates
+  // Domain-partitioned target index over top-level nodes (see header
+  // comment). `global_` always participates; `partitions_` only for the
+  // domains a request names.
+  Partition global_;
+  std::unordered_map<std::string, Partition, common::StringHash, std::equal_to<>>
+      partitions_;
   std::uint64_t indexed_revision_ = static_cast<std::uint64_t>(-1);
   std::vector<const PolicyTreeNode*> ordered_nodes_;
   std::vector<Combinable> combinables_;  // parallel to ordered_nodes_
 
   // Reusable selection scratch: selected_stamp_[i] == select_epoch_ marks
   // node i selected for the current request; bumping the epoch clears the
-  // whole bitmap in O(1).
+  // whole bitmap in O(1). children_ holds pointers into combinables_, so
+  // selection copies nothing.
   std::vector<std::uint64_t> selected_stamp_;
   std::uint64_t select_epoch_ = 0;
-  std::vector<Combinable> children_;
+  std::vector<const Combinable*> children_;
   /// True while combine() runs over children_. An AttributeResolver may
   /// re-enter this Pdp (resolver -> evaluate); the nested frame must not
   /// clobber the live scratch, so it takes a local-buffer fallback.
   bool in_evaluation_ = false;
 
   std::uint64_t evaluation_count_ = 0;
+  std::uint64_t partition_probes_ = 0;
 };
 
 }  // namespace mdac::core

@@ -27,37 +27,124 @@ auto probe(Entries& entries, Category category, common::Symbol id) {
 
 }  // namespace
 
+namespace {
+
+/// Strict weak order over side entries: category first, then name.
+bool side_before(const RequestContext::Entry& e, Category category,
+                 std::string_view name) {
+  if (e.category != category) return e.category < category;
+  return e.uninterned_name < name;
+}
+
+}  // namespace
+
 RequestContext::Entry& RequestContext::entry_for(Category category,
                                                  common::Symbol id) {
   const auto it = probe(entries_, category, id);
   if (it != entries_.end() && it->category == category && it->id == id) return *it;
-  return *entries_.insert(it, Entry{category, id, Bag()});
+  return *entries_.insert(it, Entry{category, id, Bag(), {}});
+}
+
+RequestContext::Entry& RequestContext::side_entry_for(Category category,
+                                                      const std::string& name) {
+  const auto it = std::lower_bound(
+      side_.begin(), side_.end(), name,
+      [category](const Entry& e, const std::string& n) {
+        return side_before(e, category, n);
+      });
+  if (it != side_.end() && it->category == category && it->uninterned_name == name) {
+    return *it;
+  }
+  return *side_.insert(it, Entry{category, kUninterned, Bag(), name});
+}
+
+const Bag* RequestContext::side_get(Category category, std::string_view name) const {
+  const auto it = std::lower_bound(
+      side_.begin(), side_.end(), name,
+      [category](const Entry& e, std::string_view n) {
+        return side_before(e, category, n);
+      });
+  if (it == side_.end() || it->category != category || it->uninterned_name != name) {
+    return nullptr;
+  }
+  return &it->bag;
+}
+
+void RequestContext::absorb_side_entry(Category category, std::string_view name,
+                                       Entry& into, bool keep_values) {
+  const auto it = std::lower_bound(
+      side_.begin(), side_.end(), name,
+      [category](const Entry& e, std::string_view n) {
+        return side_before(e, category, n);
+      });
+  if (it == side_.end() || it->category != category || it->uninterned_name != name) {
+    return;
+  }
+  if (keep_values) {
+    for (const AttributeValue& v : it->bag.values()) into.bag.add(v);
+  }
+  side_.erase(it);
 }
 
 void RequestContext::add(Category category, const std::string& id,
                          AttributeValue value) {
-  entry_for(category, common::interner().intern(id)).bag.add(std::move(value));
+  // Never intern here: this is the wire-facing entry point, and interning
+  // is permanent. Unknown names ride the per-request side table instead
+  // (see the header comment on the interner boundary).
+  if (const auto sym = common::interner().find(id)) {
+    Entry& entry = entry_for(category, *sym);
+    // The name may have been interned after an earlier add() parked it in
+    // the side table; fold that entry in so one attribute stays one bag.
+    if (!side_.empty()) absorb_side_entry(category, id, entry, /*keep_values=*/true);
+    entry.bag.add(std::move(value));
+  } else {
+    side_entry_for(category, id).bag.add(std::move(value));
+  }
 }
 
 void RequestContext::add(Category category, common::Symbol id, AttributeValue value) {
-  entry_for(category, id).bag.add(std::move(value));
+  Entry& entry = entry_for(category, id);
+  if (!side_.empty()) {
+    absorb_side_entry(category, common::interner().name(id), entry,
+                      /*keep_values=*/true);
+  }
+  entry.bag.add(std::move(value));
 }
 
 void RequestContext::set(Category category, const std::string& id, Bag bag) {
-  entry_for(category, common::interner().intern(id)).bag = std::move(bag);
+  if (const auto sym = common::interner().find(id)) {
+    Entry& entry = entry_for(category, *sym);
+    if (!side_.empty()) absorb_side_entry(category, id, entry, /*keep_values=*/false);
+    entry.bag = std::move(bag);
+  } else {
+    side_entry_for(category, id).bag = std::move(bag);
+  }
 }
 
 const Bag* RequestContext::get(Category category, common::Symbol id) const {
   const auto it = probe(entries_, category, id);
-  if (it == entries_.end() || it->category != category || it->id != id) return nullptr;
-  return &it->bag;
+  if (it != entries_.end() && it->category == category && it->id == id) {
+    return &it->bag;
+  }
+  // Miss-means-absent fast path: with no side entries (every name in the
+  // request was known when it was built — the steady state), a symbol
+  // probe miss is definitive. Otherwise the name may have been interned
+  // *after* this request was parsed, so compare against the side names.
+  if (side_.empty()) return nullptr;
+  return side_get(category, common::interner().name(id));
 }
 
 const Bag* RequestContext::get(Category category, const std::string& id) const {
-  // find() never inserts: an id nobody interned cannot be in any request.
-  const auto sym = common::interner().find(id);
-  if (!sym) return nullptr;
-  return get(category, *sym);
+  // find() never inserts; an id nobody interned cannot be in entries_,
+  // but it can sit in the side table.
+  if (const auto sym = common::interner().find(id)) {
+    const auto it = probe(entries_, category, *sym);
+    if (it != entries_.end() && it->category == category && it->id == *sym) {
+      return &it->bag;
+    }
+  }
+  if (side_.empty()) return nullptr;
+  return side_get(category, id);
 }
 
 std::vector<const RequestContext::Entry*> RequestContext::entries_by_name() const {
@@ -65,8 +152,9 @@ std::vector<const RequestContext::Entry*> RequestContext::entries_by_name() cons
   // lock; resolving inside the sort comparator would take it 2*n*log(n)
   // times). The references stay valid for the interner's lifetime.
   std::vector<std::pair<const std::string*, const Entry*>> named;
-  named.reserve(entries_.size());
+  named.reserve(entries_.size() + side_.size());
   for (const Entry& entry : entries_) named.emplace_back(&entry.name(), &entry);
+  for (const Entry& entry : side_) named.emplace_back(&entry.uninterned_name, &entry);
   std::sort(named.begin(), named.end(), [](const auto& a, const auto& b) {
     if (a.second->category != b.second->category) {
       return a.second->category < b.second->category;

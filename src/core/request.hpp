@@ -6,9 +6,26 @@
 // Storage is a flat vector sorted by (category, interned name): lookups
 // by pre-interned Symbol are a binary search over integers, which is
 // what lets PDP candidate selection and cache-key fingerprinting stay
-// allocation-free (see common/interner.hpp). Within one process,
-// semantically equal requests — however their attributes were added —
-// hold identical entry sequences.
+// allocation-free (see common/interner.hpp). Semantically equal requests
+// built under the *same interner state* — however their attributes were
+// added — hold identical entry sequences and compare equal. If a name is
+// interned between two requests' construction, the earlier one carries
+// it in the side table and the later one in the symbol-keyed storage:
+// they then compare unequal and fingerprint differently, which costs a
+// cache miss, never a wrong decision — callers must not use operator==
+// across interner-state changes for request dedup.
+//
+// Interner boundary: adding an attribute never grows the process-global
+// interner. Names that are already interned (the policy vocabulary,
+// pre-registered ids) go into the sorted symbol-keyed storage; names
+// nobody interned — which on the wire path means attacker-chosen names —
+// are kept in a small per-request *side table* sorted by (category,
+// name). This is what makes interner exhaustion a per-request nuisance
+// instead of a process-wide denial of service: one abusive peer filling
+// the symbol table cannot stop other peers' fresh attribute names from
+// being carried and evaluated (they just ride the side table). Lookups
+// fall back to the side table only when it is non-empty, so the hot path
+// (all names known) pays nothing — a symbol-probe miss means absent.
 #pragma once
 
 #include <optional>
@@ -23,19 +40,31 @@ namespace mdac::core {
 
 class RequestContext {
  public:
-  /// One (category, attribute) bag. `id` indexes the global interner.
+  /// Sentinel `id` for side-table entries (the name was never interned).
+  static constexpr common::Symbol kUninterned = static_cast<common::Symbol>(-1);
+
+  /// One (category, attribute) bag. `id` indexes the global interner,
+  /// except for side-table entries, which carry their own name and use
+  /// the kUninterned sentinel id.
   struct Entry {
     Category category;
     common::Symbol id;
     Bag bag;
+    /// Set only for side-table entries (id == kUninterned).
+    std::string uninterned_name;
 
-    /// The attribute's name (resolved through the interner).
-    const std::string& name() const { return common::interner().name(id); }
+    /// The attribute's name (resolved through the interner, or stored
+    /// in place for un-interned wire names).
+    const std::string& name() const {
+      return id == kUninterned ? uninterned_name : common::interner().name(id);
+    }
 
     bool operator==(const Entry&) const = default;
   };
 
   /// Adds a value to the (category, id) bag, creating the bag if needed.
+  /// Never interns: a name the process already knows goes into the
+  /// symbol-keyed storage, an unknown name into the side table.
   void add(Category category, const std::string& id, AttributeValue value);
 
   /// As above for callers that pre-interned the name (attrs::Symbols):
@@ -49,16 +78,25 @@ class RequestContext {
   const Bag* get(Category category, const std::string& id) const;
 
   /// Hot-path overload for callers that pre-interned the name (the PDP
-  /// target index): two int compares per probe, no string hashing.
+  /// target index): two int compares per probe, no string hashing. Falls
+  /// back to a name comparison against the side table only when the side
+  /// table is non-empty (a request parsed before its vocabulary was
+  /// interned — e.g. before the first index rebuild — still resolves).
   const Bag* get(Category category, common::Symbol id) const;
 
   bool has(Category category, const std::string& id) const {
     return get(category, id) != nullptr;
   }
 
-  /// Flat view of all attributes (sorted by category, then interned
-  /// name), for serialisation, auditing and fingerprinting.
+  /// Flat view of the interned attributes (sorted by category, then
+  /// interned name), for candidate selection and fingerprinting. Side
+  /// entries are NOT included — fingerprinting and serialisation must
+  /// also walk side_attributes().
   const std::vector<Entry>& attributes() const { return entries_; }
+
+  /// The un-interned side table, sorted by (category, name). Empty
+  /// unless the request carried attribute names nobody interned.
+  const std::vector<Entry>& side_attributes() const { return side_; }
 
   /// Entries re-sorted by (category, attribute *name*): the wire-stable
   /// order, independent of per-process interning order. Used by every
@@ -66,7 +104,7 @@ class RequestContext {
   /// so they cannot drift apart. Allocates; not for hot paths.
   std::vector<const Entry*> entries_by_name() const;
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return entries_.size() + side_.size(); }
 
   bool operator==(const RequestContext&) const = default;
 
@@ -79,8 +117,17 @@ class RequestContext {
 
  private:
   Entry& entry_for(Category category, common::Symbol id);
+  Entry& side_entry_for(Category category, const std::string& name);
+  const Bag* side_get(Category category, std::string_view name) const;
+  /// Folds a stale side entry for (category, name) — one created before
+  /// the name was interned — into `into`, so a write after late
+  /// interning cannot split one logical bag across the two storages.
+  /// `keep_values` is false when the caller is about to replace the bag.
+  void absorb_side_entry(Category category, std::string_view name, Entry& into,
+                         bool keep_values);
 
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_;  // interned, sorted by (category, id)
+  std::vector<Entry> side_;     // un-interned, sorted by (category, name)
 };
 
 /// Fluent builder for more involved requests.

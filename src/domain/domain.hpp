@@ -51,6 +51,14 @@ class Domain {
   // --- policy & decision ------------------------------------------------
   pap::PolicyRepository& repository() { return repository_; }
 
+  /// Registers the domain's attribute vocabulary with its PAP: the names
+  /// are interned on this trusted path (so they keep resolving after a
+  /// wire peer exhausts the symbol table) and become the domain's
+  /// allowlist for wire-request validation (pap::PolicyRepository).
+  pap::RepoOutcome register_attribute_vocabulary(const std::vector<std::string>& names) {
+    return repository_.register_attribute_names(name_, names, /*actor=*/name_);
+  }
+
   /// Adds a policy directly to the live PDP store (tests / VO setup).
   void add_policy(core::Policy policy);
   void add_policy_set(core::PolicySet policy_set);

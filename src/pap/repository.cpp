@@ -1,5 +1,8 @@
 #include "pap/repository.hpp"
 
+#include <stdexcept>
+
+#include "common/interner.hpp"
 #include "core/serialization.hpp"
 #include "crypto/sha256.hpp"
 
@@ -116,6 +119,57 @@ std::vector<std::string> PolicyRepository::policy_ids() const {
   out.reserve(records_.size());
   for (const auto& [id, _] : records_) out.push_back(id);
   return out;
+}
+
+RepoOutcome PolicyRepository::register_attribute_names(
+    const std::string& domain, const std::vector<std::string>& names,
+    const std::string& actor) {
+  if (names.empty()) return RepoOutcome::failure("empty attribute-name list");
+  // Keep the registration atomic as far as the interner allows: interning
+  // is irreversible, so probe capacity for the genuinely-new names before
+  // interning any of them — a failed registration must not burn the
+  // remaining symbol budget on a prefix of the list. The probe is
+  // advisory under concurrent interning; the catch below is the backstop
+  // (a race can still intern a prefix, but the allowlist itself stays
+  // all-or-nothing).
+  std::size_t new_count = 0;
+  std::size_t new_bytes = 0;
+  for (const std::string& name : names) {
+    if (!common::interner().find(name)) {
+      ++new_count;
+      new_bytes += name.size();
+    }
+  }
+  if (!common::interner().has_capacity(new_count, new_bytes)) {
+    return RepoOutcome::failure(
+        "symbol table exhausted; attribute vocabulary not registered");
+  }
+  try {
+    for (const std::string& name : names) common::interner().intern(name);
+  } catch (const std::length_error&) {
+    return RepoOutcome::failure(
+        "symbol table exhausted; attribute vocabulary not registered");
+  }
+  auto& allowlist = allowlists_[domain];
+  for (const std::string& name : names) allowlist.insert(name);
+  record_audit(actor, "register-attributes", domain,
+               static_cast<int>(allowlist.size()),
+               /*document=*/std::to_string(names.size()) + " names");
+  return RepoOutcome::success();
+}
+
+const std::set<std::string, std::less<>>* PolicyRepository::attribute_allowlist(
+    const std::string& domain) const {
+  const auto it = allowlists_.find(domain);
+  if (it == allowlists_.end()) return nullptr;
+  return &it->second;
+}
+
+bool PolicyRepository::attribute_allowed(const std::string& domain,
+                                         std::string_view name) const {
+  const auto it = allowlists_.find(domain);
+  if (it == allowlists_.end()) return true;  // no allowlist = open vocabulary
+  return it->second.find(name) != it->second.end();
 }
 
 std::size_t PolicyRepository::load_into(core::PolicyStore* store) const {

@@ -10,7 +10,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -75,6 +77,32 @@ class PolicyRepository {
   /// retrieval edge of Fig. 4). Returns how many were loaded.
   std::size_t load_into(core::PolicyStore* store) const;
 
+  // --- attribute vocabulary (interner-boundary hardening) -------------
+  //
+  // A domain registers the attribute names its policies and peers use.
+  // Registration runs on the trusted admin path and interns the names
+  // into the process-global symbol table, so requests carrying a
+  // registered vocabulary always take the interned fast path — even
+  // after an abusive wire peer has filled the table (unregistered fresh
+  // names then ride the per-request side table; see core/request.hpp).
+  // The allowlist also lets a wire front-end (pep::PdpService) reject
+  // requests naming attributes outside the domain's vocabulary.
+
+  /// Registers (and interns) `names` for `domain`; appends to any
+  /// existing allowlist and audit-logs the registration. Fails without
+  /// partial registration if the symbol table cannot hold them all.
+  RepoOutcome register_attribute_names(const std::string& domain,
+                                       const std::vector<std::string>& names,
+                                       const std::string& actor);
+
+  /// The registered allowlist, or nullptr if `domain` never registered.
+  const std::set<std::string, std::less<>>* attribute_allowlist(
+      const std::string& domain) const;
+
+  /// True if `domain` registered no allowlist (everything allowed) or
+  /// `name` is on it.
+  bool attribute_allowed(const std::string& domain, std::string_view name) const;
+
   const std::vector<AuditEntry>& audit_log() const { return audit_; }
 
   /// Bumped on every successful mutation — remote caches key off this.
@@ -88,6 +116,8 @@ class PolicyRepository {
   const common::Clock& clock_;
   // id -> all versions, ascending.
   std::map<std::string, std::vector<PolicyRecord>> records_;
+  // domain -> registered attribute-name allowlist.
+  std::map<std::string, std::set<std::string, std::less<>>, std::less<>> allowlists_;
   std::vector<AuditEntry> audit_;
   std::uint64_t revision_ = 0;
 };

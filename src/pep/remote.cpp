@@ -20,6 +20,31 @@ PdpService::PdpService(net::Network& network, std::string node_id,
     core::Decision decision;
     try {
       const core::RequestContext request = core::request_from_string(payload);
+      if (name_filter_) {
+        // Validate the wire vocabulary before evaluation: reject the
+        // whole request on the first attribute name outside the
+        // domain's allowlist (fail-safe — the PEP's deny bias applies).
+        // Walks the two entry vectors directly — order is irrelevant
+        // here and entries_by_name() allocates.
+        const std::string* rejected = nullptr;
+        for (const core::RequestContext::Entry& entry : request.attributes()) {
+          if (!name_filter_(entry.name())) {
+            rejected = &entry.name();
+            break;
+          }
+        }
+        for (const core::RequestContext::Entry& entry : request.side_attributes()) {
+          if (rejected != nullptr) break;
+          if (!name_filter_(entry.name())) rejected = &entry.name();
+        }
+        if (rejected != nullptr) {
+          ++filter_rejections_;
+          return core::decision_to_string(core::Decision::indeterminate(
+              core::IndeterminateExtent::kDP,
+              core::Status::syntax_error("attribute name not in domain vocabulary: '" +
+                                         *rejected + "'")));
+        }
+      }
       decision = pdp_->evaluate(request);
     } catch (const std::exception& e) {
       decision = core::Decision::indeterminate(

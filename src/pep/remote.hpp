@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <string_view>
 
 #include "core/pdp.hpp"
 #include "net/rpc.hpp"
@@ -23,6 +24,9 @@ inline constexpr const char* kAuthzRequestType = "authz-request";
 /// caller must not crash the decision service.
 class PdpService {
  public:
+  /// Accepts a wire attribute name, or rejects the request carrying it.
+  using AttributeNameFilter = std::function<bool(std::string_view)>;
+
   PdpService(net::Network& network, std::string node_id,
              std::shared_ptr<core::Pdp> pdp);
 
@@ -30,10 +34,22 @@ class PdpService {
   core::Pdp& pdp() { return *pdp_; }
   std::size_t requests_served() const { return requests_served_; }
 
+  /// Optional allowlist gate on wire attribute names (typically bound to
+  /// pap::PolicyRepository::attribute_allowed for this domain): when set,
+  /// a request naming any attribute the filter rejects is answered
+  /// Indeterminate{DP} without evaluation. Unset = open vocabulary.
+  void set_attribute_name_filter(AttributeNameFilter filter) {
+    name_filter_ = std::move(filter);
+  }
+
+  std::size_t requests_rejected_by_filter() const { return filter_rejections_; }
+
  private:
   net::RpcNode node_;
   std::shared_ptr<core::Pdp> pdp_;
+  AttributeNameFilter name_filter_;
   std::size_t requests_served_ = 0;
+  std::size_t filter_rejections_ = 0;
 };
 
 /// PEP-side client for a remote PDP. Asynchronous (simulator-driven):

@@ -1,0 +1,280 @@
+// Regression tests for the interner-boundary fairness bug (ROADMAP
+// hardening item, fixed in PR 2): before the fix, request parsing
+// interned every attribute name it saw, so one abusive wire peer could
+// permanently fill the process-global symbol table and legitimate *new*
+// attribute names from other peers then failed until restart — the caps
+// bounded memory, not fairness. Now parsing keeps unknown names out of
+// the interner entirely (per-request side table), so exhaustion by one
+// peer cannot break another peer's requests; and PAP vocabulary
+// registration (the trusted admin path) is the only wire-adjacent road
+// into the table.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/interner.hpp"
+#include "core/pdp.hpp"
+#include "core/serialization.hpp"
+#include "cache/decision_cache.hpp"
+#include "cache/request_key.hpp"
+#include "net/rpc.hpp"
+#include "net/sim.hpp"
+#include "pap/repository.hpp"
+#include "pep/remote.hpp"
+
+namespace mdac {
+namespace {
+
+/// Caps the global interner at its current size for the test's duration
+/// — the state an abusive peer leaves behind once the count cap is hit —
+/// and restores the default caps afterwards so sibling tests see the
+/// normal configuration.
+class InternerSaturation {
+ public:
+  InternerSaturation() {
+    // Intern the well-known vocabulary first — in production it exists
+    // long before any flood; test binaries initialise it lazily.
+    (void)core::attrs::Symbols::get();
+    common::interner().set_max_size(common::interner().size());
+  }
+  ~InternerSaturation() {
+    common::interner().set_max_size(common::Interner::kDefaultMaxSize);
+    common::interner().set_max_bytes(common::Interner::kDefaultMaxBytes);
+  }
+};
+
+/// A policy for "vault" readers carrying a project clearance attribute
+/// that nothing in the process has interned.
+core::Policy project_policy(const std::string& attribute) {
+  core::Policy p;
+  p.policy_id = "vault-project-access";
+  p.rule_combining = "first-applicable";
+  p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                        core::AttributeValue("vault"));
+  core::Rule permit;
+  permit.id = "permit-apollo";
+  permit.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kSubject, attribute, core::AttributeValue("apollo"));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  core::Rule deny;
+  deny.id = "deny-rest";
+  deny.effect = core::Effect::kDeny;
+  p.rules.push_back(std::move(deny));
+  return p;
+}
+
+/// Peer B's wire request: standard triple plus a fresh attribute name.
+std::string wire_request(const std::string& attribute, const std::string& value) {
+  core::RequestContext req = core::RequestContext::make("peer-b-user", "vault", "read");
+  req.add(core::Category::kSubject, attribute, core::AttributeValue(value));
+  return core::request_to_string(req);
+}
+
+TEST(InternerFlood, SaturatedTableStillThrowsForNewInterns) {
+  InternerSaturation saturated;
+  EXPECT_THROW(common::interner().intern("flood-name-after-cap"),
+               std::length_error);
+  // Existing symbols keep resolving.
+  EXPECT_TRUE(common::interner().find(core::attrs::kSubjectId).has_value());
+}
+
+TEST(InternerFlood, RequestParsingNeverGrowsTheInterner) {
+  (void)core::attrs::Symbols::get();  // well-known ids exist up front
+  const std::size_t before = common::interner().size();
+  const core::RequestContext req = core::request_from_string(
+      wire_request("never-seen-attribute-name", "whatever"));
+  EXPECT_EQ(common::interner().size(), before);
+  // The attribute is still carried and retrievable.
+  const core::Bag* bag =
+      req.get(core::Category::kSubject, std::string("never-seen-attribute-name"));
+  ASSERT_NE(bag, nullptr);
+  EXPECT_EQ(bag->at(0).as_string(), "whatever");
+  EXPECT_EQ(req.side_attributes().size(), 1u);
+}
+
+TEST(InternerFlood, SecondPeersFreshNamesEvaluateAfterSaturation) {
+  // Peer A has exhausted the symbol table. A policy using a fresh
+  // attribute name arrives (its name cannot be interned any more), and
+  // peer B sends requests carrying that fresh name. Both must still
+  // work: the decision is Permit/Deny on the merits, never
+  // Indeterminate-by-exhaustion.
+  InternerSaturation saturated;
+  const std::string attribute = "project-clearance-post-flood";
+  ASSERT_FALSE(common::interner().find(attribute).has_value());
+
+  auto store = std::make_shared<core::PolicyStore>();
+  store->add(project_policy(attribute));
+  core::Pdp pdp(store);
+
+  const std::size_t before = common::interner().size();
+  const core::RequestContext authorised =
+      core::request_from_string(wire_request(attribute, "apollo"));
+  const core::RequestContext unauthorised =
+      core::request_from_string(wire_request(attribute, "manhattan"));
+  EXPECT_EQ(common::interner().size(), before) << "wire parse interned a name";
+
+  EXPECT_TRUE(pdp.evaluate(authorised).is_permit());
+  EXPECT_TRUE(pdp.evaluate(unauthorised).is_deny());
+  // And the index rebuild under saturation did not intern either.
+  EXPECT_EQ(common::interner().size(), before);
+}
+
+TEST(InternerFlood, SideTableEntriesResolveAfterLateInterning) {
+  // A request parsed before its vocabulary is interned keeps resolving
+  // after some later (trusted) path interns the name: symbol-keyed
+  // probes fall back to the side table when it is non-empty.
+  const std::string attribute = "late-interned-attribute";
+  ASSERT_FALSE(common::interner().find(attribute).has_value());
+
+  core::RequestContext req;
+  req.add(core::Category::kSubject, attribute, core::AttributeValue("x"));
+  ASSERT_EQ(req.side_attributes().size(), 1u);
+
+  const common::Symbol sym = common::interner().intern(attribute);
+  const core::Bag* bag = req.get(core::Category::kSubject, sym);
+  ASSERT_NE(bag, nullptr);
+  EXPECT_EQ(bag->at(0).as_string(), "x");
+}
+
+TEST(InternerFlood, WritesAfterLateInterningKeepOneLogicalBag) {
+  // An attribute added before its name is interned parks in the side
+  // table; a write after late interning must fold that entry into the
+  // symbol-keyed storage — never split one logical bag across the two.
+  const std::string attribute = "late-interned-merge-attribute";
+  ASSERT_FALSE(common::interner().find(attribute).has_value());
+
+  core::RequestContext req;
+  req.add(core::Category::kSubject, attribute, core::AttributeValue("v1"));
+  const common::Symbol sym = common::interner().intern(attribute);
+  req.add(core::Category::kSubject, attribute, core::AttributeValue("v2"));
+
+  EXPECT_TRUE(req.side_attributes().empty());
+  const core::Bag* bag = req.get(core::Category::kSubject, sym);
+  ASSERT_NE(bag, nullptr);
+  EXPECT_EQ(bag->size(), 2u);
+  EXPECT_TRUE(bag->contains(core::AttributeValue("v1")));
+  EXPECT_TRUE(bag->contains(core::AttributeValue("v2")));
+  // The attribute appears exactly once in every canonical view.
+  EXPECT_EQ(req.entries_by_name().size(), 1u);
+
+  // Same through the pre-interned Symbol overload.
+  const std::string attribute2 = "late-interned-merge-attribute-2";
+  core::RequestContext req2;
+  req2.add(core::Category::kSubject, attribute2, core::AttributeValue("v1"));
+  const common::Symbol sym2 = common::interner().intern(attribute2);
+  req2.add(core::Category::kSubject, sym2, core::AttributeValue("v2"));
+  EXPECT_TRUE(req2.side_attributes().empty());
+  ASSERT_NE(req2.get(core::Category::kSubject, sym2), nullptr);
+  EXPECT_EQ(req2.get(core::Category::kSubject, sym2)->size(), 2u);
+
+  // set() replaces the whole bag, including a stale side entry.
+  const std::string attribute3 = "late-interned-set-attribute";
+  core::RequestContext req3;
+  req3.add(core::Category::kSubject, attribute3, core::AttributeValue("old"));
+  (void)common::interner().intern(attribute3);
+  req3.set(core::Category::kSubject, attribute3, core::Bag(core::AttributeValue("new")));
+  EXPECT_TRUE(req3.side_attributes().empty());
+  const core::Bag* bag3 =
+      req3.get(core::Category::kSubject, std::string(attribute3));
+  ASSERT_NE(bag3, nullptr);
+  EXPECT_EQ(bag3->size(), 1u);
+  EXPECT_TRUE(bag3->contains(core::AttributeValue("new")));
+}
+
+TEST(InternerFlood, SideTableRoundTripsAndFingerprints) {
+  InternerSaturation saturated;
+  const core::RequestContext req = core::request_from_string(
+      wire_request("opaque-wire-attribute", "value-1"));
+
+  // Wire round trip preserves side-table attributes and equality.
+  const core::RequestContext reparsed =
+      core::request_from_string(core::request_to_string(req));
+  EXPECT_EQ(req, reparsed);
+
+  // The cache fingerprint distinguishes side-table values — two
+  // requests differing only in an un-interned attribute must never
+  // share a cached decision.
+  const core::RequestContext other = core::request_from_string(
+      wire_request("opaque-wire-attribute", "value-2"));
+  EXPECT_FALSE(cache::fingerprint(req) == cache::fingerprint(other));
+  EXPECT_TRUE(cache::fingerprint(req) == cache::fingerprint(reparsed));
+
+  // The canonical string key sees them too.
+  EXPECT_NE(cache::canonical_request_key(req).find("opaque-wire-attribute"),
+            std::string::npos);
+}
+
+TEST(InternerFlood, PapRegistrationFailsClosedOnceSaturated) {
+  common::ManualClock clock;
+  pap::PolicyRepository repo(clock);
+
+  // Trusted registration interns; under saturation it fails whole, and
+  // the allowlist is not partially updated.
+  InternerSaturation saturated;
+  const auto outcome = repo.register_attribute_names(
+      "hospital-a", {"fresh-vocab-after-flood"}, "admin");
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(repo.attribute_allowlist("hospital-a"), nullptr);
+}
+
+TEST(InternerFlood, PapAllowlistGatesWireRequestsAtThePdpService) {
+  common::ManualClock clock;
+  pap::PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.register_attribute_names(
+                      "hospital-a",
+                      {core::attrs::kSubjectId, core::attrs::kResourceId,
+                       core::attrs::kActionId, core::attrs::kRole},
+                      "admin")
+                  .ok);
+  EXPECT_TRUE(repo.attribute_allowed("hospital-a", core::attrs::kRole));
+  EXPECT_FALSE(repo.attribute_allowed("hospital-a", "smuggled-attribute"));
+  // A domain that registered nothing stays open.
+  EXPECT_TRUE(repo.attribute_allowed("hospital-b", "anything"));
+
+  // Wire it to a PdpService: requests naming attributes outside the
+  // domain vocabulary are rejected before evaluation.
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({10, 0, 0.0});
+  auto store = std::make_shared<core::PolicyStore>();
+  core::Policy p;
+  p.policy_id = "permit-reads";
+  p.target_spec.require(core::Category::kAction, core::attrs::kActionId,
+                        core::AttributeValue("read"));
+  core::Rule r;
+  r.id = "permit";
+  r.effect = core::Effect::kPermit;
+  p.rules.push_back(std::move(r));
+  store->add(std::move(p));
+
+  pep::PdpService service(network, "hospital-a/pdp",
+                          std::make_shared<core::Pdp>(store));
+  service.set_attribute_name_filter(
+      [&](std::string_view name) { return repo.attribute_allowed("hospital-a", name); });
+  net::RpcNode client(network, "peer");
+
+  std::optional<std::string> ok_response;
+  client.call("hospital-a/pdp", pep::kAuthzRequestType,
+              core::request_to_string(core::RequestContext::make("alice", "doc", "read")),
+              1000, [&](std::optional<std::string> r) { ok_response = r; });
+  std::optional<std::string> rejected_response;
+  client.call("hospital-a/pdp", pep::kAuthzRequestType,
+              wire_request("smuggled-attribute", "x"), 1000,
+              [&](std::optional<std::string> r) { rejected_response = r; });
+  sim.run();
+
+  ASSERT_TRUE(ok_response.has_value());
+  EXPECT_TRUE(core::decision_from_string(*ok_response).is_permit());
+  ASSERT_TRUE(rejected_response.has_value());
+  const core::Decision rejected = core::decision_from_string(*rejected_response);
+  EXPECT_TRUE(rejected.is_indeterminate());
+  EXPECT_EQ(rejected.status.code, core::StatusCode::kSyntaxError);
+  EXPECT_EQ(service.requests_rejected_by_filter(), 1u);
+}
+
+}  // namespace
+}  // namespace mdac

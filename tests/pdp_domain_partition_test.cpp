@@ -1,0 +1,260 @@
+// Cross-domain equivalence and routing tests for the domain-partitioned
+// PDP index (PR 2 tentpole). The partitioned index is a pure
+// optimisation: for every request — naming zero, one or several
+// administrative domains — the decision must equal the flat index's and
+// the unindexed linear scan's, while the probe counters show that only
+// the named domains' partitions were touched. Policy shapes mirror the
+// examples: virtual_organisation (per-domain subject-domain /
+// resource-domain policies, a domain ban) and healthcare_federation
+// (domain-less record policies that live in the global partition).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pdp.hpp"
+#include "core/serialization.hpp"
+
+namespace mdac::core {
+namespace {
+
+Policy permit_domain_role(const std::string& domain, const std::string& role,
+                          const std::string& action) {
+  Policy p;
+  p.policy_id = domain + ":permit-" + role + "-" + action;
+  p.rule_combining = "first-applicable";
+  p.target_spec.require(Category::kSubject, attrs::kSubjectDomain,
+                        AttributeValue(domain));
+  p.target_spec.require(Category::kSubject, attrs::kRole, AttributeValue(role));
+  Rule permit;
+  permit.id = p.policy_id + ":permit";
+  permit.effect = Effect::kPermit;
+  Target t;
+  t.require(Category::kAction, attrs::kActionId, AttributeValue(action));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  return p;
+}
+
+Policy deny_foreign_domain(const std::string& home, const std::string& banned) {
+  // The virtual_organisation "firm-local-ban" shape: a domain refuses
+  // subjects asserted by another domain.
+  Policy p;
+  p.policy_id = home + ":ban-" + banned;
+  p.target_spec.require(Category::kSubject, attrs::kSubjectDomain,
+                        AttributeValue(banned));
+  Rule deny;
+  deny.id = p.policy_id + ":deny";
+  deny.effect = Effect::kDeny;
+  p.rules.push_back(std::move(deny));
+  return p;
+}
+
+Policy record_policy(const std::string& resource, const std::string& role) {
+  // The healthcare_federation "record-oversight" shape: no domain
+  // conjunct — applies federation-wide, so it must live in the global
+  // partition and stay a candidate for every request.
+  Policy p;
+  p.policy_id = "vo:" + resource + "-" + role;
+  p.rule_combining = "first-applicable";
+  p.target_spec.require(Category::kResource, attrs::kResourceId,
+                        AttributeValue(resource));
+  Rule permit;
+  permit.id = p.policy_id + ":permit";
+  permit.effect = Effect::kPermit;
+  Target t;
+  t.require(Category::kSubject, attrs::kRole, AttributeValue(role));
+  permit.target = std::move(t);
+  p.rules.push_back(std::move(permit));
+  return p;
+}
+
+/// The federation fixture: a healthcare-flavoured VO of hospitals plus
+/// lab/university domains from the virtual-organisation example.
+std::shared_ptr<PolicyStore> federation_store(const std::vector<std::string>& domains) {
+  auto store = std::make_shared<PolicyStore>();
+  for (const std::string& d : domains) {
+    store->add(permit_domain_role(d, "doctor", "read"));
+    store->add(permit_domain_role(d, "doctor", "write"));
+    store->add(permit_domain_role(d, "nurse", "read"));
+  }
+  store->add(deny_foreign_domain(domains.front(), "university"));
+  store->add(record_policy("medical-record", "doctor"));
+  store->add(record_policy("vo-dataset", "researcher"));
+  return store;
+}
+
+RequestContext request_naming(const std::vector<std::string>& subject_domains,
+                              const std::string& role, const std::string& resource,
+                              const std::string& action,
+                              const std::string& resource_domain = "") {
+  RequestContext req = RequestContext::make("subject", resource, action);
+  req.add(Category::kSubject, attrs::kRole, AttributeValue(role));
+  for (const std::string& d : subject_domains) {
+    req.add(Category::kSubject, attrs::kSubjectDomain, AttributeValue(d));
+  }
+  if (!resource_domain.empty()) {
+    req.add(Category::kResource, attrs::kResourceDomain,
+            AttributeValue(resource_domain));
+  }
+  return req;
+}
+
+const std::vector<std::string> kDomains = {"hospital-a", "hospital-b",
+                                           "research-lab", "university"};
+
+/// Every request shape the federation sees: zero, one and multiple
+/// domains; known and unknown domains; global-partition-only traffic.
+std::vector<RequestContext> request_sweep() {
+  std::vector<RequestContext> sweep;
+  // Zero domains named: only global-partition policies can apply.
+  sweep.push_back(request_naming({}, "doctor", "medical-record", "read"));
+  sweep.push_back(request_naming({}, "researcher", "vo-dataset", "read"));
+  sweep.push_back(request_naming({}, "auditor", "vo-dataset", "delete"));
+  // One domain.
+  for (const std::string& d : kDomains) {
+    sweep.push_back(request_naming({d}, "doctor", "medical-record", "read"));
+    sweep.push_back(request_naming({d}, "nurse", "medical-record", "write"));
+    sweep.push_back(request_naming({d}, "intern", "vo-dataset", "read"));
+  }
+  // Multiple domains (multi-valued subject-domain, plus a resource
+  // domain): the cross-domain shape.
+  sweep.push_back(
+      request_naming({"hospital-a", "hospital-b"}, "doctor", "medical-record", "read"));
+  sweep.push_back(request_naming({"university"}, "researcher", "vo-dataset", "read",
+                                 /*resource_domain=*/"research-lab"));
+  sweep.push_back(request_naming({"hospital-a", "university"}, "doctor",
+                                 "medical-record", "write"));
+  // Unknown domain: no partition exists for it.
+  sweep.push_back(request_naming({"rogue-domain"}, "doctor", "medical-record", "read"));
+  return sweep;
+}
+
+TEST(PdpDomainPartition, DecisionsMatchFlatIndexAndLinearScan) {
+  auto store = federation_store(kDomains);
+
+  Pdp partitioned(store);  // partition_by_domain defaults to true
+  PdpConfig flat_cfg;
+  flat_cfg.partition_by_domain = false;
+  Pdp flat(store, flat_cfg);
+  PdpConfig scan_cfg;
+  scan_cfg.use_target_index = false;
+  Pdp scan(store, scan_cfg);
+
+  // The index builds lazily on first evaluation.
+  (void)partitioned.evaluate(request_sweep().front());
+  (void)flat.evaluate(request_sweep().front());
+  EXPECT_EQ(partitioned.partition_count(), kDomains.size());
+  EXPECT_EQ(flat.partition_count(), 0u);
+
+  for (const RequestContext& req : request_sweep()) {
+    const Decision a = partitioned.evaluate(req);
+    const Decision b = flat.evaluate(req);
+    const Decision c = scan.evaluate(req);
+    EXPECT_EQ(a.type, b.type) << request_to_string(req);
+    EXPECT_EQ(a.type, c.type) << request_to_string(req);
+    EXPECT_EQ(a.extent, b.extent) << request_to_string(req);
+  }
+}
+
+TEST(PdpDomainPartition, RequestsTouchOnlyTheDomainsTheyName) {
+  auto store = federation_store(kDomains);
+  Pdp pdp(store);
+
+  // Zero domains named: no per-domain partition is probed.
+  auto r = pdp.evaluate_with_metrics(
+      request_naming({}, "doctor", "medical-record", "read"));
+  EXPECT_EQ(r.partitions_probed, 0u);
+  EXPECT_TRUE(r.decision.is_permit());  // the global record policy applies
+
+  // One domain: exactly one partition probed, and every other domain's
+  // policies are skipped without a target evaluation.
+  r = pdp.evaluate_with_metrics(
+      request_naming({"hospital-b"}, "doctor", "medical-record", "read"));
+  EXPECT_EQ(r.partitions_probed, 1u);
+  // 3 per-domain policies for each of the 3 other domains, plus the ban
+  // (university partition) are never candidates.
+  EXPECT_GE(r.candidates_skipped, 3u * (kDomains.size() - 1));
+
+  // Two distinct domains: two partitions.
+  r = pdp.evaluate_with_metrics(request_naming({"hospital-a", "hospital-b"}, "doctor",
+                                               "medical-record", "read"));
+  EXPECT_EQ(r.partitions_probed, 2u);
+
+  // Subject and resource domain naming the same domain: deduplicated.
+  r = pdp.evaluate_with_metrics(request_naming({"research-lab"}, "researcher",
+                                               "vo-dataset", "read",
+                                               /*resource_domain=*/"research-lab"));
+  EXPECT_EQ(r.partitions_probed, 1u);
+
+  // Unknown domain: nothing to probe.
+  r = pdp.evaluate_with_metrics(
+      request_naming({"rogue-domain"}, "doctor", "medical-record", "read"));
+  EXPECT_EQ(r.partitions_probed, 0u);
+
+  // The cumulative counter saw every probe above.
+  EXPECT_EQ(pdp.partition_probes(), 4u);
+}
+
+TEST(PdpDomainPartition, DomainBanStillDeniesThroughItsPartition) {
+  // The firm-local-ban shape: the ban's only conjunct is the domain
+  // attribute itself, so it is indexed by it inside the partition.
+  auto store = federation_store(kDomains);
+  Pdp pdp(store);
+
+  const Decision banned = pdp.evaluate(
+      request_naming({"university"}, "doctor", "medical-record", "read"));
+  EXPECT_TRUE(banned.is_deny());
+
+  PdpConfig flat_cfg;
+  flat_cfg.partition_by_domain = false;
+  Pdp flat(store, flat_cfg);
+  EXPECT_TRUE(flat.evaluate(request_naming({"university"}, "doctor", "medical-record",
+                                           "read"))
+                  .is_deny());
+}
+
+TEST(PdpDomainPartition, StoreMutationRebuildsPartitions) {
+  auto store = federation_store(kDomains);
+  Pdp pdp(store);
+  (void)pdp.evaluate(request_naming({}, "doctor", "medical-record", "read"));
+  EXPECT_EQ(pdp.partition_count(), kDomains.size());
+
+  store->add(permit_domain_role("new-clinic", "doctor", "read"));
+  auto r = pdp.evaluate_with_metrics(
+      request_naming({"new-clinic"}, "doctor", "medical-record", "read"));
+  EXPECT_EQ(pdp.partition_count(), kDomains.size() + 1);
+  EXPECT_EQ(r.partitions_probed, 1u);
+}
+
+TEST(PdpDomainPartition, DisjunctiveDomainConjunctLandsInEveryPartition) {
+  // domain in {a, b} must be reachable from requests naming either.
+  auto store = std::make_shared<PolicyStore>();
+  Policy p;
+  p.policy_id = "either-hospital";
+  p.rule_combining = "first-applicable";
+  p.target_spec.require_any(Category::kSubject, attrs::kSubjectDomain,
+                            {AttributeValue("hospital-a"), AttributeValue("hospital-b")});
+  Rule permit;
+  permit.id = "permit";
+  permit.effect = Effect::kPermit;
+  p.rules.push_back(std::move(permit));
+  store->add(std::move(p));
+
+  Pdp pdp(store);
+  EXPECT_TRUE(
+      pdp.evaluate(request_naming({"hospital-a"}, "any", "r", "read")).is_permit());
+  EXPECT_TRUE(
+      pdp.evaluate(request_naming({"hospital-b"}, "any", "r", "read")).is_permit());
+  EXPECT_TRUE(pdp.evaluate(request_naming({"hospital-c"}, "any", "r", "read"))
+                  .is_not_applicable());
+  // Naming both probes both partitions but evaluates the policy once.
+  const auto r = pdp.evaluate_with_metrics(
+      request_naming({"hospital-a", "hospital-b"}, "any", "r", "read"));
+  EXPECT_EQ(r.partitions_probed, 2u);
+  EXPECT_TRUE(r.decision.is_permit());
+}
+
+}  // namespace
+}  // namespace mdac::core
