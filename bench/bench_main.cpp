@@ -145,20 +145,43 @@ std::vector<core::RequestContext> make_request_pool(const Scale& s, std::size_t 
 // ---------------------------------------------------------------------
 
 /// Full PDP evaluation with the target index on: candidate selection +
-/// combining over the selected policies.
+/// combining over the selected policies. Since PR 3 the default path
+/// executes compiled policy programs (core/compiled.hpp).
 BenchResult bench_pdp_evaluate(const Scale& s) {
   auto store = make_policy_store(s.policies, s.roles);
   core::Pdp pdp(store);
   const auto pool = make_request_pool(s, 512);
   double skipped = 0;
   double calls = 0;
+  double compiled_policies = 0;
   auto r = run_bench("pdp_evaluate_indexed", s.iterations, 64, [&](std::uint64_t i) {
     const auto res = pdp.evaluate_with_metrics(pool[i % pool.size()]);
     skipped += static_cast<double>(res.candidates_skipped);
     calls += 1;
+    compiled_policies = static_cast<double>(res.compile.compiled_policies);
   });
   r.counters["policies"] = s.policies;
   r.counters["avg_candidates_skipped"] = calls > 0 ? skipped / calls : 0;
+  r.counters["compiled_policies"] = compiled_policies;
+  return r;
+}
+
+/// The same workload on the interpreted AST path (use_compiled off) —
+/// the seed evaluator running in the same process, which both documents
+/// the compiled path's win and serves as the load reference for the
+/// uncached regression gate (absolute ops/sec move with machine load;
+/// the compiled/interpreted ratio only moves with code).
+BenchResult bench_pdp_evaluate_interpreted(const Scale& s) {
+  core::PdpConfig cfg;
+  cfg.use_compiled = false;
+  auto store = make_policy_store(s.policies, s.roles);
+  core::Pdp pdp(store, cfg);
+  const auto pool = make_request_pool(s, 512);
+  auto r = run_bench("pdp_evaluate_interpreted", s.iterations, 64,
+                     [&](std::uint64_t i) {
+                       benchmark_sink(pdp.evaluate(pool[i % pool.size()]));
+                     });
+  r.counters["policies"] = s.policies;
   return r;
 }
 
@@ -421,56 +444,72 @@ double baseline_ops_per_sec(const std::string& path, const std::string& bench) {
   return std::strtod(text.c_str() + ops + field.size(), nullptr);
 }
 
+/// One gated benchmark pair: the gated row is compared as a *ratio* to
+/// an in-binary reference row measured in the same process under the
+/// same load (absolute ops/sec move with machine load; the ratio only
+/// moves with code). `run_gated`/`run_reference` re-measure a
+/// below-floor first sample before failing.
+struct GateSpec {
+  const char* gated;
+  const char* reference;
+  BenchResult (*run_gated)(const Scale&);
+  BenchResult (*run_reference)(const Scale&);
+};
+
 /// The bench-smoke regression gate (wired up in CMakeLists): fails the
-/// run if the cached-hit path regressed >max_regress against the
-/// committed baseline. Absolute ops/sec depend on how loaded the machine
-/// happens to be, so the gate compares the *ratio* of the gated row to
-/// the in-binary legacy reference row (`cached_decision_hit_legacy`,
-/// the seed implementation running in the same process under the same
-/// load) — a real code regression moves the ratio, scheduler contention
-/// moves both rows together. A below-floor first sample is re-measured
-/// (best of three pairs) before failing.
+/// run if a gated row regressed >max_regress against the committed
+/// baseline. Two rows are gated: the cached-hit path against the seed's
+/// cache implementation, and — since PR 3 — the uncached compiled
+/// evaluate path against the interpreted AST path.
 int check_regression(const Scale& scale, const Report& report,
                      const std::string& baseline_path, double max_regress) {
-  const char* kGated = "cached_decision_hit";
-  const char* kReference = "cached_decision_hit_legacy";
-  const double baseline_gated = baseline_ops_per_sec(baseline_path, kGated);
-  const double baseline_ref = baseline_ops_per_sec(baseline_path, kReference);
-  if (baseline_gated <= 0 || baseline_ref <= 0) {
-    std::printf("regression gate: no '%s'/'%s' baseline in %s; skipping\n", kGated,
-                kReference, baseline_path.c_str());
-    return 0;
-  }
-  double gated = 0;
-  double reference = 0;
-  for (const BenchResult& r : report.results()) {
-    if (r.name == kGated) gated = r.ops_per_sec;
-    if (r.name == kReference) reference = r.ops_per_sec;
-  }
-  if (reference <= 0) return 0;
+  static constexpr GateSpec kGates[] = {
+      {"cached_decision_hit", "cached_decision_hit_legacy", &bench_cached_hit,
+       &bench_cached_hit_legacy},
+      {"pdp_evaluate_indexed", "pdp_evaluate_interpreted", &bench_pdp_evaluate,
+       &bench_pdp_evaluate_interpreted},
+  };
 
-  const double baseline_ratio = baseline_gated / baseline_ref;
-  const double floor = baseline_ratio * (1.0 - max_regress);
-  double ratio = gated / reference;
-  for (int attempt = 0; ratio < floor && attempt < 2; ++attempt) {
-    std::printf("regression gate: ratio %.2f below floor %.2f; re-measuring\n",
-                ratio, floor);
-    const double g = bench_cached_hit(scale).ops_per_sec;
-    const double ref = bench_cached_hit_legacy(scale).ops_per_sec;
-    if (ref > 0) ratio = std::max(ratio, g / ref);
+  int failures = 0;
+  for (const GateSpec& gate : kGates) {
+    const double baseline_gated = baseline_ops_per_sec(baseline_path, gate.gated);
+    const double baseline_ref = baseline_ops_per_sec(baseline_path, gate.reference);
+    if (baseline_gated <= 0 || baseline_ref <= 0) {
+      std::printf("regression gate: no '%s'/'%s' baseline in %s; skipping\n",
+                  gate.gated, gate.reference, baseline_path.c_str());
+      continue;
+    }
+    double gated = 0;
+    double reference = 0;
+    for (const BenchResult& r : report.results()) {
+      if (r.name == gate.gated) gated = r.ops_per_sec;
+      if (r.name == gate.reference) reference = r.ops_per_sec;
+    }
+    if (reference <= 0) continue;
+
+    const double baseline_ratio = baseline_gated / baseline_ref;
+    const double floor = baseline_ratio * (1.0 - max_regress);
+    double ratio = gated / reference;
+    for (int attempt = 0; ratio < floor && attempt < 2; ++attempt) {
+      std::printf("regression gate: %s ratio %.2f below floor %.2f; re-measuring\n",
+                  gate.gated, ratio, floor);
+      const double g = gate.run_gated(scale).ops_per_sec;
+      const double ref = gate.run_reference(scale).ops_per_sec;
+      if (ref > 0) ratio = std::max(ratio, g / ref);
+    }
+    std::printf(
+        "regression gate: %s %.2fx the reference row vs baseline %.2fx (floor "
+        "%.2fx; absolute %.0f vs baseline %.0f ops/s)\n",
+        gate.gated, ratio, baseline_ratio, floor, gated, baseline_gated);
+    if (ratio < floor) {
+      std::fprintf(stderr,
+                   "FAIL: %s regressed %.1f%% against %s (max allowed %.0f%%)\n",
+                   gate.gated, 100.0 * (1.0 - ratio / baseline_ratio),
+                   baseline_path.c_str(), 100.0 * max_regress);
+      ++failures;
+    }
   }
-  std::printf(
-      "regression gate: %s %.2fx the legacy row vs baseline %.2fx (floor %.2fx; "
-      "absolute %.0f vs baseline %.0f ops/s)\n",
-      kGated, ratio, baseline_ratio, floor, gated, baseline_gated);
-  if (ratio < floor) {
-    std::fprintf(stderr,
-                 "FAIL: %s regressed %.1f%% against %s (max allowed %.0f%%)\n",
-                 kGated, 100.0 * (1.0 - ratio / baseline_ratio),
-                 baseline_path.c_str(), 100.0 * max_regress);
-    return 1;
-  }
-  return 0;
+  return failures > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -509,10 +548,11 @@ int run(int argc, char** argv) {
   }
 
   Report report;
-  for (auto* bench : {&bench_pdp_evaluate, &bench_pdp_evaluate_batch,
-                      &bench_pdp_evaluate_noindex, &bench_cached_hit,
-                      &bench_cached_hit_legacy, &bench_cached_churn,
-                      &bench_request_key_fingerprint, &bench_request_key_legacy}) {
+  for (auto* bench : {&bench_pdp_evaluate, &bench_pdp_evaluate_interpreted,
+                      &bench_pdp_evaluate_batch, &bench_pdp_evaluate_noindex,
+                      &bench_cached_hit, &bench_cached_hit_legacy,
+                      &bench_cached_churn, &bench_request_key_fingerprint,
+                      &bench_request_key_legacy}) {
     BenchResult r = (*bench)(scale);
     print_row(r);
     report.add(std::move(r));

@@ -1,0 +1,558 @@
+#include "core/compiled.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "core/expression.hpp"
+#include "core/functions.hpp"
+
+namespace mdac::core {
+
+// ---------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  constexpr std::size_t kMinChunk = 4096;
+  Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
+  std::size_t aligned = chunk == nullptr ? 0 : (chunk->used + align - 1) & ~(align - 1);
+  if (chunk == nullptr || aligned + size > chunk->capacity) {
+    const std::size_t capacity = std::max(kMinChunk, size + align);
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(capacity), capacity, 0});
+    chunk = &chunks_.back();
+    const auto base = reinterpret_cast<std::uintptr_t>(chunk->data.get());
+    aligned = ((base + align - 1) & ~(align - 1)) - base;
+  }
+  void* out = chunk->data.get() + aligned;
+  chunk->used = aligned + size;
+  bytes_ += size;
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const CompiledPolicy> CompiledPolicy::compile(const Policy& policy,
+                                                             CompileOptions options) {
+  // Not make_shared: the constructor is private and the object is big
+  // enough that the separate control block is noise.
+  std::shared_ptr<CompiledPolicy> out(new CompiledPolicy(policy.clone()));
+  out->build(options);
+  return out;
+}
+
+common::Symbol CompiledPolicy::resolve_symbol(const std::string& name,
+                                              const CompileOptions& options) {
+  if (const auto sym = common::interner().find(name)) return *sym;
+  if (options.intern_names) {
+    try {
+      return common::interner().intern(name);
+    } catch (const std::length_error&) {
+      // Symbol table exhausted: degrade to the string-lookup path.
+    }
+  }
+  ++stats_.unresolved_names;
+  diagnostics_.push_back("attribute '" + name +
+                         "' not resolved to a symbol at compile time");
+  return CompiledMatch::kNoSymbol;
+}
+
+CompiledMatch CompiledPolicy::lower_match(const Match& match,
+                                          const CompileOptions& options) {
+  CompiledMatch out;
+  out.function_id = &match.function_id;
+  out.literal = &match.literal;
+  out.attribute_name = &match.attribute_id;
+  out.category = match.category;
+  out.data_type = match.data_type;
+  out.must_be_present = match.must_be_present;
+  out.attribute_id = resolve_symbol(match.attribute_id, options);
+
+  const FunctionDef* fn = FunctionRegistry::standard().find(match.function_id);
+  if (fn == nullptr) {
+    diagnostics_.push_back("unknown match function '" + match.function_id + "'");
+  } else if (fn->higher_order) {
+    diagnostics_.push_back("higher-order match function '" + match.function_id + "'");
+    fn = nullptr;  // interpreter treats both as Indeterminate
+  }
+  out.function = fn;
+  out.inline_string_equal = match.function_id == "string-equal" &&
+                            match.data_type == DataType::kString &&
+                            match.literal.is_string();
+  return out;
+}
+
+CompiledTarget CompiledPolicy::lower_target(const Target& target,
+                                            const CompileOptions& options) {
+  std::vector<CompiledMatch> matches;
+  std::vector<std::uint32_t> all_of_ends;
+  std::vector<std::uint32_t> any_of_ends;
+  for (const AnyOf& any : target.any_ofs) {
+    for (const AllOf& all : any.all_ofs) {
+      for (const Match& m : all.matches) matches.push_back(lower_match(m, options));
+      all_of_ends.push_back(static_cast<std::uint32_t>(matches.size()));
+    }
+    any_of_ends.push_back(static_cast<std::uint32_t>(all_of_ends.size()));
+  }
+  CompiledTarget out;
+  out.matches = arena_.copy_array(matches);
+  out.all_of_ends = arena_.copy_array(all_of_ends);
+  out.any_of_ends = arena_.copy_array(any_of_ends);
+  stats_.matches += matches.size();
+  return out;
+}
+
+void CompiledPolicy::emit_ast(const Expression& expr, std::vector<Instr>* code) {
+  code->push_back(Instr{OpCode::kEvalAst,
+                        static_cast<std::uint32_t>(ast_exprs_.size())});
+  ast_exprs_.push_back(&expr);
+}
+
+void CompiledPolicy::lower_expr(const Expression& expr, std::vector<Instr>* code,
+                                const CompileOptions& options) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      const auto& lit = static_cast<const LiteralExpr&>(expr);
+      code->push_back(Instr{OpCode::kPushLiteral,
+                            static_cast<std::uint32_t>(literals_.size())});
+      literals_.push_back(&lit.bag());
+      return;
+    }
+    case ExprKind::kDesignator: {
+      const auto& d = static_cast<const DesignatorExpr&>(expr);
+      CompiledDesignator cd;
+      cd.name = &d.id();
+      cd.symbol = resolve_symbol(d.id(), options);
+      cd.category = d.category();
+      cd.data_type = d.data_type();
+      cd.must_be_present = d.must_be_present();
+      code->push_back(Instr{OpCode::kLoadAttribute,
+                            static_cast<std::uint32_t>(designators_.size())});
+      designators_.push_back(cd);
+      return;
+    }
+    case ExprKind::kFunctionRef:
+      // Evaluates to the interpreter's "outside a higher-order apply"
+      // error; keep that exact behaviour through the AST.
+      emit_ast(expr, code);
+      return;
+    case ExprKind::kApply: {
+      const auto& apply = static_cast<const ApplyExpr&>(expr);
+      const FunctionDef* fn = FunctionRegistry::standard().find(apply.function_id());
+      if (fn == nullptr) {
+        // Unknown at compile time: the runtime registry may still know it
+        // (or produce the interpreter's "unknown function" error).
+        diagnostics_.push_back("unknown function '" + apply.function_id() +
+                               "' kept as AST");
+        ++stats_.ast_fallbacks;
+        emit_ast(expr, code);
+        return;
+      }
+      // Higher-order applies and arity mismatches keep interpreter
+      // evaluation order (the interpreter raises the arity error before
+      // evaluating any argument; a postfix program cannot).
+      if (fn->higher_order ||
+          (fn->arity >= 0 && static_cast<int>(apply.args().size()) != fn->arity) ||
+          apply.args().size() > 0xffff) {
+        ++stats_.ast_fallbacks;
+        emit_ast(expr, code);
+        return;
+      }
+      for (const ExprPtr& arg : apply.args()) lower_expr(*arg, code, options);
+      code->push_back(Instr{OpCode::kApply,
+                            static_cast<std::uint32_t>(applies_.size())});
+      applies_.push_back(CompiledApply{fn, &apply.function_id(),
+                                       static_cast<std::uint16_t>(apply.args().size())});
+      return;
+    }
+  }
+  emit_ast(expr, code);  // unreachable: future ExprKinds degrade safely
+}
+
+CompiledProgram CompiledPolicy::lower_condition(const Expression& expr,
+                                                const CompileOptions& options) {
+  std::vector<Instr> code;
+  lower_expr(expr, &code, options);
+  CompiledProgram out;
+  out.code = arena_.copy_array(code);
+  stats_.instructions += code.size();
+  return out;
+}
+
+void CompiledPolicy::build(const CompileOptions& options) {
+  stats_.compiled_policies = 1;
+  rule_algorithm_ = CombiningRegistry::standard().find(source_.rule_combining);
+  if (rule_algorithm_ == nullptr) {
+    diagnostics_.push_back("unknown rule-combining algorithm '" +
+                           source_.rule_combining + "'");
+  }
+  target_ = lower_target(source_.target_spec, options);
+
+  rules_.reserve(source_.rules.size());
+  for (const Rule& rule : source_.rules) {
+    CompiledRule cr;
+    cr.source = &rule;
+    cr.effect = rule.effect;
+    if (rule.target.has_value() && !rule.target->empty()) {
+      cr.has_target = true;
+      cr.target = lower_target(*rule.target, options);
+    }
+    if (rule.condition) {
+      cr.has_condition = true;
+      cr.condition = lower_condition(*rule.condition, options);
+    }
+    rules_.push_back(cr);
+  }
+  stats_.rules = rules_.size();
+
+  // The once-materialised rule Combinable list: what the interpreter
+  // rebuilt on every Policy::evaluate call. Pointers into rules_ are
+  // stable (fully built above, never mutated again); `this` is stable
+  // because compiled policies only live behind shared_ptr.
+  rule_combinables_.reserve(rules_.size());
+  rule_ptrs_.reserve(rules_.size());
+  for (const CompiledRule& cr : rules_) {
+    const CompiledRule* rule = &cr;
+    rule_combinables_.push_back(Combinable{
+        rule->source->id,
+        [this, rule](EvaluationContext& ctx) { return rule_match(*rule, ctx); },
+        [this, rule](EvaluationContext& ctx) { return evaluate_rule(*rule, ctx); }});
+  }
+  for (const Combinable& c : rule_combinables_) rule_ptrs_.push_back(&c);
+  stats_.arena_bytes = arena_.bytes_allocated();
+}
+
+// ---------------------------------------------------------------------
+// Evaluation (interpreter-equivalent; see core/policy.cpp for the
+// reference implementations these mirror)
+// ---------------------------------------------------------------------
+
+MatchResult CompiledPolicy::eval_match(const CompiledMatch& match,
+                                       EvaluationContext& ctx) const {
+  const bool standard_registry = &ctx.functions() == &FunctionRegistry::standard();
+  const FunctionDef* fn =
+      standard_registry ? match.function : ctx.functions().find(*match.function_id);
+  if (fn == nullptr || fn->higher_order) return MatchResult::kIndeterminate;
+
+  // Request-supplied fast path. The symbol was resolved at compile time,
+  // so the probe is a binary search over integers — no interner find, no
+  // string hash (the ROADMAP's "interned symbols for Match attribute
+  // ids" item). Falls back to the string-keyed probe only for names that
+  // could not be resolved when this program was compiled.
+  const Bag* bag = match.attribute_id != CompiledMatch::kNoSymbol
+                       ? ctx.request().get(match.category, match.attribute_id)
+                       : ctx.request().get(match.category, *match.attribute_name);
+  // Seed the context's probe memo (as attribute_in_request does for the
+  // interpreter) so the fast-path-miss -> attribute() fall-back reuses
+  // this search instead of re-probing the request by string.
+  ctx.remember_probe(match.category, *match.attribute_name, bag);
+  if (bag != nullptr) {
+    bool has_typed_value = false;
+    for (const AttributeValue& v : bag->values()) {
+      if (v.type() == match.data_type) {
+        has_typed_value = true;
+        break;
+      }
+    }
+    if (has_typed_value) {
+      ++ctx.metrics().attribute_lookups;
+      if (match.inline_string_equal && standard_registry) {
+        return detail::bag_contains_string(*bag, match.literal->as_string())
+                   ? MatchResult::kMatch
+                   : MatchResult::kNoMatch;
+      }
+      return detail::match_candidates_against(*fn, *match.literal, match.data_type,
+                                              *bag, /*filter=*/true, ctx);
+    }
+  }
+
+  // General path: resolver consultation, type filtering and
+  // missing-attribute handling — delegated to the context, exactly as
+  // the interpreted Match does.
+  const ExprResult looked_up = ctx.attribute(match.category, *match.attribute_name,
+                                             match.data_type, match.must_be_present);
+  if (!looked_up.ok()) return MatchResult::kIndeterminate;
+  return detail::match_candidates_against(*fn, *match.literal, match.data_type,
+                                          looked_up.bag, /*filter=*/false, ctx);
+}
+
+MatchResult CompiledPolicy::eval_target(const CompiledTarget& target,
+                                        EvaluationContext& ctx) const {
+  ++ctx.metrics().targets_checked;
+  bool saw_indeterminate = false;
+  std::uint32_t group_begin = 0;
+  for (const std::uint32_t group_end : target.any_of_ends) {
+    // One conjunct: a disjunction over AllOf groups.
+    MatchResult disjunction = MatchResult::kNoMatch;
+    bool any_indeterminate = false;
+    for (std::uint32_t g = group_begin;
+         g < group_end && disjunction != MatchResult::kMatch; ++g) {
+      const std::uint32_t match_begin = g == 0 ? 0 : target.all_of_ends[g - 1];
+      const std::uint32_t match_end = target.all_of_ends[g];
+      MatchResult conjunction = MatchResult::kMatch;
+      bool all_indeterminate = false;
+      for (std::uint32_t m = match_begin; m < match_end; ++m) {
+        const MatchResult r = eval_match(target.matches[m], ctx);
+        if (r == MatchResult::kNoMatch) {
+          conjunction = MatchResult::kNoMatch;
+          break;  // short-circuit, like AllOf::evaluate
+        }
+        if (r == MatchResult::kIndeterminate) all_indeterminate = true;
+      }
+      if (conjunction == MatchResult::kMatch && all_indeterminate) {
+        conjunction = MatchResult::kIndeterminate;
+      }
+      if (conjunction == MatchResult::kMatch) {
+        disjunction = MatchResult::kMatch;
+      } else if (conjunction == MatchResult::kIndeterminate) {
+        any_indeterminate = true;
+      }
+    }
+    group_begin = group_end;
+    if (disjunction == MatchResult::kMatch) continue;
+    if (any_indeterminate) {
+      saw_indeterminate = true;
+      continue;
+    }
+    return MatchResult::kNoMatch;  // a failed conjunct fails the target
+  }
+  return saw_indeterminate ? MatchResult::kIndeterminate : MatchResult::kMatch;
+}
+
+ExprResult CompiledPolicy::run_program(const CompiledProgram& program,
+                                       EvaluationContext& ctx,
+                                       CompiledEvalScratch& scratch) const {
+  // Execute above the caller's stack frames: re-entrant evaluation (a
+  // resolver calling back into the PDP mid-condition) nests safely. The
+  // guard restores the frame even if a user-supplied resolver or
+  // function throws — the scratch is long-lived Pdp state, and callers
+  // like pep::PdpService catch per-request exceptions and keep serving,
+  // so a throw must not leave orphaned stack entries or a raised
+  // args_depth behind.
+  const std::size_t base = scratch.stack.size();
+  struct FrameGuard {
+    CompiledEvalScratch& scratch;
+    std::size_t base;
+    std::size_t args_depth;
+    ~FrameGuard() {
+      if (scratch.stack.size() > base) scratch.stack.resize(base);
+      scratch.args_depth = args_depth;
+    }
+  } guard{scratch, base, scratch.args_depth};
+  const auto fail = [&](Status status) {
+    // Frame restoration is the guard's job; fail only shapes the result.
+    return ExprResult::error(std::move(status));
+  };
+
+  for (const Instr& instr : program.code) {
+    switch (instr.op) {
+      case OpCode::kPushLiteral:
+        scratch.stack.push_back(*literals_[instr.index]);
+        break;
+      case OpCode::kLoadAttribute: {
+        const CompiledDesignator& d = designators_[instr.index];
+        ExprResult r = ctx.attribute(d.category, *d.name, d.data_type,
+                                     d.must_be_present);
+        if (!r.ok()) return fail(std::move(r.status));
+        scratch.stack.push_back(std::move(r.bag));
+        break;
+      }
+      case OpCode::kApply: {
+        const CompiledApply& apply = applies_[instr.index];
+        // Arity was verified at compile time. The metrics bump lands
+        // here (after the arguments ran) rather than before them as in
+        // the interpreter, so when an argument errors the enclosing
+        // apply goes uncounted and functions_invoked can read lower than
+        // the interpreter's for the same request. Metrics are
+        // diagnostics — the equivalence contract (and the differential
+        // suite) covers decisions, obligations and fingerprints.
+        ++ctx.metrics().functions_invoked;
+        std::vector<Bag>& args = scratch.acquire_args();
+        const std::size_t arg_base = scratch.stack.size() - apply.argc;
+        for (std::size_t i = 0; i < apply.argc; ++i) {
+          args.push_back(std::move(scratch.stack[arg_base + i]));
+        }
+        scratch.stack.resize(arg_base);
+        ExprResult r = apply.function->invoke(ctx, args);
+        scratch.release_args();
+        if (!r.ok()) return fail(std::move(r.status));
+        scratch.stack.push_back(std::move(r.bag));
+        break;
+      }
+      case OpCode::kEvalAst: {
+        ExprResult r = ast_exprs_[instr.index]->evaluate(ctx);
+        if (!r.ok()) return fail(std::move(r.status));
+        scratch.stack.push_back(std::move(r.bag));
+        break;
+      }
+    }
+  }
+  ExprResult out = ExprResult::value(std::move(scratch.stack.back()));
+  scratch.stack.pop_back();
+  return out;
+}
+
+MatchResult CompiledPolicy::rule_match(const CompiledRule& rule,
+                                       EvaluationContext& ctx) const {
+  if (!rule.has_target) return MatchResult::kMatch;
+  return eval_target(rule.target, ctx);
+}
+
+Decision CompiledPolicy::evaluate_rule(const CompiledRule& rule,
+                                       EvaluationContext& ctx) const {
+  ++ctx.metrics().rules_evaluated;
+  const IndeterminateExtent my_extent = rule.effect == Effect::kPermit
+                                            ? IndeterminateExtent::kP
+                                            : IndeterminateExtent::kD;
+
+  switch (rule_match(rule, ctx)) {
+    case MatchResult::kNoMatch:
+      return Decision::not_applicable();
+    case MatchResult::kIndeterminate:
+      return Decision::indeterminate(
+          my_extent,
+          Status::processing_error("rule '" + rule.source->id + "': target error"));
+    case MatchResult::kMatch:
+      break;
+  }
+
+  if (rule.has_condition) {
+    ExprResult r;
+    if (&ctx.functions() != &FunctionRegistry::standard()) {
+      // The program's function resolutions are against the standard
+      // registry; a custom registry gets the AST, which consults it the
+      // way the interpreter always did.
+      r = rule.source->condition->evaluate(ctx);
+    } else if (CompiledEvalScratch* scratch = ctx.compiled_scratch()) {
+      r = run_program(rule.condition, ctx, *scratch);
+    } else {
+      CompiledEvalScratch local;
+      r = run_program(rule.condition, ctx, local);
+    }
+    if (!r.ok()) return Decision::indeterminate(my_extent, r.status);
+    if (r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
+      return Decision::indeterminate(
+          my_extent, Status::processing_error("rule '" + rule.source->id +
+                                              "': condition not boolean"));
+    }
+    if (!r.bag.at(0).as_boolean()) return Decision::not_applicable();
+  }
+
+  Decision d = rule.effect == Effect::kPermit ? Decision::permit() : Decision::deny();
+  attach_obligations(rule.source->obligations, ctx, &d);
+  return d;
+}
+
+MatchResult CompiledPolicy::match(EvaluationContext& ctx) const {
+  if (target_.empty()) return MatchResult::kMatch;
+  return eval_target(target_, ctx);
+}
+
+Decision CompiledPolicy::evaluate(EvaluationContext& ctx) const {
+  ++ctx.metrics().policies_evaluated;
+
+  const MatchResult m = match(ctx);
+  if (m == MatchResult::kNoMatch) return Decision::not_applicable();
+
+  if (rule_algorithm_ == nullptr) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::syntax_error("policy '" + source_.policy_id +
+                             "': unknown rule-combining algorithm '" +
+                             source_.rule_combining + "'"));
+  }
+
+  Decision combined = rule_algorithm_->combine(
+      std::span<const Combinable* const>(rule_ptrs_), ctx);
+
+  if (m == MatchResult::kIndeterminate) {
+    return detail::mask_by_indeterminate_target(std::move(combined),
+                                                source_.policy_id);
+  }
+  attach_obligations(source_.obligations, ctx, &combined);
+  return combined;
+}
+
+// ---------------------------------------------------------------------
+// Vocabulary extraction
+// ---------------------------------------------------------------------
+
+namespace {
+
+void collect_expr_names(const Expression& expr, std::set<std::string>* out) {
+  switch (expr.kind()) {
+    case ExprKind::kDesignator:
+      out->insert(static_cast<const DesignatorExpr&>(expr).id());
+      return;
+    case ExprKind::kApply: {
+      for (const ExprPtr& arg : static_cast<const ApplyExpr&>(expr).args()) {
+        collect_expr_names(*arg, out);
+      }
+      return;
+    }
+    case ExprKind::kLiteral:
+    case ExprKind::kFunctionRef:
+      return;
+  }
+}
+
+void collect_target_names(const Target& target, std::set<std::string>* out) {
+  for (const AnyOf& any : target.any_ofs) {
+    for (const AllOf& all : any.all_ofs) {
+      for (const Match& m : all.matches) out->insert(m.attribute_id);
+    }
+  }
+}
+
+void collect_obligation_names(const std::vector<ObligationExpr>& obligations,
+                              std::set<std::string>* out) {
+  for (const ObligationExpr& ob : obligations) {
+    for (const AttributeAssignmentExpr& a : ob.assignments) {
+      if (a.expr) collect_expr_names(*a.expr, out);
+    }
+  }
+}
+
+void collect_policy_names(const Policy& policy, std::set<std::string>* out) {
+  collect_target_names(policy.target_spec, out);
+  collect_obligation_names(policy.obligations, out);
+  for (const Rule& rule : policy.rules) {
+    if (rule.target.has_value()) collect_target_names(*rule.target, out);
+    if (rule.condition) collect_expr_names(*rule.condition, out);
+    collect_obligation_names(rule.obligations, out);
+  }
+}
+
+void collect_node_names(const PolicyTreeNode& node, std::set<std::string>* out) {
+  if (const auto* policy = dynamic_cast<const Policy*>(&node)) {
+    collect_policy_names(*policy, out);
+    return;
+  }
+  if (const auto* set = dynamic_cast<const PolicySet*>(&node)) {
+    collect_target_names(set->target_spec, out);
+    collect_obligation_names(set->obligations, out);
+    for (const PolicyNodePtr& child : set->children()) {
+      collect_node_names(*child, out);
+    }
+  }
+  // PolicyReference: the referenced policy registers its own names when
+  // it is issued; the reference itself mentions none.
+}
+
+}  // namespace
+
+std::vector<std::string> referenced_attribute_names(const Policy& policy) {
+  std::set<std::string> names;
+  collect_policy_names(policy, &names);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::vector<std::string> referenced_attribute_names(const PolicyTreeNode& node) {
+  std::set<std::string> names;
+  collect_node_names(node, &names);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+}  // namespace mdac::core

@@ -1,0 +1,310 @@
+// Compiled policy programs: the arena-backed, symbol-resolved evaluation
+// core that the PDP hot loop executes instead of interpreting the policy
+// AST (ISSUE 3 tentpole).
+//
+// The interpreted path (core/policy.cpp) re-derives per-request state
+// that never changes between requests: every Match re-finds its function
+// and re-hashes its attribute name through the interner, every
+// Policy::evaluate re-materialises a std::vector<Combinable> over its
+// rules (~6 allocations per uncached decision, see PERF.md), and every
+// condition walks a pointer-chasing expression tree. A CompiledPolicy
+// does all of that exactly once, at the trusted PAP/PDP boundary:
+//
+//   * targets and rule targets are lowered into contiguous match tables
+//     (flattened AnyOf/AllOf offsets + CompiledMatch entries) whose
+//     attribute ids are pre-resolved to interner Symbols and whose
+//     functions are pre-resolved against the standard registry;
+//   * condition expressions are lowered into flat postfix instruction
+//     programs (literal/designator/apply pools); higher-order applies and
+//     anything not provably lowerable fall back to one kEvalAst
+//     instruction over the owned AST, preserving interpreter semantics
+//     to the byte (error texts included);
+//   * each policy's rule Combinable list is materialised once, so
+//     CombiningAlgorithm::combine always receives a prebuilt span and
+//     steady-state evaluation allocates nothing.
+//
+// A CompiledPolicy owns a clone of its source Policy (every internal
+// pointer targets that clone or the arena), so one compiled artifact is
+// self-contained and freely shared: the PAP compiles on issue and every
+// PDP replica loading the repository references the same immutable
+// object (tests/pap_test.cpp pins the sharing down). Decisions are
+// bit-identical to the interpreter — tests/compiled_differential_test.cpp
+// proves it over randomized federation-shaped workloads; the interpreted
+// path stays alive behind PdpConfig::use_compiled for exactly that
+// differential testing.
+//
+// Unknown-at-compile-time names (symbol table exhausted, or compiling
+// with intern_names=false) are recorded as compile diagnostics and
+// degrade to the string-keyed lookup path — never to a wrong decision.
+//
+// Thread-safety: a CompiledPolicy is immutable after compile() and safe
+// to share across threads. Mutable evaluation state lives in
+// CompiledEvalScratch, which each Pdp owns privately and threads through
+// the EvaluationContext.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/interner.hpp"
+#include "core/combining.hpp"
+#include "core/decision.hpp"
+#include "core/evaluation.hpp"
+#include "core/policy.hpp"
+
+namespace mdac::core {
+
+struct FunctionDef;
+
+/// Bump-pointer arena backing the compiled instruction/match tables.
+/// Chunks never move once allocated, so spans into the arena stay valid
+/// for the owning CompiledPolicy's lifetime. Restricted to trivially
+/// destructible element types: the arena frees memory wholesale.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Copies `src` into arena storage and returns the stable view.
+  template <typename T>
+  std::span<const T> copy_array(const std::vector<T>& src) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(std::is_trivially_destructible_v<T>);
+    if (src.empty()) return {};
+    auto* dst = static_cast<T*>(allocate(src.size() * sizeof(T), alignof(T)));
+    std::memcpy(dst, src.data(), src.size() * sizeof(T));
+    return {dst, src.size()};
+  }
+
+  std::size_t bytes_allocated() const { return bytes_; }
+
+ private:
+  void* allocate(std::size_t size, std::size_t align);
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+  std::vector<Chunk> chunks_;
+  std::size_t bytes_ = 0;
+};
+
+/// One lowered target Match. Pointer members target the owning
+/// CompiledPolicy's source AST clone (stable for the artifact's
+/// lifetime); `function` is the standard-registry resolution (null when
+/// the function is unknown or higher-order — evaluates Indeterminate,
+/// like the interpreter). A custom FunctionRegistry on the evaluation
+/// context re-resolves through `function_id` at run time.
+struct CompiledMatch {
+  static constexpr common::Symbol kNoSymbol = static_cast<common::Symbol>(-1);
+
+  const FunctionDef* function = nullptr;
+  const AttributeValue* literal = nullptr;
+  const std::string* function_id = nullptr;
+  const std::string* attribute_name = nullptr;
+  common::Symbol attribute_id = kNoSymbol;
+  Category category = Category::kSubject;
+  DataType data_type = DataType::kString;
+  bool must_be_present = false;
+  /// Standard string-equal over a string literal: compiled counterpart of
+  /// the interpreter's in-place compare fast path.
+  bool inline_string_equal = false;
+};
+
+/// A target lowered to flat arrays: `any_of_ends[k]` is the exclusive
+/// end (into `all_of_ends`) of conjunct k's disjunction groups, and
+/// `all_of_ends[g]` the exclusive end (into `matches`) of group g's
+/// conjunctive match run. Empty `any_of_ends` = empty target.
+struct CompiledTarget {
+  std::span<const std::uint32_t> any_of_ends;
+  std::span<const std::uint32_t> all_of_ends;
+  std::span<const CompiledMatch> matches;
+
+  bool empty() const { return any_of_ends.empty(); }
+};
+
+/// Postfix condition program opcodes. Operands index the owning
+/// CompiledPolicy's pools.
+enum class OpCode : std::uint8_t {
+  kPushLiteral,    // push literal bag [index into literal pool]
+  kLoadAttribute,  // push designator lookup [index into designator pool]
+  kApply,          // pop argc bags, invoke, push result [apply pool]
+  kEvalAst,        // evaluate an un-lowerable subtree via the AST [ast pool]
+};
+
+struct Instr {
+  OpCode op = OpCode::kEvalAst;
+  std::uint32_t index = 0;
+};
+
+struct CompiledDesignator {
+  const std::string* name = nullptr;
+  common::Symbol symbol = CompiledMatch::kNoSymbol;
+  Category category = Category::kSubject;
+  DataType data_type = DataType::kString;
+  bool must_be_present = false;
+};
+
+struct CompiledApply {
+  const FunctionDef* function = nullptr;
+  const std::string* function_id = nullptr;
+  std::uint16_t argc = 0;
+};
+
+struct CompiledProgram {
+  std::span<const Instr> code;  // empty = no condition
+};
+
+struct CompiledRule {
+  const Rule* source = nullptr;  // into the owning artifact's AST clone
+  CompiledTarget target;
+  CompiledProgram condition;
+  Effect effect = Effect::kPermit;
+  bool has_target = false;     // target present and non-empty
+  bool has_condition = false;
+};
+
+/// What compilation produced — surfaced through PdpResult so operators
+/// can see how much of the working set runs compiled.
+struct CompileStats {
+  std::size_t compiled_policies = 0;
+  std::size_t interpreted_nodes = 0;  // top-level nodes without a program
+  std::size_t rules = 0;
+  std::size_t matches = 0;
+  std::size_t instructions = 0;
+  std::size_t unresolved_names = 0;  // attribute ids without a symbol
+  std::size_t ast_fallbacks = 0;     // condition subtrees kept as AST
+  std::size_t arena_bytes = 0;
+
+  void accumulate(const CompileStats& other) {
+    compiled_policies += other.compiled_policies;
+    interpreted_nodes += other.interpreted_nodes;
+    rules += other.rules;
+    matches += other.matches;
+    instructions += other.instructions;
+    unresolved_names += other.unresolved_names;
+    ast_fallbacks += other.ast_fallbacks;
+    arena_bytes += other.arena_bytes;
+  }
+
+  bool operator==(const CompileStats&) const = default;
+};
+
+/// Reusable condition-program evaluation state. One per Pdp, wired
+/// through EvaluationContext::set_compiled_scratch; programs execute
+/// above a saved stack base, so re-entrant evaluation (a resolver
+/// calling back into the PDP) nests safely on one scratch. `args_pool`
+/// is a deque so an argument vector handed to a running function stays
+/// valid while nested frames acquire deeper ones.
+struct CompiledEvalScratch {
+  std::vector<Bag> stack;
+  std::deque<std::vector<Bag>> args_pool;
+  std::size_t args_depth = 0;
+
+  std::vector<Bag>& acquire_args() {
+    if (args_depth == args_pool.size()) args_pool.emplace_back();
+    std::vector<Bag>& args = args_pool[args_depth++];
+    args.clear();
+    return args;
+  }
+  void release_args() { --args_depth; }
+};
+
+struct CompileOptions {
+  /// Interning is reserved for trusted paths. Both compile sites — PAP
+  /// issue and PDP index rebuild — are trusted (policy content, never
+  /// wire input), so the default interns referenced attribute names,
+  /// exactly as the target index has always done for its constraint
+  /// keys. False = resolve-only: names nobody interned stay on the
+  /// string-lookup path and are recorded as diagnostics.
+  bool intern_names = true;
+};
+
+class CompiledPolicy {
+ public:
+  /// Compiles `policy` into a self-contained, immutable, shareable
+  /// artifact (the policy is cloned; the caller's object is not
+  /// referenced). Never fails: anything not lowerable degrades to the
+  /// AST with a diagnostic, and evaluation stays interpreter-identical.
+  static std::shared_ptr<const CompiledPolicy> compile(const Policy& policy,
+                                                       CompileOptions options = {});
+
+  CompiledPolicy(const CompiledPolicy&) = delete;
+  CompiledPolicy& operator=(const CompiledPolicy&) = delete;
+
+  const std::string& id() const { return source_.policy_id; }
+  const Policy& source() const { return source_; }
+
+  /// Interpreter-equivalent Policy::match / Policy::evaluate over the
+  /// compiled tables. Scratch comes from the context when wired (the
+  /// Pdp's persistent buffers); otherwise a local fallback is used.
+  MatchResult match(EvaluationContext& ctx) const;
+  Decision evaluate(EvaluationContext& ctx) const;
+
+  /// The rule Combinables materialised at compile time — what
+  /// CombiningAlgorithm::combine receives with no per-request setup.
+  std::span<const Combinable* const> rule_combinables() const { return rule_ptrs_; }
+
+  const CompileStats& stats() const { return stats_; }
+  const std::vector<std::string>& diagnostics() const { return diagnostics_; }
+
+ private:
+  explicit CompiledPolicy(Policy source) : source_(std::move(source)) {}
+
+  void build(const CompileOptions& options);
+  CompiledTarget lower_target(const Target& target, const CompileOptions& options);
+  CompiledMatch lower_match(const Match& match, const CompileOptions& options);
+  CompiledProgram lower_condition(const Expression& expr, const CompileOptions& options);
+  void lower_expr(const Expression& expr, std::vector<Instr>* code,
+                  const CompileOptions& options);
+  void emit_ast(const Expression& expr, std::vector<Instr>* code);
+  common::Symbol resolve_symbol(const std::string& name, const CompileOptions& options);
+
+  MatchResult eval_target(const CompiledTarget& target, EvaluationContext& ctx) const;
+  MatchResult eval_match(const CompiledMatch& match, EvaluationContext& ctx) const;
+  MatchResult rule_match(const CompiledRule& rule, EvaluationContext& ctx) const;
+  Decision evaluate_rule(const CompiledRule& rule, EvaluationContext& ctx) const;
+  ExprResult run_program(const CompiledProgram& program, EvaluationContext& ctx,
+                         CompiledEvalScratch& scratch) const;
+
+  Policy source_;  // owned clone; all table pointers target it
+  Arena arena_;
+  CompiledTarget target_;
+  std::vector<CompiledRule> rules_;
+  std::vector<Combinable> rule_combinables_;
+  std::vector<const Combinable*> rule_ptrs_;
+  const CombiningAlgorithm* rule_algorithm_ = nullptr;
+
+  // Instruction operand pools (non-trivial or pointer-bearing — kept out
+  // of the arena, contiguous regardless).
+  std::vector<const Bag*> literals_;
+  std::vector<CompiledDesignator> designators_;
+  std::vector<CompiledApply> applies_;
+  std::vector<const Expression*> ast_exprs_;
+
+  CompileStats stats_;
+  std::vector<std::string> diagnostics_;
+};
+
+/// Every attribute name `policy` references: target and rule-target
+/// match ids, condition designators, obligation assignment designators.
+/// Sorted, deduplicated. The PAP's issue-time vocabulary auto-extraction
+/// feeds this through register_attribute_names so a domain's allowlist
+/// tracks its issued policies without manual registration.
+std::vector<std::string> referenced_attribute_names(const Policy& policy);
+
+/// As above for any policy tree node: PolicySets are walked recursively
+/// (their own targets and obligations included); references contribute
+/// nothing (the referenced policy registers its names at its own issue).
+std::vector<std::string> referenced_attribute_names(const PolicyTreeNode& node);
+
+}  // namespace mdac::core

@@ -17,6 +17,7 @@ namespace mdac::core {
 
 class FunctionRegistry;
 class PolicyStore;
+struct CompiledEvalScratch;
 
 /// Result of evaluating an expression: a bag, or an error status.
 struct ExprResult {
@@ -90,6 +91,18 @@ class EvaluationContext {
   const Bag* attribute_in_request(Category category, const std::string& id,
                                   DataType expected);
 
+  /// Seeds the probe memo for a caller that already searched the request
+  /// itself (the compiled match tables probe by pre-resolved symbol):
+  /// the attribute() fall-back then reuses the result instead of
+  /// re-searching by string — the same memoisation attribute_in_request
+  /// performs for the interpreted path. `id` must outlive the next
+  /// attribute() call (compiled programs pass owned-AST strings).
+  void remember_probe(Category category, const std::string& id, const Bag* bag) {
+    probe_id_ = &id;
+    probe_category_ = category;
+    probe_bag_ = bag;
+  }
+
   EvaluationMetrics& metrics() { return metrics_; }
   const EvaluationMetrics& metrics() const { return metrics_; }
 
@@ -98,11 +111,21 @@ class EvaluationContext {
   bool enter_reference(const std::string& id);
   void leave_reference(const std::string& id);
 
+  /// Reusable condition-program buffers for compiled policy evaluation
+  /// (core/compiled.hpp). The Pdp wires its persistent scratch in before
+  /// evaluating; null makes compiled conditions fall back to a local
+  /// buffer. Not owned; must outlive the context.
+  CompiledEvalScratch* compiled_scratch() const { return compiled_scratch_; }
+  void set_compiled_scratch(CompiledEvalScratch* scratch) {
+    compiled_scratch_ = scratch;
+  }
+
  private:
   const RequestContext& request_;
   const FunctionRegistry& functions_;
   AttributeResolver* resolver_;
   const PolicyStore* store_;
+  CompiledEvalScratch* compiled_scratch_ = nullptr;
 
   // Memo of the last attribute_in_request() bag probe, so the Match
   // fast-path miss -> attribute() fall-back reuses the search instead of

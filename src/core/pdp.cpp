@@ -105,15 +105,57 @@ void Pdp::place_in_partition(Partition& partition, std::uint32_t position,
 
 void Pdp::rebuild_index() {
   ordered_nodes_ = store_->top_level();
-  combinables_.clear();
-  combinables_.reserve(ordered_nodes_.size());
-  for (const PolicyTreeNode* node : ordered_nodes_) {
-    combinables_.push_back(Combinable::of_node(*node));
-  }
   global_ = Partition{};
   partitions_.clear();
   selected_stamp_.assign(ordered_nodes_.size(), 0);
   select_epoch_ = 0;
+
+  // Resolve each top-level node's execution program: a store-attached
+  // compiled artifact (the PAP compiled it on issue; every replica
+  // loading that repository shares the same object), a local compile
+  // for plain Policy nodes the store has no artifact for, or the
+  // interpreted AST (policy sets, references, use_compiled off). The
+  // Combinables built here are what the root combining algorithm
+  // receives — one materialisation per store revision, zero per request.
+  compile_stats_ = CompileStats{};
+  combinables_.clear();
+  combinables_.reserve(ordered_nodes_.size());
+  // Cache rebuilt fresh each time so removed ids don't accumulate;
+  // unchanged nodes (same id at the same store revision) carry their
+  // artifact over, so one store mutation recompiles only the policies
+  // it touched. The Combinable lambdas co-own each artifact — that is
+  // what keeps a store-attached program alive for in-flight use even
+  // after the repository recompiles.
+  decltype(local_compile_cache_) next_cache;
+  for (const PolicyTreeNode* node : ordered_nodes_) {
+    std::shared_ptr<const CompiledPolicy> compiled;
+    if (config_.use_compiled) {
+      if (auto attached = store_->compiled(node->id())) {
+        compiled = std::move(attached);
+      } else if (const auto* policy = dynamic_cast<const Policy*>(node)) {
+        const std::uint64_t node_revision = store_->node_revision(node->id());
+        const auto cached = local_compile_cache_.find(node->id());
+        if (cached != local_compile_cache_.end() &&
+            cached->second.first == node_revision) {
+          compiled = cached->second.second;
+        } else {
+          compiled = CompiledPolicy::compile(*policy);
+        }
+        next_cache[node->id()] = {node_revision, compiled};
+      }
+    }
+    if (compiled != nullptr) {
+      compile_stats_.accumulate(compiled->stats());
+      combinables_.push_back(Combinable{
+          node->id(),
+          [compiled](EvaluationContext& ctx) { return compiled->match(ctx); },
+          [compiled](EvaluationContext& ctx) { return compiled->evaluate(ctx); }});
+    } else {
+      if (config_.use_compiled) ++compile_stats_.interpreted_nodes;
+      combinables_.push_back(Combinable::of_node(*node));
+    }
+  }
+  local_compile_cache_ = std::move(next_cache);
 
   if (!config_.use_target_index) {
     for (std::size_t i = 0; i < ordered_nodes_.size(); ++i) {
@@ -252,6 +294,10 @@ std::vector<PdpResult> Pdp::evaluate_batch(std::span<const RequestContext> reque
 PdpResult Pdp::evaluate_prepared(const RequestContext& request) {
   PdpResult result;
   EvaluationContext ctx(request, *functions_, resolver_, store_.get());
+  // Compiled condition programs execute above a saved stack base, so one
+  // persistent scratch serves nested (resolver re-entrant) frames too.
+  ctx.set_compiled_scratch(&compiled_scratch_);
+  result.compile = compile_stats_;
 
   if (root_algorithm_ == nullptr) {
     result.decision = Decision::indeterminate(

@@ -62,6 +62,7 @@
 #include "common/interner.hpp"
 #include "common/strings.hpp"
 #include "core/combining.hpp"
+#include "core/compiled.hpp"
 #include "core/decision.hpp"
 #include "core/evaluation.hpp"
 #include "core/policy.hpp"
@@ -79,6 +80,13 @@ struct PdpConfig {
   /// comment). Off = one flat global partition, the pre-partitioning
   /// behaviour; decisions are identical either way.
   bool partition_by_domain = true;
+  /// Execute compiled policy programs (core/compiled.hpp) for top-level
+  /// Policy nodes: store-attached artifacts (PAP compile-on-issue) are
+  /// reused, anything else is compiled once at index-rebuild time. Off =
+  /// the interpreted AST path, kept alive for differential testing
+  /// (tests/compiled_differential_test.cpp); decisions are identical
+  /// either way.
+  bool use_compiled = true;
 };
 
 struct PdpResult {
@@ -89,6 +97,10 @@ struct PdpResult {
   /// Number of distinct per-domain partitions this request was routed to
   /// (excludes the always-probed global partition).
   std::size_t partitions_probed = 0;
+  /// Aggregate compile stats of the working set this request ran
+  /// against; all-zero when use_compiled is off (so an all-zero struct
+  /// reliably means "interpreted mode").
+  CompileStats compile;
 };
 
 class Pdp {
@@ -188,6 +200,16 @@ class Pdp {
   std::uint64_t indexed_revision_ = static_cast<std::uint64_t>(-1);
   std::vector<const PolicyTreeNode*> ordered_nodes_;
   std::vector<Combinable> combinables_;  // parallel to ordered_nodes_
+  /// Locally compiled artifacts carried across index rebuilds, keyed by
+  /// id -> (store node revision, artifact): a store mutation recompiles
+  /// only the nodes it replaced, not the whole working set.
+  std::unordered_map<std::string,
+                     std::pair<std::uint64_t, std::shared_ptr<const CompiledPolicy>>>
+      local_compile_cache_;
+  CompileStats compile_stats_;
+  /// Persistent condition-program buffers, wired into every evaluation
+  /// context so compiled conditions run without per-request allocation.
+  CompiledEvalScratch compiled_scratch_;
 
   // Reusable selection scratch: selected_stamp_[i] == select_epoch_ marks
   // node i selected for the current request; bumping the epoch clears the

@@ -9,25 +9,37 @@ namespace mdac::core {
 // Target matching
 // ---------------------------------------------------------------------
 
+namespace detail {
+
+MatchResult match_candidates_against(const FunctionDef& fn,
+                                     const AttributeValue& literal,
+                                     DataType data_type, const Bag& bag,
+                                     bool filter, EvaluationContext& ctx) {
+  bool saw_error = false;
+  for (const AttributeValue& candidate : bag.values()) {
+    if (filter && candidate.type() != data_type) continue;
+    const ExprResult r = fn.invoke(ctx, {Bag(literal), Bag(candidate)});
+    if (!r.ok() || r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
+      saw_error = true;
+      continue;
+    }
+    if (r.bag.at(0).as_boolean()) return MatchResult::kMatch;
+  }
+  return saw_error ? MatchResult::kIndeterminate : MatchResult::kNoMatch;
+}
+
+bool bag_contains_string(const Bag& bag, const std::string& wanted) {
+  for (const AttributeValue& candidate : bag.values()) {
+    if (candidate.is_string() && candidate.as_string() == wanted) return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
 MatchResult Match::evaluate(EvaluationContext& ctx) const {
   const FunctionDef* fn = ctx.functions().find(function_id);
   if (fn == nullptr || fn->higher_order) return MatchResult::kIndeterminate;
-
-  // One loop for both paths; `filter` skips values of the wrong type
-  // when iterating an unfiltered in-request bag.
-  const auto match_candidates = [&](const Bag& bag, bool filter) {
-    bool saw_error = false;
-    for (const AttributeValue& candidate : bag.values()) {
-      if (filter && candidate.type() != data_type) continue;
-      const ExprResult r = fn->invoke(ctx, {Bag(literal), Bag(candidate)});
-      if (!r.ok() || r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
-        saw_error = true;
-        continue;
-      }
-      if (r.bag.at(0).as_boolean()) return MatchResult::kMatch;
-    }
-    return saw_error ? MatchResult::kIndeterminate : MatchResult::kNoMatch;
-  };
 
   // Fast path for the overwhelmingly common target shape: the request
   // itself supplies the attribute and the match is a string equality.
@@ -39,14 +51,12 @@ MatchResult Match::evaluate(EvaluationContext& ctx) const {
     // have redefined "string-equal".
     if (function_id == "string-equal" && data_type == DataType::kString &&
         literal.is_string() && &ctx.functions() == &FunctionRegistry::standard()) {
-      for (const AttributeValue& candidate : bag->values()) {
-        if (candidate.is_string() && candidate.as_string() == literal.as_string()) {
-          return MatchResult::kMatch;
-        }
-      }
-      return MatchResult::kNoMatch;
+      return detail::bag_contains_string(*bag, literal.as_string())
+                 ? MatchResult::kMatch
+                 : MatchResult::kNoMatch;
     }
-    return match_candidates(*bag, /*filter=*/true);
+    return detail::match_candidates_against(*fn, literal, data_type, *bag,
+                                            /*filter=*/true, ctx);
   }
 
   // General path: resolver consultation, type filtering and
@@ -54,7 +64,8 @@ MatchResult Match::evaluate(EvaluationContext& ctx) const {
   const ExprResult looked_up = ctx.attribute(category, attribute_id, data_type,
                                              must_be_present);
   if (!looked_up.ok()) return MatchResult::kIndeterminate;
-  return match_candidates(looked_up.bag, /*filter=*/false);
+  return detail::match_candidates_against(*fn, literal, data_type, looked_up.bag,
+                                          /*filter=*/false, ctx);
 }
 
 MatchResult AllOf::evaluate(EvaluationContext& ctx) const {
@@ -254,11 +265,11 @@ Rule Rule::clone() const {
 // Policy
 // ---------------------------------------------------------------------
 
-namespace {
+namespace detail {
 
 /// Applies the XACML 3.0 "target Indeterminate" table: the policy's value
 /// becomes Indeterminate whose extent reflects what the children would
-/// have produced.
+/// have produced. Shared with the compiled evaluator (compiled.cpp).
 Decision mask_by_indeterminate_target(Decision combined, const std::string& id) {
   const Status status =
       Status::processing_error("'" + id + "': target indeterminate");
@@ -274,6 +285,10 @@ Decision mask_by_indeterminate_target(Decision combined, const std::string& id) 
   }
   return combined;
 }
+
+}  // namespace detail
+
+namespace {
 
 const CombiningAlgorithm* lookup_algorithm(const std::string& name) {
   return CombiningRegistry::standard().find(name);
@@ -308,7 +323,7 @@ Decision Policy::evaluate(EvaluationContext& ctx) const {
   Decision combined = alg->combine(children, ctx);
 
   if (m == MatchResult::kIndeterminate) {
-    return mask_by_indeterminate_target(std::move(combined), policy_id);
+    return detail::mask_by_indeterminate_target(std::move(combined), policy_id);
   }
   attach_obligations(obligations, ctx, &combined);
   return combined;
@@ -401,7 +416,7 @@ Decision PolicySet::evaluate(EvaluationContext& ctx) const {
   Decision combined = alg->combine(combinables, ctx);
 
   if (m == MatchResult::kIndeterminate) {
-    return mask_by_indeterminate_target(std::move(combined), policy_set_id);
+    return detail::mask_by_indeterminate_target(std::move(combined), policy_set_id);
   }
   attach_obligations(obligations, ctx, &combined);
   return combined;
@@ -430,22 +445,46 @@ PolicySet PolicySet::clone() const {
 // PolicyStore
 // ---------------------------------------------------------------------
 
-void PolicyStore::add(PolicyNodePtr node) {
+void PolicyStore::add(PolicyNodePtr node,
+                      std::shared_ptr<const CompiledPolicy> compiled) {
   const std::string node_id = node->id();
   if (by_id_.find(node_id) == by_id_.end()) {
     order_.push_back(node_id);
   }
   by_id_[node_id] = std::move(node);
+  // Replacing a node always invalidates the old artifact: attach the new
+  // one, or clear so the PDP recompiles from the node it actually holds.
+  if (compiled != nullptr) {
+    compiled_[node_id] = std::move(compiled);
+  } else {
+    compiled_.erase(node_id);
+  }
   ++revision_;
+  updated_at_[node_id] = revision_;
 }
 
 bool PolicyStore::remove(const std::string& id) {
   const auto it = by_id_.find(id);
   if (it == by_id_.end()) return false;
   by_id_.erase(it);
+  compiled_.erase(id);
+  updated_at_.erase(id);
   order_.erase(std::find(order_.begin(), order_.end(), id));
   ++revision_;
   return true;
+}
+
+std::shared_ptr<const CompiledPolicy> PolicyStore::compiled(
+    const std::string& id) const {
+  const auto it = compiled_.find(id);
+  if (it == compiled_.end()) return nullptr;
+  return it->second;
+}
+
+std::uint64_t PolicyStore::node_revision(const std::string& id) const {
+  const auto it = updated_at_.find(id);
+  if (it == updated_at_.end()) return 0;
+  return it->second;
 }
 
 const PolicyTreeNode* PolicyStore::find(const std::string& id) const {
@@ -466,6 +505,8 @@ std::vector<const PolicyTreeNode*> PolicyStore::top_level() const {
 void PolicyStore::clear() {
   order_.clear();
   by_id_.clear();
+  compiled_.clear();
+  updated_at_.clear();
   ++revision_;
 }
 

@@ -18,6 +18,9 @@
 
 namespace mdac::core {
 
+class CompiledPolicy;
+struct FunctionDef;
+
 enum class MatchResult { kMatch, kNoMatch, kIndeterminate };
 
 /// One Match: applies `function_id(literal, candidate)` over the request's
@@ -197,12 +200,27 @@ class PolicySet final : public PolicyTreeNode {
 class PolicyStore {
  public:
   /// Adds a top-level node; replaces any previous node with the same id.
-  void add(PolicyNodePtr node);
+  /// `compiled` optionally attaches the node's compiled program (the
+  /// PAP's compile-on-issue artifact, shared by every store loading the
+  /// same repository); passing null clears any stale attachment, so a
+  /// replaced policy can never execute its predecessor's program.
+  void add(PolicyNodePtr node,
+           std::shared_ptr<const CompiledPolicy> compiled = nullptr);
   void add(Policy p) { add(std::make_unique<Policy>(std::move(p))); }
   void add(PolicySet ps) { add(std::make_unique<PolicySet>(std::move(ps))); }
 
   bool remove(const std::string& id);
   const PolicyTreeNode* find(const std::string& id) const;
+
+  /// The compiled artifact attached to `id`, or null (the PDP then
+  /// compiles locally at index-rebuild time, or interprets).
+  std::shared_ptr<const CompiledPolicy> compiled(const std::string& id) const;
+
+  /// The revision at which `id` was last (re)placed, 0 if absent. Lets
+  /// evaluators cache per-node derived state (locally compiled
+  /// programs) across index rebuilds: same id + same node revision =
+  /// same node object, no content hashing and no pointer-ABA hazard.
+  std::uint64_t node_revision(const std::string& id) const;
 
   /// Top-level nodes in insertion order (the PDP's root children).
   std::vector<const PolicyTreeNode*> top_level() const;
@@ -216,7 +234,29 @@ class PolicyStore {
  private:
   std::vector<std::string> order_;
   std::map<std::string, PolicyNodePtr> by_id_;
+  std::map<std::string, std::shared_ptr<const CompiledPolicy>> compiled_;
+  std::map<std::string, std::uint64_t> updated_at_;  // id -> revision of last add
   std::uint64_t revision_ = 0;
 };
+
+namespace detail {
+/// The XACML 3.0 "target Indeterminate" masking table, shared by the
+/// interpreted (policy.cpp) and compiled (compiled.cpp) evaluators so
+/// their decisions — status text included — cannot drift apart.
+Decision mask_by_indeterminate_target(Decision combined, const std::string& id);
+
+/// The Match candidate loop: applies `fn(literal, candidate)` over a
+/// bag, skipping wrong-typed values when `filter` is set (the
+/// in-request unfiltered-bag path). Shared by Match::evaluate and the
+/// compiled match tables for the same no-drift reason as above.
+MatchResult match_candidates_against(const FunctionDef& fn,
+                                     const AttributeValue& literal,
+                                     DataType data_type, const Bag& bag,
+                                     bool filter, EvaluationContext& ctx);
+
+/// The standard string-equal in-place fast path: true if `bag` holds a
+/// string equal to `wanted`. No bag copy, no per-candidate wrapping.
+bool bag_contains_string(const Bag& bag, const std::string& wanted);
+}  // namespace detail
 
 }  // namespace mdac::core

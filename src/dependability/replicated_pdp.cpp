@@ -1,5 +1,7 @@
 #include "dependability/replicated_pdp.hpp"
 
+#include <algorithm>
+
 #include "core/serialization.hpp"
 
 namespace mdac::dependability {
@@ -10,8 +12,33 @@ ReplicatedPdpClient::ReplicatedPdpClient(net::Network& network, std::string node
                                          common::Duration per_try_timeout)
     : node_(network, std::move(node_id)),
       replicas_(std::move(replica_ids)),
+      known_replicas_(replicas_),
       strategy_(strategy),
-      per_try_timeout_(per_try_timeout) {}
+      per_try_timeout_(per_try_timeout) {
+  std::sort(known_replicas_.begin(), known_replicas_.end());
+}
+
+std::size_t ReplicatedPdpClient::set_replica_order(
+    std::vector<std::string> replica_ids) {
+  // Validate against the construction-time set: ids this client never
+  // knew are dropped (previously they were silently accepted, and the
+  // dispatcher would send authorization traffic to arbitrary node ids).
+  // Duplicates are dropped too — keeping the first occurrence — which
+  // also caps the installed list at the known-set size, so a confused
+  // health feed cannot inflate one evaluate() into thousands of retries
+  // against the same dead node.
+  std::vector<std::string> seen;
+  std::erase_if(replica_ids, [this, &seen](const std::string& id) {
+    if (!std::binary_search(known_replicas_.begin(), known_replicas_.end(), id)) {
+      return true;
+    }
+    if (std::find(seen.begin(), seen.end(), id) != seen.end()) return true;
+    seen.push_back(id);
+    return false;
+  });
+  replicas_ = std::move(replica_ids);
+  return replicas_.size();
+}
 
 void ReplicatedPdpClient::evaluate(const core::RequestContext& request,
                                    DecisionCallback callback) {

@@ -64,10 +64,12 @@ class ReplicatedPdpClient {
 
   void evaluate(const core::RequestContext& request, DecisionCallback callback);
 
-  /// Reorders the preference list (e.g. from a HeartbeatMonitor).
-  void set_replica_order(std::vector<std::string> replica_ids) {
-    replicas_ = std::move(replica_ids);
-  }
+  /// Reorders the preference list (e.g. from a HeartbeatMonitor). Only
+  /// ids from the construction-time replica set are accepted; unknown
+  /// ids are dropped, so a confused (or malicious) health feed cannot
+  /// point the PEP at nodes that were never part of this PDP service.
+  /// Returns how many of the supplied ids were kept.
+  std::size_t set_replica_order(std::vector<std::string> replica_ids);
   const std::vector<std::string>& replicas() const { return replicas_; }
 
   const DispatchStats& stats() const { return stats_; }
@@ -79,6 +81,9 @@ class ReplicatedPdpClient {
 
   net::RpcNode node_;
   std::vector<std::string> replicas_;
+  /// The construction-time replica set: the only ids set_replica_order
+  /// may install (sorted for lookup).
+  std::vector<std::string> known_replicas_;
   DispatchStrategy strategy_;
   common::Duration per_try_timeout_;
   DispatchStats stats_;

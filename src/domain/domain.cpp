@@ -20,6 +20,11 @@ Domain::Domain(std::string name, const common::Clock& clock)
   resolver_.add(&history_provider_);
   resolver_.add(&environment_);
   pdp_->set_resolver(&resolver_);
+  // Issue-time vocabulary auto-extraction: every policy this domain
+  // issues feeds its referenced attribute names into the domain's
+  // allowlist, so register_attribute_vocabulary() is only needed for
+  // names requests use that no policy mentions.
+  repository_.set_vocabulary_domain(name_);
 }
 
 void Domain::register_user(const std::string& user,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/interner.hpp"
+#include "core/compiled.hpp"
 #include "core/serialization.hpp"
 #include "crypto/sha256.hpp"
 
@@ -71,6 +72,57 @@ RepoOutcome PolicyRepository::issue(const std::string& policy_id,
   versions.back().updated_at = clock_.now();
   record_audit(actor, "issue", policy_id, versions.back().version,
                versions.back().document);
+
+  // Compile-on-issue (and recompile-on-update: a re-issued id replaces
+  // its artifact). This is the trusted administrative path, so the
+  // compiler may intern the policy's attribute names; with a vocabulary
+  // domain configured, the names any issued node references (policy or
+  // policy set, walked recursively) are additionally registered (and
+  // audited) as the domain's allowlist before compilation, keeping the
+  // wire-request gate in sync with the issued policy set.
+  try {
+    const auto node = core::node_from_string(versions.back().document);
+    core::CompileOptions compile_options;
+    if (!vocabulary_domain_.empty()) {
+      auto names = core::referenced_attribute_names(*node);
+      // The request envelope is part of every domain's vocabulary by
+      // construction (RequestContext::make always sends subject-id /
+      // resource-id / action-id, and domain routing reads the domain
+      // attributes): without these, the first auto-registration would
+      // flip a previously open PEP name filter to closed and reject
+      // every wire request over names no policy happens to mention.
+      for (const char* envelope :
+           {core::attrs::kSubjectId, core::attrs::kSubjectDomain,
+            core::attrs::kResourceId, core::attrs::kResourceDomain,
+            core::attrs::kActionId}) {
+        names.push_back(envelope);
+      }
+      const RepoOutcome registered =
+          register_attribute_names(vocabulary_domain_, names, actor);
+      if (!registered) {
+        // Symbol table exhausted: the issue still succeeds (policy
+        // administration must not wedge on a full symbol table, and the
+        // policy evaluates through string-lookup fallbacks), but a PEP
+        // gating on this allowlist will reject the unregistered names —
+        // make that visible in the audit trail instead of silent. The
+        // compile below must then resolve-only: registration refused
+        // *atomically* to preserve the remaining symbol budget, and a
+        // name-by-name interning compile would burn it anyway.
+        record_audit(actor, "register-attributes-failed", vocabulary_domain_,
+                     static_cast<int>(names.size()), registered.reason);
+        compile_options.intern_names = false;
+      }
+    }
+    if (const auto* policy = dynamic_cast<const core::Policy*>(node.get())) {
+      compiled_[policy_id] = core::CompiledPolicy::compile(*policy, compile_options);
+    } else {
+      compiled_.erase(policy_id);  // policy sets stay interpreted
+    }
+  } catch (const std::exception&) {
+    // Unparseable documents cannot pass submit(); guard regardless — a
+    // broken record must not block issuing, only its compilation.
+    compiled_.erase(policy_id);
+  }
   return RepoOutcome::success();
 }
 
@@ -82,6 +134,7 @@ RepoOutcome PolicyRepository::withdraw(const std::string& policy_id,
     if (r.status == Lifecycle::kIssued) {
       r.status = Lifecycle::kWithdrawn;
       r.updated_at = clock_.now();
+      compiled_.erase(policy_id);  // nothing issued, nothing to execute
       record_audit(actor, "withdraw", policy_id, r.version, r.document);
       return RepoOutcome::success();
     }
@@ -176,7 +229,7 @@ std::size_t PolicyRepository::load_into(core::PolicyStore* store) const {
   std::size_t loaded = 0;
   for (const PolicyRecord* r : all_issued()) {
     try {
-      store->add(core::node_from_string(r->document));
+      store->add(core::node_from_string(r->document), compiled(r->policy_id));
       ++loaded;
     } catch (const std::exception&) {
       // An unparseable issued record cannot happen through submit(), but
@@ -184,6 +237,13 @@ std::size_t PolicyRepository::load_into(core::PolicyStore* store) const {
     }
   }
   return loaded;
+}
+
+std::shared_ptr<const core::CompiledPolicy> PolicyRepository::compiled(
+    const std::string& policy_id) const {
+  const auto it = compiled_.find(policy_id);
+  if (it == compiled_.end()) return nullptr;
+  return it->second;
 }
 
 }  // namespace mdac::pap

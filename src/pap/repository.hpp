@@ -18,6 +18,10 @@
 #include "common/clock.hpp"
 #include "core/policy.hpp"
 
+namespace mdac::core {
+class CompiledPolicy;
+}  // namespace mdac::core
+
 namespace mdac::pap {
 
 enum class Lifecycle { kDraft, kIssued, kWithdrawn };
@@ -60,7 +64,13 @@ class PolicyRepository {
   RepoOutcome submit(const std::string& document, const std::string& author);
 
   /// Promotes the latest draft to issued (withdrawing any prior issued
-  /// version of the same id).
+  /// version of the same id). Issuing also *compiles* the policy
+  /// (core::CompiledPolicy) on this trusted path: the artifact is
+  /// attached by load_into(), so every PDP replica loading this
+  /// repository shares one compiled program per policy, and re-issuing a
+  /// new version recompiles. When a vocabulary domain is set (see
+  /// set_vocabulary_domain), the attribute names the policy references
+  /// are harvested and registered as that domain's allowlist first.
   RepoOutcome issue(const std::string& policy_id, const std::string& actor);
 
   /// Withdraws the issued version.
@@ -74,8 +84,15 @@ class PolicyRepository {
   std::vector<std::string> policy_ids() const;
 
   /// Materialises every issued policy into a PDP's store (the PAP→PDP
-  /// retrieval edge of Fig. 4). Returns how many were loaded.
+  /// retrieval edge of Fig. 4), attaching each policy's compiled
+  /// artifact so replicas share the issue-time compilation. Returns how
+  /// many were loaded.
   std::size_t load_into(core::PolicyStore* store) const;
+
+  /// The compile-on-issue artifact for `policy_id`'s issued version, or
+  /// null (not issued, or not a plain Policy).
+  std::shared_ptr<const core::CompiledPolicy> compiled(
+      const std::string& policy_id) const;
 
   // --- attribute vocabulary (interner-boundary hardening) -------------
   //
@@ -103,6 +120,17 @@ class PolicyRepository {
   /// `name` is on it.
   bool attribute_allowed(const std::string& domain, std::string_view name) const;
 
+  /// Enables issue-time vocabulary auto-extraction: every issue()
+  /// harvests the attribute names the policy references
+  /// (core::referenced_attribute_names) and feeds them through
+  /// register_attribute_names for `domain`, so the allowlist tracks the
+  /// issued policy set without manual registration. Empty = disabled
+  /// (the default). Domains wire their own name in (domain::Domain).
+  void set_vocabulary_domain(std::string domain) {
+    vocabulary_domain_ = std::move(domain);
+  }
+  const std::string& vocabulary_domain() const { return vocabulary_domain_; }
+
   const std::vector<AuditEntry>& audit_log() const { return audit_; }
 
   /// Bumped on every successful mutation — remote caches key off this.
@@ -116,8 +144,11 @@ class PolicyRepository {
   const common::Clock& clock_;
   // id -> all versions, ascending.
   std::map<std::string, std::vector<PolicyRecord>> records_;
+  // id -> compile-on-issue artifact for the currently issued version.
+  std::map<std::string, std::shared_ptr<const core::CompiledPolicy>> compiled_;
   // domain -> registered attribute-name allowlist.
   std::map<std::string, std::set<std::string, std::less<>>, std::less<>> allowlists_;
+  std::string vocabulary_domain_;
   std::vector<AuditEntry> audit_;
   std::uint64_t revision_ = 0;
 };

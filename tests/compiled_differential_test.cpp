@@ -1,0 +1,348 @@
+// Compiled-vs-interpreted differential suite (ISSUE 3 satellite).
+//
+// The compiled policy programs (core/compiled.hpp) claim bit-identical
+// decisions to the interpreted AST path; this suite proves it the only
+// way that scales — randomized differential testing. Seeded,
+// federation-shaped policy sets (the exact generators the benchmark
+// harness measures, bench/workload.hpp) plus a richer random generator
+// exercising conditions, obligations, combining algorithms and
+// indeterminate paths, all evaluated through both PdpConfig::use_compiled
+// settings; every decision — type, extent, status text, obligations,
+// advice — must compare equal, and request cache fingerprints must be
+// untouched by evaluation on either path (the decision cache keys off
+// them, so a divergence would poison shared caches). Runs in the
+// -DMDAC_SANITIZE=ON tree like every ctest target, which is where the
+// arena/pointer lifetime claims of the compiled artifact earn their keep.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/request_key.hpp"
+#include "common/rng.hpp"
+#include "core/compiled.hpp"
+#include "core/expression.hpp"
+#include "core/pdp.hpp"
+#include "workload.hpp"
+
+namespace mdac::core {
+namespace {
+
+PdpConfig compiled_cfg() {
+  PdpConfig cfg;
+  cfg.use_compiled = true;
+  return cfg;
+}
+
+PdpConfig interpreted_cfg() {
+  PdpConfig cfg;
+  cfg.use_compiled = false;
+  return cfg;
+}
+
+/// Evaluates every request through both paths (single and batch entry
+/// points) and asserts decision + fingerprint equivalence.
+void expect_equivalent(std::shared_ptr<PolicyStore> store,
+                       const std::vector<RequestContext>& requests,
+                       const std::string& label) {
+  Pdp compiled(store, compiled_cfg());
+  Pdp interpreted(store, interpreted_cfg());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const cache::RequestKey key_before = cache::fingerprint(requests[i]);
+    const PdpResult rc = compiled.evaluate_with_metrics(requests[i]);
+    const PdpResult ri = interpreted.evaluate_with_metrics(requests[i]);
+    ASSERT_EQ(rc.decision, ri.decision)
+        << label << ": request " << i << " diverged (compiled="
+        << rc.decision.describe() << ", interpreted=" << ri.decision.describe()
+        << ")";
+    // Candidate pruning is shared by both paths; a compiled/interpreted
+    // split here would mean the index consulted different state.
+    EXPECT_EQ(rc.candidates_skipped, ri.candidates_skipped) << label;
+    // Evaluation must never mutate the request: the decision cache keys
+    // off this fingerprint on both sides of the config flag.
+    const cache::RequestKey key_after = cache::fingerprint(requests[i]);
+    ASSERT_EQ(key_before, key_after) << label << ": request " << i;
+  }
+
+  const auto batch_compiled =
+      compiled.evaluate_batch(std::span<const RequestContext>(requests));
+  const auto batch_interpreted =
+      interpreted.evaluate_batch(std::span<const RequestContext>(requests));
+  ASSERT_EQ(batch_compiled.size(), batch_interpreted.size());
+  for (std::size_t i = 0; i < batch_compiled.size(); ++i) {
+    ASSERT_EQ(batch_compiled[i].decision, batch_interpreted[i].decision)
+        << label << ": batch request " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Federation-shaped workloads straight from the benchmark harness
+// ---------------------------------------------------------------------
+
+TEST(CompiledDifferentialTest, BenchmarkResourceWorkload) {
+  auto store = bench::make_policy_store(60, 4);
+  common::Rng rng(2024);
+  std::vector<RequestContext> requests;
+  for (int i = 0; i < 400; ++i) {
+    requests.push_back(bench::random_request(rng, 60, 4));
+  }
+  expect_equivalent(store, requests, "resource workload");
+}
+
+TEST(CompiledDifferentialTest, BenchmarkFederationWorkloads) {
+  for (const int n_domains : {1, 3, 8}) {
+    auto store = bench::make_domain_policy_store(n_domains, 64, 3);
+    common::Rng rng(7000 + static_cast<std::uint64_t>(n_domains));
+    std::vector<RequestContext> requests;
+    for (int i = 0; i < 300; ++i) {
+      requests.push_back(bench::random_domain_request(rng, n_domains, 64, 3));
+    }
+    expect_equivalent(store, requests,
+                      std::to_string(n_domains) + "-domain federation");
+  }
+}
+
+TEST(CompiledDifferentialTest, CompiledPathActuallyEngages) {
+  auto store = bench::make_policy_store(10, 2);
+  Pdp pdp(store, compiled_cfg());
+  common::Rng rng(1);
+  const PdpResult r = pdp.evaluate_with_metrics(bench::random_request(rng, 10, 2));
+  EXPECT_EQ(r.compile.compiled_policies, 10u);
+  EXPECT_EQ(r.compile.interpreted_nodes, 0u);
+  EXPECT_GT(r.compile.matches, 0u);
+
+  Pdp off(store, interpreted_cfg());
+  const PdpResult ri = off.evaluate_with_metrics(bench::random_request(rng, 10, 2));
+  EXPECT_EQ(ri.compile.compiled_policies, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Randomized rich policies: conditions, obligations, every combining
+// algorithm, indeterminate paths
+// ---------------------------------------------------------------------
+
+const std::vector<std::string>& combining_algorithms() {
+  static const std::vector<std::string> algs = {
+      "deny-overrides",     "permit-overrides",     "first-applicable",
+      "only-one-applicable", "deny-unless-permit",  "permit-unless-deny",
+      "ordered-deny-overrides", "not-a-real-algorithm"};
+  return algs;
+}
+
+ExprPtr random_condition(common::Rng& rng) {
+  switch (rng.uniform_int(0, 6)) {
+    case 0:  // role equality
+      return make_apply("string-equal",
+                        designator(Category::kSubject, attrs::kRole,
+                                   DataType::kString),
+                        lit("role-" + std::to_string(rng.uniform_int(0, 3))));
+    case 1:  // integer comparison over a sometimes-missing attribute
+      return make_apply("integer-less-than",
+                        designator(Category::kEnvironment, "request-cost",
+                                   DataType::kInteger,
+                                   /*must_be_present=*/rng.chance(0.5)),
+                        lit(static_cast<std::int64_t>(rng.uniform_int(0, 100))));
+    case 2:  // boolean combinator
+      return make_apply("and", random_condition(rng), random_condition(rng));
+    case 3:  // higher-order: compiled path must fall back to the AST
+      return make_apply("any-of", function_ref("string-equal"),
+                        lit("role-" + std::to_string(rng.uniform_int(0, 3))),
+                        designator(Category::kSubject, attrs::kRole,
+                                   DataType::kString));
+    case 4:  // unknown function: identical error text on both paths
+      return make_apply("no-such-function", lit("x"));
+    case 5:  // non-boolean condition result
+      return lit(static_cast<std::int64_t>(7));
+    default:  // negation with a nested lookup
+      return make_apply("not",
+                        make_apply("string-equal",
+                                   designator(Category::kAction, attrs::kActionId,
+                                              DataType::kString),
+                                   lit("delete")));
+  }
+}
+
+Policy random_rich_policy(common::Rng& rng, int index) {
+  Policy p;
+  p.policy_id = "rich-" + std::to_string(index);
+  p.rule_combining = rng.pick(combining_algorithms());
+  if (rng.chance(0.7)) {
+    p.target_spec.require(
+        Category::kResource, attrs::kResourceId,
+        AttributeValue("res-" + std::to_string(rng.uniform_int(0, 9))));
+  }
+  if (rng.chance(0.3)) {
+    p.target_spec.require_any(
+        Category::kSubject, attrs::kSubjectDomain,
+        {AttributeValue("dom-a"), AttributeValue("dom-b")});
+  }
+
+  const int n_rules = static_cast<int>(rng.uniform_int(1, 4));
+  for (int r = 0; r < n_rules; ++r) {
+    Rule rule;
+    rule.id = p.policy_id + ":rule-" + std::to_string(r);
+    rule.effect = rng.chance(0.5) ? Effect::kPermit : Effect::kDeny;
+    if (rng.chance(0.5)) {
+      Target t;
+      t.require(Category::kSubject, attrs::kRole,
+                AttributeValue("role-" + std::to_string(rng.uniform_int(0, 3))));
+      if (rng.chance(0.3)) {
+        // A conjunct the request may not carry at all (kNoMatch path) or
+        // carry with the wrong type (fall-through to the general path).
+        t.require(Category::kEnvironment, "site",
+                  AttributeValue("site-" + std::to_string(rng.uniform_int(0, 2))));
+      }
+      rule.target = std::move(t);
+    }
+    if (rng.chance(0.6)) rule.condition = random_condition(rng);
+    if (rng.chance(0.4)) {
+      ObligationExpr ob;
+      ob.id = rule.id + ":log";
+      ob.fulfill_on = rng.chance(0.5) ? Effect::kPermit : Effect::kDeny;
+      ob.advice = rng.chance(0.3);
+      ob.assignments.push_back(AttributeAssignmentExpr{
+          "who", designator(Category::kSubject, attrs::kSubjectId,
+                            DataType::kString, /*must_be_present=*/rng.chance(0.5))});
+      rule.obligations.push_back(std::move(ob));
+    }
+    p.rules.push_back(std::move(rule));
+  }
+
+  if (rng.chance(0.3)) {
+    ObligationExpr ob;
+    ob.id = p.policy_id + ":audit";
+    ob.fulfill_on = Effect::kPermit;
+    ob.assignments.push_back(
+        AttributeAssignmentExpr{"resource",
+                                designator(Category::kResource, attrs::kResourceId,
+                                           DataType::kString)});
+    p.obligations.push_back(std::move(ob));
+  }
+  return p;
+}
+
+RequestContext random_rich_request(common::Rng& rng) {
+  RequestContext req = RequestContext::make(
+      "user-" + std::to_string(rng.uniform_int(0, 20)),
+      "res-" + std::to_string(rng.uniform_int(0, 9)),
+      rng.chance(0.8) ? "read" : "delete");
+  if (rng.chance(0.8)) {
+    req.add(Category::kSubject, attrs::kRole,
+            AttributeValue("role-" + std::to_string(rng.uniform_int(0, 4))));
+  }
+  if (rng.chance(0.5)) {
+    req.add(Category::kSubject, attrs::kSubjectDomain,
+            AttributeValue(rng.chance(0.5) ? "dom-a" : "dom-c"));
+  }
+  if (rng.chance(0.5)) {
+    // Sometimes the right type, sometimes a string where an integer is
+    // expected (exercises the type-filtered fall-back path).
+    if (rng.chance(0.7)) {
+      req.add(Category::kEnvironment, "request-cost",
+              AttributeValue(static_cast<std::int64_t>(rng.uniform_int(0, 120))));
+    } else {
+      req.add(Category::kEnvironment, "request-cost", AttributeValue("many"));
+    }
+  }
+  if (rng.chance(0.4)) {
+    req.add(Category::kEnvironment, "site",
+            AttributeValue("site-" + std::to_string(rng.uniform_int(0, 3))));
+  }
+  return req;
+}
+
+TEST(CompiledDifferentialTest, RandomizedRichPolicies) {
+  // Several seeds x fresh stores: every run is deterministic, the union
+  // covers conditions (lowered and AST-fallback), obligations on both
+  // effects, advice, indeterminate targets/conditions and unknown
+  // combining algorithms.
+  for (const std::uint64_t seed : {11u, 23u, 47u}) {
+    common::Rng rng(seed);
+    auto store = std::make_shared<PolicyStore>();
+    for (int i = 0; i < 24; ++i) store->add(random_rich_policy(rng, i));
+    std::vector<RequestContext> requests;
+    for (int i = 0; i < 250; ++i) requests.push_back(random_rich_request(rng));
+    expect_equivalent(store, requests, "rich seed " + std::to_string(seed));
+  }
+}
+
+TEST(CompiledDifferentialTest, ThrowingResolverLeavesScratchConsistent) {
+  // A user-supplied resolver may throw out of a compiled condition
+  // mid-program; the Pdp's persistent scratch must be restored (no
+  // orphaned stack entries, no raised args depth), because PEP frontends
+  // catch per-request exceptions and keep the Pdp serving.
+  struct ThrowingResolver final : AttributeResolver {
+    bool armed = true;
+    std::optional<Bag> resolve(Category, const std::string& id,
+                               const RequestContext&) override {
+      if (armed && id == "request-cost") throw std::runtime_error("pip down");
+      return std::nullopt;
+    }
+  };
+
+  Policy p;
+  p.policy_id = "cond";
+  p.rule_combining = "permit-unless-deny";
+  Rule r;
+  r.id = "deny-expensive";
+  r.effect = Effect::kDeny;
+  r.condition = make_apply(
+      "and",
+      make_apply("integer-less-than",
+                 designator(Category::kEnvironment, "request-cost",
+                            DataType::kInteger, /*must_be_present=*/true),
+                 lit(static_cast<std::int64_t>(10))),
+      make_apply("string-equal",
+                 designator(Category::kAction, attrs::kActionId, DataType::kString),
+                 lit("read")));
+  p.rules.push_back(std::move(r));
+
+  auto store = std::make_shared<PolicyStore>();
+  store->add(std::move(p));
+  Pdp pdp(store, compiled_cfg());
+  ThrowingResolver resolver;
+  pdp.set_resolver(&resolver);
+
+  const RequestContext req = RequestContext::make("u", "r", "read");
+  EXPECT_THROW(pdp.evaluate(req), std::runtime_error);
+  EXPECT_THROW(pdp.evaluate(req), std::runtime_error);
+
+  // Disarm: evaluation proceeds on clean scratch and matches the
+  // interpreter (missing must-be-present attribute -> condition error ->
+  // permit-unless-deny falls back to permit).
+  resolver.armed = false;
+  const Decision compiled_decision = pdp.evaluate(req);
+  Pdp interpreted(store, interpreted_cfg());
+  interpreted.set_resolver(&resolver);
+  EXPECT_EQ(compiled_decision, interpreted.evaluate(req));
+  EXPECT_TRUE(compiled_decision.is_permit());
+}
+
+TEST(CompiledDifferentialTest, CompileDiagnosticsSurfaceUnlowerableParts) {
+  Policy p;
+  p.policy_id = "diag";
+  p.rule_combining = "bogus-combiner";
+  Rule r;
+  r.id = "r";
+  r.effect = Effect::kPermit;
+  r.condition = make_apply("no-such-function", lit("x"));
+  p.rules.push_back(std::move(r));
+
+  const auto compiled = CompiledPolicy::compile(p);
+  EXPECT_FALSE(compiled->diagnostics().empty());
+  EXPECT_GE(compiled->stats().ast_fallbacks, 1u);
+
+  // And the unknown-combiner decision still matches the interpreter.
+  auto store = std::make_shared<PolicyStore>();
+  store->add(p.clone());
+  expect_equivalent(store, {RequestContext::make("u", "r", "read")},
+                    "diagnostics policy");
+}
+
+}  // namespace
+}  // namespace mdac::core

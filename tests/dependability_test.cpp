@@ -218,5 +218,39 @@ TEST_F(ReplicationTest, PreferredOrderPutsLiveFirst) {
   EXPECT_EQ(client.stats().failovers, 0u);
 }
 
+TEST_F(ReplicationTest, SetReplicaOrderDropsUnknownIds) {
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+
+  // Ids outside the construction-time replica set are dropped — a
+  // confused health feed must not route authorization traffic to nodes
+  // that were never part of this PDP service (previously they were
+  // silently accepted).
+  EXPECT_EQ(client.set_replica_order({"pdp/2", "pdp/evil", "pdp/0", "pdp/99"}),
+            2u);
+  EXPECT_EQ(client.replicas(), (std::vector<std::string>{"pdp/2", "pdp/0"}));
+
+  // The validated order is live: the first request goes to pdp/2.
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(replicas_[2]->requests_served(), 1u);
+  EXPECT_EQ(replicas_[0]->requests_served(), 0u);
+
+  // Duplicates of known ids are dropped too (first occurrence wins), so
+  // the installed list can never exceed the known-set size — one
+  // evaluate() cannot be inflated into thousands of same-node retries.
+  EXPECT_EQ(client.set_replica_order({"pdp/1", "pdp/1", "pdp/0", "pdp/1"}), 2u);
+  EXPECT_EQ(client.replicas(), (std::vector<std::string>{"pdp/1", "pdp/0"}));
+
+  // An all-unknown update leaves the client with no replicas (it degrades
+  // exactly like an empty order: indeterminate, not misrouted).
+  EXPECT_EQ(client.set_replica_order({"nope/1", "nope/2"}), 0u);
+  EXPECT_TRUE(client.replicas().empty());
+  EXPECT_TRUE(evaluate(client, "read").is_indeterminate());
+
+  // Known ids can be reinstated afterwards — the known set is immutable.
+  EXPECT_EQ(client.set_replica_order(replica_ids()), 3u);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+}
+
 }  // namespace
 }  // namespace mdac::dependability

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "core/compiled.hpp"
+#include "core/expression.hpp"
 #include "core/serialization.hpp"
 #include "pap/admin_guard.hpp"
 #include "pap/repository.hpp"
@@ -109,6 +111,162 @@ TEST(RepositoryTest, LoadIntoPdpStore) {
   EXPECT_EQ(repo.load_into(&store), 1u);
   EXPECT_NE(store.find("p1"), nullptr);
   EXPECT_EQ(store.find("p2"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Compile-on-issue (compiled policy programs, ISSUE 3)
+// ---------------------------------------------------------------------
+
+TEST(RepositoryTest, CompileOnIssueSharedAcrossPdpReplicas) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "a"));
+  EXPECT_EQ(repo.compiled("p1"), nullptr);  // drafts are not compiled
+
+  ASSERT_TRUE(repo.issue("p1", "a"));
+  const auto artifact = repo.compiled("p1");
+  ASSERT_NE(artifact, nullptr);
+  EXPECT_EQ(artifact->id(), "p1");
+  EXPECT_EQ(artifact->stats().rules, 1u);
+
+  // Every PDP replica loading this repository executes the *same*
+  // compiled program — the artifact is shared, not re-derived per store.
+  core::PolicyStore store_a;
+  core::PolicyStore store_b;
+  ASSERT_EQ(repo.load_into(&store_a), 1u);
+  ASSERT_EQ(repo.load_into(&store_b), 1u);
+  EXPECT_EQ(store_a.compiled("p1").get(), artifact.get());
+  EXPECT_EQ(store_b.compiled("p1").get(), artifact.get());
+
+  // Recompile-on-update: issuing a new version replaces the artifact...
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc2"), "a"));
+  ASSERT_TRUE(repo.issue("p1", "a"));
+  const auto recompiled = repo.compiled("p1");
+  ASSERT_NE(recompiled, nullptr);
+  EXPECT_NE(recompiled.get(), artifact.get());
+
+  // ...and withdrawing removes it.
+  ASSERT_TRUE(repo.withdraw("p1", "a"));
+  EXPECT_EQ(repo.compiled("p1"), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Issue-time vocabulary auto-extraction (ISSUE 3 satellite)
+// ---------------------------------------------------------------------
+
+TEST(RepositoryTest, IssueAutoExtractsAttributeVocabulary) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  repo.set_vocabulary_domain("hospital");
+
+  // A policy referencing attributes in its target, a rule target, a
+  // condition and an obligation assignment.
+  core::Policy p;
+  p.policy_id = "records";
+  p.target_spec.require(core::Category::kResource, core::attrs::kResourceId,
+                        core::AttributeValue("patient-records"));
+  core::Rule r;
+  r.id = "records-rule";
+  r.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kSubject, "ward-role", core::AttributeValue("doctor"));
+  r.target = std::move(t);
+  r.condition = core::make_apply(
+      "string-equal",
+      core::designator(core::Category::kEnvironment, "shift-phase",
+                       core::DataType::kString),
+      core::lit("on-call"));
+  core::ObligationExpr ob;
+  ob.id = "log-access";
+  ob.fulfill_on = core::Effect::kPermit;
+  ob.assignments.push_back(core::AttributeAssignmentExpr{
+      "who", core::designator(core::Category::kSubject, "staff-id",
+                              core::DataType::kString)});
+  r.obligations.push_back(std::move(ob));
+  p.rules.push_back(std::move(r));
+
+  ASSERT_TRUE(repo.submit(core::node_to_string(p), "admin"));
+  EXPECT_EQ(repo.attribute_allowlist("hospital"), nullptr);  // not yet issued
+
+  ASSERT_TRUE(repo.issue("records", "admin"));
+
+  // The harvested names — target, rule target, condition designator and
+  // obligation designator — are now the domain's allowlist, without any
+  // register_attribute_vocabulary call.
+  const auto* allowlist = repo.attribute_allowlist("hospital");
+  ASSERT_NE(allowlist, nullptr);
+  for (const char* name :
+       {"resource-id", "ward-role", "shift-phase", "staff-id"}) {
+    EXPECT_TRUE(repo.attribute_allowed("hospital", name)) << name;
+    EXPECT_TRUE(allowlist->count(name)) << name;
+  }
+  // The request envelope is always registered alongside the harvested
+  // names: a PEP gating on this allowlist must keep accepting the
+  // subject/resource/action triple every request carries, even when no
+  // policy target happens to mention those attributes.
+  for (const char* name : {"subject-id", "action-id", "subject-domain",
+                           "resource-domain"}) {
+    EXPECT_TRUE(repo.attribute_allowed("hospital", name)) << name;
+  }
+  EXPECT_FALSE(repo.attribute_allowed("hospital", "never-mentioned"));
+
+  // The registration went through the audited trusted path.
+  bool saw_registration = false;
+  for (const AuditEntry& e : repo.audit_log()) {
+    if (e.operation == "register-attributes" && e.policy_id == "hospital") {
+      saw_registration = true;
+    }
+  }
+  EXPECT_TRUE(saw_registration);
+
+  // Issuing another policy appends to the allowlist.
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p2", "lab-results"), "admin"));
+  ASSERT_TRUE(repo.issue("p2", "admin"));
+  EXPECT_TRUE(repo.attribute_allowed("hospital", "resource-id"));
+  EXPECT_TRUE(repo.attribute_allowed("hospital", "ward-role"));
+}
+
+TEST(RepositoryTest, IssueHarvestsPolicySetVocabularyRecursively) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  repo.set_vocabulary_domain("lab");
+
+  // A PolicySet whose own target and nested policy reference attributes:
+  // a closed allowlist must cover them, or the PEP gate would reject the
+  // only requests the set can match.
+  core::PolicySet set;
+  set.policy_set_id = "lab-set";
+  set.target_spec.require(core::Category::kResource, "lab-wing",
+                          core::AttributeValue("north"));
+  core::Policy inner;
+  inner.policy_id = "lab-inner";
+  inner.target_spec.require(core::Category::kSubject, "badge-level",
+                            core::AttributeValue("2"));
+  core::Rule r;
+  r.id = "lab-rule";
+  r.effect = core::Effect::kPermit;
+  inner.rules.push_back(std::move(r));
+  set.add(std::move(inner));
+
+  ASSERT_TRUE(repo.submit(core::node_to_string(set), "admin"));
+  ASSERT_TRUE(repo.issue("lab-set", "admin"));
+
+  for (const char* name : {"lab-wing", "badge-level", "subject-id", "action-id"}) {
+    EXPECT_TRUE(repo.attribute_allowed("lab", name)) << name;
+  }
+  // Policy sets register vocabulary but stay interpreted (no artifact).
+  EXPECT_EQ(repo.compiled("lab-set"), nullptr);
+}
+
+TEST(RepositoryTest, NoVocabularyDomainMeansNoAutoRegistration) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "a"));
+  ASSERT_TRUE(repo.issue("p1", "a"));
+  EXPECT_EQ(repo.attribute_allowlist(""), nullptr);
+  for (const AuditEntry& e : repo.audit_log()) {
+    EXPECT_NE(e.operation, "register-attributes");
+  }
 }
 
 // ---------------------------------------------------------------------
