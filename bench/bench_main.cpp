@@ -34,6 +34,8 @@
 #include "common/rng.hpp"
 #include "core/pdp.hpp"
 #include "report.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/snapshot.hpp"
 #include "workload.hpp"
 
 // ---------------------------------------------------------------------
@@ -417,6 +419,171 @@ BenchResult bench_cache_mt(const Scale& s, const char* name, std::size_t shards)
   return r;
 }
 
+/// The multi-threaded decision-engine runtime on the federation
+/// workload (8 administrative domains, single-domain request traffic):
+/// W workers, each a private Pdp replica over the published snapshot,
+/// fed through the bounded queue with a windowed in-flight submitter so
+/// the queue never hits its bound (sheds are a *separate* row). The
+/// workers_1 row doubles as the load-normalisation reference for the
+/// thread-scaling regression gate: the mt_8/mt_1 ratio moves with code
+/// (and core count), not machine load. Latency percentiles come from
+/// the engine's own histogram — the metrics surface this PR adds.
+BenchResult bench_pdp_mt(const Scale& s, std::size_t workers) {
+  constexpr int kDomains = 8;
+  auto store = make_domain_policy_store(kDomains, s.policies, s.roles);
+
+  runtime::SnapshotPublisher publisher;
+  publisher.publish(store);
+  runtime::EngineConfig config;
+  config.workers = workers;
+  config.queue_capacity = 8192;
+  config.max_batch = 64;
+  runtime::DecisionEngine engine(publisher, config);
+
+  common::Rng rng(4321);
+  std::vector<core::RequestContext> pool;
+  pool.reserve(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    pool.push_back(random_domain_request(rng, kDomains, s.policies, s.roles));
+  }
+
+  // Warmup doubles as the differential check the mt rows are gated on
+  // being *correct* for: every engine decision must be bit-identical to
+  // the single-threaded Pdp's (the store is shared; both only read it).
+  std::uint64_t mismatches = 0;
+  {
+    core::Pdp reference(store);
+    for (const core::RequestContext& request : pool) {
+      const core::Decision expected = reference.evaluate(request);
+      const runtime::EngineResult got = engine.submit(request).get();
+      if (!(got.decision == expected)) ++mismatches;
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "FAIL: pdp_mt_workers_%zu: %llu engine decisions differ from "
+                   "single-threaded Pdp\n",
+                   workers, static_cast<unsigned long long>(mismatches));
+    }
+  }
+
+  const std::uint64_t iterations = s.iterations;
+  constexpr std::size_t kWindow = 512;
+  std::vector<std::future<runtime::EngineResult>> inflight(kWindow);
+
+  // The engine is quiescent after the serial differential round trips:
+  // drop warmup traffic from the metrics so the reported latency
+  // percentiles cover only the measured window's queueing regime (the
+  // adoption count happens at warmup, so capture it first).
+  const std::uint64_t warm_adoptions = engine.metrics().snapshot_adoptions;
+  engine.reset_metrics();
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const std::uint64_t bytes_before = g_alloc_bytes.load();
+  const auto t_start = Clock::now();
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    auto& slot = inflight[i % kWindow];
+    if (slot.valid()) benchmark_sink(slot.get().decision);
+    slot = engine.submit(pool[i % pool.size()]);
+  }
+  for (auto& slot : inflight) {
+    if (slot.valid()) benchmark_sink(slot.get().decision);
+  }
+  const auto t_end = Clock::now();
+  const std::uint64_t allocs_after = g_alloc_count.load();
+  const std::uint64_t bytes_after = g_alloc_bytes.load();
+
+  const runtime::EngineMetrics::Snapshot m = engine.metrics();
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t_start).count());
+  BenchResult r;
+  r.name = "pdp_mt_workers_" + std::to_string(workers);
+  r.iterations = iterations;
+  r.ops_per_sec = total_ns > 0 ? 1e9 * static_cast<double>(iterations) / total_ns : 0;
+  r.mean_ns = total_ns / static_cast<double>(iterations);
+  r.p50_ns = m.latency_p50_ns;
+  r.p90_ns = m.latency_p90_ns;
+  r.p99_ns = m.latency_p99_ns;
+  r.allocs_per_op =
+      static_cast<double>(allocs_after - allocs_before) / static_cast<double>(iterations);
+  r.bytes_per_op =
+      static_cast<double>(bytes_after - bytes_before) / static_cast<double>(iterations);
+  r.counters["workers"] = static_cast<double>(workers);
+  r.counters["domains"] = kDomains;
+  r.counters["policies"] = s.policies;
+  r.counters["sheds"] = static_cast<double>(m.sheds());
+  r.counters["mean_batch"] = m.mean_batch_size;
+  r.counters["snapshot_adoptions"] =
+      static_cast<double>(m.snapshot_adoptions + warm_adoptions);
+  r.counters["differential_mismatches"] = static_cast<double>(mismatches);
+  return r;
+}
+
+BenchResult bench_pdp_mt_1(const Scale& s) { return bench_pdp_mt(s, 1); }
+BenchResult bench_pdp_mt_4(const Scale& s) { return bench_pdp_mt(s, 4); }
+BenchResult bench_pdp_mt_8(const Scale& s) { return bench_pdp_mt(s, 8); }
+
+/// Deliberate overload: a tiny queue bound, fire-and-forget callback
+/// submissions at full rate, no in-flight window. Measures how the
+/// engine behaves AT saturation — decided throughput stays up while the
+/// overflow is shed deterministically (shed_rate counter), instead of
+/// latency collapsing under an unbounded backlog. ops_per_sec counts
+/// *decided* requests; sheds are accounted separately.
+BenchResult bench_pdp_engine_saturation(const Scale& s) {
+  constexpr int kDomains = 8;
+  auto store = make_domain_policy_store(kDomains, s.policies, s.roles);
+  runtime::SnapshotPublisher publisher;
+  publisher.publish(store);
+  runtime::EngineConfig config;
+  config.workers = 2;
+  config.queue_capacity = 256;
+  config.max_batch = 64;
+  runtime::DecisionEngine engine(publisher, config);
+
+  common::Rng rng(9876);
+  std::vector<core::RequestContext> pool;
+  pool.reserve(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    pool.push_back(random_domain_request(rng, kDomains, s.policies, s.roles));
+  }
+  // Warm the workers' replicas (index build, compilation), then drop
+  // the warmup ops from the metrics: decided/shed counts and the
+  // latency histogram must cover only the overloaded window.
+  for (int i = 0; i < 64; ++i) engine.submit(pool[i]).get();
+  engine.reset_metrics();
+
+  const std::uint64_t iterations = s.iterations;
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const auto t_start = Clock::now();
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    engine.submit(pool[i % pool.size()],
+                  [](runtime::EngineResult result) { benchmark_sink(result.decision); });
+  }
+  engine.shutdown(runtime::DecisionEngine::Drain::kDrain);
+  const auto t_end = Clock::now();
+  const std::uint64_t allocs_after = g_alloc_count.load();
+
+  const runtime::EngineMetrics::Snapshot m = engine.metrics();
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t_start).count());
+  const std::uint64_t decided = m.decided;
+  BenchResult r;
+  r.name = "pdp_engine_saturation";
+  r.iterations = iterations;
+  r.ops_per_sec = total_ns > 0 ? 1e9 * static_cast<double>(decided) / total_ns : 0;
+  r.mean_ns = decided > 0 ? total_ns / static_cast<double>(decided) : 0;
+  r.p50_ns = m.latency_p50_ns;
+  r.p90_ns = m.latency_p90_ns;
+  r.p99_ns = m.latency_p99_ns;
+  r.allocs_per_op = static_cast<double>(allocs_after - allocs_before) /
+                    static_cast<double>(iterations);
+  r.counters["workers"] = static_cast<double>(config.workers);
+  r.counters["queue_capacity"] = static_cast<double>(config.queue_capacity);
+  r.counters["submitted"] = static_cast<double>(m.submitted);
+  r.counters["decided"] = static_cast<double>(decided);
+  r.counters["sheds"] = static_cast<double>(m.sheds());
+  r.counters["shed_rate"] = m.shed_rate();
+  return r;
+}
+
 void print_row(const BenchResult& r) {
   std::printf("%-32s %12.0f ops/s  p50 %8.0f ns  p99 %8.0f ns  %7.2f allocs/op\n",
               r.name.c_str(), r.ops_per_sec, r.p50_ns, r.p99_ns, r.allocs_per_op);
@@ -454,13 +621,21 @@ struct GateSpec {
   const char* reference;
   BenchResult (*run_gated)(const Scale&);
   BenchResult (*run_reference)(const Scale&);
+  /// Cores the gate needs to be meaningful (0 = always). The
+  /// thread-scaling gate compares 8 workers against 1; on a host with
+  /// fewer cores that ratio measures scheduler oversubscription, not
+  /// code, so the gate skips itself rather than flaking.
+  unsigned min_cores = 0;
 };
 
 /// The bench-smoke regression gate (wired up in CMakeLists): fails the
 /// run if a gated row regressed >max_regress against the committed
-/// baseline. Two rows are gated: the cached-hit path against the seed's
-/// cache implementation, and — since PR 3 — the uncached compiled
-/// evaluate path against the interpreted AST path.
+/// baseline. Three rows are gated: the cached-hit path against the
+/// seed's cache implementation, the uncached compiled evaluate path
+/// against the interpreted AST path (PR 3), and — since PR 4 — the
+/// 8-worker engine row against the 1-worker engine row (thread scaling:
+/// the ratio is machine-load independent, and on a multi-core host a
+/// serialisation bug collapses it immediately).
 int check_regression(const Scale& scale, const Report& report,
                      const std::string& baseline_path, double max_regress) {
   static constexpr GateSpec kGates[] = {
@@ -468,10 +643,17 @@ int check_regression(const Scale& scale, const Report& report,
        &bench_cached_hit_legacy},
       {"pdp_evaluate_indexed", "pdp_evaluate_interpreted", &bench_pdp_evaluate,
        &bench_pdp_evaluate_interpreted},
+      {"pdp_mt_workers_8", "pdp_mt_workers_1", &bench_pdp_mt_8, &bench_pdp_mt_1,
+       /*min_cores=*/8},
   };
 
   int failures = 0;
   for (const GateSpec& gate : kGates) {
+    if (gate.min_cores > 0 && std::thread::hardware_concurrency() < gate.min_cores) {
+      std::printf("regression gate: %s needs >=%u cores (have %u); skipping\n",
+                  gate.gated, gate.min_cores, std::thread::hardware_concurrency());
+      continue;
+    }
     const double baseline_gated = baseline_ops_per_sec(baseline_path, gate.gated);
     const double baseline_ref = baseline_ops_per_sec(baseline_path, gate.reference);
     if (baseline_gated <= 0 || baseline_ref <= 0) {
@@ -562,6 +744,16 @@ int run(int argc, char** argv) {
     print_row(r);
     report.add(std::move(r));
   }
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    BenchResult r = bench_pdp_mt(scale, workers);
+    print_row(r);
+    report.add(std::move(r));
+  }
+  {
+    BenchResult r = bench_pdp_engine_saturation(scale);
+    print_row(r);
+    report.add(std::move(r));
+  }
   for (const auto& [name, shards] :
        std::initializer_list<std::pair<const char*, std::size_t>>{
            {"cached_decision_hit_mt_sharded", 8},
@@ -578,8 +770,22 @@ int run(int argc, char** argv) {
   std::printf("wrote %s (%zu benchmarks, workload=%s)\n", out.c_str(),
               report.results().size(), workload.c_str());
 
-  if (!baseline.empty()) return check_regression(scale, report, baseline, max_regress);
-  return 0;
+  // The mt rows' warmup differential check is a correctness gate, not a
+  // counter: any engine decision that differed from the single-threaded
+  // Pdp fails the whole run (and with it the bench-smoke ctest).
+  int failures = 0;
+  for (const BenchResult& r : report.results()) {
+    const auto it = r.counters.find("differential_mismatches");
+    if (it != r.counters.end() && it->second > 0) {
+      std::fprintf(stderr, "FAIL: %s: %.0f decisions differ from single-threaded Pdp\n",
+                   r.name.c_str(), it->second);
+      failures = 1;
+    }
+  }
+  if (!baseline.empty()) {
+    failures |= check_regression(scale, report, baseline, max_regress);
+  }
+  return failures;
 }
 
 }  // namespace mdac::bench

@@ -5,6 +5,18 @@
 // benches can drive logical time deterministically with `ManualClock`,
 // while examples may use `WallClock`. Timestamps are milliseconds since
 // an arbitrary epoch.
+//
+// Thread-safety (audited for mdac::runtime, whose workers share one
+// clock through the decision cache): `WallClock` is fully thread-safe —
+// now() is a pure read of the system clock with no mutable state — so it
+// is the clock to hand anything the DecisionEngine's workers touch
+// concurrently. `ManualClock` is single-threaded BY CONTRACT: advance()/
+// set() and now() are deliberately unsynchronised plain accesses so the
+// simulator and tests stay deterministic and free of accidental
+// ordering; do not share one across threads (TSan will rightly flag it).
+// A test that needs logical time *and* a concurrent engine keeps the
+// ManualClock on the thread that owns it and gives the engine-visible
+// components a WallClock.
 #pragma once
 
 #include <cstdint>
@@ -20,13 +32,17 @@ class Clock {
   virtual TimePoint now() const = 0;
 };
 
-/// Real time (std::chrono::system_clock), for interactive examples.
+/// Real time (std::chrono::system_clock), for interactive examples and
+/// for anything shared across runtime worker threads. Thread-safe:
+/// stateless, now() only reads the system clock.
 class WallClock final : public Clock {
  public:
   TimePoint now() const override;
 };
 
-/// Deterministic, manually advanced logical clock for tests and simulation.
+/// Deterministic, manually advanced logical clock for tests and
+/// simulation. Single-threaded by contract (see the header comment):
+/// never share one with concurrently running engine workers.
 class ManualClock final : public Clock {
  public:
   explicit ManualClock(TimePoint start = 0) : now_(start) {}

@@ -1,5 +1,6 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 
@@ -8,7 +9,13 @@ namespace mdac::common {
 namespace {
 
 std::mutex g_mutex;
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so the common case — a message below the level — is a single
+// relaxed load, not a mutex acquisition. Engine workers log on error
+// paths; they must never serialise on the logger just to discard a
+// debug line. The sink stays under the mutex: it is a std::function
+// replaced wholesale and invoked while held, so set_log_sink racing
+// log() is safe.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 LogSink g_sink;
 
 const char* level_name(LogLevel l) {
@@ -30,18 +37,14 @@ void set_log_sink(LogSink sink) {
 }
 
 void set_log_level(LogLevel level) {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  g_level = level;
+  g_level.store(level, std::memory_order_relaxed);
 }
 
-LogLevel log_level() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  return g_level;
-}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, std::string_view message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  if (level < g_level) return;
   if (g_sink) {
     g_sink(level, message);
   } else {

@@ -1,5 +1,12 @@
 // Minimal levelled logger. Intentionally tiny: the library is meant to be
 // embedded, so logging is opt-in and writes to a caller-supplied sink.
+//
+// Thread-safety (audited for mdac::runtime): log() may be called from
+// any thread — the level filter is an atomic load and the sink runs
+// under a global mutex, so concurrent messages never interleave within
+// a sink call. set_log_sink/set_log_level are safe to race with log();
+// the installed sink itself must tolerate being invoked from whichever
+// thread logged (the default stderr sink does).
 #pragma once
 
 #include <functional>

@@ -275,12 +275,14 @@ Decision Pdp::evaluate(const RequestContext& request) {
 }
 
 PdpResult Pdp::evaluate_with_metrics(const RequestContext& request) {
+  debug_check_owner_thread();
   ++evaluation_count_;
   rebuild_index_if_stale();
   return evaluate_prepared(request);
 }
 
 std::vector<PdpResult> Pdp::evaluate_batch(std::span<const RequestContext> requests) {
+  debug_check_owner_thread();
   rebuild_index_if_stale();
   std::vector<PdpResult> results;
   results.reserve(requests.size());

@@ -41,21 +41,31 @@
 //
 // Thread-safety contract: a Pdp instance is NOT thread-safe. The
 // evaluate* methods mutate the target index, the scratch buffers and the
-// evaluation counter without synchronisation. Run one Pdp per thread
-// (mdac::dependability replicates instances for exactly this shape) or
-// serialise access externally. The shared PolicyStore is only read, and
-// its revision is re-checked before every evaluation; mutating the store
-// *during* an evaluation is not supported from any thread — including
-// from an AttributeResolver invoked by that evaluation: replacing a
-// policy destroys the node the in-flight evaluation still references.
-// A resolver may re-enter evaluate() (handled, see in_evaluation_), but
-// must treat the store as read-only.
+// evaluation counter without synchronisation. Run one Pdp per thread —
+// that is exactly what mdac::runtime::DecisionEngine does (one private
+// replica per worker, bound to an immutable runtime::PolicySnapshot, so
+// concurrent PAP updates become snapshot republications instead of
+// racing store mutations); use it instead of sharing a Pdp. Debug builds
+// (!NDEBUG) enforce the contract: the first evaluating thread becomes
+// the owner and any later cross-thread evaluate* asserts, so a violation
+// fails loudly instead of silently corrupting scratch state (a
+// legitimate serialised hand-off between threads must call
+// rebind_owner_thread() in between). The shared PolicyStore is only
+// read, and its revision is re-checked before every evaluation; mutating
+// the store *during* an evaluation is not supported from any thread —
+// including from an AttributeResolver invoked by that evaluation:
+// replacing a policy destroys the node the in-flight evaluation still
+// references. A resolver may re-enter evaluate() (handled, see
+// in_evaluation_), but must treat the store as read-only.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -127,6 +137,14 @@ class Pdp {
 
   std::uint64_t evaluation_count() const { return evaluation_count_; }
   const PdpConfig& config() const { return config_; }
+
+  /// Releases the debug-build thread-ownership claim (see the contract
+  /// in the header comment): the next evaluating thread becomes the new
+  /// owner. Only for *serialised* hand-offs — the caller must guarantee
+  /// no evaluation is concurrently in flight. No-op in NDEBUG builds.
+  void rebind_owner_thread() {
+    owner_thread_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
 
   /// Number of per-domain index partitions built from the current store
   /// (0 when partitioning is off or no policy names a domain).
@@ -225,6 +243,33 @@ class Pdp {
 
   std::uint64_t evaluation_count_ = 0;
   std::uint64_t partition_probes_ = 0;
+
+  /// Debug-build owner-thread check: claims this Pdp for the first
+  /// evaluating thread, asserts on cross-thread use. Compiles to nothing
+  /// under NDEBUG (the contract still holds — it just isn't checked).
+  void debug_check_owner_thread() {
+#ifndef NDEBUG
+    // compare_exchange keeps the claim itself race-free, so the check
+    // reports the contract violation instead of being part of one.
+    std::thread::id unowned{};
+    if (!owner_thread_.compare_exchange_strong(unowned, std::this_thread::get_id(),
+                                               std::memory_order_relaxed) &&
+        unowned != std::this_thread::get_id()) {
+      assert(false &&
+             "core::Pdp evaluated from a second thread: a Pdp instance is "
+             "single-threaded (use one replica per thread - see "
+             "mdac::runtime::DecisionEngine - or rebind_owner_thread() for a "
+             "serialised hand-off)");
+    }
+#endif
+  }
+  /// Atomic so the *check itself* is race-free under TSan even while it
+  /// is busy reporting a contract violation. Present in ALL build modes
+  /// — only the check is NDEBUG-conditional — so the class layout never
+  /// depends on NDEBUG (mixing debug and release TUs around one Pdp
+  /// must not corrupt memory, which is the failure the check exists to
+  /// prevent).
+  std::atomic<std::thread::id> owner_thread_{};
 };
 
 }  // namespace mdac::core

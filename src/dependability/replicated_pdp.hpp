@@ -37,6 +37,12 @@ class PdpReplica {
   bool is_up() const { return network_.is_up(service_.node_id()); }
   std::size_t requests_served() const { return service_.requests_served(); }
 
+  /// The underlying wire service — e.g. to back this replica with a
+  /// multi-threaded runtime::DecisionEngine (service().set_engine(...)),
+  /// which is how a ReplicatedPdpClient's failover/quorum traffic ends
+  /// up served by worker pools instead of single-threaded Pdps.
+  pep::PdpService& service() { return service_; }
+
  private:
   net::Network& network_;
   pep::PdpService service_;

@@ -1,6 +1,7 @@
 #include "pep/remote.hpp"
 
 #include "core/serialization.hpp"
+#include "runtime/engine.hpp"
 
 namespace mdac::pep {
 
@@ -45,7 +46,14 @@ PdpService::PdpService(net::Network& network, std::string node_id,
                                          *rejected + "'")));
         }
       }
-      decision = pdp_->evaluate(request);
+      if (engine_ != nullptr) {
+        // Multi-threaded path: hand the request to the runtime's worker
+        // pool and wait for completion. Sheds already carry a fail-safe
+        // Indeterminate{DP} decision, so they encode like any other.
+        decision = std::move(engine_->submit(request).get().decision);
+      } else {
+        decision = pdp_->evaluate(request);
+      }
     } catch (const std::exception& e) {
       decision = core::Decision::indeterminate(
           core::IndeterminateExtent::kDP,

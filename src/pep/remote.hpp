@@ -15,6 +15,10 @@
 #include "core/pdp.hpp"
 #include "net/rpc.hpp"
 
+namespace mdac::runtime {
+class DecisionEngine;
+}  // namespace mdac::runtime
+
 namespace mdac::pep {
 
 inline constexpr const char* kAuthzRequestType = "authz-request";
@@ -44,9 +48,21 @@ class PdpService {
 
   std::size_t requests_rejected_by_filter() const { return filter_rejections_; }
 
+  /// Routes evaluation through a multi-threaded runtime engine instead
+  /// of the service's own (single-threaded) Pdp: the request is
+  /// submitted to the engine's queue and the handler blocks for the
+  /// completion, so N worker replicas serve the wire traffic and
+  /// overload is shed deterministically (sheds come back as
+  /// Indeterminate{DP} with the engine's distinct shed status — the
+  /// caller's fail-safe deny bias applies). Not owned; must outlive the
+  /// service. Pass nullptr to go back to the local Pdp.
+  void set_engine(runtime::DecisionEngine* engine) { engine_ = engine; }
+  runtime::DecisionEngine* engine() const { return engine_; }
+
  private:
   net::RpcNode node_;
   std::shared_ptr<core::Pdp> pdp_;
+  runtime::DecisionEngine* engine_ = nullptr;
   AttributeNameFilter name_filter_;
   std::size_t requests_served_ = 0;
   std::size_t filter_rejections_ = 0;

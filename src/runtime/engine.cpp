@@ -1,0 +1,438 @@
+#include "runtime/engine.hpp"
+
+#include <bit>
+#include <cmath>
+#include <string>
+
+#include "cache/request_key.hpp"
+#include "common/logging.hpp"
+
+namespace mdac::runtime {
+
+const char* to_string(CompletionStatus s) {
+  switch (s) {
+    case CompletionStatus::kDecided: return "decided";
+    case CompletionStatus::kShedQueueFull: return "shed-queue-full";
+    case CompletionStatus::kShedDeadline: return "shed-deadline";
+    case CompletionStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// EngineMetrics
+// ---------------------------------------------------------------------
+
+EngineMetrics::EngineMetrics(std::size_t workers, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<WorkerCounters>());
+  }
+}
+
+void EngineMetrics::record_shed(CompletionStatus cause) {
+  switch (cause) {
+    case CompletionStatus::kShedQueueFull:
+      shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CompletionStatus::kShedDeadline:
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CompletionStatus::kShutdown:
+      shed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CompletionStatus::kDecided:
+      break;  // not a shed
+  }
+}
+
+void EngineMetrics::record_batch(std::size_t worker, std::size_t batch_size) {
+  WorkerCounters& w = *workers_[worker];
+  w.batches.fetch_add(1, std::memory_order_relaxed);
+  w.batched_requests.fetch_add(batch_size, std::memory_order_relaxed);
+}
+
+void EngineMetrics::record_decided(std::size_t worker, std::uint64_t latency_ns) {
+  decided_.fetch_add(1, std::memory_order_relaxed);
+  workers_[worker]->ops.fetch_add(1, std::memory_order_relaxed);
+  // bit_width maps [2^(i-1), 2^i) to bucket i; 0 -> bucket 0.
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(latency_ns), kLatencyBuckets - 1);
+  latency_histogram_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Representative latency of log2 bucket `i` (the bucket's midpoint).
+double bucket_value(std::size_t i) {
+  if (i == 0) return 0.0;
+  return 1.5 * std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+}  // namespace
+
+void EngineMetrics::reset() {
+  submitted_.store(0, std::memory_order_relaxed);
+  decided_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  shed_queue_full_.store(0, std::memory_order_relaxed);
+  shed_deadline_.store(0, std::memory_order_relaxed);
+  shed_shutdown_.store(0, std::memory_order_relaxed);
+  adoptions_.store(0, std::memory_order_relaxed);
+  queue_depth_.store(0, std::memory_order_relaxed);
+  for (const auto& w : workers_) {
+    w->ops.store(0, std::memory_order_relaxed);
+    w->batches.store(0, std::memory_order_relaxed);
+    w->batched_requests.store(0, std::memory_order_relaxed);
+  }
+  for (auto& bucket : latency_histogram_) bucket.store(0, std::memory_order_relaxed);
+}
+
+EngineMetrics::Snapshot EngineMetrics::snapshot() const {
+  Snapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.decided = decided_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
+  s.snapshot_adoptions = adoptions_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.queue_capacity = queue_capacity_;
+
+  std::uint64_t batches = 0;
+  std::uint64_t batched = 0;
+  s.worker_ops.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    s.worker_ops.push_back(w->ops.load(std::memory_order_relaxed));
+    batches += w->batches.load(std::memory_order_relaxed);
+    batched += w->batched_requests.load(std::memory_order_relaxed);
+  }
+  s.batches = batches;
+  s.mean_batch_size =
+      batches > 0 ? static_cast<double>(batched) / static_cast<double>(batches) : 0.0;
+
+  std::array<std::uint64_t, kLatencyBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    counts[i] = latency_histogram_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total > 0) {
+    const auto percentile = [&](double q) {
+      const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+      std::uint64_t seen = 0;
+      for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+        seen += counts[i];
+        if (seen > target) return bucket_value(i);
+      }
+      return bucket_value(kLatencyBuckets - 1);
+    };
+    s.latency_p50_ns = percentile(0.50);
+    s.latency_p90_ns = percentile(0.90);
+    s.latency_p99_ns = percentile(0.99);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// DecisionEngine
+// ---------------------------------------------------------------------
+
+DecisionEngine::DecisionEngine(SnapshotPublisher& publisher, EngineConfig config,
+                               cache::DecisionCache* cache)
+    : publisher_(publisher),
+      config_(config),
+      cache_(cache),
+      metrics_(std::max<std::size_t>(1, config.workers),
+               std::max<std::size_t>(1, config.queue_capacity)) {
+  config_.workers = std::max<std::size_t>(1, config_.workers);
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  threads_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+DecisionEngine::~DecisionEngine() { shutdown(Drain::kDrain); }
+
+EngineResult DecisionEngine::shed_result(CompletionStatus status) {
+  EngineResult r;
+  r.status = status;
+  const char* message = kShutdownMessage;
+  if (status == CompletionStatus::kShedQueueFull) message = kShedQueueFullMessage;
+  if (status == CompletionStatus::kShedDeadline) message = kShedDeadlineMessage;
+  r.decision = core::Decision::indeterminate(core::IndeterminateExtent::kDP,
+                                             core::Status::processing_error(message));
+  return r;
+}
+
+std::future<EngineResult> DecisionEngine::submit(core::RequestContext request) {
+  return submit(std::move(request), config_.default_deadline_ms);
+}
+
+std::future<EngineResult> DecisionEngine::submit(core::RequestContext request,
+                                                 common::Duration deadline_ms) {
+  auto promise = std::make_shared<std::promise<EngineResult>>();
+  std::future<EngineResult> result = promise->get_future();
+  submit(
+      std::move(request),
+      [promise](EngineResult r) { promise->set_value(std::move(r)); }, deadline_ms);
+  return result;
+}
+
+void DecisionEngine::submit(core::RequestContext request, Callback callback) {
+  submit(std::move(request), std::move(callback), config_.default_deadline_ms);
+}
+
+void DecisionEngine::submit(core::RequestContext request, Callback callback,
+                            common::Duration deadline_ms) {
+  metrics_.record_submitted();
+
+  const auto now = SteadyClock::now();
+  Job job;
+  job.request = std::move(request);
+  job.callback = std::move(callback);
+  job.enqueued = now;
+  job.deadline = deadline_ms > 0 ? now + std::chrono::milliseconds(deadline_ms)
+                                 : SteadyClock::time_point::max();
+
+  CompletionStatus shed = CompletionStatus::kDecided;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      shed = CompletionStatus::kShutdown;
+    } else if (queue_.size() >= config_.queue_capacity) {
+      shed = CompletionStatus::kShedQueueFull;
+    } else {
+      queue_.push_back(std::move(job));
+      metrics_.set_queue_depth(queue_.size());
+    }
+  }
+  if (shed != CompletionStatus::kDecided) {
+    // Deterministic admission control: the submitter learns immediately,
+    // on its own thread, that this request was refused.
+    metrics_.record_shed(shed);
+    invoke_callback(job.callback, shed_result(shed));
+    return;
+  }
+  ready_.notify_one();
+}
+
+void DecisionEngine::shutdown(Drain drain) {
+  std::lock_guard shutdown_lock(shutdown_mutex_);
+  std::vector<Job> discarded;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_.store(true, std::memory_order_release);
+    if (drain == Drain::kDiscard) {
+      discarded.reserve(queue_.size());
+      while (!queue_.empty()) {
+        discarded.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics_.set_queue_depth(0);
+    }
+  }
+  ready_.notify_all();
+  for (Job& job : discarded) {
+    metrics_.record_shed(CompletionStatus::kShutdown);
+    invoke_callback(job.callback, shed_result(CompletionStatus::kShutdown));
+  }
+  if (!joined_) {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    joined_ = true;
+  }
+}
+
+std::size_t DecisionEngine::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+bool DecisionEngine::pop_batch(Worker& worker) {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] {
+    return stopping_.load(std::memory_order_relaxed) || !queue_.empty();
+  });
+  if (queue_.empty()) return false;  // stopping and drained
+  const std::size_t n = std::min(config_.max_batch, queue_.size());
+  worker.jobs.clear();
+  worker.jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    worker.jobs.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  metrics_.set_queue_depth(queue_.size());
+  // More work than one batch: wake a sibling before evaluating.
+  const bool more = !queue_.empty();
+  lock.unlock();
+  if (more) ready_.notify_one();
+  return true;
+}
+
+void DecisionEngine::adopt_snapshot(Worker& worker) {
+  const std::uint64_t version = publisher_.current_version();
+  const std::uint64_t held = worker.snapshot ? worker.snapshot->version() : 0;
+  if (held == version) return;
+  auto latest = publisher_.current();
+  if (latest == nullptr) return;  // nothing published yet
+  if (worker.snapshot && latest->version() == worker.snapshot->version()) return;
+  worker.snapshot = std::move(latest);
+  // A fresh replica per snapshot honours core::Pdp's one-thread contract
+  // and rebinds it to the new immutable store; dropping the old
+  // shared_ptr is the RCU grace edge for the replaced snapshot.
+  worker.pdp = std::make_unique<core::Pdp>(worker.snapshot->store(), config_.pdp);
+  if (config_.resolver != nullptr) worker.pdp->set_resolver(config_.resolver);
+  if (config_.functions != nullptr) worker.pdp->set_functions(config_.functions);
+  metrics_.record_adoption();
+}
+
+void DecisionEngine::complete(Job& job, EngineResult result, std::size_t worker_index,
+                              bool count_as_decided) {
+  if (count_as_decided) {
+    const auto latency = SteadyClock::now() - job.enqueued;
+    metrics_.record_decided(
+        worker_index,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(latency).count()));
+  } else {
+    metrics_.record_shed(result.status);
+  }
+  invoke_callback(job.callback, std::move(result));
+}
+
+void DecisionEngine::invoke_callback(Callback& callback, EngineResult result) {
+  // A throwing completion callback must never take down its caller — a
+  // worker (and with it every queued request), shutdown()'s discard
+  // loop, or a submitter mid-shed. catch (...) on purpose: the promise
+  // path never throws, and arbitrary user callbacks can throw anything.
+  try {
+    callback(std::move(result));
+  } catch (const std::exception& e) {
+    common::log_error(std::string("runtime: completion callback threw: ") + e.what());
+  } catch (...) {
+    common::log_error("runtime: completion callback threw a non-exception value");
+  }
+}
+
+namespace {
+
+/// Cache keys are scoped to the snapshot that produced the entry: the
+/// snapshot version is mixed into the request fingerprint, so a
+/// republication makes every old entry unreachable (it ages out via
+/// LRU/TTL) instead of serving decisions from withdrawn policy — the
+/// "every decision is consistent with exactly one snapshot" model
+/// extends to cache hits, with no invalidation stampede on publish.
+cache::RequestKey versioned_key(const core::RequestContext& request,
+                                std::uint64_t snapshot_version) {
+  cache::RequestKey key = cache::fingerprint(request);
+  key.hi ^= (snapshot_version + 1) * 0x9E3779B97F4A7C15ULL;
+  return key;
+}
+
+}  // namespace
+
+void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
+  metrics_.record_batch(index, worker.jobs.size());
+  adopt_snapshot(worker);
+  const std::uint64_t version = worker.snapshot ? worker.snapshot->version() : 0;
+
+  worker.requests.clear();
+  worker.pending.clear();
+  const auto now = SteadyClock::now();
+  for (std::size_t i = 0; i < worker.jobs.size(); ++i) {
+    Job& job = worker.jobs[i];
+    if (job.deadline < now) {
+      complete(job, shed_result(CompletionStatus::kShedDeadline), index,
+               /*count_as_decided=*/false);
+      continue;
+    }
+    if (cache_ != nullptr && worker.snapshot != nullptr) {
+      if (auto hit = cache_->lookup(versioned_key(job.request, version))) {
+        metrics_.record_cache_hit();
+        EngineResult r;
+        r.decision = std::move(*hit);
+        r.snapshot_version = version;
+        r.cache_hit = true;
+        complete(job, std::move(r), index, /*count_as_decided=*/true);
+        continue;
+      }
+    }
+    worker.pending.push_back(i);
+    worker.requests.push_back(std::move(job.request));
+  }
+  if (worker.pending.empty()) return;
+
+  if (worker.pdp == nullptr) {
+    // No snapshot was ever published: answer fail-safe, don't crash the
+    // service (the PEP's deny bias turns this into deny).
+    for (std::size_t i = 0; i < worker.pending.size(); ++i) {
+      EngineResult r;
+      r.decision = core::Decision::indeterminate(
+          core::IndeterminateExtent::kDP,
+          core::Status::processing_error(kNoSnapshotMessage));
+      complete(worker.jobs[worker.pending[i]], std::move(r), index,
+               /*count_as_decided=*/true);
+    }
+    return;
+  }
+
+  // Evaluation failures are data (core::Status), so a throw here is
+  // exceptional (resource exhaustion, a resolver bug). Either way the
+  // worker must survive — catch (...) because a shared resolver is user
+  // code and can throw anything — and the batch is answered fail-safe.
+  std::vector<core::PdpResult> results;
+  std::string evaluation_error;
+  try {
+    results = worker.pdp->evaluate_batch(std::span<const core::RequestContext>(
+        worker.requests.data(), worker.requests.size()));
+  } catch (const std::exception& e) {
+    evaluation_error = std::string("evaluation failed: ") + e.what();
+  } catch (...) {
+    evaluation_error = "evaluation failed: non-exception value thrown";
+  }
+  if (!evaluation_error.empty()) {
+    common::log_error("runtime: batch evaluation threw: " + evaluation_error);
+    for (const std::size_t job_index : worker.pending) {
+      EngineResult r;
+      r.decision = core::Decision::indeterminate(
+          core::IndeterminateExtent::kDP,
+          core::Status::processing_error(evaluation_error));
+      complete(worker.jobs[job_index], std::move(r), index, /*count_as_decided=*/true);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < worker.pending.size(); ++i) {
+    EngineResult r;
+    r.decision = std::move(results[i].decision);
+    r.snapshot_version = version;
+    if (cache_ != nullptr && (r.decision.is_permit() || r.decision.is_deny())) {
+      cache_->insert(versioned_key(worker.requests[i], version), r.decision);
+    }
+    complete(worker.jobs[worker.pending[i]], std::move(r), index,
+             /*count_as_decided=*/true);
+  }
+}
+
+void DecisionEngine::worker_loop(std::size_t index) {
+  Worker worker;
+  while (pop_batch(worker)) {
+    process_batch(index, worker);
+    worker.jobs.clear();
+  }
+}
+
+std::function<core::Decision(const core::RequestContext&)> engine_decision_source(
+    DecisionEngine& engine) {
+  return [&engine](const core::RequestContext& request) {
+    std::future<EngineResult> f = engine.submit(request);
+    return std::move(f.get().decision);
+  };
+}
+
+}  // namespace mdac::runtime

@@ -1,0 +1,315 @@
+// mdac::runtime::DecisionEngine — the multi-threaded decision-engine
+// runtime over snapshot-published policy state (runtime/snapshot.hpp).
+//
+// The paper's dependability argument (§3) has one PDP service answering
+// many domains' PEPs concurrently; core::Pdp is deliberately
+// single-threaded (see the thread-safety contract in core/pdp.hpp). The
+// engine bridges the two without weakening either side:
+//
+//   * N worker threads, each owning a *private* core::Pdp replica — the
+//     documented one-Pdp-per-thread shape — bound to an immutable
+//     PolicySnapshot. Workers adopt the latest snapshot only at batch
+//     boundaries, so every decision is computed against exactly one
+//     published policy state.
+//   * A bounded MPMC submission queue with micro-batching: a worker
+//     drains up to `max_batch` requests at once into
+//     Pdp::evaluate_batch, which amortises the staleness probe and keeps
+//     the per-request scratch warm.
+//   * Deterministic overload shedding: a submission that finds the queue
+//     at capacity is *immediately* completed with Indeterminate{DP} and
+//     a distinct status message (kShedQueueFullMessage) instead of
+//     queueing unboundedly — the PEP's fail-safe deny bias then applies
+//     (pep::EnforcementPoint treats Indeterminate as deny). Per-request
+//     deadlines shed the same way at dequeue time: a request that waited
+//     past its deadline is answered, not silently evaluated late.
+//   * Graceful drain on shutdown: `shutdown(Drain::kDrain)` stops
+//     admission, lets the workers empty the queue, then joins them;
+//     `Drain::kDiscard` completes queued requests with kShutdown.
+//   * EngineMetrics: queue depth, sheds by cause, per-worker ops, batch
+//     sizes and completion-latency percentiles — the saturation signals
+//     a dependability::HeartbeatMonitor-style health check or the bench
+//     harness reads to observe overload (shed_rate / saturation).
+//
+// An optional cache::DecisionCache (mutex-per-shard, already
+// thread-safe) is shared across all workers: hits complete without
+// touching a Pdp, misses are filled with definitive decisions. Entries
+// are keyed by (request fingerprint, snapshot version), so policy
+// republication implicitly invalidates — stale entries cannot hit and
+// age out through LRU/TTL.
+//
+// Completion callbacks run on a worker thread — except shed-on-submit
+// (queue full / shutdown), which completes on the submitting thread
+// before `submit` returns; that is what makes shedding deterministic.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cache/decision_cache.hpp"
+#include "common/clock.hpp"
+#include "core/pdp.hpp"
+#include "runtime/snapshot.hpp"
+
+namespace mdac::runtime {
+
+/// Status messages carried by shed decisions. Distinct from every
+/// evaluation-produced status so a PEP (or operator) can tell "the
+/// engine refused under load" from "the policy tree failed".
+inline constexpr const char* kShedQueueFullMessage = "overload-shed: queue full";
+inline constexpr const char* kShedDeadlineMessage = "overload-shed: deadline exceeded";
+inline constexpr const char* kShutdownMessage = "overload-shed: engine shut down";
+inline constexpr const char* kNoSnapshotMessage = "no policy snapshot published";
+
+enum class CompletionStatus {
+  kDecided,        ///< evaluated (or served from the shared cache)
+  kShedQueueFull,  ///< admission control: queue was at capacity
+  kShedDeadline,   ///< waited past its deadline before a worker got to it
+  kShutdown,       ///< engine stopped before this request was evaluated
+};
+
+const char* to_string(CompletionStatus s);
+
+struct EngineResult {
+  CompletionStatus status = CompletionStatus::kDecided;
+  core::Decision decision;
+  /// Version of the snapshot the decision was computed against (0 for
+  /// sheds). Cache hits carry it too: cache keys are scoped to the
+  /// snapshot version, so a hit is always an entry some worker filled
+  /// under the SAME snapshot — a republication makes old entries
+  /// unreachable instead of serving withdrawn policy.
+  std::uint64_t snapshot_version = 0;
+  bool cache_hit = false;
+
+  bool decided() const { return status == CompletionStatus::kDecided; }
+};
+
+/// Aggregated engine counters, all updated with relaxed atomics on the
+/// hot path and read as a consistent-enough snapshot by health checks
+/// and the bench harness.
+class EngineMetrics {
+ public:
+  struct Snapshot {
+    std::uint64_t submitted = 0;
+    std::uint64_t decided = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t shed_shutdown = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t snapshot_adoptions = 0;
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    std::vector<std::uint64_t> worker_ops;  // decided per worker
+    double mean_batch_size = 0;
+    /// Approximate completion-latency percentiles (enqueue → callback)
+    /// from a log2-bucketed histogram: right within ~1.5x of a bucket.
+    double latency_p50_ns = 0;
+    double latency_p90_ns = 0;
+    double latency_p99_ns = 0;
+
+    std::uint64_t sheds() const {
+      return shed_queue_full + shed_deadline + shed_shutdown;
+    }
+    /// Fraction of submissions shed — the overload signal a
+    /// HeartbeatMonitor-style health check keys on.
+    double shed_rate() const {
+      return submitted > 0 ? static_cast<double>(sheds()) / static_cast<double>(submitted)
+                           : 0.0;
+    }
+    /// Instantaneous queue fill fraction (1.0 = at the admission bound).
+    double saturation() const {
+      return queue_capacity > 0
+                 ? static_cast<double>(queue_depth) / static_cast<double>(queue_capacity)
+                 : 0.0;
+    }
+  };
+
+  EngineMetrics(std::size_t workers, std::size_t queue_capacity);
+
+  void record_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void record_shed(CompletionStatus cause);
+  void record_cache_hit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void record_batch(std::size_t worker, std::size_t batch_size);
+  void record_decided(std::size_t worker, std::uint64_t latency_ns);
+  void record_adoption() { adoptions_.fetch_add(1, std::memory_order_relaxed); }
+  void set_queue_depth(std::size_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every counter and the latency histogram (queue capacity is
+  /// configuration and stays). Benchmark support: call only while the
+  /// engine is QUIESCENT (no submissions in flight, workers parked) so
+  /// warmup traffic can be excluded from the measured window; resetting
+  /// under load loses concurrent increments.
+  void reset();
+
+ private:
+  static constexpr std::size_t kLatencyBuckets = 64;
+
+  /// Padded per-worker counters so workers don't false-share a line.
+  struct alignas(64) WorkerCounters {
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batched_requests{0};
+  };
+
+  std::size_t queue_capacity_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> decided_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> shed_shutdown_{0};
+  std::atomic<std::uint64_t> adoptions_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+  std::vector<std::unique_ptr<WorkerCounters>> workers_;
+  /// Completion latency, log2 ns buckets (bucket i covers [2^(i-1), 2^i)).
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_histogram_{};
+};
+
+struct EngineConfig {
+  /// Worker threads, each with a private core::Pdp replica.
+  std::size_t workers = 2;
+  /// Admission bound: submissions beyond this are shed deterministically.
+  std::size_t queue_capacity = 1024;
+  /// Max requests one worker drains per batch (micro-batching into
+  /// Pdp::evaluate_batch).
+  std::size_t max_batch = 32;
+  /// Configuration for every worker's Pdp replica.
+  core::PdpConfig pdp;
+  /// Optional shared PIP hook wired into every replica. Unlike a
+  /// single-threaded Pdp's resolver, this one is consulted from all
+  /// worker threads concurrently — it MUST be thread-safe. Not owned.
+  core::AttributeResolver* resolver = nullptr;
+  /// Optional function registry override (not owned; default: standard).
+  const core::FunctionRegistry* functions = nullptr;
+  /// Default per-request deadline in ms, measured from submission;
+  /// <= 0 means no deadline. A request still queued when its deadline
+  /// passes is shed (kShedDeadline) instead of evaluated late.
+  common::Duration default_deadline_ms = 0;
+};
+
+class DecisionEngine {
+ public:
+  using Callback = std::function<void(EngineResult)>;
+
+  enum class Drain {
+    kDrain,    ///< stop admission, finish everything queued, then join
+    kDiscard,  ///< stop admission, complete queued requests as kShutdown
+  };
+
+  /// Workers start immediately and serve `publisher`'s current snapshot
+  /// (requests submitted before the first publish are answered
+  /// Indeterminate{DP} kNoSnapshotMessage — fail-safe, not a crash).
+  /// `cache`, if given, is shared across all workers; it must outlive
+  /// the engine, and its clock must be thread-safe (common::WallClock —
+  /// see common/clock.hpp).
+  explicit DecisionEngine(SnapshotPublisher& publisher, EngineConfig config = {},
+                          cache::DecisionCache* cache = nullptr);
+
+  /// Drains and joins (shutdown(Drain::kDrain)).
+  ~DecisionEngine();
+
+  DecisionEngine(const DecisionEngine&) = delete;
+  DecisionEngine& operator=(const DecisionEngine&) = delete;
+
+  /// Submits with the config's default deadline. The future completes
+  /// with kDecided, or with a shed result whose decision is
+  /// Indeterminate{DP} carrying the distinct shed status.
+  std::future<EngineResult> submit(core::RequestContext request);
+  /// As above with an explicit deadline (ms from now; <= 0 = none).
+  std::future<EngineResult> submit(core::RequestContext request,
+                                   common::Duration deadline_ms);
+
+  /// Callback forms. Decided / deadline-shed callbacks run on a worker
+  /// thread; queue-full and shutdown sheds complete on the submitting
+  /// thread before submit returns (deterministic admission control).
+  void submit(core::RequestContext request, Callback callback);
+  void submit(core::RequestContext request, Callback callback,
+              common::Duration deadline_ms);
+
+  /// Idempotent; safe to call concurrently with submissions (in-flight
+  /// racers are either admitted and drained, or shed as kShutdown).
+  void shutdown(Drain drain = Drain::kDrain);
+
+  bool accepting() const { return !stopping_.load(std::memory_order_acquire); }
+  std::size_t worker_count() const { return config_.workers; }
+  std::size_t queue_capacity() const { return config_.queue_capacity; }
+  std::size_t queue_depth() const;
+
+  /// Live counters; see EngineMetrics::Snapshot for the health-check
+  /// surface (shed_rate, saturation, latency percentiles).
+  EngineMetrics::Snapshot metrics() const { return metrics_.snapshot(); }
+
+  /// See EngineMetrics::reset — quiescent engines only (bench warmup).
+  void reset_metrics() { metrics_.reset(); }
+
+ private:
+  using SteadyClock = std::chrono::steady_clock;
+
+  struct Job {
+    core::RequestContext request;
+    Callback callback;
+    SteadyClock::time_point enqueued;
+    SteadyClock::time_point deadline;  // time_point::max() = none
+  };
+
+  /// One worker's execution state: the adopted snapshot and the private
+  /// Pdp replica bound to it, plus reusable batch scratch.
+  struct Worker {
+    std::shared_ptr<const PolicySnapshot> snapshot;
+    std::unique_ptr<core::Pdp> pdp;
+    std::vector<Job> jobs;
+    std::vector<core::RequestContext> requests;  // contiguous, for evaluate_batch
+    std::vector<std::size_t> pending;            // jobs[i] awaiting evaluation
+  };
+
+  void worker_loop(std::size_t index);
+  /// Pops up to max_batch jobs into `worker.jobs`; false = exit.
+  bool pop_batch(Worker& worker);
+  /// Re-binds `worker` to the newest snapshot if it changed (the batch
+  /// boundary of the RCU scheme).
+  void adopt_snapshot(Worker& worker);
+  void process_batch(std::size_t index, Worker& worker);
+  void complete(Job& job, EngineResult result, std::size_t worker_index,
+                bool count_as_decided);
+  /// Runs `callback`, containing anything it throws (every completion
+  /// path — worker, shutdown discard, shed-on-submit — goes through
+  /// here so no user callback can unwind engine internals).
+  static void invoke_callback(Callback& callback, EngineResult result);
+  static EngineResult shed_result(CompletionStatus status);
+
+  SnapshotPublisher& publisher_;
+  EngineConfig config_;
+  cache::DecisionCache* cache_;
+  EngineMetrics metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Job> queue_;
+  std::atomic<bool> stopping_{false};
+  bool joined_ = false;
+  std::mutex shutdown_mutex_;  // serialises shutdown() callers
+  std::vector<std::thread> threads_;
+};
+
+/// A pep::EnforcementPoint::DecisionSource that submits through the
+/// engine and blocks for the result: the drop-in way to put an existing
+/// PEP behind the runtime. Sheds surface as Indeterminate{DP}, so the
+/// PEP's deny bias applies unchanged.
+std::function<core::Decision(const core::RequestContext&)> engine_decision_source(
+    DecisionEngine& engine);
+
+}  // namespace mdac::runtime

@@ -1,0 +1,566 @@
+// mdac::runtime::DecisionEngine — worker pool over snapshot-published
+// policy state: differential correctness against the single-threaded
+// Pdp, deterministic overload shedding, deadlines, drain/discard
+// shutdown, the shared decision cache, metrics, and the PEP/service
+// wiring. The concurrent-churn consistency suite lives in
+// tests/runtime_churn_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "core/pdp.hpp"
+#include "core/serialization.hpp"
+#include "dependability/replicated_pdp.hpp"
+#include "net/sim.hpp"
+#include "pep/pep.hpp"
+#include "pep/remote.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/snapshot.hpp"
+#include "workload.hpp"
+
+namespace mdac::runtime {
+namespace {
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// An AttributeResolver whose resolutions block until opened — the test
+/// lever that wedges engine workers inside an evaluation so queueing,
+/// shedding and deadlines become observable. Thread-safe (the engine
+/// contract for shared resolvers).
+class GateResolver : public core::AttributeResolver {
+ public:
+  std::optional<core::Bag> resolve(core::Category /*category*/,
+                                   const std::string& id,
+                                   const core::RequestContext& /*request*/) override {
+    if (id != "gate") return std::nullopt;
+    std::unique_lock lock(mutex_);
+    ++entered_;
+    entered_cv_.notify_all();
+    open_cv_.wait(lock, [this] { return open_; });
+    return core::Bag(core::AttributeValue(true));
+  }
+
+  void open() {
+    {
+      std::lock_guard lock(mutex_);
+      open_ = true;
+    }
+    open_cv_.notify_all();
+  }
+
+  /// Blocks the calling (test) thread until `n` resolutions are wedged.
+  void wait_until_blocked(std::size_t n) {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable open_cv_;
+  std::condition_variable entered_cv_;
+  bool open_ = false;
+  std::size_t entered_ = 0;
+};
+
+/// A store whose single policy permits "read" only once the "gate"
+/// environment attribute resolves true — every evaluation goes through
+/// the resolver.
+std::shared_ptr<core::PolicyStore> make_gated_store() {
+  auto store = std::make_shared<core::PolicyStore>();
+  core::Policy p;
+  p.policy_id = "gated";
+  core::Rule r;
+  r.id = "permit-when-open";
+  r.effect = core::Effect::kPermit;
+  r.condition = core::designator(core::Category::kEnvironment, "gate",
+                                 core::DataType::kBoolean, /*must_be_present=*/true);
+  p.rules.push_back(std::move(r));
+  store->add(std::move(p));
+  return store;
+}
+
+core::RequestContext probe_request() {
+  return core::RequestContext::make("alice", "doc", "read");
+}
+
+/// Seeded federation workload shared with the bench harness: policies
+/// split over `domains` administrative domains, single-domain traffic.
+std::vector<core::RequestContext> federation_pool(int domains, int policies,
+                                                  int roles, std::size_t n) {
+  common::Rng rng(20260731);
+  std::vector<core::RequestContext> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.push_back(bench::random_domain_request(rng, domains, policies, roles));
+  }
+  return pool;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot publication
+// ---------------------------------------------------------------------
+
+TEST(SnapshotPublisherTest, VersionsAreMonotonicAndCurrentTracksLatest) {
+  SnapshotPublisher publisher;
+  EXPECT_EQ(publisher.current(), nullptr);
+  EXPECT_EQ(publisher.current_version(), 0u);
+
+  auto s1 = publisher.publish(bench::make_policy_store(4));
+  auto s2 = publisher.publish(bench::make_policy_store(8));
+  EXPECT_EQ(s1->version(), 1u);
+  EXPECT_EQ(s2->version(), 2u);
+  EXPECT_EQ(publisher.current_version(), 2u);
+  EXPECT_EQ(publisher.current()->policy_count(), 8u);
+  EXPECT_EQ(publisher.publications(), 2u);
+  // The replaced snapshot stays alive for its holders (RCU grace).
+  EXPECT_EQ(s1->policy_count(), 4u);
+}
+
+TEST(SnapshotPublisherTest, PublishFromRepositoryCarriesCompiledArtifacts) {
+  common::ManualClock clock;
+  pap::PolicyRepository repo(clock);
+  core::Policy p;
+  p.policy_id = "p1";
+  core::Rule r;
+  r.id = "permit-all";
+  r.effect = core::Effect::kPermit;
+  p.rules.push_back(std::move(r));
+  ASSERT_TRUE(repo.submit(core::node_to_string(p), "author"));
+  ASSERT_TRUE(repo.issue("p1", "admin"));
+
+  SnapshotPublisher publisher;
+  auto snapshot = publisher.publish_from(repo);
+  EXPECT_EQ(snapshot->policy_count(), 1u);
+  EXPECT_EQ(snapshot->source_revision(), repo.revision());
+  // The snapshot's store shares the PAP's compile-on-issue artifact.
+  EXPECT_EQ(snapshot->store()->compiled("p1"), repo.compiled("p1"));
+}
+
+// ---------------------------------------------------------------------
+// Differential correctness: engine decisions == single-threaded Pdp
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, DecisionsBitIdenticalToSingleThreadedPdp) {
+  constexpr int kDomains = 4;
+  constexpr int kPolicies = 64;
+  constexpr int kRoles = 3;
+  auto store = bench::make_domain_policy_store(kDomains, kPolicies, kRoles);
+  const auto pool = federation_pool(kDomains, kPolicies, kRoles, 256);
+
+  // Single-threaded reference decisions first (the store is shared with
+  // the snapshot afterwards; both sides only read it).
+  core::Pdp reference(store);
+  std::vector<core::Decision> expected;
+  expected.reserve(pool.size());
+  for (const auto& request : pool) expected.push_back(reference.evaluate(request));
+
+  SnapshotPublisher publisher;
+  publisher.publish(store);
+  EngineConfig config;
+  config.workers = 4;
+  config.queue_capacity = 1024;
+  config.max_batch = 16;
+  DecisionEngine engine(publisher, config);
+
+  std::vector<std::future<EngineResult>> futures;
+  futures.reserve(pool.size());
+  for (const auto& request : pool) futures.push_back(engine.submit(request));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EngineResult result = futures[i].get();
+    EXPECT_EQ(result.status, CompletionStatus::kDecided);
+    EXPECT_EQ(result.snapshot_version, 1u);
+    EXPECT_FALSE(result.cache_hit);
+    // Bit-identical: type, extent, status text, obligations, advice.
+    EXPECT_EQ(result.decision, expected[i]) << "request " << i;
+  }
+
+  engine.shutdown();
+  const EngineMetrics::Snapshot m = engine.metrics();
+  EXPECT_EQ(m.submitted, pool.size());
+  EXPECT_EQ(m.decided, pool.size());
+  EXPECT_EQ(m.sheds(), 0u);
+  EXPECT_GE(m.snapshot_adoptions, 1u);
+  EXPECT_GE(m.batches, 1u);
+  std::uint64_t worker_total = 0;
+  for (const std::uint64_t ops : m.worker_ops) worker_total += ops;
+  EXPECT_EQ(worker_total, pool.size());
+}
+
+TEST(DecisionEngineTest, SubmitBeforeFirstPublishIsFailSafeIndeterminate) {
+  SnapshotPublisher publisher;
+  DecisionEngine engine(publisher, EngineConfig{.workers = 1});
+  EngineResult result = engine.submit(probe_request()).get();
+  EXPECT_EQ(result.status, CompletionStatus::kDecided);
+  EXPECT_TRUE(result.decision.is_indeterminate());
+  EXPECT_EQ(result.decision.status.message, kNoSnapshotMessage);
+}
+
+// ---------------------------------------------------------------------
+// Admission control: deterministic shedding at the queue bound
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, ShedsExactlyTheSubmissionsBeyondTheQueueBound) {
+  GateResolver gate;
+  SnapshotPublisher publisher;
+  publisher.publish(make_gated_store());
+
+  EngineConfig config;
+  config.workers = 1;
+  config.queue_capacity = 4;
+  config.max_batch = 1;
+  config.resolver = &gate;
+  DecisionEngine engine(publisher, config);
+
+  // Wedge the single worker inside an evaluation...
+  auto wedged = engine.submit(probe_request());
+  gate.wait_until_blocked(1);
+
+  // ...fill the queue to its bound, then overflow it.
+  constexpr std::size_t kOverflow = 5;
+  std::vector<std::future<EngineResult>> queued;
+  for (std::size_t i = 0; i < 4; ++i) queued.push_back(engine.submit(probe_request()));
+  EXPECT_EQ(engine.queue_depth(), 4u);
+  EXPECT_EQ(engine.metrics().sheds(), 0u);  // no shed below the bound
+
+  std::vector<std::future<EngineResult>> shed;
+  for (std::size_t i = 0; i < kOverflow; ++i) shed.push_back(engine.submit(probe_request()));
+
+  // Sheds complete immediately (before the worker is released), with
+  // the distinct queue-full status — Indeterminate, so a PEP denies.
+  for (auto& f : shed) {
+    EngineResult r = f.get();
+    EXPECT_EQ(r.status, CompletionStatus::kShedQueueFull);
+    EXPECT_TRUE(r.decision.is_indeterminate());
+    EXPECT_EQ(r.decision.status.message, kShedQueueFullMessage);
+  }
+  const EngineMetrics::Snapshot saturated = engine.metrics();
+  EXPECT_EQ(saturated.shed_queue_full, kOverflow);
+  EXPECT_DOUBLE_EQ(saturated.saturation(), 1.0);
+  EXPECT_GT(saturated.shed_rate(), 0.0);
+
+  // Release the worker: everything admitted still gets a real decision.
+  gate.open();
+  EXPECT_TRUE(wedged.get().decision.is_permit());
+  for (auto& f : queued) {
+    EngineResult r = f.get();
+    EXPECT_EQ(r.status, CompletionStatus::kDecided);
+    EXPECT_TRUE(r.decision.is_permit());
+  }
+  engine.shutdown();
+  EXPECT_EQ(engine.metrics().shed_queue_full, kOverflow);  // and no more
+}
+
+TEST(DecisionEngineTest, ExpiredDeadlinesShedInsteadOfEvaluatingLate) {
+  GateResolver gate;
+  SnapshotPublisher publisher;
+  publisher.publish(make_gated_store());
+
+  EngineConfig config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.resolver = &gate;
+  DecisionEngine engine(publisher, config);
+
+  auto wedged = engine.submit(probe_request());
+  gate.wait_until_blocked(1);
+  auto doomed = engine.submit(probe_request(), /*deadline_ms=*/1);
+  auto relaxed = engine.submit(probe_request(), /*deadline_ms=*/60'000);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.open();
+
+  EXPECT_TRUE(wedged.get().decision.is_permit());
+  EngineResult late = doomed.get();
+  EXPECT_EQ(late.status, CompletionStatus::kShedDeadline);
+  EXPECT_EQ(late.decision.status.message, kShedDeadlineMessage);
+  EXPECT_EQ(relaxed.get().status, CompletionStatus::kDecided);
+  EXPECT_EQ(engine.metrics().shed_deadline, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Shutdown semantics
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, DrainShutdownCompletesEverythingAdmitted) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(16));
+  DecisionEngine engine(publisher, EngineConfig{.workers = 2, .queue_capacity = 512});
+
+  common::Rng rng(7);
+  std::vector<std::future<EngineResult>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(engine.submit(bench::random_request(rng, 16, 3)));
+  }
+  engine.shutdown(DecisionEngine::Drain::kDrain);
+  for (auto& f : futures) EXPECT_EQ(f.get().status, CompletionStatus::kDecided);
+
+  // Post-shutdown submissions are shed, not lost.
+  EngineResult refused = engine.submit(probe_request()).get();
+  EXPECT_EQ(refused.status, CompletionStatus::kShutdown);
+  EXPECT_EQ(refused.decision.status.message, kShutdownMessage);
+  EXPECT_FALSE(engine.accepting());
+}
+
+TEST(DecisionEngineTest, DiscardShutdownCompletesQueuedAsShutdownSheds) {
+  GateResolver gate;
+  SnapshotPublisher publisher;
+  publisher.publish(make_gated_store());
+
+  EngineConfig config;
+  config.workers = 1;
+  config.queue_capacity = 16;
+  config.max_batch = 1;
+  config.resolver = &gate;
+  DecisionEngine engine(publisher, config);
+
+  auto wedged = engine.submit(probe_request());
+  gate.wait_until_blocked(1);
+  std::vector<std::future<EngineResult>> queued;
+  for (int i = 0; i < 3; ++i) queued.push_back(engine.submit(probe_request()));
+
+  gate.open();  // release before joining; the wedged request completes
+  engine.shutdown(DecisionEngine::Drain::kDiscard);
+
+  EXPECT_TRUE(wedged.get().decided());
+  std::size_t shutdown_sheds = 0;
+  for (auto& f : queued) {
+    const EngineResult r = f.get();
+    // Either the worker got to it before the discard, or it was
+    // completed as a shutdown shed — never dropped on the floor.
+    if (r.status == CompletionStatus::kShutdown) {
+      EXPECT_EQ(r.decision.status.message, kShutdownMessage);
+      ++shutdown_sheds;
+    } else {
+      EXPECT_EQ(r.status, CompletionStatus::kDecided);
+    }
+  }
+  EXPECT_EQ(engine.metrics().shed_shutdown, shutdown_sheds);
+}
+
+// ---------------------------------------------------------------------
+// Shared decision cache across workers
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, WorkersShareTheDecisionCache) {
+  common::WallClock clock;  // thread-safe; see common/clock.hpp
+  cache::DecisionCache cache(clock, /*ttl=*/1'000'000, /*capacity=*/1024);
+
+  SnapshotPublisher publisher;
+  auto store = bench::make_policy_store(8);
+  core::Pdp reference(store);
+  publisher.publish(store);
+  DecisionEngine engine(publisher, EngineConfig{.workers = 4}, &cache);
+
+  // A request the store decides definitively (permit) — only definitive
+  // decisions are cacheable.
+  core::RequestContext request = core::RequestContext::make("u", "res-1", "read");
+  request.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-0"));
+  const core::Decision expected = reference.evaluate(request);
+  ASSERT_TRUE(expected.is_permit());
+
+  // First wave fills, second wave must hit regardless of which worker
+  // serves it (the cache is shared, mutex-per-shard).
+  EngineResult first = engine.submit(request).get();
+  EXPECT_EQ(first.decision, expected);
+  std::size_t hits = 0;
+  for (int i = 0; i < 32; ++i) {
+    EngineResult r = engine.submit(request).get();
+    EXPECT_EQ(r.decision, expected);
+    if (r.cache_hit) ++hits;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_EQ(engine.metrics().cache_hits, hits);
+  EXPECT_GE(cache.stats().hits, hits);
+}
+
+TEST(DecisionEngineTest, CacheNeverServesDecisionsFromAReplacedSnapshot) {
+  common::WallClock clock;
+  cache::DecisionCache cache(clock, /*ttl=*/1'000'000, /*capacity=*/1024);
+
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(8));  // v1: res-1/role-0 permits
+  // One worker => the republication is adopted at the very next batch.
+  DecisionEngine engine(publisher, EngineConfig{.workers = 1}, &cache);
+
+  core::RequestContext request = core::RequestContext::make("u", "res-1", "read");
+  request.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-0"));
+
+  EngineResult filled = engine.submit(request).get();
+  ASSERT_TRUE(filled.decision.is_permit());
+  EngineResult hit = engine.submit(request).get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.snapshot_version, 1u);  // hits are snapshot-attributed
+
+  // The policy is withdrawn (empty working set). The cached v1 permit
+  // must be unreachable — cache keys are scoped to the snapshot.
+  publisher.publish(std::make_shared<core::PolicyStore>());
+  EngineResult after = engine.submit(request).get();
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_TRUE(after.decision.is_not_applicable());
+  EXPECT_EQ(after.snapshot_version, 2u);
+  engine.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Wiring: EnforcementPoint and PdpService through the engine
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, EnforcementPointSubmitsThroughEngine) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(4));
+  DecisionEngine engine(publisher, EngineConfig{.workers = 2});
+
+  pep::EnforcementPoint point(engine_decision_source(engine));
+  core::RequestContext allowed = core::RequestContext::make("u", "res-1", "read");
+  allowed.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-0"));
+  EXPECT_TRUE(point.enforce(allowed).allowed);
+
+  core::RequestContext refused = core::RequestContext::make("u", "res-1", "read");
+  refused.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-99"));
+  EXPECT_FALSE(point.enforce(refused).allowed);
+
+  // role-99 was denied BY POLICY (the trailing deny rule), not by bias;
+  // a shed after shutdown is Indeterminate -> the fail-safe deny bias.
+  EXPECT_EQ(point.denials_by_bias(), 0u);
+  engine.shutdown();
+  const pep::Enforcement e = point.enforce(allowed);
+  EXPECT_FALSE(e.allowed);
+  EXPECT_EQ(point.denials_by_bias(), 1u);
+}
+
+TEST(DecisionEngineTest, PdpServiceServesWireTrafficThroughEngine) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(4));
+  DecisionEngine engine(publisher, EngineConfig{.workers = 2});
+
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({5, 0, 0.0});
+  // The service still carries a local replica; the engine overrides it.
+  auto local = std::make_shared<core::Pdp>(bench::make_policy_store(4));
+  pep::PdpService service(network, "domain/pdp", local);
+  service.set_engine(&engine);
+  pep::RemotePdpClient client(network, "domain/pep", "domain/pdp");
+
+  core::RequestContext request = core::RequestContext::make("u", "res-2", "read");
+  request.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-1"));
+  std::optional<core::Decision> got;
+  client.evaluate(request, [&](core::Decision d) { got = std::move(d); });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->is_permit());
+  EXPECT_EQ(service.requests_served(), 1u);
+  EXPECT_EQ(engine.metrics().decided, 1u);
+}
+
+TEST(DecisionEngineTest, ReplicatedClientTrafficLandsOnEngineBackedReplicas) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(4));
+  DecisionEngine engine(publisher, EngineConfig{.workers = 2});
+
+  net::Simulator sim;
+  net::Network network(sim);
+  network.set_default_link({5, 0, 0.0});
+  auto local_a = std::make_shared<core::Pdp>(bench::make_policy_store(4));
+  auto local_b = std::make_shared<core::Pdp>(bench::make_policy_store(4));
+  dependability::PdpReplica replica_a(network, "pdp/a", local_a);
+  dependability::PdpReplica replica_b(network, "pdp/b", local_b);
+  replica_a.service().set_engine(&engine);
+  replica_b.service().set_engine(&engine);
+  replica_a.set_up(false);  // failover forces the dispatcher to walk on
+
+  dependability::ReplicatedPdpClient client(network, "pep/client", {"pdp/a", "pdp/b"},
+                                            dependability::DispatchStrategy::kFailover,
+                                            /*per_try_timeout=*/50);
+  core::RequestContext request = core::RequestContext::make("u", "res-3", "read");
+  request.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-2"));
+  std::optional<core::Decision> got;
+  client.evaluate(request, [&](core::Decision d) { got = std::move(d); });
+  sim.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->is_permit());
+  EXPECT_EQ(replica_b.requests_served(), 1u);
+  EXPECT_EQ(engine.metrics().decided, 1u);
+  EXPECT_EQ(client.stats().failovers, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Metrics surface
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, MetricsExposeLatencyAndBatchShape) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(8));
+  DecisionEngine engine(publisher, EngineConfig{.workers = 2, .max_batch = 8});
+
+  common::Rng rng(11);
+  std::vector<std::future<EngineResult>> futures;
+  for (int i = 0; i < 128; ++i) {
+    futures.push_back(engine.submit(bench::random_request(rng, 8, 3)));
+  }
+  for (auto& f : futures) f.get();
+  engine.shutdown();
+
+  const EngineMetrics::Snapshot m = engine.metrics();
+  EXPECT_EQ(m.decided, 128u);
+  EXPECT_GT(m.latency_p50_ns, 0.0);
+  EXPECT_GE(m.latency_p90_ns, m.latency_p50_ns);
+  EXPECT_GE(m.latency_p99_ns, m.latency_p90_ns);
+  EXPECT_GT(m.mean_batch_size, 0.0);
+  EXPECT_EQ(m.queue_depth, 0u);
+  EXPECT_EQ(m.queue_capacity, engine.queue_capacity());
+}
+
+// ---------------------------------------------------------------------
+// core::Pdp debug owner-thread contract (satellite)
+// ---------------------------------------------------------------------
+
+#ifndef NDEBUG
+using PdpThreadContractDeathTest = ::testing::Test;
+
+TEST(PdpThreadContractDeathTest, CrossThreadEvaluateAsserts) {
+  // threadsafe style re-execs the test binary for the death assertion —
+  // required here because the statement under test spawns a thread.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto store = bench::make_policy_store(2);
+  core::Pdp pdp(store);
+  pdp.evaluate(probe_request());  // this thread now owns the Pdp
+  EXPECT_DEATH(
+      {
+        std::thread other([&] { pdp.evaluate(probe_request()); });
+        other.join();
+      },
+      "single-threaded");
+}
+
+TEST(PdpThreadContractDeathTest, RebindAllowsSerialisedHandOff) {
+  auto store = bench::make_policy_store(2);
+  core::Pdp pdp(store);
+  pdp.evaluate(probe_request());
+  pdp.rebind_owner_thread();
+  core::Decision moved_result;
+  std::thread other([&] { moved_result = pdp.evaluate(probe_request()); });
+  other.join();
+  EXPECT_FALSE(moved_result.is_indeterminate());
+}
+#endif  // !NDEBUG
+
+}  // namespace
+}  // namespace mdac::runtime
