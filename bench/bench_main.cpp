@@ -218,6 +218,50 @@ BenchResult bench_pdp_evaluate_domains(const Scale& s, int n_domains) {
   return r;
 }
 
+/// The nested PolicySet workload (3-level set trees per domain, see
+/// bench/workload.hpp): what federation-shaped syndicated policy looks
+/// like at the PDP. Since ISSUE 5 the whole tree — set targets, nested
+/// combining, obligation assignments — executes as one compiled program.
+BenchResult bench_pdp_evaluate_set_tree_impl(const Scale& s, bool use_compiled,
+                                             const std::string& name) {
+  constexpr int kDomains = 4;
+  constexpr int kServices = 4;
+  const int per_service = std::max(1, s.policies / (kDomains * kServices));
+  core::PdpConfig cfg;
+  cfg.use_compiled = use_compiled;
+  auto store = make_set_tree_store(kDomains, kServices, per_service, s.roles);
+  core::Pdp pdp(store, cfg);
+  common::Rng rng(8642);
+  std::vector<core::RequestContext> pool;
+  pool.reserve(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    pool.push_back(random_set_tree_request(rng, kDomains, kServices, s.roles));
+  }
+  double policy_sets = 0;
+  auto r = run_bench(name, s.iterations, 64, [&](std::uint64_t i) {
+    const auto res = pdp.evaluate_with_metrics(pool[i % pool.size()]);
+    policy_sets = static_cast<double>(res.compile.policy_sets);
+    benchmark_sink(res.decision);
+  });
+  r.counters["domains"] = kDomains;
+  r.counters["services_per_domain"] = kServices;
+  r.counters["leaf_policies"] = kDomains * kServices * per_service;
+  r.counters["compiled_policy_sets"] = policy_sets;
+  return r;
+}
+
+BenchResult bench_pdp_evaluate_set_tree(const Scale& s) {
+  return bench_pdp_evaluate_set_tree_impl(s, /*use_compiled=*/true,
+                                          "pdp_evaluate_set_tree");
+}
+
+/// The same tree workload on the interpreted AST path — the in-binary
+/// load-normalisation reference for the set-tree regression gate.
+BenchResult bench_pdp_evaluate_set_tree_interpreted(const Scale& s) {
+  return bench_pdp_evaluate_set_tree_impl(s, /*use_compiled=*/false,
+                                          "pdp_evaluate_set_tree_interpreted");
+}
+
 /// The amortised batch entry point: one staleness check and one warm
 /// scratch set for the whole span.
 BenchResult bench_pdp_evaluate_batch(const Scale& s) {
@@ -626,13 +670,21 @@ struct GateSpec {
   /// fewer cores that ratio measures scheduler oversubscription, not
   /// code, so the gate skips itself rather than flaking.
   unsigned min_cores = 0;
+  /// Additional tolerance on top of --max-regress, for gates whose
+  /// ratio is workload-size dependent: the smoke workload shrinks the
+  /// set-tree to 16 leaf policies while the committed baseline measures
+  /// 192, which systematically compresses the compiled/interpreted
+  /// ratio. The slack keeps the gate calm across that scale gap while a
+  /// real regression (ratio collapsing toward 1.0) still trips it.
+  double extra_slack = 0.0;
 };
 
 /// The bench-smoke regression gate (wired up in CMakeLists): fails the
 /// run if a gated row regressed >max_regress against the committed
-/// baseline. Three rows are gated: the cached-hit path against the
+/// baseline. Four rows are gated: the cached-hit path against the
 /// seed's cache implementation, the uncached compiled evaluate path
-/// against the interpreted AST path (PR 3), and — since PR 4 — the
+/// against the interpreted AST path (PR 3), the compiled set-tree path
+/// against its interpreted reference (ISSUE 5), and — since PR 4 — the
 /// 8-worker engine row against the 1-worker engine row (thread scaling:
 /// the ratio is machine-load independent, and on a multi-core host a
 /// serialisation bug collapses it immediately).
@@ -643,6 +695,9 @@ int check_regression(const Scale& scale, const Report& report,
        &bench_cached_hit_legacy},
       {"pdp_evaluate_indexed", "pdp_evaluate_interpreted", &bench_pdp_evaluate,
        &bench_pdp_evaluate_interpreted},
+      {"pdp_evaluate_set_tree", "pdp_evaluate_set_tree_interpreted",
+       &bench_pdp_evaluate_set_tree, &bench_pdp_evaluate_set_tree_interpreted,
+       /*min_cores=*/0, /*extra_slack=*/0.20},
       {"pdp_mt_workers_8", "pdp_mt_workers_1", &bench_pdp_mt_8, &bench_pdp_mt_1,
        /*min_cores=*/8},
   };
@@ -670,7 +725,7 @@ int check_regression(const Scale& scale, const Report& report,
     if (reference <= 0) continue;
 
     const double baseline_ratio = baseline_gated / baseline_ref;
-    const double floor = baseline_ratio * (1.0 - max_regress);
+    const double floor = baseline_ratio * (1.0 - max_regress - gate.extra_slack);
     double ratio = gated / reference;
     for (int attempt = 0; ratio < floor && attempt < 2; ++attempt) {
       std::printf("regression gate: %s ratio %.2f below floor %.2f; re-measuring\n",
@@ -731,6 +786,8 @@ int run(int argc, char** argv) {
 
   Report report;
   for (auto* bench : {&bench_pdp_evaluate, &bench_pdp_evaluate_interpreted,
+                      &bench_pdp_evaluate_set_tree,
+                      &bench_pdp_evaluate_set_tree_interpreted,
                       &bench_pdp_evaluate_batch, &bench_pdp_evaluate_noindex,
                       &bench_cached_hit, &bench_cached_hit_legacy,
                       &bench_cached_churn, &bench_request_key_fingerprint,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/expression.hpp"
 #include "core/pdp.hpp"
 #include "core/policy.hpp"
 #include "core/request.hpp"
@@ -103,6 +104,90 @@ inline std::shared_ptr<core::PolicyStore> make_domain_policy_store(int n_domains
     store->add(domain_role_policy(i % n_domains, i, n_roles));
   }
   return store;
+}
+
+/// A 3-level PolicySet tree for one administrative domain — the shape
+/// policy syndication produces (paper §3.2): a root set gated on
+/// resource-domain == "domain-<d>" containing one PolicySet per service
+/// (gated on resource attribute "service"), each containing role-gated
+/// leaf Policies whose permits carry an audit obligation. Exercises
+/// set-level targets, nested combining and obligation programs — the
+/// workload the pdp_evaluate_set_tree rows measure.
+inline core::PolicySet domain_service_set(int domain, int n_services,
+                                          int policies_per_service, int n_roles) {
+  core::PolicySet root;
+  root.policy_set_id = "domain-" + std::to_string(domain) + ":set";
+  root.policy_combining = "first-applicable";
+  root.target_spec.require(core::Category::kResource, core::attrs::kResourceDomain,
+                           core::AttributeValue("domain-" + std::to_string(domain)));
+  for (int s = 0; s < n_services; ++s) {
+    core::PolicySet service;
+    service.policy_set_id = root.policy_set_id + ":svc-" + std::to_string(s);
+    service.policy_combining = "deny-overrides";
+    service.target_spec.require(core::Category::kResource, "service",
+                                core::AttributeValue("svc-" + std::to_string(s)));
+    for (int p = 0; p < policies_per_service; ++p) {
+      core::Policy leaf;
+      leaf.policy_id = service.policy_set_id + ":policy-" + std::to_string(p);
+      leaf.rule_combining = "first-applicable";
+      leaf.target_spec.require(
+          core::Category::kSubject, core::attrs::kRole,
+          core::AttributeValue("role-" + std::to_string(p % n_roles)));
+      core::Rule permit;
+      permit.id = leaf.policy_id + ":permit-read";
+      permit.effect = core::Effect::kPermit;
+      core::Target t;
+      t.require(core::Category::kAction, core::attrs::kActionId,
+                core::AttributeValue("read"));
+      permit.target = std::move(t);
+      core::ObligationExpr audit;
+      audit.id = leaf.policy_id + ":audit";
+      audit.fulfill_on = core::Effect::kPermit;
+      audit.assignments.push_back(core::AttributeAssignmentExpr{
+          "who", core::designator(core::Category::kSubject, core::attrs::kSubjectId,
+                                  core::DataType::kString)});
+      permit.obligations.push_back(std::move(audit));
+      leaf.rules.push_back(std::move(permit));
+      core::Rule deny;
+      deny.id = leaf.policy_id + ":deny-rest";
+      deny.effect = core::Effect::kDeny;
+      leaf.rules.push_back(std::move(deny));
+      service.add(std::move(leaf));
+    }
+    root.add(std::move(service));
+  }
+  return root;
+}
+
+/// One 3-level set tree per domain as the store's top level; the domain
+/// conjunct on each root set keeps the PDP's domain partitioning
+/// engaged, exactly as for the flat domain workload.
+inline std::shared_ptr<core::PolicyStore> make_set_tree_store(
+    int n_domains, int n_services, int policies_per_service, int n_roles = 3) {
+  auto store = std::make_shared<core::PolicyStore>();
+  for (int d = 0; d < n_domains; ++d) {
+    store->add(domain_service_set(d, n_services, policies_per_service, n_roles));
+  }
+  return store;
+}
+
+/// A random request against the set-tree store: one domain, one service,
+/// one role (half the roles authorised, as elsewhere).
+inline core::RequestContext random_set_tree_request(common::Rng& rng, int n_domains,
+                                                    int n_services, int n_roles) {
+  const int domain = static_cast<int>(rng.uniform_int(0, n_domains - 1));
+  const int service = static_cast<int>(rng.uniform_int(0, n_services - 1));
+  const int role = static_cast<int>(rng.uniform_int(0, 2 * n_roles - 1));
+  core::RequestContext req = core::RequestContext::make(
+      "user-" + std::to_string(rng.uniform_int(0, 999)),
+      "res-" + std::to_string(rng.uniform_int(0, 63)), "read");
+  req.add(core::Category::kResource, core::attrs::kResourceDomain,
+          core::AttributeValue("domain-" + std::to_string(domain)));
+  req.add(core::Category::kResource, "service",
+          core::AttributeValue("svc-" + std::to_string(service)));
+  req.add(core::Category::kSubject, core::attrs::kRole,
+          core::AttributeValue("role-" + std::to_string(role)));
+  return req;
 }
 
 /// A random single-domain request against the domain-partitioned store:

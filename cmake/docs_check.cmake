@@ -1,0 +1,53 @@
+# docs-check: fails when the top-level documentation is missing or rotten.
+#
+# Run as a script:  cmake -DREPO_ROOT=<repo> -P cmake/docs_check.cmake
+# Wired into ctest as the `docs-check` target (see CMakeLists.txt), so
+# tier-1 catches doc rot the same way it catches test failures:
+#   * README.md and ARCHITECTURE.md must exist at the repo root;
+#   * every relative markdown link `[text](path)` in a top-level .md file
+#     must point at an existing file or directory (external http(s)/
+#     mailto links and pure #anchors are skipped; a trailing #anchor on a
+#     relative link is stripped before the existence check).
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "docs-check: pass -DREPO_ROOT=<repository root>")
+endif()
+
+set(failures 0)
+
+foreach(required README.md ARCHITECTURE.md)
+  if(NOT EXISTS "${REPO_ROOT}/${required}")
+    message(SEND_ERROR "docs-check: required document ${required} is missing")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+
+file(GLOB top_docs "${REPO_ROOT}/*.md")
+foreach(doc ${top_docs})
+  file(READ "${doc}" content)
+  get_filename_component(doc_name "${doc}" NAME)
+  # Markdown links: ](target). Extracted with a consume loop — MATCHALL
+  # results containing ']' confuse CMake's list parsing — over the
+  # characters link targets actually use (no spaces or parentheses).
+  set(rest "${content}")
+  while(rest MATCHES "\\]\\(([A-Za-z0-9_./#:?=%&-]+)\\)(.*)")
+    set(target "${CMAKE_MATCH_1}")
+    set(rest "${CMAKE_MATCH_2}")
+    if(target MATCHES "^(https?|mailto):" OR target MATCHES "^#")
+      continue()
+    endif()
+    string(REGEX REPLACE "#.*$" "" target "${target}")
+    if(target STREQUAL "")
+      continue()
+    endif()
+    if(NOT EXISTS "${REPO_ROOT}/${target}")
+      message(SEND_ERROR
+              "docs-check: ${doc_name} links to '${target}', which does not exist")
+      math(EXPR failures "${failures} + 1")
+    endif()
+  endwhile()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "docs-check: ${failures} problem(s) found")
+endif()
+message(STATUS "docs-check: README.md/ARCHITECTURE.md present, all relative links resolve")

@@ -34,17 +34,17 @@ void* Arena::allocate(std::size_t size, std::size_t align) {
 // Compilation
 // ---------------------------------------------------------------------
 
-std::shared_ptr<const CompiledPolicy> CompiledPolicy::compile(const Policy& policy,
-                                                             CompileOptions options) {
+std::shared_ptr<const CompiledPolicyTree> CompiledPolicyTree::compile(
+    const PolicyTreeNode& node, CompileOptions options) {
   // Not make_shared: the constructor is private and the object is big
   // enough that the separate control block is noise.
-  std::shared_ptr<CompiledPolicy> out(new CompiledPolicy(policy.clone()));
+  std::shared_ptr<CompiledPolicyTree> out(new CompiledPolicyTree(node.clone_node()));
   out->build(options);
   return out;
 }
 
-common::Symbol CompiledPolicy::resolve_symbol(const std::string& name,
-                                              const CompileOptions& options) {
+common::Symbol CompiledPolicyTree::resolve_symbol(const std::string& name,
+                                                  const CompileOptions& options) {
   if (const auto sym = common::interner().find(name)) return *sym;
   if (options.intern_names) {
     try {
@@ -59,8 +59,8 @@ common::Symbol CompiledPolicy::resolve_symbol(const std::string& name,
   return CompiledMatch::kNoSymbol;
 }
 
-CompiledMatch CompiledPolicy::lower_match(const Match& match,
-                                          const CompileOptions& options) {
+CompiledMatch CompiledPolicyTree::lower_match(const Match& match,
+                                              const CompileOptions& options) {
   CompiledMatch out;
   out.function_id = &match.function_id;
   out.literal = &match.literal;
@@ -84,8 +84,8 @@ CompiledMatch CompiledPolicy::lower_match(const Match& match,
   return out;
 }
 
-CompiledTarget CompiledPolicy::lower_target(const Target& target,
-                                            const CompileOptions& options) {
+CompiledTarget CompiledPolicyTree::lower_target(const Target& target,
+                                                const CompileOptions& options) {
   std::vector<CompiledMatch> matches;
   std::vector<std::uint32_t> all_of_ends;
   std::vector<std::uint32_t> any_of_ends;
@@ -104,14 +104,14 @@ CompiledTarget CompiledPolicy::lower_target(const Target& target,
   return out;
 }
 
-void CompiledPolicy::emit_ast(const Expression& expr, std::vector<Instr>* code) {
+void CompiledPolicyTree::emit_ast(const Expression& expr, std::vector<Instr>* code) {
   code->push_back(Instr{OpCode::kEvalAst,
                         static_cast<std::uint32_t>(ast_exprs_.size())});
   ast_exprs_.push_back(&expr);
 }
 
-void CompiledPolicy::lower_expr(const Expression& expr, std::vector<Instr>* code,
-                                const CompileOptions& options) {
+void CompiledPolicyTree::lower_expr(const Expression& expr, std::vector<Instr>* code,
+                                    const CompileOptions& options) {
   switch (expr.kind()) {
     case ExprKind::kLiteral: {
       const auto& lit = static_cast<const LiteralExpr&>(expr);
@@ -171,8 +171,8 @@ void CompiledPolicy::lower_expr(const Expression& expr, std::vector<Instr>* code
   emit_ast(expr, code);  // unreachable: future ExprKinds degrade safely
 }
 
-CompiledProgram CompiledPolicy::lower_condition(const Expression& expr,
-                                                const CompileOptions& options) {
+CompiledProgram CompiledPolicyTree::lower_program(const Expression& expr,
+                                                 const CompileOptions& options) {
   std::vector<Instr> code;
   lower_expr(expr, &code, options);
   CompiledProgram out;
@@ -181,36 +181,113 @@ CompiledProgram CompiledPolicy::lower_condition(const Expression& expr,
   return out;
 }
 
-void CompiledPolicy::build(const CompileOptions& options) {
-  stats_.compiled_policies = 1;
-  rule_algorithm_ = CombiningRegistry::standard().find(source_.rule_combining);
-  if (rule_algorithm_ == nullptr) {
-    diagnostics_.push_back("unknown rule-combining algorithm '" +
-                           source_.rule_combining + "'");
+std::pair<std::uint32_t, std::uint32_t> CompiledPolicyTree::lower_obligations(
+    const std::vector<ObligationExpr>& obligations, const CompileOptions& options) {
+  const auto begin = static_cast<std::uint32_t>(obligations_.size());
+  for (const ObligationExpr& ob : obligations) {
+    CompiledObligation co;
+    co.source = &ob;
+    co.assignments_begin = static_cast<std::uint32_t>(assignments_.size());
+    for (const AttributeAssignmentExpr& a : ob.assignments) {
+      CompiledAssignment ca;
+      ca.source = &a;
+      // A null assignment expression stays an empty program and raises
+      // the interpreter's null-assignment error at instantiation.
+      if (a.expr) ca.program = lower_program(*a.expr, options);
+      assignments_.push_back(ca);
+    }
+    co.assignments_end = static_cast<std::uint32_t>(assignments_.size());
+    obligations_.push_back(co);
+    ++stats_.obligations;
   }
-  target_ = lower_target(source_.target_spec, options);
+  return {begin, static_cast<std::uint32_t>(obligations_.size())};
+}
 
-  rules_.reserve(source_.rules.size());
-  for (const Rule& rule : source_.rules) {
-    CompiledRule cr;
-    cr.source = &rule;
-    cr.effect = rule.effect;
-    if (rule.target.has_value() && !rule.target->empty()) {
-      cr.has_target = true;
-      cr.target = lower_target(*rule.target, options);
+std::uint32_t CompiledPolicyTree::build_node(const PolicyTreeNode& node,
+                                             const CompileOptions& options) {
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  TreeNode n;  // filled locally: recursion below may reallocate nodes_
+  n.source = &node;
+
+  if (const auto* policy = dynamic_cast<const Policy*>(&node)) {
+    ++stats_.compiled_policies;
+    n.kind = NodeKind::kPolicy;
+    n.algorithm = CombiningRegistry::standard().find(policy->rule_combining);
+    if (n.algorithm == nullptr) {
+      diagnostics_.push_back("unknown rule-combining algorithm '" +
+                             policy->rule_combining + "' in policy '" +
+                             policy->policy_id + "'");
     }
-    if (rule.condition) {
-      cr.has_condition = true;
-      cr.condition = lower_condition(*rule.condition, options);
+    n.target = lower_target(policy->target_spec, options);
+    n.rules_begin = static_cast<std::uint32_t>(rules_.size());
+    for (const Rule& rule : policy->rules) {
+      CompiledRule cr;
+      cr.source = &rule;
+      cr.effect = rule.effect;
+      if (rule.target.has_value() && !rule.target->empty()) {
+        cr.has_target = true;
+        cr.target = lower_target(*rule.target, options);
+      }
+      if (rule.condition) {
+        cr.has_condition = true;
+        cr.condition = lower_program(*rule.condition, options);
+      }
+      std::tie(cr.obligations_begin, cr.obligations_end) =
+          lower_obligations(rule.obligations, options);
+      rules_.push_back(cr);
     }
-    rules_.push_back(cr);
+    n.rules_end = static_cast<std::uint32_t>(rules_.size());
+    std::tie(n.obligations_begin, n.obligations_end) =
+        lower_obligations(policy->obligations, options);
+  } else if (const auto* set = dynamic_cast<const PolicySet*>(&node)) {
+    ++stats_.policy_sets;
+    n.kind = NodeKind::kSet;
+    n.algorithm = CombiningRegistry::standard().find(set->policy_combining);
+    if (n.algorithm == nullptr) {
+      diagnostics_.push_back("unknown policy-combining algorithm '" +
+                             set->policy_combining + "' in policy set '" +
+                             set->policy_set_id + "'");
+    }
+    n.target = lower_target(set->target_spec, options);
+    std::tie(n.obligations_begin, n.obligations_end) =
+        lower_obligations(set->obligations, options);
+    // Children recurse into a local list first so this set's slice of
+    // set_children_ stays contiguous despite nested sets appending their
+    // own slices mid-recursion.
+    std::vector<std::uint32_t> children;
+    children.reserve(set->children().size());
+    for (const PolicyNodePtr& child : set->children()) {
+      children.push_back(build_node(*child, options));
+    }
+    n.children_begin = static_cast<std::uint32_t>(set_children_.size());
+    set_children_.insert(set_children_.end(), children.begin(), children.end());
+    n.children_end = static_cast<std::uint32_t>(set_children_.size());
+  } else {
+    // PolicyReference — and any future node kind, which degrades to the
+    // same dynamic per-request resolution rather than a wrong decision.
+    ++stats_.references;
+    n.kind = NodeKind::kReference;
+    if (options.reference_resolves && !options.reference_resolves(node.id())) {
+      diagnostics_.push_back("policy reference '" + node.id() +
+                             "' did not resolve at compile time (resolved "
+                             "per request against the evaluation store)");
+    }
   }
+
+  nodes_[index] = n;
+  return index;
+}
+
+void CompiledPolicyTree::build(const CompileOptions& options) {
+  build_node(*source_, options);
   stats_.rules = rules_.size();
 
-  // The once-materialised rule Combinable list: what the interpreter
-  // rebuilt on every Policy::evaluate call. Pointers into rules_ are
-  // stable (fully built above, never mutated again); `this` is stable
-  // because compiled policies only live behind shared_ptr.
+  // The once-materialised Combinable lists: what the interpreter rebuilt
+  // on every Policy::evaluate (rules) and PolicySet::evaluate (children)
+  // call. Pointers into rules_ / nodes_ are stable (fully built above,
+  // never mutated again); `this` is stable because compiled trees only
+  // live behind shared_ptr.
   rule_combinables_.reserve(rules_.size());
   rule_ptrs_.reserve(rules_.size());
   for (const CompiledRule& cr : rules_) {
@@ -221,6 +298,18 @@ void CompiledPolicy::build(const CompileOptions& options) {
         [this, rule](EvaluationContext& ctx) { return evaluate_rule(*rule, ctx); }});
   }
   for (const Combinable& c : rule_combinables_) rule_ptrs_.push_back(&c);
+
+  child_combinables_.reserve(set_children_.size());
+  child_ptrs_.reserve(set_children_.size());
+  for (const std::uint32_t child : set_children_) {
+    const TreeNode* node = &nodes_[child];
+    child_combinables_.push_back(Combinable{
+        node->source->id(),
+        [this, node](EvaluationContext& ctx) { return node_match(*node, ctx); },
+        [this, node](EvaluationContext& ctx) { return node_evaluate(*node, ctx); }});
+  }
+  for (const Combinable& c : child_combinables_) child_ptrs_.push_back(&c);
+
   stats_.arena_bytes = arena_.bytes_allocated();
 }
 
@@ -229,8 +318,8 @@ void CompiledPolicy::build(const CompileOptions& options) {
 // reference implementations these mirror)
 // ---------------------------------------------------------------------
 
-MatchResult CompiledPolicy::eval_match(const CompiledMatch& match,
-                                       EvaluationContext& ctx) const {
+MatchResult CompiledPolicyTree::eval_match(const CompiledMatch& match,
+                                           EvaluationContext& ctx) const {
   const bool standard_registry = &ctx.functions() == &FunctionRegistry::standard();
   const FunctionDef* fn =
       standard_registry ? match.function : ctx.functions().find(*match.function_id);
@@ -278,8 +367,8 @@ MatchResult CompiledPolicy::eval_match(const CompiledMatch& match,
                                           looked_up.bag, /*filter=*/false, ctx);
 }
 
-MatchResult CompiledPolicy::eval_target(const CompiledTarget& target,
-                                        EvaluationContext& ctx) const {
+MatchResult CompiledPolicyTree::eval_target(const CompiledTarget& target,
+                                            EvaluationContext& ctx) const {
   ++ctx.metrics().targets_checked;
   bool saw_indeterminate = false;
   std::uint32_t group_begin = 0;
@@ -321,9 +410,9 @@ MatchResult CompiledPolicy::eval_target(const CompiledTarget& target,
   return saw_indeterminate ? MatchResult::kIndeterminate : MatchResult::kMatch;
 }
 
-ExprResult CompiledPolicy::run_program(const CompiledProgram& program,
-                                       EvaluationContext& ctx,
-                                       CompiledEvalScratch& scratch) const {
+ExprResult CompiledPolicyTree::run_program(const CompiledProgram& program,
+                                           EvaluationContext& ctx,
+                                           CompiledEvalScratch& scratch) const {
   // Execute above the caller's stack frames: re-entrant evaluation (a
   // resolver calling back into the PDP mid-condition) nests safely. The
   // guard restores the frame even if a user-supplied resolver or
@@ -394,14 +483,87 @@ ExprResult CompiledPolicy::run_program(const CompiledProgram& program,
   return out;
 }
 
-MatchResult CompiledPolicy::rule_match(const CompiledRule& rule,
-                                       EvaluationContext& ctx) const {
+ExprResult CompiledPolicyTree::run_lowered(const CompiledProgram& program,
+                                           const Expression& ast,
+                                           EvaluationContext& ctx) const {
+  if (&ctx.functions() != &FunctionRegistry::standard()) {
+    // The program's function resolutions are against the standard
+    // registry; a custom registry gets the AST, which consults it the
+    // way the interpreter always did.
+    return ast.evaluate(ctx);
+  }
+  if (CompiledEvalScratch* scratch = ctx.compiled_scratch()) {
+    return run_program(program, ctx, *scratch);
+  }
+  CompiledEvalScratch local;
+  return run_program(program, ctx, local);
+}
+
+Status CompiledPolicyTree::instantiate_obligation(const CompiledObligation& obligation,
+                                                  EvaluationContext& ctx,
+                                                  ObligationInstance* out) const {
+  // Mirrors ObligationExpr::instantiate, with assignment values coming
+  // from the lowered programs.
+  out->id = obligation.source->id;
+  out->assignments.clear();
+  for (std::uint32_t i = obligation.assignments_begin; i < obligation.assignments_end;
+       ++i) {
+    const CompiledAssignment& a = assignments_[i];
+    if (!a.source->expr) {
+      return Status::processing_error("obligation '" + obligation.source->id +
+                                      "': null assignment");
+    }
+    const ExprResult r = run_lowered(a.program, *a.source->expr, ctx);
+    if (!r.ok()) return r.status;
+    if (r.bag.size() != 1) {
+      return Status::processing_error("obligation '" + obligation.source->id +
+                                      "': assignment must yield one value");
+    }
+    out->assignments.emplace_back(a.source->attribute_id, r.bag.at(0));
+  }
+  return Status::okay();
+}
+
+void CompiledPolicyTree::attach_compiled_obligations(std::uint32_t begin,
+                                                     std::uint32_t end,
+                                                     EvaluationContext& ctx,
+                                                     Decision* decision) const {
+  // Mirrors attach_obligations (core/policy.cpp).
+  if (decision->type != DecisionType::kPermit &&
+      decision->type != DecisionType::kDeny) {
+    return;
+  }
+  const Effect decided = decision->type == DecisionType::kPermit
+                             ? Effect::kPermit
+                             : Effect::kDeny;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const CompiledObligation& ob = obligations_[i];
+    if (ob.source->fulfill_on != decided) continue;
+    ObligationInstance instance;
+    const Status s = instantiate_obligation(ob, ctx, &instance);
+    if (!s.ok()) {
+      const IndeterminateExtent extent = decided == Effect::kPermit
+                                             ? IndeterminateExtent::kP
+                                             : IndeterminateExtent::kD;
+      *decision = Decision::indeterminate(extent, s);
+      return;
+    }
+    if (ob.source->advice) {
+      decision->advice.push_back(std::move(instance));
+    } else {
+      decision->obligations.push_back(std::move(instance));
+    }
+  }
+}
+
+MatchResult CompiledPolicyTree::rule_match(const CompiledRule& rule,
+                                           EvaluationContext& ctx) const {
   if (!rule.has_target) return MatchResult::kMatch;
   return eval_target(rule.target, ctx);
 }
 
-Decision CompiledPolicy::evaluate_rule(const CompiledRule& rule,
-                                       EvaluationContext& ctx) const {
+Decision CompiledPolicyTree::evaluate_rule(const CompiledRule& rule,
+                                           EvaluationContext& ctx) const {
   ++ctx.metrics().rules_evaluated;
   const IndeterminateExtent my_extent = rule.effect == Effect::kPermit
                                             ? IndeterminateExtent::kP
@@ -419,18 +581,7 @@ Decision CompiledPolicy::evaluate_rule(const CompiledRule& rule,
   }
 
   if (rule.has_condition) {
-    ExprResult r;
-    if (&ctx.functions() != &FunctionRegistry::standard()) {
-      // The program's function resolutions are against the standard
-      // registry; a custom registry gets the AST, which consults it the
-      // way the interpreter always did.
-      r = rule.source->condition->evaluate(ctx);
-    } else if (CompiledEvalScratch* scratch = ctx.compiled_scratch()) {
-      r = run_program(rule.condition, ctx, *scratch);
-    } else {
-      CompiledEvalScratch local;
-      r = run_program(rule.condition, ctx, local);
-    }
+    const ExprResult r = run_lowered(rule.condition, *rule.source->condition, ctx);
     if (!r.ok()) return Decision::indeterminate(my_extent, r.status);
     if (r.bag.size() != 1 || !r.bag.at(0).is_boolean()) {
       return Decision::indeterminate(
@@ -441,42 +592,149 @@ Decision CompiledPolicy::evaluate_rule(const CompiledRule& rule,
   }
 
   Decision d = rule.effect == Effect::kPermit ? Decision::permit() : Decision::deny();
-  attach_obligations(rule.source->obligations, ctx, &d);
+  attach_compiled_obligations(rule.obligations_begin, rule.obligations_end, ctx, &d);
   return d;
 }
 
-MatchResult CompiledPolicy::match(EvaluationContext& ctx) const {
-  if (target_.empty()) return MatchResult::kMatch;
-  return eval_target(target_, ctx);
+MatchResult CompiledPolicyTree::node_match(const TreeNode& node,
+                                           EvaluationContext& ctx) const {
+  if (node.kind == NodeKind::kReference) return reference_match(node, ctx);
+  if (node.target.empty()) return MatchResult::kMatch;
+  return eval_target(node.target, ctx);
 }
 
-Decision CompiledPolicy::evaluate(EvaluationContext& ctx) const {
-  ++ctx.metrics().policies_evaluated;
+Decision CompiledPolicyTree::node_evaluate(const TreeNode& node,
+                                           EvaluationContext& ctx) const {
+  switch (node.kind) {
+    case NodeKind::kPolicy:
+      return evaluate_policy(node, ctx);
+    case NodeKind::kSet:
+      return evaluate_set(node, ctx);
+    case NodeKind::kReference:
+      return evaluate_reference(node, ctx);
+  }
+  return Decision::not_applicable();  // unreachable
+}
 
-  const MatchResult m = match(ctx);
+Decision CompiledPolicyTree::evaluate_policy(const TreeNode& node,
+                                             EvaluationContext& ctx) const {
+  ++ctx.metrics().policies_evaluated;
+  const auto& policy = static_cast<const Policy&>(*node.source);
+
+  const MatchResult m = node_match(node, ctx);
   if (m == MatchResult::kNoMatch) return Decision::not_applicable();
 
-  if (rule_algorithm_ == nullptr) {
+  if (node.algorithm == nullptr) {
     return Decision::indeterminate(
         IndeterminateExtent::kDP,
-        Status::syntax_error("policy '" + source_.policy_id +
+        Status::syntax_error("policy '" + policy.policy_id +
                              "': unknown rule-combining algorithm '" +
-                             source_.rule_combining + "'"));
+                             policy.rule_combining + "'"));
   }
 
-  Decision combined = rule_algorithm_->combine(
-      std::span<const Combinable* const>(rule_ptrs_), ctx);
+  Decision combined = node.algorithm->combine(
+      std::span<const Combinable* const>(rule_ptrs_.data() + node.rules_begin,
+                                         node.rules_end - node.rules_begin),
+      ctx);
 
   if (m == MatchResult::kIndeterminate) {
     return detail::mask_by_indeterminate_target(std::move(combined),
-                                                source_.policy_id);
+                                                policy.policy_id);
   }
-  attach_obligations(source_.obligations, ctx, &combined);
+  attach_compiled_obligations(node.obligations_begin, node.obligations_end, ctx,
+                              &combined);
   return combined;
 }
 
+Decision CompiledPolicyTree::evaluate_set(const TreeNode& node,
+                                          EvaluationContext& ctx) const {
+  ++ctx.metrics().policies_evaluated;
+  const auto& set = static_cast<const PolicySet&>(*node.source);
+
+  const MatchResult m = node_match(node, ctx);
+  if (m == MatchResult::kNoMatch) return Decision::not_applicable();
+
+  if (node.algorithm == nullptr) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::syntax_error("policy set '" + set.policy_set_id +
+                             "': unknown policy-combining algorithm '" +
+                             set.policy_combining + "'"));
+  }
+
+  Decision combined = node.algorithm->combine(
+      std::span<const Combinable* const>(child_ptrs_.data() + node.children_begin,
+                                         node.children_end - node.children_begin),
+      ctx);
+
+  if (m == MatchResult::kIndeterminate) {
+    return detail::mask_by_indeterminate_target(std::move(combined),
+                                                set.policy_set_id);
+  }
+  attach_compiled_obligations(node.obligations_begin, node.obligations_end, ctx,
+                              &combined);
+  return combined;
+}
+
+MatchResult CompiledPolicyTree::reference_match(const TreeNode& node,
+                                                EvaluationContext& ctx) const {
+  // Mirrors PolicyReference::match: dynamic resolution through the
+  // context's store, so the reference always follows the live working
+  // set. When the store carries a compiled artifact for the referenced
+  // id, that artifact runs (it is kept in sync with the node by
+  // PolicyStore::add); otherwise the referenced node interprets.
+  const std::string& ref_id = node.source->id();
+  const PolicyTreeNode* target =
+      ctx.store() == nullptr ? nullptr : ctx.store()->find(ref_id);
+  if (target == nullptr) return MatchResult::kIndeterminate;
+  if (!ctx.enter_reference(ref_id)) return MatchResult::kIndeterminate;
+  MatchResult m;
+  if (const auto attached = ctx.store()->compiled(ref_id)) {
+    m = attached->match(ctx);
+  } else {
+    m = target->match(ctx);
+  }
+  ctx.leave_reference(ref_id);
+  return m;
+}
+
+Decision CompiledPolicyTree::evaluate_reference(const TreeNode& node,
+                                                EvaluationContext& ctx) const {
+  // Mirrors PolicyReference::evaluate — resolution, cycle detection and
+  // error texts included. See reference_match for the resolution notes.
+  const std::string& ref_id = node.source->id();
+  const PolicyTreeNode* target =
+      ctx.store() == nullptr ? nullptr : ctx.store()->find(ref_id);
+  if (target == nullptr) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::processing_error("unresolved policy reference '" + ref_id + "'"));
+  }
+  if (!ctx.enter_reference(ref_id)) {
+    return Decision::indeterminate(
+        IndeterminateExtent::kDP,
+        Status::processing_error("policy reference cycle at '" + ref_id + "'"));
+  }
+  Decision d;
+  if (const auto attached = ctx.store()->compiled(ref_id)) {
+    d = attached->evaluate(ctx);
+  } else {
+    d = target->evaluate(ctx);
+  }
+  ctx.leave_reference(ref_id);
+  return d;
+}
+
+MatchResult CompiledPolicyTree::match(EvaluationContext& ctx) const {
+  return node_match(nodes_.front(), ctx);
+}
+
+Decision CompiledPolicyTree::evaluate(EvaluationContext& ctx) const {
+  return node_evaluate(nodes_.front(), ctx);
+}
+
 // ---------------------------------------------------------------------
-// Vocabulary extraction
+// Vocabulary and reference extraction
 // ---------------------------------------------------------------------
 
 namespace {
@@ -541,6 +799,17 @@ void collect_node_names(const PolicyTreeNode& node, std::set<std::string>* out) 
   // it is issued; the reference itself mentions none.
 }
 
+void collect_reference_ids(const PolicyTreeNode& node, std::set<std::string>* out) {
+  if (dynamic_cast<const Policy*>(&node) != nullptr) return;
+  if (const auto* set = dynamic_cast<const PolicySet*>(&node)) {
+    for (const PolicyNodePtr& child : set->children()) {
+      collect_reference_ids(*child, out);
+    }
+    return;
+  }
+  out->insert(node.id());  // PolicyReference
+}
+
 }  // namespace
 
 std::vector<std::string> referenced_attribute_names(const Policy& policy) {
@@ -553,6 +822,12 @@ std::vector<std::string> referenced_attribute_names(const PolicyTreeNode& node) 
   std::set<std::string> names;
   collect_node_names(node, &names);
   return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::vector<std::string> referenced_policy_ids(const PolicyTreeNode& node) {
+  std::set<std::string> ids;
+  collect_reference_ids(node, &ids);
+  return std::vector<std::string>(ids.begin(), ids.end());
 }
 
 }  // namespace mdac::core

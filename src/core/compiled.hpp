@@ -1,44 +1,62 @@
 // Compiled policy programs: the arena-backed, symbol-resolved evaluation
 // core that the PDP hot loop executes instead of interpreting the policy
-// AST (ISSUE 3 tentpole).
+// AST (ISSUE 3 tentpole; generalised to whole PolicySet trees and
+// lowered obligation programs by ISSUE 5).
 //
 // The interpreted path (core/policy.cpp) re-derives per-request state
 // that never changes between requests: every Match re-finds its function
 // and re-hashes its attribute name through the interner, every
 // Policy::evaluate re-materialises a std::vector<Combinable> over its
-// rules (~6 allocations per uncached decision, see PERF.md), and every
-// condition walks a pointer-chasing expression tree. A CompiledPolicy
-// does all of that exactly once, at the trusted PAP/PDP boundary:
+// rules, every PolicySet::evaluate re-materialises one over its children
+// (~6+ allocations per uncached decision, see PERF.md), and every
+// condition or obligation assignment walks a pointer-chasing expression
+// tree. A CompiledPolicyTree does all of that exactly once, at the
+// trusted PAP/PDP boundary:
 //
-//   * targets and rule targets are lowered into contiguous match tables
-//     (flattened AnyOf/AllOf offsets + CompiledMatch entries) whose
-//     attribute ids are pre-resolved to interner Symbols and whose
-//     functions are pre-resolved against the standard registry;
-//   * condition expressions are lowered into flat postfix instruction
-//     programs (literal/designator/apply pools); higher-order applies and
-//     anything not provably lowerable fall back to one kEvalAst
-//     instruction over the owned AST, preserving interpreter semantics
-//     to the byte (error texts included);
-//   * each policy's rule Combinable list is materialised once, so
-//     CombiningAlgorithm::combine always receives a prebuilt span and
-//     steady-state evaluation allocates nothing.
+//   * targets — set-level, policy-level and rule-level — are lowered into
+//     contiguous match tables (flattened AnyOf/AllOf offsets +
+//     CompiledMatch entries) whose attribute ids are pre-resolved to
+//     interner Symbols and whose functions are pre-resolved against the
+//     standard registry;
+//   * condition expressions AND obligation assignment expressions are
+//     lowered into flat postfix instruction programs (literal/designator/
+//     apply pools); higher-order applies and anything not provably
+//     lowerable fall back to one kEvalAst instruction over the owned AST,
+//     preserving interpreter semantics to the byte (error texts included);
+//   * each policy's rule Combinable list and each set's child Combinable
+//     list are materialised once, so CombiningAlgorithm::combine always
+//     receives a prebuilt span and steady-state evaluation allocates
+//     nothing;
+//   * nested PolicySets compile recursively into the same artifact;
+//     PolicyReference nodes stay *dynamic*: they resolve through the
+//     evaluation context's PolicyStore per request — executing the
+//     store-attached compiled artifact of the referenced node when one
+//     exists, interpreting it otherwise. That keeps reference semantics
+//     (resolution, cycle detection, error texts) byte-identical to the
+//     interpreter and makes stale-artifact bugs structurally impossible:
+//     a compiled set can never serve a withdrawn or replaced referenced
+//     policy, because the reference always follows the live store (the
+//     PAP additionally recompiles dependent artifacts on update so their
+//     compile-time diagnostics stay faithful — see pap::PolicyRepository).
 //
-// A CompiledPolicy owns a clone of its source Policy (every internal
+// A CompiledPolicyTree owns a clone of its source node (every internal
 // pointer targets that clone or the arena), so one compiled artifact is
 // self-contained and freely shared: the PAP compiles on issue and every
 // PDP replica loading the repository references the same immutable
 // object (tests/pap_test.cpp pins the sharing down). Decisions are
 // bit-identical to the interpreter — tests/compiled_differential_test.cpp
-// proves it over randomized federation-shaped workloads; the interpreted
-// path stays alive behind PdpConfig::use_compiled for exactly that
-// differential testing.
+// proves it over randomized federation-shaped workloads, including
+// nested-set trees with references; the interpreted path stays alive
+// behind PdpConfig::use_compiled for exactly that differential testing.
 //
 // Unknown-at-compile-time names (symbol table exhausted, or compiling
 // with intern_names=false) are recorded as compile diagnostics and
 // degrade to the string-keyed lookup path — never to a wrong decision.
+// Unknown combining algorithms and unresolvable references likewise
+// degrade per node with a diagnostic.
 //
-// Thread-safety: a CompiledPolicy is immutable after compile() and safe
-// to share across threads. Mutable evaluation state lives in
+// Thread-safety: a CompiledPolicyTree is immutable after compile() and
+// safe to share across threads. Mutable evaluation state lives in
 // CompiledEvalScratch, which each Pdp owns privately and threads through
 // the EvaluationContext.
 #pragma once
@@ -47,6 +65,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -65,7 +84,7 @@ struct FunctionDef;
 
 /// Bump-pointer arena backing the compiled instruction/match tables.
 /// Chunks never move once allocated, so spans into the arena stay valid
-/// for the owning CompiledPolicy's lifetime. Restricted to trivially
+/// for the owning CompiledPolicyTree's lifetime. Restricted to trivially
 /// destructible element types: the arena frees memory wholesale.
 class Arena {
  public:
@@ -99,7 +118,7 @@ class Arena {
 };
 
 /// One lowered target Match. Pointer members target the owning
-/// CompiledPolicy's source AST clone (stable for the artifact's
+/// CompiledPolicyTree's source AST clone (stable for the artifact's
 /// lifetime); `function` is the standard-registry resolution (null when
 /// the function is unknown or higher-order — evaluates Indeterminate,
 /// like the interpreter). A custom FunctionRegistry on the evaluation
@@ -132,8 +151,8 @@ struct CompiledTarget {
   bool empty() const { return any_of_ends.empty(); }
 };
 
-/// Postfix condition program opcodes. Operands index the owning
-/// CompiledPolicy's pools.
+/// Postfix program opcodes (conditions and obligation assignments share
+/// one program shape). Operands index the owning artifact's pools.
 enum class OpCode : std::uint8_t {
   kPushLiteral,    // push literal bag [index into literal pool]
   kLoadAttribute,  // push designator lookup [index into designator pool]
@@ -161,7 +180,25 @@ struct CompiledApply {
 };
 
 struct CompiledProgram {
-  std::span<const Instr> code;  // empty = no condition
+  std::span<const Instr> code;  // empty = no condition / null assignment
+};
+
+/// One lowered obligation assignment expression. `source` targets the
+/// owning artifact's AST clone; a null source expression is preserved as
+/// an empty program and reproduces the interpreter's null-assignment
+/// error at instantiation time.
+struct CompiledAssignment {
+  const AttributeAssignmentExpr* source = nullptr;
+  CompiledProgram program;
+};
+
+/// One lowered ObligationExpr: effect/advice routing reads the source,
+/// assignment values come from the postfix programs (ISSUE 5 tentpole —
+/// previously obligations always re-walked the expression AST).
+struct CompiledObligation {
+  const ObligationExpr* source = nullptr;
+  std::uint32_t assignments_begin = 0;  // into the artifact's assignment pool
+  std::uint32_t assignments_end = 0;
 };
 
 struct CompiledRule {
@@ -169,26 +206,35 @@ struct CompiledRule {
   CompiledTarget target;
   CompiledProgram condition;
   Effect effect = Effect::kPermit;
-  bool has_target = false;     // target present and non-empty
+  bool has_target = false;  // target present and non-empty
   bool has_condition = false;
+  std::uint32_t obligations_begin = 0;  // into the artifact's obligation pool
+  std::uint32_t obligations_end = 0;
 };
 
 /// What compilation produced — surfaced through PdpResult so operators
-/// can see how much of the working set runs compiled.
+/// can see how much of the working set runs compiled, and at what shape
+/// (set-level stats included since the tree compiler landed).
 struct CompileStats {
-  std::size_t compiled_policies = 0;
+  std::size_t compiled_policies = 0;  // Policy nodes lowered (any depth)
+  std::size_t policy_sets = 0;        // PolicySet nodes lowered
+  std::size_t references = 0;         // PolicyReference nodes (dynamic)
   std::size_t interpreted_nodes = 0;  // top-level nodes without a program
   std::size_t rules = 0;
+  std::size_t obligations = 0;  // ObligationExprs with lowered assignments
   std::size_t matches = 0;
   std::size_t instructions = 0;
   std::size_t unresolved_names = 0;  // attribute ids without a symbol
-  std::size_t ast_fallbacks = 0;     // condition subtrees kept as AST
+  std::size_t ast_fallbacks = 0;     // expression subtrees kept as AST
   std::size_t arena_bytes = 0;
 
   void accumulate(const CompileStats& other) {
     compiled_policies += other.compiled_policies;
+    policy_sets += other.policy_sets;
+    references += other.references;
     interpreted_nodes += other.interpreted_nodes;
     rules += other.rules;
+    obligations += other.obligations;
     matches += other.matches;
     instructions += other.instructions;
     unresolved_names += other.unresolved_names;
@@ -199,7 +245,7 @@ struct CompileStats {
   bool operator==(const CompileStats&) const = default;
 };
 
-/// Reusable condition-program evaluation state. One per Pdp, wired
+/// Reusable postfix-program evaluation state. One per Pdp, wired
 /// through EvaluationContext::set_compiled_scratch; programs execute
 /// above a saved stack base, so re-entrant evaluation (a resolver
 /// calling back into the PDP) nests safely on one scratch. `args_pool`
@@ -227,47 +273,85 @@ struct CompileOptions {
   /// keys. False = resolve-only: names nobody interned stay on the
   /// string-lookup path and are recorded as diagnostics.
   bool intern_names = true;
+
+  /// Optional compile-time existence probe for policy references: called
+  /// with each referenced id; returning false records a compile
+  /// diagnostic. Purely advisory — references always resolve through the
+  /// evaluation context's PolicyStore per request (see the header
+  /// comment), so decisions never depend on this probe. The PAP passes
+  /// its issued set, the PDP its store.
+  std::function<bool(const std::string&)> reference_resolves;
 };
 
-class CompiledPolicy {
+/// A compiled policy tree: one immutable artifact covering a whole
+/// top-level PolicyTreeNode — a plain Policy, a (nested) PolicySet, or a
+/// PolicyReference. See the file header for the lowering and sharing
+/// contracts.
+class CompiledPolicyTree {
  public:
-  /// Compiles `policy` into a self-contained, immutable, shareable
-  /// artifact (the policy is cloned; the caller's object is not
+  /// Compiles `node` into a self-contained, immutable, shareable
+  /// artifact (the node is cloned; the caller's object is not
   /// referenced). Never fails: anything not lowerable degrades to the
-  /// AST with a diagnostic, and evaluation stays interpreter-identical.
-  static std::shared_ptr<const CompiledPolicy> compile(const Policy& policy,
-                                                       CompileOptions options = {});
+  /// AST (or to dynamic per-request resolution, for references) with a
+  /// diagnostic, and evaluation stays interpreter-identical.
+  static std::shared_ptr<const CompiledPolicyTree> compile(const PolicyTreeNode& node,
+                                                           CompileOptions options = {});
 
-  CompiledPolicy(const CompiledPolicy&) = delete;
-  CompiledPolicy& operator=(const CompiledPolicy&) = delete;
+  CompiledPolicyTree(const CompiledPolicyTree&) = delete;
+  CompiledPolicyTree& operator=(const CompiledPolicyTree&) = delete;
 
-  const std::string& id() const { return source_.policy_id; }
-  const Policy& source() const { return source_; }
+  const std::string& id() const { return source_->id(); }
+  /// The owned source clone (root of the compiled tree).
+  const PolicyTreeNode& source() const { return *source_; }
 
-  /// Interpreter-equivalent Policy::match / Policy::evaluate over the
+  /// Interpreter-equivalent PolicyTreeNode::match / ::evaluate over the
   /// compiled tables. Scratch comes from the context when wired (the
   /// Pdp's persistent buffers); otherwise a local fallback is used.
+  /// Reference nodes resolve through the context's store; both calls are
+  /// safe from any thread (the artifact is immutable; all mutable state
+  /// is in the context and its scratch).
   MatchResult match(EvaluationContext& ctx) const;
   Decision evaluate(EvaluationContext& ctx) const;
-
-  /// The rule Combinables materialised at compile time — what
-  /// CombiningAlgorithm::combine receives with no per-request setup.
-  std::span<const Combinable* const> rule_combinables() const { return rule_ptrs_; }
 
   const CompileStats& stats() const { return stats_; }
   const std::vector<std::string>& diagnostics() const { return diagnostics_; }
 
  private:
-  explicit CompiledPolicy(Policy source) : source_(std::move(source)) {}
+  enum class NodeKind : std::uint8_t { kPolicy, kSet, kReference };
+
+  /// One node of the compiled tree (root at nodes_[0], children of sets
+  /// recorded in set_children_ ranges). Trivially copyable: every
+  /// non-trivial structure lives in the artifact's pools.
+  struct TreeNode {
+    NodeKind kind = NodeKind::kPolicy;
+    const PolicyTreeNode* source = nullptr;  // into the owned clone
+    CompiledTarget target;                   // empty = always-match
+    const CombiningAlgorithm* algorithm = nullptr;  // rule-/policy-combining
+    std::uint32_t rules_begin = 0, rules_end = 0;        // kPolicy: into rules_
+    std::uint32_t children_begin = 0, children_end = 0;  // kSet: into child_ptrs_
+    std::uint32_t obligations_begin = 0, obligations_end = 0;
+  };
+
+  explicit CompiledPolicyTree(PolicyNodePtr source) : source_(std::move(source)) {}
 
   void build(const CompileOptions& options);
+  std::uint32_t build_node(const PolicyTreeNode& node, const CompileOptions& options);
+  std::pair<std::uint32_t, std::uint32_t> lower_obligations(
+      const std::vector<ObligationExpr>& obligations, const CompileOptions& options);
   CompiledTarget lower_target(const Target& target, const CompileOptions& options);
   CompiledMatch lower_match(const Match& match, const CompileOptions& options);
-  CompiledProgram lower_condition(const Expression& expr, const CompileOptions& options);
+  CompiledProgram lower_program(const Expression& expr, const CompileOptions& options);
   void lower_expr(const Expression& expr, std::vector<Instr>* code,
                   const CompileOptions& options);
   void emit_ast(const Expression& expr, std::vector<Instr>* code);
   common::Symbol resolve_symbol(const std::string& name, const CompileOptions& options);
+
+  MatchResult node_match(const TreeNode& node, EvaluationContext& ctx) const;
+  Decision node_evaluate(const TreeNode& node, EvaluationContext& ctx) const;
+  Decision evaluate_policy(const TreeNode& node, EvaluationContext& ctx) const;
+  Decision evaluate_set(const TreeNode& node, EvaluationContext& ctx) const;
+  Decision evaluate_reference(const TreeNode& node, EvaluationContext& ctx) const;
+  MatchResult reference_match(const TreeNode& node, EvaluationContext& ctx) const;
 
   MatchResult eval_target(const CompiledTarget& target, EvaluationContext& ctx) const;
   MatchResult eval_match(const CompiledMatch& match, EvaluationContext& ctx) const;
@@ -275,14 +359,33 @@ class CompiledPolicy {
   Decision evaluate_rule(const CompiledRule& rule, EvaluationContext& ctx) const;
   ExprResult run_program(const CompiledProgram& program, EvaluationContext& ctx,
                          CompiledEvalScratch& scratch) const;
+  /// Runs a lowered program with the interpreter's exact fallbacks: a
+  /// custom function registry evaluates the AST instead (the program's
+  /// resolutions are against the standard registry), and scratch is the
+  /// context's persistent buffers when wired, a local otherwise.
+  ExprResult run_lowered(const CompiledProgram& program, const Expression& ast,
+                         EvaluationContext& ctx) const;
+  void attach_compiled_obligations(std::uint32_t begin, std::uint32_t end,
+                                   EvaluationContext& ctx, Decision* decision) const;
+  Status instantiate_obligation(const CompiledObligation& obligation,
+                                EvaluationContext& ctx, ObligationInstance* out) const;
 
-  Policy source_;  // owned clone; all table pointers target it
+  PolicyNodePtr source_;  // owned clone; all table pointers target it
   Arena arena_;
-  CompiledTarget target_;
+  std::vector<TreeNode> nodes_;  // nodes_[0] = root, preorder
   std::vector<CompiledRule> rules_;
+  std::vector<CompiledObligation> obligations_;
+  std::vector<CompiledAssignment> assignments_;
+  std::vector<std::uint32_t> set_children_;  // node indices, contiguous per set
+
+  // Once-materialised Combinable lists: per-policy rule spans and
+  // per-set child spans, what CombiningAlgorithm::combine receives with
+  // no per-request setup. Pointers are stable: both vectors are fully
+  // built before any pointer is taken, and the artifact is immutable.
   std::vector<Combinable> rule_combinables_;
   std::vector<const Combinable*> rule_ptrs_;
-  const CombiningAlgorithm* rule_algorithm_ = nullptr;
+  std::vector<Combinable> child_combinables_;
+  std::vector<const Combinable*> child_ptrs_;
 
   // Instruction operand pools (non-trivial or pointer-bearing — kept out
   // of the arena, contiguous regardless).
@@ -306,5 +409,11 @@ std::vector<std::string> referenced_attribute_names(const Policy& policy);
 /// (their own targets and obligations included); references contribute
 /// nothing (the referenced policy registers its names at its own issue).
 std::vector<std::string> referenced_attribute_names(const PolicyTreeNode& node);
+
+/// Every policy id `node`'s tree references through a PolicyReference,
+/// at any nesting depth. Sorted, deduplicated. The PAP's dependency
+/// tracking uses this to recompile dependent artifacts when a referenced
+/// policy is re-issued or withdrawn (pap::PolicyRepository).
+std::vector<std::string> referenced_policy_ids(const PolicyTreeNode& node);
 
 }  // namespace mdac::core

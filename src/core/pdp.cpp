@@ -112,11 +112,12 @@ void Pdp::rebuild_index() {
 
   // Resolve each top-level node's execution program: a store-attached
   // compiled artifact (the PAP compiled it on issue; every replica
-  // loading that repository shares the same object), a local compile
-  // for plain Policy nodes the store has no artifact for, or the
-  // interpreted AST (policy sets, references, use_compiled off). The
-  // Combinables built here are what the root combining algorithm
-  // receives — one materialisation per store revision, zero per request.
+  // loading that repository shares the same object), a local compile —
+  // plain policies and whole PolicySet trees alike — for nodes the
+  // store has no artifact for, or the interpreted AST (use_compiled
+  // off). The Combinables built here are what the root combining
+  // algorithm receives — one materialisation per store revision, zero
+  // per request.
   compile_stats_ = CompileStats{};
   combinables_.clear();
   combinables_.reserve(ordered_nodes_.size());
@@ -128,18 +129,22 @@ void Pdp::rebuild_index() {
   // after the repository recompiles.
   decltype(local_compile_cache_) next_cache;
   for (const PolicyTreeNode* node : ordered_nodes_) {
-    std::shared_ptr<const CompiledPolicy> compiled;
+    std::shared_ptr<const CompiledPolicyTree> compiled;
     if (config_.use_compiled) {
       if (auto attached = store_->compiled(node->id())) {
         compiled = std::move(attached);
-      } else if (const auto* policy = dynamic_cast<const Policy*>(node)) {
+      } else {
         const std::uint64_t node_revision = store_->node_revision(node->id());
         const auto cached = local_compile_cache_.find(node->id());
         if (cached != local_compile_cache_.end() &&
             cached->second.first == node_revision) {
           compiled = cached->second.second;
         } else {
-          compiled = CompiledPolicy::compile(*policy);
+          CompileOptions options;
+          options.reference_resolves = [this](const std::string& id) {
+            return store_->find(id) != nullptr;
+          };
+          compiled = CompiledPolicyTree::compile(*node, std::move(options));
         }
         next_cache[node->id()] = {node_revision, compiled};
       }

@@ -90,12 +90,13 @@ struct PdpConfig {
   /// comment). Off = one flat global partition, the pre-partitioning
   /// behaviour; decisions are identical either way.
   bool partition_by_domain = true;
-  /// Execute compiled policy programs (core/compiled.hpp) for top-level
-  /// Policy nodes: store-attached artifacts (PAP compile-on-issue) are
-  /// reused, anything else is compiled once at index-rebuild time. Off =
-  /// the interpreted AST path, kept alive for differential testing
-  /// (tests/compiled_differential_test.cpp); decisions are identical
-  /// either way.
+  /// Execute compiled policy programs (core/compiled.hpp) for every
+  /// top-level node — plain policies and whole PolicySet trees,
+  /// references included: store-attached artifacts (PAP
+  /// compile-on-issue) are reused, anything else is compiled once at
+  /// index-rebuild time. Off = the interpreted AST path, kept alive for
+  /// differential testing (tests/compiled_differential_test.cpp);
+  /// decisions are identical either way.
   bool use_compiled = true;
 };
 
@@ -221,8 +222,9 @@ class Pdp {
   /// Locally compiled artifacts carried across index rebuilds, keyed by
   /// id -> (store node revision, artifact): a store mutation recompiles
   /// only the nodes it replaced, not the whole working set.
-  std::unordered_map<std::string,
-                     std::pair<std::uint64_t, std::shared_ptr<const CompiledPolicy>>>
+  std::unordered_map<
+      std::string,
+      std::pair<std::uint64_t, std::shared_ptr<const CompiledPolicyTree>>>
       local_compile_cache_;
   CompileStats compile_stats_;
   /// Persistent condition-program buffers, wired into every evaluation

@@ -446,7 +446,7 @@ PolicySet PolicySet::clone() const {
 // ---------------------------------------------------------------------
 
 void PolicyStore::add(PolicyNodePtr node,
-                      std::shared_ptr<const CompiledPolicy> compiled) {
+                      std::shared_ptr<const CompiledPolicyTree> compiled) {
   const std::string node_id = node->id();
   if (by_id_.find(node_id) == by_id_.end()) {
     order_.push_back(node_id);
@@ -474,7 +474,7 @@ bool PolicyStore::remove(const std::string& id) {
   return true;
 }
 
-std::shared_ptr<const CompiledPolicy> PolicyStore::compiled(
+std::shared_ptr<const CompiledPolicyTree> PolicyStore::compiled(
     const std::string& id) const {
   const auto it = compiled_.find(id);
   if (it == compiled_.end()) return nullptr;

@@ -18,7 +18,7 @@
 
 namespace mdac::core {
 
-class CompiledPolicy;
+class CompiledPolicyTree;
 struct FunctionDef;
 
 enum class MatchResult { kMatch, kNoMatch, kIndeterminate };
@@ -203,9 +203,13 @@ class PolicyStore {
   /// `compiled` optionally attaches the node's compiled program (the
   /// PAP's compile-on-issue artifact, shared by every store loading the
   /// same repository); passing null clears any stale attachment, so a
-  /// replaced policy can never execute its predecessor's program.
+  /// replaced policy can never execute its predecessor's program. The
+  /// attachment invariant — compiled(id), when non-null, was compiled
+  /// from a clone of exactly the node find(id) returns — is what lets
+  /// compiled PolicyReference nodes execute the attached artifact of
+  /// their referent (core/compiled.hpp).
   void add(PolicyNodePtr node,
-           std::shared_ptr<const CompiledPolicy> compiled = nullptr);
+           std::shared_ptr<const CompiledPolicyTree> compiled = nullptr);
   void add(Policy p) { add(std::make_unique<Policy>(std::move(p))); }
   void add(PolicySet ps) { add(std::make_unique<PolicySet>(std::move(ps))); }
 
@@ -214,7 +218,7 @@ class PolicyStore {
 
   /// The compiled artifact attached to `id`, or null (the PDP then
   /// compiles locally at index-rebuild time, or interprets).
-  std::shared_ptr<const CompiledPolicy> compiled(const std::string& id) const;
+  std::shared_ptr<const CompiledPolicyTree> compiled(const std::string& id) const;
 
   /// The revision at which `id` was last (re)placed, 0 if absent. Lets
   /// evaluators cache per-node derived state (locally compiled
@@ -234,7 +238,7 @@ class PolicyStore {
  private:
   std::vector<std::string> order_;
   std::map<std::string, PolicyNodePtr> by_id_;
-  std::map<std::string, std::shared_ptr<const CompiledPolicy>> compiled_;
+  std::map<std::string, std::shared_ptr<const CompiledPolicyTree>> compiled_;
   std::map<std::string, std::uint64_t> updated_at_;  // id -> revision of last add
   std::uint64_t revision_ = 0;
 };

@@ -82,7 +82,7 @@ RepoOutcome PolicyRepository::issue(const std::string& policy_id,
   // wire-request gate in sync with the issued policy set.
   try {
     const auto node = core::node_from_string(versions.back().document);
-    core::CompileOptions compile_options;
+    bool intern_names = true;
     if (!vocabulary_domain_.empty()) {
       auto names = core::referenced_attribute_names(*node);
       // The request envelope is part of every domain's vocabulary by
@@ -110,20 +110,85 @@ RepoOutcome PolicyRepository::issue(const std::string& policy_id,
         // name-by-name interning compile would burn it anyway.
         record_audit(actor, "register-attributes-failed", vocabulary_domain_,
                      static_cast<int>(names.size()), registered.reason);
-        compile_options.intern_names = false;
+        intern_names = false;
       }
     }
-    if (const auto* policy = dynamic_cast<const core::Policy*>(node.get())) {
-      compiled_[policy_id] = core::CompiledPolicy::compile(*policy, compile_options);
-    } else {
-      compiled_.erase(policy_id);  // policy sets stay interpreted
-    }
+    compile_node(policy_id, *node, intern_names);
   } catch (const std::exception&) {
     // Unparseable documents cannot pass submit(); guard regardless — a
     // broken record must not block issuing, only its compilation.
     compiled_.erase(policy_id);
+    references_.erase(policy_id);
+    resolve_only_.erase(policy_id);
   }
+  // Issued PolicySets referencing this id carry compile-time diagnostics
+  // and stats about it: refresh them in the same administrative step, so
+  // the next snapshot publication ships consistent artifacts.
+  recompile_dependents(policy_id, actor);
   return RepoOutcome::success();
+}
+
+void PolicyRepository::compile_node(const std::string& policy_id,
+                                    const core::PolicyTreeNode& node,
+                                    bool intern_names) {
+  core::CompileOptions options;
+  options.intern_names = intern_names;
+  options.reference_resolves = [this](const std::string& id) {
+    return issued(id) != nullptr;
+  };
+  compiled_[policy_id] = core::CompiledPolicyTree::compile(node, options);
+  const auto refs = core::referenced_policy_ids(node);
+  references_[policy_id] = std::set<std::string>(refs.begin(), refs.end());
+  if (intern_names) {
+    resolve_only_.erase(policy_id);
+  } else {
+    resolve_only_.insert(policy_id);
+  }
+}
+
+void PolicyRepository::compile_issued(const std::string& policy_id) {
+  const PolicyRecord* record = issued(policy_id);
+  if (record == nullptr) {
+    compiled_.erase(policy_id);
+    references_.erase(policy_id);
+    return;
+  }
+  try {
+    const auto node = core::node_from_string(record->document);
+    compile_node(policy_id, *node,
+                 resolve_only_.find(policy_id) == resolve_only_.end());
+  } catch (const std::exception&) {
+    compiled_.erase(policy_id);
+    references_.erase(policy_id);
+  }
+}
+
+void PolicyRepository::recompile_dependents(const std::string& changed_id,
+                                            const std::string& actor) {
+  // Transitive worklist over the dependency edges; `done` both dedups
+  // and breaks reference cycles. The trigger itself was just compiled —
+  // never recompile it here (a self-referencing set would loop its own
+  // compilation otherwise).
+  std::set<std::string> done{changed_id};
+  std::vector<std::string> work{changed_id};
+  while (!work.empty()) {
+    const std::string id = std::move(work.back());
+    work.pop_back();
+    // Snapshot the dependents first: compile_issued mutates references_.
+    std::vector<std::string> dependents;
+    for (const auto& [dependent, refs] : references_) {
+      if (refs.find(id) != refs.end()) dependents.push_back(dependent);
+    }
+    for (const std::string& dependent : dependents) {
+      if (!done.insert(dependent).second) continue;
+      const PolicyRecord* record = issued(dependent);
+      if (record == nullptr) continue;
+      compile_issued(dependent);
+      record_audit(actor, "recompile", dependent, record->version,
+                   record->document);
+      work.push_back(dependent);
+    }
+  }
 }
 
 RepoOutcome PolicyRepository::withdraw(const std::string& policy_id,
@@ -135,7 +200,13 @@ RepoOutcome PolicyRepository::withdraw(const std::string& policy_id,
       r.status = Lifecycle::kWithdrawn;
       r.updated_at = clock_.now();
       compiled_.erase(policy_id);  // nothing issued, nothing to execute
+      references_.erase(policy_id);
+      resolve_only_.erase(policy_id);
       record_audit(actor, "withdraw", policy_id, r.version, r.document);
+      // Sets still referencing the withdrawn id recompile so their
+      // diagnostics record the now-unresolvable reference (their
+      // decisions already track the live store — core/compiled.hpp).
+      recompile_dependents(policy_id, actor);
       return RepoOutcome::success();
     }
   }
@@ -239,7 +310,7 @@ std::size_t PolicyRepository::load_into(core::PolicyStore* store) const {
   return loaded;
 }
 
-std::shared_ptr<const core::CompiledPolicy> PolicyRepository::compiled(
+std::shared_ptr<const core::CompiledPolicyTree> PolicyRepository::compiled(
     const std::string& policy_id) const {
   const auto it = compiled_.find(policy_id);
   if (it == compiled_.end()) return nullptr;

@@ -19,7 +19,7 @@
 #include "core/policy.hpp"
 
 namespace mdac::core {
-class CompiledPolicy;
+class CompiledPolicyTree;
 }  // namespace mdac::core
 
 namespace mdac::pap {
@@ -64,16 +64,25 @@ class PolicyRepository {
   RepoOutcome submit(const std::string& document, const std::string& author);
 
   /// Promotes the latest draft to issued (withdrawing any prior issued
-  /// version of the same id). Issuing also *compiles* the policy
-  /// (core::CompiledPolicy) on this trusted path: the artifact is
-  /// attached by load_into(), so every PDP replica loading this
-  /// repository shares one compiled program per policy, and re-issuing a
-  /// new version recompiles. When a vocabulary domain is set (see
-  /// set_vocabulary_domain), the attribute names the policy references
-  /// are harvested and registered as that domain's allowlist first.
+  /// version of the same id). Issuing also *compiles* the node
+  /// (core::CompiledPolicyTree — plain policies and whole PolicySet
+  /// trees alike) on this trusted path: the artifact is attached by
+  /// load_into(), so every PDP replica loading this repository shares
+  /// one compiled program per node, and re-issuing a new version
+  /// recompiles. Issuing a policy that issued PolicySets *reference*
+  /// additionally recompiles those dependent artifacts (transitively)
+  /// before this call returns — so a snapshot published right after an
+  /// issue always carries artifacts whose compile-time diagnostics and
+  /// stats reflect the new working set. (Decision correctness never
+  /// waits for that recompilation: compiled references resolve through
+  /// the live store per request — see core/compiled.hpp.) When a
+  /// vocabulary domain is set (see set_vocabulary_domain), the attribute
+  /// names the policy references are harvested and registered as that
+  /// domain's allowlist first.
   RepoOutcome issue(const std::string& policy_id, const std::string& actor);
 
-  /// Withdraws the issued version.
+  /// Withdraws the issued version and drops its compiled artifact;
+  /// dependent issued artifacts recompile, as on issue().
   RepoOutcome withdraw(const std::string& policy_id, const std::string& actor);
 
   /// Latest record (any status) / the issued record for an id.
@@ -90,8 +99,8 @@ class PolicyRepository {
   std::size_t load_into(core::PolicyStore* store) const;
 
   /// The compile-on-issue artifact for `policy_id`'s issued version, or
-  /// null (not issued, or not a plain Policy).
-  std::shared_ptr<const core::CompiledPolicy> compiled(
+  /// null (not issued, or its document failed to parse).
+  std::shared_ptr<const core::CompiledPolicyTree> compiled(
       const std::string& policy_id) const;
 
   // --- attribute vocabulary (interner-boundary hardening) -------------
@@ -140,12 +149,34 @@ class PolicyRepository {
   void record_audit(const std::string& actor, const std::string& operation,
                     const std::string& policy_id, int version,
                     const std::string& document);
+  /// Compiles `node` (the parsed issued document of `policy_id`) and
+  /// replaces its artifact and dependency edges. `intern_names` = false
+  /// is the symbol-table-exhausted degradation (see issue()); it is
+  /// remembered per id so dependent *re*compiles stay resolve-only and
+  /// cannot burn the symbol budget the atomic registration refusal
+  /// preserved.
+  void compile_node(const std::string& policy_id, const core::PolicyTreeNode& node,
+                    bool intern_names);
+  /// Parses `policy_id`'s issued document and compiles it via
+  /// compile_node, reusing the id's remembered intern_names mode;
+  /// clears artifact and edges if nothing is issued or parsing fails.
+  void compile_issued(const std::string& policy_id);
+  /// Recompiles every issued node whose tree references `changed_id`,
+  /// transitively (a set referencing a set referencing `changed_id`
+  /// recompiles too). Audited per recompiled node.
+  void recompile_dependents(const std::string& changed_id, const std::string& actor);
 
   const common::Clock& clock_;
   // id -> all versions, ascending.
   std::map<std::string, std::vector<PolicyRecord>> records_;
   // id -> compile-on-issue artifact for the currently issued version.
-  std::map<std::string, std::shared_ptr<const core::CompiledPolicy>> compiled_;
+  std::map<std::string, std::shared_ptr<const core::CompiledPolicyTree>> compiled_;
+  // id -> policy ids its issued tree references (dependency edges for
+  // recompile_dependents).
+  std::map<std::string, std::set<std::string>> references_;
+  // ids whose issue-time registration failed (symbol table exhausted):
+  // their compiles — including dependent recompiles — stay resolve-only.
+  std::set<std::string> resolve_only_;
   // domain -> registered attribute-name allowlist.
   std::map<std::string, std::set<std::string, std::less<>>, std::less<>> allowlists_;
   std::string vocabulary_domain_;

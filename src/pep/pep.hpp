@@ -37,10 +37,16 @@ struct Enforcement {
   std::string reason;  // set when allowed == false
 };
 
+/// One enforcement gate. Not thread-safe: enforce() bumps counters and
+/// consults the handler map without synchronisation — run one
+/// EnforcementPoint per thread, or serialise calls externally (the
+/// decision source behind it may itself be shared and thread-safe, e.g.
+/// runtime::engine_decision_source).
 class EnforcementPoint {
  public:
-  /// The decision source: a local PDP call, a remote RPC, or a cached
-  /// evaluator — the PEP does not care (paper's modularity requirement).
+  /// The decision source: a local PDP call, a remote RPC, a cached
+  /// evaluator or the multi-threaded engine — the PEP does not care
+  /// (paper's modularity requirement). Must outlive the PEP.
   using DecisionSource = std::function<core::Decision(const core::RequestContext&)>;
 
   EnforcementPoint(DecisionSource source, PepConfig config = {})
@@ -55,6 +61,10 @@ class EnforcementPoint {
   /// Optional decision cache (paper §3.2); not owned.
   void set_cache(cache::DecisionCache* cache) { cache_ = cache; }
 
+  /// Decides (cache first, then the source) and enforces: a Permit is
+  /// allowed only after every obligation is discharged; everything else
+  /// follows the configured bias. Never throws on policy errors — an
+  /// errored decision is an Indeterminate and the bias applies.
   Enforcement enforce(const core::RequestContext& request);
 
   // Counters for the benches.

@@ -227,7 +227,9 @@ class DecisionEngine {
 
   /// Submits with the config's default deadline. The future completes
   /// with kDecided, or with a shed result whose decision is
-  /// Indeterminate{DP} carrying the distinct shed status.
+  /// Indeterminate{DP} carrying the distinct shed status. All submit
+  /// overloads are safe from any number of threads, including
+  /// concurrently with shutdown().
   std::future<EngineResult> submit(core::RequestContext request);
   /// As above with an explicit deadline (ms from now; <= 0 = none).
   std::future<EngineResult> submit(core::RequestContext request,
@@ -250,7 +252,9 @@ class DecisionEngine {
   std::size_t queue_depth() const;
 
   /// Live counters; see EngineMetrics::Snapshot for the health-check
-  /// surface (shed_rate, saturation, latency percentiles).
+  /// surface (shed_rate, saturation, latency percentiles). Safe from any
+  /// thread; the snapshot is consistent-enough (relaxed reads), not a
+  /// linearisation point.
   EngineMetrics::Snapshot metrics() const { return metrics_.snapshot(); }
 
   /// See EngineMetrics::reset — quiescent engines only (bench warmup).

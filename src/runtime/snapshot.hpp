@@ -8,10 +8,13 @@
 // immutable *snapshot*:
 //
 //   * `PolicySnapshot` — a frozen PolicyStore (with its compile-on-issue
-//     artifact attachments) plus a monotonically increasing version.
-//     Nothing mutates a store after it is wrapped in a snapshot; every
-//     worker-side Pdp replica bound to it therefore only ever reads,
-//     which the store supports concurrently.
+//     artifact attachments — plain policies and compiled PolicySet trees
+//     alike) plus a monotonically increasing version. Nothing mutates a
+//     store after it is wrapped in a snapshot; every worker-side Pdp
+//     replica bound to it therefore only ever reads, which the store
+//     supports concurrently. Compiled PolicyReference nodes resolve
+//     against this same frozen store, so a decision's whole reference
+//     closure comes from one snapshot.
 //   * `SnapshotPublisher` — the single writer-side cell. `publish()`
 //     atomically replaces the current snapshot; readers take a
 //     shared_ptr copy at batch boundaries (runtime::DecisionEngine) and
@@ -85,9 +88,11 @@ class SnapshotPublisher {
       std::shared_ptr<core::PolicyStore> store, std::uint64_t source_revision = 0);
 
   /// Materialises `repository`'s issued policy set (with compiled
-  /// artifacts) into a fresh store and publishes it. Must be called from
-  /// the thread that owns the repository (PolicyRepository itself is
-  /// single-threaded).
+  /// artifacts — the repository has already recompiled reference
+  /// dependents by the time any mutation returns, so the attachments are
+  /// mutually consistent) into a fresh store and publishes it. Must be
+  /// called from the thread that owns the repository (PolicyRepository
+  /// itself is single-threaded).
   std::shared_ptr<const PolicySnapshot> publish_from(
       const pap::PolicyRepository& repository);
 

@@ -1,18 +1,22 @@
-// Compiled-vs-interpreted differential suite (ISSUE 3 satellite).
+// Compiled-vs-interpreted differential suite (ISSUE 3 satellite;
+// extended with PolicySet trees, references and lowered obligation
+// programs by ISSUE 5).
 //
 // The compiled policy programs (core/compiled.hpp) claim bit-identical
 // decisions to the interpreted AST path; this suite proves it the only
 // way that scales — randomized differential testing. Seeded,
 // federation-shaped policy sets (the exact generators the benchmark
-// harness measures, bench/workload.hpp) plus a richer random generator
-// exercising conditions, obligations, combining algorithms and
-// indeterminate paths, all evaluated through both PdpConfig::use_compiled
-// settings; every decision — type, extent, status text, obligations,
-// advice — must compare equal, and request cache fingerprints must be
-// untouched by evaluation on either path (the decision cache keys off
-// them, so a divergence would poison shared caches). Runs in the
-// -DMDAC_SANITIZE=ON tree like every ctest target, which is where the
-// arena/pointer lifetime claims of the compiled artifact earn their keep.
+// harness measures, bench/workload.hpp) plus richer random generators
+// exercising conditions, obligations, combining algorithms,
+// indeterminate paths, and nested PolicySet trees (references —
+// resolvable, dangling and cyclic — included), all evaluated through
+// both PdpConfig::use_compiled settings; every decision — type, extent,
+// status text, obligations, advice — must compare equal, and request
+// cache fingerprints must be untouched by evaluation on either path
+// (the decision cache keys off them, so a divergence would poison
+// shared caches). Runs in the -DMDAC_SANITIZE=ON tree like every ctest
+// target, which is where the arena/pointer lifetime claims of the
+// compiled artifact earn their keep.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -23,10 +27,13 @@
 #include <vector>
 
 #include "cache/request_key.hpp"
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "core/compiled.hpp"
 #include "core/expression.hpp"
 #include "core/pdp.hpp"
+#include "core/serialization.hpp"
+#include "pap/repository.hpp"
 #include "workload.hpp"
 
 namespace mdac::core {
@@ -323,6 +330,153 @@ TEST(CompiledDifferentialTest, ThrowingResolverLeavesScratchConsistent) {
   EXPECT_TRUE(compiled_decision.is_permit());
 }
 
+// ---------------------------------------------------------------------
+// Randomized nested PolicySet trees: set-level targets and obligations,
+// every policy-combining algorithm, nested sets, references (resolvable,
+// dangling and cyclic) — the federation shape the tree compiler exists
+// for (ISSUE 5 tentpole pin)
+// ---------------------------------------------------------------------
+
+PolicyNodePtr random_set_node(common::Rng& rng, int depth, int* counter) {
+  PolicySet set;
+  set.policy_set_id = "set-" + std::to_string((*counter)++);
+  set.policy_combining = rng.pick(combining_algorithms());
+  if (rng.chance(0.5)) {
+    set.target_spec.require(
+        Category::kResource, attrs::kResourceId,
+        AttributeValue("res-" + std::to_string(rng.uniform_int(0, 9))));
+  }
+  if (rng.chance(0.3)) {
+    set.target_spec.require_any(
+        Category::kSubject, attrs::kSubjectDomain,
+        {AttributeValue("dom-a"), AttributeValue("dom-b")});
+  }
+  if (rng.chance(0.4)) {
+    ObligationExpr ob;
+    ob.id = set.policy_set_id + ":audit";
+    ob.fulfill_on = rng.chance(0.5) ? Effect::kPermit : Effect::kDeny;
+    ob.advice = rng.chance(0.3);
+    ob.assignments.push_back(AttributeAssignmentExpr{
+        "who", designator(Category::kSubject, attrs::kSubjectId, DataType::kString,
+                          /*must_be_present=*/rng.chance(0.3))});
+    set.obligations.push_back(std::move(ob));
+  }
+
+  const int n_children = static_cast<int>(rng.uniform_int(1, 4));
+  for (int c = 0; c < n_children; ++c) {
+    const int kind = static_cast<int>(rng.uniform_int(0, depth > 0 ? 3 : 2));
+    if (kind == 3) {
+      set.add_node(random_set_node(rng, depth - 1, counter));
+    } else if (kind == 2) {
+      // References: mostly to the store's top-level rich policies,
+      // sometimes dangling (the unresolved-reference error path).
+      if (rng.chance(0.8)) {
+        set.add_reference("rich-" + std::to_string(rng.uniform_int(0, 7)));
+      } else {
+        set.add_reference("ghost-" + std::to_string(rng.uniform_int(0, 3)));
+      }
+    } else {
+      set.add(random_rich_policy(rng, 100 * *counter + c));
+    }
+  }
+  return std::make_unique<PolicySet>(std::move(set));
+}
+
+TEST(CompiledDifferentialTest, RandomizedNestedSetTrees) {
+  for (const std::uint64_t seed : {5u, 17u, 91u}) {
+    common::Rng rng(seed);
+    auto store = std::make_shared<PolicyStore>();
+    // Referencable top-level policies first, then the set trees.
+    for (int i = 0; i < 8; ++i) store->add(random_rich_policy(rng, i));
+    int counter = 0;
+    for (int s = 0; s < 6; ++s) {
+      store->add(random_set_node(rng, /*depth=*/2, &counter));
+    }
+    std::vector<RequestContext> requests;
+    for (int i = 0; i < 250; ++i) requests.push_back(random_rich_request(rng));
+    expect_equivalent(store, requests, "set-tree seed " + std::to_string(seed));
+  }
+}
+
+TEST(CompiledDifferentialTest, SetTreesViaRepositoryAttachments) {
+  // The PAP path: artifacts compiled at issue time and attached by
+  // load_into — compiled references then execute the *attached* program
+  // of their referent instead of interpreting it. Differential over the
+  // exact same store object on both config flags.
+  common::Rng rng(123);
+  auto store = std::make_shared<PolicyStore>();
+  common::ManualClock clock;
+  pap::PolicyRepository repo(clock);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(repo.submit(node_to_string(random_rich_policy(rng, i)), "t"));
+    ASSERT_TRUE(repo.issue("rich-" + std::to_string(i), "t"));
+  }
+  int counter = 0;
+  for (int s = 0; s < 4; ++s) {
+    const auto set = random_set_node(rng, /*depth=*/2, &counter);
+    ASSERT_TRUE(repo.submit(node_to_string(*set), "t"));
+    ASSERT_TRUE(repo.issue(set->id(), "t"));
+  }
+  ASSERT_EQ(repo.load_into(store.get()), 12u);
+
+  std::vector<RequestContext> requests;
+  for (int i = 0; i < 250; ++i) requests.push_back(random_rich_request(rng));
+  expect_equivalent(store, requests, "repository-attached set trees");
+}
+
+TEST(CompiledDifferentialTest, ReferenceCyclesMatchInterpreter) {
+  // cyc-a -> cyc-b -> cyc-a: the interpreter detects the cycle through
+  // the evaluation context; the compiled trees must produce the exact
+  // same Indeterminate (status text included).
+  PolicySet a;
+  a.policy_set_id = "cyc-a";
+  a.policy_combining = "deny-overrides";
+  a.add_reference("cyc-b");
+  {
+    Policy inner;
+    inner.policy_id = "cyc-a:inner";
+    Rule r;
+    r.id = "permit";
+    r.effect = Effect::kPermit;
+    inner.rules.push_back(std::move(r));
+    a.add(std::move(inner));
+  }
+  PolicySet b;
+  b.policy_set_id = "cyc-b";
+  b.policy_combining = "permit-overrides";
+  b.add_reference("cyc-a");
+
+  auto store = std::make_shared<PolicyStore>();
+  store->add(std::move(a));
+  store->add(std::move(b));
+  expect_equivalent(store, {RequestContext::make("u", "r", "read")},
+                    "reference cycle");
+}
+
+TEST(CompiledDifferentialTest, CompiledSetTreesEngage) {
+  // The set-level CompileStats surface through PdpResult::compile: trees
+  // actually run compiled (no interpreted top-level nodes), and sets,
+  // references and lowered obligations are all accounted.
+  common::Rng rng(7);
+  auto store = std::make_shared<PolicyStore>();
+  for (int i = 0; i < 8; ++i) store->add(random_rich_policy(rng, i));
+  int counter = 0;
+  bool saw_reference = false;
+  while (!saw_reference) {
+    auto node = random_set_node(rng, /*depth=*/2, &counter);
+    saw_reference = !referenced_policy_ids(*node).empty();
+    store->add(std::move(node));
+  }
+
+  Pdp pdp(store, compiled_cfg());
+  const PdpResult r = pdp.evaluate_with_metrics(random_rich_request(rng));
+  EXPECT_EQ(r.compile.interpreted_nodes, 0u);
+  EXPECT_GT(r.compile.policy_sets, 0u);
+  EXPECT_GT(r.compile.references, 0u);
+  EXPECT_GT(r.compile.compiled_policies, 8u);  // top-level + in-tree leaves
+  EXPECT_GT(r.compile.obligations, 0u);
+}
+
 TEST(CompiledDifferentialTest, CompileDiagnosticsSurfaceUnlowerableParts) {
   Policy p;
   p.policy_id = "diag";
@@ -333,7 +487,7 @@ TEST(CompiledDifferentialTest, CompileDiagnosticsSurfaceUnlowerableParts) {
   r.condition = make_apply("no-such-function", lit("x"));
   p.rules.push_back(std::move(r));
 
-  const auto compiled = CompiledPolicy::compile(p);
+  const auto compiled = CompiledPolicyTree::compile(p);
   EXPECT_FALSE(compiled->diagnostics().empty());
   EXPECT_GE(compiled->stats().ast_fallbacks, 1u);
 

@@ -4,6 +4,7 @@
 
 #include "core/compiled.hpp"
 #include "core/expression.hpp"
+#include "core/pdp.hpp"
 #include "core/serialization.hpp"
 #include "pap/admin_guard.hpp"
 #include "pap/repository.hpp"
@@ -151,6 +152,158 @@ TEST(RepositoryTest, CompileOnIssueSharedAcrossPdpReplicas) {
 }
 
 // ---------------------------------------------------------------------
+// PolicySet tree compilation + reference recompilation (ISSUE 5)
+// ---------------------------------------------------------------------
+
+std::string referencing_set_doc(const std::string& set_id,
+                                const std::vector<std::string>& refs) {
+  core::PolicySet set;
+  set.policy_set_id = set_id;
+  set.policy_combining = "deny-overrides";
+  for (const std::string& r : refs) set.add_reference(r);
+  return core::node_to_string(set);
+}
+
+TEST(RepositoryTest, PolicySetCompileOnIssueSharedAcrossPdpReplicas) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("leaf", "doc"), "a"));
+  ASSERT_TRUE(repo.issue("leaf", "a"));
+  ASSERT_TRUE(repo.submit(referencing_set_doc("outer", {"leaf"}), "a"));
+  ASSERT_TRUE(repo.issue("outer", "a"));
+
+  const auto artifact = repo.compiled("outer");
+  ASSERT_NE(artifact, nullptr);
+  EXPECT_EQ(artifact->stats().policy_sets, 1u);
+  EXPECT_EQ(artifact->stats().references, 1u);
+
+  core::PolicyStore store_a;
+  core::PolicyStore store_b;
+  ASSERT_EQ(repo.load_into(&store_a), 2u);
+  ASSERT_EQ(repo.load_into(&store_b), 2u);
+  EXPECT_EQ(store_a.compiled("outer").get(), artifact.get());
+  EXPECT_EQ(store_b.compiled("outer").get(), artifact.get());
+}
+
+TEST(RepositoryTest, ReferencedPolicyUpdateRecompilesDependentSets) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("leaf", "doc", core::Effect::kPermit), "a"));
+  ASSERT_TRUE(repo.issue("leaf", "a"));
+  ASSERT_TRUE(repo.submit(referencing_set_doc("outer", {"leaf"}), "a"));
+  ASSERT_TRUE(repo.issue("outer", "a"));
+  // Transitive dependent: a set referencing the referencing set.
+  ASSERT_TRUE(repo.submit(referencing_set_doc("outer2", {"outer"}), "a"));
+  ASSERT_TRUE(repo.issue("outer2", "a"));
+
+  const auto outer_v1 = repo.compiled("outer");
+  const auto outer2_v1 = repo.compiled("outer2");
+  ASSERT_NE(outer_v1, nullptr);
+  ASSERT_NE(outer2_v1, nullptr);
+
+  {
+    auto store = std::make_shared<core::PolicyStore>();
+    ASSERT_EQ(repo.load_into(store.get()), 3u);
+    core::Pdp pdp(store);
+    EXPECT_TRUE(pdp.evaluate(core::RequestContext::make("u", "doc", "read")).is_permit());
+  }
+
+  // Re-issue the referenced policy as a deny: both dependent artifacts
+  // must be invalidated/recompiled within the same issue() call — i.e.
+  // before any snapshot built from this repository publishes.
+  ASSERT_TRUE(repo.submit(simple_policy_doc("leaf", "doc", core::Effect::kDeny), "a"));
+  ASSERT_TRUE(repo.issue("leaf", "a"));
+  const auto outer_v2 = repo.compiled("outer");
+  const auto outer2_v2 = repo.compiled("outer2");
+  ASSERT_NE(outer_v2, nullptr);
+  ASSERT_NE(outer2_v2, nullptr);
+  EXPECT_NE(outer_v2.get(), outer_v1.get());
+  EXPECT_NE(outer2_v2.get(), outer2_v1.get());
+
+  // The recompilations ride the audited administrative path.
+  std::size_t recompiles = 0;
+  for (const AuditEntry& e : repo.audit_log()) {
+    if (e.operation == "recompile") ++recompiles;
+  }
+  EXPECT_GE(recompiles, 2u);
+
+  // A replica loading the repository now denies through the set tree.
+  auto store = std::make_shared<core::PolicyStore>();
+  ASSERT_EQ(repo.load_into(store.get()), 3u);
+  core::Pdp pdp(store);
+  EXPECT_TRUE(pdp.evaluate(core::RequestContext::make("u", "doc", "read")).is_deny());
+}
+
+TEST(RepositoryTest, WithdrawnReferenceRecompilesWithDiagnostics) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("leaf", "doc"), "a"));
+  ASSERT_TRUE(repo.issue("leaf", "a"));
+  ASSERT_TRUE(repo.submit(referencing_set_doc("outer", {"leaf"}), "a"));
+  ASSERT_TRUE(repo.issue("outer", "a"));
+  const auto before = repo.compiled("outer");
+  ASSERT_NE(before, nullptr);
+  EXPECT_TRUE(before->diagnostics().empty());
+
+  ASSERT_TRUE(repo.withdraw("leaf", "a"));
+  const auto after = repo.compiled("outer");
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after.get(), before.get());
+  // The fresh artifact's diagnostics record the dangling reference.
+  bool saw = false;
+  for (const std::string& d : after->diagnostics()) {
+    if (d.find("leaf") != std::string::npos) saw = true;
+  }
+  EXPECT_TRUE(saw);
+
+  // The withdrawn permit is unreachable: only the set loads, and its
+  // reference no longer resolves.
+  auto store = std::make_shared<core::PolicyStore>();
+  ASSERT_EQ(repo.load_into(store.get()), 1u);
+  core::Pdp pdp(store);
+  const core::Decision d = pdp.evaluate(core::RequestContext::make("u", "doc", "read"));
+  EXPECT_FALSE(d.is_permit());
+  EXPECT_EQ(d.type, core::DecisionType::kIndeterminate);
+}
+
+TEST(RepositoryTest, StaleSetArtifactCannotServeWithdrawnPolicy) {
+  // The structural backstop behind the recompilation machinery: even an
+  // artifact compiled while the referenced policy existed resolves its
+  // references through the *live* store per request, so a stale set
+  // program can never serve a withdrawn rule.
+  core::PolicySet outer;
+  outer.policy_set_id = "outer";
+  outer.policy_combining = "deny-overrides";
+  outer.add_reference("leaf");
+
+  core::Policy leaf;
+  leaf.policy_id = "leaf";
+  core::Rule r;
+  r.id = "permit-all";
+  r.effect = core::Effect::kPermit;
+  leaf.rules.push_back(std::move(r));
+
+  const auto stale = core::CompiledPolicyTree::compile(outer);
+  const core::RequestContext req = core::RequestContext::make("u", "doc", "read");
+
+  {
+    auto with_leaf = std::make_shared<core::PolicyStore>();
+    with_leaf->add(leaf.clone());
+    with_leaf->add(outer.clone_node(), stale);
+    core::Pdp pdp(with_leaf);
+    EXPECT_TRUE(pdp.evaluate(req).is_permit());
+  }
+  {
+    auto without_leaf = std::make_shared<core::PolicyStore>();
+    without_leaf->add(outer.clone_node(), stale);
+    core::Pdp pdp(without_leaf);
+    const core::Decision d = pdp.evaluate(req);
+    EXPECT_FALSE(d.is_permit());
+    EXPECT_EQ(d.type, core::DecisionType::kIndeterminate);
+  }
+}
+
+// ---------------------------------------------------------------------
 // Issue-time vocabulary auto-extraction (ISSUE 3 satellite)
 // ---------------------------------------------------------------------
 
@@ -254,8 +407,13 @@ TEST(RepositoryTest, IssueHarvestsPolicySetVocabularyRecursively) {
   for (const char* name : {"lab-wing", "badge-level", "subject-id", "action-id"}) {
     EXPECT_TRUE(repo.attribute_allowed("lab", name)) << name;
   }
-  // Policy sets register vocabulary but stay interpreted (no artifact).
-  EXPECT_EQ(repo.compiled("lab-set"), nullptr);
+  // Policy sets compile on issue too (ISSUE 5): the whole tree — set
+  // target, nested policy, rules — is one artifact.
+  const auto artifact = repo.compiled("lab-set");
+  ASSERT_NE(artifact, nullptr);
+  EXPECT_EQ(artifact->stats().policy_sets, 1u);
+  EXPECT_EQ(artifact->stats().compiled_policies, 1u);
+  EXPECT_EQ(artifact->stats().rules, 1u);
 }
 
 TEST(RepositoryTest, NoVocabularyDomainMeansNoAutoRegistration) {

@@ -231,5 +231,96 @@ TEST(RuntimeChurnTest, RepositoryLifecycleChurnsThroughPublisher) {
   (void)not_applicable;
 }
 
+TEST(RuntimeChurnTest, ReferencedPolicyChurnThroughCompiledSets) {
+  // The ISSUE 5 reference-recompilation edge under live churn: an issued
+  // PolicySet references the probe policy; the PAP re-issues the probe
+  // policy version after version while the engine serves. Every issue()
+  // recompiles the dependent set's artifact *before* RepositoryPublisher
+  // republishes, and compiled references resolve through the snapshot's
+  // own store — so every decision's stamp obligation must name exactly
+  // the leaf version of the snapshot that served it. A stale set program
+  // serving a withdrawn/replaced leaf would surface as a wrong stamp.
+  constexpr int kVersions = 20;
+
+  SnapshotPublisher snapshots;
+  common::ManualClock clock;  // owned by the PAP thread after start
+  pap::PolicyRepository repo(clock);
+  RepositoryPublisher pap_edge(repo, snapshots);
+
+  // Publication 1: leaf v1. Publication 2: + the referencing set.
+  // Publication p >= 2 therefore serves leaf version p - 1.
+  {
+    auto store = make_stamped_store(1);
+    ASSERT_TRUE(pap_edge.submit(
+        core::node_to_string(*store->find("probe-policy")), "author"));
+    ASSERT_TRUE(pap_edge.issue("probe-policy", "admin"));
+    core::PolicySet set;
+    set.policy_set_id = "probe-set";
+    set.policy_combining = "deny-overrides";
+    set.add_reference("probe-policy");
+    ASSERT_TRUE(pap_edge.submit(core::node_to_string(set), "author"));
+    ASSERT_TRUE(pap_edge.issue("probe-set", "admin"));
+  }
+  ASSERT_EQ(snapshots.current_version(), 2u);
+
+  EngineConfig config;
+  config.workers = 2;
+  config.queue_capacity = 2048;
+  DecisionEngine engine(snapshots, config);
+
+  std::thread pap([&] {
+    for (int k = 2; k <= kVersions; ++k) {
+      auto store = make_stamped_store(k);
+      EXPECT_TRUE(pap_edge.submit(
+          core::node_to_string(*store->find("probe-policy")), "author"));
+      EXPECT_TRUE(pap_edge.issue("probe-policy", "admin"));
+      clock.advance(1);
+      std::this_thread::yield();
+    }
+    EXPECT_TRUE(pap_edge.withdraw("probe-policy", "admin"));
+  });
+
+  std::vector<std::future<EngineResult>> inflight;
+  for (int i = 0; i < 600; ++i) inflight.push_back(engine.submit(probe_request()));
+  pap.join();
+  auto last = engine.submit(probe_request());
+
+  std::size_t permits = 0;
+  for (auto& f : inflight) {
+    EngineResult r = f.get();
+    ASSERT_EQ(r.status, CompletionStatus::kDecided);
+    if (r.decision.is_permit()) {
+      // Snapshot p carries leaf version p - 1 (p == 1: version 1).
+      const std::string expected_tag =
+          "v" + std::to_string(r.snapshot_version <= 1 ? 1
+                                                       : r.snapshot_version - 1);
+      ASSERT_GE(r.decision.obligations.size(), 1u);
+      for (const auto& ob : r.decision.obligations) {
+        ASSERT_EQ(ob.assignments.size(), 1u);
+        EXPECT_EQ(ob.assignments[0].second.as_string(), expected_tag)
+            << "snapshot " << r.snapshot_version;
+      }
+      ++permits;
+    } else {
+      // Only the post-withdrawal snapshot may produce a non-permit, and
+      // it must never surface the withdrawn policy's stamp.
+      EXPECT_EQ(r.snapshot_version, snapshots.current_version());
+      EXPECT_TRUE(r.decision.obligations.empty());
+    }
+  }
+  EXPECT_GT(permits, 0u);
+
+  // After the withdrawal's republication only the set remains; its
+  // reference no longer resolves, so the withdrawn permit (and its
+  // stamp) is unreachable — fail-safe, not stale.
+  const EngineResult final_result = last.get();
+  EXPECT_FALSE(final_result.decision.is_permit());
+  EXPECT_TRUE(final_result.decision.obligations.empty());
+  engine.shutdown();
+  EXPECT_EQ(engine.metrics().sheds(), 0u);
+  // 2 setup publications + (kVersions - 1) re-issues + 1 withdrawal.
+  EXPECT_EQ(snapshots.publications(), static_cast<std::uint64_t>(kVersions) + 2);
+}
+
 }  // namespace
 }  // namespace mdac::runtime
