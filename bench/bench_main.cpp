@@ -33,6 +33,8 @@
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "core/pdp.hpp"
+#include "dependability/replicated_pdp.hpp"
+#include "net/fault.hpp"
 #include "report.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/snapshot.hpp"
@@ -628,6 +630,80 @@ BenchResult bench_pdp_engine_saturation(const Scale& s) {
   return r;
 }
 
+/// Dependability under a named fault plan (net/fault.hpp): a
+/// self-healing failover dispatcher over 3 PDP replicas, paced request
+/// traffic, the plan's scripted faults active for the whole run. These
+/// rows are RECORDED, not ratio-gated — availability and simulated
+/// latency are properties of the scripted scenario, not of machine
+/// load, so they belong in BENCH_pdp.json as tracked data points. The
+/// latency percentile fields carry *simulated* time (ms on the
+/// simulator clock, stored as ns like every other row); wall-clock cost
+/// of the whole sim run is in mean_ns/ops_per_sec.
+BenchResult bench_fault_plan(const Scale& s, const std::string& plan_name) {
+  constexpr int kRequests = 400;
+  constexpr common::Duration kPace = 25;  // simulated ms between requests
+  const common::TimePoint horizon = kRequests * kPace;
+
+  net::Simulator sim(42);
+  net::Network network(sim);
+  network.set_default_link({10, 0, 0.0});
+
+  auto store = make_policy_store(s.policies, s.roles);
+  const std::vector<std::string> ids = {"pdp/0", "pdp/1", "pdp/2"};
+  std::vector<std::unique_ptr<dependability::PdpReplica>> replicas;
+  for (const std::string& id : ids) {
+    replicas.push_back(std::make_unique<dependability::PdpReplica>(
+        network, id, std::make_shared<core::Pdp>(store)));
+  }
+  auto plan = net::make_named_fault_plan(plan_name, 42, ids, "pep", horizon);
+  plan->arm(network);
+  dependability::ReplicatedPdpClient client(
+      network, "pep", ids, dependability::DispatchStrategy::kFailover);
+
+  const auto pool = make_request_pool(s, 256);
+  std::vector<double> sim_latency_ms;
+  sim_latency_ms.reserve(kRequests);
+  std::size_t definitive = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    sim.schedule(i * kPace, [&, i] {
+      const common::TimePoint issued = sim.now();
+      client.evaluate(pool[static_cast<std::size_t>(i) % pool.size()],
+                      [&, issued](const core::Decision& d) {
+                        sim_latency_ms.push_back(
+                            static_cast<double>(sim.now() - issued));
+                        if (d.is_permit() || d.is_deny()) ++definitive;
+                      });
+    });
+  }
+  const auto t0 = Clock::now();
+  sim.run();
+  const auto t1 = Clock::now();
+
+  std::string row_name = "fault_plan_" + plan_name;
+  std::replace(row_name.begin(), row_name.end(), '-', '_');
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  const dependability::DispatchStats& stats = client.stats();
+  BenchResult r;
+  r.name = row_name;
+  r.iterations = kRequests;
+  r.ops_per_sec = wall_ns > 0 ? 1e9 * kRequests / wall_ns : 0;
+  r.mean_ns = wall_ns / kRequests;
+  r.p50_ns = percentile(sim_latency_ms, 0.50) * 1e6;  // simulated ms -> ns
+  r.p90_ns = percentile(sim_latency_ms, 0.90) * 1e6;
+  r.p99_ns = percentile(sim_latency_ms, 0.99) * 1e6;
+  r.counters["availability"] = static_cast<double>(definitive) / kRequests;
+  r.counters["sim_latency_p99_ms"] = percentile(sim_latency_ms, 0.99);
+  r.counters["tries_per_request"] =
+      static_cast<double>(stats.tries) / kRequests;
+  r.counters["failsafe"] = static_cast<double>(stats.failsafe);
+  r.counters["breaker_opens"] = static_cast<double>(stats.breaker_opens);
+  r.counters["breaker_skips"] = static_cast<double>(stats.breaker_skips);
+  r.counters["replies_undelivered"] = static_cast<double>(
+      stats.retryable_replies + stats.undecodable_replies);
+  return r;
+}
+
 void print_row(const BenchResult& r) {
   std::printf("%-32s %12.0f ops/s  p50 %8.0f ns  p99 %8.0f ns  %7.2f allocs/op\n",
               r.name.c_str(), r.ops_per_sec, r.p50_ns, r.p99_ns, r.allocs_per_op);
@@ -816,6 +892,11 @@ int run(int argc, char** argv) {
            {"cached_decision_hit_mt_sharded", 8},
            {"cached_decision_hit_mt_single_shard", 1}}) {
     BenchResult r = bench_cache_mt(scale, name, shards);
+    print_row(r);
+    report.add(std::move(r));
+  }
+  for (const std::string& plan : net::named_fault_plan_names()) {
+    BenchResult r = bench_fault_plan(scale, plan);
     print_row(r);
     report.add(std::move(r));
   }

@@ -14,9 +14,11 @@
 // live replicas, not just one).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "dependability/replicated_pdp.hpp"
+#include "net/fault.hpp"
 #include "workload.hpp"
 
 namespace {
@@ -100,6 +102,92 @@ BENCHMARK(BM_QuorumAvailability)
     ->Args({3, 0})
     ->Args({3, 30})
     ->Args({3, 50});
+
+// Named fault plans (ISSUE 6): availability and p99 simulated latency of
+// the self-healing dispatcher under each scripted net::FaultPlan —
+// drop/jitter storms, a crash-flapping primary, asymmetric partitions,
+// duplication+corruption, and the combined chaos mix. Unlike the
+// per-request coin-flip injection above, these plans exercise *temporal*
+// structure (outage windows, flap schedules) and the breaker/backoff
+// machinery that copes with it.
+//
+// Arg 0 indexes net::named_fault_plan_names(); arg 1 picks the strategy
+// (0 = failover, 1 = quorum).
+void BM_FaultPlanAvailability(benchmark::State& state) {
+  const auto plan_names = net::named_fault_plan_names();
+  const std::string plan_name =
+      plan_names[static_cast<std::size_t>(state.range(0)) % plan_names.size()];
+  const auto strategy = state.range(1) == 1
+                            ? dependability::DispatchStrategy::kQuorum
+                            : dependability::DispatchStrategy::kFailover;
+  constexpr int kRequests = 400;
+  constexpr common::Duration kPace = 25;
+  constexpr common::TimePoint kHorizon = kRequests * kPace;
+
+  double availability = 0;
+  double p99_latency = 0;
+  double tries_per_request = 0;
+  double breaker_opens = 0;
+  for (auto _ : state) {
+    net::Simulator sim(42);
+    net::Network network(sim);
+    network.set_default_link({10, 0, 0.0});
+
+    const std::vector<std::string> ids = {"pdp/0", "pdp/1", "pdp/2"};
+    std::vector<std::unique_ptr<dependability::PdpReplica>> replicas;
+    for (const std::string& id : ids) {
+      replicas.push_back(std::make_unique<dependability::PdpReplica>(
+          network, id, std::make_shared<core::Pdp>(bench::make_policy_store(20))));
+    }
+    auto plan = net::make_named_fault_plan(plan_name, 42, ids, "pep", kHorizon);
+    plan->arm(network);
+
+    dependability::DispatchConfig config;
+    config.seed = 42;
+    dependability::ReplicatedPdpClient client(network, "pep", ids, strategy,
+                                              config);
+    common::Rng rng(1234);
+    std::size_t decided = 0;
+    std::vector<double> latencies;
+    latencies.reserve(kRequests);
+    for (int r = 0; r < kRequests; ++r) {
+      sim.schedule(r * kPace, [&, r, request = bench::random_request(rng, 20, 3)] {
+        const common::TimePoint start = sim.now();
+        client.evaluate(request, [&, start](core::Decision d) {
+          if (d.is_permit() || d.is_deny()) {
+            ++decided;
+            latencies.push_back(static_cast<double>(sim.now() - start));
+          }
+        });
+      });
+    }
+    sim.run();
+
+    availability = static_cast<double>(decided) / kRequests;
+    if (!latencies.empty()) {
+      std::sort(latencies.begin(), latencies.end());
+      p99_latency = latencies[std::min(
+          latencies.size() - 1,
+          static_cast<std::size_t>(static_cast<double>(latencies.size()) * 0.99))];
+    }
+    const auto& s = client.stats();
+    tries_per_request = static_cast<double>(s.tries) / kRequests;
+    breaker_opens = static_cast<double>(s.breaker_opens);
+  }
+  state.SetLabel(plan_name + (state.range(1) == 1 ? "/quorum" : "/failover"));
+  state.counters["availability"] = availability;
+  state.counters["sim_p99_ms"] = p99_latency;
+  state.counters["tries_per_request"] = tries_per_request;
+  state.counters["breaker_opens"] = breaker_opens;
+}
+BENCHMARK(BM_FaultPlanAvailability)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({4, 1});
 
 // Ablation: the PEP's fail-safe bias (deny vs permit) when the single PDP
 // is unreachable. Bias=permit buys availability (every request answered

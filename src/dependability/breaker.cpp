@@ -1,0 +1,61 @@
+#include "dependability/breaker.hpp"
+
+namespace mdac::dependability {
+
+CircuitBreaker::Gate CircuitBreaker::admit() {
+  switch (state_) {
+    case State::kClosed:
+      return Gate::kAllow;
+    case State::kHalfOpen:
+      // One probe is already in flight; everyone else waits for its
+      // verdict — a half-open breaker must not re-admit a thundering
+      // herd against a node that may still be down.
+      ++stats_.blocks;
+      return Gate::kBlock;
+    case State::kOpen:
+      if (clock_.now() - opened_at_ >= config_.open_for) {
+        state_ = State::kHalfOpen;
+        ++stats_.probes;
+        return Gate::kProbe;
+      }
+      ++stats_.blocks;
+      return Gate::kBlock;
+  }
+  return Gate::kBlock;
+}
+
+void CircuitBreaker::record_success() {
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+bool CircuitBreaker::record_failure() {
+  switch (state_) {
+    case State::kHalfOpen:
+      // The probe failed: back to a full cooldown.
+      open_now();
+      return true;
+    case State::kClosed:
+      ++consecutive_failures_;
+      if (consecutive_failures_ >= config_.failure_threshold) {
+        open_now();
+        return true;
+      }
+      return false;
+    case State::kOpen:
+      // A try admitted while closed can report its failure after another
+      // try already tripped the breaker. Don't refresh the cooldown:
+      // stragglers must not push the probe point out indefinitely.
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::open_now() {
+  state_ = State::kOpen;
+  opened_at_ = clock_.now();
+  consecutive_failures_ = 0;
+  ++stats_.opens;
+}
+
+}  // namespace mdac::dependability

@@ -1,0 +1,75 @@
+// Per-replica circuit breaker: the self-healing dispatcher's memory of
+// which PDP replicas are currently hurting it.
+//
+// A closed breaker passes traffic through. Consecutive failures (RPC
+// timeouts, undecodable replies) trip it open; while open, the
+// dispatcher skips the replica entirely — the point is that a dead node
+// costs a bounded number of timeouts, not one per request. After a
+// cooldown the breaker admits exactly one half-open probe; a success
+// closes it again, a failure re-opens it for another cooldown.
+//
+// Deterministic: time comes from an injected common::Clock (the
+// simulator's clock in tests/benches), and there is no internal
+// randomness. Single-threaded by contract, like the dispatcher it
+// serves.
+#pragma once
+
+#include <cstddef>
+
+#include "common/clock.hpp"
+
+namespace mdac::dependability {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Config {
+    /// Consecutive failures that trip the breaker open.
+    std::size_t failure_threshold = 3;
+    /// Cooldown before an open breaker admits a half-open probe (ms).
+    common::Duration open_for = 1000;
+  };
+
+  /// Outcome of asking the breaker for admission.
+  enum class Gate {
+    kAllow,  ///< closed: normal traffic
+    kProbe,  ///< open past its cooldown: this one try is the probe
+    kBlock,  ///< open (or probing already): skip the replica, no traffic
+  };
+
+  struct Stats {
+    std::size_t opens = 0;   ///< closed/half-open -> open transitions
+    std::size_t probes = 0;  ///< half-open probes admitted
+    std::size_t blocks = 0;  ///< tries suppressed while open
+  };
+
+  explicit CircuitBreaker(const common::Clock& clock)
+      : CircuitBreaker(clock, Config{}) {}
+  CircuitBreaker(const common::Clock& clock, Config config)
+      : clock_(clock), config_(config) {}
+
+  /// Asks to send one try now. kProbe/kAllow MUST be followed by exactly
+  /// one record_success()/record_failure() for that try's outcome.
+  Gate admit();
+
+  void record_success();
+  /// Returns true when this failure tripped the breaker open.
+  bool record_failure();
+
+  State state() const { return state_; }
+  std::size_t consecutive_failures() const { return consecutive_failures_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void open_now();
+
+  const common::Clock& clock_;
+  Config config_;
+  State state_ = State::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  common::TimePoint opened_at_ = 0;
+  Stats stats_;
+};
+
+}  // namespace mdac::dependability

@@ -1,5 +1,7 @@
 #include "dependability/heartbeat.hpp"
 
+#include <stdexcept>
+
 namespace mdac::dependability {
 
 HeartbeatMonitor::HeartbeatMonitor(net::Network& network, std::string node_id,
@@ -10,7 +12,24 @@ HeartbeatMonitor::HeartbeatMonitor(net::Network& network, std::string node_id,
       node_(network, std::move(node_id)),
       targets_(std::move(targets)),
       period_(period),
-      probe_timeout_(probe_timeout) {}
+      probe_timeout_(probe_timeout) {
+  if (targets_.empty()) {
+    throw std::invalid_argument("HeartbeatMonitor: no targets to monitor");
+  }
+  if (period_ <= 0) {
+    throw std::invalid_argument("HeartbeatMonitor: period must be positive");
+  }
+  if (probe_timeout_ <= 0) {
+    throw std::invalid_argument("HeartbeatMonitor: probe timeout must be positive");
+  }
+  if (probe_timeout_ >= period_) {
+    // Otherwise unanswered probes outlive the probing period: probes
+    // pile up against a dead target and liveness judgements lag by
+    // however many are in flight.
+    throw std::invalid_argument(
+        "HeartbeatMonitor: probe timeout must be shorter than the period");
+  }
+}
 
 HeartbeatMonitor::~HeartbeatMonitor() { running_ = false; }
 
@@ -24,6 +43,9 @@ void HeartbeatMonitor::start() {
 void HeartbeatMonitor::stop() { running_ = false; }
 
 void HeartbeatMonitor::probe_all() {
+  // Liveness can flip to *dead* purely by time passing (last reply went
+  // stale), so re-derive at every probing tick, not only on responses.
+  note_liveness_change();
   for (const std::string& target : targets_) {
     ++probes_sent_;
     node_.call(target, "ping", "", probe_timeout_,
@@ -33,6 +55,9 @@ void HeartbeatMonitor::probe_all() {
                  if (response.has_value()) {
                    last_seen_[target] = network_.simulator().now();
                  }
+                 // Fires on replies AND timeouts: a reply may flip the
+                 // target up, a timeout may have let it go stale.
+                 note_liveness_change();
                });
   }
 }
@@ -44,6 +69,20 @@ void HeartbeatMonitor::schedule_next() {
         probe_all();
         schedule_next();
       });
+}
+
+void HeartbeatMonitor::note_liveness_change() {
+  bool changed = false;
+  for (const std::string& target : targets_) {
+    const bool now_alive = is_alive(target);
+    auto [it, inserted] = was_alive_.try_emplace(target, false);
+    if (it->second != now_alive) {
+      it->second = now_alive;
+      ++transitions_observed_;
+      changed = true;
+    }
+  }
+  if (changed && change_listener_) change_listener_();
 }
 
 bool HeartbeatMonitor::is_alive(const std::string& target) const {

@@ -3,9 +3,13 @@
 // and decision points may not be feasible". The monitor pings targets on
 // a fixed period; a target is alive while its last reply is fresh. A
 // failover client can consult `preferred_order()` to try live replicas
-// first.
+// first — or subscribe with set_change_listener to be told whenever the
+// monitor observes a liveness transition (ReplicatedPdpClient::
+// attach_health_feed uses this to reorder its replica list
+// automatically).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,6 +21,14 @@ namespace mdac::dependability {
 
 class HeartbeatMonitor {
  public:
+  /// Fired (synchronously, from simulator events) after any target's
+  /// observed liveness flips — up→down or down→up.
+  using ChangeListener = std::function<void()>;
+
+  /// Throws std::invalid_argument on an unusable configuration: empty
+  /// target list, non-positive period/probe_timeout, or a probe timeout
+  /// that is not shorter than the period (probes would pile up and a
+  /// reply could never be judged stale before the next probe fires).
   HeartbeatMonitor(net::Network& network, std::string node_id,
                    std::vector<std::string> targets, common::Duration period = 100,
                    common::Duration probe_timeout = 50);
@@ -31,11 +43,22 @@ class HeartbeatMonitor {
   /// All targets, live ones first (stable within each group).
   std::vector<std::string> preferred_order() const;
 
+  /// Installs (or clears, with nullptr) the liveness-transition
+  /// listener. At most one; the previous listener is replaced.
+  void set_change_listener(ChangeListener listener) {
+    change_listener_ = std::move(listener);
+  }
+
   std::size_t probes_sent() const { return probes_sent_; }
+  /// Liveness transitions observed so far (either direction).
+  std::size_t transitions_observed() const { return transitions_observed_; }
 
  private:
   void probe_all();
   void schedule_next();
+  /// Re-derives every target's liveness flag and fires the change
+  /// listener if any flipped since the last check.
+  void note_liveness_change();
 
   net::Network& network_;
   net::RpcNode node_;
@@ -43,8 +66,11 @@ class HeartbeatMonitor {
   common::Duration period_;
   common::Duration probe_timeout_;
   std::map<std::string, common::TimePoint> last_seen_;
+  std::map<std::string, bool> was_alive_;
+  ChangeListener change_listener_;
   bool running_ = false;
   std::size_t probes_sent_ = 0;
+  std::size_t transitions_observed_ = 0;
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 

@@ -1,22 +1,43 @@
 #include "dependability/replicated_pdp.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/serialization.hpp"
+#include "dependability/heartbeat.hpp"
 
 namespace mdac::dependability {
 
 ReplicatedPdpClient::ReplicatedPdpClient(net::Network& network, std::string node_id,
                                          std::vector<std::string> replica_ids,
                                          DispatchStrategy strategy,
-                                         common::Duration per_try_timeout)
+                                         DispatchConfig config)
     : node_(network, std::move(node_id)),
       replicas_(std::move(replica_ids)),
       known_replicas_(replicas_),
       strategy_(strategy),
-      per_try_timeout_(per_try_timeout) {
+      config_(config),
+      jitter_rng_(config.seed) {
   std::sort(known_replicas_.begin(), known_replicas_.end());
+  known_replicas_.erase(
+      std::unique(known_replicas_.begin(), known_replicas_.end()),
+      known_replicas_.end());
+  for (const std::string& id : known_replicas_) {
+    breakers_.emplace(id, CircuitBreaker(network.simulator().clock(),
+                                         config_.breaker));
+  }
 }
+
+ReplicatedPdpClient::ReplicatedPdpClient(net::Network& network, std::string node_id,
+                                         std::vector<std::string> replica_ids,
+                                         DispatchStrategy strategy,
+                                         common::Duration per_try_timeout)
+    : ReplicatedPdpClient(network, std::move(node_id), std::move(replica_ids),
+                          strategy, [&] {
+                            DispatchConfig c;
+                            c.per_try_timeout = per_try_timeout;
+                            return c;
+                          }()) {}
 
 std::size_t ReplicatedPdpClient::set_replica_order(
     std::vector<std::string> replica_ids) {
@@ -40,124 +61,289 @@ std::size_t ReplicatedPdpClient::set_replica_order(
   return replicas_.size();
 }
 
+void ReplicatedPdpClient::attach_health_feed(HeartbeatMonitor& monitor) {
+  health_ = &monitor;
+  monitor.set_change_listener([this, alive = std::weak_ptr<char>(alive_)] {
+    if (alive.expired()) return;
+    refresh_from_health_feed();
+  });
+  refresh_from_health_feed();
+}
+
+void ReplicatedPdpClient::refresh_from_health_feed() {
+  if (health_ == nullptr) return;
+  set_replica_order(health_->preferred_order());
+  ++stats_.health_reorders;
+}
+
+const CircuitBreaker* ReplicatedPdpClient::breaker(
+    const std::string& replica_id) const {
+  const auto it = breakers_.find(replica_id);
+  return it != breakers_.end() ? &it->second : nullptr;
+}
+
+CircuitBreaker& ReplicatedPdpClient::breaker_for(const std::string& replica_id) {
+  return breakers_.at(replica_id);
+}
+
+common::Duration ReplicatedPdpClient::jittered_backoff(common::Duration backoff) {
+  if (backoff <= 0) return 0;
+  const double jitter = config_.backoff_jitter;
+  if (jitter <= 0) return backoff;
+  const double factor = 1.0 + jitter_rng_.uniform_double(-jitter, jitter);
+  return std::max<common::Duration>(
+      1, static_cast<common::Duration>(std::llround(backoff * factor)));
+}
+
+void ReplicatedPdpClient::deliver_failsafe(DecisionCallback& callback,
+                                           std::string message) {
+  ++stats_.failsafe;
+  callback(core::Decision::indeterminate(
+      core::IndeterminateExtent::kDP,
+      core::Status::processing_error(std::move(message))));
+}
+
 void ReplicatedPdpClient::evaluate(const core::RequestContext& request,
                                    DecisionCallback callback) {
   ++stats_.requests;
-  const std::string request_xml = core::request_to_string(request);
-  if (replicas_.empty()) {
-    callback(core::Decision::indeterminate(
-        core::IndeterminateExtent::kDP,
-        core::Status::processing_error("no PDP replicas configured")));
+  std::string request_xml = core::request_to_string(request);
+  if (strategy_ == DispatchStrategy::kQuorum) {
+    evaluate_quorum(std::move(request_xml), std::move(callback));
     return;
   }
-  if (strategy_ == DispatchStrategy::kFailover) {
-    evaluate_failover(std::make_shared<const std::string>(request_xml), 0,
-                      std::move(callback));
-  } else {
-    evaluate_quorum(request_xml, std::move(callback));
-  }
+  auto call = std::make_shared<FailoverCall>();
+  call->request_xml =
+      std::make_shared<const std::string>(std::move(request_xml));
+  call->callback = std::move(callback);
+  call->next_backoff = config_.base_backoff;
+  start_wave(call);
 }
 
-void ReplicatedPdpClient::evaluate_failover(
-    std::shared_ptr<const std::string> request_xml, std::size_t index,
-    DecisionCallback callback) {
-  if (index >= replicas_.size()) {
+void ReplicatedPdpClient::start_wave(const std::shared_ptr<FailoverCall>& call) {
+  // Snapshot the current preference order: a health-feed reorder between
+  // waves is picked up here, so wave 2 tries the replicas the monitor
+  // now believes are alive first.
+  call->order = replicas_;
+  call->position = 0;
+  if (call->order.empty()) {
+    if (call->wave == 1) {
+      deliver_failsafe(call->callback,
+                       "dispatch-no-replicas: no PDP replicas configured");
+    } else {
+      ++stats_.exhausted;
+      deliver_failsafe(call->callback,
+                       "dispatch-exhausted: replica list became empty after " +
+                           std::to_string(call->attempts) + " tries");
+    }
+    return;
+  }
+  try_next(call);
+}
+
+void ReplicatedPdpClient::try_next(const std::shared_ptr<FailoverCall>& call) {
+  while (call->position < call->order.size()) {
+    if (call->attempts >= config_.max_attempts) {
+      ++stats_.exhausted;
+      deliver_failsafe(call->callback,
+                       "dispatch-exhausted: retry budget spent (" +
+                           std::to_string(call->attempts) + " tries over " +
+                           std::to_string(call->wave) +
+                           " waves, no replica answered definitively)");
+      return;
+    }
+    const std::string id = call->order[call->position++];
+    switch (breaker_for(id).admit()) {
+      case CircuitBreaker::Gate::kBlock:
+        ++stats_.breaker_skips;
+        continue;  // no traffic to a node we know is down
+      case CircuitBreaker::Gate::kProbe:
+        ++stats_.breaker_probes;
+        break;
+      case CircuitBreaker::Gate::kAllow:
+        break;
+    }
+
+    if (call->attempts > 0) ++stats_.failovers;
+    if (call->wave > 1) ++stats_.retries;
+    ++call->attempts;
+    ++stats_.tries;
+    ++stats_.tries_by_replica[id];
+
+    node_.call(
+        id, pep::kAuthzRequestType, *call->request_xml, config_.per_try_timeout,
+        [this, call, id, alive = std::weak_ptr<char>(alive_)](
+            std::optional<std::string> response) {
+          if (alive.expired()) return;  // client destroyed mid-flight
+          if (!response.has_value()) {
+            if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+            try_next(call);
+            return;
+          }
+          core::Decision decision;
+          try {
+            decision = core::decision_from_string(*response);
+          } catch (const std::exception&) {
+            // Undecodable reply: transport corruption or a broken
+            // replica — either way a failure signal for the breaker.
+            ++stats_.undecodable_replies;
+            if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+            try_next(call);
+            return;
+          }
+          // The replica answered decodably: it is alive, whatever it
+          // said — the breaker only tracks reachability.
+          breaker_for(id).record_success();
+          if (pep::classify_reply(decision) == pep::ReplyClass::kRetryable) {
+            // Overload shed / not-provisioned / corrupted-request echo:
+            // try the next replica immediately (no backoff — the node is
+            // up, this request just can't be served THERE right now).
+            ++stats_.retryable_replies;
+            try_next(call);
+            return;
+          }
+          if (decision.is_permit() || decision.is_deny()) ++stats_.decided;
+          call->callback(std::move(decision));
+        });
+    return;  // wait for the RPC callback
+  }
+  finish_wave(call);
+}
+
+void ReplicatedPdpClient::finish_wave(const std::shared_ptr<FailoverCall>& call) {
+  if (call->wave >= config_.max_waves || call->attempts >= config_.max_attempts) {
     ++stats_.exhausted;
-    callback(core::Decision::indeterminate(
-        core::IndeterminateExtent::kDP,
-        core::Status::processing_error("all PDP replicas unreachable")));
+    deliver_failsafe(call->callback,
+                     "dispatch-exhausted: retry budget spent (" +
+                         std::to_string(call->attempts) + " tries over " +
+                         std::to_string(call->wave) +
+                         " waves, no replica answered definitively)");
     return;
   }
-  if (index > 0) ++stats_.failovers;
-
-  node_.call(replicas_[index], pep::kAuthzRequestType, *request_xml,
-             per_try_timeout_,
-             [this, request_xml, index, callback](std::optional<std::string> response) {
-               if (!response.has_value()) {
-                 evaluate_failover(request_xml, index + 1, callback);
-                 return;
-               }
-               core::Decision decision;
-               try {
-                 decision = core::decision_from_string(*response);
-               } catch (const std::exception&) {
-                 evaluate_failover(request_xml, index + 1, callback);
-                 return;
-               }
-               if (decision.is_permit() || decision.is_deny()) ++stats_.decided;
-               callback(std::move(decision));
-             });
+  ++call->wave;
+  ++stats_.backoffs;
+  const common::Duration delay = jittered_backoff(call->next_backoff);
+  call->next_backoff =
+      std::min(config_.max_backoff, call->next_backoff * 2);
+  node_.network().simulator().schedule(
+      delay, [this, call, alive = std::weak_ptr<char>(alive_)] {
+        if (alive.expired()) return;
+        start_wave(call);
+      });
 }
 
-void ReplicatedPdpClient::evaluate_quorum(const std::string& request_xml,
+void ReplicatedPdpClient::evaluate_quorum(std::string request_xml,
                                           DecisionCallback callback) {
   struct Pending {
-    std::size_t remaining;
+    std::size_t remaining = 0;
     std::size_t permits = 0;
     std::size_t denies = 0;
-    std::size_t total;
+    std::size_t electorate = 0;
     bool resolved = false;
     DecisionCallback callback;
     // First decision of each kind, kept whole so obligations survive.
     core::Decision first_permit;
     core::Decision first_deny;
-    DispatchStats* stats;
-
-    void maybe_finish() {
-      if (resolved) return;
-      const std::size_t majority = total / 2 + 1;
-      if (permits >= majority) {
-        resolved = true;
-        ++stats->decided;
-        callback(first_permit);
-        return;
-      }
-      if (denies >= majority) {
-        resolved = true;
-        ++stats->decided;
-        callback(first_deny);
-        return;
-      }
-      // Not decidable yet; if nothing is outstanding, give up.
-      if (remaining == 0) {
-        resolved = true;
-        ++stats->quorum_indecisive;
-        callback(core::Decision::indeterminate(
-            core::IndeterminateExtent::kDP,
-            core::Status::processing_error(
-                "no majority among PDP replicas (permits=" +
-                std::to_string(permits) + ", denies=" + std::to_string(denies) +
-                ")")));
-      }
-    }
   };
 
   auto pending = std::make_shared<Pending>();
-  pending->remaining = replicas_.size();
-  pending->total = replicas_.size();
+  // The electorate is the KNOWN replica set (or an explicit override),
+  // not the current preference list: a health feed shrinking the order
+  // to the live replicas must not shrink the majority bar with it and
+  // make a single slow replica indecisive (the degraded-quorum bug).
+  pending->electorate =
+      config_.quorum_votes > 0 ? config_.quorum_votes : known_replicas_.size();
   pending->callback = std::move(callback);
-  pending->stats = &stats_;
 
-  for (const std::string& replica : replicas_) {
-    node_.call(replica, pep::kAuthzRequestType, request_xml, per_try_timeout_,
-               [pending](std::optional<std::string> response) {
-                 --pending->remaining;
-                 if (response.has_value()) {
-                   try {
-                     core::Decision d = core::decision_from_string(*response);
-                     if (d.is_permit()) {
-                       if (pending->permits == 0) pending->first_permit = d;
-                       ++pending->permits;
-                     } else if (d.is_deny()) {
-                       if (pending->denies == 0) pending->first_deny = d;
-                       ++pending->denies;
-                     }
-                   } catch (const std::exception&) {
-                     // Undecodable replica answer counts as no vote.
-                   }
-                 }
-                 pending->maybe_finish();
-               });
+  const auto maybe_finish = [this, pending] {
+    if (pending->resolved) return;
+    const std::size_t majority = pending->electorate / 2 + 1;
+    if (pending->permits >= majority) {
+      pending->resolved = true;
+      ++stats_.decided;
+      pending->callback(pending->first_permit);
+      return;
+    }
+    if (pending->denies >= majority) {
+      pending->resolved = true;
+      ++stats_.decided;
+      pending->callback(pending->first_deny);
+      return;
+    }
+    // Not decidable yet; if nothing is outstanding, give up.
+    if (pending->remaining == 0) {
+      pending->resolved = true;
+      ++stats_.quorum_indecisive;
+      deliver_failsafe(pending->callback,
+                       "dispatch-no-quorum: no majority among PDP replicas "
+                       "(permits=" + std::to_string(pending->permits) +
+                           ", denies=" + std::to_string(pending->denies) +
+                           ", electorate=" + std::to_string(pending->electorate) +
+                           ")");
+    }
+  };
+
+  if (known_replicas_.empty()) {
+    deliver_failsafe(pending->callback,
+                     "dispatch-no-replicas: no PDP replicas configured");
+    return;
+  }
+
+  // Quorum queries the whole known set — the preference order is a
+  // failover concept; votes need reach. Open breakers still suppress
+  // traffic (a dead node costs nothing); the skipped replica simply
+  // contributes no vote against the fixed electorate.
+  std::vector<std::string> targets;
+  for (const std::string& id : known_replicas_) {
+    switch (breaker_for(id).admit()) {
+      case CircuitBreaker::Gate::kBlock:
+        ++stats_.breaker_skips;
+        continue;
+      case CircuitBreaker::Gate::kProbe:
+        ++stats_.breaker_probes;
+        break;
+      case CircuitBreaker::Gate::kAllow:
+        break;
+    }
+    targets.push_back(id);
+  }
+  pending->remaining = targets.size();
+  if (targets.empty()) {
+    maybe_finish();  // everything breaker-blocked: immediate fail-safe
+    return;
+  }
+
+  for (const std::string& id : targets) {
+    ++stats_.tries;
+    ++stats_.tries_by_replica[id];
+    node_.call(
+        id, pep::kAuthzRequestType, request_xml, config_.per_try_timeout,
+        [this, pending, maybe_finish, id,
+         alive = std::weak_ptr<char>(alive_)](std::optional<std::string> response) {
+          if (alive.expired()) return;  // client destroyed mid-flight
+          --pending->remaining;
+          if (response.has_value()) {
+            try {
+              core::Decision d = core::decision_from_string(*response);
+              breaker_for(id).record_success();
+              if (pep::classify_reply(d) == pep::ReplyClass::kRetryable) {
+                ++stats_.retryable_replies;  // alive but not serving: no vote
+              } else if (d.is_permit()) {
+                if (pending->permits == 0) pending->first_permit = std::move(d);
+                ++pending->permits;
+              } else if (d.is_deny()) {
+                if (pending->denies == 0) pending->first_deny = std::move(d);
+                ++pending->denies;
+              }
+            } catch (const std::exception&) {
+              // Undecodable replica answer counts as no vote.
+              ++stats_.undecodable_replies;
+              if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+            }
+          } else {
+            if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+          }
+          maybe_finish();
+        });
   }
 }
 

@@ -1,27 +1,55 @@
-// Dependable decision making: PDP replication with failover and quorum
-// dispatch.
+// Dependable decision making: PDP replication with self-healing
+// failover and quorum dispatch.
 //
 // The paper's title promises *dependable* access control; §3.2 observes
 // that static PEP→PDP binding "does not fit into large computing
 // environments" and that the authorisation fabric needs the same
 // protection as the resources. This module makes the PDP a replicated
-// service: a PEP-side dispatcher either walks an ordered replica list on
-// timeout (failover) or queries all replicas and takes the majority
-// (quorum — which also masks a *corrupted* minority replica, not just
-// crashed ones). Experiment C7 measures availability and latency for
-// both strategies under failure injection.
+// service. A PEP-side dispatcher either walks an ordered replica list
+// (failover) or queries the replica set and takes the majority (quorum —
+// which also masks a *corrupted* minority replica, not just crashed
+// ones).
+//
+// The failover path is self-healing (ISSUE 6):
+//   * per-try deadlines, and between passes over the replica list a
+//     capped exponential backoff with deterministic Rng-seeded jitter;
+//   * a per-replica circuit breaker (dependability/breaker.hpp): a dead
+//     replica costs a bounded number of timeouts, then gets skipped
+//     until a half-open probe finds it again;
+//   * health-feed integration: attach_health_feed(HeartbeatMonitor&)
+//     reorders the replica list automatically whenever the monitor sees
+//     a liveness transition — no manual set_replica_order calls;
+//   * shed-aware failover: a replica answering with an engine
+//     "overload-shed" status (pep::classify_reply → kRetryable) is
+//     alive-but-refusing, so the dispatcher tries the next replica
+//     immediately instead of delivering the shed to the PEP;
+//   * graceful degradation: when the retry budget is spent the caller
+//     gets a fail-safe Indeterminate{DP} whose status carries the
+//     distinct kDispatchFailsafePrefix, never a fabricated decision.
+//
+// The delivered-decision invariant the chaos tests pin: under any
+// seeded net::FaultPlan, every decision this dispatcher delivers is
+// either byte-identical to the fault-free oracle's or an explicit
+// fail-safe indeterminate (is_dispatch_failsafe) — never stale, never a
+// fabricated permit. Experiment C7 measures availability and latency
+// for both strategies under the named fault plans.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/pdp.hpp"
+#include "dependability/breaker.hpp"
 #include "net/rpc.hpp"
 #include "pep/remote.hpp"
 
 namespace mdac::dependability {
+
+class HeartbeatMonitor;
 
 /// A network-visible PDP replica whose liveness can be toggled (crash /
 /// recover injection). Down replicas silently lose traffic; callers only
@@ -50,23 +78,85 @@ class PdpReplica {
 
 enum class DispatchStrategy { kFailover, kQuorum };
 
-struct DispatchStats {
-  std::size_t requests = 0;
-  std::size_t decided = 0;          // definitive permit/deny delivered
-  std::size_t failovers = 0;        // failover: tries beyond the first
-  std::size_t exhausted = 0;        // failover: all replicas failed
-  std::size_t quorum_indecisive = 0;  // quorum: no majority reached
+/// Self-healing dispatch knobs. Defaults are sane for the simulated
+/// 5-10ms links the experiments use.
+struct DispatchConfig {
+  /// Per-try deadline: one RPC's timeout (ms).
+  common::Duration per_try_timeout = 200;
+  /// Total RPC tries one evaluate() may spend across all waves.
+  std::size_t max_attempts = 8;
+  /// Passes over the replica list before giving up (failover).
+  std::size_t max_waves = 3;
+  /// Backoff between waves: capped exponential starting here (ms)...
+  common::Duration base_backoff = 10;
+  common::Duration max_backoff = 160;
+  /// ...with deterministic multiplicative jitter in [1-j, 1+j], drawn
+  /// from an Rng seeded with `seed` (reproducible experiments).
+  double backoff_jitter = 0.25;
+  std::uint64_t seed = 42;
+  /// Per-replica circuit breaker configuration.
+  CircuitBreaker::Config breaker;
+  /// Quorum electorate the majority is computed against. 0 = the known
+  /// (construction-time) replica set — NOT the current preference list,
+  /// so a health feed shrinking the order cannot shrink the electorate
+  /// into indecision (the degraded-quorum bug this replaces).
+  std::size_t quorum_votes = 0;
 };
 
+struct DispatchStats {
+  std::size_t requests = 0;
+  std::size_t decided = 0;       ///< definitive permit/deny delivered
+  std::size_t failsafe = 0;      ///< explicit fail-safe indeterminates delivered
+  std::size_t tries = 0;         ///< RPC tries actually sent
+  std::size_t failovers = 0;     ///< tries beyond a request's first
+  std::size_t retries = 0;       ///< tries in waves >= 2 (after backoff)
+  std::size_t backoffs = 0;      ///< backoff waits scheduled between waves
+  std::size_t retryable_replies = 0;  ///< shed / not-ready / corrupt-echo replies skipped past
+  std::size_t undecodable_replies = 0;  ///< replies whose decision XML failed to parse
+  std::size_t breaker_skips = 0;   ///< sends suppressed by open breakers
+  std::size_t breaker_opens = 0;   ///< breaker trips (per-replica detail: breaker())
+  std::size_t breaker_probes = 0;  ///< half-open probes sent
+  std::size_t health_reorders = 0;  ///< automatic reorders from the health feed
+  std::size_t exhausted = 0;       ///< failover: retry budget spent
+  std::size_t quorum_indecisive = 0;  ///< quorum: no majority reached
+  /// Retry-traffic accounting per replica id — what the chaos tests
+  /// assert stays bounded for a dead node once its breaker opens.
+  std::map<std::string, std::size_t> tries_by_replica;
+};
+
+/// Every fail-safe status this dispatcher fabricates (as opposed to
+/// decisions a PDP actually returned) starts with this prefix:
+///   "dispatch-exhausted: ..."   failover retry budget spent
+///   "dispatch-no-replicas: ..." nothing to dispatch to
+///   "dispatch-no-quorum: ..."   no majority among the electorate
+inline constexpr std::string_view kDispatchFailsafePrefix = "dispatch-";
+
+/// True iff `d` is one of this dispatcher's explicit fail-safe
+/// indeterminates — the only delivered decisions allowed to differ from
+/// the fault-free oracle under fault injection.
+inline bool is_dispatch_failsafe(const core::Decision& d) {
+  return d.is_indeterminate() &&
+         std::string_view(d.status.message)
+                 .substr(0, kDispatchFailsafePrefix.size()) == kDispatchFailsafePrefix;
+}
+
 /// PEP-side dispatcher over an ordered replica list.
+///
+/// Lifetime: destroying the client cancels all in-flight dispatch state;
+/// outstanding simulator events (RPC timeouts, backoff waves, health
+/// listeners) become no-ops via the shared liveness token, and pending
+/// DecisionCallbacks are dropped without being invoked.
 class ReplicatedPdpClient {
  public:
   using DecisionCallback = std::function<void(core::Decision)>;
 
   ReplicatedPdpClient(net::Network& network, std::string node_id,
                       std::vector<std::string> replica_ids,
-                      DispatchStrategy strategy,
-                      common::Duration per_try_timeout = 200);
+                      DispatchStrategy strategy, DispatchConfig config = {});
+  /// Compatibility shape: default config with an explicit per-try timeout.
+  ReplicatedPdpClient(net::Network& network, std::string node_id,
+                      std::vector<std::string> replica_ids,
+                      DispatchStrategy strategy, common::Duration per_try_timeout);
 
   void evaluate(const core::RequestContext& request, DecisionCallback callback);
 
@@ -78,21 +168,54 @@ class ReplicatedPdpClient {
   std::size_t set_replica_order(std::vector<std::string> replica_ids);
   const std::vector<std::string>& replicas() const { return replicas_; }
 
+  /// Subscribes to the monitor: whenever it observes a liveness
+  /// transition, the replica preference order is refreshed to
+  /// live-first automatically (validated against the known set exactly
+  /// like set_replica_order). The monitor must outlive the client or
+  /// simply stop firing; the subscription holds no owning reference
+  /// back — a destroyed client leaves the listener a no-op.
+  void attach_health_feed(HeartbeatMonitor& monitor);
+
   const DispatchStats& stats() const { return stats_; }
+  /// Per-replica breaker state/stats; nullptr for unknown ids.
+  const CircuitBreaker* breaker(const std::string& replica_id) const;
 
  private:
-  void evaluate_failover(std::shared_ptr<const std::string> request_xml,
-                         std::size_t index, DecisionCallback callback);
-  void evaluate_quorum(const std::string& request_xml, DecisionCallback callback);
+  struct FailoverCall {
+    std::shared_ptr<const std::string> request_xml;
+    DecisionCallback callback;  // moved in once, never copied per hop
+    std::vector<std::string> order;  // this wave's replica order
+    std::size_t position = 0;
+    std::size_t wave = 1;
+    std::size_t attempts = 0;
+    common::Duration next_backoff = 0;
+  };
+
+  void start_wave(const std::shared_ptr<FailoverCall>& call);
+  void try_next(const std::shared_ptr<FailoverCall>& call);
+  void finish_wave(const std::shared_ptr<FailoverCall>& call);
+  void deliver_failsafe(DecisionCallback& callback, std::string message);
+  void evaluate_quorum(std::string request_xml, DecisionCallback callback);
+  CircuitBreaker& breaker_for(const std::string& replica_id);
+  common::Duration jittered_backoff(common::Duration backoff);
+  void refresh_from_health_feed();
 
   net::RpcNode node_;
   std::vector<std::string> replicas_;
   /// The construction-time replica set: the only ids set_replica_order
-  /// may install (sorted for lookup).
+  /// may install (sorted for lookup), and the quorum electorate.
   std::vector<std::string> known_replicas_;
   DispatchStrategy strategy_;
-  common::Duration per_try_timeout_;
+  DispatchConfig config_;
+  common::Rng jitter_rng_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  HeartbeatMonitor* health_ = nullptr;
   DispatchStats stats_;
+  /// Liveness token: every deferred continuation (RPC callbacks, backoff
+  /// waves, health listeners) holds a weak_ptr; a client destroyed with
+  /// calls outstanding turns them into no-ops instead of use-after-free
+  /// (the pattern HeartbeatMonitor already uses).
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace mdac::dependability

@@ -1,0 +1,216 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdac::net {
+
+namespace {
+
+bool matches(const std::string& pattern, const std::string& id) {
+  return pattern.empty() || pattern == id;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add_link_fault(LinkFault fault) {
+  link_faults_.push_back(std::move(fault));
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_outage(NodeOutage outage) {
+  outages_.push_back(std::move(outage));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(const std::vector<std::string>& from_group,
+                                const std::vector<std::string>& to_group,
+                                common::TimePoint start, common::TimePoint stop) {
+  for (const std::string& from : from_group) {
+    for (const std::string& to : to_group) {
+      LinkFault f;
+      f.from = from;
+      f.to = to;
+      f.start = start;
+      f.stop = stop;
+      f.drop_probability = 1.0;
+      link_faults_.push_back(std::move(f));
+    }
+  }
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(const std::string& node, common::TimePoint first_down,
+                           common::Duration down_for, common::Duration period,
+                           common::TimePoint until) {
+  if (down_for <= 0 || period <= down_for) {
+    throw std::invalid_argument(
+        "FaultPlan::flap: need 0 < down_for < period (the node must spend "
+        "time up between outages)");
+  }
+  for (common::TimePoint at = first_down; at < until; at += period) {
+    outages_.push_back({node, at, std::min<common::TimePoint>(at + down_for, until)});
+  }
+  return *this;
+}
+
+void FaultPlan::arm(Network& network) {
+  network_ = &network;
+  network.set_fault_injector(this);
+  Simulator& sim = network.simulator();
+  for (const NodeOutage& outage : outages_) {
+    const auto at_or_now = [&](common::TimePoint at) {
+      return std::max<common::Duration>(0, at - sim.now());
+    };
+    sim.schedule(at_or_now(outage.from),
+                 [this, node = outage.node, alive = std::weak_ptr<char>(alive_)] {
+                   if (alive.expired() || network_ == nullptr) return;
+                   network_->set_node_up(node, false);
+                   ++stats_.crashes;
+                 });
+    if (outage.to != std::numeric_limits<common::TimePoint>::max()) {
+      sim.schedule(at_or_now(outage.to),
+                   [this, node = outage.node, alive = std::weak_ptr<char>(alive_)] {
+                     if (alive.expired() || network_ == nullptr) return;
+                     network_->set_node_up(node, true);
+                     ++stats_.recoveries;
+                   });
+    }
+  }
+}
+
+void FaultPlan::disarm() {
+  if (network_ != nullptr && network_->fault_injector() == this) {
+    network_->set_fault_injector(nullptr);
+  }
+  network_ = nullptr;
+}
+
+FaultInjector::Verdict FaultPlan::on_send(const Message& message) {
+  Verdict verdict;
+  if (network_ == nullptr) return verdict;
+  const common::TimePoint now = network_->simulator().now();
+  for (const LinkFault& fault : link_faults_) {
+    if (now < fault.start || now >= fault.stop) continue;
+    if (!matches(fault.from, message.from) || !matches(fault.to, message.to)) continue;
+
+    if (rng_.chance(fault.drop_probability)) {
+      ++stats_.drops;
+      verdict.drop = true;
+      return verdict;  // a dropped message suffers no further faults
+    }
+    common::Duration extra = fault.delay_ms;
+    if (fault.delay_jitter_ms > 0) {
+      extra += rng_.uniform_int(0, fault.delay_jitter_ms);
+    }
+    if (extra > 0) {
+      verdict.extra_delay += extra;
+      ++stats_.delays;
+    }
+    if (rng_.chance(fault.reorder_probability) && fault.reorder_window_ms > 0) {
+      // An extra uniform delay lets messages sent later overtake this
+      // one — reordering without a hold-and-release queue.
+      verdict.extra_delay += rng_.uniform_int(0, fault.reorder_window_ms);
+      ++stats_.reorders;
+    }
+    if (!verdict.duplicate && rng_.chance(fault.duplicate_probability)) {
+      verdict.duplicate = true;
+      ++stats_.duplicates;
+    }
+    if (!verdict.corrupt && rng_.chance(fault.corrupt_probability)) {
+      verdict.corrupt = true;
+      ++stats_.corruptions;
+    }
+  }
+  return verdict;
+}
+
+std::vector<std::string> named_fault_plan_names() {
+  return {"flaky-links", "primary-flap", "slow-partition", "dup-corrupt",
+          "chaos-mix"};
+}
+
+std::unique_ptr<FaultPlan> make_named_fault_plan(
+    const std::string& name, std::uint64_t seed,
+    const std::vector<std::string>& nodes, const std::string& client,
+    common::TimePoint horizon) {
+  if (nodes.empty()) {
+    throw std::invalid_argument("make_named_fault_plan: no nodes");
+  }
+  auto plan = std::make_unique<FaultPlan>(seed, name);
+
+  if (name == "flaky-links") {
+    LinkFault f;
+    f.stop = horizon;
+    f.drop_probability = 0.10;
+    f.delay_jitter_ms = 20;
+    plan->add_link_fault(std::move(f));
+    return plan;
+  }
+  if (name == "primary-flap") {
+    plan->flap(nodes.front(), /*first_down=*/100, /*down_for=*/300,
+               /*period=*/600, /*until=*/horizon);
+    return plan;
+  }
+  if (name == "slow-partition") {
+    if (nodes.size() > 1) {
+      // One-way partition for the middle half of the run: requests to
+      // nodes[1] vanish while its replies (and heartbeat pongs) still
+      // flow — the asymmetric failure a simple up/down flag cannot model.
+      plan->partition({client}, {nodes[1]}, horizon / 4, horizon / 2);
+    }
+    if (nodes.size() > 2) {
+      LinkFault slow;
+      slow.from = nodes[2];
+      slow.to = client;
+      slow.stop = horizon;
+      slow.delay_ms = 150;
+      plan->add_link_fault(std::move(slow));
+    }
+    return plan;
+  }
+  if (name == "dup-corrupt") {
+    LinkFault dup;
+    dup.stop = horizon;
+    dup.duplicate_probability = 0.25;
+    plan->add_link_fault(std::move(dup));
+    LinkFault corrupt_requests;
+    corrupt_requests.from = client;
+    corrupt_requests.to = nodes.front();
+    corrupt_requests.stop = horizon;
+    corrupt_requests.corrupt_probability = 0.20;
+    plan->add_link_fault(std::move(corrupt_requests));
+    if (nodes.size() > 1) {
+      LinkFault corrupt_replies;
+      corrupt_replies.from = nodes[1];
+      corrupt_replies.to = client;
+      corrupt_replies.stop = horizon;
+      corrupt_replies.corrupt_probability = 0.15;
+      plan->add_link_fault(std::move(corrupt_replies));
+    }
+    return plan;
+  }
+  if (name == "chaos-mix") {
+    LinkFault mild;
+    mild.stop = horizon;
+    mild.drop_probability = 0.05;
+    mild.delay_jitter_ms = 30;
+    mild.duplicate_probability = 0.10;
+    mild.reorder_probability = 0.10;
+    mild.reorder_window_ms = 40;
+    plan->add_link_fault(std::move(mild));
+    LinkFault corrupt;
+    corrupt.to = client;
+    corrupt.stop = horizon;
+    corrupt.corrupt_probability = 0.05;
+    plan->add_link_fault(std::move(corrupt));
+    if (nodes.size() > 2) {
+      plan->flap(nodes[2], /*first_down=*/200, /*down_for=*/250, /*period=*/900,
+                 /*until=*/horizon);
+    }
+    return plan;
+  }
+  throw std::invalid_argument("unknown fault plan '" + name + "'");
+}
+
+}  // namespace mdac::net

@@ -1,0 +1,145 @@
+// net::FaultPlan — deterministic, seeded fault scenarios over the
+// Simulator/Network substrate.
+//
+// The paper's dependability claim (§3.2) is about the authorisation
+// fabric surviving the failures real multi-domain networks produce, but
+// until this layer existed the simulator could only express uniform link
+// loss and manual node up/down toggles. A FaultPlan scripts faults the
+// way an experiment describes them:
+//
+//   * per-link scripted faults with [start, stop) activation windows —
+//     probabilistic drop, fixed + jittered delay spikes, duplication,
+//     payload corruption, and reorder windows (an extra uniformly random
+//     delay that lets later sends overtake earlier ones);
+//   * asymmetric partitions (drop=1 link faults in one direction only),
+//     built from node groups with partition();
+//   * node crash/recover windows and flapping schedules, expanded into
+//     simulator events when the plan is armed.
+//
+// Determinism: all randomness comes from the plan's own seeded Rng, the
+// simulator fires events in (time, insertion) order, and node
+// transitions are scheduled at arm() time — so a (plan, seed, workload)
+// triple replays byte-identically. That is what lets the chaos tests
+// assert the oracle invariant: under ANY armed plan, a dispatcher must
+// deliver either the fault-free oracle's decision or an explicit
+// fail-safe indeterminate, never a fabricated permit.
+//
+// Corruption model: a corrupted message has its payload replaced by
+// kCorruptedPayload, a marker no XML parser accepts. This models a
+// checksum-detectable mangled frame — receivers reliably *detect*
+// corruption (request parse fails server-side, decision parse fails
+// client-side) rather than silently evaluating an altered request,
+// which random byte flips could in principle produce.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace mdac::net {
+
+/// One scripted link fault. Empty `from`/`to` are wildcards; the fault
+/// is active for sends happening at simulated time in [start, stop).
+struct LinkFault {
+  std::string from;  // sender node id; empty = any
+  std::string to;    // receiver node id; empty = any
+  common::TimePoint start = 0;
+  common::TimePoint stop = std::numeric_limits<common::TimePoint>::max();
+
+  double drop_probability = 0.0;       // 1.0 = blackhole (partition)
+  common::Duration delay_ms = 0;       // fixed extra latency while active
+  common::Duration delay_jitter_ms = 0;  // plus uniform extra in [0, jitter]
+  double duplicate_probability = 0.0;  // deliver the message twice
+  double corrupt_probability = 0.0;    // replace payload with kCorruptedPayload
+  double reorder_probability = 0.0;    // extra uniform delay in [0, reorder_window_ms]
+  common::Duration reorder_window_ms = 0;
+};
+
+/// One scripted node outage: down at [from, to).
+struct NodeOutage {
+  std::string node;
+  common::TimePoint from = 0;
+  common::TimePoint to = std::numeric_limits<common::TimePoint>::max();
+};
+
+struct FaultPlanStats {
+  std::size_t drops = 0;
+  std::size_t delays = 0;
+  std::size_t duplicates = 0;
+  std::size_t corruptions = 0;
+  std::size_t reorders = 0;
+  std::size_t crashes = 0;
+  std::size_t recoveries = 0;
+};
+
+class FaultPlan final : public FaultInjector {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 42, std::string name = "")
+      : name_(std::move(name)), rng_(seed) {}
+
+  const std::string& name() const { return name_; }
+
+  FaultPlan& add_link_fault(LinkFault fault);
+  FaultPlan& add_outage(NodeOutage outage);
+
+  /// Asymmetric partition: messages from every node in `from_group` to
+  /// every node in `to_group` are dropped during [start, stop). Call
+  /// twice with the groups swapped for a symmetric partition.
+  FaultPlan& partition(const std::vector<std::string>& from_group,
+                       const std::vector<std::string>& to_group,
+                       common::TimePoint start, common::TimePoint stop);
+
+  /// Flapping schedule: `node` goes down at `first_down`, stays down for
+  /// `down_for`, comes back, and repeats every `period` until `until`.
+  FaultPlan& flap(const std::string& node, common::TimePoint first_down,
+                  common::Duration down_for, common::Duration period,
+                  common::TimePoint until);
+
+  /// Installs the plan: registers as the network's fault injector and
+  /// schedules every node outage transition on the simulator. The plan
+  /// must outlive the network (or be disarmed first).
+  void arm(Network& network);
+  /// Detaches from the network (scheduled node transitions already in
+  /// the simulator queue still fire; they only touch the network).
+  void disarm();
+
+  Verdict on_send(const Message& message) override;
+
+  const FaultPlanStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  common::Rng rng_;
+  std::vector<LinkFault> link_faults_;
+  std::vector<NodeOutage> outages_;
+  Network* network_ = nullptr;
+  FaultPlanStats stats_;
+  // Scheduled node transitions capture a weak_ptr to this token so a
+  // plan destroyed mid-run leaves them as no-ops, not dangling calls.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+/// The named fault plans the chaos tests and the C7 bench sweep share —
+/// every name is a reproducible scenario over a PEP (`client`) talking
+/// to PDP `nodes`, active until `horizon` (simulated ms):
+///   * "flaky-links"    — 10% loss + 0-20ms delay jitter on every link
+///   * "primary-flap"   — nodes[0] crash-flaps (down 300ms every 600ms)
+///   * "slow-partition" — client->nodes[1] blackholed for the middle of
+///                        the run; nodes[2]'s replies delayed +150ms
+///   * "dup-corrupt"    — 25% duplication everywhere; requests to
+///                        nodes[0] and replies from nodes[1] corrupted
+///   * "chaos-mix"      — mild everything: loss, jitter, duplication,
+///                        corruption, reordering, plus nodes[2] flapping
+std::vector<std::string> named_fault_plan_names();
+std::unique_ptr<FaultPlan> make_named_fault_plan(const std::string& name,
+                                                 std::uint64_t seed,
+                                                 const std::vector<std::string>& nodes,
+                                                 const std::string& client,
+                                                 common::TimePoint horizon = 60'000);
+
+}  // namespace mdac::net

@@ -38,19 +38,32 @@ void Network::send(Message message) {
   ++stats_.messages_sent;
   stats_.bytes_sent += message.size_bytes();
 
+  // The fault fabric sees the message first: a scripted fault can drop,
+  // delay, duplicate or corrupt it before the link's own behaviour.
+  FaultInjector::Verdict verdict;
+  if (injector_ != nullptr) verdict = injector_->on_send(message);
+  if (verdict.drop) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  if (verdict.corrupt) {
+    message.payload = kCorruptedPayload;
+    ++stats_.messages_corrupted;
+  }
+
   const LinkConfig& link = link_for(message.from, message.to);
   if (sim_.rng().chance(link.drop_probability)) {
     ++stats_.messages_dropped;
     return;
   }
 
-  common::Duration latency = link.base_latency;
+  common::Duration latency = link.base_latency + verdict.extra_delay;
   if (link.jitter > 0) latency += sim_.rng().uniform_int(0, link.jitter);
 
   // Deliver through the envelope codec so byte accounting and the parse
   // path are always exercised, exactly like a real stack would.
   const std::string wire = message.to_envelope();
-  sim_.schedule(latency, [this, wire]() {
+  const auto deliver = [this, wire]() {
     const auto decoded = Message::from_envelope(wire);
     if (!decoded) {
       ++stats_.messages_undeliverable;
@@ -63,7 +76,12 @@ void Network::send(Message message) {
     }
     ++stats_.messages_delivered;
     handler->second(*decoded);
-  });
+  };
+  sim_.schedule(latency, deliver);
+  if (verdict.duplicate) {
+    ++stats_.messages_duplicated;
+    sim_.schedule(latency + 1, deliver);
+  }
 }
 
 }  // namespace mdac::net

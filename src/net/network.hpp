@@ -23,7 +23,31 @@ struct NetworkStats {
   std::size_t messages_delivered = 0;
   std::size_t messages_dropped = 0;     // link loss or partition
   std::size_t messages_undeliverable = 0;  // unknown or down node
+  std::size_t messages_corrupted = 0;   // fault-injected payload corruption
+  std::size_t messages_duplicated = 0;  // fault-injected duplicate deliveries
   std::size_t bytes_sent = 0;
+};
+
+/// Payload stamped onto corrupted messages: deliberately not parseable
+/// as XML, so corruption is always *detected* by the receiving parser
+/// (the checksum-failure model — see net/fault.hpp) instead of silently
+/// mutating a request or decision into a different valid one.
+inline constexpr const char* kCorruptedPayload = "[payload corrupted in transit]";
+
+/// Hook consulted once per send: the fault-injection fabric's view of
+/// what should happen to this message (net::FaultPlan implements it; the
+/// default nullptr injector leaves the network fault-free).
+class FaultInjector {
+ public:
+  struct Verdict {
+    bool drop = false;
+    common::Duration extra_delay = 0;  // added to the link latency
+    bool duplicate = false;            // deliver a second copy
+    bool corrupt = false;              // replace payload with kCorruptedPayload
+  };
+
+  virtual ~FaultInjector() = default;
+  virtual Verdict on_send(const Message& message) = 0;
 };
 
 class Network {
@@ -46,6 +70,11 @@ class Network {
   void set_node_up(const std::string& id, bool up);
   bool is_up(const std::string& id) const;
 
+  /// Installs a fault injector consulted on every send (not owned; must
+  /// outlive the network or be cleared with nullptr). See net/fault.hpp.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   /// Sends asynchronously; delivery is scheduled on the simulator with
   /// the link's latency. Messages to unknown/down nodes are dropped.
   void send(Message message);
@@ -61,6 +90,7 @@ class Network {
   std::map<std::pair<std::string, std::string>, LinkConfig> links_;
   std::map<std::string, MessageHandler> handlers_;
   std::map<std::string, bool> up_;
+  FaultInjector* injector_ = nullptr;
   NetworkStats stats_;
 };
 

@@ -57,10 +57,23 @@ PdpService::PdpService(net::Network& network, std::string node_id,
     } catch (const std::exception& e) {
       decision = core::Decision::indeterminate(
           core::IndeterminateExtent::kDP,
-          core::Status::syntax_error(std::string("bad request context: ") + e.what()));
+          core::Status::syntax_error(std::string(kBadRequestStatusPrefix) + ": " +
+                                     e.what()));
     }
     return core::decision_to_string(decision);
   });
+}
+
+ReplyClass classify_reply(const core::Decision& decision) {
+  if (!decision.is_indeterminate()) return ReplyClass::kDeliverable;
+  const std::string& message = decision.status.message;
+  if (runtime::is_shed_status(message)) return ReplyClass::kRetryable;
+  if (message == runtime::kNoSnapshotMessage) return ReplyClass::kRetryable;
+  if (decision.status.code == core::StatusCode::kSyntaxError &&
+      message.starts_with(kBadRequestStatusPrefix)) {
+    return ReplyClass::kRetryable;
+  }
+  return ReplyClass::kDeliverable;
 }
 
 RemotePdpClient::RemotePdpClient(net::Network& network, std::string node_id,

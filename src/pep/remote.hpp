@@ -23,6 +23,33 @@ namespace mdac::pep {
 
 inline constexpr const char* kAuthzRequestType = "authz-request";
 
+/// Status-message prefix PdpService stamps on replies to requests whose
+/// payload failed to parse. Part of the retryable-reply contract: the
+/// PEP serialised the request itself, so a "bad request context" answer
+/// proves the payload was mangled in transit (corruption), not that the
+/// PEP sent garbage — a replicated dispatcher retries elsewhere instead
+/// of enforcing it.
+inline constexpr const char* kBadRequestStatusPrefix = "bad request context";
+
+/// How a replicated dispatcher should treat a decoded reply.
+enum class ReplyClass {
+  /// A real decision (or an evaluation-produced indeterminate): enforce
+  /// it. Identical to what the fault-free oracle would return.
+  kDeliverable,
+  /// A transient replica-side condition — engine overload shed, replica
+  /// not yet provisioned with a snapshot, or a transport-corrupted
+  /// request echo. Another replica may well answer; failing over is
+  /// safe because no policy evaluation produces these statuses.
+  kRetryable,
+};
+
+/// Classifies a decoded PDP reply (see ReplyClass). The rule, in order:
+/// permits/denies/not-applicable are always deliverable; indeterminates
+/// are retryable iff their status is an engine shed
+/// (runtime::is_shed_status), the engine's "no snapshot published"
+/// bring-up status, or a kBadRequestStatusPrefix syntax error.
+ReplyClass classify_reply(const core::Decision& decision);
+
 /// Network-facing PDP: decodes request contexts, evaluates, encodes
 /// decisions. Malformed requests yield Indeterminate{DP} — a broken
 /// caller must not crash the decision service.

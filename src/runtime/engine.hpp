@@ -52,6 +52,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -69,6 +70,17 @@ inline constexpr const char* kShedQueueFullMessage = "overload-shed: queue full"
 inline constexpr const char* kShedDeadlineMessage = "overload-shed: deadline exceeded";
 inline constexpr const char* kShutdownMessage = "overload-shed: engine shut down";
 inline constexpr const char* kNoSnapshotMessage = "no policy snapshot published";
+
+/// Every shed status above shares this prefix — the stable contract
+/// remote dispatchers classify on (see pep::classify_reply): a shed is
+/// the *replica* saying "alive but refusing under load", which is a
+/// retryable signal for a replicated client, not a decision to enforce.
+inline constexpr std::string_view kShedStatusPrefix = "overload-shed: ";
+
+constexpr bool is_shed_status(std::string_view message) {
+  return message.size() >= kShedStatusPrefix.size() &&
+         message.substr(0, kShedStatusPrefix.size()) == kShedStatusPrefix;
+}
 
 enum class CompletionStatus {
   kDecided,        ///< evaluated (or served from the shared cache)

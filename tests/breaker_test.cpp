@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "dependability/breaker.hpp"
+
+namespace mdac::dependability {
+namespace {
+
+class BreakerTest : public ::testing::Test {
+ protected:
+  BreakerTest() : breaker_(clock_, {/*failure_threshold=*/3, /*open_for=*/1000}) {}
+
+  common::ManualClock clock_;
+  CircuitBreaker breaker_;
+};
+
+TEST_F(BreakerTest, StartsClosedAndAdmitsTraffic) {
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kAllow);
+  EXPECT_EQ(breaker_.consecutive_failures(), 0u);
+}
+
+TEST_F(BreakerTest, TripsOpenAtThreshold) {
+  EXPECT_FALSE(breaker_.record_failure());
+  EXPECT_FALSE(breaker_.record_failure());
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker_.record_failure());  // third consecutive failure trips
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker_.stats().opens, 1u);
+}
+
+TEST_F(BreakerTest, SuccessResetsTheConsecutiveCount) {
+  breaker_.record_failure();
+  breaker_.record_failure();
+  breaker_.record_success();
+  EXPECT_EQ(breaker_.consecutive_failures(), 0u);
+  // Two more failures are again below the threshold.
+  breaker_.record_failure();
+  EXPECT_FALSE(breaker_.record_failure());
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(BreakerTest, OpenBlocksUntilCooldownThenAdmitsOneProbe) {
+  for (int i = 0; i < 3; ++i) breaker_.record_failure();
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kBlock);
+  clock_.advance(999);
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kBlock);
+
+  clock_.advance(1);  // cooldown elapsed
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kProbe);
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kHalfOpen);
+  // While the probe is outstanding, everything else is blocked — a
+  // recovering replica gets one try, not a thundering herd.
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kBlock);
+  EXPECT_EQ(breaker_.stats().probes, 1u);
+  EXPECT_GE(breaker_.stats().blocks, 3u);
+}
+
+TEST_F(BreakerTest, ProbeSuccessCloses) {
+  for (int i = 0; i < 3; ++i) breaker_.record_failure();
+  clock_.advance(1000);
+  ASSERT_EQ(breaker_.admit(), CircuitBreaker::Gate::kProbe);
+  breaker_.record_success();
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kAllow);
+}
+
+TEST_F(BreakerTest, ProbeFailureReopensForAnotherCooldown) {
+  for (int i = 0; i < 3; ++i) breaker_.record_failure();
+  clock_.advance(1000);
+  ASSERT_EQ(breaker_.admit(), CircuitBreaker::Gate::kProbe);
+  EXPECT_TRUE(breaker_.record_failure());  // probe failed: re-trip
+  EXPECT_EQ(breaker_.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker_.stats().opens, 2u);
+  // The new cooldown starts from the re-open, not the original trip.
+  clock_.advance(999);
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kBlock);
+  clock_.advance(1);
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kProbe);
+}
+
+TEST_F(BreakerTest, FailuresWhileOpenDoNotExtendTheCooldown) {
+  for (int i = 0; i < 3; ++i) breaker_.record_failure();
+  clock_.advance(500);
+  // A straggler failure report (e.g. a timeout from a try sent before
+  // the trip) must not keep pushing the probe into the future.
+  breaker_.record_failure();
+  clock_.advance(500);
+  EXPECT_EQ(breaker_.admit(), CircuitBreaker::Gate::kProbe);
+}
+
+}  // namespace
+}  // namespace mdac::dependability

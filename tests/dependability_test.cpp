@@ -2,8 +2,11 @@
 
 #include <memory>
 
+#include "core/serialization.hpp"
 #include "dependability/heartbeat.hpp"
 #include "dependability/replicated_pdp.hpp"
+#include "net/fault.hpp"
+#include "runtime/engine.hpp"
 
 namespace mdac::dependability {
 namespace {
@@ -180,8 +183,260 @@ TEST_F(ReplicationTest, QuorumSplitVoteIsIndecisive) {
 }
 
 // ---------------------------------------------------------------------
+// Self-healing dispatch: breakers, sheds, backoff, fail-safe
+// ---------------------------------------------------------------------
+
+TEST_F(ReplicationTest, BreakerBoundsTrafficToADeadReplica) {
+  replicas_[0]->set_up(false);
+  // A cooldown longer than the test keeps the arithmetic sharp: no
+  // half-open probe sneaks in between requests.
+  DispatchConfig config;
+  config.breaker.open_for = 60'000;
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover, config);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(evaluate(client, "read").is_permit());
+  }
+  // The dead primary costs exactly failure_threshold timeouts (default
+  // 3), then its breaker opens and the remaining requests skip straight
+  // to a live replica — not one timeout per request.
+  EXPECT_EQ(client.stats().tries_by_replica.at("pdp/0"), 3u);
+  EXPECT_EQ(client.stats().breaker_opens, 1u);
+  EXPECT_EQ(client.stats().breaker_skips, 7u);
+  ASSERT_NE(client.breaker("pdp/0"), nullptr);
+  EXPECT_EQ(client.breaker("pdp/0")->state(), CircuitBreaker::State::kOpen);
+  // Every request still got a real decision from the replicas that work.
+  EXPECT_EQ(client.stats().decided, 10u);
+}
+
+TEST_F(ReplicationTest, BreakerProbeRestoresARecoveredReplica) {
+  replicas_[0]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  for (int i = 0; i < 3; ++i) (void)evaluate(client, "read");
+  ASSERT_EQ(client.breaker("pdp/0")->state(), CircuitBreaker::State::kOpen);
+
+  // Recover the node and let the breaker's cooldown (default 1000ms)
+  // elapse: the next request is admitted as the half-open probe, it
+  // succeeds, and the primary is back in rotation.
+  replicas_[0]->set_up(true);
+  const std::size_t served_before = replicas_[0]->requests_served();
+  sim_.schedule(1100, [] {});
+  sim_.run();
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(client.breaker("pdp/0")->state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(replicas_[0]->requests_served(), served_before + 1);
+  EXPECT_EQ(client.stats().breaker_probes, 1u);
+}
+
+TEST_F(ReplicationTest, ShedReplyFailsOverInsteadOfReachingThePep) {
+  // A replica whose engine sheds under overload answers with the
+  // distinct shed status. It is alive — the breaker must not trip — but
+  // the dispatcher must try the next replica, never deliver the shed.
+  net::RpcNode shedding(network_, "shed");
+  shedding.set_request_handler([](const std::string& type, const std::string&,
+                                  const std::string&) {
+    if (type == "ping") return std::string("pong");
+    return core::decision_to_string(core::Decision::indeterminate(
+        core::IndeterminateExtent::kDP,
+        core::Status::processing_error(runtime::kShedQueueFullMessage)));
+  });
+
+  ReplicatedPdpClient client(network_, "pep", {"shed", "pdp/1"},
+                             DispatchStrategy::kFailover);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(client.stats().retryable_replies, 1u);
+  EXPECT_EQ(client.stats().failovers, 1u);
+  EXPECT_EQ(client.breaker("shed")->state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(ReplicationTest, CorruptedRequestEchoFailsOver) {
+  // Corrupt every request on the pep->pdp/0 link. The service answers
+  // "bad request context" — proof of transit mangling, since the PEP
+  // serialised the request itself — which is retryable, not enforceable.
+  net::FaultPlan plan;
+  net::LinkFault f;
+  f.from = "pep";
+  f.to = "pdp/0";
+  f.corrupt_probability = 1.0;
+  plan.add_link_fault(std::move(f));
+  plan.arm(network_);
+
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_GE(client.stats().retryable_replies, 1u);
+  EXPECT_EQ(replicas_[1]->requests_served(), 1u);
+  plan.disarm();
+}
+
+TEST_F(ReplicationTest, ExhaustionDeliversDistinctFailsafeWithStats) {
+  for (auto& r : replicas_) r->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  const core::Decision d = evaluate(client, "read");
+  ASSERT_TRUE(d.is_indeterminate());
+  EXPECT_TRUE(is_dispatch_failsafe(d));
+  EXPECT_NE(d.status.message.find("dispatch-exhausted"), std::string::npos);
+
+  // Default budget: 3 waves over 3 replicas, capped at 8 tries total.
+  const DispatchStats& s = client.stats();
+  EXPECT_EQ(s.tries, 8u);
+  EXPECT_EQ(s.backoffs, 2u);  // one backoff between each pair of waves
+  EXPECT_EQ(s.retries, 5u);   // tries in waves 2 and 3
+  EXPECT_EQ(s.exhausted, 1u);
+  EXPECT_EQ(s.failsafe, 1u);
+  EXPECT_EQ(s.decided, 0u);
+}
+
+TEST_F(ReplicationTest, BackoffJitterIsDeterministicPerSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    net::Simulator sim;
+    net::Network network(sim);
+    network.set_default_link({10, 0, 0.0});
+    std::vector<std::unique_ptr<PdpReplica>> replicas;
+    for (int i = 0; i < 3; ++i) {
+      replicas.push_back(std::make_unique<PdpReplica>(
+          network, "pdp/" + std::to_string(i), permit_reads_pdp()));
+      replicas.back()->set_up(false);
+    }
+    DispatchConfig config;
+    config.seed = seed;
+    ReplicatedPdpClient client(network, "pep",
+                               {"pdp/0", "pdp/1", "pdp/2"},
+                               DispatchStrategy::kFailover, config);
+    client.evaluate(core::RequestContext::make("alice", "doc", "read"),
+                    [](core::Decision) {});
+    sim.run();
+    return sim.now();  // total elapsed time includes every jittered backoff
+  };
+  EXPECT_EQ(run_once(11), run_once(11));
+  EXPECT_NE(run_once(11), run_once(12));
+}
+
+TEST_F(ReplicationTest, DestroyingClientWithCallsInFlightIsSafe) {
+  // The in-flight-callback lifetime bug: destroying the client while
+  // RPC timeouts, backoff waves and the pending callback are still
+  // queued on the simulator must turn them into no-ops — not
+  // use-after-free (the ASan tree is what makes this test bite).
+  for (auto& r : replicas_) r->set_up(false);
+  bool callback_ran = false;
+  {
+    ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                               DispatchStrategy::kFailover);
+    client.evaluate(core::RequestContext::make("alice", "doc", "read"),
+                    [&](core::Decision) { callback_ran = true; });
+    sim_.run_until(250);  // mid-dispatch: first try timed out, more queued
+  }
+  sim_.run();  // drain everything the dead client left behind
+  EXPECT_FALSE(callback_ran);  // dropped, not invoked on freed state
+}
+
+TEST_F(ReplicationTest, DestroyingQuorumClientWithVotesInFlightIsSafe) {
+  bool callback_ran = false;
+  {
+    ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                               DispatchStrategy::kQuorum);
+    client.evaluate(core::RequestContext::make("alice", "doc", "read"),
+                    [&](core::Decision) { callback_ran = true; });
+    // Destroy before any response arrives (link latency is 10ms).
+  }
+  sim_.run();
+  EXPECT_FALSE(callback_ran);
+}
+
+// ---------------------------------------------------------------------
+// Degraded quorum
+// ---------------------------------------------------------------------
+
+TEST_F(ReplicationTest, QuorumDecidesTwoOfThreeWithOneReplicaDown) {
+  // The degraded-quorum fix: pdp/2 is down and a health feed has shrunk
+  // the preference order to the two live replicas. The electorate stays
+  // the KNOWN set (3), majority 2 — and the two live replicas reach it.
+  replicas_[2]->set_up(false);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kQuorum);
+  client.set_replica_order({"pdp/0", "pdp/1"});
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_TRUE(evaluate(client, "write").is_deny());
+  EXPECT_EQ(client.stats().quorum_indecisive, 0u);
+}
+
+TEST_F(ReplicationTest, QuorumElectorateIsConfigurable) {
+  // An explicit electorate override: treat the deployment as 5-way even
+  // though only 3 replicas are known here — majority becomes 3, which
+  // three agreeing replicas still reach.
+  DispatchConfig config;
+  config.quorum_votes = 5;
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kQuorum, config);
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+
+  // ...but with one replica down only 2 of 3 votes arrive: short of the
+  // configured majority, so the client degrades to the fail-safe.
+  replicas_[2]->set_up(false);
+  const core::Decision d = evaluate(client, "read");
+  EXPECT_TRUE(is_dispatch_failsafe(d));
+  EXPECT_NE(d.status.message.find("dispatch-no-quorum"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
 // Heartbeats
 // ---------------------------------------------------------------------
+
+TEST_F(ReplicationTest, HeartbeatValidatesConfiguration) {
+  EXPECT_THROW(HeartbeatMonitor(network_, "m", {}, 100, 50),
+               std::invalid_argument);  // nothing to monitor
+  EXPECT_THROW(HeartbeatMonitor(network_, "m", replica_ids(), 0, 50),
+               std::invalid_argument);  // non-positive period
+  EXPECT_THROW(HeartbeatMonitor(network_, "m", replica_ids(), 100, 0),
+               std::invalid_argument);  // non-positive probe timeout
+  EXPECT_THROW(HeartbeatMonitor(network_, "m", replica_ids(), 100, 100),
+               std::invalid_argument);  // probes would outlive the period
+}
+
+TEST_F(ReplicationTest, HeartbeatFiresChangeListenerOnTransitions) {
+  HeartbeatMonitor monitor(network_, "monitor", replica_ids(), 100, 50);
+  std::size_t fired = 0;
+  monitor.set_change_listener([&] { ++fired; });
+  monitor.start();
+
+  sim_.run_until(250);
+  const std::size_t after_startup = fired;
+  EXPECT_GE(after_startup, 1u);  // unknown -> alive is a transition
+
+  replicas_[0]->set_up(false);
+  sim_.run_until(700);
+  EXPECT_GT(fired, after_startup);  // alive -> dead observed
+  EXPECT_GE(monitor.transitions_observed(), 4u);  // 3 up + 1 down
+  monitor.stop();
+}
+
+TEST_F(ReplicationTest, HealthFeedReordersReplicasAutomatically) {
+  HeartbeatMonitor monitor(network_, "monitor", replica_ids(), 100, 50);
+  ReplicatedPdpClient client(network_, "pep", replica_ids(),
+                             DispatchStrategy::kFailover);
+  client.attach_health_feed(monitor);
+  monitor.start();
+  sim_.run_until(250);
+
+  // Primary dies; the monitor notices and the client's order follows —
+  // no manual set_replica_order anywhere.
+  replicas_[0]->set_up(false);
+  sim_.run_until(700);
+  ASSERT_EQ(client.replicas().size(), 3u);
+  EXPECT_EQ(client.replicas().back(), "pdp/0");
+  EXPECT_GE(client.stats().health_reorders, 2u);
+
+  monitor.stop();
+  sim_.run();  // drain the probes already in flight
+  // First try of the next request goes straight to a live replica.
+  const std::size_t failovers_before = client.stats().failovers;
+  EXPECT_TRUE(evaluate(client, "read").is_permit());
+  EXPECT_EQ(client.stats().failovers, failovers_before);
+}
+
+
 
 TEST_F(ReplicationTest, HeartbeatTracksLiveness) {
   HeartbeatMonitor monitor(network_, "monitor", replica_ids(), /*period=*/100,
