@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "cache/decision_cache.hpp"
 #include "cache/request_key.hpp"
 #include "cache/ttl_cache.hpp"
@@ -59,10 +60,16 @@ void* operator new(std::size_t size) {
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
+// GCC's mismatched-new-delete heuristic cannot see that the replacement
+// operators above pair global new with std::malloc, so free() here is
+// the matching deallocator by construction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace mdac::bench {
 
@@ -564,7 +571,6 @@ BenchResult bench_pdp_mt(const Scale& s, std::size_t workers) {
 }
 
 BenchResult bench_pdp_mt_1(const Scale& s) { return bench_pdp_mt(s, 1); }
-BenchResult bench_pdp_mt_4(const Scale& s) { return bench_pdp_mt(s, 4); }
 BenchResult bench_pdp_mt_8(const Scale& s) { return bench_pdp_mt(s, 8); }
 
 /// Deliberate overload: a tiny queue bound, fire-and-forget callback
@@ -701,6 +707,30 @@ BenchResult bench_fault_plan(const Scale& s, const std::string& plan_name) {
   r.counters["breaker_skips"] = static_cast<double>(stats.breaker_skips);
   r.counters["replies_undelivered"] = static_cast<double>(
       stats.retryable_replies + stats.undecodable_replies);
+  return r;
+}
+
+/// Static-analysis throughput: one full analyse_store() pass (every
+/// lint family, findings capped so the clock measures analysis, not
+/// materialising ~10^5 cross-root conflict findings) over a 2000-policy
+/// 8-domain federation corpus — the ISSUE's analyser scaling row. The
+/// smoke workload shrinks the corpus with everything else.
+BenchResult bench_analysis_lint(const Scale& s) {
+  const int corpus = s.policies * 10;  // full: 2000 policies, smoke: 200
+  auto store = make_domain_policy_store(8, corpus, s.roles);
+  analysis::AnalyzerOptions options;
+  options.max_findings_per_pass = 64;
+  double errors = 0, warnings = 0, suppressed = 0;
+  auto r = run_bench("analysis_lint_2k", 3, 1, [&](std::uint64_t) {
+    const analysis::AnalysisReport report = analysis::analyse_store(*store, options);
+    errors = static_cast<double>(report.error_count);
+    warnings = static_cast<double>(report.warning_count);
+    suppressed = static_cast<double>(report.suppressed);
+  });
+  r.counters["policies"] = corpus;
+  r.counters["error_findings"] = errors;
+  r.counters["warning_findings"] = warnings;
+  r.counters["suppressed_findings"] = suppressed;
   return r;
 }
 
@@ -897,6 +927,11 @@ int run(int argc, char** argv) {
   }
   for (const std::string& plan : net::named_fault_plan_names()) {
     BenchResult r = bench_fault_plan(scale, plan);
+    print_row(r);
+    report.add(std::move(r));
+  }
+  {
+    BenchResult r = bench_analysis_lint(scale);
     print_row(r);
     report.add(std::move(r));
   }

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "conflict/analysis.hpp"
+#include "analysis/analysis.hpp"
 
 namespace {
 
@@ -61,7 +61,7 @@ void BM_AnalysisVsPolicyCount(benchmark::State& state) {
 
   std::size_t conflicts = 0;
   for (auto _ : state) {
-    const conflict::AnalysisResult result = conflict::analyse(pointers);
+    const analysis::AnalysisResult result = analysis::analyse(pointers);
     conflicts = result.conflicts.size();
     benchmark::DoNotOptimize(result);
   }
@@ -79,7 +79,7 @@ void BM_ConflictsVsInjectionRate(benchmark::State& state) {
 
   std::size_t conflicts = 0;
   for (auto _ : state) {
-    conflicts = conflict::analyse(pointers).conflicts.size();
+    conflicts = analysis::analyse(pointers).conflicts.size();
   }
   state.counters["injection_pct"] = static_cast<double>(state.range(0));
   state.counters["conflicts_found"] = static_cast<double>(conflicts);
@@ -92,15 +92,15 @@ void BM_SodMetaPolicyCheck(benchmark::State& state) {
   const auto corpus = make_corpus(n, 0.0, rng);
   std::vector<const core::Policy*> pointers;
   for (const auto& p : corpus) pointers.push_back(&p);
-  const conflict::AnalysisResult base = conflict::analyse(pointers);
+  const analysis::AnalysisResult base = analysis::analyse(pointers);
 
-  std::vector<conflict::SodMetaPolicy> metas;
+  std::vector<analysis::SodMetaPolicy> metas;
   for (int i = 0; i < 10; ++i) {
     metas.push_back({"sod-" + std::to_string(i), "res-" + std::to_string(i), "read",
                      "res-" + std::to_string(i + 10), "read"});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(conflict::check_sod(base.atoms, metas));
+    benchmark::DoNotOptimize(analysis::check_sod(base.atoms, metas));
   }
   state.counters["policies"] = n;
 }

@@ -1,0 +1,48 @@
+# lint-check: run clang-tidy over every src/ translation unit against the
+# build tree's compile_commands.json. Checks come from the repo-root
+# .clang-tidy (bugprone-*, performance-*, concurrency-*).
+#
+# Invoked by ctest as
+#   cmake -DREPO_ROOT=... -DBUILD_DIR=... -P cmake/clang_tidy_check.cmake
+#
+# Hosts without clang-tidy pass with a notice: the target exists so that
+# machines *with* the tool gate on it, not to make tier-1 depend on an
+# optional toolchain component.
+
+if(NOT DEFINED REPO_ROOT OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR "lint-check: REPO_ROOT and BUILD_DIR must be defined")
+endif()
+
+find_program(CLANG_TIDY_EXE clang-tidy)
+if(NOT CLANG_TIDY_EXE)
+  message(STATUS "lint-check: clang-tidy not installed on this host; skipping (pass)")
+  return()
+endif()
+
+if(NOT EXISTS "${BUILD_DIR}/compile_commands.json")
+  message(FATAL_ERROR "lint-check: ${BUILD_DIR}/compile_commands.json missing "
+                      "(CMAKE_EXPORT_COMPILE_COMMANDS should have produced it)")
+endif()
+
+file(GLOB_RECURSE LINT_SOURCES "${REPO_ROOT}/src/*.cpp")
+list(SORT LINT_SOURCES)
+
+set(FAILED_FILES "")
+foreach(source ${LINT_SOURCES})
+  message(STATUS "lint-check: ${source}")
+  execute_process(
+    COMMAND ${CLANG_TIDY_EXE} -p ${BUILD_DIR} --quiet ${source}
+    RESULT_VARIABLE tidy_result
+    OUTPUT_VARIABLE tidy_output
+    ERROR_VARIABLE tidy_errors)
+  if(NOT tidy_result EQUAL 0)
+    message(STATUS "${tidy_output}")
+    list(APPEND FAILED_FILES ${source})
+  endif()
+endforeach()
+
+if(FAILED_FILES)
+  list(LENGTH FAILED_FILES n_failed)
+  message(FATAL_ERROR "lint-check: clang-tidy reported problems in ${n_failed} file(s): ${FAILED_FILES}")
+endif()
+message(STATUS "lint-check: clang-tidy clean over src/")

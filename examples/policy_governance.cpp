@@ -7,7 +7,7 @@
 #include <iostream>
 #include <memory>
 
-#include "conflict/analysis.hpp"
+#include "analysis/analysis.hpp"
 #include "core/serialization.hpp"
 #include "core/validate.hpp"
 
@@ -75,10 +75,10 @@ int main() {
       policies.push_back(p);
     }
   }
-  const conflict::AnalysisResult analysis = conflict::analyse(policies);
-  for (const conflict::Conflict& c : analysis.conflicts) {
-    std::cout << "  CONFLICT: " << analysis.atoms[c.permit_index].policy_id
-              << " permits what " << analysis.atoms[c.deny_index].policy_id
+  const analysis::AnalysisResult result = analysis::analyse(policies);
+  for (const analysis::Conflict& c : result.conflicts) {
+    std::cout << "  CONFLICT: " << result.atoms[c.permit_index].policy_id
+              << " permits what " << result.atoms[c.deny_index].policy_id
               << " denies";
     if (!c.witness.empty()) {
       std::cout << "  (witness:";
@@ -90,19 +90,19 @@ int main() {
     if (c.approximate) std::cout << "  [approximate]";
     std::cout << "\n";
   }
-  std::cout << "  => " << analysis.conflicts.size()
+  std::cout << "  => " << result.conflicts.size()
             << " conflict(s); the deployed deny-overrides root resolves them "
                "in favour of deny\n\n";
 
   std::cout << "=== 3. Separation-of-duty meta-policies ===\n";
-  const std::vector<conflict::SodMetaPolicy> metas{
+  const std::vector<analysis::SodMetaPolicy> metas{
       {"submit-vs-approve", "purchase-order", "submit", "purchase-order",
        "approve"}};
-  const auto violations = conflict::check_sod(analysis.atoms, metas);
+  const auto violations = analysis::check_sod(result.atoms, metas);
   for (const auto& v : violations) {
     std::cout << "  SoD VIOLATION '" << metas[v.meta_index].name << "': "
-              << analysis.atoms[v.permit_a_index].policy_id << " + "
-              << analysis.atoms[v.permit_b_index].policy_id << " for subject(s)";
+              << result.atoms[v.permit_a_index].policy_id << " + "
+              << result.atoms[v.permit_b_index].policy_id << " for subject(s)";
     if (v.overlapping_subjects.empty()) {
       std::cout << " <anyone>";
     } else {

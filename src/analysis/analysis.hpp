@@ -1,0 +1,205 @@
+// Static policy analysis (paper §3.1, "Policy Conflict Resolution",
+// following Lupu & Sloman [51]) — the issue-time linter over whole
+// policy trees and their compiled artifacts.
+//
+// The analysis projects each rule to an *atom*: its effect plus, per
+// (category, attribute), the set of string-equality values its combined
+// set+policy+rule target chain admits. Structure the equality fragment
+// cannot capture (conditions, non-equality matches, must-be-present
+// matches, cross-attribute disjunctions) marks the atom `approximate`:
+// its constraint map then *over*-approximates the admitted request
+// space, so overlap-based passes stay sound — they may report a
+// possible conflict that is not real, but never silently miss one.
+//
+// Passes (see AnalyzerOptions to toggle):
+//   * shadowing      — combining-algorithm-aware unreachability: under
+//                      first-applicable, a rule covered by an earlier
+//                      *exact* rule can never decide; under
+//                      deny-overrides (resp. permit-overrides), a permit
+//                      (resp. deny) rule covered by an exact opposite
+//                      rule can never surface. First-applicable
+//                      PolicySets get the same check across sibling
+//                      policies. Coverage is only claimed when it is
+//                      provable (both targets inside the fragment), so
+//                      a flagged rule provably never decides — the
+//                      dynamic oracle test pins this.
+//   * conflicts      — modality conflicts *across* top-level trees
+//                      (no combiner above them resolves the
+//                      disagreement), with witness assignments; inside
+//                      one tree every standard combiner resolves
+//                      overlaps deterministically, except
+//                      only-one-applicable, whose overlapping children
+//                      yield runtime Indeterminate and are flagged.
+//   * references     — dangling, withdrawn and cyclic PolicyReference
+//                      edges (core::referenced_policy_ids semantics).
+//   * types          — unknown/higher-order match functions, unknown
+//                      condition/obligation functions, arity
+//                      mismatches, unknown combining algorithms —
+//                      compile-time diagnostic strings promoted to
+//                      typed findings (compiled-artifact diagnostics
+//                      are folded in as info findings).
+//   * vocabulary     — attribute names a tree references that are
+//                      absent from the supplied per-domain vocabulary.
+//   * dead code      — constant-foldable conditions: always-false
+//                      (rule unreachable) and always-true (redundant
+//                      condition), folded with the real evaluator over
+//                      designator-free expressions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "core/policy.hpp"
+
+namespace mdac::core {
+class CompiledPolicyTree;
+}  // namespace mdac::core
+
+namespace mdac::analysis {
+
+// ---------------------------------------------------------------------
+// Atoms: the equality-fragment projection
+// ---------------------------------------------------------------------
+
+struct Atom {
+  /// Top-level tree this rule lives under (== policy_id for flat
+  /// policies).
+  std::string root_id;
+  /// The enclosing policy and rule.
+  std::string policy_id;
+  std::string rule_id;
+  /// Slash-separated provenance: "root/.../policy/rule".
+  std::string path;
+  core::Effect effect = core::Effect::kPermit;
+  /// Admitted values per attribute; an absent key admits *any* value.
+  std::map<AttributeKey, std::set<std::string>> constraints;
+  /// True if the rule (or any target on its set/policy path) has
+  /// structure the equality fragment cannot capture: the constraint map
+  /// then over-approximates the admitted space.
+  bool approximate = false;
+  /// True if every target on the path projected exactly (no dropped
+  /// conjuncts, equality matches only, no must-be-present): the
+  /// constraint map is then *precisely* the admitted target space —
+  /// the property shadowing coverage proofs need.
+  bool exact_target = false;
+  bool has_condition = false;
+};
+
+/// Extracts analysis atoms from a flat policy. The policy-level target
+/// is intersected into every rule's constraints — including rules
+/// without a target of their own and rules whose projection is
+/// approximate (a condition or non-equality match must never drop the
+/// policy-level constraints; see the regression test).
+std::vector<Atom> extract_atoms(const core::Policy& policy);
+
+/// Extracts atoms from a whole tree (PolicySet targets intersected down
+/// the path, PolicyReference children contribute no atoms — their
+/// referents are analysed as their own roots).
+std::vector<Atom> extract_atoms(const core::PolicyTreeNode& node);
+
+struct Conflict {
+  /// Indices into the atom vector the analysis ran over.
+  std::size_t permit_index = 0;
+  std::size_t deny_index = 0;
+  /// A concrete witness (one value per constrained attribute) on which
+  /// both atoms apply.
+  std::map<AttributeKey, std::string> witness;
+  bool approximate = false;  // involves an approximate atom
+};
+
+/// All pairwise modality conflicts among `atoms` (every opposite-effect
+/// overlapping pair, regardless of root — the legacy cross-policy
+/// analysis shape).
+std::vector<Conflict> find_modality_conflicts(const std::vector<Atom>& atoms);
+
+struct AnalysisResult {
+  std::vector<Atom> atoms;
+  std::vector<Conflict> conflicts;  // indices refer into `atoms`
+};
+
+/// Convenience: extract + analyse a set of policies.
+AnalysisResult analyse(const std::vector<const core::Policy*>& policies);
+
+// ---------------------------------------------------------------------
+// The linter
+// ---------------------------------------------------------------------
+
+struct AnalyzerOptions {
+  /// Returns true if a policy reference to `id` resolves. Unresolvable
+  /// references are "reference-dangling" (or "reference-withdrawn" when
+  /// `withdrawn` claims the id). Unset: ids among the analysed roots
+  /// resolve, everything else dangles.
+  std::function<bool(const std::string&)> resolves;
+  /// Returns true if `id` is known but currently withdrawn — refines
+  /// the dangling-reference finding for repository-backed analysis.
+  std::function<bool(const std::string&)> withdrawn;
+  /// Per-domain attribute vocabulary; null disables the vocabulary pass.
+  const std::set<std::string, std::less<>>* vocabulary = nullptr;
+
+  bool shadowing = true;
+  bool conflicts = true;
+  bool references = true;
+  bool types = true;
+  bool dead_code = true;
+
+  /// Materialisation cap per pass: severity totals stay exact, but at
+  /// most this many findings per pass are kept (plus one summary info
+  /// finding recording the truncation). 0 = unlimited.
+  std::size_t max_findings_per_pass = 10000;
+};
+
+/// One top-level tree to analyse, optionally with its compiled artifact
+/// (whose compile diagnostics are folded into the report).
+struct AnalysisInput {
+  const core::PolicyTreeNode* node = nullptr;
+  const core::CompiledPolicyTree* compiled = nullptr;
+};
+
+/// Runs every enabled pass over `roots` and returns the report.
+AnalysisReport analyse_roots(const std::vector<AnalysisInput>& roots,
+                             const AnalyzerOptions& options = {});
+
+/// Analyses a store's top-level trees (with their attached compiled
+/// artifacts); references resolve against the store.
+AnalysisReport analyse_store(const core::PolicyStore& store,
+                             const AnalyzerOptions& options = {});
+
+/// Finding codes the shadowing/dead-code passes emit for rules (or
+/// whole policies) that provably can never decide — the set the dynamic
+/// soundness oracle replays (tests/analysis_oracle_test.cpp): removing
+/// a flagged rule must never change any decision.
+bool is_unreachability_code(const std::string& code);
+
+// ---------------------------------------------------------------------
+// Meta-policies (§3.1)
+// ---------------------------------------------------------------------
+
+/// "No subject may be permitted both A and B" — the paper's SoD example.
+struct SodMetaPolicy {
+  std::string name;
+  std::string resource_a;
+  std::string action_a;
+  std::string resource_b;
+  std::string action_b;
+};
+
+struct SodViolation {
+  std::size_t meta_index = 0;      // into the metas vector
+  std::size_t permit_a_index = 0;  // into the atoms vector
+  std::size_t permit_b_index = 0;
+  /// Subject constraint overlap enabling both permissions; empty set
+  /// means "any subject".
+  std::set<std::string> overlapping_subjects;
+};
+
+/// Finds permit-atom pairs granting both halves of a SoD constraint to an
+/// overlapping subject population.
+std::vector<SodViolation> check_sod(const std::vector<Atom>& atoms,
+                                    const std::vector<SodMetaPolicy>& metas);
+
+}  // namespace mdac::analysis

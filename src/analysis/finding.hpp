@@ -1,0 +1,101 @@
+// Structured findings for the static policy analyser (paper §3.1,
+// "Policy Conflict Resolution").
+//
+// A Finding names *where* (root tree, slash-separated provenance path
+// down to the rule), *what* (a stable machine-readable code plus a
+// human message), *how bad* (severity — errors gate issuance when
+// PapConfig::lint_gate is on, warnings/infos only inform) and, for
+// conflict-shaped findings, a concrete witness assignment on which both
+// sides apply. `approximate` marks findings derived through the
+// over-approximating projection: they *may* be false positives, but the
+// analysis never silently misses a pair (soundness direction).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/attribute.hpp"
+
+namespace mdac::analysis {
+
+/// A request attribute slot: (category, attribute id).
+using AttributeKey = std::pair<core::Category, std::string>;
+
+enum class Severity { kInfo, kWarning, kError };
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+/// Which analyser pass produced a finding.
+enum class Pass {
+  kShadowing,
+  kModalityConflict,
+  kReference,
+  kVocabulary,
+  kTypes,
+  kDeadCode,
+};
+
+inline const char* to_string(Pass p) {
+  switch (p) {
+    case Pass::kShadowing: return "shadowing";
+    case Pass::kModalityConflict: return "modality-conflict";
+    case Pass::kReference: return "reference";
+    case Pass::kVocabulary: return "vocabulary";
+    case Pass::kTypes: return "types";
+    case Pass::kDeadCode: return "dead-code";
+  }
+  return "?";
+}
+
+struct Finding {
+  Pass pass = Pass::kTypes;
+  Severity severity = Severity::kWarning;
+  /// Stable slug, e.g. "rule-shadowed", "modality-conflict",
+  /// "reference-dangling", "unknown-function", "condition-always-false".
+  std::string code;
+  /// Id of the top-level tree the finding is about.
+  std::string root_id;
+  /// Provenance inside that tree: "set-id/policy-id/rule-id" (ids never
+  /// contain '/'). Empty = the root node itself.
+  std::string path;
+  /// Counterpart tree/path for pairwise findings (conflicts, shadowing).
+  std::string other_root_id;
+  std::string other_path;
+  std::string message;
+  /// Concrete per-attribute witness on which both sides apply
+  /// (conflict-shaped findings only).
+  std::map<AttributeKey, std::string> witness;
+  /// Derived through the over-approximating projection: may not be a
+  /// real defect, but cannot be ruled out statically.
+  bool approximate = false;
+};
+
+/// One analyser run's output. Severity totals are counted over *all*
+/// findings the passes produced, including any that were suppressed past
+/// `max_findings_per_pass` — ok() never lies because a cap truncated the
+/// materialised list.
+struct AnalysisReport {
+  std::vector<Finding> findings;
+  std::size_t error_count = 0;
+  std::size_t warning_count = 0;
+  std::size_t info_count = 0;
+  /// Findings counted above but not materialised in `findings` (per-pass
+  /// cap; a summary finding records the truncation explicitly).
+  std::size_t suppressed = 0;
+
+  bool ok() const { return error_count == 0; }
+  std::size_t total() const { return error_count + warning_count + info_count; }
+};
+
+}  // namespace mdac::analysis

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/analysis.hpp"
 #include "common/interner.hpp"
 #include "core/compiled.hpp"
 #include "core/serialization.hpp"
@@ -57,6 +58,58 @@ RepoOutcome PolicyRepository::submit(const std::string& document,
   return RepoOutcome::success();
 }
 
+RepoOutcome PolicyRepository::lint_candidate(const std::string& policy_id,
+                                             int version,
+                                             const core::PolicyTreeNode& node,
+                                             const std::string& actor) {
+  // Analyse the candidate together with the working set it would join:
+  // every already-issued compiled tree contributes its source node (and
+  // its artifact, for compile diagnostics). Cross-root conflicts against
+  // issued trees are exactly the paper's pre-deployment check.
+  std::vector<analysis::AnalysisInput> roots;
+  roots.push_back({&node, nullptr});
+  for (const auto& [other_id, artifact] : compiled_) {
+    if (other_id == policy_id || artifact == nullptr) continue;
+    roots.push_back({&artifact->source(), artifact.get()});
+  }
+  analysis::AnalyzerOptions options;
+  options.resolves = [this, &policy_id](const std::string& id) {
+    return id == policy_id || issued(id) != nullptr;
+  };
+  options.withdrawn = [this](const std::string& id) {
+    return records_.find(id) != records_.end() && issued(id) == nullptr;
+  };
+  if (!config_.lint_vocabulary_domain.empty()) {
+    options.vocabulary = attribute_allowlist(config_.lint_vocabulary_domain);
+  }
+  auto report = std::make_shared<analysis::AnalysisReport>(
+      analysis::analyse_roots(roots, options));
+  lint_report_ = report;
+
+  std::size_t errors = 0, warnings = 0, infos = 0;
+  for (const analysis::Finding& f : report->findings) {
+    if (f.root_id != policy_id && f.other_root_id != policy_id) continue;
+    switch (f.severity) {
+      case analysis::Severity::kError: ++errors; break;
+      case analysis::Severity::kWarning: ++warnings; break;
+      case analysis::Severity::kInfo: ++infos; break;
+    }
+  }
+  const std::string summary = std::to_string(errors) + " error(s), " +
+                              std::to_string(warnings) + " warning(s), " +
+                              std::to_string(infos) + " info(s)";
+  if (config_.lint_gate && errors > 0) {
+    record_audit(actor, "lint-refused", policy_id, version, summary);
+    return RepoOutcome::failure("lint gate: " + summary + " for " + policy_id);
+  }
+  // Audit the lint only when it found something about this candidate:
+  // the common clean-issue path stays one audit entry per operation.
+  if (errors + warnings + infos > 0) {
+    record_audit(actor, "lint", policy_id, version, summary);
+  }
+  return RepoOutcome::success();
+}
+
 RepoOutcome PolicyRepository::issue(const std::string& policy_id,
                                     const std::string& actor) {
   const auto it = records_.find(policy_id);
@@ -65,6 +118,23 @@ RepoOutcome PolicyRepository::issue(const std::string& policy_id,
   if (versions.back().status != Lifecycle::kDraft) {
     return RepoOutcome::failure("latest version of " + policy_id + " is not a draft");
   }
+
+  // Parse and lint *before* any lifecycle mutation: a gate refusal must
+  // leave the repository exactly as it was.
+  core::PolicyNodePtr node;
+  try {
+    node = core::node_from_string(versions.back().document);
+  } catch (const std::exception&) {
+    // Unparseable documents cannot pass submit(); guard regardless — a
+    // broken record must not block issuing, only its compilation.
+    node = nullptr;
+  }
+  if (node != nullptr && config_.lint_on_issue) {
+    const RepoOutcome linted =
+        lint_candidate(policy_id, versions.back().version, *node, actor);
+    if (!linted) return linted;
+  }
+
   for (PolicyRecord& r : versions) {
     if (r.status == Lifecycle::kIssued) r.status = Lifecycle::kWithdrawn;
   }
@@ -80,8 +150,7 @@ RepoOutcome PolicyRepository::issue(const std::string& policy_id,
   // policy set, walked recursively) are additionally registered (and
   // audited) as the domain's allowlist before compilation, keeping the
   // wire-request gate in sync with the issued policy set.
-  try {
-    const auto node = core::node_from_string(versions.back().document);
+  if (node != nullptr) {
     bool intern_names = true;
     if (!vocabulary_domain_.empty()) {
       auto names = core::referenced_attribute_names(*node);
@@ -114,9 +183,7 @@ RepoOutcome PolicyRepository::issue(const std::string& policy_id,
       }
     }
     compile_node(policy_id, *node, intern_names);
-  } catch (const std::exception&) {
-    // Unparseable documents cannot pass submit(); guard regardless — a
-    // broken record must not block issuing, only its compilation.
+  } else {
     compiled_.erase(policy_id);
     references_.erase(policy_id);
     resolve_only_.erase(policy_id);

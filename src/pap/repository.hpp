@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/finding.hpp"
 #include "common/clock.hpp"
 #include "core/policy.hpp"
 
@@ -55,9 +56,31 @@ struct RepoOutcome {
   explicit operator bool() const { return ok; }
 };
 
+/// Issue-time static-analysis policy (paper §3.1: conflicts are found
+/// *before* deployment, on the trusted administrative path).
+struct PapConfig {
+  /// Run the mdac::analysis linter on every issue(): the candidate node
+  /// plus every already-issued compiled tree are analysed together, and
+  /// findings involving the candidate are audited.
+  bool lint_on_issue = true;
+  /// Refuse issuance outright when the lint report carries
+  /// error-severity findings involving the candidate (cross-root
+  /// modality conflicts, dangling references, type errors). The refusal
+  /// is audited as "lint-refused" and leaves the repository unchanged.
+  bool lint_gate = false;
+  /// Non-empty: the issue-time lint additionally checks the candidate's
+  /// referenced attribute names against this domain's registered
+  /// allowlist (vocabulary pass). Meant for manually registered
+  /// vocabularies; leave empty when set_vocabulary_domain() is used —
+  /// auto-extraction grows the allowlist from the policies themselves,
+  /// so the pass could only ever warn about its own input.
+  std::string lint_vocabulary_domain;
+};
+
 class PolicyRepository {
  public:
-  explicit PolicyRepository(const common::Clock& clock) : clock_(clock) {}
+  explicit PolicyRepository(const common::Clock& clock, PapConfig config = {})
+      : clock_(clock), config_(std::move(config)) {}
 
   /// Parses and stores `document` as a draft. A document for an existing
   /// id becomes a new draft version. Malformed documents are rejected.
@@ -145,6 +168,17 @@ class PolicyRepository {
   /// Bumped on every successful mutation — remote caches key off this.
   std::uint64_t revision() const { return revision_; }
 
+  /// The report from the most recent issue-time lint (null until the
+  /// first issue() with lint_on_issue). Snapshot publication
+  /// (runtime::SnapshotPublisher::publish_from) attaches this to the
+  /// published snapshot so PDP replicas can surface analyser findings
+  /// alongside the policy state they execute.
+  std::shared_ptr<const analysis::AnalysisReport> lint_report() const {
+    return lint_report_;
+  }
+
+  const PapConfig& config() const { return config_; }
+
  private:
   void record_audit(const std::string& actor, const std::string& operation,
                     const std::string& policy_id, int version,
@@ -165,8 +199,16 @@ class PolicyRepository {
   /// transitively (a set referencing a set referencing `changed_id`
   /// recompiles too). Audited per recompiled node.
   void recompile_dependents(const std::string& changed_id, const std::string& actor);
+  /// Lints `node` (the candidate for issuance as `policy_id`, at
+  /// `version`) against every already-issued compiled tree. Returns
+  /// failure when the gate refuses; audits findings either way.
+  RepoOutcome lint_candidate(const std::string& policy_id, int version,
+                             const core::PolicyTreeNode& node,
+                             const std::string& actor);
 
   const common::Clock& clock_;
+  PapConfig config_;
+  std::shared_ptr<const analysis::AnalysisReport> lint_report_;
   // id -> all versions, ascending.
   std::map<std::string, std::vector<PolicyRecord>> records_;
   // id -> compile-on-issue artifact for the currently issued version.

@@ -3,11 +3,12 @@
 namespace mdac::runtime {
 
 std::shared_ptr<const PolicySnapshot> SnapshotPublisher::publish(
-    std::shared_ptr<core::PolicyStore> store, std::uint64_t source_revision) {
+    std::shared_ptr<core::PolicyStore> store, std::uint64_t source_revision,
+    std::shared_ptr<const analysis::AnalysisReport> findings) {
   std::lock_guard lock(mutex_);
   const std::uint64_t version = version_.load(std::memory_order_relaxed) + 1;
-  auto snapshot =
-      std::make_shared<const PolicySnapshot>(version, std::move(store), source_revision);
+  auto snapshot = std::make_shared<const PolicySnapshot>(
+      version, std::move(store), source_revision, std::move(findings));
   current_ = snapshot;
   // Release-ordered after current_ is in place: a reader that observes
   // version v through current_version() will observe a current() whose
@@ -20,7 +21,8 @@ std::shared_ptr<const PolicySnapshot> SnapshotPublisher::publish_from(
     const pap::PolicyRepository& repository) {
   auto store = std::make_shared<core::PolicyStore>();
   repository.load_into(store.get());
-  return publish(std::move(store), repository.revision());
+  return publish(std::move(store), repository.revision(),
+                 repository.lint_report());
 }
 
 std::shared_ptr<const PolicySnapshot> SnapshotPublisher::current() const {

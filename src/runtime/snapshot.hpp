@@ -52,10 +52,12 @@ namespace mdac::runtime {
 class PolicySnapshot {
  public:
   PolicySnapshot(std::uint64_t version, std::shared_ptr<core::PolicyStore> store,
-                 std::uint64_t source_revision)
+                 std::uint64_t source_revision,
+                 std::shared_ptr<const analysis::AnalysisReport> findings = nullptr)
       : version_(version),
         source_revision_(source_revision),
-        store_(std::move(store)) {}
+        store_(std::move(store)),
+        findings_(std::move(findings)) {}
 
   /// Monotonic publication number (1 = first snapshot ever published).
   std::uint64_t version() const { return version_; }
@@ -70,10 +72,20 @@ class PolicySnapshot {
 
   std::size_t policy_count() const { return store_->size(); }
 
+  /// The issue-time static-analysis report this snapshot was published
+  /// under (pap::PolicyRepository::lint_report()), or null when the
+  /// source repository never linted / the store was published directly.
+  /// Lets replicas surface analyser findings alongside the exact policy
+  /// state they execute.
+  const std::shared_ptr<const analysis::AnalysisReport>& findings() const {
+    return findings_;
+  }
+
  private:
   std::uint64_t version_;
   std::uint64_t source_revision_;
   std::shared_ptr<core::PolicyStore> store_;
+  std::shared_ptr<const analysis::AnalysisReport> findings_;
 };
 
 /// The single cell through which policy state reaches the runtime.
@@ -84,8 +96,11 @@ class SnapshotPublisher {
  public:
   /// Wraps `store` in the next-versioned snapshot and makes it current.
   /// The caller must not mutate `store` afterwards. Returns the snapshot.
+  /// `findings` optionally carries the issue-time lint report the store
+  /// was built under (publish_from threads it through automatically).
   std::shared_ptr<const PolicySnapshot> publish(
-      std::shared_ptr<core::PolicyStore> store, std::uint64_t source_revision = 0);
+      std::shared_ptr<core::PolicyStore> store, std::uint64_t source_revision = 0,
+      std::shared_ptr<const analysis::AnalysisReport> findings = nullptr);
 
   /// Materialises `repository`'s issued policy set (with compiled
   /// artifacts — the repository has already recompiled reference

@@ -1,0 +1,236 @@
+// Dynamic soundness oracle for the static analyser (the pinning test the
+// tentpole demands): over randomized federation and set-tree workloads,
+//   1. removal invariance — for every rule/policy the analyser flags
+//      unreachable, deleting it from the tree must not change any
+//      decision over a random request sweep (stronger than "is never the
+//      deciding rule": it also covers obligations and Indeterminates);
+//   2. conflict completeness — every injected cross-root permit/deny
+//      mirror pair must be reported (approximate findings are allowed,
+//      silently missed conflicts are not).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "analysis/analysis.hpp"
+#include "workload.hpp"
+#include "common/rng.hpp"
+#include "core/functions.hpp"
+
+namespace mdac::analysis {
+namespace {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segments;
+  std::stringstream stream(path);
+  std::string segment;
+  while (std::getline(stream, segment, '/')) segments.push_back(segment);
+  return segments;
+}
+
+/// Clones `node` with the rule/child named by the last path segment
+/// removed. `next` indexes the segment naming the element beneath `node`.
+core::PolicyNodePtr clone_without(const core::PolicyTreeNode& node,
+                                  const std::vector<std::string>& segments,
+                                  std::size_t next) {
+  if (const auto* policy = dynamic_cast<const core::Policy*>(&node)) {
+    core::Policy copy = policy->clone();
+    EXPECT_EQ(next, segments.size() - 1) << "rule segment must be last";
+    std::erase_if(copy.rules, [&](const core::Rule& r) {
+      return r.id == segments[next];
+    });
+    return std::make_unique<core::Policy>(std::move(copy));
+  }
+  const auto* set = dynamic_cast<const core::PolicySet*>(&node);
+  if (set == nullptr) return node.clone_node();
+  core::PolicySet copy;
+  copy.policy_set_id = set->policy_set_id;
+  copy.version = set->version;
+  copy.policy_combining = set->policy_combining;
+  copy.target_spec = set->target_spec;
+  for (const core::ObligationExpr& ob : set->obligations) {
+    copy.obligations.push_back(ob.clone());
+  }
+  for (const core::PolicyNodePtr& child : set->children()) {
+    if (child->id() == segments[next]) {
+      if (next == segments.size() - 1) continue;  // drop the child itself
+      copy.add_node(clone_without(*child, segments, next + 1));
+    } else {
+      copy.add_node(child->clone_node());
+    }
+  }
+  return std::make_unique<core::PolicySet>(std::move(copy));
+}
+
+core::Decision evaluate(const core::PolicyTreeNode& node,
+                        const core::RequestContext& request) {
+  core::EvaluationContext ctx(request, core::FunctionRegistry::standard());
+  return node.evaluate(ctx);
+}
+
+/// Asserts removal invariance for every unreachability finding, and that
+/// every (root, other_root) pair in `required_conflicts` is reported.
+void run_oracle(const std::vector<core::PolicyNodePtr>& roots,
+                const std::set<std::pair<std::string, std::string>>& required_conflicts,
+                const std::vector<core::RequestContext>& requests) {
+  std::vector<AnalysisInput> inputs;
+  for (const core::PolicyNodePtr& root : roots) {
+    inputs.push_back({root.get(), nullptr});
+  }
+  AnalyzerOptions options;
+  options.max_findings_per_pass = 0;  // the oracle must see everything
+  const AnalysisReport report = analyse_roots(inputs, options);
+
+  std::size_t unreachable_checked = 0;
+  for (const Finding& finding : report.findings) {
+    if (!is_unreachability_code(finding.code)) continue;
+    const std::vector<std::string> segments = split_path(finding.path);
+    ASSERT_GE(segments.size(), 2u) << finding.code << " at " << finding.path;
+    const core::PolicyTreeNode* root = nullptr;
+    for (const core::PolicyNodePtr& r : roots) {
+      if (r->id() == segments[0]) root = r.get();
+    }
+    ASSERT_NE(root, nullptr) << finding.path;
+    const core::PolicyNodePtr pruned = clone_without(*root, segments, 1);
+    for (const core::RequestContext& request : requests) {
+      const core::Decision before = evaluate(*root, request);
+      const core::Decision after = evaluate(*pruned, request);
+      ASSERT_EQ(before == after, true)
+          << "removing " << finding.path << " (" << finding.code
+          << ") changed a decision";
+    }
+    ++unreachable_checked;
+  }
+  // The injections below guarantee the invariance loop is not vacuous.
+  EXPECT_GT(unreachable_checked, 0u);
+
+  std::set<std::pair<std::string, std::string>> reported;
+  for (const Finding& finding : report.findings) {
+    if (finding.code != "modality-conflict") continue;
+    reported.insert({finding.root_id, finding.other_root_id});
+    reported.insert({finding.other_root_id, finding.root_id});
+  }
+  for (const auto& pair : required_conflicts) {
+    EXPECT_TRUE(reported.count(pair) > 0)
+        << "missed injected conflict " << pair.first << " vs " << pair.second;
+  }
+}
+
+core::Rule shadowed_rule(const std::string& id, int role, bool conditioned) {
+  core::Rule r;
+  r.id = id;
+  r.effect = core::Effect::kPermit;
+  core::Target t;
+  t.require(core::Category::kSubject, core::attrs::kRole,
+            core::AttributeValue("role-" + std::to_string(role)));
+  r.target = std::move(t);
+  if (conditioned) r.condition = core::lit(true);
+  return r;
+}
+
+class AnalysisOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalysisOracle, FederationWorkloadRemovalInvariantAndComplete) {
+  const int n_domains = 4, n_policies = 40, n_roles = 3;
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+
+  std::vector<core::PolicyNodePtr> roots;
+  std::set<std::pair<std::string, std::string>> required;
+  for (int i = 0; i < n_policies; ++i) {
+    core::Policy p = bench::domain_role_policy(i % n_domains, i, n_roles);
+    if (rng.uniform_int(0, 4) == 0) {
+      // Inject a rule after the unconditional deny-rest catch-all: under
+      // first-applicable it can never decide and must be flagged.
+      p.rules.push_back(shadowed_rule(p.policy_id + ":injected-shadowed",
+                                      static_cast<int>(rng.uniform_int(0, n_roles - 1)),
+                                      rng.uniform_int(0, 1) == 0));
+    }
+    if (rng.uniform_int(0, 9) == 0) {
+      // Inject a mirror root denying exactly what this policy permits:
+      // a cross-root exact conflict that must be reported.
+      core::Policy mirror = bench::domain_role_policy(i % n_domains, i, n_roles);
+      mirror.policy_id = p.policy_id + ":mirror";
+      mirror.rules.clear();
+      core::Rule deny;
+      deny.id = mirror.policy_id + ":deny-read";
+      deny.effect = core::Effect::kDeny;
+      core::Target t;
+      t.require(core::Category::kAction, core::attrs::kActionId,
+                core::AttributeValue("read"));
+      deny.target = std::move(t);
+      mirror.rules.push_back(std::move(deny));
+      required.insert({p.policy_id, mirror.policy_id});
+      roots.push_back(std::make_unique<core::Policy>(std::move(mirror)));
+    }
+    roots.push_back(std::make_unique<core::Policy>(std::move(p)));
+  }
+
+  std::vector<core::RequestContext> requests;
+  for (int i = 0; i < 200; ++i) {
+    requests.push_back(
+        bench::random_domain_request(rng, n_domains, n_policies, n_roles));
+  }
+  run_oracle(roots, required, requests);
+}
+
+TEST_P(AnalysisOracle, SetTreeWorkloadRemovalInvariantAndComplete) {
+  const int n_domains = 3, n_services = 4, per_service = 3, n_roles = 3;
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+
+  std::vector<core::PolicyNodePtr> roots;
+  std::set<std::pair<std::string, std::string>> required;
+  for (int d = 0; d < n_domains; ++d) {
+    core::PolicySet tree =
+        bench::domain_service_set(d, n_services, per_service, n_roles);
+    // Inject shadowed rules into random leaf policies (after their
+    // unconditional deny-rest catch-alls).
+    for (const core::PolicyNodePtr& service : tree.children()) {
+      auto* svc = dynamic_cast<core::PolicySet*>(service.get());
+      ASSERT_NE(svc, nullptr);
+      for (const core::PolicyNodePtr& leaf : svc->children()) {
+        if (rng.uniform_int(0, 2) != 0) continue;
+        auto* policy = dynamic_cast<core::Policy*>(leaf.get());
+        ASSERT_NE(policy, nullptr);
+        policy->rules.push_back(shadowed_rule(
+            policy->policy_id + ":injected-shadowed",
+            static_cast<int>(rng.uniform_int(0, n_roles - 1)), false));
+      }
+    }
+    const std::string tree_id = tree.id();
+    roots.push_back(std::make_unique<core::PolicySet>(std::move(tree)));
+
+    // Mirror root: a flat deny against one leaf's exact permit space.
+    core::Policy mirror;
+    mirror.policy_id = "mirror:" + tree_id;
+    mirror.target_spec.require(
+        core::Category::kResource, core::attrs::kResourceDomain,
+        core::AttributeValue("domain-" + std::to_string(d)));
+    mirror.target_spec.require(core::Category::kResource, "service",
+                               core::AttributeValue("svc-0"));
+    mirror.target_spec.require(core::Category::kSubject, core::attrs::kRole,
+                               core::AttributeValue("role-0"));
+    core::Rule deny;
+    deny.id = mirror.policy_id + ":deny-read";
+    deny.effect = core::Effect::kDeny;
+    core::Target t;
+    t.require(core::Category::kAction, core::attrs::kActionId,
+              core::AttributeValue("read"));
+    deny.target = std::move(t);
+    mirror.rules.push_back(std::move(deny));
+    required.insert({tree_id, mirror.policy_id});
+    roots.push_back(std::make_unique<core::Policy>(std::move(mirror)));
+  }
+
+  std::vector<core::RequestContext> requests;
+  for (int i = 0; i < 200; ++i) {
+    requests.push_back(
+        bench::random_set_tree_request(rng, n_domains, n_services, n_roles));
+  }
+  run_oracle(roots, required, requests);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisOracle, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace mdac::analysis

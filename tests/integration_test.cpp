@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "capability/capability.hpp"
-#include "conflict/analysis.hpp"
+#include "analysis/analysis.hpp"
 #include "core/serialization.hpp"
 #include "delegation/delegation.hpp"
 #include "dependability/replicated_pdp.hpp"
@@ -185,8 +185,8 @@ TEST(IntegrationTest, DelegatedPolicyDetectedInConflictAnalysis) {
   ASSERT_EQ(filter.accepted.size(), 2u);
 
   // Static analysis flags the modality conflict before deployment.
-  const auto analysis = conflict::analyse({&local, &partner});
-  ASSERT_EQ(analysis.conflicts.size(), 1u);
+  const auto report = analysis::analyse({&local, &partner});
+  ASSERT_EQ(report.conflicts.size(), 1u);
 
   // At runtime, deny-overrides resolves it deterministically.
   auto shared_store = std::make_shared<core::PolicyStore>();

@@ -100,6 +100,98 @@ TEST(RepositoryTest, AuditLogRecordsEverything) {
   EXPECT_FALSE(log[0].content_hash.empty());
 }
 
+// ---------------------------------------------------------------------
+// Issue-time lint and the lint gate
+// ---------------------------------------------------------------------
+
+TEST(RepositoryTest, IssueLintReportsCrossPolicyConflict) {
+  common::ManualClock clock;
+  PolicyRepository repo(clock);  // default config: lint on, gate off
+  ASSERT_TRUE(repo.submit(simple_policy_doc("allow-doc", "doc"), "alice"));
+  ASSERT_TRUE(repo.issue("allow-doc", "alice"));
+
+  ASSERT_TRUE(repo.submit(
+      simple_policy_doc("deny-doc", "doc", core::Effect::kDeny), "alice"));
+  ASSERT_TRUE(repo.issue("deny-doc", "alice"));  // gate off: issued anyway
+  ASSERT_NE(repo.issued("deny-doc"), nullptr);
+
+  const auto report = repo.lint_report();
+  ASSERT_NE(report, nullptr);
+  EXPECT_GT(report->error_count, 0u);
+  bool conflict_found = false;
+  for (const analysis::Finding& f : report->findings) {
+    if (f.code == "modality-conflict") conflict_found = true;
+  }
+  EXPECT_TRUE(conflict_found);
+
+  // The lint outcome is audited against the candidate.
+  bool lint_audited = false;
+  for (const AuditEntry& entry : repo.audit_log()) {
+    if (entry.operation == "lint" && entry.policy_id == "deny-doc") {
+      lint_audited = true;
+    }
+  }
+  EXPECT_TRUE(lint_audited);
+}
+
+TEST(RepositoryTest, LintGateRefusesConflictingIssueAndAuditsIt) {
+  common::ManualClock clock;
+  PapConfig config;
+  config.lint_gate = true;
+  PolicyRepository repo(clock, config);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("allow-doc", "doc"), "alice"));
+  ASSERT_TRUE(repo.issue("allow-doc", "alice"));
+
+  ASSERT_TRUE(repo.submit(
+      simple_policy_doc("deny-doc", "doc", core::Effect::kDeny), "alice"));
+  const std::uint64_t revision_before = repo.revision();
+  const RepoOutcome outcome = repo.issue("deny-doc", "mallory");
+  EXPECT_FALSE(outcome);
+  EXPECT_NE(outcome.reason.find("lint gate"), std::string::npos);
+
+  // Refusal leaves the policy state unchanged — still a draft, never
+  // issued — and the only repository change is the refusal landing on
+  // the audit trail (record_audit advances revision()).
+  EXPECT_EQ(repo.issued("deny-doc"), nullptr);
+  EXPECT_EQ(repo.latest("deny-doc")->status, Lifecycle::kDraft);
+  EXPECT_EQ(repo.revision(), revision_before + 1);
+  bool refusal_audited = false;
+  for (const AuditEntry& entry : repo.audit_log()) {
+    if (entry.operation == "lint-refused" && entry.policy_id == "deny-doc" &&
+        entry.actor == "mallory") {
+      refusal_audited = true;
+    }
+  }
+  EXPECT_TRUE(refusal_audited);
+
+  // A non-conflicting policy still issues through the gate.
+  ASSERT_TRUE(repo.submit(simple_policy_doc("other", "other-doc"), "alice"));
+  EXPECT_TRUE(repo.issue("other", "alice"));
+}
+
+TEST(RepositoryTest, CleanIssueLeavesAuditLogQuiet) {
+  // A lint that finds nothing about the candidate must not add audit
+  // noise — AuditLogRecordsEverything's 3-entry contract stays true.
+  common::ManualClock clock;
+  PolicyRepository repo(clock);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("p1", "doc"), "alice"));
+  ASSERT_TRUE(repo.issue("p1", "alice"));
+  EXPECT_EQ(repo.audit_log().size(), 2u);  // submit + issue, no "lint"
+  const auto report = repo.lint_report();
+  ASSERT_NE(report, nullptr);
+  EXPECT_TRUE(report->ok());
+}
+
+TEST(RepositoryTest, LintOnIssueCanBeDisabled) {
+  common::ManualClock clock;
+  PapConfig config;
+  config.lint_on_issue = false;
+  PolicyRepository repo(clock, config);
+  ASSERT_TRUE(repo.submit(simple_policy_doc("allow-doc", "doc"), "alice"));
+  ASSERT_TRUE(repo.issue("allow-doc", "alice"));
+  EXPECT_EQ(repo.lint_report(), nullptr);
+}
+
 TEST(RepositoryTest, LoadIntoPdpStore) {
   common::ManualClock clock;
   PolicyRepository repo(clock);

@@ -37,7 +37,7 @@ TEST(PepTest, DenyBlocks) {
 }
 
 TEST(PepTest, FailSafeDenyOnNotApplicableAndIndeterminate) {
-  for (const core::Decision d :
+  for (const core::Decision& d :
        {core::Decision::not_applicable(),
         core::Decision::indeterminate(core::IndeterminateExtent::kDP,
                                       core::Status::processing_error("x"))}) {
