@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <span>
 #include <string>
@@ -573,6 +574,140 @@ BenchResult bench_pdp_mt(const Scale& s, std::size_t workers) {
 BenchResult bench_pdp_mt_1(const Scale& s) { return bench_pdp_mt(s, 1); }
 BenchResult bench_pdp_mt_8(const Scale& s) { return bench_pdp_mt(s, 8); }
 
+/// The PR-8 contention rows: the same engine workload with a decision
+/// cache attached, in both storage modes. Two-level rows serve the hot
+/// pool from per-worker L1s (zero synchronisation) backed by the shared
+/// seqlock L2; mutex rows funnel every hit through the sharded locks —
+/// the in-binary reference that load-normalises the speedup ratio.
+/// Cache counters (the EngineMetrics surface satellite 2 adds) ride on
+/// every row so BENCH_pdp.json records where hits were served from.
+BenchResult bench_pdp_mt_cached(const Scale& s, std::size_t workers,
+                                bool two_level) {
+  constexpr int kDomains = 8;
+  auto store = make_domain_policy_store(kDomains, s.policies, s.roles);
+  runtime::SnapshotPublisher publisher;
+  publisher.publish(store);
+
+  common::WallClock clock;
+  auto cache = two_level
+                   ? std::make_unique<cache::DecisionCache>(
+                         cache::DecisionCache::TwoLevelConfig{.capacity = 8192})
+                   : std::make_unique<cache::DecisionCache>(
+                         clock, /*ttl=*/1'000'000'000, /*capacity=*/8192,
+                         /*shards=*/8);
+  runtime::EngineConfig config;
+  config.workers = workers;
+  config.queue_capacity = 8192;
+  config.max_batch = 64;
+  config.l1_capacity = 1024;  // holds the whole hot pool per worker
+  runtime::DecisionEngine engine(publisher, config, cache.get());
+
+  // The hot pool is rejection-sampled to *definitive* decisions: the
+  // engine only caches Permit/Deny, and a pool dominated by
+  // NotApplicable would make these rows measure evaluation throughput
+  // (already covered by pdp_mt_workers_*) instead of cache contention.
+  common::Rng rng(4321);
+  std::vector<core::RequestContext> pool;
+  pool.reserve(512);
+  {
+    core::Pdp sampler(store);
+    for (int attempts = 0; pool.size() < 512 && attempts < 100'000; ++attempts) {
+      core::RequestContext req =
+          random_domain_request(rng, kDomains, s.policies, s.roles);
+      const core::Decision d = sampler.evaluate(req);
+      if (d.is_permit() || d.is_deny()) pool.push_back(std::move(req));
+    }
+    while (pool.size() < 512) {
+      pool.push_back(random_domain_request(rng, kDomains, s.policies, s.roles));
+    }
+  }
+
+  // Warmup doubles as the differential check AND the cache fill: the
+  // first encounter of each request misses and caches; later encounters
+  // are served from L1/L2 and must still be bit-identical to the
+  // single-threaded Pdp.
+  std::uint64_t mismatches = 0;
+  {
+    core::Pdp reference(store);
+    for (int round = 0; round < 2; ++round) {
+      for (const core::RequestContext& request : pool) {
+        const core::Decision expected = reference.evaluate(request);
+        const runtime::EngineResult got = engine.submit(request).get();
+        if (!(got.decision == expected)) ++mismatches;
+      }
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "FAIL: pdp_mt_cached workers=%zu: %llu cached engine "
+                   "decisions differ from single-threaded Pdp\n",
+                   workers, static_cast<unsigned long long>(mismatches));
+    }
+  }
+
+  const std::uint64_t iterations = s.iterations;
+  constexpr std::size_t kWindow = 512;
+  std::vector<std::future<runtime::EngineResult>> inflight(kWindow);
+  engine.reset_metrics();
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const std::uint64_t bytes_before = g_alloc_bytes.load();
+  const auto t_start = Clock::now();
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    auto& slot = inflight[i % kWindow];
+    if (slot.valid()) benchmark_sink(slot.get().decision);
+    slot = engine.submit(pool[i % pool.size()]);
+  }
+  for (auto& slot : inflight) {
+    if (slot.valid()) benchmark_sink(slot.get().decision);
+  }
+  const auto t_end = Clock::now();
+  const std::uint64_t allocs_after = g_alloc_count.load();
+  const std::uint64_t bytes_after = g_alloc_bytes.load();
+
+  const runtime::EngineMetrics::Snapshot m = engine.metrics();
+  const double total_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t_end - t_start).count());
+  BenchResult r;
+  r.name = std::string(two_level ? "pdp_mt_cached_workers_"
+                                 : "pdp_mt_cached_mutex_workers_") +
+           std::to_string(workers);
+  r.iterations = iterations;
+  r.ops_per_sec = total_ns > 0 ? 1e9 * static_cast<double>(iterations) / total_ns : 0;
+  r.mean_ns = total_ns / static_cast<double>(iterations);
+  r.p50_ns = m.latency_p50_ns;
+  r.p90_ns = m.latency_p90_ns;
+  r.p99_ns = m.latency_p99_ns;
+  r.allocs_per_op =
+      static_cast<double>(allocs_after - allocs_before) / static_cast<double>(iterations);
+  r.bytes_per_op =
+      static_cast<double>(bytes_after - bytes_before) / static_cast<double>(iterations);
+  r.counters["workers"] = static_cast<double>(workers);
+  r.counters["two_level"] = two_level ? 1 : 0;
+  r.counters["sheds"] = static_cast<double>(m.sheds());
+  r.counters["l1_hits"] = static_cast<double>(m.l1_hits);
+  r.counters["l2_hits"] = static_cast<double>(m.l2_hits);
+  r.counters["cache_misses"] = static_cast<double>(m.cache_misses);
+  r.counters["l2_read_retries"] = static_cast<double>(m.l2_read_retries);
+  r.counters["version_evictions"] = static_cast<double>(m.version_evictions);
+  r.counters["hit_ratio"] =
+      m.decided > 0 ? static_cast<double>(m.cache_hits) / static_cast<double>(m.decided)
+                    : 0;
+  r.counters["differential_mismatches"] = static_cast<double>(mismatches);
+  return r;
+}
+
+BenchResult bench_pdp_mt_cached_1(const Scale& s) {
+  return bench_pdp_mt_cached(s, 1, /*two_level=*/true);
+}
+BenchResult bench_pdp_mt_cached_8(const Scale& s) {
+  return bench_pdp_mt_cached(s, 8, /*two_level=*/true);
+}
+BenchResult bench_pdp_mt_cached_mutex_1(const Scale& s) {
+  return bench_pdp_mt_cached(s, 1, /*two_level=*/false);
+}
+BenchResult bench_pdp_mt_cached_mutex_8(const Scale& s) {
+  return bench_pdp_mt_cached(s, 8, /*two_level=*/false);
+}
+
 /// Deliberate overload: a tiny queue bound, fire-and-forget callback
 /// submissions at full rate, no in-flight window. Measures how the
 /// engine behaves AT saturation — decided throughput stays up while the
@@ -806,6 +941,8 @@ int check_regression(const Scale& scale, const Report& report,
        /*min_cores=*/0, /*extra_slack=*/0.20},
       {"pdp_mt_workers_8", "pdp_mt_workers_1", &bench_pdp_mt_8, &bench_pdp_mt_1,
        /*min_cores=*/8},
+      {"pdp_mt_cached_workers_8", "pdp_mt_cached_mutex_workers_8",
+       &bench_pdp_mt_cached_8, &bench_pdp_mt_cached_mutex_8, /*min_cores=*/8},
   };
 
   int failures = 0;
@@ -849,6 +986,68 @@ int check_regression(const Scale& scale, const Report& report,
                    "FAIL: %s regressed %.1f%% against %s (max allowed %.0f%%)\n",
                    gate.gated, 100.0 * (1.0 - ratio / baseline_ratio),
                    baseline_path.c_str(), 100.0 * max_regress);
+      ++failures;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+/// The PR-8 acceptance floors, checked in-binary (no baseline file
+/// needed — both rows of each ratio are measured in the same process
+/// under the same load):
+///   * contended speedup: the two-level cache must serve the 8-worker
+///     hot-pool workload at >= 1.5x the mutex-sharded cache. Only
+///     meaningful with >= 8 cores — below that, both sides measure the
+///     scheduler, so the check skips itself.
+///   * uncontended cost: at 1 worker the two-level path (L1 probe +
+///     seqlock fallback) must stay within 10% of the mutex cache.
+///     Needs >= 2 cores so the submitter thread isn't time-slicing
+///     against the one worker.
+/// A below-floor first sample is re-measured before failing, like the
+/// baseline gates.
+int check_cached_speedup_floor(const Scale& scale, const Report& report) {
+  struct Floor {
+    const char* gated;
+    const char* reference;
+    BenchResult (*run_gated)(const Scale&);
+    BenchResult (*run_reference)(const Scale&);
+    double min_ratio;
+    unsigned min_cores;
+  };
+  static constexpr Floor kFloors[] = {
+      {"pdp_mt_cached_workers_8", "pdp_mt_cached_mutex_workers_8",
+       &bench_pdp_mt_cached_8, &bench_pdp_mt_cached_mutex_8, 1.5, 8},
+      {"pdp_mt_cached_workers_1", "pdp_mt_cached_mutex_workers_1",
+       &bench_pdp_mt_cached_1, &bench_pdp_mt_cached_mutex_1, 0.90, 2},
+  };
+
+  int failures = 0;
+  for (const Floor& floor : kFloors) {
+    if (std::thread::hardware_concurrency() < floor.min_cores) {
+      std::printf("speedup floor: %s needs >=%u cores (have %u); skipping\n",
+                  floor.gated, floor.min_cores, std::thread::hardware_concurrency());
+      continue;
+    }
+    double gated = 0;
+    double reference = 0;
+    for (const BenchResult& r : report.results()) {
+      if (r.name == floor.gated) gated = r.ops_per_sec;
+      if (r.name == floor.reference) reference = r.ops_per_sec;
+    }
+    if (reference <= 0) continue;
+    double ratio = gated / reference;
+    for (int attempt = 0; ratio < floor.min_ratio && attempt < 2; ++attempt) {
+      std::printf("speedup floor: %s ratio %.2f below %.2f; re-measuring\n",
+                  floor.gated, ratio, floor.min_ratio);
+      const double g = floor.run_gated(scale).ops_per_sec;
+      const double ref = floor.run_reference(scale).ops_per_sec;
+      if (ref > 0) ratio = std::max(ratio, g / ref);
+    }
+    std::printf("speedup floor: %s %.2fx the mutex-sharded row (floor %.2fx)\n",
+                floor.gated, ratio, floor.min_ratio);
+    if (ratio < floor.min_ratio) {
+      std::fprintf(stderr, "FAIL: %s is %.2fx %s (floor %.2fx)\n", floor.gated,
+                   ratio, floor.reference, floor.min_ratio);
       ++failures;
     }
   }
@@ -912,6 +1111,16 @@ int run(int argc, char** argv) {
     print_row(r);
     report.add(std::move(r));
   }
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    BenchResult r = bench_pdp_mt_cached(scale, workers, /*two_level=*/true);
+    print_row(r);
+    report.add(std::move(r));
+  }
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    BenchResult r = bench_pdp_mt_cached(scale, workers, /*two_level=*/false);
+    print_row(r);
+    report.add(std::move(r));
+  }
   {
     BenchResult r = bench_pdp_engine_saturation(scale);
     print_row(r);
@@ -955,6 +1164,7 @@ int run(int argc, char** argv) {
       failures = 1;
     }
   }
+  failures |= check_cached_speedup_floor(scale, report);
   if (!baseline.empty()) {
     failures |= check_regression(scale, report, baseline, max_regress);
   }

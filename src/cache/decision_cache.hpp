@@ -1,20 +1,39 @@
 // Decision caching at the enforcement point (paper §3.2, "Communication
 // Performance", citing Woo & Lam's caching proposal [61]).
 //
-// The cache key is the request's 128-bit fingerprint (request_key.hpp);
-// the value is the full decision including obligations. Storage is an
-// N-way sharded TTL+LRU cache (sharded_cache.hpp) so a multi-threaded
-// PEP scales across cores. The paper's warning — stale entries cause
-// false permits / false denies — is exactly what experiment C1
-// quantifies, using `StalenessProbe` to compare cached answers against a
-// fresh oracle.
+// The cache key is the request's 128-bit fingerprint (request_key.hpp)
+// plus the snapshot version the decision was computed under — so
+// republication implicitly invalidates, and `evict_older_than` reclaims
+// entries of withdrawn versions. Two storage modes behind one facade:
+//
+//   * kMutexSharded — the original N-way sharded TTL+LRU cache
+//     (sharded_cache.hpp). Exact LRU and TTL, one mutex per shard. This
+//     is what a multi-threaded PEP uses (CachingEvaluator stays here).
+//   * kTwoLevel — the shared L2 of the engine's two-level design: a
+//     seqlock slot table (seqlock_cache.hpp) whose hit path is
+//     lock-free, optionally split into independent placement *groups*
+//     (one per NUMA-ish worker group; a decision cached in one group is
+//     invisible to the others — duplication across groups is the point,
+//     it keeps each group's slots local to the workers that hit them).
+//     The per-worker L1 in front of it is `WorkerL1Cache` below, owned
+//     by the engine's worker state, not by this facade.
+//
+// The paper's warning — stale entries cause false permits / false denies
+// — is exactly what experiment C1 quantifies, using `StalenessProbe` to
+// compare cached answers against a fresh oracle.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/request_key.hpp"
+#include "cache/seqlock_cache.hpp"
 #include "cache/sharded_cache.hpp"
 #include "core/decision.hpp"
 #include "core/request.hpp"
@@ -27,51 +46,245 @@ namespace mdac::cache {
 /// allocation-free `fingerprint()`.
 std::string canonical_request_key(const core::RequestContext& request);
 
+/// (fingerprint, snapshot version) — the storage key for both modes.
+struct VersionedKey {
+  RequestKey key;
+  std::uint64_t version = 0;
+
+  bool operator==(const VersionedKey&) const = default;
+};
+
+struct VersionedKeyHash {
+  std::size_t operator()(const VersionedKey& k) const noexcept {
+    return static_cast<std::size_t>(k.key.lo ^ (k.key.hi * 0x9E3779B97F4A7C15ULL) ^
+                                    ((k.version + 1) * 0xFF51AFD7ED558CCDULL));
+  }
+};
+
 class DecisionCache {
  public:
-  /// `capacity` is the total across all shards (rounded up to a multiple
-  /// of the shard count, see ShardedTtlLruCache); `shards` is rounded up
-  /// to a power of two.
+  enum class Mode { kMutexSharded, kTwoLevel };
+
+  struct TwoLevelConfig {
+    std::size_t capacity = 4096;  // total slots across all groups
+    std::size_t groups = 1;       // independent seqlock instances
+  };
+
+  /// Mutex-sharded mode (the PEP/CachingEvaluator default). `capacity`
+  /// is the total across all shards (rounded up to a multiple of the
+  /// shard count, see ShardedTtlLruCache); `shards` is rounded up to a
+  /// power of two.
   DecisionCache(const common::Clock& clock, common::Duration ttl,
                 std::size_t capacity = 4096, std::size_t shards = 8)
-      : cache_(clock, ttl, capacity, shards) {}
+      : mode_(Mode::kMutexSharded),
+        sharded_(std::make_unique<ShardedStore>(clock, ttl, capacity, shards)) {}
+
+  /// Two-level mode (the engine's shared L2). No TTL: version-carrying
+  /// keys plus the version sweep make time-based expiry redundant, and
+  /// the slot table's capacity bounds memory.
+  explicit DecisionCache(const TwoLevelConfig& config) : mode_(Mode::kTwoLevel) {
+    const std::size_t groups = config.groups == 0 ? 1 : config.groups;
+    const std::size_t per_group = (config.capacity + groups - 1) / groups;
+    groups_.reserve(groups);
+    for (std::size_t i = 0; i < groups; ++i) {
+      groups_.push_back(std::make_unique<SeqlockDecisionCache>(per_group));
+    }
+  }
+
+  // ---- unversioned API (PEP-side callers; stored under version 0) ----
 
   std::optional<core::Decision> lookup(const core::RequestContext& request) {
-    return lookup(fingerprint(request));
+    return lookup(fingerprint(request), 0);
   }
 
   void insert(const core::RequestContext& request, const core::Decision& decision) {
-    insert(fingerprint(request), decision);
+    insert(fingerprint(request), 0, decision);
   }
 
   /// Key-level overloads so callers probing and then filling (the
   /// CachingEvaluator / PEP shape) fingerprint the request only once.
-  std::optional<core::Decision> lookup(const RequestKey& key) {
-    return cache_.lookup(key);
-  }
+  std::optional<core::Decision> lookup(const RequestKey& key) { return lookup(key, 0); }
 
   void insert(const RequestKey& key, const core::Decision& decision) {
-    cache_.insert(key, decision);
+    insert(key, 0, decision);
+  }
+
+  // ---- versioned API (the engine) ----
+
+  /// `group` selects the placement group in two-level mode (ignored —
+  /// there is one store — in mutex mode). In two-level mode seqlock
+  /// read retries are *added* to `*l2_retries` when non-null.
+  std::optional<core::Decision> lookup(const RequestKey& key, std::uint64_t version,
+                                       std::size_t group = 0,
+                                       std::uint64_t* l2_retries = nullptr) {
+    if (mode_ == Mode::kMutexSharded) {
+      return sharded_->lookup(VersionedKey{key, version});
+    }
+    core::Decision d;
+    if (group_at(group).lookup(key, version, d, l2_retries)) return d;
+    return std::nullopt;
+  }
+
+  void insert(const RequestKey& key, std::uint64_t version, const core::Decision& decision,
+              std::size_t group = 0) {
+    if (mode_ == Mode::kMutexSharded) {
+      sharded_->insert(VersionedKey{key, version}, decision);
+      return;
+    }
+    group_at(group).insert(key, version, decision);
+  }
+
+  /// Version sweep: drops every entry cached under a snapshot version
+  /// < `version` (all groups in two-level mode). Returns the number of
+  /// entries reclaimed. The engine calls this on snapshot adoption with
+  /// the minimum version any worker still serves.
+  std::size_t evict_older_than(std::uint64_t version) {
+    if (mode_ == Mode::kMutexSharded) {
+      return sharded_->evict_if(
+          [version](const VersionedKey& k) { return k.version < version; });
+    }
+    std::size_t removed = 0;
+    for (auto& g : groups_) removed += g->evict_older_than(version);
+    return removed;
   }
 
   /// Policy-change notification: drop everything.
-  void invalidate_all() { cache_.invalidate_all(); }
-
-  /// Targeted invalidation (e.g. a revoked subject).
-  bool invalidate(const core::RequestContext& request) {
-    return cache_.invalidate(fingerprint(request));
+  void invalidate_all() {
+    if (mode_ == Mode::kMutexSharded) {
+      sharded_->invalidate_all();
+      return;
+    }
+    for (auto& g : groups_) g->clear();
   }
 
-  /// Aggregated over all shards; a snapshot, not a live reference.
-  CacheStats stats() const { return cache_.stats(); }
-  std::size_t size() const { return cache_.size(); }
-  std::size_t shard_count() const { return cache_.shard_count(); }
+  /// Targeted invalidation (e.g. a revoked subject). Mutex mode only —
+  /// two-level entries are version-scoped and swept wholesale; returns
+  /// false there.
+  bool invalidate(const core::RequestContext& request) {
+    if (mode_ != Mode::kMutexSharded) return false;
+    return sharded_->invalidate(VersionedKey{fingerprint(request), 0});
+  }
+
+  /// Aggregated counters, a snapshot, not a live reference. In mutex
+  /// mode these are the exact per-shard hit/miss counters. In two-level
+  /// mode only *writer-side* counters exist (evictions, invalidations =
+  /// version sweeps + clears) — the lock-free read path deliberately
+  /// counts nothing shared; hits/misses live in the engine's per-worker
+  /// metrics.
+  CacheStats stats() const {
+    if (mode_ == Mode::kMutexSharded) return sharded_->stats();
+    CacheStats s;
+    const SeqlockCacheStats sl = seqlock_stats();
+    s.evictions = sl.evictions;
+    s.invalidations = sl.version_evictions + sl.invalidations;
+    return s;
+  }
+
+  /// Two-level mode writer-side counters summed over groups (all zero in
+  /// mutex mode).
+  SeqlockCacheStats seqlock_stats() const {
+    SeqlockCacheStats total;
+    for (const auto& g : groups_) total += g->stats();
+    return total;
+  }
+
+  std::size_t size() const {
+    if (mode_ == Mode::kMutexSharded) return sharded_->size();
+    std::size_t total = 0;
+    for (const auto& g : groups_) total += g->size();
+    return total;
+  }
+
+  std::size_t shard_count() const {
+    return mode_ == Mode::kMutexSharded ? sharded_->shard_count() : 0;
+  }
+
+  Mode mode() const { return mode_; }
+  std::size_t group_count() const { return groups_.size(); }
 
  private:
-  ShardedTtlLruCache<RequestKey, core::Decision> cache_;
+  using ShardedStore = ShardedTtlLruCache<VersionedKey, core::Decision, VersionedKeyHash>;
+
+  SeqlockDecisionCache& group_at(std::size_t group) {
+    return *groups_[group < groups_.size() ? group : 0];
+  }
+
+  Mode mode_;
+  std::unique_ptr<ShardedStore> sharded_;               // kMutexSharded
+  std::vector<std::unique_ptr<SeqlockDecisionCache>> groups_;  // kTwoLevel
+};
+
+/// The per-worker L1: a bounded LRU with ZERO synchronisation. Each
+/// engine worker owns one, allocated on the worker thread itself at
+/// startup (first-touch places it on the worker's NUMA node). All
+/// entries are keyed under the single snapshot version the worker has
+/// adopted; `flush()` — called on adoption — drops them wholesale, which
+/// is both the correctness story (a worker can never L1-hit a decision
+/// from a version it no longer serves) and the memory bound (no dead
+/// versions linger). Hits splice within the LRU list: no allocation on
+/// the hot path.
+class WorkerL1Cache {
+ public:
+  explicit WorkerL1Cache(std::size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the cached decision or nullptr. A `version` different from
+  /// the one the entries were cached under misses (callers flush on
+  /// adoption, so in the engine this only happens transiently).
+  const core::Decision* lookup(const RequestKey& key, std::uint64_t version) {
+    if (version != version_) return nullptr;
+    const auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &it->second->second;
+  }
+
+  void insert(const RequestKey& key, std::uint64_t version, core::Decision decision) {
+    if (version != version_) flush_to(version);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(decision);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_ && !lru_.empty()) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.emplace_front(key, std::move(decision));
+    map_.emplace(key, lru_.begin());
+  }
+
+  /// Drops everything (snapshot adoption).
+  void flush() { flush_to(version_); }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  void flush_to(std::uint64_t version) {
+    if (!map_.empty()) ++flushes_;
+    map_.clear();
+    lru_.clear();
+    version_ = version;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t version_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<std::pair<RequestKey, core::Decision>> lru_;
+  std::unordered_map<RequestKey, std::list<std::pair<RequestKey, core::Decision>>::iterator>
+      map_;
 };
 
 /// Wraps an evaluation function with the cache: the shape a PEP uses.
+/// Deliberately stays on the single-level (mutex-sharded) path — a PEP's
+/// threads are not the engine's workers; they have no worker-local state
+/// to hang an L1 off, and no snapshot-version stream to flush it on.
 class CachingEvaluator {
  public:
   using Evaluate = std::function<core::Decision(const core::RequestContext&)>;

@@ -1,0 +1,170 @@
+// Seqlock-slot decision cache — the shared L2 of the two-level decision
+// cache (ARCHITECTURE.md §"Decision cache").
+//
+// The mutex-per-shard cache (sharded_cache.hpp) serialises readers of
+// *hot* keys: the whole point of a decision cache is that a few
+// fingerprints absorb most traffic, and those all hash to the same shard
+// mutex. Here the hit path takes no lock at all. Each slot is a seqlock:
+//
+//   reader   s1 = seq.load(acquire)           // odd ⇒ writer active ⇒ retry
+//            key/len/payload loads (acquire)
+//            s2 = seq.load(relaxed)           // s1 != s2 ⇒ torn ⇒ retry
+//   writer   (under per-shard mutex, so writers never race each other)
+//            seq.store(s+1)                   // odd: readers back off
+//            key/len/payload stores (release)
+//            seq.store(s+2, release)          // even: publish
+//
+// Why this is TSan-clean *and* correct without std::atomic_thread_fence
+// (which TSan does not model): every slot word is individually atomic, so
+// there is no data race by construction; and if a reader observes any
+// payload word from an in-flight write, that acquire load
+// synchronizes-with the writer's release store, which makes the odd
+// sequence number written *before* the payload visible — so the trailing
+// seq re-check (ordered after the payload loads by their acquire
+// semantics) cannot return s1, and the reader retries. The sequence
+// counter is 64-bit and strictly monotonic (slots are cleared by writing
+// zeroed keys, never by resetting seq), so s1 == s2 can never be an ABA
+// false positive.
+//
+// Decisions are stored *inline* as a compact binary encoding packed into
+// the slot's atomic words — no pointers, so there is no reclamation race
+// between sequence validation and dereference. Decisions that encode to
+// more than kMaxEncodedDecisionBytes are simply not cached (the evaluator
+// recomputes them); the hot permit/deny + stamp-obligation shapes fit
+// with room to spare.
+//
+// Keys are (request fingerprint, snapshot version): republication
+// implicitly invalidates, and `evict_older_than` reclaims the slots of
+// withdrawn versions. Reader-side hit/miss/retry counters are
+// deliberately NOT kept here — shared atomics on the read path would
+// reintroduce the cache-line contention the seqlock removes. Readers
+// accumulate retries via the out-parameter; the engine counts hits in its
+// per-worker padded counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "cache/request_key.hpp"
+#include "core/decision.hpp"
+
+namespace mdac::cache {
+
+/// Compact binary decision codec used by the seqlock slots. Exposed for
+/// tests (round-trip) and anything else that wants a bounded, allocation-
+/// free decision wire form. All counts and string lengths must fit one
+/// byte; total encoded size must fit `cap`. Returns the encoded length,
+/// or nullopt if the decision does not fit.
+std::optional<std::size_t> encode_decision(const core::Decision& d,
+                                           std::uint8_t* out, std::size_t cap);
+
+/// Decodes a buffer produced by encode_decision. Returns false on any
+/// malformed/truncated input (the decision is left unspecified).
+bool decode_decision(const std::uint8_t* data, std::size_t len, core::Decision& out);
+
+/// Writer-side counters. Maintained under the shard write mutexes, so
+/// they are exact; aggregated on demand by stats().
+struct SeqlockCacheStats {
+  std::uint64_t inserts = 0;            // new entries written
+  std::uint64_t updates = 0;            // same (key, version) overwritten
+  std::uint64_t evictions = 0;          // bucket-full victim displaced
+  std::uint64_t version_evictions = 0;  // reclaimed by evict_older_than
+  std::uint64_t invalidations = 0;      // cleared by clear()
+  std::uint64_t rejected_oversize = 0;  // decision too large to inline
+
+  SeqlockCacheStats& operator+=(const SeqlockCacheStats& o) {
+    inserts += o.inserts;
+    updates += o.updates;
+    evictions += o.evictions;
+    version_evictions += o.version_evictions;
+    invalidations += o.invalidations;
+    rejected_oversize += o.rejected_oversize;
+    return *this;
+  }
+};
+
+class SeqlockDecisionCache {
+ public:
+  // Slot layout: 5 header words + 11 payload words = 128 bytes, two cache
+  // lines, so a hit touches at most two lines and slots never share a
+  // line (no reader/writer false sharing between neighbouring slots).
+  static constexpr std::size_t kPayloadWords = 11;
+  static constexpr std::size_t kMaxEncodedBytes = kPayloadWords * 8;  // 88
+  static constexpr std::size_t kWays = 4;  // set-associative bucket width
+
+  /// `capacity` is the total slot budget; rounded up so the bucket count
+  /// is a power of two (minimum one bucket of kWays slots). Storage is
+  /// allocated eagerly — a slot table, no per-entry allocation ever.
+  explicit SeqlockDecisionCache(std::size_t capacity = 4096);
+
+  SeqlockDecisionCache(const SeqlockDecisionCache&) = delete;
+  SeqlockDecisionCache& operator=(const SeqlockDecisionCache&) = delete;
+
+  /// Lock-free lookup. On a hit decodes into `out` and returns true. If
+  /// `retries` is non-null, the number of seqlock re-reads performed is
+  /// *added* to it (callers keep per-worker tallies). A slot being
+  /// rewritten more than kMaxReadAttempts times in a row is treated as a
+  /// miss — a livelock bound, not an error.
+  bool lookup(const RequestKey& key, std::uint64_t version, core::Decision& out,
+              std::uint64_t* retries = nullptr) const;
+
+  /// Inserts (or refreshes) a decision. Takes the bucket's shard write
+  /// mutex; readers are never blocked. Returns false if the decision is
+  /// too large to inline (not cached).
+  bool insert(const RequestKey& key, std::uint64_t version, const core::Decision& d);
+
+  /// Reclaims every slot whose snapshot version is < `version`; returns
+  /// the number of slots cleared. Called by the engine on snapshot
+  /// adoption with the minimum version any worker still serves.
+  std::size_t evict_older_than(std::uint64_t version);
+
+  /// Drops everything (tests / explicit policy-change notification).
+  std::size_t clear();
+
+  SeqlockCacheStats stats() const;
+  std::size_t slot_count() const { return bucket_count() * kWays; }
+  std::size_t size() const;  // occupied slots (exact: summed under locks)
+
+ private:
+  static constexpr std::size_t kMaxReadAttempts = 64;
+  static constexpr std::size_t kMaxWriteShards = 16;
+
+  // All words atomic: no data race is possible, only *torn snapshots*,
+  // which the sequence protocol detects. meta == 0 marks an empty slot
+  // (no decision encodes to zero bytes); seq is never reset.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> key_lo{0};
+    std::atomic<std::uint64_t> key_hi{0};
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> meta{0};  // encoded byte length; 0 = empty
+    std::atomic<std::uint64_t> payload[kPayloadWords] = {};
+  };
+  static_assert(sizeof(std::atomic<std::uint64_t>) == 8);
+
+  struct alignas(64) WriteShard {
+    std::mutex mutex;
+    std::uint64_t victim_counter = 0;  // round-robin victim pick
+    std::uint64_t occupied = 0;
+    SeqlockCacheStats stats;
+  };
+
+  std::size_t bucket_count() const { return bucket_mask_ + 1; }
+  WriteShard& shard_for(std::size_t bucket) const {
+    return shards_[bucket & shard_mask_];
+  }
+  static std::uint64_t slot_hash(const RequestKey& key, std::uint64_t version);
+  /// Clears one slot via the write protocol (caller holds its shard lock).
+  static void clear_slot(Slot& slot);
+
+  std::size_t bucket_mask_;
+  std::size_t shard_mask_;
+  std::unique_ptr<Slot[]> slots_;
+  mutable std::unique_ptr<WriteShard[]> shards_;
+};
+
+}  // namespace mdac::cache

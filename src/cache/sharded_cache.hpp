@@ -70,19 +70,39 @@ class ShardedTtlLruCache {
     }
   }
 
-  /// Aggregated snapshot across shards (hits/misses/… sum exactly).
+  /// Aggregated counter snapshot across shards.
+  ///
+  /// Relaxed-consistency contract: each shard is read under its own lock,
+  /// one shard at a time — there is no instant at which all shards were
+  /// simultaneously in the returned state. Each *per-shard* contribution
+  /// is exact, and every counter is monotonically non-decreasing, so the
+  /// result is a valid lower bound per shard; but cross-shard relations
+  /// (e.g. hits+misses == lookups issued) may be off by operations that
+  /// landed on already-read shards while later shards were being read.
+  /// Callers wanting exact totals must quiesce writers first (the
+  /// engine's metrics snapshot does; the bench harness reads after
+  /// joining its threads). Aggregation is overflow-safe: CacheStats
+  /// counters are uint64 and summed via operator+=.
   CacheStats stats() const {
     CacheStats total;
     for (const auto& s : shards_) {
       std::lock_guard lock(s->mutex);
-      const CacheStats& c = s->cache.stats();
-      total.hits += c.hits;
-      total.misses += c.misses;
-      total.expirations += c.expirations;
-      total.evictions += c.evictions;
-      total.invalidations += c.invalidations;
+      total += s->cache.stats();
     }
     return total;
+  }
+
+  /// Sweeps every shard, dropping entries whose key satisfies `pred`;
+  /// returns the total removed. Shards are swept one at a time (same
+  /// relaxed consistency as invalidate_all).
+  template <typename Pred>
+  std::size_t evict_if(const Pred& pred) {
+    std::size_t removed = 0;
+    for (auto& s : shards_) {
+      std::lock_guard lock(s->mutex);
+      removed += s->cache.evict_if(pred);
+    }
+    return removed;
   }
 
   std::size_t size() const {

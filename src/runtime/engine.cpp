@@ -4,6 +4,11 @@
 #include <cmath>
 #include <string>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "cache/request_key.hpp"
 #include "common/logging.hpp"
 
@@ -75,7 +80,7 @@ double bucket_value(std::size_t i) {
 void EngineMetrics::reset() {
   submitted_.store(0, std::memory_order_relaxed);
   decided_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
+  version_evictions_.store(0, std::memory_order_relaxed);
   shed_queue_full_.store(0, std::memory_order_relaxed);
   shed_deadline_.store(0, std::memory_order_relaxed);
   shed_shutdown_.store(0, std::memory_order_relaxed);
@@ -85,6 +90,10 @@ void EngineMetrics::reset() {
     w->ops.store(0, std::memory_order_relaxed);
     w->batches.store(0, std::memory_order_relaxed);
     w->batched_requests.store(0, std::memory_order_relaxed);
+    w->l1_hits.store(0, std::memory_order_relaxed);
+    w->l2_hits.store(0, std::memory_order_relaxed);
+    w->cache_misses.store(0, std::memory_order_relaxed);
+    w->l2_retries.store(0, std::memory_order_relaxed);
   }
   for (auto& bucket : latency_histogram_) bucket.store(0, std::memory_order_relaxed);
 }
@@ -93,7 +102,7 @@ EngineMetrics::Snapshot EngineMetrics::snapshot() const {
   Snapshot s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.decided = decided_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.version_evictions = version_evictions_.load(std::memory_order_relaxed);
   s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   s.shed_shutdown = shed_shutdown_.load(std::memory_order_relaxed);
@@ -108,7 +117,12 @@ EngineMetrics::Snapshot EngineMetrics::snapshot() const {
     s.worker_ops.push_back(w->ops.load(std::memory_order_relaxed));
     batches += w->batches.load(std::memory_order_relaxed);
     batched += w->batched_requests.load(std::memory_order_relaxed);
+    s.l1_hits += w->l1_hits.load(std::memory_order_relaxed);
+    s.l2_hits += w->l2_hits.load(std::memory_order_relaxed);
+    s.cache_misses += w->cache_misses.load(std::memory_order_relaxed);
+    s.l2_read_retries += w->l2_retries.load(std::memory_order_relaxed);
   }
+  s.cache_hits = s.l1_hits + s.l2_hits;
   s.batches = batches;
   s.mean_batch_size =
       batches > 0 ? static_cast<double>(batched) / static_cast<double>(batches) : 0.0;
@@ -150,6 +164,7 @@ DecisionEngine::DecisionEngine(SnapshotPublisher& publisher, EngineConfig config
   config_.workers = std::max<std::size_t>(1, config_.workers);
   config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
   config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+  adopted_versions_ = std::make_unique<AdoptedVersion[]>(config_.workers);
   threads_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -275,7 +290,7 @@ bool DecisionEngine::pop_batch(Worker& worker) {
   return true;
 }
 
-void DecisionEngine::adopt_snapshot(Worker& worker) {
+void DecisionEngine::adopt_snapshot(std::size_t index, Worker& worker) {
   const std::uint64_t version = publisher_.current_version();
   const std::uint64_t held = worker.snapshot ? worker.snapshot->version() : 0;
   if (held == version) return;
@@ -290,6 +305,41 @@ void DecisionEngine::adopt_snapshot(Worker& worker) {
   if (config_.resolver != nullptr) worker.pdp->set_resolver(config_.resolver);
   if (config_.functions != nullptr) worker.pdp->set_functions(config_.functions);
   metrics_.record_adoption();
+  // The L1's entries all carry the replaced version — drop them now
+  // (rather than letting version-mismatch lookups age them out) so the
+  // memory is reclaimed at the adoption edge.
+  worker.l1.flush();
+  // Publish this worker's new floor, then sweep the shared cache up to
+  // the *minimum* adopted version: entries under versions no worker
+  // serves any more are unreachable and only waste slots.
+  adopted_versions_[index].version.store(worker.snapshot->version(),
+                                         std::memory_order_release);
+  maybe_sweep_cache();
+}
+
+void DecisionEngine::maybe_sweep_cache() {
+  if (cache_ == nullptr) return;
+  std::uint64_t min_adopted = 0;
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    const std::uint64_t v = adopted_versions_[i].version.load(std::memory_order_acquire);
+    if (v == 0) continue;  // never adopted: holds no cache entries
+    if (min_adopted == 0 || v < min_adopted) min_adopted = v;
+  }
+  if (min_adopted == 0) return;
+  // One adopting worker wins the CAS and runs the sweep; concurrent
+  // adopters at the same or a lower watermark skip it. A worker lagging
+  // on an old snapshot keeps the watermark down, so its L2 entries
+  // survive until it moves on — the sweep is conservative by
+  // construction.
+  std::uint64_t prev = swept_below_.load(std::memory_order_relaxed);
+  while (min_adopted > prev &&
+         !swept_below_.compare_exchange_weak(prev, min_adopted,
+                                             std::memory_order_acq_rel)) {
+  }
+  if (min_adopted > prev) {
+    const std::size_t removed = cache_->evict_older_than(min_adopted);
+    metrics_.record_version_evictions(removed);
+  }
 }
 
 void DecisionEngine::complete(Job& job, EngineResult result, std::size_t worker_index,
@@ -320,30 +370,24 @@ void DecisionEngine::invoke_callback(Callback& callback, EngineResult result) {
   }
 }
 
-namespace {
-
-/// Cache keys are scoped to the snapshot that produced the entry: the
-/// snapshot version is mixed into the request fingerprint, so a
-/// republication makes every old entry unreachable (it ages out via
-/// LRU/TTL) instead of serving decisions from withdrawn policy — the
-/// "every decision is consistent with exactly one snapshot" model
-/// extends to cache hits, with no invalidation stampede on publish.
-cache::RequestKey versioned_key(const core::RequestContext& request,
-                                std::uint64_t snapshot_version) {
-  cache::RequestKey key = cache::fingerprint(request);
-  key.hi ^= (snapshot_version + 1) * 0x9E3779B97F4A7C15ULL;
-  return key;
-}
-
-}  // namespace
-
 void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
   metrics_.record_batch(index, worker.jobs.size());
-  adopt_snapshot(worker);
+  adopt_snapshot(index, worker);
   const std::uint64_t version = worker.snapshot ? worker.snapshot->version() : 0;
+  // Cache keys are (request fingerprint, snapshot version) in both
+  // modes: a republication makes every old entry unreachable (and the
+  // adoption-time sweep reclaims it) instead of serving decisions from
+  // withdrawn policy — the "every decision is consistent with exactly
+  // one snapshot" model extends to cache hits, with no invalidation
+  // stampede on publish. The worker's private L1 is probed first (zero
+  // synchronisation), then the shared store; an L2 hit is promoted into
+  // the L1.
+  const bool use_l1 = cache_ != nullptr && worker.l1_enabled &&
+                      cache_->mode() == cache::DecisionCache::Mode::kTwoLevel;
 
   worker.requests.clear();
   worker.pending.clear();
+  worker.pending_keys.clear();
   const auto now = SteadyClock::now();
   for (std::size_t i = 0; i < worker.jobs.size(); ++i) {
     Job& job = worker.jobs[i];
@@ -353,15 +397,33 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
       continue;
     }
     if (cache_ != nullptr && worker.snapshot != nullptr) {
-      if (auto hit = cache_->lookup(versioned_key(job.request, version))) {
-        metrics_.record_cache_hit();
+      const cache::RequestKey key = cache::fingerprint(job.request);
+      if (use_l1) {
+        if (const core::Decision* hit = worker.l1.lookup(key, version)) {
+          metrics_.record_l1_hit(index);
+          EngineResult r;
+          r.decision = *hit;
+          r.snapshot_version = version;
+          r.cache_hit = true;
+          r.cache_level = 1;
+          complete(job, std::move(r), index, /*count_as_decided=*/true);
+          continue;
+        }
+      }
+      std::uint64_t retries = 0;
+      if (auto hit = cache_->lookup(key, version, worker.group, &retries)) {
+        metrics_.record_l2_hit(index, retries);
+        if (use_l1) worker.l1.insert(key, version, *hit);
         EngineResult r;
         r.decision = std::move(*hit);
         r.snapshot_version = version;
         r.cache_hit = true;
+        r.cache_level = 2;
         complete(job, std::move(r), index, /*count_as_decided=*/true);
         continue;
       }
+      metrics_.record_cache_miss(index, retries);
+      worker.pending_keys.push_back(key);
     }
     worker.pending.push_back(i);
     worker.requests.push_back(std::move(job.request));
@@ -412,15 +474,56 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
     r.decision = std::move(results[i].decision);
     r.snapshot_version = version;
     if (cache_ != nullptr && (r.decision.is_permit() || r.decision.is_deny())) {
-      cache_->insert(versioned_key(worker.requests[i], version), r.decision);
+      // pending_keys[i] was filled alongside pending[i] (cache_ non-null
+      // implies the lookup path ran): the fingerprint is computed once
+      // per request, shared by the probe and both fills.
+      cache_->insert(worker.pending_keys[i], version, r.decision, worker.group);
+      if (use_l1) worker.l1.insert(worker.pending_keys[i], version, r.decision);
     }
     complete(worker.jobs[worker.pending[i]], std::move(r), index,
              /*count_as_decided=*/true);
   }
 }
 
+namespace {
+
+/// Pins the calling thread to `core`. Linux-only; other platforms are a
+/// graceful no-op returning false.
+bool pin_current_thread(std::size_t core) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace
+
 void DecisionEngine::worker_loop(std::size_t index) {
-  Worker worker;
+  // Placement first, allocation second: pinning before the Worker (Pdp
+  // replica, L1, scratch) is constructed means first-touch lands every
+  // worker-local page on the core the worker will run on. Pinning is
+  // skipped wholesale when the host has fewer cores than workers —
+  // oversubscribed workers must stay migratable or they serialise on
+  // whatever cores the pins happen to share.
+  if (config_.pin_workers) {
+    const std::size_t cores = std::thread::hardware_concurrency();
+    if (cores >= config_.workers && pin_current_thread(index % cores)) {
+      pinned_workers_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  Worker worker(config_.l1_capacity);
+  // Workers map onto the shared cache's placement groups in contiguous
+  // blocks (workers 0..k-1 → group 0, …): each group's slot table is
+  // only ever touched by its own workers, and duplication of hot
+  // decisions across groups is the intended trade for locality.
+  if (cache_ != nullptr && cache_->group_count() > 1) {
+    worker.group = index * cache_->group_count() / config_.workers;
+  }
   while (pop_batch(worker)) {
     process_batch(index, worker);
     worker.jobs.clear();

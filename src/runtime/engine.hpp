@@ -30,12 +30,25 @@
 //     a dependability::HeartbeatMonitor-style health check or the bench
 //     harness reads to observe overload (shed_rate / saturation).
 //
-// An optional cache::DecisionCache (mutex-per-shard, already
-// thread-safe) is shared across all workers: hits complete without
-// touching a Pdp, misses are filled with definitive decisions. Entries
-// are keyed by (request fingerprint, snapshot version), so policy
-// republication implicitly invalidates — stale entries cannot hit and
-// age out through LRU/TTL.
+// An optional cache::DecisionCache is shared across all workers: hits
+// complete without touching a Pdp, misses are filled with definitive
+// decisions. Entries are keyed by (request fingerprint, snapshot
+// version), so policy republication implicitly invalidates. Two shapes
+// (see ARCHITECTURE.md §"Decision cache"):
+//
+//   * mutex-sharded mode — the original single-level path; every worker
+//     hits the shared sharded store directly.
+//   * two-level mode — each worker fronts the shared seqlock L2 with a
+//     private zero-synchronisation L1 (cache::WorkerL1Cache), allocated
+//     on the worker thread at startup (first-touch) and flushed at
+//     snapshot adoption; L2 lookups are lock-free seqlock reads, and
+//     workers map onto the cache's placement *groups* so a worker only
+//     ever touches slots of its own group.
+//
+// In both modes the engine sweeps entries of withdrawn versions on
+// snapshot adoption (DecisionCache::evict_older_than with the minimum
+// version any worker still serves), so long-running engines don't
+// accumulate unreachable entries.
 //
 // Completion callbacks run on a worker thread — except shed-on-submit
 // (queue full / shutdown), which completes on the submitting thread
@@ -101,6 +114,9 @@ struct EngineResult {
   /// unreachable instead of serving withdrawn policy.
   std::uint64_t snapshot_version = 0;
   bool cache_hit = false;
+  /// Which cache level served the hit: 0 = evaluated (or not cached),
+  /// 1 = worker-private L1, 2 = shared L2 / mutex-sharded store.
+  std::uint8_t cache_level = 0;
 
   bool decided() const { return status == CompletionStatus::kDecided; }
 };
@@ -113,7 +129,14 @@ class EngineMetrics {
   struct Snapshot {
     std::uint64_t submitted = 0;
     std::uint64_t decided = 0;
+    /// l1_hits + l2_hits (l1 is always 0 for mutex-sharded caches, which
+    /// count every hit as l2 — the shared level).
     std::uint64_t cache_hits = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t cache_misses = 0;      // lookups answered by evaluation
+    std::uint64_t l2_read_retries = 0;   // seqlock re-reads (two-level mode)
+    std::uint64_t version_evictions = 0; // entries reclaimed by the sweep
     std::uint64_t shed_queue_full = 0;
     std::uint64_t shed_deadline = 0;
     std::uint64_t shed_shutdown = 0;
@@ -150,7 +173,24 @@ class EngineMetrics {
 
   void record_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
   void record_shed(CompletionStatus cause);
-  void record_cache_hit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  /// Cache-path counters live in the padded per-worker blocks: the hit
+  /// path must not rendezvous all workers on one shared counter line.
+  void record_l1_hit(std::size_t worker) {
+    workers_[worker]->l1_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_l2_hit(std::size_t worker, std::uint64_t retries) {
+    WorkerCounters& w = *workers_[worker];
+    w.l2_hits.fetch_add(1, std::memory_order_relaxed);
+    if (retries != 0) w.l2_retries.fetch_add(retries, std::memory_order_relaxed);
+  }
+  void record_cache_miss(std::size_t worker, std::uint64_t retries) {
+    WorkerCounters& w = *workers_[worker];
+    w.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    if (retries != 0) w.l2_retries.fetch_add(retries, std::memory_order_relaxed);
+  }
+  void record_version_evictions(std::uint64_t count) {
+    version_evictions_.fetch_add(count, std::memory_order_relaxed);
+  }
   void record_batch(std::size_t worker, std::size_t batch_size);
   void record_decided(std::size_t worker, std::uint64_t latency_ns);
   void record_adoption() { adoptions_.fetch_add(1, std::memory_order_relaxed); }
@@ -171,16 +211,23 @@ class EngineMetrics {
   static constexpr std::size_t kLatencyBuckets = 64;
 
   /// Padded per-worker counters so workers don't false-share a line.
+  /// The cache counters live here too: in two-level mode the cache's
+  /// read path is lock-free precisely so workers share nothing — a
+  /// shared hit counter would put the contended line right back.
   struct alignas(64) WorkerCounters {
     std::atomic<std::uint64_t> ops{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> batched_requests{0};
+    std::atomic<std::uint64_t> l1_hits{0};
+    std::atomic<std::uint64_t> l2_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> l2_retries{0};
   };
 
   std::size_t queue_capacity_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> decided_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> version_evictions_{0};
   std::atomic<std::uint64_t> shed_queue_full_{0};
   std::atomic<std::uint64_t> shed_deadline_{0};
   std::atomic<std::uint64_t> shed_shutdown_{0};
@@ -211,6 +258,17 @@ struct EngineConfig {
   /// <= 0 means no deadline. A request still queued when its deadline
   /// passes is shed (kShedDeadline) instead of evaluated late.
   common::Duration default_deadline_ms = 0;
+  /// Pin worker i to core i (pthread affinity). Placement pass for
+  /// many-core hosts: keeps each worker's first-touch allocations (Pdp
+  /// replica, L1, scratch) and its L2 slot traffic on one core's node.
+  /// Graceful no-op on non-Linux platforms and on hosts with fewer
+  /// cores than workers (oversubscribed workers must stay migratable);
+  /// `DecisionEngine::workers_pinned()` reports what actually stuck.
+  bool pin_workers = false;
+  /// Per-worker L1 capacity (entries) when the shared cache is in
+  /// two-level mode; 0 disables the L1 (L2-only). Ignored for
+  /// mutex-sharded caches, which have no worker-local level.
+  std::size_t l1_capacity = 256;
 };
 
 class DecisionEngine {
@@ -262,6 +320,12 @@ class DecisionEngine {
   std::size_t worker_count() const { return config_.workers; }
   std::size_t queue_capacity() const { return config_.queue_capacity; }
   std::size_t queue_depth() const;
+  /// Workers whose core pinning actually took effect (0 when
+  /// pin_workers is off, the platform is unsupported, or cores <
+  /// workers — the graceful no-op cases).
+  std::size_t workers_pinned() const {
+    return pinned_workers_.load(std::memory_order_acquire);
+  }
 
   /// Live counters; see EngineMetrics::Snapshot for the health-check
   /// surface (shed_rate, saturation, latency percentiles). Safe from any
@@ -283,21 +347,36 @@ class DecisionEngine {
   };
 
   /// One worker's execution state: the adopted snapshot and the private
-  /// Pdp replica bound to it, plus reusable batch scratch.
+  /// Pdp replica bound to it, plus reusable batch scratch and the
+  /// zero-synchronisation L1. Constructed inside worker_loop — on the
+  /// worker's own thread — so first-touch places all of it on the
+  /// worker's NUMA node when pinning is on.
   struct Worker {
+    explicit Worker(std::size_t l1_capacity)
+        : l1(l1_capacity == 0 ? 1 : l1_capacity), l1_enabled(l1_capacity > 0) {}
+
     std::shared_ptr<const PolicySnapshot> snapshot;
     std::unique_ptr<core::Pdp> pdp;
+    cache::WorkerL1Cache l1;
+    bool l1_enabled;
+    std::size_t group = 0;  // L2 placement group this worker hits
     std::vector<Job> jobs;
     std::vector<core::RequestContext> requests;  // contiguous, for evaluate_batch
     std::vector<std::size_t> pending;            // jobs[i] awaiting evaluation
+    std::vector<cache::RequestKey> pending_keys; // fingerprints, parallel to pending
   };
 
   void worker_loop(std::size_t index);
   /// Pops up to max_batch jobs into `worker.jobs`; false = exit.
   bool pop_batch(Worker& worker);
   /// Re-binds `worker` to the newest snapshot if it changed (the batch
-  /// boundary of the RCU scheme).
-  void adopt_snapshot(Worker& worker);
+  /// boundary of the RCU scheme); flushes the worker's L1 and triggers
+  /// the shared-cache version sweep on change.
+  void adopt_snapshot(std::size_t index, Worker& worker);
+  /// Sweeps shared-cache entries older than the minimum snapshot version
+  /// any worker has adopted (lagging workers pin the watermark — their
+  /// entries must survive until they move on).
+  void maybe_sweep_cache();
   void process_batch(std::size_t index, Worker& worker);
   void complete(Job& job, EngineResult result, std::size_t worker_index,
                 bool count_as_decided);
@@ -311,6 +390,20 @@ class DecisionEngine {
   EngineConfig config_;
   cache::DecisionCache* cache_;
   EngineMetrics metrics_;
+
+  /// Per-worker adopted snapshot version, padded so the release store at
+  /// adoption never contends with neighbours' slots. 0 = never adopted
+  /// (excluded from the sweep minimum: a worker that has served nothing
+  /// holds no cache entries, and its first adoption takes the newest
+  /// version, which is never below an already-swept watermark).
+  struct alignas(64) AdoptedVersion {
+    std::atomic<std::uint64_t> version{0};
+  };
+  std::unique_ptr<AdoptedVersion[]> adopted_versions_;
+  /// Versions below this have been swept from the shared cache; CAS'd
+  /// so exactly one adopting worker runs each sweep.
+  std::atomic<std::uint64_t> swept_below_{0};
+  std::atomic<std::size_t> pinned_workers_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable ready_;

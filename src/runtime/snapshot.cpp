@@ -14,7 +14,13 @@ std::shared_ptr<const PolicySnapshot> SnapshotPublisher::publish(
   // version v through current_version() will observe a current() whose
   // version is >= v (current() synchronises through the mutex).
   version_.store(version, std::memory_order_release);
+  for (const auto& hook : hooks_) hook(version);
   return snapshot;
+}
+
+void SnapshotPublisher::add_publish_hook(std::function<void(std::uint64_t)> hook) {
+  std::lock_guard lock(mutex_);
+  hooks_.push_back(std::move(hook));
 }
 
 std::shared_ptr<const PolicySnapshot> SnapshotPublisher::publish_from(

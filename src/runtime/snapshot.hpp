@@ -37,8 +37,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/policy.hpp"
 #include "pap/repository.hpp"
@@ -124,9 +126,23 @@ class SnapshotPublisher {
   /// is the version counter by another, intent-revealing name.
   std::uint64_t publications() const { return current_version(); }
 
+  /// Registers a hook invoked after every publish with the new snapshot
+  /// version — the version-based flush signal for *single-consumer*
+  /// caches outside the engine (a PEP-side DecisionCache can
+  /// `evict_older_than(version)` or `invalidate_all()` here). Hooks run
+  /// on the publishing thread, under the publisher's lock: they must be
+  /// cheap, must not throw, and must not call back into this publisher.
+  /// The engine's workers deliberately do NOT use this — each worker
+  /// flushes its own L1 at its batch-boundary adoption, and the shared
+  /// L2 is swept with the *minimum* version any worker still serves
+  /// (flushing at publish time would evict entries that lagging workers
+  /// are still legitimately hitting).
+  void add_publish_hook(std::function<void(std::uint64_t)> hook);
+
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const PolicySnapshot> current_;
+  std::vector<std::function<void(std::uint64_t)>> hooks_;
   std::atomic<std::uint64_t> version_{0};
 };
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "cache/decision_cache.hpp"
@@ -85,6 +87,41 @@ TEST(ShardedCacheTest, InvalidateAllSweepsEveryShard) {
   cache.invalidate_all();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().invalidations, 64u);
+}
+
+TEST(ShardedCacheTest, StatsAggregateInUint64WithoutNarrowing) {
+  // The aggregation contract: per-shard counters are uint64 and the
+  // cross-shard sum stays in uint64, so totals past 2^32 don't wrap.
+  static_assert(std::is_same_v<decltype(CacheStats::hits), std::uint64_t>);
+  static_assert(std::is_same_v<decltype(CacheStats::misses), std::uint64_t>);
+  static_assert(std::is_same_v<decltype(CacheStats::evictions), std::uint64_t>);
+  static_assert(std::is_same_v<decltype(CacheStats::expirations), std::uint64_t>);
+  static_assert(std::is_same_v<decltype(CacheStats::invalidations), std::uint64_t>);
+
+  CacheStats total;
+  CacheStats shard;
+  shard.hits = (std::uint64_t{1} << 32) + 5;  // would wrap a 32-bit counter
+  shard.misses = 3;
+  total += shard;
+  total += shard;
+  EXPECT_EQ(total.hits, (std::uint64_t{1} << 33) + 10);
+  EXPECT_EQ(total.misses, 6u);
+  EXPECT_DOUBLE_EQ(total.hit_ratio(),
+                   static_cast<double>(total.hits) /
+                       static_cast<double>(total.hits + total.misses));
+}
+
+TEST(ShardedCacheTest, EvictIfSweepsMatchingEntriesAcrossShards) {
+  common::ManualClock clock;
+  ShardedTtlLruCache<std::string, int> cache(clock, 1000, 1024, 8);
+  for (int i = 0; i < 64; ++i) cache.insert("key-" + std::to_string(i), i);
+  const std::size_t removed = cache.evict_if(
+      [](const std::string& key) { return std::stoi(key.substr(4)) % 2 == 0; });
+  EXPECT_EQ(removed, 32u);
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_FALSE(cache.lookup("key-0").has_value());
+  EXPECT_TRUE(cache.lookup("key-1").has_value());
+  EXPECT_EQ(cache.stats().invalidations, 32u);
 }
 
 // ---------------------------------------------------------------------

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/decision_cache.hpp"
 #include "common/clock.hpp"
 #include "core/expression.hpp"
 #include "core/pdp.hpp"
@@ -320,6 +321,108 @@ TEST(RuntimeChurnTest, ReferencedPolicyChurnThroughCompiledSets) {
   EXPECT_EQ(engine.metrics().sheds(), 0u);
   // 2 setup publications + (kVersions - 1) re-issues + 1 withdrawal.
   EXPECT_EQ(snapshots.publications(), static_cast<std::uint64_t>(kVersions) + 2);
+}
+
+TEST(RuntimeChurnTest, TwoLevelCacheNeverServesAStaleDecisionUnderChurn) {
+  // The PR-8 staleness pin, under churn and under TSan: with BOTH cache
+  // levels in play (worker-local L1, shared seqlock L2), every decision
+  // — evaluated, L1-served, or L2-served — must still be byte-for-byte
+  // the expected decision of the snapshot version the worker reports.
+  // A cache serving across a republication boundary would surface as a
+  // stamp/version mismatch.
+  constexpr int kPublications = 40;
+  constexpr int kRequests = 2000;
+  constexpr int kHotKeys = 4;
+
+  SnapshotPublisher publisher;
+  ExpectedDecisions expected;
+  {
+    auto store = make_stamped_store(1);
+    core::Pdp oracle(store);
+    expected.record(1, oracle.evaluate(probe_request()));
+    publisher.publish(store);
+  }
+
+  cache::DecisionCache cache(cache::DecisionCache::TwoLevelConfig{.capacity = 4096});
+  EngineConfig config;
+  config.workers = 4;
+  config.queue_capacity = 4096;
+  config.max_batch = 8;
+  config.l1_capacity = 256;
+  DecisionEngine engine(publisher, config, &cache);
+
+  std::thread pap([&] {
+    for (int k = 2; k <= kPublications; ++k) {
+      auto store = make_stamped_store(k);
+      core::Pdp oracle(store);
+      expected.record(static_cast<std::uint64_t>(k), oracle.evaluate(probe_request()));
+      publisher.publish(store);
+      std::this_thread::yield();
+    }
+  });
+
+  // A small hot pool so both levels see heavy reuse. The policy ignores
+  // the subject, so every hot request shares each version's expected
+  // decision.
+  std::vector<core::RequestContext> hot;
+  for (int i = 0; i < kHotKeys; ++i) {
+    hot.push_back(core::RequestContext::make("user-" + std::to_string(i), "doc", "read"));
+  }
+
+  std::size_t checked = 0;
+  const auto check = [&](EngineResult result) {
+    ASSERT_EQ(result.status, CompletionStatus::kDecided);
+    ASSERT_LE(result.cache_level, 2);
+    const auto want = expected.find(result.snapshot_version);
+    ASSERT_TRUE(want.has_value()) << "decision from unpublished snapshot "
+                                  << result.snapshot_version;
+    // Stale cache entries (either level) desynchronise stamp & version.
+    ASSERT_EQ(result.decision, *want) << "cache level " << int{result.cache_level};
+    ASSERT_EQ(result.decision.obligations[0].assignments[0].second.as_string(),
+              "v" + std::to_string(result.snapshot_version));
+    ++checked;
+  };
+
+  constexpr std::size_t kWindow = 512;
+  std::vector<std::future<EngineResult>> inflight;
+  inflight.reserve(kWindow);
+  for (int i = 0; i < kRequests; ++i) {
+    if (inflight.size() >= kWindow) {
+      for (auto& f : inflight) check(f.get());
+      inflight.clear();
+    }
+    inflight.push_back(engine.submit(hot[i % kHotKeys]));
+  }
+  pap.join();
+  for (auto& f : inflight) check(f.get());
+  inflight.clear();
+
+  // Settled tail, version now fixed at kPublications. (a) Hammer one key
+  // sequentially: each worker's first encounter may miss or hit L2, every
+  // later one is an L1 hit — pigeonhole guarantees l1_hits > 0. (b) Seed
+  // L2 directly with a never-submitted key at the final version; its
+  // first submission must be served from L2 (the worker's L1 can't hold
+  // it), guaranteeing l2_hits > 0.
+  for (int i = 0; i < 64; ++i) check(engine.submit(hot[0]).get());
+  {
+    const auto final_version = static_cast<std::uint64_t>(kPublications);
+    const auto fresh = core::RequestContext::make("bob", "doc", "read");
+    cache.insert(cache::fingerprint(fresh), final_version,
+                 *expected.find(final_version));
+    EngineResult r = engine.submit(fresh).get();
+    check(r);
+    EXPECT_EQ(r.cache_level, 2);
+    EXPECT_EQ(r.snapshot_version, final_version);
+  }
+  engine.shutdown();
+
+  EXPECT_EQ(checked, static_cast<std::size_t>(kRequests) + 64 + 1);
+  const EngineMetrics::Snapshot m = engine.metrics();
+  EXPECT_EQ(m.sheds(), 0u);
+  EXPECT_GT(m.l1_hits, 0u);
+  EXPECT_GT(m.l2_hits, 0u);
+  EXPECT_GT(m.cache_misses, 0u);
+  EXPECT_EQ(m.cache_hits, m.l1_hits + m.l2_hits);
 }
 
 }  // namespace

@@ -415,6 +415,209 @@ TEST(DecisionEngineTest, CacheNeverServesDecisionsFromAReplacedSnapshot) {
 }
 
 // ---------------------------------------------------------------------
+// Two-level cache mode: per-worker L1 + shared seqlock L2
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, TwoLevelCacheServesHitsFromBothLevels) {
+  cache::DecisionCache cache(cache::DecisionCache::TwoLevelConfig{.capacity = 1024});
+  ASSERT_EQ(cache.mode(), cache::DecisionCache::Mode::kTwoLevel);
+
+  SnapshotPublisher publisher;
+  auto store = bench::make_policy_store(8);
+  core::Pdp reference(store);
+  publisher.publish(store);
+  // One worker with a one-entry L1 makes every hit's level
+  // deterministic: a repeat hits the L1, a request the L1 just evicted
+  // hits the L2 and is promoted back.
+  EngineConfig config;
+  config.workers = 1;
+  config.l1_capacity = 1;
+  DecisionEngine engine(publisher, config, &cache);
+
+  const auto request_for = [](const char* resource) {
+    core::RequestContext r = core::RequestContext::make("u", resource, "read");
+    r.add(core::Category::kSubject, core::attrs::kRole,
+          core::AttributeValue("role-0"));
+    return r;
+  };
+  const core::RequestContext a = request_for("res-1");
+  const core::RequestContext b = request_for("res-2");
+  const core::Decision expected_a = reference.evaluate(a);
+  ASSERT_TRUE(expected_a.is_permit());
+
+  EngineResult r1 = engine.submit(a).get();  // miss: evaluated, L1 = {a}
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_EQ(r1.cache_level, 0);
+  EngineResult r2 = engine.submit(a).get();  // repeat: worker-private L1
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.cache_level, 1);
+  EXPECT_EQ(r2.decision, expected_a);
+  EngineResult r3 = engine.submit(b).get();  // miss: L1 = {b}, a evicted
+  EXPECT_FALSE(r3.cache_hit);
+  EngineResult r4 = engine.submit(a).get();  // L1 miss -> shared L2 hit
+  EXPECT_TRUE(r4.cache_hit);
+  EXPECT_EQ(r4.cache_level, 2);
+  EXPECT_EQ(r4.decision, expected_a);  // seqlock payload decodes bit-identically
+  EngineResult r5 = engine.submit(a).get();  // the L2 hit was promoted
+  EXPECT_TRUE(r5.cache_hit);
+  EXPECT_EQ(r5.cache_level, 1);
+
+  engine.shutdown();
+  const EngineMetrics::Snapshot m = engine.metrics();
+  EXPECT_EQ(m.l1_hits, 2u);
+  EXPECT_EQ(m.l2_hits, 1u);
+  EXPECT_EQ(m.cache_hits, m.l1_hits + m.l2_hits);
+  EXPECT_EQ(m.cache_misses, 2u);
+}
+
+TEST(DecisionEngineTest, TwoLevelCacheNeverServesDecisionsFromAReplacedSnapshot) {
+  cache::DecisionCache cache(cache::DecisionCache::TwoLevelConfig{.capacity = 1024});
+
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(8));  // v1: res-1/role-0 permits
+  DecisionEngine engine(publisher, EngineConfig{.workers = 1}, &cache);
+
+  core::RequestContext request = core::RequestContext::make("u", "res-1", "read");
+  request.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-0"));
+
+  EngineResult filled = engine.submit(request).get();
+  ASSERT_TRUE(filled.decision.is_permit());
+  EngineResult hit = engine.submit(request).get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.snapshot_version, 1u);
+
+  // Withdraw everything: neither the worker's L1 (flushed at adoption)
+  // nor the L2 (version-keyed, swept) may serve the v1 permit.
+  publisher.publish(std::make_shared<core::PolicyStore>());
+  EngineResult after = engine.submit(request).get();
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_TRUE(after.decision.is_not_applicable());
+  EXPECT_EQ(after.snapshot_version, 2u);
+  engine.shutdown();
+  EXPECT_GE(engine.metrics().version_evictions, 1u);
+}
+
+/// Satellite: the adoption-time version sweep reclaims exactly the
+/// entries of withdrawn snapshot versions — pinned for both cache modes.
+void expect_sweep_reclaims_withdrawn_entries(cache::DecisionCache& cache) {
+  SnapshotPublisher publisher;
+  auto store = bench::make_policy_store(8);
+  publisher.publish(store);
+  // One worker: adoption (and thus the sweep) happens at the first batch
+  // after a publish, deterministically.
+  DecisionEngine engine(publisher, EngineConfig{.workers = 1}, &cache);
+
+  constexpr std::size_t kEntries = 16;
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    core::RequestContext request =
+        core::RequestContext::make("u" + std::to_string(i), "res-1", "read");
+    request.add(core::Category::kSubject, core::attrs::kRole,
+                core::AttributeValue("role-0"));
+    EngineResult r = engine.submit(request).get();
+    ASSERT_TRUE(r.decision.is_permit());
+  }
+  ASSERT_EQ(cache.size(), kEntries);
+  ASSERT_EQ(engine.metrics().version_evictions, 0u);
+
+  publisher.publish(store);  // v2 (same content, new version)
+  core::RequestContext probe = core::RequestContext::make("u0", "res-1", "read");
+  probe.add(core::Category::kSubject, core::attrs::kRole,
+            core::AttributeValue("role-0"));
+  EngineResult after = engine.submit(probe).get();
+  EXPECT_FALSE(after.cache_hit);  // v1 entries are unreachable under v2
+  EXPECT_EQ(after.snapshot_version, 2u);
+  engine.shutdown();
+  // The sweep ran at adoption, before the batch's lookups/fills: exactly
+  // the kEntries v1 decisions were reclaimed (the probe refilled one
+  // entry under v2 afterwards).
+  EXPECT_EQ(engine.metrics().version_evictions, kEntries);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionEngineTest, VersionSweepReclaimsWithdrawnEntriesTwoLevel) {
+  cache::DecisionCache cache(cache::DecisionCache::TwoLevelConfig{.capacity = 1024});
+  expect_sweep_reclaims_withdrawn_entries(cache);
+}
+
+TEST(DecisionEngineTest, VersionSweepReclaimsWithdrawnEntriesMutexSharded) {
+  common::WallClock clock;
+  cache::DecisionCache cache(clock, /*ttl=*/1'000'000, /*capacity=*/1024);
+  expect_sweep_reclaims_withdrawn_entries(cache);
+}
+
+// ---------------------------------------------------------------------
+// Worker placement (pin_workers)
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTest, PinWorkersIsAGracefulNoOpWhenOversubscribed) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(4));
+  EngineConfig config;
+  // More workers than cores: pinning must back off entirely (pinned
+  // oversubscribed workers would serialise on shared cores).
+  config.workers = std::thread::hardware_concurrency() + 1;
+  config.pin_workers = true;
+  DecisionEngine engine(publisher, config);
+  EXPECT_TRUE(engine.submit(probe_request()).get().decided());
+  engine.shutdown();
+  EXPECT_EQ(engine.workers_pinned(), 0u);
+}
+
+TEST(DecisionEngineTest, PinWorkersPinsWhenCoresSuffice) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(4));
+  EngineConfig config;
+  config.workers = 1;  // hardware_concurrency() >= 1 everywhere
+  config.pin_workers = true;
+  DecisionEngine engine(publisher, config);
+  EXPECT_TRUE(engine.submit(probe_request()).get().decided());
+  engine.shutdown();
+#ifdef __linux__
+  EXPECT_EQ(engine.workers_pinned(), 1u);
+#else
+  EXPECT_EQ(engine.workers_pinned(), 0u);  // graceful platform no-op
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Publish hook: the version-based flush signal for PEP-side caches
+// ---------------------------------------------------------------------
+
+TEST(SnapshotPublisherTest, PublishHooksSeeEveryVersionInOrder) {
+  SnapshotPublisher publisher;
+  std::vector<std::uint64_t> seen;
+  publisher.add_publish_hook([&](std::uint64_t v) { seen.push_back(v); });
+  publisher.publish(bench::make_policy_store(2));
+  publisher.publish(bench::make_policy_store(2));
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(SnapshotPublisherTest, PublishHookFlushesAPepSideDecisionCache) {
+  // A PEP-side cache (CachingEvaluator stores under version 0) wired to
+  // drop stale decisions whenever policy is republished — the
+  // single-consumer flush shape the hook exists for.
+  common::WallClock clock;
+  cache::DecisionCache cache(clock, /*ttl=*/1'000'000, /*capacity=*/64);
+  SnapshotPublisher publisher;
+  publisher.add_publish_hook(
+      [&cache](std::uint64_t version) { cache.evict_older_than(version); });
+
+  std::size_t evaluations = 0;
+  cache::CachingEvaluator evaluator(cache, [&](const core::RequestContext&) {
+    ++evaluations;
+    return core::Decision::permit();
+  });
+  evaluator(probe_request());
+  evaluator(probe_request());
+  EXPECT_EQ(evaluations, 1u);  // second call was a cache hit
+
+  publisher.publish(bench::make_policy_store(2));  // version 1 > 0: flushed
+  evaluator(probe_request());
+  EXPECT_EQ(evaluations, 2u);  // re-evaluated against the new policy
+}
+
+// ---------------------------------------------------------------------
 // Wiring: EnforcementPoint and PdpService through the engine
 // ---------------------------------------------------------------------
 

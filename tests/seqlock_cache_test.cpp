@@ -1,0 +1,346 @@
+// cache::SeqlockDecisionCache (the two-level design's shared L2), the
+// inline decision codec it stores, cache::WorkerL1Cache (the per-worker
+// L1), and the DecisionCache facade's two-level mode. The torn-read
+// stress test at the bottom is the seqlock protocol's consistency pin —
+// run it under TSan (build-tsan) to check the atomic choreography, and
+// under the plain tree to hammer actual tearing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/decision_cache.hpp"
+#include "cache/seqlock_cache.hpp"
+#include "common/clock.hpp"
+
+namespace mdac::cache {
+namespace {
+
+core::Decision stamped_permit(const std::string& tag) {
+  core::Decision d = core::Decision::permit();
+  core::ObligationInstance stamp;
+  stamp.id = "stamp";
+  stamp.assignments.emplace_back("version-tag", core::AttributeValue(tag));
+  d.obligations.push_back(std::move(stamp));
+  return d;
+}
+
+RequestKey key_of(std::uint64_t n) {
+  // Distinct, well-spread synthetic fingerprints.
+  return RequestKey{n * 0x9E3779B97F4A7C15ULL + 1, n ^ 0xA5A5A5A5A5A5A5A5ULL};
+}
+
+// ---------------------------------------------------------------------
+// Decision codec
+// ---------------------------------------------------------------------
+
+TEST(DecisionCodecTest, RoundTripsEveryValueTypeAndDecisionShape) {
+  core::Decision d;
+  d.type = core::DecisionType::kDeny;
+  d.extent = core::IndeterminateExtent::kNone;
+  d.status = core::Status::okay();
+  core::ObligationInstance o;
+  o.id = "audit";
+  o.assignments.emplace_back("who", core::AttributeValue("alice"));
+  o.assignments.emplace_back("flag", core::AttributeValue(true));
+  o.assignments.emplace_back("count", core::AttributeValue(std::int64_t{-42}));
+  o.assignments.emplace_back("score", core::AttributeValue(2.5));
+  o.assignments.emplace_back("at", core::AttributeValue(core::TimeValue{123456789}));
+  d.obligations.push_back(o);
+  core::ObligationInstance a;
+  a.id = "advise";
+  d.advice.push_back(a);
+
+  std::uint8_t buf[SeqlockDecisionCache::kMaxEncodedBytes];
+  const auto len = encode_decision(d, buf, sizeof buf);
+  ASSERT_TRUE(len.has_value());
+  core::Decision back;
+  ASSERT_TRUE(decode_decision(buf, *len, back));
+  EXPECT_EQ(back, d);
+
+  // Indeterminate with extent + status message round-trips too.
+  core::Decision ind = core::Decision::indeterminate(
+      core::IndeterminateExtent::kDP, core::Status::missing_attribute("role"));
+  const auto ind_len = encode_decision(ind, buf, sizeof buf);
+  ASSERT_TRUE(ind_len.has_value());
+  ASSERT_TRUE(decode_decision(buf, *ind_len, back));
+  EXPECT_EQ(back, ind);
+}
+
+TEST(DecisionCodecTest, RejectsDecisionsThatDoNotFit) {
+  core::Decision d = core::Decision::indeterminate(
+      core::IndeterminateExtent::kDP,
+      core::Status::processing_error(std::string(200, 'x')));
+  std::uint8_t buf[SeqlockDecisionCache::kMaxEncodedBytes];
+  EXPECT_FALSE(encode_decision(d, buf, sizeof buf).has_value());
+  // With enough room the same decision encodes fine.
+  std::uint8_t big[512];
+  EXPECT_TRUE(encode_decision(d, big, sizeof big).has_value());
+}
+
+TEST(DecisionCodecTest, RejectsTruncatedAndOverlongInput) {
+  std::uint8_t buf[SeqlockDecisionCache::kMaxEncodedBytes];
+  const auto len = encode_decision(stamped_permit("v1"), buf, sizeof buf);
+  ASSERT_TRUE(len.has_value());
+  core::Decision out;
+  EXPECT_TRUE(decode_decision(buf, *len, out));
+  EXPECT_FALSE(decode_decision(buf, *len - 1, out));  // truncated
+  EXPECT_FALSE(decode_decision(buf, 0, out));
+  // Trailing garbage is not ours either (decode must consume exactly).
+  std::uint8_t padded[SeqlockDecisionCache::kMaxEncodedBytes + 1];
+  std::copy(buf, buf + *len, padded);
+  padded[*len] = 0xFF;
+  EXPECT_FALSE(decode_decision(padded, *len + 1, out));
+}
+
+// ---------------------------------------------------------------------
+// SeqlockDecisionCache
+// ---------------------------------------------------------------------
+
+TEST(SeqlockDecisionCacheTest, LookupIsVersionScoped) {
+  SeqlockDecisionCache cache(256);
+  const RequestKey k = key_of(1);
+  ASSERT_TRUE(cache.insert(k, /*version=*/1, stamped_permit("v1")));
+  ASSERT_TRUE(cache.insert(k, /*version=*/2, stamped_permit("v2")));
+
+  core::Decision out;
+  std::uint64_t retries = 0;
+  ASSERT_TRUE(cache.lookup(k, 1, out, &retries));
+  EXPECT_EQ(out, stamped_permit("v1"));
+  ASSERT_TRUE(cache.lookup(k, 2, out, &retries));
+  EXPECT_EQ(out, stamped_permit("v2"));
+  EXPECT_FALSE(cache.lookup(k, 3, out, &retries));
+  EXPECT_FALSE(cache.lookup(key_of(2), 1, out, &retries));
+  EXPECT_EQ(retries, 0u);  // no concurrent writers: reads never retry
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Same (key, version) refreshes in place.
+  ASSERT_TRUE(cache.insert(k, 2, stamped_permit("v2b")));
+  ASSERT_TRUE(cache.lookup(k, 2, out));
+  EXPECT_EQ(out, stamped_permit("v2b"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().updates, 1u);
+}
+
+TEST(SeqlockDecisionCacheTest, OversizeDecisionsAreNotCached) {
+  SeqlockDecisionCache cache(64);
+  core::Decision big = core::Decision::indeterminate(
+      core::IndeterminateExtent::kDP,
+      core::Status::processing_error(std::string(200, 'x')));
+  EXPECT_FALSE(cache.insert(key_of(1), 1, big));
+  core::Decision out;
+  EXPECT_FALSE(cache.lookup(key_of(1), 1, out));
+  EXPECT_EQ(cache.stats().rejected_oversize, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SeqlockDecisionCacheTest, EvictOlderThanReclaimsExactCounts) {
+  SeqlockDecisionCache cache(1024);
+  constexpr std::uint64_t kPerVersion = 50;
+  for (std::uint64_t i = 0; i < kPerVersion; ++i) {
+    ASSERT_TRUE(cache.insert(key_of(i), 1, stamped_permit("v1")));
+    ASSERT_TRUE(cache.insert(key_of(i), 2, stamped_permit("v2")));
+  }
+  ASSERT_EQ(cache.size(), 2 * kPerVersion);
+
+  EXPECT_EQ(cache.evict_older_than(2), kPerVersion);  // exactly the v1 set
+  EXPECT_EQ(cache.size(), kPerVersion);
+  EXPECT_EQ(cache.stats().version_evictions, kPerVersion);
+
+  core::Decision out;
+  EXPECT_FALSE(cache.lookup(key_of(0), 1, out));
+  EXPECT_TRUE(cache.lookup(key_of(0), 2, out));
+
+  EXPECT_EQ(cache.evict_older_than(2), 0u);  // idempotent
+  EXPECT_EQ(cache.clear(), kPerVersion);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SeqlockDecisionCacheTest, BucketOverflowEvictsAVictimNotTheCache) {
+  // Capacity 4 => a single 4-way bucket: the 5th distinct key must
+  // displace exactly one victim.
+  SeqlockDecisionCache cache(4);
+  EXPECT_EQ(cache.slot_count(), 4u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cache.insert(key_of(i), 1, stamped_permit("v1")));
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  core::Decision out;
+  std::size_t live = 0;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    if (cache.lookup(key_of(i), 1, out)) ++live;
+  }
+  EXPECT_EQ(live, 4u);
+}
+
+// ---------------------------------------------------------------------
+// WorkerL1Cache
+// ---------------------------------------------------------------------
+
+TEST(WorkerL1CacheTest, BoundedLruWithVersionFlush) {
+  WorkerL1Cache l1(2);
+  l1.insert(key_of(1), 1, stamped_permit("a"));
+  l1.insert(key_of(2), 1, stamped_permit("b"));
+  ASSERT_NE(l1.lookup(key_of(1), 1), nullptr);  // touches 1: LRU order 1,2
+  l1.insert(key_of(3), 1, stamped_permit("c"));  // evicts 2 (least recent)
+  EXPECT_EQ(l1.lookup(key_of(2), 1), nullptr);
+  ASSERT_NE(l1.lookup(key_of(1), 1), nullptr);
+  EXPECT_EQ(*l1.lookup(key_of(1), 1), stamped_permit("a"));
+  EXPECT_EQ(l1.size(), 2u);
+  EXPECT_EQ(l1.evictions(), 1u);
+
+  // A different version never hits, and an insert under it flushes.
+  EXPECT_EQ(l1.lookup(key_of(1), 2), nullptr);
+  l1.insert(key_of(9), 2, stamped_permit("d"));
+  EXPECT_EQ(l1.size(), 1u);
+  EXPECT_EQ(l1.lookup(key_of(1), 1), nullptr);
+  ASSERT_NE(l1.lookup(key_of(9), 2), nullptr);
+  EXPECT_EQ(l1.flushes(), 1u);
+
+  l1.flush();
+  EXPECT_EQ(l1.size(), 0u);
+  EXPECT_EQ(l1.lookup(key_of(9), 2), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// DecisionCache facade, two-level mode
+// ---------------------------------------------------------------------
+
+TEST(DecisionCacheTwoLevelTest, VersionedApiAndSweep) {
+  DecisionCache cache(DecisionCache::TwoLevelConfig{.capacity = 256});
+  EXPECT_EQ(cache.mode(), DecisionCache::Mode::kTwoLevel);
+  EXPECT_EQ(cache.group_count(), 1u);
+  EXPECT_EQ(cache.shard_count(), 0u);
+
+  const RequestKey k = key_of(7);
+  cache.insert(k, 3, stamped_permit("v3"));
+  auto hit = cache.lookup(k, 3);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, stamped_permit("v3"));
+  EXPECT_FALSE(cache.lookup(k, 4).has_value());
+
+  EXPECT_EQ(cache.evict_older_than(4), 1u);
+  EXPECT_FALSE(cache.lookup(k, 3).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);  // sweep surfaces here
+  EXPECT_EQ(cache.seqlock_stats().version_evictions, 1u);
+}
+
+TEST(DecisionCacheTwoLevelTest, GroupsAreIndependentPlacementDomains) {
+  DecisionCache cache(DecisionCache::TwoLevelConfig{.capacity = 256, .groups = 2});
+  EXPECT_EQ(cache.group_count(), 2u);
+  const RequestKey k = key_of(11);
+  cache.insert(k, 1, stamped_permit("v1"), /*group=*/0);
+  EXPECT_TRUE(cache.lookup(k, 1, /*group=*/0).has_value());
+  // The other group never saw the insert: duplication across groups is
+  // the locality trade, not a shared index.
+  EXPECT_FALSE(cache.lookup(k, 1, /*group=*/1).has_value());
+
+  cache.insert(k, 1, stamped_permit("v1"), /*group=*/1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evict_older_than(2), 2u);  // sweeps cover every group
+}
+
+TEST(DecisionCacheMutexModeTest, VersionedApiSweepsThroughEvictIf) {
+  common::WallClock clock;
+  DecisionCache cache(clock, /*ttl=*/1'000'000, /*capacity=*/64);
+  EXPECT_EQ(cache.mode(), DecisionCache::Mode::kMutexSharded);
+
+  const RequestKey k = key_of(5);
+  cache.insert(k, 1, stamped_permit("v1"));
+  cache.insert(k, 2, stamped_permit("v2"));
+  // The unversioned (PEP) API is version 0 of the same keyspace.
+  cache.insert(k, stamped_permit("v0"));
+  EXPECT_EQ(cache.size(), 3u);
+
+  ASSERT_TRUE(cache.lookup(k, 1).has_value());
+  EXPECT_EQ(cache.evict_older_than(2), 2u);  // versions 0 and 1
+  EXPECT_FALSE(cache.lookup(k, 1).has_value());
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  EXPECT_TRUE(cache.lookup(k, 2).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Seqlock torn-read stress
+// ---------------------------------------------------------------------
+
+// Readers and writers hammer a deliberately tiny slot table so the same
+// slots are rewritten constantly. Every decision is self-validating: the
+// stamp obligation's tag is derived from (key index, version), so ANY
+// torn read that survives the sequence re-check — mixing bytes of two
+// writes — produces either a decode failure or a stamp that contradicts
+// the (key, version) the reader asked for. Under TSan this also proves
+// the protocol is data-race-free.
+TEST(SeqlockTornReadStressTest, ConcurrentRewritesNeverYieldMixedPayloads) {
+  constexpr std::uint64_t kKeys = 8;
+  constexpr std::uint64_t kVersions = 4;   // concurrent version churn
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+#ifdef NDEBUG
+  constexpr int kReadsPerThread = 200'000;
+#else
+  constexpr int kReadsPerThread = 50'000;
+#endif
+
+  SeqlockDecisionCache cache(16);  // 4 buckets: heavy slot reuse
+  const auto tag_for = [](std::uint64_t key_index, std::uint64_t version) {
+    return "k" + std::to_string(key_index) + "-v" + std::to_string(version);
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> total_retries{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::uint64_t n = static_cast<std::uint64_t>(w) * 7919;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t ki = n % kKeys;
+        const std::uint64_t version = 1 + (n / kKeys) % kVersions;
+        cache.insert(key_of(ki), version, stamped_permit(tag_for(ki, version)));
+        ++n;
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t local_hits = 0;
+      std::uint64_t retries = 0;
+      std::uint64_t n = static_cast<std::uint64_t>(r) * 104729;
+      core::Decision out;
+      for (int i = 0; i < kReadsPerThread; ++i, ++n) {
+        const std::uint64_t ki = n % kKeys;
+        const std::uint64_t version = 1 + n % kVersions;
+        if (!cache.lookup(key_of(ki), version, out, &retries)) continue;
+        ++local_hits;
+        // The invariant: a hit for (key, version) is EXACTLY the
+        // decision some writer stored for (key, version) — never a
+        // blend of two writes, never another slot's payload.
+        if (out != stamped_permit(tag_for(ki, version))) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      hits.fetch_add(local_hits, std::memory_order_relaxed);
+      total_retries.fetch_add(retries, std::memory_order_relaxed);
+    });
+  }
+
+  for (auto& t : readers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(hits.load(), 0u);  // the stress actually exercised hits
+}
+
+}  // namespace
+}  // namespace mdac::cache
