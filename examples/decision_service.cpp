@@ -19,6 +19,8 @@
 #include "common/clock.hpp"
 #include "core/expression.hpp"
 #include "core/serialization.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pap/repository.hpp"
 #include "pep/pep.hpp"
 #include "runtime/engine.hpp"
@@ -86,11 +88,15 @@ int main() {
   // decision. pin_workers asks for one core per worker (a graceful
   // no-op on small hosts or unsupported platforms).
   cache::DecisionCache cache(cache::DecisionCache::TwoLevelConfig{.capacity = 4096});
+  // Observability (mdac::obs): head-sample every 100th decision, and
+  // tail-sample every shed / fail-safe as an anomaly regardless.
+  obs::DecisionTracer tracer(obs::ObsConfig{.sample_every_n = 100});
   runtime::EngineConfig config;
   config.workers = 4;
   config.queue_capacity = 64;
   config.l1_capacity = 256;
   config.pin_workers = true;
+  config.tracer = &tracer;
   runtime::DecisionEngine engine(snapshots, config, &cache);
 
   // --- PEP side: the ordinary EnforcementPoint, engine-backed --------
@@ -146,5 +152,37 @@ int main() {
       static_cast<unsigned long long>(m.l2_read_retries),
       static_cast<unsigned long long>(m.version_evictions),
       engine.workers_pinned());
+
+  // --- Explain traces: query the tracer's ring -----------------------
+  std::printf(
+      "\ntracer: %llu admitted, %llu sampled, %llu published (%llu anomalies)\n",
+      static_cast<unsigned long long>(tracer.admitted_total()),
+      static_cast<unsigned long long>(tracer.sampled_total()),
+      static_cast<unsigned long long>(tracer.published_total()),
+      static_cast<unsigned long long>(tracer.anomalies_total()));
+  if (const auto worst = tracer.worst_latency()) {
+    std::printf("\nworst-latency sampled trace:\n%s", obs::render(*worst).c_str());
+  }
+  const auto sheds = tracer.with_outcome(obs::TraceOutcome::kShedQueueFull);
+  if (!sheds.empty()) {
+    std::printf("\none of %zu shed traces (tail-sampled as anomalies):\n%s",
+                sheds.size(), obs::render(sheds.front()).c_str());
+  }
+
+  // --- Prometheus exposition: what a scrape would return -------------
+  obs::Registry registry;
+  tracer.register_metrics(registry);
+  engine.register_metrics(registry);
+  cache.register_metrics(registry);
+  std::string page;
+  registry.expose(page);
+  std::printf("\nscrape preview (first lines of %zu-byte exposition):\n", page.size());
+  std::size_t printed = 0, pos = 0;
+  while (printed < 12 && pos < page.size()) {
+    const std::size_t eol = page.find('\n', pos);
+    std::printf("  %s\n", page.substr(pos, eol - pos).c_str());
+    pos = eol + 1;
+    ++printed;
+  }
   return 0;
 }

@@ -38,6 +38,10 @@
 #include "core/decision.hpp"
 #include "core/request.hpp"
 
+namespace mdac::obs {
+class Registry;
+}
+
 namespace mdac::cache {
 
 /// Canonical string form of a request (deterministic: attributes are
@@ -202,6 +206,12 @@ class DecisionCache {
   Mode mode() const { return mode_; }
   std::size_t group_count() const { return groups_.size(); }
 
+  /// Registers the cache's counters (mdac_cache_*: store hits/misses in
+  /// mutex mode, seqlock writer-side counters in two-level mode, size)
+  /// with a metrics registry; returns the collector id. The cache must
+  /// outlive the registry or be unregistered first.
+  std::uint64_t register_metrics(obs::Registry& registry) const;
+
  private:
   using ShardedStore = ShardedTtlLruCache<VersionedKey, core::Decision, VersionedKeyHash>;
 
@@ -293,8 +303,20 @@ class CachingEvaluator {
       : cache_(cache), evaluate_(std::move(evaluate)) {}
 
   core::Decision operator()(const core::RequestContext& request) {
+    return evaluate_with_probe(request, nullptr);
+  }
+
+  /// As operator(), additionally reporting whether the cache served the
+  /// decision — the distinction a PEP explain-trace's cache-probe span
+  /// records.
+  core::Decision evaluate_with_probe(const core::RequestContext& request,
+                                     bool* cache_hit) {
     const RequestKey key = fingerprint(request);
-    if (auto hit = cache_.lookup(key)) return *hit;
+    if (auto hit = cache_.lookup(key)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *hit;
+    }
+    if (cache_hit != nullptr) *cache_hit = false;
     core::Decision d = evaluate_(request);
     // Only definitive decisions are cacheable; Indeterminate may be a
     // transient infrastructure failure and NotApplicable may flip when

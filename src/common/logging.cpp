@@ -1,6 +1,7 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -49,6 +50,64 @@ void log(LogLevel level, std::string_view message) {
     g_sink(level, message);
   } else {
     std::cerr << "[mdac " << level_name(level) << "] " << message << '\n';
+  }
+}
+
+namespace {
+
+void append_field(std::string& out, const LogField& field) {
+  out += ' ';
+  out.append(field.key);
+  out += '=';
+  char buf[32];
+  switch (field.type) {
+    case LogField::Type::kText:
+      out += '"';
+      out.append(field.text);
+      out += '"';
+      break;
+    case LogField::Type::kUnsigned:
+      if (field.key == "trace") {
+        // Match obs::render's `trace %016llx` header so one grep finds
+        // both the log line and the explain trace.
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(field.u));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(field.u));
+      }
+      out += buf;
+      break;
+    case LogField::Type::kSigned:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(field.i));
+      out += buf;
+      break;
+    case LogField::Type::kFloat:
+      std::snprintf(buf, sizeof(buf), "%g", field.f);
+      out += buf;
+      break;
+    case LogField::Type::kBool:
+      out += field.u != 0 ? "true" : "false";
+      break;
+  }
+}
+
+}  // namespace
+
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields) {
+  // Same early-out as the plain overload: a filtered structured message
+  // costs one relaxed load, no rendering.
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::string line;
+  line.reserve(message.size() + fields.size() * 24);
+  line.append(message);
+  for (const LogField& field : fields) append_field(line, field);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::cerr << "[mdac " << level_name(level) << "] " << line << '\n';
   }
 }
 

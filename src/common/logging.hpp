@@ -9,7 +9,9 @@
 // thread logged (the default stderr sink does).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 
@@ -19,6 +21,39 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 using LogSink = std::function<void(LogLevel, std::string_view)>;
 
+/// One structured key-value pair for the fielded log overloads. Holds
+/// only views/scalars — constructing a LogField never allocates, so a
+/// braced field list costs nothing when the message is filtered by
+/// level (rendering is deferred until past the level check). The keys
+/// and text values must outlive the log() call (string literals and
+/// stack strings both do).
+struct LogField {
+  enum class Type { kText, kUnsigned, kSigned, kFloat, kBool };
+
+  std::string_view key;
+  Type type = Type::kText;
+  std::string_view text;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  constexpr LogField(std::string_view k, std::string_view v)
+      : key(k), type(Type::kText), text(v) {}
+  constexpr LogField(std::string_view k, const char* v)
+      : key(k), type(Type::kText), text(v) {}
+  constexpr LogField(std::string_view k, std::uint64_t v)
+      : key(k), type(Type::kUnsigned), u(v) {}
+  constexpr LogField(std::string_view k, std::uint32_t v)
+      : key(k), type(Type::kUnsigned), u(v) {}
+  constexpr LogField(std::string_view k, std::int64_t v)
+      : key(k), type(Type::kSigned), i(v) {}
+  constexpr LogField(std::string_view k, int v) : key(k), type(Type::kSigned), i(v) {}
+  constexpr LogField(std::string_view k, double v)
+      : key(k), type(Type::kFloat), f(v) {}
+  constexpr LogField(std::string_view k, bool v)
+      : key(k), type(Type::kBool), u(v ? 1 : 0) {}
+};
+
 /// Sets the global sink (default: stderr) and minimum level (default: warn).
 void set_log_sink(LogSink sink);
 void set_log_level(LogLevel level);
@@ -26,9 +61,32 @@ LogLevel log_level();
 
 void log(LogLevel level, std::string_view message);
 
+/// Structured overload: renders `message key=value ...` after the
+/// relaxed-atomic level early-out (a filtered message costs one atomic
+/// load and zero formatting). Text values are quoted; the reserved key
+/// "trace" renders unsigned values as the zero-padded hex trace id,
+/// matching obs::render's `trace %016x` header — so a log line and the
+/// explain trace for the same request grep identically:
+///   log_info("request shed", {{"trace", result.trace_id}, {"cause", "queue-full"}});
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogField> fields);
+
 inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
 inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
 inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
 inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+inline void log_debug(std::string_view m, std::initializer_list<LogField> fields) {
+  log(LogLevel::kDebug, m, fields);
+}
+inline void log_info(std::string_view m, std::initializer_list<LogField> fields) {
+  log(LogLevel::kInfo, m, fields);
+}
+inline void log_warn(std::string_view m, std::initializer_list<LogField> fields) {
+  log(LogLevel::kWarn, m, fields);
+}
+inline void log_error(std::string_view m, std::initializer_list<LogField> fields) {
+  log(LogLevel::kError, m, fields);
+}
 
 }  // namespace mdac::common

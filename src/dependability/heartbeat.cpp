@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace mdac::dependability {
 
 HeartbeatMonitor::HeartbeatMonitor(net::Network& network, std::string node_id,
@@ -101,6 +103,22 @@ std::vector<std::string> HeartbeatMonitor::preferred_order() const {
     if (!is_alive(t)) out.push_back(t);
   }
   return out;
+}
+
+std::uint64_t HeartbeatMonitor::register_metrics(obs::Registry& registry) const {
+  return registry.add_collector([this](obs::MetricSink& sink) {
+    sink.counter("mdac_heartbeat_probes_sent_total",
+                 "Heartbeat probes sent across all targets.",
+                 static_cast<double>(probes_sent()));
+    sink.counter("mdac_heartbeat_transitions_total",
+                 "Liveness transitions observed (either direction).",
+                 static_cast<double>(transitions_observed()));
+    for (const std::string& target : targets_) {
+      sink.gauge("mdac_heartbeat_alive",
+                 "1 while the target's last heartbeat reply is fresh.",
+                 is_alive(target) ? 1.0 : 0.0, {{"target", target}});
+    }
+  });
 }
 
 }  // namespace mdac::dependability

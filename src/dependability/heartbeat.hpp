@@ -17,6 +17,10 @@
 
 #include "net/rpc.hpp"
 
+namespace mdac::obs {
+class Registry;
+}
+
 namespace mdac::dependability {
 
 class HeartbeatMonitor {
@@ -52,6 +56,12 @@ class HeartbeatMonitor {
   std::size_t probes_sent() const { return probes_sent_; }
   /// Liveness transitions observed so far (either direction).
   std::size_t transitions_observed() const { return transitions_observed_; }
+
+  /// Registers liveness gauges (per target) plus probe/transition
+  /// counters with a metrics registry (mdac_heartbeat_*); returns the
+  /// collector id. Single-threaded like the monitor itself: expose()
+  /// must run on the simulator-driving thread.
+  std::uint64_t register_metrics(obs::Registry& registry) const;
 
  private:
   void probe_all();

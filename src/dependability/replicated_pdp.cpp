@@ -5,6 +5,7 @@
 
 #include "core/serialization.hpp"
 #include "dependability/heartbeat.hpp"
+#include "obs/registry.hpp"
 
 namespace mdac::dependability {
 
@@ -95,12 +96,63 @@ common::Duration ReplicatedPdpClient::jittered_backoff(common::Duration backoff)
       1, static_cast<common::Duration>(std::llround(backoff * factor)));
 }
 
+std::uint64_t ReplicatedPdpClient::sim_now_ns() {
+  return static_cast<std::uint64_t>(node_.network().simulator().clock().now()) *
+         1'000'000ull;
+}
+
+void ReplicatedPdpClient::begin_trace(std::uint64_t& trace_id,
+                                      std::unique_ptr<obs::Trace>& trace) {
+  if (config_.tracer == nullptr) return;
+  const obs::TraceHandle handle = config_.tracer->admit();
+  trace_id = handle.id;
+  if (!handle.sampled) return;
+  trace = std::make_unique<obs::Trace>();
+  trace->trace_id = handle.id;
+  trace->started_ns = sim_now_ns();
+  trace->record(obs::SpanKind::kAdmission, trace->started_ns);
+}
+
+void ReplicatedPdpClient::publish_outcome(std::uint64_t trace_id,
+                                          std::unique_ptr<obs::Trace>& trace,
+                                          const core::Decision& decision) {
+  obs::DecisionTracer* tracer = config_.tracer;
+  if (tracer == nullptr || trace_id == 0) return;
+  const bool failsafe = is_dispatch_failsafe(decision);
+  const bool anomaly = decision.is_indeterminate();
+  if (trace == nullptr) {
+    // Tail sampling: unsampled dispatches that end in a fail-safe (or
+    // any indeterminate) still get a trace — the path summary is what
+    // the operator needs, and the dispatch path is never hot enough for
+    // one allocation to matter.
+    if (!anomaly || !tracer->always_sample_anomalies()) return;
+    trace = std::make_unique<obs::Trace>();
+    trace->trace_id = trace_id;
+    trace->started_ns = sim_now_ns();
+    trace->record(obs::SpanKind::kAdmission, trace->started_ns);
+  }
+  trace->anomaly = anomaly;
+  trace->finished_ns = sim_now_ns();
+  trace->decision = decision.type;
+  trace->outcome =
+      failsafe ? obs::TraceOutcome::kFailsafe : obs::TraceOutcome::kDecided;
+  if (obs::Span* s = trace->record(obs::SpanKind::kOutcome, trace->finished_ns)) {
+    s->set_tag(failsafe ? "failsafe" : core::to_string(decision.type));
+  }
+  tracer->publish(*trace);
+  trace.reset();
+}
+
 void ReplicatedPdpClient::deliver_failsafe(DecisionCallback& callback,
-                                           std::string message) {
+                                           std::string message,
+                                           std::uint64_t trace_id,
+                                           std::unique_ptr<obs::Trace>& trace) {
   ++stats_.failsafe;
-  callback(core::Decision::indeterminate(
+  core::Decision d = core::Decision::indeterminate(
       core::IndeterminateExtent::kDP,
-      core::Status::processing_error(std::move(message))));
+      core::Status::processing_error(std::move(message)));
+  publish_outcome(trace_id, trace, d);
+  callback(std::move(d));
 }
 
 void ReplicatedPdpClient::evaluate(const core::RequestContext& request,
@@ -116,6 +168,7 @@ void ReplicatedPdpClient::evaluate(const core::RequestContext& request,
       std::make_shared<const std::string>(std::move(request_xml));
   call->callback = std::move(callback);
   call->next_backoff = config_.base_backoff;
+  begin_trace(call->trace_id, call->trace);
   start_wave(call);
 }
 
@@ -128,12 +181,14 @@ void ReplicatedPdpClient::start_wave(const std::shared_ptr<FailoverCall>& call) 
   if (call->order.empty()) {
     if (call->wave == 1) {
       deliver_failsafe(call->callback,
-                       "dispatch-no-replicas: no PDP replicas configured");
+                       "dispatch-no-replicas: no PDP replicas configured",
+                       call->trace_id, call->trace);
     } else {
       ++stats_.exhausted;
       deliver_failsafe(call->callback,
                        "dispatch-exhausted: replica list became empty after " +
-                           std::to_string(call->attempts) + " tries");
+                           std::to_string(call->attempts) + " tries",
+                       call->trace_id, call->trace);
     }
     return;
   }
@@ -148,16 +203,31 @@ void ReplicatedPdpClient::try_next(const std::shared_ptr<FailoverCall>& call) {
                        "dispatch-exhausted: retry budget spent (" +
                            std::to_string(call->attempts) + " tries over " +
                            std::to_string(call->wave) +
-                           " waves, no replica answered definitively)");
+                           " waves, no replica answered definitively)",
+                       call->trace_id, call->trace);
       return;
     }
     const std::string id = call->order[call->position++];
     switch (breaker_for(id).admit()) {
       case CircuitBreaker::Gate::kBlock:
         ++stats_.breaker_skips;
+        if (call->trace != nullptr) {
+          if (obs::Span* s =
+                  call->trace->record(obs::SpanKind::kBreakerEvent, sim_now_ns())) {
+            s->set_tag(id);
+            s->a = static_cast<std::uint64_t>(obs::BreakerEvent::kSkip);
+          }
+        }
         continue;  // no traffic to a node we know is down
       case CircuitBreaker::Gate::kProbe:
         ++stats_.breaker_probes;
+        if (call->trace != nullptr) {
+          if (obs::Span* s =
+                  call->trace->record(obs::SpanKind::kBreakerEvent, sim_now_ns())) {
+            s->set_tag(id);
+            s->a = static_cast<std::uint64_t>(obs::BreakerEvent::kProbe);
+          }
+        }
         break;
       case CircuitBreaker::Gate::kAllow:
         break;
@@ -168,14 +238,38 @@ void ReplicatedPdpClient::try_next(const std::shared_ptr<FailoverCall>& call) {
     ++call->attempts;
     ++stats_.tries;
     ++stats_.tries_by_replica[id];
+    if (call->trace != nullptr) {
+      if (obs::Span* s = call->trace->record(obs::SpanKind::kDispatchTry, sim_now_ns())) {
+        s->set_tag(id);
+        s->a = call->wave;
+      }
+    }
 
     node_.call(
         id, pep::kAuthzRequestType, *call->request_xml, config_.per_try_timeout,
         [this, call, id, alive = std::weak_ptr<char>(alive_)](
             std::optional<std::string> response) {
           if (alive.expired()) return;  // client destroyed mid-flight
+          const auto record_reply = [&](obs::ReplyEvent event) {
+            if (call->trace == nullptr) return;
+            if (obs::Span* s =
+                    call->trace->record(obs::SpanKind::kDispatchReply, sim_now_ns())) {
+              s->set_tag(id);
+              s->a = static_cast<std::uint64_t>(event);
+            }
+          };
+          const auto record_open = [&] {
+            ++stats_.breaker_opens;
+            if (call->trace == nullptr) return;
+            if (obs::Span* s =
+                    call->trace->record(obs::SpanKind::kBreakerEvent, sim_now_ns())) {
+              s->set_tag(id);
+              s->a = static_cast<std::uint64_t>(obs::BreakerEvent::kOpen);
+            }
+          };
           if (!response.has_value()) {
-            if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+            record_reply(obs::ReplyEvent::kTimeout);
+            if (breaker_for(id).record_failure()) record_open();
             try_next(call);
             return;
           }
@@ -186,7 +280,8 @@ void ReplicatedPdpClient::try_next(const std::shared_ptr<FailoverCall>& call) {
             // Undecodable reply: transport corruption or a broken
             // replica — either way a failure signal for the breaker.
             ++stats_.undecodable_replies;
-            if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+            record_reply(obs::ReplyEvent::kUndecodable);
+            if (breaker_for(id).record_failure()) record_open();
             try_next(call);
             return;
           }
@@ -198,10 +293,13 @@ void ReplicatedPdpClient::try_next(const std::shared_ptr<FailoverCall>& call) {
             // try the next replica immediately (no backoff — the node is
             // up, this request just can't be served THERE right now).
             ++stats_.retryable_replies;
+            record_reply(obs::ReplyEvent::kRetryable);
             try_next(call);
             return;
           }
           if (decision.is_permit() || decision.is_deny()) ++stats_.decided;
+          record_reply(obs::ReplyEvent::kDecided);
+          publish_outcome(call->trace_id, call->trace, decision);
           call->callback(std::move(decision));
         });
     return;  // wait for the RPC callback
@@ -216,7 +314,8 @@ void ReplicatedPdpClient::finish_wave(const std::shared_ptr<FailoverCall>& call)
                      "dispatch-exhausted: retry budget spent (" +
                          std::to_string(call->attempts) + " tries over " +
                          std::to_string(call->wave) +
-                         " waves, no replica answered definitively)");
+                         " waves, no replica answered definitively)",
+                     call->trace_id, call->trace);
     return;
   }
   ++call->wave;
@@ -224,6 +323,12 @@ void ReplicatedPdpClient::finish_wave(const std::shared_ptr<FailoverCall>& call)
   const common::Duration delay = jittered_backoff(call->next_backoff);
   call->next_backoff =
       std::min(config_.max_backoff, call->next_backoff * 2);
+  if (call->trace != nullptr) {
+    if (obs::Span* s = call->trace->record(obs::SpanKind::kBackoff, sim_now_ns())) {
+      s->a = static_cast<std::uint64_t>(delay);
+      s->b = call->wave;
+    }
+  }
   node_.network().simulator().schedule(
       delay, [this, call, alive = std::weak_ptr<char>(alive_)] {
         if (alive.expired()) return;
@@ -243,9 +348,12 @@ void ReplicatedPdpClient::evaluate_quorum(std::string request_xml,
     // First decision of each kind, kept whole so obligations survive.
     core::Decision first_permit;
     core::Decision first_deny;
+    std::uint64_t trace_id = 0;
+    std::unique_ptr<obs::Trace> trace;
   };
 
   auto pending = std::make_shared<Pending>();
+  begin_trace(pending->trace_id, pending->trace);
   // The electorate is the KNOWN replica set (or an explicit override),
   // not the current preference list: a health feed shrinking the order
   // to the live replicas must not shrink the majority bar with it and
@@ -260,12 +368,14 @@ void ReplicatedPdpClient::evaluate_quorum(std::string request_xml,
     if (pending->permits >= majority) {
       pending->resolved = true;
       ++stats_.decided;
+      publish_outcome(pending->trace_id, pending->trace, pending->first_permit);
       pending->callback(pending->first_permit);
       return;
     }
     if (pending->denies >= majority) {
       pending->resolved = true;
       ++stats_.decided;
+      publish_outcome(pending->trace_id, pending->trace, pending->first_deny);
       pending->callback(pending->first_deny);
       return;
     }
@@ -278,13 +388,15 @@ void ReplicatedPdpClient::evaluate_quorum(std::string request_xml,
                        "(permits=" + std::to_string(pending->permits) +
                            ", denies=" + std::to_string(pending->denies) +
                            ", electorate=" + std::to_string(pending->electorate) +
-                           ")");
+                           ")",
+                       pending->trace_id, pending->trace);
     }
   };
 
   if (known_replicas_.empty()) {
     deliver_failsafe(pending->callback,
-                     "dispatch-no-replicas: no PDP replicas configured");
+                     "dispatch-no-replicas: no PDP replicas configured",
+                     pending->trace_id, pending->trace);
     return;
   }
 
@@ -297,9 +409,23 @@ void ReplicatedPdpClient::evaluate_quorum(std::string request_xml,
     switch (breaker_for(id).admit()) {
       case CircuitBreaker::Gate::kBlock:
         ++stats_.breaker_skips;
+        if (pending->trace != nullptr) {
+          if (obs::Span* s =
+                  pending->trace->record(obs::SpanKind::kBreakerEvent, sim_now_ns())) {
+            s->set_tag(id);
+            s->a = static_cast<std::uint64_t>(obs::BreakerEvent::kSkip);
+          }
+        }
         continue;
       case CircuitBreaker::Gate::kProbe:
         ++stats_.breaker_probes;
+        if (pending->trace != nullptr) {
+          if (obs::Span* s =
+                  pending->trace->record(obs::SpanKind::kBreakerEvent, sim_now_ns())) {
+            s->set_tag(id);
+            s->a = static_cast<std::uint64_t>(obs::BreakerEvent::kProbe);
+          }
+        }
         break;
       case CircuitBreaker::Gate::kAllow:
         break;
@@ -315,36 +441,138 @@ void ReplicatedPdpClient::evaluate_quorum(std::string request_xml,
   for (const std::string& id : targets) {
     ++stats_.tries;
     ++stats_.tries_by_replica[id];
+    if (pending->trace != nullptr) {
+      if (obs::Span* s =
+              pending->trace->record(obs::SpanKind::kDispatchTry, sim_now_ns())) {
+        s->set_tag(id);
+        s->a = 1;  // quorum is a single wave
+      }
+    }
     node_.call(
         id, pep::kAuthzRequestType, request_xml, config_.per_try_timeout,
         [this, pending, maybe_finish, id,
          alive = std::weak_ptr<char>(alive_)](std::optional<std::string> response) {
           if (alive.expired()) return;  // client destroyed mid-flight
           --pending->remaining;
+          const auto record_reply = [&](obs::ReplyEvent event) {
+            if (pending->trace == nullptr) return;
+            if (obs::Span* s = pending->trace->record(obs::SpanKind::kDispatchReply,
+                                                      sim_now_ns())) {
+              s->set_tag(id);
+              s->a = static_cast<std::uint64_t>(event);
+            }
+          };
+          const auto record_open = [&] {
+            ++stats_.breaker_opens;
+            if (pending->trace == nullptr) return;
+            if (obs::Span* s = pending->trace->record(obs::SpanKind::kBreakerEvent,
+                                                      sim_now_ns())) {
+              s->set_tag(id);
+              s->a = static_cast<std::uint64_t>(obs::BreakerEvent::kOpen);
+            }
+          };
           if (response.has_value()) {
             try {
               core::Decision d = core::decision_from_string(*response);
               breaker_for(id).record_success();
               if (pep::classify_reply(d) == pep::ReplyClass::kRetryable) {
                 ++stats_.retryable_replies;  // alive but not serving: no vote
+                record_reply(obs::ReplyEvent::kRetryable);
               } else if (d.is_permit()) {
+                record_reply(obs::ReplyEvent::kDecided);
                 if (pending->permits == 0) pending->first_permit = std::move(d);
                 ++pending->permits;
               } else if (d.is_deny()) {
+                record_reply(obs::ReplyEvent::kDecided);
                 if (pending->denies == 0) pending->first_deny = std::move(d);
                 ++pending->denies;
               }
             } catch (const std::exception&) {
               // Undecodable replica answer counts as no vote.
               ++stats_.undecodable_replies;
-              if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+              record_reply(obs::ReplyEvent::kUndecodable);
+              if (breaker_for(id).record_failure()) record_open();
             }
           } else {
-            if (breaker_for(id).record_failure()) ++stats_.breaker_opens;
+            record_reply(obs::ReplyEvent::kTimeout);
+            if (breaker_for(id).record_failure()) record_open();
           }
           maybe_finish();
         });
   }
+}
+
+std::uint64_t ReplicatedPdpClient::register_metrics(obs::Registry& registry) const {
+  // Single-threaded by contract (like the dispatcher itself): the
+  // collector must run on the thread driving the simulator, which is
+  // exactly how the tools/tests expose after sim_.run().
+  return registry.add_collector([this](obs::MetricSink& sink) {
+    const DispatchStats& s = stats_;
+    sink.counter("mdac_dispatch_requests_total", "evaluate() calls dispatched.",
+                 static_cast<double>(s.requests));
+    sink.counter("mdac_dispatch_decided_total",
+                 "Definitive permit/deny decisions delivered.",
+                 static_cast<double>(s.decided));
+    sink.counter("mdac_dispatch_failsafe_total",
+                 "Explicit fail-safe indeterminates delivered.",
+                 static_cast<double>(s.failsafe));
+    sink.counter("mdac_dispatch_tries_total", "RPC tries actually sent.",
+                 static_cast<double>(s.tries));
+    sink.counter("mdac_dispatch_failovers_total",
+                 "Tries beyond a request's first.",
+                 static_cast<double>(s.failovers));
+    sink.counter("mdac_dispatch_retries_total",
+                 "Tries in waves after the first (post-backoff).",
+                 static_cast<double>(s.retries));
+    sink.counter("mdac_dispatch_backoffs_total",
+                 "Backoff waits scheduled between waves.",
+                 static_cast<double>(s.backoffs));
+    sink.counter("mdac_dispatch_retryable_replies_total",
+                 "Shed / not-ready replies skipped past.",
+                 static_cast<double>(s.retryable_replies));
+    sink.counter("mdac_dispatch_undecodable_replies_total",
+                 "Replies whose decision failed to parse.",
+                 static_cast<double>(s.undecodable_replies));
+    sink.counter("mdac_dispatch_breaker_skips_total",
+                 "Sends suppressed by open breakers.",
+                 static_cast<double>(s.breaker_skips));
+    sink.counter("mdac_dispatch_health_reorders_total",
+                 "Automatic reorders from the health feed.",
+                 static_cast<double>(s.health_reorders));
+    sink.counter("mdac_dispatch_exhausted_total",
+                 "Failover dispatches that spent their retry budget.",
+                 static_cast<double>(s.exhausted));
+    sink.counter("mdac_dispatch_quorum_indecisive_total",
+                 "Quorum dispatches that reached no majority.",
+                 static_cast<double>(s.quorum_indecisive));
+    for (const auto& [replica, tries] : s.tries_by_replica) {
+      sink.counter("mdac_dispatch_tries_by_replica_total",
+                   "RPC tries per replica id.", static_cast<double>(tries),
+                   {{"replica", replica}});
+    }
+    for (const auto& [replica, breaker] : breakers_) {
+      const char* state = breaker.state() == CircuitBreaker::State::kClosed
+                              ? "closed"
+                              : breaker.state() == CircuitBreaker::State::kOpen
+                                    ? "open"
+                                    : "half-open";
+      sink.gauge("mdac_breaker_open",
+                 "1 when the replica's circuit breaker is open or half-open.",
+                 breaker.state() == CircuitBreaker::State::kClosed ? 0.0 : 1.0,
+                 {{"replica", replica}, {"state", state}});
+      sink.counter("mdac_breaker_opens_total", "Breaker trips per replica.",
+                   static_cast<double>(breaker.stats().opens),
+                   {{"replica", replica}});
+      sink.counter("mdac_breaker_probes_total",
+                   "Half-open probes admitted per replica.",
+                   static_cast<double>(breaker.stats().probes),
+                   {{"replica", replica}});
+      sink.counter("mdac_breaker_blocks_total",
+                   "Tries suppressed while open, per replica.",
+                   static_cast<double>(breaker.stats().blocks),
+                   {{"replica", replica}});
+    }
+  });
 }
 
 }  // namespace mdac::dependability

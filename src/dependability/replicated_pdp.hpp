@@ -45,6 +45,7 @@
 #include "core/pdp.hpp"
 #include "dependability/breaker.hpp"
 #include "net/rpc.hpp"
+#include "obs/trace.hpp"
 #include "pep/remote.hpp"
 
 namespace mdac::dependability {
@@ -101,6 +102,11 @@ struct DispatchConfig {
   /// so a health feed shrinking the order cannot shrink the electorate
   /// into indecision (the degraded-quorum bug this replaces).
   std::size_t quorum_votes = 0;
+  /// Optional decision tracer (not owned; must outlive the client).
+  /// Sampled dispatches record every try / reply / backoff / breaker
+  /// event with simulator-clock timestamps; fail-safe deliveries are
+  /// tail-sampled as anomalies per the tracer's policy.
+  obs::DecisionTracer* tracer = nullptr;
 };
 
 struct DispatchStats {
@@ -180,6 +186,12 @@ class ReplicatedPdpClient {
   /// Per-replica breaker state/stats; nullptr for unknown ids.
   const CircuitBreaker* breaker(const std::string& replica_id) const;
 
+  /// Registers dispatch counters plus per-replica breaker state/stats
+  /// and try counts (replica-labelled) with a metrics registry
+  /// (mdac_dispatch_* / mdac_breaker_*); returns the collector id. The
+  /// client must outlive the registry or be unregistered first.
+  std::uint64_t register_metrics(obs::Registry& registry) const;
+
  private:
   struct FailoverCall {
     std::shared_ptr<const std::string> request_xml;
@@ -189,16 +201,31 @@ class ReplicatedPdpClient {
     std::size_t wave = 1;
     std::size_t attempts = 0;
     common::Duration next_backoff = 0;
+    /// Trace state (0 / null when no tracer is configured or the
+    /// dispatch wasn't head-sampled).
+    std::uint64_t trace_id = 0;
+    std::unique_ptr<obs::Trace> trace;
   };
 
   void start_wave(const std::shared_ptr<FailoverCall>& call);
   void try_next(const std::shared_ptr<FailoverCall>& call);
   void finish_wave(const std::shared_ptr<FailoverCall>& call);
-  void deliver_failsafe(DecisionCallback& callback, std::string message);
+  void deliver_failsafe(DecisionCallback& callback, std::string message,
+                        std::uint64_t trace_id, std::unique_ptr<obs::Trace>& trace);
   void evaluate_quorum(std::string request_xml, DecisionCallback callback);
   CircuitBreaker& breaker_for(const std::string& replica_id);
   common::Duration jittered_backoff(common::Duration backoff);
   void refresh_from_health_feed();
+  /// Simulator-clock "now" in ns — the dependability path runs on
+  /// virtual time, so spans carry timestamps an experiment can reason
+  /// about (a 10ms link shows up as 10ms, not wall-clock noise).
+  std::uint64_t sim_now_ns();
+  /// Tracer admission for one evaluate() (no-op without a tracer).
+  void begin_trace(std::uint64_t& trace_id, std::unique_ptr<obs::Trace>& trace);
+  /// Stamps outcome/summary fields and publishes; tail-synthesizes a
+  /// trace for unsampled fail-safe/indeterminate deliveries.
+  void publish_outcome(std::uint64_t trace_id, std::unique_ptr<obs::Trace>& trace,
+                       const core::Decision& decision);
 
   net::RpcNode node_;
   std::vector<std::string> replicas_;

@@ -1,0 +1,312 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mdac::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped_value(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+/// HELP text escaping: backslash and newline only (quotes are fine).
+void append_escaped_help(std::string& out, std::string_view help) {
+  for (const char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+/// Renders a double the way Prometheus clients do: integers without a
+/// fraction, everything else shortest-roundtrip-ish, +Inf spelled out.
+void append_value(std::string& out, double value) {
+  if (std::isinf(value)) {
+    out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    out += buf;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void append_sample_line(std::string& out, std::string_view name,
+                        std::string_view label_block, double value) {
+  out += name;
+  out += label_block;
+  out += ' ';
+  append_value(out, value);
+  out += '\n';
+}
+
+/// Merges an extra label into a pre-rendered block (histogram `le`).
+std::string with_extra_label(std::string_view block, std::string_view key,
+                             std::string_view value) {
+  std::string out;
+  if (block.empty()) {
+    out += '{';
+  } else {
+    out.append(block.substr(0, block.size() - 1));  // drop trailing '}'
+    out += ',';
+  }
+  out += key;
+  out += "=\"";
+  append_escaped_value(out, value);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace
+
+std::string render_label_block(const std::vector<Label>& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const Label& label : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += label.key;
+    out += "=\"";
+    append_escaped_value(out, label.value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+void Histogram::observe(std::uint64_t v) {
+  const std::size_t bucket = std::min<std::size_t>(std::bit_width(v), kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::upper_bound(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.total += s.counts[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// MetricSink
+// ---------------------------------------------------------------------
+
+MetricSink::Family& MetricSink::family(std::string_view name, std::string_view help,
+                                       char type) {
+  const auto it = families_.find(name);
+  if (it != families_.end()) return it->second;
+  Family f;
+  f.type = type;
+  f.help = std::string(help);
+  return families_.emplace(std::string(name), std::move(f)).first->second;
+}
+
+void MetricSink::counter(std::string_view name, std::string_view help, double value,
+                         const std::vector<Label>& labels) {
+  Sample s;
+  s.label_block = render_label_block(labels);
+  s.value = value;
+  family(name, help, 'c').samples.push_back(std::move(s));
+}
+
+void MetricSink::gauge(std::string_view name, std::string_view help, double value,
+                       const std::vector<Label>& labels) {
+  Sample s;
+  s.label_block = render_label_block(labels);
+  s.value = value;
+  family(name, help, 'g').samples.push_back(std::move(s));
+}
+
+void MetricSink::histogram(std::string_view name, std::string_view help,
+                           const Histogram::Snapshot& snapshot,
+                           const std::vector<Label>& labels) {
+  Sample s;
+  s.label_block = render_label_block(labels);
+  // Sparse cumulative buckets: only the buckets that changed the
+  // cumulative count get a `le` line (plus +Inf, emitted at render
+  // time) — a 64-bucket log2 histogram would otherwise be 64 lines of
+  // repeats. Valid exposition: cumulative counts stay monotone.
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (snapshot.counts[i] == 0) continue;
+    cumulative += snapshot.counts[i];
+    s.cumulative.emplace_back(Histogram::Snapshot::upper_bound(i), cumulative);
+  }
+  s.count = snapshot.total;
+  s.sum = static_cast<double>(snapshot.sum);
+  family(name, help, 'h').samples.push_back(std::move(s));
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+Registry::Instrument& Registry::instrument(std::string name, std::string help,
+                                           std::vector<Label> labels, char type) {
+  std::lock_guard lock(mutex_);
+  std::string block = render_label_block(labels);
+  const std::string key = name + block;
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    Instrument& existing = *instruments_[it->second];
+    if (existing.type != type) {
+      throw std::logic_error("obs::Registry: metric '" + name +
+                             "' re-registered with a different type");
+    }
+    return existing;
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->name = std::move(name);
+  inst->help = std::move(help);
+  inst->label_block = std::move(block);
+  inst->type = type;
+  instruments_.push_back(std::move(inst));
+  by_key_.emplace(key, instruments_.size() - 1);
+  return *instruments_.back();
+}
+
+Counter& Registry::counter(std::string name, std::string help,
+                           std::vector<Label> labels, std::size_t shards) {
+  Instrument& inst =
+      instrument(std::move(name), std::move(help), std::move(labels), 'c');
+  if (inst.counter == nullptr) inst.counter = std::make_unique<Counter>(shards);
+  return *inst.counter;
+}
+
+Gauge& Registry::gauge(std::string name, std::string help, std::vector<Label> labels) {
+  Instrument& inst =
+      instrument(std::move(name), std::move(help), std::move(labels), 'g');
+  if (inst.gauge == nullptr) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& Registry::histogram(std::string name, std::string help,
+                               std::vector<Label> labels) {
+  Instrument& inst =
+      instrument(std::move(name), std::move(help), std::move(labels), 'h');
+  if (inst.histogram == nullptr) inst.histogram = std::make_unique<Histogram>();
+  return *inst.histogram;
+}
+
+std::uint64_t Registry::add_collector(Collector collector) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(collector));
+  return id;
+}
+
+void Registry::remove_collector(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  std::erase_if(collectors_, [id](const auto& entry) { return entry.first == id; });
+}
+
+void Registry::expose(std::string& out) const {
+  std::lock_guard lock(mutex_);
+  MetricSink sink;
+  // Owned instruments report themselves through the same sink as
+  // collectors, so ordering and rendering live in exactly one place.
+  for (const auto& inst : instruments_) {
+    MetricSink::Sample s;
+    s.label_block = inst->label_block;
+    switch (inst->type) {
+      case 'c':
+        s.value = static_cast<double>(inst->counter->value());
+        break;
+      case 'g':
+        s.value = inst->gauge->value();
+        break;
+      case 'h': {
+        const Histogram::Snapshot snap = inst->histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          if (snap.counts[i] == 0) continue;
+          cumulative += snap.counts[i];
+          s.cumulative.emplace_back(Histogram::Snapshot::upper_bound(i), cumulative);
+        }
+        s.count = snap.total;
+        s.sum = static_cast<double>(snap.sum);
+        break;
+      }
+      default:
+        break;
+    }
+    sink.family(inst->name, inst->help, inst->type).samples.push_back(std::move(s));
+  }
+  for (const auto& [id, collector] : collectors_) {
+    (void)id;
+    collector(sink);
+  }
+
+  // families_ is a std::map: name order is already stable. Samples are
+  // sorted by their pre-rendered label block for a deterministic layout
+  // regardless of registration order (the golden test pins this).
+  for (auto& [name, fam] : sink.families_) {
+    std::sort(fam.samples.begin(), fam.samples.end(),
+              [](const MetricSink::Sample& a, const MetricSink::Sample& b) {
+                return a.label_block < b.label_block;
+              });
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    append_escaped_help(out, fam.help);
+    out += '\n';
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += fam.type == 'c' ? "counter" : fam.type == 'g' ? "gauge" : "histogram";
+    out += '\n';
+    for (const MetricSink::Sample& s : fam.samples) {
+      if (fam.type != 'h') {
+        append_sample_line(out, name, s.label_block, s.value);
+        continue;
+      }
+      for (const auto& [le, count] : s.cumulative) {
+        char le_text[32];
+        std::snprintf(le_text, sizeof(le_text), "%.17g", le);
+        append_sample_line(out, std::string(name) + "_bucket",
+                           with_extra_label(s.label_block, "le", le_text),
+                           static_cast<double>(count));
+      }
+      append_sample_line(out, std::string(name) + "_bucket",
+                         with_extra_label(s.label_block, "le", "+Inf"),
+                         static_cast<double>(s.count));
+      append_sample_line(out, std::string(name) + "_sum", s.label_block, s.sum);
+      append_sample_line(out, std::string(name) + "_count", s.label_block,
+                         static_cast<double>(s.count));
+    }
+  }
+}
+
+}  // namespace mdac::obs

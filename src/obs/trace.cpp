@@ -1,0 +1,278 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+
+namespace mdac::obs {
+
+namespace {
+
+/// splitmix64 — turns the dense admission sequence into well-mixed,
+/// collision-free trace ids (bijective, so distinct admissions can
+/// never share an id).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void append_ns(std::string& out, std::uint64_t ns) {
+  char buf[48];
+  if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "ns", ns);
+  }
+  out += buf;
+}
+
+const char* reply_event_name(std::uint64_t code) {
+  switch (static_cast<ReplyEvent>(code)) {
+    case ReplyEvent::kTimeout: return "timeout";
+    case ReplyEvent::kUndecodable: return "undecodable";
+    case ReplyEvent::kRetryable: return "retryable";
+    case ReplyEvent::kDecided: return "decided";
+  }
+  return "?";
+}
+
+const char* breaker_event_name(std::uint64_t code) {
+  switch (static_cast<BreakerEvent>(code)) {
+    case BreakerEvent::kSkip: return "skip";
+    case BreakerEvent::kProbe: return "probe";
+    case BreakerEvent::kOpen: return "open";
+  }
+  return "?";
+}
+
+void append_span(std::string& out, const Trace& trace, const Span& span) {
+  out += "  +";
+  append_ns(out, span.at_ns >= trace.started_ns ? span.at_ns - trace.started_ns : 0);
+  out += ' ';
+  out += to_string(span.kind);
+  char buf[128];
+  switch (span.kind) {
+    case SpanKind::kAdmission:
+      break;
+    case SpanKind::kQueueWait:
+      out += " waited=";
+      append_ns(out, span.a);
+      break;
+    case SpanKind::kCacheProbe:
+      out += span.a == 0 ? " level=miss" : (span.a == 1 ? " level=L1" : " level=L2");
+      if (span.b != 0) {
+        std::snprintf(buf, sizeof(buf), " retries=%" PRIu64, span.b);
+        out += buf;
+      }
+      break;
+    case SpanKind::kBatch:
+      std::snprintf(buf, sizeof(buf), " worker=%" PRIu64 " size=%" PRIu64, span.a,
+                    span.b);
+      out += buf;
+      break;
+    case SpanKind::kEvaluate:
+      std::snprintf(buf, sizeof(buf),
+                    " worker=%" PRIu64 " partitions=%" PRIu64 " compiled=%" PRIu64,
+                    span.a, span.b, span.c);
+      out += buf;
+      break;
+    case SpanKind::kObligation:
+      std::snprintf(buf, sizeof(buf), " id=%s ok=%s",
+                    std::string(span.tag_view()).c_str(), span.a != 0 ? "yes" : "no");
+      out += buf;
+      break;
+    case SpanKind::kDispatchTry:
+      std::snprintf(buf, sizeof(buf), " replica=%s wave=%" PRIu64,
+                    std::string(span.tag_view()).c_str(), span.a);
+      out += buf;
+      break;
+    case SpanKind::kDispatchReply:
+      std::snprintf(buf, sizeof(buf), " replica=%s event=%s",
+                    std::string(span.tag_view()).c_str(), reply_event_name(span.a));
+      out += buf;
+      break;
+    case SpanKind::kBackoff:
+      std::snprintf(buf, sizeof(buf), " delay=%" PRIu64 "ms wave=%" PRIu64, span.a,
+                    span.b);
+      out += buf;
+      break;
+    case SpanKind::kBreakerEvent:
+      std::snprintf(buf, sizeof(buf), " replica=%s event=%s",
+                    std::string(span.tag_view()).c_str(), breaker_event_name(span.a));
+      out += buf;
+      break;
+    case SpanKind::kOutcome:
+      if (!span.tag_view().empty()) {
+        out += " status=";
+        out += span.tag_view();
+      }
+      break;
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kAdmission: return "admission";
+    case SpanKind::kQueueWait: return "queue-wait";
+    case SpanKind::kCacheProbe: return "cache-probe";
+    case SpanKind::kBatch: return "batch";
+    case SpanKind::kEvaluate: return "evaluate";
+    case SpanKind::kObligation: return "obligation";
+    case SpanKind::kDispatchTry: return "dispatch-try";
+    case SpanKind::kDispatchReply: return "dispatch-reply";
+    case SpanKind::kBackoff: return "backoff";
+    case SpanKind::kBreakerEvent: return "breaker";
+    case SpanKind::kOutcome: return "outcome";
+  }
+  return "?";
+}
+
+const char* to_string(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kDecided: return "decided";
+    case TraceOutcome::kShedQueueFull: return "shed-queue-full";
+    case TraceOutcome::kShedDeadline: return "shed-deadline";
+    case TraceOutcome::kShutdown: return "shutdown";
+    case TraceOutcome::kFailsafe: return "failsafe";
+  }
+  return "?";
+}
+
+DecisionTracer::DecisionTracer(ObsConfig config) : config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  ring_.reserve(config_.ring_capacity);
+}
+
+TraceHandle DecisionTracer::admit() {
+  const std::uint64_t seq = admitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  TraceHandle handle;
+  handle.id = splitmix64(seq);
+  if (handle.id == 0) handle.id = 1;  // 0 means "no trace" to callers
+  handle.sampled =
+      config_.sample_every_n != 0 && seq % config_.sample_every_n == 0;
+  if (handle.sampled) sampled_.fetch_add(1, std::memory_order_relaxed);
+  return handle;
+}
+
+void DecisionTracer::publish(const Trace& trace) {
+  std::lock_guard lock(mutex_);
+  ++published_;
+  if (trace.anomaly) ++anomalies_;
+  if (ring_.size() < config_.ring_capacity) {
+    ring_.push_back(trace);
+    return;
+  }
+  // Ring full: overwrite the oldest slot (next_slot_ walks the ring).
+  ring_[next_slot_] = trace;
+  next_slot_ = (next_slot_ + 1) % ring_.size();
+}
+
+std::vector<Trace> DecisionTracer::traces() const {
+  std::lock_guard lock(mutex_);
+  return ring_;
+}
+
+std::optional<Trace> DecisionTracer::find(std::uint64_t trace_id) const {
+  std::lock_guard lock(mutex_);
+  for (const Trace& t : ring_) {
+    if (t.trace_id == trace_id) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<Trace> DecisionTracer::worst_latency() const {
+  std::lock_guard lock(mutex_);
+  const auto it = std::max_element(
+      ring_.begin(), ring_.end(), [](const Trace& a, const Trace& b) {
+        return a.latency_ns() < b.latency_ns();
+      });
+  if (it == ring_.end()) return std::nullopt;
+  return *it;
+}
+
+std::vector<Trace> DecisionTracer::with_outcome(TraceOutcome outcome) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Trace> matches;
+  for (const Trace& t : ring_) {
+    if (t.outcome == outcome) matches.push_back(t);
+  }
+  return matches;
+}
+
+std::uint64_t DecisionTracer::published_total() const {
+  std::lock_guard lock(mutex_);
+  return published_;
+}
+
+std::uint64_t DecisionTracer::anomalies_total() const {
+  std::lock_guard lock(mutex_);
+  return anomalies_;
+}
+
+std::uint64_t DecisionTracer::ring_dropped_total() const {
+  std::lock_guard lock(mutex_);
+  return published_ > ring_.size() ? published_ - ring_.size() : 0;
+}
+
+std::uint64_t DecisionTracer::register_metrics(Registry& registry) const {
+  return registry.add_collector([this](MetricSink& sink) {
+    sink.counter("mdac_obs_traces_admitted_total",
+                 "Requests that passed tracer admission (traced or not).",
+                 static_cast<double>(admitted_total()));
+    sink.counter("mdac_obs_traces_sampled_total",
+                 "Admissions head-sampled for span recording.",
+                 static_cast<double>(sampled_total()));
+    sink.counter("mdac_obs_traces_published_total",
+                 "Completed traces published to the explain ring.",
+                 static_cast<double>(published_total()));
+    sink.counter("mdac_obs_trace_anomalies_total",
+                 "Published traces flagged anomalous (shed/fail-safe/Indeterminate).",
+                 static_cast<double>(anomalies_total()));
+    sink.counter("mdac_obs_traces_evicted_total",
+                 "Published traces overwritten by ring wrap.",
+                 static_cast<double>(ring_dropped_total()));
+  });
+}
+
+std::string render(const Trace& trace) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "trace %016" PRIx64 " outcome=%s decision=%s",
+                trace.trace_id, to_string(trace.outcome),
+                core::to_string(trace.decision));
+  out += buf;
+  if (trace.anomaly) out += " [anomaly]";
+  out += '\n';
+  out += "  latency=";
+  append_ns(out, trace.latency_ns());
+  if (trace.worker != Trace::kNoWorker) {
+    std::snprintf(buf, sizeof(buf), " worker=%u", trace.worker);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), " snapshot=v%" PRIu64 " cache=%s",
+                trace.snapshot_version,
+                trace.cache_level == 0   ? "miss"
+                : trace.cache_level == 1 ? "L1"
+                                         : "L2");
+  out += buf;
+  out += '\n';
+  for (std::uint32_t i = 0; i < trace.span_count; ++i) {
+    append_span(out, trace, trace.spans[i]);
+  }
+  if (trace.spans_dropped != 0) {
+    std::snprintf(buf, sizeof(buf), "  (%u spans dropped)\n", trace.spans_dropped);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mdac::obs

@@ -7,6 +7,7 @@
 #include "core/compiled.hpp"
 #include "core/serialization.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/registry.hpp"
 
 namespace mdac::pap {
 
@@ -24,6 +25,7 @@ void PolicyRepository::record_audit(const std::string& actor,
                                     const std::string& policy_id, int version,
                                     const std::string& document) {
   AuditEntry entry;
+  entry.sequence = ++audit_sequence_;
   entry.at = clock_.now();
   entry.actor = actor;
   entry.operation = operation;
@@ -31,7 +33,31 @@ void PolicyRepository::record_audit(const std::string& actor,
   entry.version = version;
   entry.content_hash = crypto::digest_hex(crypto::Sha256::hash(document));
   audit_.push_back(std::move(entry));
+  if (config_.audit_capacity != 0 && audit_.size() > config_.audit_capacity) {
+    // Ring semantics: evict oldest, never refuse the new entry — recent
+    // history is what incident response reads first. The eviction is
+    // accounted (dropped_audit_entries_) and detectable via the sequence
+    // gap below the oldest retained entry.
+    audit_.pop_front();
+    ++dropped_audit_entries_;
+  }
   ++revision_;
+}
+
+std::uint64_t PolicyRepository::register_metrics(obs::Registry& registry) const {
+  const PolicyRepository* repo = this;
+  return registry.add_collector([repo](obs::MetricSink& sink) {
+    sink.gauge("mdac_pap_audit_entries", "Audit entries currently retained",
+               static_cast<double>(repo->audit_.size()));
+    sink.counter("mdac_pap_audit_entries_total",
+                 "Audit entries ever recorded (monotone sequence high-water)",
+                 static_cast<double>(repo->audit_sequence_));
+    sink.counter("mdac_pap_dropped_audit_entries_total",
+                 "Audit entries evicted by the audit_capacity ring",
+                 static_cast<double>(repo->dropped_audit_entries_));
+    sink.gauge("mdac_pap_revision", "Repository revision counter",
+               static_cast<double>(repo->revision_));
+  });
 }
 
 RepoOutcome PolicyRepository::submit(const std::string& document,

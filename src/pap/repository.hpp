@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,6 +23,10 @@
 namespace mdac::core {
 class CompiledPolicyTree;
 }  // namespace mdac::core
+
+namespace mdac::obs {
+class Registry;
+}  // namespace mdac::obs
 
 namespace mdac::pap {
 
@@ -39,6 +44,11 @@ struct PolicyRecord {
 };
 
 struct AuditEntry {
+  /// Monotone per-repository sequence number, starting at 1. Survives
+  /// ring eviction: when the audit log is capacity-bound, gaps below the
+  /// oldest retained entry identify exactly how many entries were
+  /// dropped (the retained suffix itself stays gap-free).
+  std::uint64_t sequence = 0;
   common::TimePoint at = 0;
   std::string actor;
   std::string operation;   // submit / issue / withdraw / replace
@@ -75,6 +85,13 @@ struct PapConfig {
   /// auto-extraction grows the allowlist from the policies themselves,
   /// so the pass could only ever warn about its own input.
   std::string lint_vocabulary_domain;
+  /// Upper bound on retained audit entries. 0 = unbounded (the default,
+  /// preserving append-only semantics for compliance deployments that
+  /// archive externally). When bound, the log is a ring: the oldest
+  /// entry is dropped to admit a new one, dropped_audit_entries() counts
+  /// the evictions, and AuditEntry::sequence stays monotone so the drop
+  /// is detectable rather than silent.
+  std::size_t audit_capacity = 0;
 };
 
 class PolicyRepository {
@@ -163,7 +180,16 @@ class PolicyRepository {
   }
   const std::string& vocabulary_domain() const { return vocabulary_domain_; }
 
-  const std::vector<AuditEntry>& audit_log() const { return audit_; }
+  const std::deque<AuditEntry>& audit_log() const { return audit_; }
+
+  /// Audit entries evicted by the PapConfig::audit_capacity ring; always
+  /// 0 when the log is unbounded.
+  std::uint64_t dropped_audit_entries() const { return dropped_audit_entries_; }
+
+  /// Registers audit-log size/drop metrics with a metrics registry
+  /// (mdac_pap_*); returns the collector id. The repository must outlive
+  /// the registry or be unregistered first.
+  std::uint64_t register_metrics(obs::Registry& registry) const;
 
   /// Bumped on every successful mutation — remote caches key off this.
   std::uint64_t revision() const { return revision_; }
@@ -222,7 +248,9 @@ class PolicyRepository {
   // domain -> registered attribute-name allowlist.
   std::map<std::string, std::set<std::string, std::less<>>, std::less<>> allowlists_;
   std::string vocabulary_domain_;
-  std::vector<AuditEntry> audit_;
+  std::deque<AuditEntry> audit_;
+  std::uint64_t audit_sequence_ = 0;
+  std::uint64_t dropped_audit_entries_ = 0;
   std::uint64_t revision_ = 0;
 };
 

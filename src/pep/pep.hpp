@@ -16,6 +16,7 @@
 #include "cache/decision_cache.hpp"
 #include "core/decision.hpp"
 #include "core/request.hpp"
+#include "obs/trace.hpp"
 
 namespace mdac::pep {
 
@@ -35,6 +36,9 @@ struct Enforcement {
   core::Decision decision;
   std::vector<std::string> obligations_fulfilled;
   std::string reason;  // set when allowed == false
+  /// Trace id assigned at PEP admission when a tracer is configured
+  /// (0 otherwise) — correlate with the tracer's explain ring.
+  std::uint64_t trace_id = 0;
 };
 
 /// One enforcement gate. Not thread-safe: enforce() bumps counters and
@@ -61,6 +65,12 @@ class EnforcementPoint {
   /// Optional decision cache (paper §3.2); not owned.
   void set_cache(cache::DecisionCache* cache) { cache_ = cache; }
 
+  /// Optional decision tracer (not owned; must outlive the PEP). Every
+  /// enforce() is admitted (Enforcement::trace_id); sampled ones record
+  /// admission / cache-probe / obligation / outcome spans, and denials
+  /// are tail-sampled as anomalies per the tracer's policy.
+  void set_tracer(obs::DecisionTracer* tracer) { tracer_ = tracer; }
+
   /// Decides (cache first, then the source) and enforces: a Permit is
   /// allowed only after every obligation is discharged; everything else
   /// follows the configured bias. Never throws on policy errors — an
@@ -74,14 +84,17 @@ class EnforcementPoint {
 
  private:
   /// Runs handlers for all obligations; returns false if any obligation
-  /// is unhandled or its handler fails.
+  /// is unhandled or its handler fails. Records a kObligation span per
+  /// attempt when `trace` is non-null.
   bool fulfil(const std::vector<core::ObligationInstance>& obligations,
-              std::vector<std::string>* fulfilled, std::string* failure);
+              std::vector<std::string>* fulfilled, std::string* failure,
+              obs::Trace* trace);
 
   DecisionSource source_;
   PepConfig config_;
   std::map<std::string, ObligationHandler> handlers_;
   cache::DecisionCache* cache_ = nullptr;
+  obs::DecisionTracer* tracer_ = nullptr;
   std::size_t enforcements_ = 0;
   std::size_t denials_by_bias_ = 0;
   std::size_t denials_by_obligation_ = 0;

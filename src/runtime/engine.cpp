@@ -11,6 +11,7 @@
 
 #include "cache/request_key.hpp"
 #include "common/logging.hpp"
+#include "obs/registry.hpp"
 
 namespace mdac::runtime {
 
@@ -65,6 +66,7 @@ void EngineMetrics::record_decided(std::size_t worker, std::uint64_t latency_ns)
   const std::size_t bucket =
       std::min<std::size_t>(std::bit_width(latency_ns), kLatencyBuckets - 1);
   latency_histogram_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_sum_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
 }
 
 namespace {
@@ -96,6 +98,7 @@ void EngineMetrics::reset() {
     w->l2_retries.store(0, std::memory_order_relaxed);
   }
   for (auto& bucket : latency_histogram_) bucket.store(0, std::memory_order_relaxed);
+  latency_sum_ns_.store(0, std::memory_order_relaxed);
 }
 
 EngineMetrics::Snapshot EngineMetrics::snapshot() const {
@@ -133,6 +136,8 @@ EngineMetrics::Snapshot EngineMetrics::snapshot() const {
     counts[i] = latency_histogram_[i].load(std::memory_order_relaxed);
     total += counts[i];
   }
+  s.latency_buckets = counts;
+  s.latency_sum_ns = latency_sum_ns_.load(std::memory_order_relaxed);
   if (total > 0) {
     const auto percentile = [&](double q) {
       const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
@@ -213,6 +218,21 @@ void DecisionEngine::submit(core::RequestContext request, Callback callback,
   job.enqueued = now;
   job.deadline = deadline_ms > 0 ? now + std::chrono::milliseconds(deadline_ms)
                                  : SteadyClock::time_point::max();
+  if (config_.tracer != nullptr) {
+    // Admission: one relaxed fetch_add on the untraced path; only a
+    // head-sampled request allocates its span recorder.
+    const obs::TraceHandle handle = config_.tracer->admit();
+    job.trace_id = handle.id;
+    if (handle.sampled) {
+      job.trace = std::make_unique<obs::Trace>();
+      job.trace->trace_id = handle.id;
+      job.trace->started_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now.time_since_epoch())
+              .count());
+      job.trace->record(obs::SpanKind::kAdmission, job.trace->started_ns);
+    }
+  }
 
   CompletionStatus shed = CompletionStatus::kDecided;
   {
@@ -230,7 +250,10 @@ void DecisionEngine::submit(core::RequestContext request, Callback callback,
     // Deterministic admission control: the submitter learns immediately,
     // on its own thread, that this request was refused.
     metrics_.record_shed(shed);
-    invoke_callback(job.callback, shed_result(shed));
+    EngineResult result = shed_result(shed);
+    result.trace_id = job.trace_id;
+    publish_trace(job, result, obs::Trace::kNoWorker);
+    invoke_callback(job.callback, std::move(result));
     return;
   }
   ready_.notify_one();
@@ -254,7 +277,10 @@ void DecisionEngine::shutdown(Drain drain) {
   ready_.notify_all();
   for (Job& job : discarded) {
     metrics_.record_shed(CompletionStatus::kShutdown);
-    invoke_callback(job.callback, shed_result(CompletionStatus::kShutdown));
+    EngineResult result = shed_result(CompletionStatus::kShutdown);
+    result.trace_id = job.trace_id;
+    publish_trace(job, result, obs::Trace::kNoWorker);
+    invoke_callback(job.callback, std::move(result));
   }
   if (!joined_) {
     for (std::thread& t : threads_) {
@@ -353,7 +379,58 @@ void DecisionEngine::complete(Job& job, EngineResult result, std::size_t worker_
   } else {
     metrics_.record_shed(result.status);
   }
+  result.trace_id = job.trace_id;
+  publish_trace(job, result, static_cast<std::uint32_t>(worker_index));
   invoke_callback(job.callback, std::move(result));
+}
+
+void DecisionEngine::publish_trace(Job& job, const EngineResult& result,
+                                   std::uint32_t worker) {
+  obs::DecisionTracer* tracer = config_.tracer;
+  if (tracer == nullptr || job.trace_id == 0) return;
+  const bool anomaly = result.status != CompletionStatus::kDecided ||
+                       result.decision.is_indeterminate();
+  obs::Trace* trace = job.trace.get();
+  obs::Trace synthesized;
+  if (trace == nullptr) {
+    // Tail sampling: the admission wasn't head-sampled, but the outcome
+    // is one an operator always wants to see. Reconstruct the trace from
+    // what this completion site knows; allocation on the anomaly path is
+    // acceptable (anomalies are the exception, not the throughput).
+    if (!anomaly || !tracer->always_sample_anomalies()) return;
+    synthesized.trace_id = job.trace_id;
+    synthesized.started_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            job.enqueued.time_since_epoch())
+            .count());
+    synthesized.record(obs::SpanKind::kAdmission, synthesized.started_ns);
+    trace = &synthesized;
+  }
+  trace->anomaly = anomaly;
+  trace->finished_ns = obs::monotonic_ns();
+  trace->worker = worker;
+  trace->snapshot_version = result.snapshot_version;
+  trace->cache_level = result.cache_level;
+  trace->decision = result.decision.type;
+  switch (result.status) {
+    case CompletionStatus::kDecided:
+      trace->outcome = obs::TraceOutcome::kDecided;
+      break;
+    case CompletionStatus::kShedQueueFull:
+      trace->outcome = obs::TraceOutcome::kShedQueueFull;
+      break;
+    case CompletionStatus::kShedDeadline:
+      trace->outcome = obs::TraceOutcome::kShedDeadline;
+      break;
+    case CompletionStatus::kShutdown:
+      trace->outcome = obs::TraceOutcome::kShutdown;
+      break;
+  }
+  if (obs::Span* s = trace->record(obs::SpanKind::kOutcome, trace->finished_ns)) {
+    s->set_tag(to_string(result.status));
+  }
+  tracer->publish(*trace);
+  job.trace.reset();
 }
 
 void DecisionEngine::invoke_callback(Callback& callback, EngineResult result) {
@@ -361,12 +438,15 @@ void DecisionEngine::invoke_callback(Callback& callback, EngineResult result) {
   // worker (and with it every queued request), shutdown()'s discard
   // loop, or a submitter mid-shed. catch (...) on purpose: the promise
   // path never throws, and arbitrary user callbacks can throw anything.
+  const std::uint64_t trace_id = result.trace_id;
   try {
     callback(std::move(result));
   } catch (const std::exception& e) {
-    common::log_error(std::string("runtime: completion callback threw: ") + e.what());
+    common::log_error("runtime: completion callback threw",
+                      {{"trace", trace_id}, {"what", e.what()}});
   } catch (...) {
-    common::log_error("runtime: completion callback threw a non-exception value");
+    common::log_error("runtime: completion callback threw a non-exception value",
+                      {{"trace", trace_id}});
   }
 }
 
@@ -389,8 +469,20 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
   worker.pending.clear();
   worker.pending_keys.clear();
   const auto now = SteadyClock::now();
+  const auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now.time_since_epoch())
+          .count());
   for (std::size_t i = 0; i < worker.jobs.size(); ++i) {
     Job& job = worker.jobs[i];
+    if (job.trace != nullptr) {  // null on the untraced hot path
+      if (obs::Span* s = job.trace->record(obs::SpanKind::kQueueWait, now_ns)) {
+        s->a = now_ns >= job.trace->started_ns ? now_ns - job.trace->started_ns : 0;
+      }
+      if (obs::Span* s = job.trace->record(obs::SpanKind::kBatch, now_ns)) {
+        s->a = index;
+        s->b = worker.jobs.size();
+      }
+    }
     if (job.deadline < now) {
       complete(job, shed_result(CompletionStatus::kShedDeadline), index,
                /*count_as_decided=*/false);
@@ -401,6 +493,12 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
       if (use_l1) {
         if (const core::Decision* hit = worker.l1.lookup(key, version)) {
           metrics_.record_l1_hit(index);
+          if (job.trace != nullptr) {
+            if (obs::Span* s = job.trace->record(obs::SpanKind::kCacheProbe,
+                                                 obs::monotonic_ns())) {
+              s->a = 1;  // L1
+            }
+          }
           EngineResult r;
           r.decision = *hit;
           r.snapshot_version = version;
@@ -414,6 +512,13 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
       if (auto hit = cache_->lookup(key, version, worker.group, &retries)) {
         metrics_.record_l2_hit(index, retries);
         if (use_l1) worker.l1.insert(key, version, *hit);
+        if (job.trace != nullptr) {
+          if (obs::Span* s = job.trace->record(obs::SpanKind::kCacheProbe,
+                                               obs::monotonic_ns())) {
+            s->a = 2;  // L2
+            s->b = retries;
+          }
+        }
         EngineResult r;
         r.decision = std::move(*hit);
         r.snapshot_version = version;
@@ -423,6 +528,13 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
         continue;
       }
       metrics_.record_cache_miss(index, retries);
+      if (job.trace != nullptr) {
+        if (obs::Span* s = job.trace->record(obs::SpanKind::kCacheProbe,
+                                             obs::monotonic_ns())) {
+          s->a = 0;  // miss
+          s->b = retries;
+        }
+      }
       worker.pending_keys.push_back(key);
     }
     worker.pending.push_back(i);
@@ -459,7 +571,10 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
     evaluation_error = "evaluation failed: non-exception value thrown";
   }
   if (!evaluation_error.empty()) {
-    common::log_error("runtime: batch evaluation threw: " + evaluation_error);
+    common::log_error("runtime: batch evaluation threw",
+                      {{"worker", static_cast<std::uint64_t>(index)},
+                       {"batch", static_cast<std::uint64_t>(worker.pending.size())},
+                       {"error", evaluation_error}});
     for (const std::size_t job_index : worker.pending) {
       EngineResult r;
       r.decision = core::Decision::indeterminate(
@@ -470,6 +585,15 @@ void DecisionEngine::process_batch(std::size_t index, Worker& worker) {
     return;
   }
   for (std::size_t i = 0; i < worker.pending.size(); ++i) {
+    Job& evaluated = worker.jobs[worker.pending[i]];
+    if (evaluated.trace != nullptr) {
+      if (obs::Span* s =
+              evaluated.trace->record(obs::SpanKind::kEvaluate, obs::monotonic_ns())) {
+        s->a = index;
+        s->b = results[i].partitions_probed;
+        s->c = results[i].compile.compiled_policies;
+      }
+    }
     EngineResult r;
     r.decision = std::move(results[i].decision);
     r.snapshot_version = version;
@@ -528,6 +652,61 @@ void DecisionEngine::worker_loop(std::size_t index) {
     process_batch(index, worker);
     worker.jobs.clear();
   }
+}
+
+std::uint64_t DecisionEngine::register_metrics(obs::Registry& registry) const {
+  return registry.add_collector([this](obs::MetricSink& sink) {
+    const EngineMetrics::Snapshot s = metrics_.snapshot();
+    sink.counter("mdac_engine_submitted_total", "Requests submitted to the engine.",
+                 static_cast<double>(s.submitted));
+    sink.counter("mdac_engine_decided_total",
+                 "Requests completed with a decision (evaluated or cache-served).",
+                 static_cast<double>(s.decided));
+    sink.counter("mdac_engine_cache_hits_total",
+                 "Decision-cache hits by level (l1 = worker-private, l2 = shared).",
+                 static_cast<double>(s.l1_hits), {{"level", "l1"}});
+    sink.counter("mdac_engine_cache_hits_total",
+                 "Decision-cache hits by level (l1 = worker-private, l2 = shared).",
+                 static_cast<double>(s.l2_hits), {{"level", "l2"}});
+    sink.counter("mdac_engine_cache_misses_total",
+                 "Decision-cache lookups answered by evaluation.",
+                 static_cast<double>(s.cache_misses));
+    sink.counter("mdac_engine_l2_read_retries_total",
+                 "Seqlock re-reads on the shared cache level.",
+                 static_cast<double>(s.l2_read_retries));
+    sink.counter("mdac_engine_version_evictions_total",
+                 "Cache entries reclaimed by the snapshot-version sweep.",
+                 static_cast<double>(s.version_evictions));
+    sink.counter("mdac_engine_sheds_total", "Requests shed by cause.",
+                 static_cast<double>(s.shed_queue_full), {{"cause", "queue-full"}});
+    sink.counter("mdac_engine_sheds_total", "Requests shed by cause.",
+                 static_cast<double>(s.shed_deadline), {{"cause", "deadline"}});
+    sink.counter("mdac_engine_sheds_total", "Requests shed by cause.",
+                 static_cast<double>(s.shed_shutdown), {{"cause", "shutdown"}});
+    sink.counter("mdac_engine_batches_total", "Micro-batches drained by workers.",
+                 static_cast<double>(s.batches));
+    sink.counter("mdac_engine_snapshot_adoptions_total",
+                 "Snapshot adoptions across all workers.",
+                 static_cast<double>(s.snapshot_adoptions));
+    sink.gauge("mdac_engine_queue_depth", "Instantaneous submission-queue depth.",
+               static_cast<double>(s.queue_depth));
+    sink.gauge("mdac_engine_queue_capacity", "Admission bound of the queue.",
+               static_cast<double>(s.queue_capacity));
+    for (std::size_t i = 0; i < s.worker_ops.size(); ++i) {
+      sink.counter("mdac_engine_worker_ops_total", "Decisions completed per worker.",
+                   static_cast<double>(s.worker_ops[i]),
+                   {{"worker", std::to_string(i)}});
+    }
+    obs::Histogram::Snapshot latency;
+    for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+      latency.counts[i] = s.latency_buckets[i];
+      latency.total += s.latency_buckets[i];
+    }
+    latency.sum = s.latency_sum_ns;
+    sink.histogram("mdac_engine_latency_ns",
+                   "Completion latency (enqueue to callback), log2 ns buckets.",
+                   latency);
+  });
 }
 
 std::function<core::Decision(const core::RequestContext&)> engine_decision_source(

@@ -72,6 +72,7 @@
 #include "cache/decision_cache.hpp"
 #include "common/clock.hpp"
 #include "core/pdp.hpp"
+#include "obs/trace.hpp"
 #include "runtime/snapshot.hpp"
 
 namespace mdac::runtime {
@@ -117,6 +118,10 @@ struct EngineResult {
   /// Which cache level served the hit: 0 = evaluated (or not cached),
   /// 1 = worker-private L1, 2 = shared L2 / mutex-sharded store.
   std::uint8_t cache_level = 0;
+  /// Trace id assigned at admission when an obs::DecisionTracer is
+  /// configured (0 otherwise) — the correlation key for explain traces
+  /// and structured log lines.
+  std::uint64_t trace_id = 0;
 
   bool decided() const { return status == CompletionStatus::kDecided; }
 };
@@ -151,6 +156,10 @@ class EngineMetrics {
     double latency_p50_ns = 0;
     double latency_p90_ns = 0;
     double latency_p99_ns = 0;
+    /// Raw log2 latency buckets + sum — what the obs::Registry collector
+    /// re-exports as a native Prometheus histogram.
+    std::array<std::uint64_t, 64> latency_buckets{};
+    std::uint64_t latency_sum_ns = 0;
 
     std::uint64_t sheds() const {
       return shed_queue_full + shed_deadline + shed_shutdown;
@@ -236,6 +245,7 @@ class EngineMetrics {
   std::vector<std::unique_ptr<WorkerCounters>> workers_;
   /// Completion latency, log2 ns buckets (bucket i covers [2^(i-1), 2^i)).
   std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_histogram_{};
+  std::atomic<std::uint64_t> latency_sum_ns_{0};
 };
 
 struct EngineConfig {
@@ -269,6 +279,13 @@ struct EngineConfig {
   /// two-level mode; 0 disables the L1 (L2-only). Ignored for
   /// mutex-sharded caches, which have no worker-local level.
   std::size_t l1_capacity = 256;
+  /// Optional decision tracer (not owned; must outlive the engine).
+  /// When set, every submission is assigned a trace id
+  /// (EngineResult::trace_id) and the tracer's sampling policy decides
+  /// which requests additionally record explain-trace spans. Untraced
+  /// requests pay one relaxed fetch_add plus null checks — see the
+  /// hot-path cost contract in obs/trace.hpp.
+  obs::DecisionTracer* tracer = nullptr;
 };
 
 class DecisionEngine {
@@ -336,6 +353,12 @@ class DecisionEngine {
   /// See EngineMetrics::reset — quiescent engines only (bench warmup).
   void reset_metrics() { metrics_.reset(); }
 
+  /// Registers the engine's counters, gauges and the completion-latency
+  /// histogram with a metrics registry (mdac_engine_*); returns the
+  /// collector id (obs::Registry::remove_collector). The engine must
+  /// outlive the registry or be unregistered first.
+  std::uint64_t register_metrics(obs::Registry& registry) const;
+
  private:
   using SteadyClock = std::chrono::steady_clock;
 
@@ -344,6 +367,11 @@ class DecisionEngine {
     Callback callback;
     SteadyClock::time_point enqueued;
     SteadyClock::time_point deadline;  // time_point::max() = none
+    /// Trace id from tracer admission (0 = no tracer configured).
+    std::uint64_t trace_id = 0;
+    /// Span recorder, allocated only for head-sampled requests; null on
+    /// the untraced hot path (spans gate on this pointer).
+    std::unique_ptr<obs::Trace> trace;
   };
 
   /// One worker's execution state: the adopted snapshot and the private
@@ -385,6 +413,11 @@ class DecisionEngine {
   /// here so no user callback can unwind engine internals).
   static void invoke_callback(Callback& callback, EngineResult result);
   static EngineResult shed_result(CompletionStatus status);
+  /// Finalises and publishes the job's explain trace (if any): stamps
+  /// outcome/summary fields, tail-synthesizes a trace for unsampled
+  /// anomalies, no-op without a tracer. `worker` = Trace::kNoWorker for
+  /// completions that never reached one (shed-on-submit, discard).
+  void publish_trace(Job& job, const EngineResult& result, std::uint32_t worker);
 
   SnapshotPublisher& publisher_;
   EngineConfig config_;

@@ -78,6 +78,41 @@ TEST(RepositoryTest, CannotIssueNonDraftOrUnknown) {
   EXPECT_FALSE(repo.withdraw("ghost", "alice"));
 }
 
+TEST(RepositoryTest, BoundedAuditRingKeepsSequenceContinuity) {
+  common::ManualClock clock(100);
+  PapConfig config;
+  config.audit_capacity = 3;
+  PolicyRepository repo(clock, config);
+
+  // 3 policies x (submit + issue) = 6 entries through a 3-entry ring.
+  for (int i = 1; i <= 3; ++i) {
+    const std::string id = "p" + std::to_string(i);
+    ASSERT_TRUE(repo.submit(simple_policy_doc(id, "doc"), "alice"));
+    ASSERT_TRUE(repo.issue(id, "bob"));
+  }
+
+  const auto& log = repo.audit_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(repo.dropped_audit_entries(), 3u);
+
+  // The retained suffix stays gap-free and monotone across the wrap: the
+  // oldest surviving entry's sequence equals (total recorded − retained
+  // + 1), so the drop is detectable rather than silent.
+  EXPECT_EQ(log.front().sequence, 4u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].sequence, log[i - 1].sequence + 1);
+  }
+  EXPECT_EQ(log.back().sequence, 6u);
+
+  // An unbounded repository (the default) never drops and numbers from 1.
+  PolicyRepository unbounded(clock);
+  ASSERT_TRUE(unbounded.submit(simple_policy_doc("q1", "doc"), "alice"));
+  ASSERT_TRUE(unbounded.issue("q1", "bob"));
+  EXPECT_EQ(unbounded.dropped_audit_entries(), 0u);
+  EXPECT_EQ(unbounded.audit_log().front().sequence, 1u);
+  EXPECT_EQ(unbounded.audit_log().back().sequence, 2u);
+}
+
 TEST(RepositoryTest, AuditLogRecordsEverything) {
   common::ManualClock clock(1000);
   PolicyRepository repo(clock);

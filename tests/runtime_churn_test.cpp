@@ -22,6 +22,7 @@
 #include "core/expression.hpp"
 #include "core/pdp.hpp"
 #include "core/serialization.hpp"
+#include "obs/trace.hpp"
 #include "pap/repository.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/snapshot.hpp"
@@ -423,6 +424,90 @@ TEST(RuntimeChurnTest, TwoLevelCacheNeverServesAStaleDecisionUnderChurn) {
   EXPECT_GT(m.l2_hits, 0u);
   EXPECT_GT(m.cache_misses, 0u);
   EXPECT_EQ(m.cache_hits, m.l1_hits + m.l2_hits);
+}
+
+// ---------------------------------------------------------------------
+// Tracing under churn: sampled traces stay internally consistent while
+// the PAP republishes at full rate. Run under -DMDAC_TSAN=ON this also
+// race-checks the tracer's publish/query paths against live workers.
+// ---------------------------------------------------------------------
+
+TEST(RuntimeChurnTest, SampledTracesStayConsistentUnderRepublication) {
+  constexpr int kPublications = 40;
+  constexpr int kRequests = 1200;
+
+  SnapshotPublisher publisher;
+  publisher.publish(make_stamped_store(1));
+
+  // Sample everything, ring big enough that nothing is evicted — every
+  // submission's trace must be auditable afterwards.
+  obs::DecisionTracer tracer(
+      obs::ObsConfig{.sample_every_n = 1, .ring_capacity = kRequests + 16});
+  cache::DecisionCache cache(cache::DecisionCache::TwoLevelConfig{.capacity = 2048});
+  EngineConfig config;
+  config.workers = 4;
+  config.queue_capacity = 4096;
+  config.max_batch = 8;
+  config.l1_capacity = 128;
+  config.tracer = &tracer;
+  DecisionEngine engine(publisher, config, &cache);
+
+  std::thread pap([&] {
+    for (int k = 2; k <= kPublications; ++k) {
+      publisher.publish(make_stamped_store(k));
+      std::this_thread::yield();
+    }
+  });
+
+  // trace id -> the completion's own stamp, collected on this thread.
+  std::map<std::uint64_t, EngineResult> results;
+  constexpr std::size_t kWindow = 256;
+  std::vector<std::future<EngineResult>> inflight;
+  const auto drain = [&] {
+    for (auto& f : inflight) {
+      EngineResult r = f.get();
+      ASSERT_NE(r.trace_id, 0u);
+      results.emplace(r.trace_id, std::move(r));
+    }
+    inflight.clear();
+  };
+  for (int i = 0; i < kRequests; ++i) {
+    if (inflight.size() >= kWindow) drain();
+    inflight.push_back(engine.submit(probe_request()));
+  }
+  drain();
+  pap.join();
+  engine.shutdown();
+
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(kRequests));
+  std::size_t audited = 0;
+  for (const obs::Trace& trace : tracer.traces()) {
+    const auto it = results.find(trace.trace_id);
+    ASSERT_NE(it, results.end()) << "trace for an unknown submission";
+    const EngineResult& result = it->second;
+    // Internal consistency: the trace's snapshot stamp is the decision
+    // stamp — a worker can never report serving one snapshot in its
+    // result and another in its trace.
+    EXPECT_EQ(trace.snapshot_version, result.snapshot_version);
+    EXPECT_EQ(trace.cache_level, result.cache_level);
+    EXPECT_EQ(trace.outcome, obs::TraceOutcome::kDecided);
+    EXPECT_LT(trace.worker, config.workers);
+    // Monotone timeline from admission to outcome.
+    EXPECT_GE(trace.finished_ns, trace.started_ns);
+    ASSERT_GE(trace.span_count, 2u);
+    EXPECT_EQ(trace.spans[0].kind, obs::SpanKind::kAdmission);
+    EXPECT_EQ(trace.spans[trace.span_count - 1].kind, obs::SpanKind::kOutcome);
+    for (std::size_t i = 0; i < trace.span_count; ++i) {
+      EXPECT_GE(trace.spans[i].at_ns, trace.started_ns);
+      if (i > 0) {
+        EXPECT_GE(trace.spans[i].at_ns, trace.spans[i - 1].at_ns);
+      }
+    }
+    ++audited;
+  }
+  EXPECT_EQ(audited, static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(tracer.published_total(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(tracer.ring_dropped_total(), 0u);
 }
 
 }  // namespace

@@ -15,11 +15,13 @@
 #include <thread>
 #include <vector>
 
+#include "cache/decision_cache.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "core/pdp.hpp"
 #include "core/serialization.hpp"
 #include "dependability/replicated_pdp.hpp"
+#include "obs/trace.hpp"
 #include "net/sim.hpp"
 #include "pep/pep.hpp"
 #include "pep/remote.hpp"
@@ -764,6 +766,152 @@ TEST(PdpThreadContractDeathTest, RebindAllowsSerialisedHandOff) {
   EXPECT_FALSE(moved_result.is_indeterminate());
 }
 #endif  // !NDEBUG
+
+// ---------------------------------------------------------------------
+// Decision tracing (mdac::obs)
+// ---------------------------------------------------------------------
+
+TEST(DecisionEngineTracingTest, SampledTraceReconstructsDecisionPath) {
+  cache::DecisionCache cache(cache::DecisionCache::TwoLevelConfig{.capacity = 256});
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(8));
+  obs::DecisionTracer tracer(obs::ObsConfig{.sample_every_n = 1});
+  EngineConfig config;
+  config.workers = 1;
+  config.l1_capacity = 64;
+  config.tracer = &tracer;
+  DecisionEngine engine(publisher, config, &cache);
+
+  core::RequestContext request = core::RequestContext::make("u", "res-1", "read");
+  request.add(core::Category::kSubject, core::attrs::kRole,
+              core::AttributeValue("role-0"));
+  const EngineResult miss = engine.submit(request).get();
+  const EngineResult hit = engine.submit(request).get();
+  engine.shutdown();
+  ASSERT_TRUE(miss.decision.is_permit());
+  ASSERT_NE(miss.trace_id, 0u);
+  ASSERT_NE(hit.trace_id, 0u);
+  EXPECT_NE(miss.trace_id, hit.trace_id);
+
+  // The evaluated request's trace walks the full path: admission →
+  // queue wait → batch membership → cache miss → replica evaluation →
+  // outcome, timestamps monotone, summary fields matching the result.
+  const auto trace = tracer.find(miss.trace_id);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->outcome, obs::TraceOutcome::kDecided);
+  EXPECT_FALSE(trace->anomaly);
+  EXPECT_EQ(trace->worker, 0u);
+  EXPECT_EQ(trace->snapshot_version, miss.snapshot_version);
+  EXPECT_EQ(trace->cache_level, miss.cache_level);
+  std::vector<obs::SpanKind> kinds;
+  for (std::size_t i = 0; i < trace->span_count; ++i) {
+    const obs::Span& span = trace->spans[i];
+    kinds.push_back(span.kind);
+    EXPECT_GE(span.at_ns, trace->started_ns);
+    if (i > 0) {
+      EXPECT_GE(span.at_ns, trace->spans[i - 1].at_ns);
+    }
+  }
+  const std::vector<obs::SpanKind> expected = {
+      obs::SpanKind::kAdmission,  obs::SpanKind::kQueueWait,
+      obs::SpanKind::kBatch,      obs::SpanKind::kCacheProbe,
+      obs::SpanKind::kEvaluate,   obs::SpanKind::kOutcome};
+  EXPECT_EQ(kinds, expected);
+  EXPECT_GE(trace->finished_ns, trace->started_ns);
+  EXPECT_EQ(trace->latency_ns(), trace->finished_ns - trace->started_ns);
+
+  // The repeat hit the worker-private L1: its trace records the serving
+  // level and carries no evaluate span.
+  const auto hit_trace = tracer.find(hit.trace_id);
+  ASSERT_TRUE(hit_trace.has_value());
+  EXPECT_EQ(hit_trace->cache_level, 1);
+  bool saw_probe = false;
+  for (std::size_t i = 0; i < hit_trace->span_count; ++i) {
+    const obs::Span& span = hit_trace->spans[i];
+    EXPECT_NE(span.kind, obs::SpanKind::kEvaluate);
+    if (span.kind == obs::SpanKind::kCacheProbe) {
+      saw_probe = true;
+      EXPECT_EQ(span.a, 1u);  // a = serving level
+    }
+  }
+  EXPECT_TRUE(saw_probe);
+}
+
+TEST(DecisionEngineTracingTest, ShedIsTailSampledEvenWithHeadSamplingOff) {
+  GateResolver gate;
+  SnapshotPublisher publisher;
+  publisher.publish(make_gated_store());
+  // sample_every_n = 0: no head sampling at all — only the anomaly
+  // tail-path can publish.
+  obs::DecisionTracer tracer(obs::ObsConfig{.sample_every_n = 0});
+  EngineConfig config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.max_batch = 1;
+  config.resolver = &gate;
+  config.tracer = &tracer;
+  DecisionEngine engine(publisher, config);
+
+  auto wedged = engine.submit(probe_request());
+  gate.wait_until_blocked(1);
+  std::vector<std::future<EngineResult>> queued;
+  for (int i = 0; i < 2; ++i) queued.push_back(engine.submit(probe_request()));
+  const EngineResult shed = engine.submit(probe_request()).get();
+  ASSERT_EQ(shed.status, CompletionStatus::kShedQueueFull);
+  ASSERT_NE(shed.trace_id, 0u);
+
+  // The shed was synthesized at completion: outcome, anomaly flag and
+  // path summary all present despite head sampling being off.
+  const auto trace = tracer.find(shed.trace_id);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->outcome, obs::TraceOutcome::kShedQueueFull);
+  EXPECT_TRUE(trace->anomaly);
+  EXPECT_EQ(trace->worker, obs::Trace::kNoWorker);
+  EXPECT_EQ(trace->snapshot_version, 0u);
+  EXPECT_EQ(trace->decision, core::DecisionType::kIndeterminate);
+  ASSERT_GE(trace->span_count, 2u);
+  EXPECT_EQ(trace->spans[0].kind, obs::SpanKind::kAdmission);
+  const obs::Span& outcome = trace->spans[trace->span_count - 1];
+  EXPECT_EQ(outcome.kind, obs::SpanKind::kOutcome);
+  EXPECT_EQ(outcome.tag_view(), "shed-queue-full");
+  EXPECT_EQ(tracer.anomalies_total(), 1u);
+
+  gate.open();
+  wedged.get();
+  for (auto& f : queued) f.get();
+  engine.shutdown();
+  // Decided, non-sampled completions stayed unpublished.
+  EXPECT_EQ(tracer.published_total(), 1u);
+  EXPECT_EQ(tracer.admitted_total(), 4u);
+}
+
+TEST(DecisionEngineTracingTest, NoSnapshotFailsafeIsFlaggedAnomalous) {
+  SnapshotPublisher publisher;
+  obs::DecisionTracer tracer(obs::ObsConfig{.sample_every_n = 0});
+  EngineConfig config;
+  config.workers = 1;
+  config.tracer = &tracer;
+  DecisionEngine engine(publisher, config);
+  const EngineResult result = engine.submit(probe_request()).get();
+  engine.shutdown();
+  ASSERT_TRUE(result.decision.is_indeterminate());
+  const auto trace = tracer.find(result.trace_id);
+  ASSERT_TRUE(trace.has_value());
+  // Decided — the engine answered — but Indeterminate, so the trace is
+  // an always-sampled anomaly.
+  EXPECT_EQ(trace->outcome, obs::TraceOutcome::kDecided);
+  EXPECT_TRUE(trace->anomaly);
+  EXPECT_EQ(trace->decision, core::DecisionType::kIndeterminate);
+}
+
+TEST(DecisionEngineTracingTest, UntracedEngineAssignsNoTraceIds) {
+  SnapshotPublisher publisher;
+  publisher.publish(bench::make_policy_store(2));
+  DecisionEngine engine(publisher, EngineConfig{.workers = 1});
+  const EngineResult result = engine.submit(probe_request()).get();
+  engine.shutdown();
+  EXPECT_EQ(result.trace_id, 0u);
+}
 
 }  // namespace
 }  // namespace mdac::runtime
